@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks for Table 3: per-decision latency of each
+//! controller family.
+//!
+//! Complements the `table3_overhead` binary (which measures in-situ over
+//! a deployment episode) with statistically rigorous isolated timings.
+//! Run with `cargo bench -p hvac-bench --bench overhead`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veri_hvac::control::{
+    Predictor, RandomShootingConfig, RandomShootingController, RuleBasedController,
+};
+use veri_hvac::dtree::TreeConfig;
+use veri_hvac::dynamics::{DynamicsModel, ModelConfig, TransitionDataset};
+use veri_hvac::env::{
+    ComfortRange, Disturbances, Observation, Policy, SetpointAction, Transition,
+};
+use veri_hvac::extract::{fit_decision_tree, generate_decision_dataset, ExtractionConfig,
+    NoiseAugmenter};
+use veri_hvac::nn::TrainConfig;
+
+/// A synthetic but realistic training corpus (keeps bench setup fast
+/// and hermetic — no simulator in the hot path).
+fn synthetic_transitions(n: usize) -> TransitionDataset {
+    (0..n)
+        .map(|i| {
+            let s = 15.0 + (i % 12) as f64;
+            let h = 15 + (i % 9) as i32;
+            let c = 21 + (i % 10) as i32;
+            let action = SetpointAction::new(h, c).expect("in range");
+            Transition {
+                observation: Observation::new(
+                    s,
+                    Disturbances {
+                        outdoor_temperature: -5.0 + (i % 15) as f64,
+                        relative_humidity: 60.0,
+                        wind_speed: 4.0,
+                        solar_radiation: (i % 7) as f64 * 60.0,
+                        occupant_count: f64::from(i % 3 == 0),
+                        hour_of_day: (i % 96) as f64 * 0.25,
+                    },
+                ),
+                action,
+                next_zone_temperature: 0.9 * s + 0.08 * f64::from(h),
+            }
+        })
+        .collect()
+}
+
+struct Stack {
+    model: DynamicsModel,
+    policy: veri_hvac::control::DtPolicy,
+    obs: Observation,
+}
+
+fn build_stack() -> Stack {
+    let data = synthetic_transitions(600);
+    let model = DynamicsModel::train(
+        &data,
+        &ModelConfig {
+            hidden: vec![64, 64],
+            train: TrainConfig {
+                epochs: 30,
+                ..TrainConfig::paper()
+            },
+            ..ModelConfig::default()
+        },
+    )
+    .expect("train");
+    let augmenter = NoiseAugmenter::fit(data.policy_inputs(), 0.05).expect("augment");
+    let mut teacher = RandomShootingController::new(
+        model.clone(),
+        RandomShootingConfig {
+            samples: 50,
+            ..RandomShootingConfig::paper()
+        },
+        0,
+    )
+    .expect("rs");
+    let decision_data = generate_decision_dataset(
+        &mut teacher,
+        &augmenter,
+        &ExtractionConfig {
+            n_points: 60,
+            mc_runs: 3,
+            ..ExtractionConfig::paper()
+        },
+    )
+    .expect("distill");
+    let policy = fit_decision_tree(&decision_data, &TreeConfig::default()).expect("fit");
+    let obs = Observation::new(
+        21.0,
+        Disturbances {
+            outdoor_temperature: -2.0,
+            relative_humidity: 65.0,
+            wind_speed: 4.0,
+            solar_radiation: 120.0,
+            occupant_count: 6.0,
+            hour_of_day: 10.0,
+        },
+    );
+    Stack { model, policy, obs }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let stack = build_stack();
+    let mut group = c.benchmark_group("table3_per_decision");
+
+    let mut default_ctl = RuleBasedController::new(ComfortRange::winter());
+    group.bench_function("default_rule_based", |b| {
+        b.iter(|| black_box(default_ctl.decide(black_box(&stack.obs))))
+    });
+
+    let mut dt = stack.policy.clone();
+    group.bench_function("dt_policy", |b| {
+        b.iter(|| black_box(dt.decide(black_box(&stack.obs))))
+    });
+
+    // The paper's RS uses 1000 samples × horizon 20; that configuration
+    // is the slow path being escaped. Benchmark it at both the paper's
+    // configuration and a reduced one for context.
+    for samples in [100usize, 1000] {
+        let mut rs = RandomShootingController::new(
+            stack.model.clone(),
+            RandomShootingConfig {
+                samples,
+                ..RandomShootingConfig::paper()
+            },
+            1,
+        )
+        .expect("rs");
+        group.sample_size(10);
+        group.bench_function(format!("mbrl_rs_{samples}x20"), |b| {
+            b.iter(|| black_box(rs.plan(black_box(&stack.obs))))
+        });
+    }
+
+    group.bench_function("dynamics_model_single_step", |b| {
+        b.iter(|| {
+            black_box(
+                stack
+                    .model
+                    .predict_next(black_box(&stack.obs), SetpointAction::off()),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the pipeline's building blocks:
+//! simulator stepping, weather generation, CART fitting, tree
+//! prediction, Eq. 5 sampling, and Algorithm 1 verification.
+//!
+//! Run with `cargo bench -p hvac-bench --bench pipeline_stages`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use veri_hvac::control::DtPolicy;
+use veri_hvac::dtree::{DecisionTree, TreeConfig};
+use veri_hvac::env::space::feature;
+use veri_hvac::env::{ActionSpace, ComfortRange, POLICY_INPUT_DIM};
+use veri_hvac::extract::NoiseAugmenter;
+use veri_hvac::sim::{
+    Building, BuildingConfig, ClimatePreset, OccupancySchedule, SimClock, WeatherGenerator,
+};
+use veri_hvac::stats::seeded_rng;
+use veri_hvac::verify::verify_paths;
+
+/// Deterministic synthetic decision dataset of the given size.
+fn decision_dataset(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let space = ActionSpace::new();
+    let mut inputs = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut row = [0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = 15.0 + (i % 40) as f64 * 0.3;
+        row[feature::OUTDOOR_TEMPERATURE] = -10.0 + (i % 23) as f64;
+        row[feature::RELATIVE_HUMIDITY] = 40.0 + (i % 11) as f64 * 5.0;
+        row[feature::WIND_SPEED] = (i % 7) as f64;
+        row[feature::SOLAR_RADIATION] = (i % 9) as f64 * 80.0;
+        row[feature::OCCUPANT_COUNT] = (i % 4) as f64;
+        inputs.push(row.to_vec());
+        labels.push((i * 7 + i / 3) % space.len());
+    }
+    (inputs, labels)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let mut building = Building::new(BuildingConfig::five_zone_463m2()).expect("building");
+    let mut weather = WeatherGenerator::new(ClimatePreset::pittsburgh_4a(), 0);
+    let schedule = OccupancySchedule::office();
+    let mut clock = SimClock::january();
+    let sample = weather.sample(&clock);
+
+    group.bench_function("building_step_5_zones", |b| {
+        b.iter(|| {
+            let occupants = schedule.occupants(&clock);
+            black_box(
+                building
+                    .step(black_box(&sample), &occupants, &[(20.0, 24.0); 5])
+                    .expect("step"),
+            );
+            clock.advance();
+        })
+    });
+
+    group.bench_function("weather_sample", |b| {
+        b.iter(|| black_box(weather.sample(black_box(&clock))))
+    });
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_tree");
+    let space = ActionSpace::new();
+
+    for n in [100usize, 1000] {
+        let (inputs, labels) = decision_dataset(n);
+        group.bench_function(format!("cart_fit_{n}_points"), |b| {
+            b.iter(|| {
+                black_box(
+                    DecisionTree::fit(
+                        black_box(&inputs),
+                        black_box(&labels),
+                        space.len(),
+                        &TreeConfig::default(),
+                    )
+                    .expect("fit"),
+                )
+            })
+        });
+    }
+
+    let (inputs, labels) = decision_dataset(1000);
+    let tree =
+        DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).expect("fit");
+    let probe = &inputs[123];
+    group.bench_function("tree_predict", |b| {
+        b.iter(|| black_box(tree.predict(black_box(probe)).expect("predict")))
+    });
+    group.bench_function("tree_leaf_boxes", |b| {
+        b.iter(|| black_box(tree.leaf_boxes()))
+    });
+
+    let policy = DtPolicy::new(tree).expect("policy");
+    group.bench_function("algorithm1_verify_paths", |b| {
+        b.iter(|| black_box(verify_paths(black_box(&policy), &ComfortRange::winter()).expect("verify")))
+    });
+    group.finish();
+}
+
+fn bench_augmenter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction");
+    let (inputs, _) = decision_dataset(2000);
+    let rows: Vec<[f64; POLICY_INPUT_DIM]> = inputs
+        .iter()
+        .map(|r| {
+            let mut a = [0.0; POLICY_INPUT_DIM];
+            a.copy_from_slice(r);
+            a
+        })
+        .collect();
+    let augmenter = NoiseAugmenter::fit(rows, 0.05).expect("augment");
+    let mut rng = seeded_rng(0);
+    group.bench_function("eq5_sample", |b| {
+        b.iter(|| black_box(augmenter.sample(black_box(&mut rng))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_tree, bench_augmenter);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation — one-step vs H-step bootstrap verification of
+//! criterion #1.
+//!
+//! Section 3.3.2 proves the one-step Monte-Carlo check equivalent to
+//! classifying full H-step bootstrap rollouts, at 1/H the model
+//! evaluations. This ablation measures both estimates and both wall
+//! times on the same policy.
+//!
+//! ```sh
+//! cargo run --release -p hvac-bench --bin ablation_one_step_verify [--paper] [--csv]
+//! ```
+
+use hvac_bench::{build_artifacts, fmt, parse_options, City, Scale, Table};
+use std::time::Instant;
+use veri_hvac::env::ComfortRange;
+use veri_hvac::verify::{verify_criterion_1, verify_criterion_1_bootstrap};
+
+fn main() {
+    let options = parse_options();
+    let samples = match options.scale {
+        Scale::Reduced => 2_000,
+        Scale::Paper => 10_000,
+    };
+    let horizon = 20;
+    let threshold = 0.9;
+
+    let mut table = Table::new(
+        "Ablation: one-step vs H-step bootstrap verification of criterion #1",
+        &["city", "method", "safe_probability_%", "wall_ms", "model_evals"],
+    );
+
+    for city in City::BOTH {
+        let artifacts = build_artifacts(city, options.scale);
+        let comfort = ComfortRange::winter();
+        let mut policy = artifacts.policy.clone();
+
+        let started = Instant::now();
+        let one_step = verify_criterion_1(
+            &mut policy,
+            &artifacts.model,
+            &artifacts.augmenter,
+            &comfort,
+            samples,
+            threshold,
+            0,
+        )
+        .expect("one-step");
+        let one_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let started = Instant::now();
+        let bootstrap = verify_criterion_1_bootstrap(
+            &mut policy,
+            &artifacts.model,
+            &artifacts.augmenter,
+            &comfort,
+            samples,
+            horizon,
+            threshold,
+            0,
+        )
+        .expect("bootstrap");
+        let boot_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        table.push_row(vec![
+            city.name().into(),
+            "one-step (paper)".into(),
+            fmt(100.0 * one_step.probability(), 1),
+            fmt(one_ms, 1),
+            samples.to_string(),
+        ]);
+        table.push_row(vec![
+            city.name().into(),
+            format!("bootstrap H={horizon}"),
+            fmt(100.0 * bootstrap.probability(), 1),
+            fmt(boot_ms, 1),
+            format!("≤{}", samples * horizon),
+        ]);
+        println!(
+            "{}: speedup {:.1}x, estimate gap {:.1} pp",
+            city.name(),
+            boot_ms / one_ms,
+            100.0 * (one_step.probability() - bootstrap.probability()).abs()
+        );
+    }
+
+    table.emit("ablation_one_step_verify", &options);
+    println!("\nexpected shape: one-step runs ~H× faster; the bootstrap estimate is at most");
+    println!("slightly lower (a trajectory fails if ANY step fails), matching the paper's proof");
+    println!("that both classify the same inputs as unsafe.");
+}

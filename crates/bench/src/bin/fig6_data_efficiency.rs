@@ -1,0 +1,85 @@
+//! Figure 6 — data efficiency: control performance versus the number of
+//! decision data points.
+//!
+//! Generates one large decision dataset, then fits trees on growing
+//! prefixes, deploys each, and reports the paper's performance index
+//! (comfort rate ÷ zone energy × 1000). The paper finds convergence
+//! within ~100 points for both cities.
+//!
+//! ```sh
+//! cargo run --release -p hvac-bench --bin fig6_data_efficiency [--paper] [--csv]
+//! ```
+
+use hvac_bench::{fmt, parse_options, pipeline_config, City, Scale, Table};
+use veri_hvac::control::RandomShootingController;
+use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
+use veri_hvac::env::{run_episode, HvacEnv};
+use veri_hvac::extract::{
+    fit_decision_tree, generate_decision_dataset, ExtractionConfig, NoiseAugmenter,
+};
+use veri_hvac::verify::{verify_and_correct, VerificationConfig};
+
+fn main() {
+    let options = parse_options();
+    let sizes: &[usize] = match options.scale {
+        Scale::Reduced => &[10, 25, 50, 100, 200],
+        Scale::Paper => &[10, 25, 50, 100, 200, 400, 800],
+    };
+    let max_points = *sizes.last().expect("nonempty sizes");
+    let eval_steps = options.scale.episode_steps();
+
+    let mut table = Table::new(
+        "Fig. 6: performance index vs. number of decision data points",
+        &["city", "n_points", "performance_index", "violation_%", "zone_kwh"],
+    );
+
+    for city in City::BOTH {
+        let config = pipeline_config(city, options.scale);
+        eprintln!("[harness] {}: collecting data + training model…", city.name());
+        let historical =
+            collect_historical_dataset(&config.env, config.historical_episodes, config.seed)
+                .expect("collect");
+        let model = DynamicsModel::train(&historical, &config.model).expect("train");
+        let augmenter =
+            NoiseAugmenter::fit(historical.policy_inputs(), config.noise_level).expect("augment");
+        let mut teacher =
+            RandomShootingController::new(model.clone(), config.rs, config.seed).expect("rs");
+
+        eprintln!("[harness] {}: generating {max_points} decision points…", city.name());
+        let extraction = ExtractionConfig {
+            n_points: max_points,
+            ..config.extraction
+        };
+        let decision_data =
+            generate_decision_dataset(&mut teacher, &augmenter, &extraction).expect("distill");
+
+        for &n in sizes {
+            let subset = decision_data.truncated(n);
+            let mut policy = fit_decision_tree(&subset, &config.tree).expect("fit");
+            let _ = verify_and_correct(
+                &mut policy,
+                &model,
+                &augmenter,
+                &VerificationConfig {
+                    samples: 200,
+                    ..config.verification
+                },
+            )
+            .expect("verify");
+            let mut env = HvacEnv::new(city.env_config().with_episode_steps(eval_steps))
+                .expect("env");
+            let metrics = run_episode(&mut env, &mut policy).expect("episode").metrics;
+            table.push_row(vec![
+                city.name().into(),
+                n.to_string(),
+                fmt(metrics.performance_index(), 2),
+                fmt(100.0 * metrics.violation_rate(), 1),
+                fmt(metrics.zone_electric_kwh, 1),
+            ]);
+        }
+    }
+
+    table.emit("fig6_data_efficiency", &options);
+    println!("\npaper's finding: performance converges within ~100 decision data points for both cities.");
+    println!("with decision data generated at ~{}ms per point, 100 points ≈ minutes of offline work", 200);
+}

@@ -1,0 +1,69 @@
+//! Figure 7 — decision-tree size versus the number of decision data
+//! points.
+//!
+//! Companion sweep to Fig. 6: the same growing prefixes of the decision
+//! dataset, but reporting tree size (nodes/leaves/depth) instead of
+//! control performance. The paper's observation: tree size keeps
+//! growing (or converges much later) even after control performance has
+//! converged — size and performance are not tightly linked.
+//!
+//! ```sh
+//! cargo run --release -p hvac-bench --bin fig7_tree_size [--paper] [--csv]
+//! ```
+
+use hvac_bench::{parse_options, pipeline_config, City, Scale, Table};
+use veri_hvac::control::RandomShootingController;
+use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
+use veri_hvac::extract::{
+    fit_decision_tree, generate_decision_dataset, ExtractionConfig, NoiseAugmenter,
+};
+
+fn main() {
+    let options = parse_options();
+    let sizes: &[usize] = match options.scale {
+        Scale::Reduced => &[10, 25, 50, 100, 200],
+        Scale::Paper => &[10, 25, 50, 100, 200, 400, 800],
+    };
+    let max_points = *sizes.last().expect("nonempty sizes");
+
+    let mut table = Table::new(
+        "Fig. 7: decision-tree size vs. number of decision data points",
+        &["city", "n_points", "total_nodes", "leaf_nodes", "depth"],
+    );
+
+    for city in City::BOTH {
+        let config = pipeline_config(city, options.scale);
+        eprintln!("[harness] {}: building teacher…", city.name());
+        let historical =
+            collect_historical_dataset(&config.env, config.historical_episodes, config.seed)
+                .expect("collect");
+        let model = DynamicsModel::train(&historical, &config.model).expect("train");
+        let augmenter =
+            NoiseAugmenter::fit(historical.policy_inputs(), config.noise_level).expect("augment");
+        let mut teacher =
+            RandomShootingController::new(model, config.rs, config.seed).expect("rs");
+        let extraction = ExtractionConfig {
+            n_points: max_points,
+            ..config.extraction
+        };
+        let decision_data =
+            generate_decision_dataset(&mut teacher, &augmenter, &extraction).expect("distill");
+
+        for &n in sizes {
+            let subset = decision_data.truncated(n);
+            let policy = fit_decision_tree(&subset, &config.tree).expect("fit");
+            let tree = policy.tree();
+            table.push_row(vec![
+                city.name().into(),
+                n.to_string(),
+                tree.node_count().to_string(),
+                tree.leaf_count().to_string(),
+                tree.depth().to_string(),
+            ]);
+        }
+    }
+
+    table.emit("fig7_tree_size", &options);
+    println!("\npaper's observation: tree size converges later than control performance (compare Fig. 6),");
+    println!("so there is no definitive relationship between DT size and control quality.");
+}

@@ -1,0 +1,62 @@
+//! Table 2 — verification results for the two cities.
+//!
+//! For each city: extract a decision-tree policy, run the offline
+//! verification (Algorithm 1 + probabilistic criterion #1), and print
+//! the same five rows the paper tabulates.
+//!
+//! ```sh
+//! cargo run --release -p hvac-bench --bin table2_verification [--paper] [--csv]
+//! ```
+
+use hvac_bench::{build_artifacts, fmt, parse_options, City, Table};
+
+fn main() {
+    let options = parse_options();
+
+    let mut table = Table::new(
+        "Table 2: verification results",
+        &["metric", "Pittsburgh", "Tucson"],
+    );
+
+    let reports: Vec<_> = City::BOTH
+        .iter()
+        .map(|&city| build_artifacts(city, options.scale).report)
+        .collect();
+
+    table.push_row(vec![
+        "Total No. of nodes".into(),
+        reports[0].total_nodes.to_string(),
+        reports[1].total_nodes.to_string(),
+    ]);
+    table.push_row(vec![
+        "No. of leaf nodes (unique path)".into(),
+        reports[0].leaf_nodes.to_string(),
+        reports[1].leaf_nodes.to_string(),
+    ]);
+    table.push_row(vec![
+        "Safe probability estimated by crit. #1".into(),
+        format!("{}%", fmt(100.0 * reports[0].criterion_1.probability(), 1)),
+        format!("{}%", fmt(100.0 * reports[1].criterion_1.probability(), 1)),
+    ]);
+    table.push_row(vec![
+        "Wilson 95% lower bound on crit. #1".into(),
+        format!("{}%", fmt(100.0 * reports[0].criterion_1.wilson_interval(1.96).0, 1)),
+        format!("{}%", fmt(100.0 * reports[1].criterion_1.wilson_interval(1.96).0, 1)),
+    ]);
+    table.push_row(vec![
+        "No. of nodes corrected by crit. #2".into(),
+        reports[0].corrected_criterion_2.to_string(),
+        reports[1].corrected_criterion_2.to_string(),
+    ]);
+    table.push_row(vec![
+        "No. of nodes corrected by crit. #3".into(),
+        reports[0].corrected_criterion_3.to_string(),
+        reports[1].corrected_criterion_3.to_string(),
+    ]);
+
+    table.emit("table2_verification", &options);
+
+    println!("\npaper (for reference): nodes 1199/3291, leaves 599/1646, safe 94.6%/95.1%, corrected #2 0/0, corrected #3 0/88");
+    println!("expected shape: high (>90%) crit.#1 safe probability in both cities;");
+    println!("few or zero corrections, with the warmer/sunnier city more likely to need them.");
+}

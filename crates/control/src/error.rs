@@ -1,0 +1,70 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for controller construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// A planning hyperparameter was zero or otherwise unusable.
+    BadPlannerConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The decision tree's feature count does not match the policy-input
+    /// dimension.
+    FeatureMismatch {
+        /// Features the tree expects.
+        tree: usize,
+        /// Features the environment provides.
+        env: usize,
+    },
+    /// The decision tree's class count does not match the action space.
+    ClassMismatch {
+        /// Classes the tree produces.
+        tree: usize,
+        /// Actions in the action space.
+        actions: usize,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::BadPlannerConfig { name, value } => {
+                write!(f, "bad planner configuration: {name} = {value}")
+            }
+            ControlError::FeatureMismatch { tree, env } => {
+                write!(f, "tree expects {tree} features but the environment provides {env}")
+            }
+            ControlError::ClassMismatch { tree, actions } => {
+                write!(f, "tree has {tree} classes but the action space has {actions}")
+            }
+        }
+    }
+}
+
+impl Error for ControlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let errs = [
+            ControlError::BadPlannerConfig {
+                name: "samples",
+                value: 0.0,
+            },
+            ControlError::FeatureMismatch { tree: 4, env: 6 },
+            ControlError::ClassMismatch { tree: 10, actions: 90 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

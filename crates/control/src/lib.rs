@@ -1,0 +1,36 @@
+//! HVAC controllers: the paper's baselines and its decision-tree policy.
+//!
+//! Four controller families appear in the paper's evaluation (Fig. 4,
+//! Table 3):
+//!
+//! | Paper name      | Type                                   | Here |
+//! |-----------------|----------------------------------------|------|
+//! | default \[12\]    | rule-based occupancy schedule          | [`RuleBasedController`] |
+//! | MBRL \[9\]        | random-shooting MPC over a learned MLP | [`RandomShootingController`] |
+//! | CLUE \[1\]        | uncertainty-gated MBRL with fallback   | [`ClueController`] |
+//! | DT (ours)       | extracted decision-tree policy         | [`DtPolicy`] |
+//!
+//! An MPPI planner ([`MppiController`]) is included as well — the paper
+//! cites it as the other stochastic optimizer used by MBRL HVAC work.
+//!
+//! All controllers implement [`hvac_env::Policy`], so any of them can be
+//! dropped into [`hvac_env::run_episode`] or the benchmark harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clue;
+pub mod dt_policy;
+pub mod error;
+pub mod mppi;
+pub mod planner;
+pub mod random_shooting;
+pub mod rule_based;
+
+pub use clue::{ClueConfig, ClueController};
+pub use dt_policy::DtPolicy;
+pub use error::ControlError;
+pub use mppi::{MppiConfig, MppiController};
+pub use planner::{evaluate_sequence, persistence_rollout, PlanningConfig, Predictor};
+pub use random_shooting::{RandomShootingConfig, RandomShootingController};
+pub use rule_based::RuleBasedController;

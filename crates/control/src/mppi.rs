@@ -1,0 +1,259 @@
+//! Model Predictive Path Integral (MPPI) control.
+//!
+//! The second stochastic optimizer the paper's MBRL background cites
+//! (Section 2.1). MPPI keeps a nominal action sequence, perturbs it with
+//! Gaussian noise, weights the perturbed rollouts by the softmax of
+//! their returns (temperature λ), and executes the first action of the
+//! weighted mean. Like random shooting it is stochastic — and therefore
+//! another instance of the reliability problem the paper attacks.
+
+use crate::error::ControlError;
+use crate::planner::{evaluate_sequence, PlanningConfig, Predictor};
+use hvac_env::{Observation, Policy, SetpointAction};
+use hvac_stats::{sample_standard_normal, seeded_rng};
+use rand::rngs::StdRng;
+
+/// MPPI hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MppiConfig {
+    /// Number of perturbed rollouts per decision.
+    pub samples: usize,
+    /// Standard deviation of the setpoint perturbation, °C.
+    pub noise_std: f64,
+    /// Softmax temperature λ.
+    pub lambda: f64,
+    /// Shared planning settings.
+    pub planning: PlanningConfig,
+}
+
+impl MppiConfig {
+    /// Reference configuration (samples matched to the RS baseline).
+    pub fn paper() -> Self {
+        Self {
+            samples: 1000,
+            noise_std: 2.0,
+            lambda: 1.0,
+            planning: PlanningConfig::paper(),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadPlannerConfig`] for non-positive
+    /// samples, noise, or λ.
+    pub fn validate(&self) -> Result<(), ControlError> {
+        if self.samples == 0 {
+            return Err(ControlError::BadPlannerConfig {
+                name: "samples",
+                value: 0.0,
+            });
+        }
+        if !(self.noise_std > 0.0) {
+            return Err(ControlError::BadPlannerConfig {
+                name: "noise_std",
+                value: self.noise_std,
+            });
+        }
+        if !(self.lambda > 0.0) {
+            return Err(ControlError::BadPlannerConfig {
+                name: "lambda",
+                value: self.lambda,
+            });
+        }
+        self.planning.validate()
+    }
+}
+
+impl Default for MppiConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The MPPI controller.
+pub struct MppiController<P> {
+    predictor: P,
+    config: MppiConfig,
+    rng: StdRng,
+    /// Nominal continuous sequence: `(heating, cooling)` per step.
+    nominal: Vec<(f64, f64)>,
+}
+
+impl<P: Predictor> MppiController<P> {
+    /// Creates a controller around a trained predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadPlannerConfig`] for an invalid
+    /// configuration.
+    pub fn new(predictor: P, config: MppiConfig, seed: u64) -> Result<Self, ControlError> {
+        config.validate()?;
+        let nominal = vec![(20.0, 25.0); config.planning.horizon];
+        Ok(Self {
+            predictor,
+            config,
+            rng: seeded_rng(seed),
+            nominal,
+        })
+    }
+
+    /// One MPPI optimization; updates the nominal sequence and returns
+    /// the first action.
+    pub fn plan(&mut self, obs: &Observation) -> SetpointAction {
+        let h = self.config.planning.horizon;
+        let k = self.config.samples;
+        let mut perturbed: Vec<Vec<(f64, f64)>> = Vec::with_capacity(k);
+        let mut returns = Vec::with_capacity(k);
+
+        for _ in 0..k {
+            let seq: Vec<(f64, f64)> = self
+                .nominal
+                .iter()
+                .map(|&(heat, cool)| {
+                    (
+                        heat + self.config.noise_std * sample_standard_normal(&mut self.rng),
+                        cool + self.config.noise_std * sample_standard_normal(&mut self.rng),
+                    )
+                })
+                .collect();
+            let actions: Vec<SetpointAction> = seq
+                .iter()
+                .map(|&(heat, cool)| SetpointAction::from_clamped(heat, cool))
+                .collect();
+            let ret = evaluate_sequence(&self.predictor, obs, &actions, &self.config.planning);
+            perturbed.push(seq);
+            returns.push(ret);
+        }
+
+        // Softmax weights on returns.
+        let max_ret = returns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = returns
+            .iter()
+            .map(|&r| ((r - max_ret) / self.config.lambda).exp())
+            .collect();
+        let weight_sum: f64 = weights.iter().sum();
+
+        let mut new_nominal = vec![(0.0, 0.0); h];
+        for (seq, w) in perturbed.iter().zip(&weights) {
+            for (n, &(heat, cool)) in new_nominal.iter_mut().zip(seq) {
+                n.0 += w * heat / weight_sum;
+                n.1 += w * cool / weight_sum;
+            }
+        }
+        self.nominal = new_nominal;
+
+        let (heat, cool) = self.nominal[0];
+        let action = SetpointAction::from_clamped(heat, cool);
+
+        // Receding horizon: shift the nominal left, repeat the tail.
+        self.nominal.rotate_left(1);
+        let last = *self.nominal.last().expect("horizon >= 1");
+        *self.nominal.last_mut().expect("horizon >= 1") = last;
+
+        action
+    }
+}
+
+impl<P: Predictor> Policy for MppiController<P> {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        self.plan(obs)
+    }
+
+    fn name(&self) -> &str {
+        "mbrl-mppi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::Disturbances;
+
+    struct Toy;
+    impl Predictor for Toy {
+        fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
+            let s = obs.zone_temperature;
+            let pull = 0.3 * (f64::from(action.heating()) - s).max(0.0)
+                - 0.3 * (s - f64::from(action.cooling())).max(0.0);
+            s + pull - 0.1
+        }
+    }
+
+    fn obs(temp: f64, occupied: bool) -> Observation {
+        Observation::new(
+            temp,
+            Disturbances {
+                occupant_count: if occupied { 4.0 } else { 0.0 },
+                ..Disturbances::default()
+            },
+        )
+    }
+
+    fn quick() -> MppiConfig {
+        MppiConfig {
+            samples: 120,
+            ..MppiConfig::paper()
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        for bad in [
+            MppiConfig { samples: 0, ..quick() },
+            MppiConfig { noise_std: 0.0, ..quick() },
+            MppiConfig { lambda: -1.0, ..quick() },
+        ] {
+            assert!(MppiController::new(Toy, bad, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn heats_cold_occupied_zone() {
+        let mut c = MppiController::new(Toy, quick(), 1).unwrap();
+        // Let the nominal sequence adapt over a few planning rounds.
+        let mut a = SetpointAction::off();
+        for _ in 0..5 {
+            a = c.plan(&obs(16.0, true));
+        }
+        assert!(a.heating() >= 19, "chose {a}");
+    }
+
+    #[test]
+    fn relaxes_when_unoccupied() {
+        let mut c = MppiController::new(Toy, quick(), 2).unwrap();
+        let mut a = SetpointAction::off();
+        for _ in 0..5 {
+            a = c.plan(&obs(21.0, false));
+        }
+        assert!(a.energy_proxy() <= 6.0, "chose {a}");
+    }
+
+    #[test]
+    fn stochastic_across_seeds() {
+        // A single MPPI step from the same nominal averages out much of
+        // the noise, so stochasticity is observed over a short receding-
+        // horizon run with a small sample count.
+        let noisy = MppiConfig {
+            samples: 30,
+            noise_std: 3.0,
+            ..MppiConfig::paper()
+        };
+        let o = obs(21.0, true);
+        let sequences: std::collections::HashSet<Vec<SetpointAction>> = (0..8)
+            .map(|seed| {
+                let mut c = MppiController::new(Toy, noisy, seed).unwrap();
+                (0..6).map(|_| c.plan(&o)).collect()
+            })
+            .collect();
+        assert!(sequences.len() > 1);
+    }
+
+    #[test]
+    fn named_and_stochastic() {
+        let c = MppiController::new(Toy, quick(), 0).unwrap();
+        assert_eq!(c.name(), "mbrl-mppi");
+        assert!(!c.is_deterministic());
+    }
+}

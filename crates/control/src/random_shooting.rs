@@ -1,0 +1,391 @@
+//! Random-shooting MPC — the paper's "MBRL \[9\]" baseline.
+//!
+//! At each step the controller samples `N` uniformly random action
+//! sequences of length `H` from the discrete action space, scores each
+//! by the discounted model-predicted return (Eq. 1), and executes the
+//! first action of the best sequence. With `N = 1000`, `H = 20` (the
+//! configuration validated in the paper's reference \[9\]) the decision is
+//! stochastic: rerunning the optimizer on the same input generally
+//! yields a different setpoint — the instability the paper's Fig. 1
+//! demonstrates and its decision-tree extraction removes.
+
+use crate::error::ControlError;
+use crate::planner::{evaluate_sequence, PlanningConfig, Predictor};
+use hvac_env::{ActionSpace, Observation, Policy, SetpointAction};
+use hvac_stats::{seeded_rng, split_seed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-shooting hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomShootingConfig {
+    /// Number of candidate sequences per decision (paper: 1000).
+    pub samples: usize,
+    /// Shared planning settings (horizon, discount, reward).
+    pub planning: PlanningConfig,
+    /// Worker threads for candidate evaluation. `1` (the default) runs
+    /// sequentially; larger values fan the samples out with crossbeam
+    /// scoped threads. Results are identical across thread counts —
+    /// each worker derives its own seed and the argmax merge is
+    /// deterministic by (return, worker, order).
+    pub threads: usize,
+}
+
+impl RandomShootingConfig {
+    /// The paper's configuration: `sample_number = 1000`, `horizon = 20`.
+    pub fn paper() -> Self {
+        Self {
+            samples: 1000,
+            planning: PlanningConfig::paper(),
+            threads: 1,
+        }
+    }
+
+    /// The paper's configuration with parallel candidate evaluation.
+    pub fn paper_parallel(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::paper()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadPlannerConfig`] for zero samples or an
+    /// invalid planning configuration.
+    pub fn validate(&self) -> Result<(), ControlError> {
+        if self.samples == 0 {
+            return Err(ControlError::BadPlannerConfig {
+                name: "samples",
+                value: 0.0,
+            });
+        }
+        if self.threads == 0 {
+            return Err(ControlError::BadPlannerConfig {
+                name: "threads",
+                value: 0.0,
+            });
+        }
+        self.planning.validate()
+    }
+}
+
+impl Default for RandomShootingConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The random-shooting MBRL controller.
+pub struct RandomShootingController<P> {
+    predictor: P,
+    config: RandomShootingConfig,
+    action_space: ActionSpace,
+    rng: StdRng,
+    scratch: Vec<SetpointAction>,
+}
+
+impl<P: Predictor + Sync> RandomShootingController<P> {
+    /// Creates a controller around a trained predictor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadPlannerConfig`] for an invalid
+    /// configuration.
+    pub fn new(predictor: P, config: RandomShootingConfig, seed: u64) -> Result<Self, ControlError> {
+        config.validate()?;
+        Ok(Self {
+            predictor,
+            config,
+            action_space: ActionSpace::new(),
+            rng: seeded_rng(seed),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> &RandomShootingConfig {
+        &self.config
+    }
+
+    /// Borrow the underlying predictor.
+    pub fn predictor(&self) -> &P {
+        &self.predictor
+    }
+
+    /// Runs one stochastic optimization and returns the chosen action.
+    /// Identical to [`Policy::decide`] but usable without the trait in
+    /// scope; the extraction stage calls this repeatedly to build the
+    /// Monte-Carlo action distribution `p(â)` of Section 3.2.1.
+    pub fn plan(&mut self, obs: &Observation) -> SetpointAction {
+        if self.config.threads > 1 {
+            return self.plan_parallel(obs);
+        }
+        let h = self.config.planning.horizon;
+        let n_actions = self.action_space.len();
+        let mut best_first = self.action_space.as_slice()[0];
+        let mut best_return = f64::NEG_INFINITY;
+
+        for _ in 0..self.config.samples {
+            self.scratch.clear();
+            for _ in 0..h {
+                let idx = self.rng.gen_range(0..n_actions);
+                self.scratch
+                    .push(self.action_space.as_slice()[idx]);
+            }
+            let ret = evaluate_sequence(
+                &self.predictor,
+                obs,
+                &self.scratch,
+                &self.config.planning,
+            );
+            if ret > best_return {
+                best_return = ret;
+                best_first = self.scratch[0];
+            }
+        }
+        best_first
+    }
+
+    /// Parallel candidate evaluation with crossbeam scoped threads.
+    ///
+    /// One RNG seed per worker is derived from the controller's main
+    /// RNG, so the parallel planner is just as reproducible as the
+    /// sequential one (though it samples a *different* candidate set —
+    /// the two paths are each deterministic, not identical to each
+    /// other).
+    fn plan_parallel(&mut self, obs: &Observation) -> SetpointAction {
+        let threads = self.config.threads;
+        let h = self.config.planning.horizon;
+        let base: u64 = self.rng.gen();
+        let per_worker = self.config.samples.div_ceil(threads);
+        let space = &self.action_space;
+        let predictor = &self.predictor;
+        let planning = self.config.planning;
+        let total = self.config.samples;
+
+        let results = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let mut rng = StdRng::seed_from_u64(split_seed(base, w as u64));
+                        let n_actions = space.len();
+                        let mut scratch = Vec::with_capacity(h);
+                        let mut best_first = space.as_slice()[0];
+                        let mut best_return = f64::NEG_INFINITY;
+                        let quota = per_worker.min(total.saturating_sub(w * per_worker));
+                        for _ in 0..quota {
+                            scratch.clear();
+                            for _ in 0..h {
+                                let idx = rng.gen_range(0..n_actions);
+                                scratch.push(space.as_slice()[idx]);
+                            }
+                            let ret = evaluate_sequence(predictor, obs, &scratch, &planning);
+                            if ret > best_return {
+                                best_return = ret;
+                                best_first = scratch[0];
+                            }
+                        }
+                        (best_return, best_first)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("planner worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope");
+
+        // Deterministic merge: strictly-greater keeps the earliest
+        // worker's winner on ties.
+        let mut best = (f64::NEG_INFINITY, space.as_slice()[0]);
+        for candidate in results {
+            if candidate.0 > best.0 {
+                best = candidate;
+            }
+        }
+        best.1
+    }
+
+    /// Runs the optimizer `runs` times and counts how often each action
+    /// is chosen (indexed by [`ActionSpace`] index) — the empirical
+    /// `p(â)` from which the extraction stage takes the mode.
+    pub fn action_distribution(&mut self, obs: &Observation, runs: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.action_space.len()];
+        for _ in 0..runs {
+            let a = self.plan(obs);
+            counts[self.action_space.index_of(a)] += 1;
+        }
+        counts
+    }
+
+    /// The most frequent action over `runs` optimizer invocations
+    /// (Section 3.2.1: "we define a* as the most frequent a in p(â)").
+    /// Ties break toward the lower action index, deterministically.
+    pub fn most_frequent_action(&mut self, obs: &Observation, runs: usize) -> SetpointAction {
+        let counts = self.action_distribution(obs, runs);
+        let mut best = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = i;
+            }
+        }
+        self.action_space
+            .action(best)
+            .expect("index from enumerate is valid")
+    }
+}
+
+impl<P: Predictor + Sync> Policy for RandomShootingController<P> {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        self.plan(obs)
+    }
+
+    fn name(&self) -> &str {
+        "mbrl-rs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::Disturbances;
+
+    /// Simple physics: heating setpoint pulls the zone up, cooling caps
+    /// it; energy costs make "off" attractive when empty.
+    struct Toy;
+    impl Predictor for Toy {
+        fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
+            let s = obs.zone_temperature;
+            let pull = 0.3 * (f64::from(action.heating()) - s).max(0.0)
+                - 0.3 * (s - f64::from(action.cooling())).max(0.0);
+            s + pull - 0.1 // slight passive cooling
+        }
+    }
+
+    fn obs(temp: f64, occupied: bool) -> Observation {
+        Observation::new(
+            temp,
+            Disturbances {
+                occupant_count: if occupied { 4.0 } else { 0.0 },
+                ..Disturbances::default()
+            },
+        )
+    }
+
+    fn quick_config() -> RandomShootingConfig {
+        RandomShootingConfig {
+            samples: 150,
+            ..RandomShootingConfig::paper()
+        }
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let config = RandomShootingConfig {
+            samples: 0,
+            ..quick_config()
+        };
+        assert!(RandomShootingController::new(Toy, config, 0).is_err());
+    }
+
+    #[test]
+    fn heats_cold_occupied_zone() {
+        let mut c = RandomShootingController::new(Toy, quick_config(), 1).unwrap();
+        let a = c.plan(&obs(16.0, true));
+        // Comfort range is [20, 23.5]: a cold zone needs a high heating
+        // setpoint.
+        assert!(a.heating() >= 20, "chose {a}");
+    }
+
+    #[test]
+    fn saves_energy_when_unoccupied() {
+        let mut c = RandomShootingController::new(Toy, quick_config(), 2).unwrap();
+        let a = c.plan(&obs(16.0, false));
+        // Unoccupied ⇒ w_e = 1 ⇒ any conditioning is pure cost.
+        assert!(a.energy_proxy() <= 4.0, "chose {a} with proxy {}", a.energy_proxy());
+    }
+
+    #[test]
+    fn decisions_are_stochastic_across_seeds() {
+        // The motivation experiment (Fig. 1): same observation, different
+        // optimizer randomness ⇒ varying setpoints.
+        let o = obs(21.0, true);
+        let actions: std::collections::HashSet<_> = (0..8)
+            .map(|seed| {
+                let mut c = RandomShootingController::new(Toy, quick_config(), seed).unwrap();
+                c.plan(&o)
+            })
+            .collect();
+        assert!(actions.len() > 1, "optimizer is suspiciously deterministic");
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let o = obs(21.0, true);
+        let run = |seed| {
+            let mut c = RandomShootingController::new(Toy, quick_config(), seed).unwrap();
+            (0..3).map(|_| c.plan(&o)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn action_distribution_sums_to_runs() {
+        let mut c = RandomShootingController::new(Toy, quick_config(), 3).unwrap();
+        let counts = c.action_distribution(&obs(21.0, true), 12);
+        assert_eq!(counts.iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn most_frequent_action_is_plausible() {
+        let mut c = RandomShootingController::new(Toy, quick_config(), 4).unwrap();
+        let a = c.most_frequent_action(&obs(15.0, true), 10);
+        assert!(a.heating() >= 19, "mode action {a} too cold");
+    }
+
+    #[test]
+    fn parallel_planning_gives_sensible_actions() {
+        let config = RandomShootingConfig {
+            samples: 160,
+            threads: 4,
+            ..RandomShootingConfig::paper()
+        };
+        let mut c = RandomShootingController::new(Toy, config, 9).unwrap();
+        let a = c.plan(&obs(16.0, true));
+        assert!(a.heating() >= 20, "parallel planner chose {a}");
+    }
+
+    #[test]
+    fn parallel_planning_is_reproducible() {
+        let config = RandomShootingConfig {
+            samples: 120,
+            threads: 3,
+            ..RandomShootingConfig::paper()
+        };
+        let run = |seed| {
+            let mut c = RandomShootingController::new(Toy, config, seed).unwrap();
+            (0..3).map(|_| c.plan(&obs(21.0, true))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let config = RandomShootingConfig {
+            threads: 0,
+            ..quick_config()
+        };
+        assert!(RandomShootingController::new(Toy, config, 0).is_err());
+    }
+
+    #[test]
+    fn policy_trait_not_deterministic() {
+        let c = RandomShootingController::new(Toy, quick_config(), 0).unwrap();
+        assert!(!c.is_deterministic());
+        assert_eq!(c.name(), "mbrl-rs");
+    }
+}

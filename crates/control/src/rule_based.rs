@@ -1,0 +1,152 @@
+//! The building's default rule-based controller.
+//!
+//! This is the paper's "default \[12\]" baseline: the static schedule
+//! shipped with Sinergym's 5Zone environment. While the zone is occupied
+//! it holds the comfort-range setpoints; while empty it sets back to the
+//! HVAC-off pair.
+
+use hvac_env::{ComfortRange, Observation, Policy, SetpointAction};
+
+/// Static comfort-range setpoints (optionally with night setback).
+///
+/// Sinergym's default RBC holds the seasonal comfort-range setpoints
+/// around the clock — which is exactly why it lands at the high-energy
+/// end of the paper's Fig. 4. [`RuleBasedController::with_setback`]
+/// builds the energy-saving variant that releases the setpoints while
+/// the building is empty.
+///
+/// # Example
+///
+/// ```
+/// use hvac_control::RuleBasedController;
+/// use hvac_env::{ComfortRange, Disturbances, Observation, Policy};
+///
+/// let mut ctl = RuleBasedController::new(ComfortRange::winter());
+/// let empty = Observation::new(18.0, Disturbances::default());
+/// // The Sinergym-style default conditions even when empty.
+/// assert_eq!(ctl.decide(&empty).heating(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleBasedController {
+    occupied_action: SetpointAction,
+    unoccupied_action: SetpointAction,
+}
+
+impl RuleBasedController {
+    /// The Sinergym-style default: comfort-range setpoints held
+    /// constantly, occupied or not. The bounds snap *into* the comfort
+    /// range on the integer grid (heating = ⌈z̲⌉, cooling = ⌊z̄⌋) so the
+    /// held band never pokes outside it.
+    pub fn new(comfort: ComfortRange) -> Self {
+        let hold = Self::comfort_hold_action(comfort);
+        Self {
+            occupied_action: hold,
+            unoccupied_action: hold,
+        }
+    }
+
+    /// A setback variant: comfort setpoints while occupied, HVAC-off
+    /// while empty.
+    pub fn with_setback(comfort: ComfortRange) -> Self {
+        Self {
+            occupied_action: Self::comfort_hold_action(comfort),
+            unoccupied_action: SetpointAction::off(),
+        }
+    }
+
+    /// The tightest legal setpoint pair inside the comfort range.
+    fn comfort_hold_action(comfort: ComfortRange) -> SetpointAction {
+        SetpointAction::from_clamped(comfort.lo().ceil(), comfort.hi().floor())
+    }
+
+    /// A schedule with explicit occupied/unoccupied actions.
+    pub fn with_actions(occupied: SetpointAction, unoccupied: SetpointAction) -> Self {
+        Self {
+            occupied_action: occupied,
+            unoccupied_action: unoccupied,
+        }
+    }
+
+    /// The action used while occupied.
+    pub fn occupied_action(&self) -> SetpointAction {
+        self.occupied_action
+    }
+
+    /// The action used while unoccupied.
+    pub fn unoccupied_action(&self) -> SetpointAction {
+        self.unoccupied_action
+    }
+}
+
+impl Policy for RuleBasedController {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        if obs.is_occupied() {
+            self.occupied_action
+        } else {
+            self.unoccupied_action
+        }
+    }
+
+    fn name(&self) -> &str {
+        "default"
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::Disturbances;
+
+    fn obs(occupied: bool) -> Observation {
+        Observation::new(
+            21.0,
+            Disturbances {
+                occupant_count: if occupied { 3.0 } else { 0.0 },
+                ..Disturbances::default()
+            },
+        )
+    }
+
+    #[test]
+    fn occupied_holds_comfort_setpoints() {
+        let mut c = RuleBasedController::new(ComfortRange::winter());
+        let a = c.decide(&obs(true));
+        assert_eq!(a.heating(), 20);
+        assert_eq!(a.cooling(), 23); // 23.5 floors to 23: inside the range
+    }
+
+    #[test]
+    fn default_holds_setpoints_around_the_clock() {
+        let mut c = RuleBasedController::new(ComfortRange::winter());
+        assert_eq!(c.decide(&obs(false)), c.decide(&obs(true)));
+    }
+
+    #[test]
+    fn setback_variant_releases_when_empty() {
+        let mut c = RuleBasedController::with_setback(ComfortRange::winter());
+        assert_eq!(c.decide(&obs(false)), SetpointAction::off());
+        assert_eq!(c.decide(&obs(true)).heating(), 20);
+    }
+
+    #[test]
+    fn custom_actions_respected() {
+        let occ = SetpointAction::new(22, 25).unwrap();
+        let un = SetpointAction::new(16, 29).unwrap();
+        let mut c = RuleBasedController::with_actions(occ, un);
+        assert_eq!(c.decide(&obs(true)), occ);
+        assert_eq!(c.decide(&obs(false)), un);
+        assert_eq!(c.occupied_action(), occ);
+        assert_eq!(c.unoccupied_action(), un);
+    }
+
+    #[test]
+    fn is_deterministic_and_named() {
+        let c = RuleBasedController::new(ComfortRange::winter());
+        assert!(c.is_deterministic());
+        assert_eq!(c.name(), "default");
+    }
+}

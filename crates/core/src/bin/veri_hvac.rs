@@ -1,0 +1,226 @@
+//! `veri-hvac` — command-line front end for the extraction/verification
+//! pipeline.
+//!
+//! ```text
+//! veri-hvac extract  --city pittsburgh --out-dir artifacts [--paper]
+//! veri-hvac verify   --policy artifacts/policy.dtree --model artifacts/model.dynmodel --city pittsburgh
+//! veri-hvac inspect  --policy artifacts/policy.dtree [--dot]
+//! veri-hvac simulate --policy artifacts/policy.dtree --city pittsburgh --days 7
+//! ```
+//!
+//! `extract` runs the paper's full procedure (Fig. 2) and writes the
+//! verified decision-tree policy plus the trained dynamics model as
+//! human-auditable text artifacts. `verify` re-runs offline verification
+//! on saved artifacts. `inspect` prints the policy's rules (or Graphviz
+//! DOT). `simulate` deploys a saved policy in the simulated building
+//! and reports energy/comfort metrics.
+
+use std::process::ExitCode;
+use veri_hvac::control::DtPolicy;
+use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
+use veri_hvac::env::space::feature;
+use veri_hvac::env::{run_episode, EnvConfig, HvacEnv};
+use veri_hvac::extract::NoiseAugmenter;
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
+use veri_hvac::verify::{verify_and_correct, VerificationConfig};
+
+const USAGE: &str = "\
+veri-hvac — interpretable & verifiable decision-tree HVAC control
+
+USAGE:
+  veri-hvac extract  --city <pittsburgh|tucson|new-york> [--out-dir DIR] [--paper]
+  veri-hvac verify   --policy FILE --model FILE --city <city> [--samples N]
+  veri-hvac inspect  --policy FILE [--dot]
+  veri-hvac simulate --policy FILE --city <city> [--days N]
+
+Artifacts are plain text (see hvac_dtree::serialize / hvac_dynamics::serialize).
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = if iter.peek().is_some_and(|v| !v.starts_with("--")) {
+                    iter.next()
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Self { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn env_config_for(city: &str) -> Result<EnvConfig, String> {
+    match city {
+        "pittsburgh" => Ok(EnvConfig::pittsburgh()),
+        "tucson" => Ok(EnvConfig::tucson()),
+        "new-york" | "new_york" => Ok(EnvConfig::new_york()),
+        other => Err(format!("unknown city {other:?} (try pittsburgh, tucson, new-york)")),
+    }
+}
+
+fn cmd_extract(args: &Args) -> Result<(), String> {
+    let city = args.flag("city").ok_or("extract requires --city")?;
+    let out_dir = args.flag("out-dir").unwrap_or("artifacts");
+    let env = env_config_for(city)?;
+    let config = if args.has("paper") {
+        PipelineConfig::paper_with_env(env)
+    } else {
+        PipelineConfig::quick(env)
+    };
+
+    eprintln!("running extraction pipeline for {city}…");
+    let artifacts = run_pipeline(&config).map_err(|e| e.to_string())?;
+    println!("{}", artifacts.report);
+    println!(
+        "dynamics model: {} transitions, validation RMSE {:.3} °C",
+        artifacts.historical.len(),
+        artifacts.model.validation_rmse()
+    );
+
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    let policy_path = format!("{out_dir}/policy.dtree");
+    let model_path = format!("{out_dir}/model.dynmodel");
+    std::fs::write(&policy_path, artifacts.policy.to_compact_string())
+        .map_err(|e| e.to_string())?;
+    std::fs::write(&model_path, artifacts.model.to_compact_string())
+        .map_err(|e| e.to_string())?;
+    println!("wrote {policy_path} and {model_path}");
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let policy_path = args.flag("policy").ok_or("verify requires --policy")?;
+    let model_path = args.flag("model").ok_or("verify requires --model")?;
+    let city = args.flag("city").ok_or("verify requires --city")?;
+    let samples: usize = args
+        .flag("samples")
+        .map(|v| v.parse().map_err(|_| "--samples must be a number"))
+        .transpose()?
+        .unwrap_or(2000);
+
+    let policy_text = std::fs::read_to_string(policy_path).map_err(|e| e.to_string())?;
+    let mut policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
+    let model_text = std::fs::read_to_string(model_path).map_err(|e| e.to_string())?;
+    let model = DynamicsModel::from_compact_string(&model_text).map_err(|e| e.to_string())?;
+
+    eprintln!("collecting input distribution for {city}…");
+    let env = env_config_for(city)?.with_episode_steps(7 * 96);
+    let historical = collect_historical_dataset(&env, 2, 0).map_err(|e| e.to_string())?;
+    let augmenter =
+        NoiseAugmenter::fit(historical.policy_inputs(), 0.01).map_err(|e| e.to_string())?;
+
+    let config = VerificationConfig {
+        samples,
+        ..VerificationConfig::paper()
+    };
+    let report =
+        verify_and_correct(&mut policy, &model, &augmenter, &config).map_err(|e| e.to_string())?;
+    println!("{report}");
+    println!(
+        "\nverdict: {}",
+        if report.verified() {
+            "VERIFIED (criterion #1 above threshold; #2/#3 corrected)"
+        } else {
+            "NOT VERIFIED (criterion #1 below threshold)"
+        }
+    );
+    if report.corrected_criterion_2 + report.corrected_criterion_3 > 0 {
+        let corrected_path = format!("{policy_path}.corrected");
+        std::fs::write(&corrected_path, policy.to_compact_string())
+            .map_err(|e| e.to_string())?;
+        println!("corrected policy written to {corrected_path}");
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let policy_path = args.flag("policy").ok_or("inspect requires --policy")?;
+    let policy_text = std::fs::read_to_string(policy_path).map_err(|e| e.to_string())?;
+    let policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
+    let tree = policy.tree();
+    eprintln!(
+        "{} nodes, {} leaves, depth {}",
+        tree.node_count(),
+        tree.leaf_count(),
+        tree.depth()
+    );
+    if args.has("dot") {
+        let class_names: Vec<String> =
+            policy.action_space().iter().map(|a| a.to_string()).collect();
+        let class_refs: Vec<&str> = class_names.iter().map(String::as_str).collect();
+        println!("{}", tree.to_dot(&feature::NAMES, &class_refs));
+    } else {
+        println!("{}", policy.to_text());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let policy_path = args.flag("policy").ok_or("simulate requires --policy")?;
+    let city = args.flag("city").ok_or("simulate requires --city")?;
+    let days: usize = args
+        .flag("days")
+        .map(|v| v.parse().map_err(|_| "--days must be a number"))
+        .transpose()?
+        .unwrap_or(7);
+
+    let policy_text = std::fs::read_to_string(policy_path).map_err(|e| e.to_string())?;
+    let mut policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
+    let env_config = env_config_for(city)?.with_episode_steps(days * 96);
+    let mut env = HvacEnv::new(env_config).map_err(|e| e.to_string())?;
+    eprintln!("simulating {days} January day(s) in {city}…");
+    let record = run_episode(&mut env, &mut policy).map_err(|e| e.to_string())?;
+    let m = &record.metrics;
+    println!("{m}");
+    println!(
+        "comfort rate {:.1}%   performance index {:.2}",
+        100.0 * m.comfort_rate(),
+        m.performance_index()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let result = match args.positional.first().map(String::as_str) {
+        Some("extract") => cmd_extract(&args),
+        Some("verify") => cmd_verify(&args),
+        Some("inspect") => cmd_inspect(&args),
+        Some("simulate") => cmd_simulate(&args),
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

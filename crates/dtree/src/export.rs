@@ -1,0 +1,158 @@
+//! Human-readable tree export.
+//!
+//! Interpretability is half of the paper's pitch: "since each decision
+//! node only compares with one element in the input vector, the tree is
+//! fully interpretable and knowledgeable to human experts"
+//! (Section 3.2.2). This module renders a fitted tree as indented text
+//! (for terminals and docs) and as Graphviz DOT (for figures like the
+//! paper's Fig. 2).
+
+use crate::tree::{DecisionTree, Node, NodeId};
+
+impl DecisionTree {
+    /// Renders the tree as indented text.
+    ///
+    /// `feature_names` and `class_names` are optional; indices are used
+    /// when a name is missing.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hvac_dtree::{DecisionTree, TreeConfig};
+    ///
+    /// # fn main() -> Result<(), hvac_dtree::TreeError> {
+    /// let t = DecisionTree::fit(
+    ///     &[vec![0.0], vec![1.0]],
+    ///     &[0, 1],
+    ///     2,
+    ///     &TreeConfig::default(),
+    /// )?;
+    /// let text = t.to_text(&["temp"], &["low", "high"]);
+    /// assert!(text.contains("temp"));
+    /// assert!(text.contains("low"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_text(&self, feature_names: &[&str], class_names: &[&str]) -> String {
+        let mut out = String::new();
+        self.render_text(0, 0, feature_names, class_names, &mut out);
+        out
+    }
+
+    fn render_text(
+        &self,
+        id: NodeId,
+        indent: usize,
+        feature_names: &[&str],
+        class_names: &[&str],
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(indent);
+        match &self.nodes[id] {
+            Node::Leaf { class, samples } => {
+                let name = class_names
+                    .get(*class)
+                    .map_or_else(|| format!("class {class}"), |s| (*s).to_string());
+                out.push_str(&format!("{pad}→ {name} ({samples} samples)\n"));
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let name = feature_names
+                    .get(*feature)
+                    .map_or_else(|| format!("x[{feature}]"), |s| (*s).to_string());
+                out.push_str(&format!("{pad}if {name} <= {threshold:.4}:\n"));
+                self.render_text(*left, indent + 1, feature_names, class_names, out);
+                out.push_str(&format!("{pad}else:\n"));
+                self.render_text(*right, indent + 1, feature_names, class_names, out);
+            }
+        }
+    }
+
+    /// Renders the tree in Graphviz DOT format.
+    pub fn to_dot(&self, feature_names: &[&str], class_names: &[&str]) -> String {
+        let mut out = String::from("digraph decision_tree {\n  node [shape=box];\n");
+        for (id, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Leaf { class, samples } => {
+                    let name = class_names
+                        .get(*class)
+                        .map_or_else(|| format!("class {class}"), |s| (*s).to_string());
+                    out.push_str(&format!(
+                        "  n{id} [label=\"{name}\\n{samples} samples\", style=filled, fillcolor=lightgray];\n"
+                    ));
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let name = feature_names
+                        .get(*feature)
+                        .map_or_else(|| format!("x[{feature}]"), |s| (*s).to_string());
+                    out.push_str(&format!("  n{id} [label=\"{name} <= {threshold:.4}\"];\n"));
+                    out.push_str(&format!("  n{id} -> n{left} [label=\"yes\"];\n"));
+                    out.push_str(&format!("  n{id} -> n{right} [label=\"no\"];\n"));
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{DecisionTree, TreeConfig};
+
+    fn fitted() -> DecisionTree {
+        DecisionTree::fit(
+            &[vec![0.0, 5.0], vec![1.0, 5.0], vec![0.0, 9.0], vec![1.0, 9.0]],
+            &[0, 1, 0, 1],
+            2,
+            &TreeConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn text_uses_names() {
+        let t = fitted();
+        let s = t.to_text(&["a", "b"], &["no", "yes"]);
+        assert!(s.contains("if a <= 0.5"));
+        assert!(s.contains("→ no"));
+        assert!(s.contains("→ yes"));
+    }
+
+    #[test]
+    fn text_falls_back_to_indices() {
+        let t = fitted();
+        let s = t.to_text(&[], &[]);
+        assert!(s.contains("x[0]"));
+        assert!(s.contains("class 0"));
+    }
+
+    #[test]
+    fn dot_is_wellformed() {
+        let t = fitted();
+        let s = t.to_dot(&["a", "b"], &["no", "yes"]);
+        assert!(s.starts_with("digraph"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("n0 -> n"));
+        // One declaration per node.
+        for id in 0..t.node_count() {
+            assert!(s.contains(&format!("n{id} [label=")));
+        }
+    }
+
+    #[test]
+    fn single_leaf_text() {
+        let t = DecisionTree::fit(&[vec![1.0]], &[0], 1, &TreeConfig::default()).unwrap();
+        let s = t.to_text(&["x"], &["only"]);
+        assert_eq!(s.trim(), "→ only (1 samples)");
+    }
+}

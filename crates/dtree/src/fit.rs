@@ -1,0 +1,458 @@
+//! CART fitting (Gini impurity, axis-aligned splits).
+//!
+//! The algorithm is the classic one the paper cites (Loh, "Classification
+//! and regression trees"): at each node, scan every feature's sorted
+//! values, evaluate the Gini impurity decrease of every midpoint
+//! threshold, and greedily take the best split. Ties break toward the
+//! lower feature index and lower threshold so fitting is fully
+//! deterministic — a property the reproduction relies on for bitwise
+//! reproducibility of the extracted policy.
+
+use crate::error::TreeError;
+use crate::tree::{DecisionTree, Node, TreeConfig};
+
+struct FitContext<'a> {
+    inputs: &'a [Vec<f64>],
+    labels: &'a [usize],
+    n_classes: usize,
+    config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Fits a classification tree on `(inputs, labels)`.
+    ///
+    /// `labels` must be in `0..n_classes`. The paper's configuration is
+    /// [`TreeConfig::default`] (unbounded depth, scikit-learn default
+    /// stopping).
+    ///
+    /// # Errors
+    ///
+    /// Returns dataset-shape errors ([`TreeError::EmptyDataset`],
+    /// [`TreeError::LengthMismatch`], [`TreeError::RaggedInputs`],
+    /// [`TreeError::NanFeature`], [`TreeError::LabelOutOfRange`],
+    /// [`TreeError::NoClasses`]) and configuration errors
+    /// ([`TreeError::BadConfig`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hvac_dtree::{DecisionTree, TreeConfig};
+    ///
+    /// # fn main() -> Result<(), hvac_dtree::TreeError> {
+    /// let inputs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
+    /// let labels = vec![0, 1, 1, 0]; // XOR — needs two levels of splits
+    /// let tree = DecisionTree::fit(&inputs, &labels, 2, &TreeConfig::default())?;
+    /// for (x, &y) in inputs.iter().zip(&labels) {
+    ///     assert_eq!(tree.predict(x)?, y);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn fit(
+        inputs: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        config: &TreeConfig,
+    ) -> Result<Self, TreeError> {
+        config.validate()?;
+        if n_classes == 0 {
+            return Err(TreeError::NoClasses);
+        }
+        if inputs.is_empty() {
+            return Err(TreeError::EmptyDataset);
+        }
+        if inputs.len() != labels.len() {
+            return Err(TreeError::LengthMismatch {
+                inputs: inputs.len(),
+                labels: labels.len(),
+            });
+        }
+        let n_features = inputs[0].len();
+        if n_features == 0 {
+            return Err(TreeError::RaggedInputs {
+                expected: 1,
+                got: 0,
+                row: 0,
+            });
+        }
+        for (row, x) in inputs.iter().enumerate() {
+            if x.len() != n_features {
+                return Err(TreeError::RaggedInputs {
+                    expected: n_features,
+                    got: x.len(),
+                    row,
+                });
+            }
+            for (feature, v) in x.iter().enumerate() {
+                if v.is_nan() {
+                    return Err(TreeError::NanFeature { row, feature });
+                }
+            }
+        }
+        for &label in labels {
+            if label >= n_classes {
+                return Err(TreeError::LabelOutOfRange { label, n_classes });
+            }
+        }
+
+        let ctx = FitContext {
+            inputs,
+            labels,
+            n_classes,
+            config: *config,
+        };
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features,
+            n_classes,
+        };
+        let indices: Vec<usize> = (0..inputs.len()).collect();
+        build(&ctx, &mut tree, &indices, 0);
+        Ok(tree)
+    }
+}
+
+/// Gini impurity of a class-count vector with `total` samples.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Majority class, lowest-index tie-break.
+fn majority(counts: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    impurity: f64,
+}
+
+/// Finds the best Gini split of `indices`, or `None` if no valid split
+/// exists (all features constant, or min_samples_leaf unachievable).
+fn best_split(ctx: &FitContext<'_>, indices: &[usize]) -> Option<BestSplit> {
+    let n = indices.len();
+    let min_leaf = ctx.config.min_samples_leaf;
+    let mut best: Option<BestSplit> = None;
+
+    let mut sorted = indices.to_vec();
+    for feature in 0..ctx.inputs[indices[0]].len() {
+        sorted.sort_by(|&a, &b| {
+            ctx.inputs[a][feature]
+                .partial_cmp(&ctx.inputs[b][feature])
+                .expect("NaNs rejected at fit entry")
+        });
+
+        let mut left_counts = vec![0usize; ctx.n_classes];
+        let mut right_counts = vec![0usize; ctx.n_classes];
+        for &i in &sorted {
+            right_counts[ctx.labels[i]] += 1;
+        }
+
+        for k in 0..n - 1 {
+            let i = sorted[k];
+            left_counts[ctx.labels[i]] += 1;
+            right_counts[ctx.labels[i]] -= 1;
+
+            let v = ctx.inputs[i][feature];
+            let v_next = ctx.inputs[sorted[k + 1]][feature];
+            if v == v_next {
+                continue; // cannot split between equal values
+            }
+            let n_left = k + 1;
+            let n_right = n - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let impurity = (n_left as f64 * gini(&left_counts, n_left)
+                + n_right as f64 * gini(&right_counts, n_right))
+                / n as f64;
+            let threshold = 0.5 * (v + v_next);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    impurity < b.impurity - 1e-15
+                        || ((impurity - b.impurity).abs() <= 1e-15
+                            && (feature, threshold) < (b.feature, b.threshold))
+                }
+            };
+            if better {
+                best = Some(BestSplit {
+                    feature,
+                    threshold,
+                    impurity,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Recursively grows the tree; returns the id of the created node.
+fn build(ctx: &FitContext<'_>, tree: &mut DecisionTree, indices: &[usize], depth: usize) -> usize {
+    let mut counts = vec![0usize; ctx.n_classes];
+    for &i in indices.iter() {
+        counts[ctx.labels[i]] += 1;
+    }
+    let node_impurity = gini(&counts, indices.len());
+
+    let stop = node_impurity == 0.0
+        || indices.len() < ctx.config.min_samples_split
+        || ctx.config.max_depth.is_some_and(|d| depth >= d);
+
+    if !stop {
+        if let Some(split) = best_split(ctx, indices) {
+            // Accept any valid split of an impure node — including
+            // zero-gain splits, matching scikit-learn (XOR-like data
+            // needs a zero-gain first split to become separable below).
+            if split.impurity <= node_impurity + 1e-15 {
+                let id = tree.nodes.len();
+                tree.nodes.push(Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left: 0,  // patched below
+                    right: 0, // patched below
+                });
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| ctx.inputs[i][split.feature] <= split.threshold);
+                let left = build(ctx, tree, &left_idx, depth + 1);
+                let right = build(ctx, tree, &right_idx, depth + 1);
+                if let Node::Split {
+                    left: l, right: r, ..
+                } = &mut tree.nodes[id]
+                {
+                    *l = left;
+                    *r = right;
+                }
+                return id;
+            }
+        }
+    }
+
+    let id = tree.nodes.len();
+    tree.nodes.push(Node::Leaf {
+        class: majority(&counts),
+        samples: indices.len(),
+    });
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeConfig;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gini_values() {
+        assert_eq!(gini(&[4, 0], 4), 0.0);
+        assert!((gini(&[2, 2], 4) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[0, 0], 0), 0.0);
+    }
+
+    #[test]
+    fn majority_tie_breaks_low() {
+        assert_eq!(majority(&[2, 2, 1]), 0);
+        assert_eq!(majority(&[1, 3, 3]), 1);
+    }
+
+    #[test]
+    fn fits_pure_dataset_to_single_leaf() {
+        let inputs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let labels = vec![1, 1, 1];
+        let t = DecisionTree::fit(&inputs, &labels, 2, &TreeConfig::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[99.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn fits_xor_perfectly() {
+        let inputs = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ];
+        let labels = vec![0, 1, 1, 0];
+        let t = DecisionTree::fit(&inputs, &labels, 2, &TreeConfig::default()).unwrap();
+        for (x, &y) in inputs.iter().zip(&labels) {
+            assert_eq!(t.predict(x).unwrap(), y);
+        }
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_caps_growth() {
+        let inputs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..64).map(|i| (i % 4) as usize).collect();
+        let config = TreeConfig {
+            max_depth: Some(2),
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&inputs, &labels, 4, &config).unwrap();
+        assert!(t.depth() <= 2);
+        assert!(t.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let inputs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| usize::from(i >= 9)).collect();
+        let config = TreeConfig {
+            min_samples_leaf: 3,
+            ..TreeConfig::default()
+        };
+        let t = DecisionTree::fit(&inputs, &labels, 2, &config).unwrap();
+        // Splitting off the single positive sample is forbidden.
+        for leaf in t.leaves() {
+            if let Node::Leaf { samples, .. } = t.node(leaf.node_id()).unwrap() {
+                assert!(*samples >= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_inputs_conflicting_labels_dont_loop() {
+        let inputs = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let labels = vec![0, 1, 0];
+        let t = DecisionTree::fit(&inputs, &labels, 2, &TreeConfig::default()).unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[1.0]).unwrap(), 0); // majority
+    }
+
+    #[test]
+    fn rejects_bad_datasets() {
+        let config = TreeConfig::default();
+        assert!(matches!(
+            DecisionTree::fit(&[], &[], 2, &config),
+            Err(TreeError::EmptyDataset)
+        ));
+        assert!(DecisionTree::fit(&[vec![1.0]], &[0, 1], 2, &config).is_err());
+        assert!(DecisionTree::fit(&[vec![1.0], vec![1.0, 2.0]], &[0, 1], 2, &config).is_err());
+        assert!(DecisionTree::fit(&[vec![f64::NAN]], &[0], 2, &config).is_err());
+        assert!(DecisionTree::fit(&[vec![1.0]], &[5], 2, &config).is_err());
+        assert!(DecisionTree::fit(&[vec![1.0]], &[0], 0, &config).is_err());
+        assert!(DecisionTree::fit(&[Vec::new()], &[0], 1, &config).is_err());
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let inputs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i * 7 % 13) as f64, (i * 3 % 11) as f64])
+            .collect();
+        let labels: Vec<usize> = (0..50).map(|i| (i % 3) as usize).collect();
+        let a = DecisionTree::fit(&inputs, &labels, 3, &TreeConfig::default()).unwrap();
+        let b = DecisionTree::fit(&inputs, &labels, 3, &TreeConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn training_accuracy_is_perfect_on_separable_data() {
+        // Distinct inputs ⇒ a fully grown CART must reach 100% training
+        // accuracy.
+        let inputs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| (i % 5) as usize).collect();
+        let t = DecisionTree::fit(&inputs, &labels, 5, &TreeConfig::default()).unwrap();
+        for (x, &y) in inputs.iter().zip(&labels) {
+            assert_eq!(t.predict(x).unwrap(), y);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_training_accuracy_on_unique_inputs(
+            values in proptest::collection::hash_set(0i32..1000, 2..60),
+            seed in 0u64..1000,
+        ) {
+            let values: Vec<i32> = values.into_iter().collect();
+            let inputs: Vec<Vec<f64>> = values.iter().map(|&v| vec![f64::from(v)]).collect();
+            let labels: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .map(|(i, _)| ((i as u64 + seed) % 4) as usize)
+                .collect();
+            let t = DecisionTree::fit(&inputs, &labels, 4, &TreeConfig::default()).unwrap();
+            for (x, &y) in inputs.iter().zip(&labels) {
+                prop_assert_eq!(t.predict(x).unwrap(), y);
+            }
+        }
+
+        #[test]
+        fn prop_leaf_boxes_partition(
+            xs in proptest::collection::vec(-10.0f64..10.0, 4..40),
+            probe in proptest::collection::vec(-12.0f64..12.0, 10),
+        ) {
+            let inputs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            let labels: Vec<usize> = xs.iter().map(|&x| usize::from(x > 0.0)).collect();
+            let t = DecisionTree::fit(&inputs, &labels, 2, &TreeConfig::default()).unwrap();
+            let boxes = t.leaf_boxes();
+            for &p in &probe {
+                let hits = boxes.iter().filter(|(_, b)| b.contains(&[p])).count();
+                prop_assert_eq!(hits, 1, "point {} in {} boxes", p, hits);
+            }
+        }
+
+        #[test]
+        fn prop_simplify_preserves_predictions(
+            xs in proptest::collection::vec(-10.0f64..10.0, 4..50),
+            edits in proptest::collection::vec((0usize..20, 0usize..3), 0..8),
+            probe in proptest::collection::vec(-12.0f64..12.0, 12),
+        ) {
+            let inputs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            let labels: Vec<usize> = xs.iter().map(|&x| (x.abs() as usize) % 3).collect();
+            let mut t = DecisionTree::fit(&inputs, &labels, 3, &TreeConfig::default()).unwrap();
+            // Random leaf edits create same-class siblings.
+            for (which, class) in edits {
+                let leaves = t.leaves();
+                let leaf = leaves[which % leaves.len()];
+                t.set_leaf_class(leaf, class).unwrap();
+            }
+            let reference = t.clone();
+            t.simplify();
+            for &p in &probe {
+                prop_assert_eq!(
+                    t.predict(&[p]).unwrap(),
+                    reference.predict(&[p]).unwrap()
+                );
+            }
+            // Boxes still partition after compaction.
+            let boxes = t.leaf_boxes();
+            for &p in &probe {
+                let hits = boxes.iter().filter(|(_, b)| b.contains(&[p])).count();
+                prop_assert_eq!(hits, 1);
+            }
+        }
+
+        #[test]
+        fn prop_prediction_agrees_with_box_membership(
+            xs in proptest::collection::vec(-10.0f64..10.0, 4..40),
+            probe in -12.0f64..12.0,
+        ) {
+            let inputs: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+            let labels: Vec<usize> = xs.iter().map(|&x| usize::from(x > 0.0)).collect();
+            let t = DecisionTree::fit(&inputs, &labels, 2, &TreeConfig::default()).unwrap();
+            let leaf = t.apply(&[probe]).unwrap();
+            let b = t.leaf_box(leaf).unwrap();
+            prop_assert!(b.contains(&[probe]));
+        }
+    }
+}

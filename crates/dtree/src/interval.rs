@@ -1,0 +1,304 @@
+//! Intervals and axis-aligned boxes over the input space.
+//!
+//! A decision path is a conjunction of rules `x[f] ≤ t` / `x[f] > t`, so
+//! the set of inputs reaching a leaf is an axis-aligned box whose `f`-th
+//! side is a half-open interval `(lo, hi]`. These boxes are the central
+//! object of the paper's Algorithm 1 ("compute the union of the 'boxes'
+//! on the values of the input vectors handled by the decision nodes
+//! along the path").
+
+/// A half-open interval `(lo, hi]` over one feature, with infinite ends
+/// meaning "unbounded".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Exclusive lower end (−∞ for unbounded).
+    pub lo: f64,
+    /// Inclusive upper end (+∞ for unbounded).
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The full real line.
+    pub fn all() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// The interval `(lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// Whether `x` lies in the interval.
+    pub fn contains(&self, x: f64) -> bool {
+        x > self.lo && x <= self.hi
+    }
+
+    /// Whether the interval contains no points.
+    pub fn is_empty(&self) -> bool {
+        !(self.lo < self.hi)
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Tightens the upper end to `min(hi, t)` — the effect of following
+    /// the `x ≤ t` branch.
+    pub fn clamp_upper(&mut self, t: f64) {
+        self.hi = self.hi.min(t);
+    }
+
+    /// Tightens the lower end to `max(lo, t)` — the effect of following
+    /// the `x > t` branch.
+    pub fn clamp_lower(&mut self, t: f64) {
+        self.lo = self.lo.max(t);
+    }
+
+    /// Whether this interval lies entirely above `t` (every point `> t`).
+    pub fn entirely_above(&self, t: f64) -> bool {
+        !self.is_empty() && self.lo >= t
+    }
+
+    /// Whether this interval lies entirely at-or-below `t`.
+    pub fn entirely_at_most(&self, t: f64) -> bool {
+        !self.is_empty() && self.hi <= t
+    }
+
+    /// Whether the open region `(t, ∞)` overlaps this interval.
+    pub fn overlaps_above(&self, t: f64) -> bool {
+        !self.is_empty() && self.hi > t
+    }
+
+    /// Whether the open region `(−∞, t)` overlaps this interval.
+    pub fn overlaps_below(&self, t: f64) -> bool {
+        !self.is_empty() && self.lo < t
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.4}, {:.4}]", self.lo, self.hi)
+    }
+}
+
+/// An axis-aligned box: one [`Interval`] per input feature. The set of
+/// inputs handled by one leaf of a decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputBox {
+    sides: Vec<Interval>,
+}
+
+impl InputBox {
+    /// The unbounded box over `dims` features (`C = ℝ^|X|` in
+    /// Algorithm 1, line 3).
+    pub fn unbounded(dims: usize) -> Self {
+        Self {
+            sides: vec![Interval::all(); dims],
+        }
+    }
+
+    /// Number of feature dimensions.
+    pub fn dims(&self) -> usize {
+        self.sides.len()
+    }
+
+    /// The interval of feature `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn side(&self, f: usize) -> &Interval {
+        &self.sides[f]
+    }
+
+    /// Mutable access to the interval of feature `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn side_mut(&mut self, f: usize) -> &mut Interval {
+        &mut self.sides[f]
+    }
+
+    /// Whether the box contains the point `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dims()`.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), self.dims(), "dimension mismatch");
+        self.sides.iter().zip(x).all(|(s, &v)| s.contains(v))
+    }
+
+    /// Whether any side is empty (the box contains no points).
+    pub fn is_empty(&self) -> bool {
+        self.sides.iter().any(Interval::is_empty)
+    }
+
+    /// Intersection with another box of the same dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn intersect(&self, other: &InputBox) -> InputBox {
+        assert_eq!(self.dims(), other.dims(), "dimension mismatch");
+        InputBox {
+            sides: self
+                .sides
+                .iter()
+                .zip(&other.sides)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        }
+    }
+
+    /// A representative interior point of the box, clamping unbounded
+    /// ends to `fallback_lo`/`fallback_hi`. Useful for sampling inputs
+    /// that reach a specific leaf.
+    pub fn representative(&self, fallback_lo: f64, fallback_hi: f64) -> Vec<f64> {
+        self.sides
+            .iter()
+            .map(|s| {
+                let lo = if s.lo.is_finite() { s.lo } else { fallback_lo };
+                let hi = if s.hi.is_finite() { s.hi } else { fallback_hi };
+                if lo < hi {
+                    0.5 * (lo + hi)
+                } else {
+                    hi
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn interval_contains_half_open() {
+        let i = Interval::new(0.0, 1.0);
+        assert!(!i.contains(0.0));
+        assert!(i.contains(0.5));
+        assert!(i.contains(1.0));
+        assert!(!i.contains(1.1));
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Interval::new(1.0, 1.0).is_empty());
+        assert!(Interval::new(2.0, 1.0).is_empty());
+        assert!(!Interval::all().is_empty());
+    }
+
+    #[test]
+    fn clamps_tighten() {
+        let mut i = Interval::all();
+        i.clamp_upper(5.0);
+        i.clamp_lower(1.0);
+        assert_eq!(i, Interval::new(1.0, 5.0));
+        i.clamp_upper(10.0); // looser: no effect
+        assert_eq!(i.hi, 5.0);
+    }
+
+    #[test]
+    fn region_predicates() {
+        let i = Interval::new(2.0, 4.0);
+        assert!(i.entirely_above(2.0));
+        assert!(i.entirely_above(1.0));
+        assert!(!i.entirely_above(3.0));
+        assert!(i.entirely_at_most(4.0));
+        assert!(!i.entirely_at_most(3.0));
+        assert!(i.overlaps_above(3.0));
+        assert!(!i.overlaps_above(4.0));
+        assert!(i.overlaps_below(3.0));
+        assert!(!i.overlaps_below(2.0));
+    }
+
+    #[test]
+    fn box_contains_point() {
+        let mut b = InputBox::unbounded(2);
+        b.side_mut(0).clamp_upper(1.0);
+        b.side_mut(1).clamp_lower(0.0);
+        assert!(b.contains(&[0.5, 0.5]));
+        assert!(!b.contains(&[1.5, 0.5]));
+        assert!(!b.contains(&[0.5, -0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn box_contains_wrong_dims_panics() {
+        InputBox::unbounded(2).contains(&[1.0]);
+    }
+
+    #[test]
+    fn box_intersection() {
+        let mut a = InputBox::unbounded(1);
+        a.side_mut(0).clamp_upper(5.0);
+        let mut b = InputBox::unbounded(1);
+        b.side_mut(0).clamp_lower(3.0);
+        let c = a.intersect(&b);
+        assert_eq!(*c.side(0), Interval::new(3.0, 5.0));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn empty_box_after_contradictory_rules() {
+        let mut b = InputBox::unbounded(1);
+        b.side_mut(0).clamp_upper(1.0);
+        b.side_mut(0).clamp_lower(2.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn representative_is_inside_bounded_box() {
+        let mut b = InputBox::unbounded(2);
+        b.side_mut(0).clamp_lower(0.0);
+        b.side_mut(0).clamp_upper(2.0);
+        b.side_mut(1).clamp_lower(-1.0);
+        b.side_mut(1).clamp_upper(1.0);
+        let p = b.representative(-100.0, 100.0);
+        assert!(b.contains(&p));
+    }
+
+    #[test]
+    fn representative_uses_fallbacks_when_unbounded() {
+        let b = InputBox::unbounded(1);
+        let p = b.representative(-10.0, 10.0);
+        assert_eq!(p, vec![0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersect_subset(
+            alo in -10.0f64..10.0, ahi in -10.0f64..10.0,
+            blo in -10.0f64..10.0, bhi in -10.0f64..10.0,
+            x in -12.0f64..12.0,
+        ) {
+            let a = Interval::new(alo, ahi);
+            let b = Interval::new(blo, bhi);
+            let c = a.intersect(&b);
+            prop_assert_eq!(c.contains(x), a.contains(x) && b.contains(x));
+        }
+
+        #[test]
+        fn prop_interval_display_parses_shape(lo in -5.0f64..0.0, hi in 0.0f64..5.0) {
+            let s = Interval::new(lo, hi).to_string();
+            prop_assert!(s.starts_with('(') && s.ends_with(']'));
+        }
+    }
+}

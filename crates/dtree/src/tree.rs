@@ -1,0 +1,803 @@
+//! Tree data structure, prediction and introspection.
+
+use crate::error::TreeError;
+use crate::interval::InputBox;
+
+/// Identifier of any node in a tree (index into the node arena; the root
+/// is always node 0).
+pub type NodeId = usize;
+
+/// Identifier of a leaf node. A thin wrapper so APIs that require leaves
+/// (leaf editing, leaf boxes) are type-checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeafId(pub(crate) NodeId);
+
+impl LeafId {
+    /// The underlying node id.
+    pub fn node_id(&self) -> NodeId {
+        self.0
+    }
+}
+
+/// One node of a fitted tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// An internal decision node: `x[feature] ≤ threshold` goes left,
+    /// otherwise right.
+    Split {
+        /// Feature compared by this node.
+        feature: usize,
+        /// Comparison threshold.
+        threshold: f64,
+        /// Child for `x[feature] ≤ threshold`.
+        left: NodeId,
+        /// Child for `x[feature] > threshold`.
+        right: NodeId,
+    },
+    /// A leaf holding the predicted class.
+    Leaf {
+        /// Predicted class id.
+        class: usize,
+        /// Training samples that landed in this leaf.
+        samples: usize,
+    },
+}
+
+/// Stopping criteria for CART fitting.
+///
+/// Defaults mirror scikit-learn's `DecisionTreeClassifier` defaults the
+/// paper relies on: unbounded depth, `min_samples_split = 2`,
+/// `min_samples_leaf = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum depth (`None` = unbounded, as in the paper).
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must retain.
+    pub min_samples_leaf: usize,
+}
+
+impl TreeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadConfig`] when `min_samples_split < 2` or
+    /// `min_samples_leaf < 1`.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        if self.min_samples_split < 2 {
+            return Err(TreeError::BadConfig {
+                what: "min_samples_split must be at least 2",
+            });
+        }
+        if self.min_samples_leaf < 1 {
+            return Err(TreeError::BadConfig {
+                what: "min_samples_leaf must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+/// A fitted CART classification tree.
+///
+/// Nodes live in an arena (`Vec<Node>`); the root is node 0. The tree is
+/// immutable after fitting except for [`DecisionTree::set_leaf_class`],
+/// which is exactly the edit Algorithm 1 performs on failed leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) n_features: usize,
+    pub(crate) n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Total number of nodes (the paper's Table 2 "Total No. of nodes").
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes (Table 2's "No. of leaf nodes (unique
+    /// path)").
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Maximum root-to-leaf depth (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: NodeId) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+
+    /// Borrow a node by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadNodeId`] for out-of-range ids.
+    pub fn node(&self, id: NodeId) -> Result<&Node, TreeError> {
+        self.nodes.get(id).ok_or(TreeError::BadNodeId {
+            id,
+            nodes: self.nodes.len(),
+        })
+    }
+
+    /// All leaf ids, in arena order (stable across calls).
+    pub fn leaves(&self) -> Vec<LeafId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match n {
+                Node::Leaf { .. } => Some(LeafId(i)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The class stored in a leaf.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadNodeId`] / [`TreeError::NotALeaf`] for
+    /// invalid ids.
+    pub fn leaf_class(&self, leaf: LeafId) -> Result<usize, TreeError> {
+        match self.node(leaf.0)? {
+            Node::Leaf { class, .. } => Ok(*class),
+            Node::Split { .. } => Err(TreeError::NotALeaf { id: leaf.0 }),
+        }
+    }
+
+    /// Rewrites the class of a leaf — the correction step of the paper's
+    /// Algorithm 1 ("we correct it by editing the setpoint in the failed
+    /// leaf node").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadClass`] when `class >= n_classes`, and
+    /// [`TreeError::NotALeaf`] / [`TreeError::BadNodeId`] for invalid
+    /// ids.
+    pub fn set_leaf_class(&mut self, leaf: LeafId, class: usize) -> Result<(), TreeError> {
+        if class >= self.n_classes {
+            return Err(TreeError::BadClass {
+                class,
+                n_classes: self.n_classes,
+            });
+        }
+        let n = self.nodes.len();
+        match self.nodes.get_mut(leaf.0) {
+            Some(Node::Leaf { class: c, .. }) => {
+                *c = class;
+                Ok(())
+            }
+            Some(Node::Split { .. }) => Err(TreeError::NotALeaf { id: leaf.0 }),
+            None => Err(TreeError::BadNodeId { id: leaf.0, nodes: n }),
+        }
+    }
+
+    /// Replaces a leaf with a decision node `x[feature] ≤ threshold`,
+    /// whose children are two fresh leaves carrying `left_class` and
+    /// `right_class`. Returns the new `(left, right)` leaf ids.
+    ///
+    /// This is the surgical edit used by occupancy-scoped verification
+    /// corrections: the unsafe subset of a leaf's box gets a corrected
+    /// action while the rest keeps the learned one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadNodeId`] / [`TreeError::NotALeaf`] for
+    /// invalid ids, [`TreeError::BadClass`] for out-of-range classes,
+    /// and [`TreeError::BadInputWidth`] if `feature` is not a valid
+    /// feature index.
+    pub fn split_leaf(
+        &mut self,
+        leaf: LeafId,
+        feature: usize,
+        threshold: f64,
+        left_class: usize,
+        right_class: usize,
+    ) -> Result<(LeafId, LeafId), TreeError> {
+        if feature >= self.n_features {
+            return Err(TreeError::BadInputWidth {
+                expected: self.n_features,
+                got: feature + 1,
+            });
+        }
+        for class in [left_class, right_class] {
+            if class >= self.n_classes {
+                return Err(TreeError::BadClass {
+                    class,
+                    n_classes: self.n_classes,
+                });
+            }
+        }
+        let samples = match self.node(leaf.0)? {
+            Node::Leaf { samples, .. } => *samples,
+            Node::Split { .. } => return Err(TreeError::NotALeaf { id: leaf.0 }),
+        };
+        let left = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            class: left_class,
+            samples,
+        });
+        let right = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            class: right_class,
+            samples,
+        });
+        self.nodes[leaf.0] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        Ok((LeafId(left), LeafId(right)))
+    }
+
+    /// Collapses redundant structure: any decision node whose two
+    /// children are leaves with the *same class* is replaced by a single
+    /// leaf (sample counts summed), repeatedly until a fixed point. The
+    /// arena is compacted, so node ids change.
+    ///
+    /// Returns the number of nodes removed. Predictions are unchanged
+    /// for every input (the collapsed split was unobservable).
+    ///
+    /// Redundant splits arise naturally from CART fitting zero-gain
+    /// splits and from verification corrections that rewrite sibling
+    /// leaves to the same action; simplifying afterwards keeps the
+    /// deployed tree minimal — which matters for the interpretability
+    /// story (fewer rules to audit).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hvac_dtree::{DecisionTree, TreeConfig};
+    ///
+    /// # fn main() -> Result<(), hvac_dtree::TreeError> {
+    /// let mut tree = DecisionTree::fit(
+    ///     &[vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+    ///     &[0, 1, 1, 0],
+    ///     2,
+    ///     &TreeConfig::default(),
+    /// )?;
+    /// // Rewrite every leaf to class 0: all splits become redundant.
+    /// for leaf in tree.leaves() {
+    ///     tree.set_leaf_class(leaf, 0)?;
+    /// }
+    /// let removed = tree.simplify();
+    /// assert!(removed > 0);
+    /// assert_eq!(tree.node_count(), 1);
+    /// assert_eq!(tree.predict(&[1.5])?, 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn simplify(&mut self) -> usize {
+        let before = self.nodes.len();
+
+        // Bottom-up collapse into a fresh arena. Children are emitted
+        // before their parent, then the parent decides whether to merge
+        // them.
+        fn rebuild(old: &[Node], id: NodeId, out: &mut Vec<Node>) -> NodeId {
+            match &old[id] {
+                Node::Leaf { class, samples } => {
+                    out.push(Node::Leaf {
+                        class: *class,
+                        samples: *samples,
+                    });
+                    out.len() - 1
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let new_left = rebuild(old, *left, out);
+                    let new_right = rebuild(old, *right, out);
+                    if let (
+                        Node::Leaf {
+                            class: lc,
+                            samples: ls,
+                        },
+                        Node::Leaf {
+                            class: rc,
+                            samples: rs,
+                        },
+                    ) = (&out[new_left], &out[new_right])
+                    {
+                        if lc == rc {
+                            let merged = Node::Leaf {
+                                class: *lc,
+                                samples: ls + rs,
+                            };
+                            // Both children were appended last (right
+                            // after left); drop them and emit the
+                            // merged leaf.
+                            out.truncate(new_left);
+                            out.push(merged);
+                            return out.len() - 1;
+                        }
+                    }
+                    out.push(Node::Split {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: new_left,
+                        right: new_right,
+                    });
+                    out.len() - 1
+                }
+            }
+        }
+
+        // The rebuild above emits the root last; our convention puts the
+        // root at index 0, so rebuild into a scratch arena and remap.
+        let mut scratch = Vec::with_capacity(self.nodes.len());
+        let root = rebuild(&self.nodes, 0, &mut scratch);
+        // Remap ids so the root is node 0 (stable order otherwise).
+        let mut order: Vec<NodeId> = Vec::with_capacity(scratch.len());
+        order.push(root);
+        let mut cursor = 0;
+        while cursor < order.len() {
+            if let Node::Split { left, right, .. } = &scratch[order[cursor]] {
+                order.push(*left);
+                order.push(*right);
+            }
+            cursor += 1;
+        }
+        let mut remap = vec![usize::MAX; scratch.len()];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            remap[old_id] = new_id;
+        }
+        let mut nodes = vec![
+            Node::Leaf {
+                class: 0,
+                samples: 0
+            };
+            order.len()
+        ];
+        for &old_id in &order {
+            let new_id = remap[old_id];
+            nodes[new_id] = match &scratch[old_id] {
+                Node::Leaf { class, samples } => Node::Leaf {
+                    class: *class,
+                    samples: *samples,
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => Node::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: remap[*left],
+                    right: remap[*right],
+                },
+            };
+        }
+        self.nodes = nodes;
+        before - self.nodes.len()
+    }
+
+    /// Predicts the class of one input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadInputWidth`] for a wrong-width input.
+    pub fn predict(&self, x: &[f64]) -> Result<usize, TreeError> {
+        let leaf = self.apply(x)?;
+        self.leaf_class(leaf)
+    }
+
+    /// Returns the leaf that handles `x` (scikit-learn's `apply`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadInputWidth`] for a wrong-width input.
+    pub fn apply(&self, x: &[f64]) -> Result<LeafId, TreeError> {
+        if x.len() != self.n_features {
+            return Err(TreeError::BadInputWidth {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return Ok(LeafId(id)),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// The root-to-leaf node-id path for `x` (Algorithm 1, line 2 —
+    /// "extract path from T₀ to Tᵢ").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadInputWidth`] for a wrong-width input.
+    pub fn decision_path(&self, x: &[f64]) -> Result<Vec<NodeId>, TreeError> {
+        if x.len() != self.n_features {
+            return Err(TreeError::BadInputWidth {
+                expected: self.n_features,
+                got: x.len(),
+            });
+        }
+        let mut path = vec![0];
+        let mut id = 0;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { .. } => return Ok(path),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    id = if x[*feature] <= *threshold { *left } else { *right };
+                    path.push(id);
+                }
+            }
+        }
+    }
+
+    /// Computes the input box of a leaf: the axis-aligned set of inputs
+    /// whose decision path ends at this leaf (Algorithm 1, lines 3–5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::BadNodeId`] / [`TreeError::NotALeaf`] for
+    /// invalid ids.
+    pub fn leaf_box(&self, leaf: LeafId) -> Result<InputBox, TreeError> {
+        match self.node(leaf.0)? {
+            Node::Leaf { .. } => {}
+            Node::Split { .. } => return Err(TreeError::NotALeaf { id: leaf.0 }),
+        }
+        // Walk down from the root following the unique path to `leaf`,
+        // shrinking the box at each rule. Parent pointers are implicit in
+        // the arena, so precompute them.
+        let path = self.path_to(leaf.0);
+        let mut input_box = InputBox::unbounded(self.n_features);
+        for pair in path.windows(2) {
+            let (parent, child) = (pair[0], pair[1]);
+            if let Node::Split {
+                feature,
+                threshold,
+                left,
+                ..
+            } = &self.nodes[parent]
+            {
+                if child == *left {
+                    input_box.side_mut(*feature).clamp_upper(*threshold);
+                } else {
+                    input_box.side_mut(*feature).clamp_lower(*threshold);
+                }
+            }
+        }
+        Ok(input_box)
+    }
+
+    /// All `(leaf, box)` pairs. The boxes partition the input space:
+    /// every input is contained in exactly one of them.
+    pub fn leaf_boxes(&self) -> Vec<(LeafId, InputBox)> {
+        self.leaves()
+            .into_iter()
+            .map(|l| {
+                let b = self.leaf_box(l).expect("leaf ids from leaves() are valid");
+                (l, b)
+            })
+            .collect()
+    }
+
+    /// Root-to-node id path (inclusive).
+    fn path_to(&self, target: NodeId) -> Vec<NodeId> {
+        fn dfs(nodes: &[Node], id: NodeId, target: NodeId, path: &mut Vec<NodeId>) -> bool {
+            path.push(id);
+            if id == target {
+                return true;
+            }
+            if let Node::Split { left, right, .. } = &nodes[id] {
+                if dfs(nodes, *left, target, path) || dfs(nodes, *right, target, path) {
+                    return true;
+                }
+            }
+            path.pop();
+            false
+        }
+        let mut path = Vec::new();
+        dfs(&self.nodes, 0, target, &mut path);
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built tree:
+    ///         [0] x0 <= 0.5
+    ///        /            \
+    ///   [1] leaf c0    [2] x1 <= 2.0
+    ///                  /           \
+    ///             [3] leaf c1   [4] leaf c2
+    fn toy_tree() -> DecisionTree {
+        DecisionTree {
+            nodes: vec![
+                Node::Split {
+                    feature: 0,
+                    threshold: 0.5,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Leaf { class: 0, samples: 3 },
+                Node::Split {
+                    feature: 1,
+                    threshold: 2.0,
+                    left: 3,
+                    right: 4,
+                },
+                Node::Leaf { class: 1, samples: 2 },
+                Node::Leaf { class: 2, samples: 2 },
+            ],
+            n_features: 2,
+            n_classes: 3,
+        }
+    }
+
+    #[test]
+    fn predict_routes_correctly() {
+        let t = toy_tree();
+        assert_eq!(t.predict(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(t.predict(&[1.0, 1.0]).unwrap(), 1);
+        assert_eq!(t.predict(&[1.0, 3.0]).unwrap(), 2);
+        // Boundary goes left (≤).
+        assert_eq!(t.predict(&[0.5, 9.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = toy_tree();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn leaves_in_arena_order() {
+        let t = toy_tree();
+        let ids: Vec<usize> = t.leaves().iter().map(LeafId::node_id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn decision_path_matches_apply() {
+        let t = toy_tree();
+        let x = [1.0, 3.0];
+        let path = t.decision_path(&x).unwrap();
+        assert_eq!(path, vec![0, 2, 4]);
+        assert_eq!(t.apply(&x).unwrap().node_id(), 4);
+    }
+
+    #[test]
+    fn leaf_boxes_describe_reachability() {
+        let t = toy_tree();
+        // Leaf 3: x0 > 0.5, x1 <= 2.0.
+        let b = t.leaf_box(LeafId(3)).unwrap();
+        assert!(b.contains(&[0.6, 1.0]));
+        assert!(!b.contains(&[0.4, 1.0]));
+        assert!(!b.contains(&[0.6, 2.5]));
+    }
+
+    #[test]
+    fn leaf_boxes_partition_points() {
+        let t = toy_tree();
+        let boxes = t.leaf_boxes();
+        for x in [
+            [0.0, 0.0],
+            [0.5, 2.0],
+            [0.6, 2.0],
+            [0.6, 2.1],
+            [-5.0, 100.0],
+        ] {
+            let containing: Vec<_> = boxes.iter().filter(|(_, b)| b.contains(&x)).collect();
+            assert_eq!(containing.len(), 1, "point {x:?}");
+            // And the containing box belongs to the leaf apply() finds.
+            assert_eq!(containing[0].0, t.apply(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn set_leaf_class_edits() {
+        let mut t = toy_tree();
+        t.set_leaf_class(LeafId(3), 0).unwrap();
+        assert_eq!(t.predict(&[1.0, 1.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn set_leaf_class_validates() {
+        let mut t = toy_tree();
+        assert!(matches!(
+            t.set_leaf_class(LeafId(3), 9),
+            Err(TreeError::BadClass { class: 9, n_classes: 3 })
+        ));
+        assert!(matches!(
+            t.set_leaf_class(LeafId(0), 1),
+            Err(TreeError::NotALeaf { id: 0 })
+        ));
+        assert!(matches!(
+            t.set_leaf_class(LeafId(99), 1),
+            Err(TreeError::BadNodeId { id: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let t = toy_tree();
+        assert!(matches!(
+            t.predict(&[1.0]),
+            Err(TreeError::BadInputWidth { expected: 2, got: 1 })
+        ));
+        assert!(t.decision_path(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn split_leaf_reroutes_inputs() {
+        let mut t = toy_tree();
+        // Split leaf 1 (x0 <= 0.5) on x1 at 5.0: below → class 0 stays,
+        // above → class 2.
+        let (left, right) = t.split_leaf(LeafId(1), 1, 5.0, 0, 2).unwrap();
+        assert_eq!(t.predict(&[0.0, 1.0]).unwrap(), 0);
+        assert_eq!(t.predict(&[0.0, 9.0]).unwrap(), 2);
+        assert_eq!(t.leaf_count(), 4);
+        // The new leaves' boxes refine the old leaf's box.
+        let lb = t.leaf_box(left).unwrap();
+        let rb = t.leaf_box(right).unwrap();
+        assert!(lb.contains(&[0.0, 1.0]));
+        assert!(!lb.contains(&[0.0, 9.0]));
+        assert!(rb.contains(&[0.0, 9.0]));
+    }
+
+    #[test]
+    fn split_leaf_validates() {
+        let mut t = toy_tree();
+        assert!(matches!(
+            t.split_leaf(LeafId(0), 0, 1.0, 0, 1),
+            Err(TreeError::NotALeaf { id: 0 })
+        ));
+        assert!(matches!(
+            t.split_leaf(LeafId(1), 9, 1.0, 0, 1),
+            Err(TreeError::BadInputWidth { .. })
+        ));
+        assert!(matches!(
+            t.split_leaf(LeafId(1), 0, 1.0, 99, 1),
+            Err(TreeError::BadClass { class: 99, .. })
+        ));
+        assert!(t.split_leaf(LeafId(99), 0, 1.0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn simplify_collapses_same_class_siblings() {
+        let mut t = toy_tree();
+        // Make leaves 3 and 4 agree: their parent split becomes
+        // redundant.
+        t.set_leaf_class(LeafId(4), 1).unwrap();
+        let removed = t.simplify();
+        assert_eq!(removed, 2);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.leaf_count(), 2);
+        // Behavior preserved.
+        assert_eq!(t.predict(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(t.predict(&[1.0, 1.0]).unwrap(), 1);
+        assert_eq!(t.predict(&[1.0, 3.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn simplify_cascades_to_fixed_point() {
+        let mut t = toy_tree();
+        for leaf in t.leaves() {
+            t.set_leaf_class(leaf, 2).unwrap();
+        }
+        let removed = t.simplify();
+        assert_eq!(removed, 4);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[9.0, 9.0]).unwrap(), 2);
+        // Idempotent.
+        assert_eq!(t.simplify(), 0);
+    }
+
+    #[test]
+    fn simplify_preserves_sample_totals() {
+        let mut t = toy_tree();
+        let total_before: usize = t
+            .leaves()
+            .iter()
+            .map(|&l| match t.node(l.node_id()).unwrap() {
+                Node::Leaf { samples, .. } => *samples,
+                _ => 0,
+            })
+            .sum();
+        for leaf in t.leaves() {
+            t.set_leaf_class(leaf, 0).unwrap();
+        }
+        t.simplify();
+        let total_after: usize = t
+            .leaves()
+            .iter()
+            .map(|&l| match t.node(l.node_id()).unwrap() {
+                Node::Leaf { samples, .. } => *samples,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total_before, total_after);
+    }
+
+    #[test]
+    fn simplify_noop_on_distinct_leaves() {
+        let mut t = toy_tree();
+        let before = t.clone();
+        assert_eq!(t.simplify(), 0);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn split_leaf_preserves_partition() {
+        let mut t = toy_tree();
+        let _ = t.split_leaf(LeafId(4), 0, 2.0, 2, 1).unwrap();
+        let boxes = t.leaf_boxes();
+        for x in [[0.0, 0.0], [1.0, 3.0], [3.0, 3.0], [0.6, 2.0]] {
+            let hits = boxes.iter().filter(|(_, b)| b.contains(&x)).count();
+            assert_eq!(hits, 1, "point {x:?}");
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TreeConfig::default().validate().is_ok());
+        let bad = TreeConfig {
+            min_samples_split: 1,
+            ..TreeConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = TreeConfig {
+            min_samples_leaf: 0,
+            ..TreeConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

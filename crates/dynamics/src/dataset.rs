@@ -1,0 +1,346 @@
+//! Transition datasets.
+
+use crate::error::DynamicsError;
+use hvac_env::{
+    EnvConfig, HvacEnv, Observation, Policy, SetpointAction, Transition, POLICY_INPUT_DIM,
+};
+use hvac_stats::{seeded_rng, split_seed};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Width of a dynamics-model input row: the 6-dimensional policy input
+/// (state + disturbances) plus the 2-dimensional action.
+pub const DYNAMICS_INPUT_DIM: usize = POLICY_INPUT_DIM + 2;
+
+/// A collection of `(s, d, a, s')` transitions — the paper's historical
+/// dataset `T` (Section 3.2).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransitionDataset {
+    transitions: Vec<Transition>,
+}
+
+impl TransitionDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an existing list of transitions.
+    pub fn from_transitions(transitions: Vec<Transition>) -> Self {
+        Self { transitions }
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Adds one transition.
+    pub fn push(&mut self, t: Transition) {
+        self.transitions.push(t);
+    }
+
+    /// Iterates over the transitions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transition> {
+        self.transitions.iter()
+    }
+
+    /// The transitions as a slice.
+    pub fn as_slice(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Flattens one transition into a dynamics input row
+    /// `[s, d…, a_heat, a_cool]`.
+    pub fn input_row(t: &Transition) -> [f64; DYNAMICS_INPUT_DIM] {
+        let obs = t.observation.to_vector();
+        let (h, c) = t.action.as_f64_pair();
+        [
+            obs[0], obs[1], obs[2], obs[3], obs[4], obs[5], obs[6], h, c,
+        ]
+    }
+
+    /// Builds the `(inputs, targets)` matrices for regression.
+    pub fn to_matrices(&self) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let inputs = self
+            .transitions
+            .iter()
+            .map(|t| Self::input_row(t).to_vec())
+            .collect();
+        let targets = self
+            .transitions
+            .iter()
+            .map(|t| vec![t.next_zone_temperature])
+            .collect();
+        (inputs, targets)
+    }
+
+    /// The policy-input matrix (state + disturbances only), used by the
+    /// extraction stage's importance sampling (Eq. 5).
+    pub fn policy_inputs(&self) -> Vec<[f64; POLICY_INPUT_DIM]> {
+        self.transitions
+            .iter()
+            .map(|t| t.observation.to_vector())
+            .collect()
+    }
+
+    /// Splits into `(train, validation)` with a seeded shuffle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError::BadSplit`] for a fraction outside
+    /// `(0, 1)` and [`DynamicsError::NotEnoughData`] when either side
+    /// would be empty.
+    pub fn split(
+        &self,
+        train_fraction: f64,
+        seed: u64,
+    ) -> Result<(TransitionDataset, TransitionDataset), DynamicsError> {
+        if !(train_fraction > 0.0 && train_fraction < 1.0) {
+            return Err(DynamicsError::BadSplit {
+                fraction: train_fraction,
+            });
+        }
+        let n = self.transitions.len();
+        let n_train = ((n as f64) * train_fraction).round() as usize;
+        if n_train == 0 || n_train == n {
+            return Err(DynamicsError::NotEnoughData { got: n, needed: 2 });
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut seeded_rng(seed));
+        let take = |idx: &[usize]| {
+            TransitionDataset::from_transitions(
+                idx.iter().map(|&i| self.transitions[i]).collect(),
+            )
+        };
+        Ok((take(&order[..n_train]), take(&order[n_train..])))
+    }
+
+    /// A bootstrap resample of the same size (for ensemble training).
+    pub fn bootstrap(&self, seed: u64) -> TransitionDataset {
+        let n = self.transitions.len();
+        let mut rng = seeded_rng(seed);
+        let transitions = (0..n)
+            .map(|_| self.transitions[rng.gen_range(0..n)])
+            .collect();
+        TransitionDataset::from_transitions(transitions)
+    }
+}
+
+impl Extend<Transition> for TransitionDataset {
+    fn extend<T: IntoIterator<Item = Transition>>(&mut self, iter: T) {
+        self.transitions.extend(iter);
+    }
+}
+
+impl FromIterator<Transition> for TransitionDataset {
+    fn from_iter<T: IntoIterator<Item = Transition>>(iter: T) -> Self {
+        Self {
+            transitions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TransitionDataset {
+    type Item = &'a Transition;
+    type IntoIter = std::slice::Iter<'a, Transition>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.transitions.iter()
+    }
+}
+
+/// The data-collection behavior policy: the building's existing
+/// (rule-based-with-exploration) controller. Real BMS logs contain the
+/// setpoint variety introduced by operators and schedules; we emulate
+/// that with an ε-greedy perturbation around a sensible schedule so the
+/// dynamics model sees diverse actions.
+struct CollectionPolicy {
+    rng: rand::rngs::StdRng,
+    epsilon: f64,
+}
+
+impl Policy for CollectionPolicy {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        if self.rng.gen::<f64>() < self.epsilon {
+            // Uniform random legal action: maximizes coverage of T.
+            let h = self.rng.gen_range(15..=23);
+            let c = self.rng.gen_range(21..=30);
+            SetpointAction::new(h, c).expect("sampled in range")
+        } else if obs.is_occupied() {
+            SetpointAction::from_clamped(20.0, 23.5)
+        } else {
+            SetpointAction::off()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "collection"
+    }
+}
+
+/// Runs the collection policy in the configured environment for
+/// `episodes` episodes and returns the pooled historical dataset.
+///
+/// Each episode gets a decorrelated weather seed derived from `seed`, so
+/// the dataset spans multiple weather realizations — like a BMS log
+/// spanning multiple Januaries.
+///
+/// # Errors
+///
+/// Propagates environment construction/step errors.
+pub fn collect_historical_dataset(
+    config: &EnvConfig,
+    episodes: usize,
+    seed: u64,
+) -> Result<TransitionDataset, DynamicsError> {
+    let mut dataset = TransitionDataset::new();
+    for ep in 0..episodes {
+        let ep_seed = split_seed(seed, ep as u64);
+        let env_config = config.clone().with_seed(ep_seed);
+        let mut env = HvacEnv::new(env_config)?;
+        let mut policy = CollectionPolicy {
+            rng: seeded_rng(split_seed(seed, 1000 + ep as u64)),
+            epsilon: 0.35,
+        };
+        let mut obs = env.reset();
+        loop {
+            let action = policy.decide(&obs);
+            let out = env.step(action)?;
+            dataset.push(Transition {
+                observation: obs,
+                action,
+                next_zone_temperature: out.observation.zone_temperature,
+            });
+            obs = out.observation;
+            if out.done {
+                break;
+            }
+        }
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::Disturbances;
+
+    fn toy_transition(s: f64, a: (i32, i32), s_next: f64) -> Transition {
+        Transition {
+            observation: Observation::new(s, Disturbances::default()),
+            action: SetpointAction::new(a.0, a.1).unwrap(),
+            next_zone_temperature: s_next,
+        }
+    }
+
+    fn toy_dataset(n: usize) -> TransitionDataset {
+        (0..n)
+            .map(|i| toy_transition(20.0 + i as f64 * 0.1, (18, 26), 20.1 + i as f64 * 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn input_row_layout() {
+        let t = toy_transition(21.0, (19, 27), 21.5);
+        let row = TransitionDataset::input_row(&t);
+        assert_eq!(row[0], 21.0);
+        assert_eq!(row[7], 19.0);
+        assert_eq!(row[8], 27.0);
+        assert_eq!(row.len(), DYNAMICS_INPUT_DIM);
+    }
+
+    #[test]
+    fn matrices_shapes() {
+        let d = toy_dataset(5);
+        let (x, y) = d.to_matrices();
+        assert_eq!(x.len(), 5);
+        assert_eq!(x[0].len(), DYNAMICS_INPUT_DIM);
+        assert_eq!(y.len(), 5);
+        assert_eq!(y[0].len(), 1);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = toy_dataset(10);
+        let (train, val) = d.split(0.7, 1).unwrap();
+        assert_eq!(train.len(), 7);
+        assert_eq!(val.len(), 3);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let d = toy_dataset(10);
+        assert!(d.split(0.0, 1).is_err());
+        assert!(d.split(1.0, 1).is_err());
+        assert!(d.split(1.5, 1).is_err());
+    }
+
+    #[test]
+    fn split_rejects_tiny_dataset() {
+        let d = toy_dataset(1);
+        assert!(d.split(0.5, 1).is_err());
+    }
+
+    #[test]
+    fn split_is_seeded() {
+        let d = toy_dataset(20);
+        let (a1, _) = d.split(0.5, 7).unwrap();
+        let (a2, _) = d.split(0.5, 7).unwrap();
+        let (b, _) = d.split(0.5, 8).unwrap();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn bootstrap_preserves_size() {
+        let d = toy_dataset(12);
+        let b = d.bootstrap(3);
+        assert_eq!(b.len(), 12);
+        // With 12 samples a bootstrap is near-certainly different.
+        assert_ne!(b, d);
+    }
+
+    #[test]
+    fn collects_from_environment() {
+        let config = EnvConfig::pittsburgh().with_episode_steps(48);
+        let d = collect_historical_dataset(&config, 2, 0).unwrap();
+        assert_eq!(d.len(), 96);
+        // Next-state of step k should equal state of step k+1 within an
+        // episode (consistency of the recording).
+        let ts = d.as_slice();
+        let contiguous = (0..47)
+            .filter(|&k| {
+                (ts[k].next_zone_temperature - ts[k + 1].observation.zone_temperature).abs()
+                    < 1e-12
+            })
+            .count();
+        assert_eq!(contiguous, 47);
+    }
+
+    #[test]
+    fn collection_covers_action_space() {
+        let config = EnvConfig::pittsburgh().with_episode_steps(96 * 3);
+        let d = collect_historical_dataset(&config, 1, 42).unwrap();
+        let distinct: std::collections::HashSet<_> =
+            d.iter().map(|t| t.action).collect();
+        assert!(
+            distinct.len() > 20,
+            "exploration too weak: {} distinct actions",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn policy_inputs_width() {
+        let d = toy_dataset(3);
+        let p = d.policy_inputs();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].len(), POLICY_INPUT_DIM);
+    }
+}

@@ -1,0 +1,229 @@
+//! Dynamics-model ensembles with epistemic-uncertainty estimates.
+//!
+//! CLUE (An et al., BuildSys'23) — the paper's state-of-the-art
+//! baseline — augments MBRL with *epistemic uncertainty estimation*: an
+//! ensemble of dynamics models whose prediction disagreement flags
+//! states where the model cannot be trusted, triggering a fallback to a
+//! safe rule-based action. This module provides that substrate.
+
+use crate::dataset::TransitionDataset;
+use crate::error::DynamicsError;
+use crate::model::{DynamicsModel, ModelConfig};
+use hvac_env::{Observation, SetpointAction};
+use hvac_stats::split_seed;
+
+/// Ensemble construction settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleConfig {
+    /// Number of ensemble members (CLUE uses a small ensemble; 5 is the
+    /// common default).
+    pub members: usize,
+    /// Per-member model configuration (seeds are derived per member).
+    pub model: ModelConfig,
+    /// Whether each member trains on a bootstrap resample (true) or on
+    /// the full dataset with different initializations only (false).
+    pub bootstrap: bool,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        Self {
+            members: 5,
+            model: ModelConfig::default(),
+            bootstrap: true,
+        }
+    }
+}
+
+/// An ensemble of [`DynamicsModel`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsEnsemble {
+    models: Vec<DynamicsModel>,
+}
+
+impl DynamicsEnsemble {
+    /// Trains `config.members` models with decorrelated seeds (and
+    /// optionally bootstrapped data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError::EmptyEnsemble`] for zero members, plus
+    /// any member-training error.
+    pub fn train(
+        dataset: &TransitionDataset,
+        config: &EnsembleConfig,
+    ) -> Result<Self, DynamicsError> {
+        if config.members == 0 {
+            return Err(DynamicsError::EmptyEnsemble);
+        }
+        let mut models = Vec::with_capacity(config.members);
+        for m in 0..config.members {
+            let member_seed = split_seed(config.model.seed, m as u64);
+            let member_config = ModelConfig {
+                seed: member_seed,
+                ..config.model.clone()
+            };
+            let data = if config.bootstrap {
+                dataset.bootstrap(split_seed(member_seed, 7))
+            } else {
+                dataset.clone()
+            };
+            models.push(DynamicsModel::train(&data, &member_config)?);
+        }
+        Ok(Self { models })
+    }
+
+    /// Wraps pre-trained models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError::EmptyEnsemble`] for an empty vector.
+    pub fn from_models(models: Vec<DynamicsModel>) -> Result<Self, DynamicsError> {
+        if models.is_empty() {
+            return Err(DynamicsError::EmptyEnsemble);
+        }
+        Ok(Self { models })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the ensemble is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The members.
+    pub fn members(&self) -> &[DynamicsModel] {
+        &self.models
+    }
+
+    /// Mean prediction across members.
+    pub fn predict_mean(&self, obs: &Observation, action: SetpointAction) -> f64 {
+        let sum: f64 = self
+            .models
+            .iter()
+            .map(|m| m.predict_next_temperature(obs, action))
+            .sum();
+        sum / self.models.len() as f64
+    }
+
+    /// Mean prediction and epistemic uncertainty (population std of the
+    /// member predictions) — the disagreement signal CLUE gates on.
+    pub fn predict_with_uncertainty(
+        &self,
+        obs: &Observation,
+        action: SetpointAction,
+    ) -> (f64, f64) {
+        let preds: Vec<f64> = self
+            .models
+            .iter()
+            .map(|m| m.predict_next_temperature(obs, action))
+            .collect();
+        let n = preds.len() as f64;
+        let mean = preds.iter().sum::<f64>() / n;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    /// The first member, usable as a single point-estimate model.
+    pub fn primary(&self) -> &DynamicsModel {
+        &self.models[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::{Disturbances, Transition};
+    use hvac_nn::TrainConfig;
+
+    fn synthetic_dataset(n: usize) -> TransitionDataset {
+        (0..n)
+            .map(|i| {
+                let s = 18.0 + (i % 8) as f64;
+                let h = 15 + (i % 9) as i32;
+                Transition {
+                    observation: Observation::new(s, Disturbances::default()),
+                    action: SetpointAction::new(h, 25).unwrap(),
+                    next_zone_temperature: 0.9 * s + 0.1 * f64::from(h),
+                }
+            })
+            .collect()
+    }
+
+    fn quick_config(members: usize) -> EnsembleConfig {
+        EnsembleConfig {
+            members,
+            model: ModelConfig {
+                hidden: vec![16],
+                train: TrainConfig {
+                    epochs: 40,
+                    ..TrainConfig::paper()
+                },
+                ..ModelConfig::default()
+            },
+            bootstrap: true,
+        }
+    }
+
+    #[test]
+    fn zero_members_rejected() {
+        let d = synthetic_dataset(50);
+        assert!(matches!(
+            DynamicsEnsemble::train(&d, &quick_config(0)),
+            Err(DynamicsError::EmptyEnsemble)
+        ));
+        assert!(DynamicsEnsemble::from_models(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn members_disagree_somewhat() {
+        let d = synthetic_dataset(60);
+        let e = DynamicsEnsemble::train(&d, &quick_config(3)).unwrap();
+        assert_eq!(e.len(), 3);
+        let obs = Observation::new(20.0, Disturbances::default());
+        let (_, std) = e.predict_with_uncertainty(&obs, SetpointAction::off());
+        assert!(std > 0.0, "identical members defeat the purpose");
+    }
+
+    #[test]
+    fn uncertainty_grows_out_of_distribution() {
+        let d = synthetic_dataset(120);
+        let e = DynamicsEnsemble::train(&d, &quick_config(4)).unwrap();
+        let in_dist = Observation::new(20.0, Disturbances::default());
+        let out_dist = Observation::new(
+            45.0,
+            Disturbances {
+                outdoor_temperature: 60.0,
+                solar_radiation: 2000.0,
+                ..Disturbances::default()
+            },
+        );
+        let (_, s_in) = e.predict_with_uncertainty(&in_dist, SetpointAction::off());
+        let (_, s_out) = e.predict_with_uncertainty(&out_dist, SetpointAction::off());
+        assert!(
+            s_out > s_in,
+            "expected OOD disagreement ({s_out}) > in-dist ({s_in})"
+        );
+    }
+
+    #[test]
+    fn mean_matches_uncertainty_mean() {
+        let d = synthetic_dataset(60);
+        let e = DynamicsEnsemble::train(&d, &quick_config(3)).unwrap();
+        let obs = Observation::new(21.0, Disturbances::default());
+        let a = SetpointAction::new(20, 25).unwrap();
+        let (mean, _) = e.predict_with_uncertainty(&obs, a);
+        assert!((mean - e.predict_mean(&obs, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn primary_is_first_member() {
+        let d = synthetic_dataset(60);
+        let e = DynamicsEnsemble::train(&d, &quick_config(2)).unwrap();
+        assert_eq!(e.primary(), &e.members()[0]);
+    }
+}

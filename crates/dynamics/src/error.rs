@@ -1,0 +1,103 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for dynamics-model operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DynamicsError {
+    /// The dataset had too few transitions for the requested operation.
+    NotEnoughData {
+        /// Transitions available.
+        got: usize,
+        /// Transitions required.
+        needed: usize,
+    },
+    /// An ensemble was requested with zero members.
+    EmptyEnsemble,
+    /// A train/validation split fraction was outside `(0, 1)`.
+    BadSplit {
+        /// The rejected fraction.
+        fraction: f64,
+    },
+    /// An underlying neural-network error.
+    Nn(hvac_nn::NnError),
+    /// An underlying environment error (during data collection).
+    Env(hvac_env::EnvError),
+    /// An underlying statistics error.
+    Stats(hvac_stats::StatsError),
+}
+
+impl fmt::Display for DynamicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicsError::NotEnoughData { got, needed } => {
+                write!(f, "not enough transitions: have {got}, need {needed}")
+            }
+            DynamicsError::EmptyEnsemble => write!(f, "ensemble must have at least one member"),
+            DynamicsError::BadSplit { fraction } => {
+                write!(f, "train fraction {fraction} must be in (0, 1)")
+            }
+            DynamicsError::Nn(e) => write!(f, "network error: {e}"),
+            DynamicsError::Env(e) => write!(f, "environment error: {e}"),
+            DynamicsError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for DynamicsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DynamicsError::Nn(e) => Some(e),
+            DynamicsError::Env(e) => Some(e),
+            DynamicsError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hvac_nn::NnError> for DynamicsError {
+    fn from(e: hvac_nn::NnError) -> Self {
+        DynamicsError::Nn(e)
+    }
+}
+
+impl From<hvac_env::EnvError> for DynamicsError {
+    fn from(e: hvac_env::EnvError) -> Self {
+        DynamicsError::Env(e)
+    }
+}
+
+impl From<hvac_stats::StatsError> for DynamicsError {
+    fn from(e: hvac_stats::StatsError) -> Self {
+        DynamicsError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let errs = [
+            DynamicsError::NotEnoughData { got: 1, needed: 10 },
+            DynamicsError::EmptyEnsemble,
+            DynamicsError::BadSplit { fraction: 1.5 },
+            DynamicsError::Nn(hvac_nn::NnError::ZeroWidth),
+            DynamicsError::Env(hvac_env::EnvError::TraceExhausted { step: 2 }),
+            DynamicsError::Stats(hvac_stats::StatsError::EmptyInput),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = DynamicsError::Nn(hvac_nn::NnError::ZeroWidth);
+        assert!(e.source().is_some());
+        assert!(DynamicsError::EmptyEnsemble.source().is_none());
+    }
+}

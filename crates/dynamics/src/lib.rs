@@ -1,0 +1,52 @@
+//! Learned thermal dynamics models.
+//!
+//! The MBRL stack of the paper (Section 2.1) learns a regression model
+//! `f̂ : (s_t, d_t, a_t) → s_{t+1}` from a historical dataset
+//! `T = {(s, d, a, s')}` collected from the building management system,
+//! then plans through it with a stochastic optimizer. This crate
+//! provides:
+//!
+//! * [`TransitionDataset`] — collection, storage, and matrix conversion
+//!   of transitions (including the "collect historical data by running
+//!   the default controller" workflow the paper inherits from its MBRL
+//!   baselines),
+//! * [`Normalizer`] — per-feature standardization (fit on training
+//!   data, applied at prediction time),
+//! * [`DynamicsModel`] — the paper's MLP (150 epochs, Adam, lr `1e-3`,
+//!   weight decay `1e-5`, MSE), and
+//! * [`DynamicsEnsemble`] — an ensemble with epistemic-uncertainty
+//!   estimates (disagreement), the ingredient CLUE adds on top.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hvac_dynamics::{collect_historical_dataset, DynamicsModel, ModelConfig};
+//! use hvac_env::EnvConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = collect_historical_dataset(
+//!     &EnvConfig::pittsburgh().with_episode_steps(96 * 7),
+//!     3, // episodes
+//!     0, // seed
+//! )?;
+//! let model = DynamicsModel::train(&dataset, &ModelConfig::default())?;
+//! println!("validation RMSE: {:.3} °C", model.validation_rmse());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod ensemble;
+pub mod error;
+pub mod model;
+pub mod normalize;
+pub mod serialize;
+
+pub use dataset::{collect_historical_dataset, TransitionDataset, DYNAMICS_INPUT_DIM};
+pub use ensemble::{DynamicsEnsemble, EnsembleConfig};
+pub use error::DynamicsError;
+pub use model::{DynamicsModel, ModelConfig};
+pub use normalize::Normalizer;

@@ -1,0 +1,308 @@
+//! The MLP dynamics model `f̂ : (s, d, a) → s'`.
+
+use crate::dataset::{TransitionDataset, DYNAMICS_INPUT_DIM};
+use crate::error::DynamicsError;
+use crate::normalize::Normalizer;
+use hvac_env::{Observation, SetpointAction};
+use hvac_nn::{Activation, Mlp, TrainConfig};
+
+/// Configuration of the dynamics model. The training hyperparameters
+/// default to the paper's (Section 4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Hidden-layer widths (input 8 and output 1 are implied).
+    pub hidden: Vec<usize>,
+    /// Training settings (epochs 150, Adam lr `1e-3`, wd `1e-5`).
+    pub train: TrainConfig,
+    /// Fraction of data used for training (rest validates).
+    pub train_fraction: f64,
+    /// Seed controlling weight init, the train/val split and shuffles.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![64, 64],
+            train: TrainConfig::paper(),
+            train_fraction: 0.9,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained dynamics model: normalizing wrapper around an [`Mlp`],
+/// predicting the next zone temperature from `(s_t, d_t, a_t)`.
+///
+/// The model is deliberately a *black box* from the perspective of the
+/// verification machinery — only its input/output behavior is used, just
+/// as the paper extracts policies from an opaque learned `f̂`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsModel {
+    mlp: Mlp,
+    input_normalizer: Normalizer,
+    target_normalizer: Normalizer,
+    validation_rmse: f64,
+    train_rmse: f64,
+}
+
+impl DynamicsModel {
+    /// Trains a model on the historical dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError::NotEnoughData`] for datasets too small to
+    /// split, plus any underlying network error.
+    pub fn train(
+        dataset: &TransitionDataset,
+        config: &ModelConfig,
+    ) -> Result<Self, DynamicsError> {
+        if dataset.len() < 10 {
+            return Err(DynamicsError::NotEnoughData {
+                got: dataset.len(),
+                needed: 10,
+            });
+        }
+        let (train_set, val_set) = dataset.split(config.train_fraction, config.seed)?;
+        let (train_x_raw, train_y_raw) = train_set.to_matrices();
+        let input_normalizer = Normalizer::fit(&train_x_raw)?;
+        let target_normalizer = Normalizer::fit(&train_y_raw)?;
+        let train_x = input_normalizer.transform_all(&train_x_raw);
+        let train_y = target_normalizer.transform_all(&train_y_raw);
+
+        let mut sizes = Vec::with_capacity(config.hidden.len() + 2);
+        sizes.push(DYNAMICS_INPUT_DIM);
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(1);
+        let mut mlp = Mlp::new(&sizes, Activation::Relu, config.seed)?;
+        let mut train_config = config.train;
+        train_config.shuffle_seed = config.seed.wrapping_add(1);
+        mlp.fit(&train_x, &train_y, &train_config)?;
+
+        let mut model = Self {
+            mlp,
+            input_normalizer,
+            target_normalizer,
+            validation_rmse: f64::NAN,
+            train_rmse: f64::NAN,
+        };
+        model.train_rmse = model.rmse_on(&train_set);
+        model.validation_rmse = model.rmse_on(&val_set);
+        Ok(model)
+    }
+
+    /// Predicts `s_{t+1}` for an observation/action pair.
+    pub fn predict_next_temperature(&self, obs: &Observation, action: SetpointAction) -> f64 {
+        let o = obs.to_vector();
+        let (h, c) = action.as_f64_pair();
+        let raw = [o[0], o[1], o[2], o[3], o[4], o[5], o[6], h, c];
+        self.predict_row(&raw)
+    }
+
+    /// Predicts from a raw 8-wide input row `[s, d…, a_heat, a_cool]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is not [`DYNAMICS_INPUT_DIM`] wide.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), DYNAMICS_INPUT_DIM, "input row width");
+        let x = self.input_normalizer.transform(row);
+        let y = self
+            .mlp
+            .predict(&x)
+            .expect("width checked by normalizer/assert");
+        self.target_normalizer.inverse(&y)[0]
+    }
+
+    /// Root-mean-square prediction error over a dataset, °C.
+    pub fn rmse_on(&self, dataset: &TransitionDataset) -> f64 {
+        if dataset.is_empty() {
+            return f64::NAN;
+        }
+        let mut sq = 0.0;
+        for t in dataset.iter() {
+            let p = self.predict_next_temperature(&t.observation, t.action);
+            sq += (p - t.next_zone_temperature) * (p - t.next_zone_temperature);
+        }
+        (sq / dataset.len() as f64).sqrt()
+    }
+
+    /// RMSE on the held-out validation split, °C.
+    pub fn validation_rmse(&self) -> f64 {
+        self.validation_rmse
+    }
+
+    /// RMSE on the training split, °C.
+    pub fn train_rmse(&self) -> f64 {
+        self.train_rmse
+    }
+
+    /// Total trainable parameter count of the underlying network.
+    pub fn parameter_count(&self) -> usize {
+        self.mlp.parameter_count()
+    }
+
+    /// The underlying network (read-only; serialization/inspection).
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// The fitted input normalizer.
+    pub fn input_normalizer(&self) -> &Normalizer {
+        &self.input_normalizer
+    }
+
+    /// The fitted target normalizer.
+    pub fn target_normalizer(&self) -> &Normalizer {
+        &self.target_normalizer
+    }
+
+    /// Reassembles a model from its parts (deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError::NotEnoughData`] if the network width
+    /// does not match [`DYNAMICS_INPUT_DIM`] or the normalizer
+    /// dimensions.
+    pub fn from_parts(
+        mlp: Mlp,
+        input_normalizer: Normalizer,
+        target_normalizer: Normalizer,
+        train_rmse: f64,
+        validation_rmse: f64,
+    ) -> Result<Self, DynamicsError> {
+        if mlp.in_dim() != DYNAMICS_INPUT_DIM
+            || mlp.in_dim() != input_normalizer.dims()
+            || mlp.out_dim() != target_normalizer.dims()
+        {
+            return Err(DynamicsError::NotEnoughData { got: 0, needed: 1 });
+        }
+        Ok(Self {
+            mlp,
+            input_normalizer,
+            target_normalizer,
+            train_rmse,
+            validation_rmse,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::{Disturbances, Transition};
+
+    /// A synthetic "building": s' = 0.8 s + 0.1 t_out + 0.1 heat_sp.
+    fn synthetic_dataset(n: usize) -> TransitionDataset {
+        let mut d = TransitionDataset::new();
+        for i in 0..n {
+            let s = 15.0 + (i % 10) as f64;
+            let t_out = -5.0 + (i % 7) as f64 * 2.0;
+            let h = 15 + (i % 9) as i32;
+            let c = 21 + (i % 10) as i32;
+            let action = SetpointAction::new(h, c).unwrap();
+            let next = 0.8 * s + 0.1 * t_out + 0.1 * f64::from(h);
+            d.push(Transition {
+                observation: Observation::new(
+                    s,
+                    Disturbances {
+                        outdoor_temperature: t_out,
+                        relative_humidity: 50.0,
+                        wind_speed: 3.0,
+                        solar_radiation: 100.0,
+                        occupant_count: 0.0,
+                        hour_of_day: (i % 24) as f64,
+                    },
+                ),
+                action,
+                next_zone_temperature: next,
+            });
+        }
+        d
+    }
+
+    fn quick_config() -> ModelConfig {
+        ModelConfig {
+            hidden: vec![32],
+            train: TrainConfig {
+                epochs: 120,
+                ..TrainConfig::paper()
+            },
+            ..ModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_synthetic_dynamics() {
+        let data = synthetic_dataset(400);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        assert!(
+            model.validation_rmse() < 0.5,
+            "validation RMSE {}",
+            model.validation_rmse()
+        );
+        // Spot-check one prediction.
+        let t = &data.as_slice()[3];
+        let p = model.predict_next_temperature(&t.observation, t.action);
+        assert!((p - t.next_zone_temperature).abs() < 1.0);
+    }
+
+    #[test]
+    fn tiny_dataset_rejected() {
+        let data = synthetic_dataset(5);
+        assert!(matches!(
+            DynamicsModel::train(&data, &quick_config()),
+            Err(DynamicsError::NotEnoughData { .. })
+        ));
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let data = synthetic_dataset(100);
+        let a = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let b = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let t = &data.as_slice()[0];
+        assert_eq!(
+            a.predict_next_temperature(&t.observation, t.action),
+            b.predict_next_temperature(&t.observation, t.action)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = synthetic_dataset(100);
+        let a = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let config_b = ModelConfig {
+            seed: 99,
+            ..quick_config()
+        };
+        let b = DynamicsModel::train(&data, &config_b).unwrap();
+        let t = &data.as_slice()[0];
+        assert_ne!(
+            a.predict_next_temperature(&t.observation, t.action),
+            b.predict_next_temperature(&t.observation, t.action)
+        );
+    }
+
+    #[test]
+    fn rmse_nan_on_empty() {
+        let data = synthetic_dataset(100);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        assert!(model.rmse_on(&TransitionDataset::new()).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "input row width")]
+    fn bad_row_width_panics() {
+        let data = synthetic_dataset(100);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let _ = model.predict_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn parameter_count_positive() {
+        let data = synthetic_dataset(100);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        assert!(model.parameter_count() > 100);
+    }
+}

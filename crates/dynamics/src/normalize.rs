@@ -1,0 +1,188 @@
+//! Per-feature standardization.
+
+use crate::error::DynamicsError;
+
+/// Column-wise `(x − mean) / std` normalizer fitted on training data.
+///
+/// Constant columns (zero variance) pass through unscaled (std treated
+/// as 1) so that occupancy-like features with long constant stretches
+/// cannot produce NaNs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits a normalizer on row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError::NotEnoughData`] for an empty matrix.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, DynamicsError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(DynamicsError::NotEnoughData { got: 0, needed: 1 });
+        }
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dim];
+        for row in rows {
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for row in rows {
+            for ((s, &v), &m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Reconstructs a normalizer from explicit statistics
+    /// (deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynamicsError::NotEnoughData`] for empty or mismatched
+    /// vectors or non-positive/non-finite standard deviations.
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Result<Self, DynamicsError> {
+        if means.is_empty() || means.len() != stds.len() {
+            return Err(DynamicsError::NotEnoughData {
+                got: means.len().min(stds.len()),
+                needed: 1,
+            });
+        }
+        if means.iter().any(|m| !m.is_finite())
+            || stds.iter().any(|s| !(s.is_finite() && *s > 0.0))
+        {
+            return Err(DynamicsError::NotEnoughData { got: 0, needed: 1 });
+        }
+        Ok(Self { means, stds })
+    }
+
+    /// Dimensionality the normalizer was fitted on.
+    pub fn dims(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Column standard deviations (1 for constant columns).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Normalizes one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fitted dimensionality.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "row width mismatch");
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&v, &m), &s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Inverse-transforms one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fitted dimensionality.
+    pub fn inverse(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.means.len(), "row width mismatch");
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((&v, &m), &s)| v * s + m)
+            .collect()
+    }
+
+    /// Normalizes a whole matrix.
+    pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.transform(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_computes_mean_std() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 10.0]];
+        let n = Normalizer::fit(&rows).unwrap();
+        assert_eq!(n.means(), &[2.0, 10.0]);
+        assert_eq!(n.stds()[0], 1.0);
+        assert_eq!(n.stds()[1], 1.0); // constant column fallback
+    }
+
+    #[test]
+    fn transform_standardizes() {
+        let rows = vec![vec![0.0], vec![10.0]];
+        let n = Normalizer::fit(&rows).unwrap();
+        let t = n.transform(&[10.0]);
+        assert!((t[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Normalizer::fit(&[]).is_err());
+        assert!(Normalizer::fit(&[Vec::new()]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let n = Normalizer::fit(&[vec![1.0, 2.0]]).unwrap();
+        n.transform(&[1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-100.0f64..100.0, 3),
+                2..20,
+            ),
+            probe in proptest::collection::vec(-100.0f64..100.0, 3),
+        ) {
+            let n = Normalizer::fit(&rows).unwrap();
+            let back = n.inverse(&n.transform(&probe));
+            for (a, b) in back.iter().zip(&probe) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_transformed_training_data_standard(
+            col in proptest::collection::vec(-50.0f64..50.0, 5..50),
+        ) {
+            prop_assume!(col.iter().any(|&v| (v - col[0]).abs() > 1e-6));
+            let rows: Vec<Vec<f64>> = col.iter().map(|&v| vec![v]).collect();
+            let n = Normalizer::fit(&rows).unwrap();
+            let t: Vec<f64> = rows.iter().map(|r| n.transform(r)[0]).collect();
+            let mean = t.iter().sum::<f64>() / t.len() as f64;
+            let var = t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+            prop_assert!(mean.abs() < 1e-9);
+            prop_assert!((var - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Compact text serialization of trained dynamics models.
+//!
+//! Extends the MLP format of [`hvac_nn::serialize`] with the two
+//! normalizers and the recorded training/validation RMSE, so a model
+//! trained offline can be shipped to the extraction/verification stages
+//! (or an edge device) as a single text artifact:
+//!
+//! ```text
+//! dynmodel v1
+//! input_means <…9 floats…>
+//! input_stds <…>
+//! target_means <…1 float…>
+//! target_stds <…>
+//! train_rmse 0.21
+//! val_rmse 0.28
+//! mlp v1
+//! …
+//! ```
+
+use crate::error::DynamicsError;
+use crate::model::DynamicsModel;
+use crate::normalize::Normalizer;
+use hvac_nn::Mlp;
+
+const FORMAT_HEADER: &str = "dynmodel v1";
+
+fn bad() -> DynamicsError {
+    DynamicsError::NotEnoughData { got: 0, needed: 1 }
+}
+
+fn write_floats(out: &mut String, prefix: &str, values: &[f64]) {
+    out.push_str(prefix);
+    for v in values {
+        out.push(' ');
+        out.push_str(&format!("{v:?}"));
+    }
+    out.push('\n');
+}
+
+fn parse_floats(line: Option<&str>, prefix: &str) -> Result<Vec<f64>, DynamicsError> {
+    let line = line.ok_or_else(bad)?;
+    let rest = line.strip_prefix(prefix).ok_or_else(bad)?;
+    rest.split_whitespace()
+        .map(|t| t.parse::<f64>().map_err(|_| bad()))
+        .collect()
+}
+
+fn parse_scalar(line: Option<&str>, prefix: &str) -> Result<f64, DynamicsError> {
+    let values = parse_floats(line, prefix)?;
+    if values.len() != 1 {
+        return Err(bad());
+    }
+    Ok(values[0])
+}
+
+impl DynamicsModel {
+    /// Serializes the model (network + normalizers + recorded RMSEs).
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let model: hvac_dynamics::DynamicsModel = unimplemented!();
+    /// let text = model.to_compact_string();
+    /// std::fs::write("dynamics_model.txt", &text)?;
+    /// let restored = hvac_dynamics::DynamicsModel::from_compact_string(&text)?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FORMAT_HEADER);
+        out.push('\n');
+        write_floats(&mut out, "input_means", self.input_normalizer().means());
+        write_floats(&mut out, "input_stds", self.input_normalizer().stds());
+        write_floats(&mut out, "target_means", self.target_normalizer().means());
+        write_floats(&mut out, "target_stds", self.target_normalizer().stds());
+        write_floats(&mut out, "train_rmse", &[self.train_rmse()]);
+        write_floats(&mut out, "val_rmse", &[self.validation_rmse()]);
+        out.push_str(&self.mlp().to_compact_string());
+        out
+    }
+
+    /// Parses a model from the compact text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DynamicsError`] for malformed headers/statistics and
+    /// propagates network-parsing failures.
+    pub fn from_compact_string(text: &str) -> Result<Self, DynamicsError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(FORMAT_HEADER) {
+            return Err(bad());
+        }
+        let input_means = parse_floats(lines.next(), "input_means")?;
+        let input_stds = parse_floats(lines.next(), "input_stds")?;
+        let target_means = parse_floats(lines.next(), "target_means")?;
+        let target_stds = parse_floats(lines.next(), "target_stds")?;
+        let train_rmse = parse_scalar(lines.next(), "train_rmse")?;
+        let val_rmse = parse_scalar(lines.next(), "val_rmse")?;
+
+        let input_normalizer = Normalizer::from_parts(input_means, input_stds)?;
+        let target_normalizer = Normalizer::from_parts(target_means, target_stds)?;
+
+        let mlp_text: String = lines.collect::<Vec<_>>().join("\n");
+        let mlp = Mlp::from_compact_string(&mlp_text)?;
+        if mlp.in_dim() != input_normalizer.dims() || mlp.out_dim() != target_normalizer.dims() {
+            return Err(bad());
+        }
+        DynamicsModel::from_parts(mlp, input_normalizer, target_normalizer, train_rmse, val_rmse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dataset::TransitionDataset;
+    use crate::model::{DynamicsModel, ModelConfig};
+    use hvac_env::{Disturbances, Observation, SetpointAction, Transition};
+    use hvac_nn::TrainConfig;
+
+    fn trained() -> DynamicsModel {
+        let data: TransitionDataset = (0..60)
+            .map(|i| {
+                let s = 17.0 + (i % 8) as f64;
+                let h = 15 + (i % 9);
+                Transition {
+                    observation: Observation::new(s, Disturbances::default()),
+                    action: SetpointAction::new(h, 25).unwrap(),
+                    next_zone_temperature: 0.9 * s + 0.1 * f64::from(h),
+                }
+            })
+            .collect();
+        DynamicsModel::train(
+            &data,
+            &ModelConfig {
+                hidden: vec![16],
+                train: TrainConfig {
+                    epochs: 30,
+                    ..TrainConfig::paper()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_bitwise() {
+        let model = trained();
+        let restored = DynamicsModel::from_compact_string(&model.to_compact_string()).unwrap();
+        for i in 0..20 {
+            let obs = Observation::new(16.0 + i as f64 * 0.5, Disturbances::default());
+            let a = SetpointAction::new(15 + (i % 9), 25).unwrap();
+            assert_eq!(
+                model.predict_next_temperature(&obs, a),
+                restored.predict_next_temperature(&obs, a)
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_rmse_records() {
+        let model = trained();
+        let restored = DynamicsModel::from_compact_string(&model.to_compact_string()).unwrap();
+        assert_eq!(model.train_rmse(), restored.train_rmse());
+        assert_eq!(model.validation_rmse(), restored.validation_rmse());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for text in [
+            "",
+            "dynmodel v9\n",
+            "dynmodel v1\ninput_means 1 2\n",
+            "dynmodel v1\ninput_means 1\ninput_stds 1\ntarget_means 0\ntarget_stds 1\ntrain_rmse 0.1\nval_rmse 0.1\nnot an mlp",
+        ] {
+            assert!(
+                DynamicsModel::from_compact_string(text).is_err(),
+                "accepted {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_between_mlp_and_normalizer() {
+        let model = trained();
+        let text = model.to_compact_string();
+        // Truncate the input normalizer to 2 dims: the embedded MLP
+        // still expects 9 inputs.
+        let patched: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("input_means") {
+                    "input_means 0.0 0.0".to_string()
+                } else if l.starts_with("input_stds") {
+                    "input_stds 1.0 1.0".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(DynamicsModel::from_compact_string(&patched).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! The discrete setpoint action space.
+//!
+//! "The setpoint for the HVAC system is an integer in [15 °C, 23 °C] for
+//! heating, and [21 °C, 30 °C] for cooling" (paper Section 2.1), giving a
+//! 9 × 10 = 90-action joint space. The "HVAC off" action is the pair
+//! that never triggers conditioning: heating at its minimum and cooling
+//! at its maximum.
+
+use crate::EnvError;
+use std::ops::RangeInclusive;
+
+/// Valid integer heating setpoints, °C.
+pub const HEATING_RANGE: RangeInclusive<i32> = 15..=23;
+/// Valid integer cooling setpoints, °C.
+pub const COOLING_RANGE: RangeInclusive<i32> = 21..=30;
+
+/// A validated heating/cooling setpoint pair.
+///
+/// # Example
+///
+/// ```
+/// use hvac_env::SetpointAction;
+///
+/// # fn main() -> Result<(), hvac_env::EnvError> {
+/// let a = SetpointAction::new(21, 24)?;
+/// assert_eq!(a.heating(), 21);
+/// assert_eq!(a.cooling(), 24);
+/// assert!(SetpointAction::new(14, 24).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetpointAction {
+    heating: i32,
+    cooling: i32,
+}
+
+impl SetpointAction {
+    /// Creates an action after validating both setpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::SetpointOutOfRange`] if either setpoint is
+    /// outside its legal range.
+    pub fn new(heating: i32, cooling: i32) -> Result<Self, EnvError> {
+        if !HEATING_RANGE.contains(&heating) {
+            return Err(EnvError::SetpointOutOfRange {
+                which: "heating",
+                value: heating,
+            });
+        }
+        if !COOLING_RANGE.contains(&cooling) {
+            return Err(EnvError::SetpointOutOfRange {
+                which: "cooling",
+                value: cooling,
+            });
+        }
+        Ok(Self { heating, cooling })
+    }
+
+    /// Creates an action by clamping arbitrary (possibly fractional)
+    /// setpoints into the legal integer grid — the deployment-side
+    /// "actuator" used when a learned policy outputs raw numbers.
+    pub fn from_clamped(heating: f64, cooling: f64) -> Self {
+        let h = (heating.round() as i32).clamp(*HEATING_RANGE.start(), *HEATING_RANGE.end());
+        let c = (cooling.round() as i32).clamp(*COOLING_RANGE.start(), *COOLING_RANGE.end());
+        Self {
+            heating: h,
+            cooling: c,
+        }
+    }
+
+    /// The "HVAC off" action: heating at its minimum, cooling at its
+    /// maximum, so neither ever engages under normal indoor conditions.
+    /// This is the reference point of the paper's energy proxy
+    /// (Section 2.1, reward definition).
+    pub fn off() -> Self {
+        Self {
+            heating: *HEATING_RANGE.start(),
+            cooling: *COOLING_RANGE.end(),
+        }
+    }
+
+    /// Heating setpoint, °C.
+    pub fn heating(&self) -> i32 {
+        self.heating
+    }
+
+    /// Cooling setpoint, °C.
+    pub fn cooling(&self) -> i32 {
+        self.cooling
+    }
+
+    /// The pair as `f64` values `(heating, cooling)`.
+    pub fn as_f64_pair(&self) -> (f64, f64) {
+        (f64::from(self.heating), f64::from(self.cooling))
+    }
+
+    /// The paper's per-step energy-consumption proxy: the L1 distance
+    /// between this action and the HVAC-off setpoints.
+    pub fn energy_proxy(&self) -> f64 {
+        let off = Self::off();
+        f64::from((self.heating - off.heating).abs() + (self.cooling - off.cooling).abs())
+    }
+}
+
+impl Default for SetpointAction {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl std::fmt::Display for SetpointAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "heat {} °C / cool {} °C", self.heating, self.cooling)
+    }
+}
+
+/// The full discrete action space (all 90 legal setpoint pairs), with a
+/// stable index mapping used for decision-tree class labels.
+///
+/// Ordering is row-major: index = (heating − 15) × 10 + (cooling − 21).
+///
+/// # Example
+///
+/// ```
+/// use hvac_env::{ActionSpace, SetpointAction};
+///
+/// # fn main() -> Result<(), hvac_env::EnvError> {
+/// let space = ActionSpace::new();
+/// assert_eq!(space.len(), 90);
+/// let a = SetpointAction::new(15, 21)?;
+/// assert_eq!(space.index_of(a), 0);
+/// assert_eq!(space.action(0)?, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionSpace {
+    actions: Vec<SetpointAction>,
+}
+
+impl ActionSpace {
+    /// Builds the canonical 90-action space.
+    pub fn new() -> Self {
+        let mut actions = Vec::with_capacity(90);
+        for h in HEATING_RANGE {
+            for c in COOLING_RANGE {
+                actions.push(SetpointAction { heating: h, cooling: c });
+            }
+        }
+        Self { actions }
+    }
+
+    /// Number of actions (90).
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the space is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The action at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::ActionIndexOutOfRange`] for bad indices.
+    pub fn action(&self, index: usize) -> Result<SetpointAction, EnvError> {
+        self.actions
+            .get(index)
+            .copied()
+            .ok_or(EnvError::ActionIndexOutOfRange {
+                index,
+                size: self.actions.len(),
+            })
+    }
+
+    /// The stable index of an action.
+    pub fn index_of(&self, action: SetpointAction) -> usize {
+        let h = (action.heating() - HEATING_RANGE.start()) as usize;
+        let c = (action.cooling() - COOLING_RANGE.start()) as usize;
+        h * COOLING_RANGE.clone().count() + c
+    }
+
+    /// Iterates over all actions in index order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SetpointAction> {
+        self.actions.iter()
+    }
+
+    /// All actions as a slice.
+    pub fn as_slice(&self) -> &[SetpointAction] {
+        &self.actions
+    }
+}
+
+impl Default for ActionSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> IntoIterator for &'a ActionSpace {
+    type Item = &'a SetpointAction;
+    type IntoIter = std::slice::Iter<'a, SetpointAction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn valid_bounds_accepted() {
+        assert!(SetpointAction::new(15, 21).is_ok());
+        assert!(SetpointAction::new(23, 30).is_ok());
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        assert!(SetpointAction::new(14, 21).is_err());
+        assert!(SetpointAction::new(24, 21).is_err());
+        assert!(SetpointAction::new(20, 20).is_err());
+        assert!(SetpointAction::new(20, 31).is_err());
+    }
+
+    #[test]
+    fn off_action_has_zero_energy_proxy() {
+        assert_eq!(SetpointAction::off().energy_proxy(), 0.0);
+    }
+
+    #[test]
+    fn energy_proxy_is_l1_distance() {
+        let a = SetpointAction::new(20, 25).unwrap();
+        assert_eq!(a.energy_proxy(), 5.0 + 5.0);
+    }
+
+    #[test]
+    fn from_clamped_rounds_and_clamps() {
+        let a = SetpointAction::from_clamped(14.2, 35.0);
+        assert_eq!(a.heating(), 15);
+        assert_eq!(a.cooling(), 30);
+        let b = SetpointAction::from_clamped(20.6, 24.4);
+        assert_eq!(b.heating(), 21);
+        assert_eq!(b.cooling(), 24);
+    }
+
+    #[test]
+    fn space_has_90_actions() {
+        let s = ActionSpace::new();
+        assert_eq!(s.len(), 90);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = ActionSpace::new();
+        for (i, &a) in s.iter().enumerate() {
+            assert_eq!(s.index_of(a), i);
+            assert_eq!(s.action(i).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn bad_index_errors() {
+        let s = ActionSpace::new();
+        assert!(matches!(
+            s.action(90),
+            Err(EnvError::ActionIndexOutOfRange { index: 90, size: 90 })
+        ));
+    }
+
+    #[test]
+    fn display_mentions_both_setpoints() {
+        let a = SetpointAction::new(18, 27).unwrap();
+        let s = a.to_string();
+        assert!(s.contains("18") && s.contains("27"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_clamped_always_valid(h in -100.0f64..100.0, c in -100.0f64..100.0) {
+            let a = SetpointAction::from_clamped(h, c);
+            prop_assert!(HEATING_RANGE.contains(&a.heating()));
+            prop_assert!(COOLING_RANGE.contains(&a.cooling()));
+        }
+
+        #[test]
+        fn prop_energy_proxy_nonnegative(h in 15i32..=23, c in 21i32..=30) {
+            let a = SetpointAction::new(h, c).unwrap();
+            prop_assert!(a.energy_proxy() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Comfort ranges.
+//!
+//! The paper defines the set of "safe" states as zone temperatures inside
+//! a predefined comfort range `[z̲, z̄]` — `[20, 23.5]` °C in winter and
+//! `[23, 26]` °C in summer (Section 2.1). The comfort range is both a
+//! reward ingredient (Eq. 2) and the safety predicate of all three
+//! verification criteria (Eq. 4).
+
+use crate::EnvError;
+
+/// A closed zone-temperature comfort interval `[lo, hi]`, °C.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComfortRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl ComfortRange {
+    /// Creates a comfort range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::InvalidComfortRange`] if `lo >= hi` or either
+    /// bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, EnvError> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(EnvError::InvalidComfortRange { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// The paper's winter comfort range: `[20.0, 23.5]` °C.
+    pub fn winter() -> Self {
+        Self { lo: 20.0, hi: 23.5 }
+    }
+
+    /// The paper's summer comfort range: `[23.0, 26.0]` °C.
+    pub fn summer() -> Self {
+        Self { lo: 23.0, hi: 26.0 }
+    }
+
+    /// Lower bound `z̲`, °C.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound `z̄`, °C.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Midpoint of the range — the value Algorithm 1 writes into failed
+    /// leaves ("we correct it by editing the setpoint in the failed leaf
+    /// node to the median of the comfort zone").
+    pub fn median(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `temp` lies inside the closed range.
+    pub fn contains(&self, temp: f64) -> bool {
+        (self.lo..=self.hi).contains(&temp)
+    }
+
+    /// The comfort-violation magnitude of Eq. 2:
+    /// `|t − z̄|₊ + |z̲ − t|₊` — zero inside the range, otherwise the
+    /// distance to the nearest bound.
+    pub fn violation_degrees(&self, temp: f64) -> f64 {
+        (temp - self.hi).max(0.0) + (self.lo - temp).max(0.0)
+    }
+
+    /// Whether `temp` is *above* the range (`s_t > z̄` — the premise of
+    /// verification criterion #2).
+    pub fn is_above(&self, temp: f64) -> bool {
+        temp > self.hi
+    }
+
+    /// Whether `temp` is *below* the range (`s_t < z̲` — the premise of
+    /// verification criterion #3).
+    pub fn is_below(&self, temp: f64) -> bool {
+        temp < self.lo
+    }
+}
+
+impl std::fmt::Display for ComfortRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.1} °C, {:.1} °C]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_ranges() {
+        let w = ComfortRange::winter();
+        assert_eq!((w.lo(), w.hi()), (20.0, 23.5));
+        let s = ComfortRange::summer();
+        assert_eq!((s.lo(), s.hi()), (23.0, 26.0));
+    }
+
+    #[test]
+    fn median_is_midpoint() {
+        assert!((ComfortRange::winter().median() - 21.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_is_zero_inside() {
+        let r = ComfortRange::winter();
+        assert_eq!(r.violation_degrees(21.0), 0.0);
+        assert_eq!(r.violation_degrees(20.0), 0.0);
+        assert_eq!(r.violation_degrees(23.5), 0.0);
+    }
+
+    #[test]
+    fn violation_measures_distance_outside() {
+        let r = ComfortRange::winter();
+        assert!((r.violation_degrees(18.0) - 2.0).abs() < 1e-12);
+        assert!((r.violation_degrees(25.5) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn above_below_predicates() {
+        let r = ComfortRange::winter();
+        assert!(r.is_below(19.9));
+        assert!(r.is_above(23.6));
+        assert!(!r.is_below(20.0));
+        assert!(!r.is_above(23.5));
+    }
+
+    #[test]
+    fn degenerate_range_rejected() {
+        assert!(ComfortRange::new(22.0, 22.0).is_err());
+        assert!(ComfortRange::new(23.0, 20.0).is_err());
+        assert!(ComfortRange::new(f64::NAN, 25.0).is_err());
+    }
+
+    #[test]
+    fn display_shows_bounds() {
+        assert_eq!(ComfortRange::winter().to_string(), "[20.0 °C, 23.5 °C]");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_violation_nonnegative(t in -40.0f64..60.0) {
+            prop_assert!(ComfortRange::winter().violation_degrees(t) >= 0.0);
+        }
+
+        #[test]
+        fn prop_contains_iff_zero_violation(t in -40.0f64..60.0) {
+            let r = ComfortRange::summer();
+            prop_assert_eq!(r.contains(t), r.violation_degrees(t) == 0.0);
+        }
+
+        #[test]
+        fn prop_exactly_one_region(t in -40.0f64..60.0) {
+            let r = ComfortRange::winter();
+            let states = [r.contains(t), r.is_above(t), r.is_below(t)];
+            prop_assert_eq!(states.iter().filter(|&&x| x).count(), 1);
+        }
+    }
+}

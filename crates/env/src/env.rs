@@ -1,0 +1,479 @@
+//! The HVAC control environment.
+
+use crate::action::SetpointAction;
+use crate::comfort::ComfortRange;
+use crate::error::EnvError;
+use crate::reward::{reward, RewardConfig};
+use crate::space::{Disturbances, Observation};
+use hvac_sim::{
+    Building, BuildingConfig, ClimatePreset, OccupancySchedule, SimClock, WeatherGenerator,
+    WeatherSample,
+};
+
+/// Everything needed to instantiate an [`HvacEnv`].
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Climate the weather generator draws from.
+    pub climate: ClimatePreset,
+    /// Building description.
+    pub building: BuildingConfig,
+    /// Occupancy schedule.
+    pub schedule: OccupancySchedule,
+    /// Comfort range (January evaluation ⇒ winter by default).
+    pub comfort: ComfortRange,
+    /// Reward weights.
+    pub reward: RewardConfig,
+    /// Index of the zone the agent controls.
+    pub controlled_zone: usize,
+    /// Setpoints applied to the *other* zones while the building is
+    /// occupied.
+    pub uncontrolled_occupied: (f64, f64),
+    /// Setpoints applied to the other zones while unoccupied (setback).
+    pub uncontrolled_unoccupied: (f64, f64),
+    /// Episode length in 15-minute steps (paper: one month, `31 × 96`).
+    pub episode_steps: usize,
+    /// Seed for the weather process; `reset` reproduces the same weather.
+    pub weather_seed: u64,
+    /// Calendar position of step 0 (January 1st by default; July 1st
+    /// for summer scenarios).
+    pub start_clock: SimClock,
+}
+
+impl EnvConfig {
+    fn with_climate(climate: ClimatePreset) -> Self {
+        Self {
+            climate,
+            building: BuildingConfig::five_zone_463m2(),
+            schedule: OccupancySchedule::office(),
+            comfort: ComfortRange::winter(),
+            reward: RewardConfig::paper(),
+            controlled_zone: 1,
+            uncontrolled_occupied: (20.0, 23.5),
+            uncontrolled_unoccupied: (15.0, 30.0),
+            episode_steps: 31 * hvac_sim::STEPS_PER_DAY,
+            weather_seed: 2021,
+            start_clock: SimClock::january(),
+        }
+    }
+
+    /// January in Pittsburgh (ASHRAE 4A) — the paper's cold-climate city.
+    pub fn pittsburgh() -> Self {
+        Self::with_climate(ClimatePreset::pittsburgh_4a())
+    }
+
+    /// January in Tucson (ASHRAE 2B) — the paper's hot-dry city.
+    pub fn tucson() -> Self {
+        Self::with_climate(ClimatePreset::tucson_2b())
+    }
+
+    /// January in New York (ASHRAE 4A) — used by the Fig. 3 noise study.
+    pub fn new_york() -> Self {
+        Self::with_climate(ClimatePreset::new_york_4a())
+    }
+
+    /// July in Pittsburgh with the paper's summer comfort range
+    /// (`[23, 26]` °C).
+    pub fn pittsburgh_summer() -> Self {
+        let mut config = Self::with_climate(ClimatePreset::pittsburgh_4a_july());
+        config.comfort = ComfortRange::summer();
+        config.uncontrolled_occupied = (23.0, 26.0);
+        config.start_clock = SimClock::july();
+        config
+    }
+
+    /// July in Tucson with the paper's summer comfort range.
+    pub fn tucson_summer() -> Self {
+        let mut config = Self::with_climate(ClimatePreset::tucson_2b_july());
+        config.comfort = ComfortRange::summer();
+        config.uncontrolled_occupied = (23.0, 26.0);
+        config.start_clock = SimClock::july();
+        config
+    }
+
+    /// Returns the config with a different weather seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.weather_seed = seed;
+        self
+    }
+
+    /// Returns the config with a different episode length (in steps).
+    pub fn with_episode_steps(mut self, steps: usize) -> Self {
+        self.episode_steps = steps;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates building validation failures and rejects a controlled
+    /// zone index outside the building.
+    pub fn validate(&self) -> Result<(), EnvError> {
+        self.building.validate()?;
+        if self.controlled_zone >= self.building.zones.len() {
+            return Err(EnvError::BadControlledZone {
+                index: self.controlled_zone,
+                zones: self.building.zones.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+enum WeatherSource {
+    Generator {
+        seed: u64,
+        generator: Box<WeatherGenerator>,
+    },
+    Trace {
+        samples: Vec<WeatherSample>,
+        cursor: usize,
+    },
+}
+
+impl WeatherSource {
+    fn rewind(&mut self, climate: &ClimatePreset) {
+        match self {
+            WeatherSource::Generator { seed, generator } => {
+                **generator = WeatherGenerator::new(climate.clone(), *seed);
+            }
+            WeatherSource::Trace { cursor, .. } => *cursor = 0,
+        }
+    }
+
+    fn next(&mut self, clock: &SimClock) -> Result<WeatherSample, EnvError> {
+        match self {
+            WeatherSource::Generator { generator, .. } => Ok(generator.sample(clock)),
+            WeatherSource::Trace { samples, cursor } => {
+                let s = samples
+                    .get(*cursor)
+                    .copied()
+                    .ok_or(EnvError::TraceExhausted { step: *cursor })?;
+                *cursor += 1;
+                Ok(s)
+            }
+        }
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Observation at the *next* decision time.
+    pub observation: Observation,
+    /// Reward (Eq. 2) earned by the step just taken.
+    pub reward: f64,
+    /// Whole-building electrical energy consumed this step, kWh.
+    pub electric_energy_kwh: f64,
+    /// Electrical energy of the controlled zone alone, kWh.
+    pub zone_electric_energy_kwh: f64,
+    /// Comfort violation (°C beyond the range) of the post-step zone
+    /// temperature.
+    pub comfort_violation_degrees: f64,
+    /// Whether the controlled zone was occupied during the step.
+    pub occupied: bool,
+    /// Whether the episode has reached its configured length.
+    pub done: bool,
+}
+
+/// The simulated HVAC control environment.
+///
+/// Mirrors the Sinergym loop the paper uses: the agent observes
+/// `(s_t, d_t)`, commands a setpoint pair, the building advances one
+/// 15-minute step, and the reward of Eq. 2 is evaluated on the resulting
+/// zone temperature (the quantity the MBRL controller optimizes through
+/// its model in Eq. 1).
+pub struct HvacEnv {
+    config: EnvConfig,
+    building: Building,
+    weather: WeatherSource,
+    clock: SimClock,
+    current_weather: WeatherSample,
+    steps_taken: usize,
+}
+
+impl HvacEnv {
+    /// Creates an environment with generated weather.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from [`EnvConfig::validate`].
+    pub fn new(config: EnvConfig) -> Result<Self, EnvError> {
+        config.validate()?;
+        let building = Building::new(config.building.clone())?;
+        let generator = WeatherGenerator::new(config.climate.clone(), config.weather_seed);
+        let mut env = Self {
+            weather: WeatherSource::Generator {
+                seed: config.weather_seed,
+                generator: Box::new(generator),
+            },
+            building,
+            clock: config.start_clock,
+            current_weather: WeatherSample::default(),
+            steps_taken: 0,
+            config,
+        };
+        env.reset();
+        Ok(env)
+    }
+
+    /// Creates an environment that replays a fixed weather trace — the
+    /// protocol of the paper's Fig. 1/Fig. 5 determinism experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from [`EnvConfig::validate`].
+    pub fn with_weather_trace(
+        config: EnvConfig,
+        trace: Vec<WeatherSample>,
+    ) -> Result<Self, EnvError> {
+        config.validate()?;
+        let building = Building::new(config.building.clone())?;
+        let mut env = Self {
+            weather: WeatherSource::Trace {
+                samples: trace,
+                cursor: 0,
+            },
+            building,
+            clock: config.start_clock,
+            current_weather: WeatherSample::default(),
+            steps_taken: 0,
+            config,
+        };
+        env.reset();
+        Ok(env)
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// The comfort range in force.
+    pub fn comfort(&self) -> &ComfortRange {
+        &self.config.comfort
+    }
+
+    /// The simulation clock (at the next decision time).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Steps taken since the last reset.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Resets the episode: building to initial temperatures, clock to
+    /// January 1st 00:00, weather re-seeded (or trace rewound). Returns
+    /// the initial observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a replayed weather trace is empty.
+    pub fn reset(&mut self) -> Observation {
+        self.building.reset();
+        self.clock.reset();
+        self.steps_taken = 0;
+        self.weather.rewind(&self.config.climate);
+        self.current_weather = self
+            .weather
+            .next(&self.clock)
+            .expect("weather trace must contain at least one sample");
+        self.observe()
+    }
+
+    /// The observation at the current decision time.
+    pub fn observe(&self) -> Observation {
+        let occupants = self.config.schedule.occupants(&self.clock);
+        Observation::new(
+            self.building.zone_temperature(self.config.controlled_zone),
+            Disturbances::from_weather(
+                &self.current_weather,
+                occupants[self.config.controlled_zone],
+                self.clock.hour_of_day(),
+            ),
+        )
+    }
+
+    /// Executes `action` on the controlled zone for one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError::TraceExhausted`] when a replayed trace runs
+    /// out, or a wrapped simulator error.
+    pub fn step(&mut self, action: SetpointAction) -> Result<StepOutcome, EnvError> {
+        let occupants = self.config.schedule.occupants(&self.clock);
+        let occupied = occupants[self.config.controlled_zone] > 0.0;
+
+        let mut setpoints = Vec::with_capacity(self.building.zone_count());
+        let others = if self.config.schedule.is_occupied(&self.clock) {
+            self.config.uncontrolled_occupied
+        } else {
+            self.config.uncontrolled_unoccupied
+        };
+        for i in 0..self.building.zone_count() {
+            if i == self.config.controlled_zone {
+                setpoints.push(action.as_f64_pair());
+            } else {
+                setpoints.push(others);
+            }
+        }
+
+        let result = self
+            .building
+            .step(&self.current_weather, &occupants, &setpoints)?;
+
+        self.clock.advance();
+        self.steps_taken += 1;
+        self.current_weather = self.weather.next(&self.clock)?;
+
+        let next_obs = self.observe();
+        let post_temp = result.zone_temperatures[self.config.controlled_zone];
+        let r = reward(&self.config.reward, &self.config.comfort, post_temp, action, occupied);
+
+        Ok(StepOutcome {
+            observation: next_obs,
+            reward: r,
+            electric_energy_kwh: result.electric_energy_kwh,
+            zone_electric_energy_kwh: result.hvac[self.config.controlled_zone].electric_power
+                * hvac_sim::STEP_SECONDS
+                / 3.6e6,
+            comfort_violation_degrees: self.config.comfort.violation_degrees(post_temp),
+            occupied,
+            done: self.steps_taken >= self.config.episode_steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_config() -> EnvConfig {
+        EnvConfig::pittsburgh().with_episode_steps(96)
+    }
+
+    #[test]
+    fn reset_is_reproducible() {
+        let mut env = HvacEnv::new(short_config()).unwrap();
+        let a = SetpointAction::new(21, 25).unwrap();
+        let first: Vec<f64> = (0..10).map(|_| env.step(a).unwrap().reward).collect();
+        env.reset();
+        let second: Vec<f64> = (0..10).map(|_| env.step(a).unwrap().reward).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn episode_terminates_at_configured_length() {
+        let mut env = HvacEnv::new(short_config()).unwrap();
+        let a = SetpointAction::off();
+        for i in 0..96 {
+            let out = env.step(a).unwrap();
+            assert_eq!(out.done, i == 95, "step {i}");
+        }
+    }
+
+    #[test]
+    fn bad_controlled_zone_rejected() {
+        let mut c = short_config();
+        c.controlled_zone = 9;
+        assert!(matches!(
+            HvacEnv::new(c),
+            Err(EnvError::BadControlledZone { index: 9, zones: 5 })
+        ));
+    }
+
+    #[test]
+    fn heating_action_raises_zone_temperature() {
+        let mut cold_env = HvacEnv::new(short_config()).unwrap();
+        let mut warm_env = HvacEnv::new(short_config()).unwrap();
+        let off = SetpointAction::off();
+        let heat = SetpointAction::new(23, 30).unwrap();
+        let mut cold_t = 0.0;
+        let mut warm_t = 0.0;
+        for _ in 0..48 {
+            cold_t = cold_env.step(off).unwrap().observation.zone_temperature;
+            warm_t = warm_env.step(heat).unwrap().observation.zone_temperature;
+        }
+        assert!(warm_t > cold_t + 1.0);
+    }
+
+    #[test]
+    fn trace_mode_replays_and_exhausts() {
+        let trace = vec![WeatherSample::default(); 5];
+        let mut env = HvacEnv::with_weather_trace(short_config(), trace).unwrap();
+        let a = SetpointAction::off();
+        for _ in 0..4 {
+            env.step(a).unwrap();
+        }
+        assert!(matches!(env.step(a), Err(EnvError::TraceExhausted { .. })));
+    }
+
+    #[test]
+    fn trace_mode_is_bitwise_deterministic() {
+        let config = short_config();
+        let mut generator =
+            WeatherGenerator::new(config.climate.clone(), 7);
+        let trace = generator.trace(&SimClock::january(), 20);
+        let run = |trace: Vec<WeatherSample>| {
+            let mut env = HvacEnv::with_weather_trace(short_config(), trace).unwrap();
+            (0..19)
+                .map(|_| env.step(SetpointAction::new(20, 26).unwrap()).unwrap().reward)
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(trace.clone()), run(trace));
+    }
+
+    #[test]
+    fn observation_reflects_occupancy_schedule() {
+        let mut env = HvacEnv::new(short_config()).unwrap();
+        // Step to 10:00 on Jan 1 (Friday): occupied.
+        for _ in 0..40 {
+            env.step(SetpointAction::off()).unwrap();
+        }
+        assert!(env.observe().is_occupied());
+    }
+
+    #[test]
+    fn reward_is_nonpositive_every_step() {
+        let mut env = HvacEnv::new(short_config()).unwrap();
+        for _ in 0..96 {
+            let out = env.step(SetpointAction::new(22, 24).unwrap()).unwrap();
+            assert!(out.reward <= 0.0);
+            assert!(out.electric_energy_kwh >= 0.0);
+            assert!(out.zone_electric_energy_kwh >= 0.0);
+        }
+    }
+
+    #[test]
+    fn summer_config_starts_in_july_with_summer_comfort() {
+        let config = EnvConfig::tucson_summer().with_episode_steps(96);
+        let env = HvacEnv::new(config).unwrap();
+        assert_eq!(env.clock().day_of_year(), 181);
+        assert_eq!(env.comfort().lo(), 23.0);
+        assert_eq!(env.comfort().hi(), 26.0);
+        // July in Tucson: the first observation's outdoor temperature is
+        // summer-hot.
+        assert!(env.observe().disturbances.outdoor_temperature > 15.0);
+    }
+
+    #[test]
+    fn observation_carries_hour_of_day() {
+        let mut env = HvacEnv::new(short_config()).unwrap();
+        assert_eq!(env.observe().disturbances.hour_of_day, 0.0);
+        for _ in 0..5 {
+            env.step(SetpointAction::off()).unwrap();
+        }
+        assert!((env.observe().disturbances.hour_of_day - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zone_energy_bounded_by_building_energy() {
+        let mut env = HvacEnv::new(short_config()).unwrap();
+        for _ in 0..96 {
+            let out = env.step(SetpointAction::new(23, 24).unwrap()).unwrap();
+            assert!(out.zone_electric_energy_kwh <= out.electric_energy_kwh + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Controller-agnostic episode driver and evaluation metrics.
+//!
+//! The paper's Fig. 4 scores each controller by monthly energy
+//! consumption and comfort violation; Fig. 6 uses the derived
+//! "comfort rate ÷ energy × 1000" performance index. This module runs a
+//! policy against an environment and aggregates exactly those metrics.
+
+use crate::action::SetpointAction;
+use crate::env::HvacEnv;
+use crate::error::EnvError;
+use crate::policy::Policy;
+use crate::space::Observation;
+
+/// Per-step log entry of an episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Step index within the episode.
+    pub step: usize,
+    /// Observation at decision time.
+    pub observation: Observation,
+    /// Action commanded.
+    pub action: SetpointAction,
+    /// Reward earned.
+    pub reward: f64,
+    /// Zone temperature after the step, °C.
+    pub post_zone_temperature: f64,
+    /// Whole-building electrical energy, kWh.
+    pub electric_energy_kwh: f64,
+    /// Controlled-zone electrical energy, kWh.
+    pub zone_electric_energy_kwh: f64,
+    /// Comfort violation of the post-step temperature, °C.
+    pub comfort_violation_degrees: f64,
+    /// Whether the zone was occupied during the step.
+    pub occupied: bool,
+}
+
+/// Aggregate metrics over one episode.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpisodeMetrics {
+    /// Number of steps executed.
+    pub steps: usize,
+    /// Sum of rewards.
+    pub total_reward: f64,
+    /// Whole-building electrical energy, kWh.
+    pub total_electric_kwh: f64,
+    /// Controlled-zone electrical energy, kWh.
+    pub zone_electric_kwh: f64,
+    /// Number of occupied steps.
+    pub occupied_steps: usize,
+    /// Occupied steps whose post-step temperature violated comfort.
+    pub violation_steps: usize,
+    /// Mean violation magnitude over occupied steps, °C.
+    pub mean_violation_degrees: f64,
+}
+
+impl EpisodeMetrics {
+    /// Fraction of occupied steps violating the comfort range
+    /// (the paper's "violation rate"; 0 when never occupied).
+    pub fn violation_rate(&self) -> f64 {
+        if self.occupied_steps == 0 {
+            0.0
+        } else {
+            self.violation_steps as f64 / self.occupied_steps as f64
+        }
+    }
+
+    /// Fraction of occupied steps inside the comfort range.
+    pub fn comfort_rate(&self) -> f64 {
+        1.0 - self.violation_rate()
+    }
+
+    /// The paper's Fig. 6 performance index:
+    /// `comfort_rate / energy × 1000` (0 when no energy was used —
+    /// which cannot happen in January in either city).
+    pub fn performance_index(&self) -> f64 {
+        if self.zone_electric_kwh <= 0.0 {
+            0.0
+        } else {
+            self.comfort_rate() / self.zone_electric_kwh * 1000.0
+        }
+    }
+}
+
+impl std::fmt::Display for EpisodeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "steps={} energy={:.1} kWh (zone {:.1}) violation_rate={:.1}% reward={:.1}",
+            self.steps,
+            self.total_electric_kwh,
+            self.zone_electric_kwh,
+            100.0 * self.violation_rate(),
+            self.total_reward,
+        )
+    }
+}
+
+/// A complete episode: the per-step log plus the aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeRecord {
+    /// Name of the policy that produced the episode.
+    pub policy_name: String,
+    /// Per-step log.
+    pub steps: Vec<StepRecord>,
+    /// Aggregate metrics.
+    pub metrics: EpisodeMetrics,
+}
+
+impl EpisodeRecord {
+    /// The sequence of actions taken (useful for determinism checks).
+    pub fn actions(&self) -> Vec<SetpointAction> {
+        self.steps.iter().map(|s| s.action).collect()
+    }
+
+    /// Renders the per-step log as CSV (header + one row per step) for
+    /// offline analysis/plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "step,hour_of_day,occupied,zone_temperature_c,outdoor_temperature_c,\
+             heating_setpoint_c,cooling_setpoint_c,post_zone_temperature_c,\
+             reward,electric_energy_kwh,zone_electric_energy_kwh,violation_c\n",
+        );
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{},{:.2},{},{:.4},{:.4},{},{},{:.4},{:.6},{:.6},{:.6},{:.4}\n",
+                s.step,
+                s.observation.disturbances.hour_of_day,
+                u8::from(s.occupied),
+                s.observation.zone_temperature,
+                s.observation.disturbances.outdoor_temperature,
+                s.action.heating(),
+                s.action.cooling(),
+                s.post_zone_temperature,
+                s.reward,
+                s.electric_energy_kwh,
+                s.zone_electric_energy_kwh,
+                s.comfort_violation_degrees,
+            ));
+        }
+        out
+    }
+
+    /// The sequence of heating setpoints (Fig. 1/Fig. 5 traces).
+    pub fn heating_setpoints(&self) -> Vec<i32> {
+        self.steps.iter().map(|s| s.action.heating()).collect()
+    }
+}
+
+/// Runs `policy` in `env` from a fresh reset until the episode reports
+/// `done` (or the environment errors).
+///
+/// # Errors
+///
+/// Propagates any [`EnvError`] raised by the environment (e.g. an
+/// exhausted weather trace).
+///
+/// # Example
+///
+/// ```
+/// use hvac_env::{run_episode, EnvConfig, HvacEnv, Observation, Policy, SetpointAction};
+///
+/// struct AlwaysOff;
+/// impl Policy for AlwaysOff {
+///     fn decide(&mut self, _o: &Observation) -> SetpointAction {
+///         SetpointAction::off()
+///     }
+///     fn name(&self) -> &str {
+///         "always-off"
+///     }
+/// }
+///
+/// # fn main() -> Result<(), hvac_env::EnvError> {
+/// let mut env = HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(10))?;
+/// let record = run_episode(&mut env, &mut AlwaysOff)?;
+/// assert_eq!(record.steps.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_episode<P: Policy>(env: &mut HvacEnv, policy: &mut P) -> Result<EpisodeRecord, EnvError> {
+    let mut obs = env.reset();
+    let mut steps = Vec::new();
+    let mut metrics = EpisodeMetrics::default();
+    let mut violation_sum = 0.0;
+
+    loop {
+        let action = policy.decide(&obs);
+        let out = env.step(action)?;
+        steps.push(StepRecord {
+            step: metrics.steps,
+            observation: obs,
+            action,
+            reward: out.reward,
+            post_zone_temperature: out.observation.zone_temperature,
+            electric_energy_kwh: out.electric_energy_kwh,
+            zone_electric_energy_kwh: out.zone_electric_energy_kwh,
+            comfort_violation_degrees: out.comfort_violation_degrees,
+            occupied: out.occupied,
+        });
+
+        metrics.steps += 1;
+        metrics.total_reward += out.reward;
+        metrics.total_electric_kwh += out.electric_energy_kwh;
+        metrics.zone_electric_kwh += out.zone_electric_energy_kwh;
+        if out.occupied {
+            metrics.occupied_steps += 1;
+            violation_sum += out.comfort_violation_degrees;
+            if out.comfort_violation_degrees > 0.0 {
+                metrics.violation_steps += 1;
+            }
+        }
+
+        obs = out.observation;
+        if out.done {
+            break;
+        }
+    }
+
+    metrics.mean_violation_degrees = if metrics.occupied_steps == 0 {
+        0.0
+    } else {
+        violation_sum / metrics.occupied_steps as f64
+    };
+
+    Ok(EpisodeRecord {
+        policy_name: policy.name().to_string(),
+        steps,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvConfig;
+
+    struct Constant(SetpointAction);
+    impl Policy for Constant {
+        fn decide(&mut self, _o: &Observation) -> SetpointAction {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "constant"
+        }
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+    }
+
+    fn env(steps: usize) -> HvacEnv {
+        HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(steps)).unwrap()
+    }
+
+    #[test]
+    fn episode_runs_to_length() {
+        let mut e = env(50);
+        let record = run_episode(&mut e, &mut Constant(SetpointAction::off())).unwrap();
+        assert_eq!(record.steps.len(), 50);
+        assert_eq!(record.metrics.steps, 50);
+        assert_eq!(record.policy_name, "constant");
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut e = env(96 * 2);
+        let record =
+            run_episode(&mut e, &mut Constant(SetpointAction::new(21, 24).unwrap())).unwrap();
+        let m = &record.metrics;
+        assert!(m.total_electric_kwh > 0.0);
+        assert!(m.zone_electric_kwh > 0.0);
+        assert!(m.occupied_steps > 0);
+        assert!(m.total_reward <= 0.0);
+        assert!((0.0..=1.0).contains(&m.violation_rate()));
+        assert!((m.comfort_rate() + m.violation_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_policy_violates_comfort_in_winter() {
+        let mut e = env(96 * 2);
+        let record = run_episode(&mut e, &mut Constant(SetpointAction::off())).unwrap();
+        // Pittsburgh January with no heating: cold violations while
+        // occupied are essentially guaranteed.
+        assert!(record.metrics.violation_rate() > 0.5);
+    }
+
+    #[test]
+    fn comfort_policy_beats_off_policy_on_comfort() {
+        let mut e1 = env(96 * 2);
+        let warm = run_episode(&mut e1, &mut Constant(SetpointAction::new(21, 24).unwrap()))
+            .unwrap();
+        let mut e2 = env(96 * 2);
+        let off = run_episode(&mut e2, &mut Constant(SetpointAction::off())).unwrap();
+        assert!(warm.metrics.violation_rate() < off.metrics.violation_rate());
+        assert!(warm.metrics.total_electric_kwh > off.metrics.total_electric_kwh);
+    }
+
+    #[test]
+    fn determinism_of_recorded_actions() {
+        let run = || {
+            let mut e = env(30);
+            run_episode(&mut e, &mut Constant(SetpointAction::new(20, 25).unwrap()))
+                .unwrap()
+                .actions()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn performance_index_zero_without_energy() {
+        let m = EpisodeMetrics::default();
+        assert_eq!(m.performance_index(), 0.0);
+    }
+
+    #[test]
+    fn heating_setpoints_extracted() {
+        let mut e = env(5);
+        let record =
+            run_episode(&mut e, &mut Constant(SetpointAction::new(19, 26).unwrap())).unwrap();
+        assert_eq!(record.heating_setpoints(), vec![19; 5]);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut e = env(5);
+        let record = run_episode(&mut e, &mut Constant(SetpointAction::off())).unwrap();
+        let csv = record.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("step,hour_of_day,occupied"));
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn display_mentions_energy() {
+        let mut e = env(5);
+        let record = run_episode(&mut e, &mut Constant(SetpointAction::off())).unwrap();
+        assert!(record.metrics.to_string().contains("kWh"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for environment operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnvError {
+    /// A setpoint was outside the paper's action space
+    /// (heating ∈ [15, 23] °C, cooling ∈ [21, 30] °C).
+    SetpointOutOfRange {
+        /// `"heating"` or `"cooling"`.
+        which: &'static str,
+        /// The rejected value.
+        value: i32,
+    },
+    /// An action index was outside the discrete action space.
+    ActionIndexOutOfRange {
+        /// The rejected index.
+        index: usize,
+        /// Size of the action space.
+        size: usize,
+    },
+    /// A comfort range was empty or non-finite.
+    InvalidComfortRange {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// The controlled-zone index does not exist in the building.
+    BadControlledZone {
+        /// The rejected index.
+        index: usize,
+        /// Number of zones available.
+        zones: usize,
+    },
+    /// A replayed weather trace was exhausted before the episode ended.
+    TraceExhausted {
+        /// Step at which the trace ran out.
+        step: usize,
+    },
+    /// An underlying simulator error.
+    Sim(hvac_sim::SimError),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::SetpointOutOfRange { which, value } => {
+                write!(f, "{which} setpoint {value} is outside the action space")
+            }
+            EnvError::ActionIndexOutOfRange { index, size } => {
+                write!(f, "action index {index} out of range for space of size {size}")
+            }
+            EnvError::InvalidComfortRange { lo, hi } => {
+                write!(f, "invalid comfort range [{lo}, {hi}]")
+            }
+            EnvError::BadControlledZone { index, zones } => {
+                write!(f, "controlled zone {index} does not exist ({zones} zones)")
+            }
+            EnvError::TraceExhausted { step } => {
+                write!(f, "weather trace exhausted at step {step}")
+            }
+            EnvError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for EnvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnvError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hvac_sim::SimError> for EnvError {
+    fn from(e: hvac_sim::SimError) -> Self {
+        EnvError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs: Vec<EnvError> = vec![
+            EnvError::SetpointOutOfRange {
+                which: "heating",
+                value: 99,
+            },
+            EnvError::ActionIndexOutOfRange { index: 100, size: 90 },
+            EnvError::InvalidComfortRange { lo: 5.0, hi: 1.0 },
+            EnvError::BadControlledZone { index: 7, zones: 5 },
+            EnvError::TraceExhausted { step: 10 },
+            EnvError::Sim(hvac_sim::SimError::NoZones),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sim_error_converts_and_sources() {
+        let e: EnvError = hvac_sim::SimError::NoZones.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,59 @@
+//! Sinergym-style MDP environment over the building simulator.
+//!
+//! This crate defines the decision problem of the paper's Section 2.1:
+//!
+//! * **State** `s_t` — the controlled zone's air temperature.
+//! * **Disturbances** `d_t` — outdoor drybulb temperature, relative
+//!   humidity, wind speed, solar radiation, and zone occupant count
+//!   (Table 1).
+//! * **Action** `a_t` — an integer heating setpoint in `[15, 23]` °C and
+//!   an integer cooling setpoint in `[21, 30]` °C.
+//! * **Reward** (Eq. 2) — a weighted sum of an energy proxy and the
+//!   comfort-range violation, with the energy weight `w_e = 0.01` while
+//!   occupied and `w_e = 1` while unoccupied.
+//!
+//! [`HvacEnv`] drives one controlled zone of the five-zone building; the
+//! remaining zones run a fixed default schedule, mirroring the paper's
+//! single-zone control formulation on a multi-zone building. The
+//! environment can either generate weather on the fly (seeded) or replay
+//! a fixed disturbance trace — the latter reproduces the "fixed set of
+//! disturbances of one day" protocol behind the paper's Fig. 1 and
+//! Fig. 5.
+//!
+//! # Example
+//!
+//! ```
+//! use hvac_env::{EnvConfig, HvacEnv, SetpointAction};
+//!
+//! # fn main() -> Result<(), hvac_env::EnvError> {
+//! let mut env = HvacEnv::new(EnvConfig::pittsburgh())?;
+//! let obs = env.reset();
+//! let action = SetpointAction::new(20, 26)?;
+//! let outcome = env.step(action)?;
+//! assert!(outcome.observation.zone_temperature.is_finite());
+//! assert!(outcome.reward <= 0.0);
+//! # let _ = obs;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod comfort;
+pub mod env;
+pub mod episode;
+pub mod error;
+pub mod policy;
+pub mod reward;
+pub mod space;
+
+pub use action::{ActionSpace, SetpointAction, COOLING_RANGE, HEATING_RANGE};
+pub use comfort::ComfortRange;
+pub use env::{EnvConfig, HvacEnv, StepOutcome};
+pub use episode::{run_episode, EpisodeMetrics, EpisodeRecord, StepRecord};
+pub use error::EnvError;
+pub use policy::Policy;
+pub use reward::{reward, RewardConfig};
+pub use space::{Disturbances, Observation, Transition, POLICY_INPUT_DIM};

@@ -1,0 +1,126 @@
+//! The policy abstraction shared by every controller in the workspace.
+
+use crate::action::SetpointAction;
+use crate::space::Observation;
+
+/// A control policy `π : (S × D) → A`.
+///
+/// All controllers — the default rule-based schedule, the random-shooting
+/// MBRL agent, CLUE, and the extracted decision tree — implement this
+/// trait, so the episode driver ([`crate::run_episode`]) and every
+/// experiment harness are controller-agnostic.
+///
+/// `decide` takes `&mut self` because stochastic controllers advance an
+/// internal RNG; deterministic policies simply ignore the mutability.
+///
+/// # Example
+///
+/// ```
+/// use hvac_env::{Observation, Policy, SetpointAction};
+///
+/// /// A policy that always commands the same setpoints.
+/// struct Constant(SetpointAction);
+///
+/// impl Policy for Constant {
+///     fn decide(&mut self, _obs: &Observation) -> SetpointAction {
+///         self.0
+///     }
+///     fn name(&self) -> &str {
+///         "constant"
+///     }
+/// }
+///
+/// let mut p = Constant(SetpointAction::off());
+/// assert_eq!(p.decide(&Observation::default()), SetpointAction::off());
+/// ```
+pub trait Policy {
+    /// Chooses the setpoint action for the current observation.
+    fn decide(&mut self, obs: &Observation) -> SetpointAction;
+
+    /// A short human-readable name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Whether the policy is deterministic (same observation ⇒ same
+    /// action, always). The extracted decision tree returns `true`;
+    /// stochastic-optimizer MBRL controllers return `false`. Used by the
+    /// determinism experiments (Fig. 1 vs Fig. 5).
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for &mut P {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        (**self).decide(obs)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        (**self).is_deterministic()
+    }
+}
+
+impl<P: Policy + ?Sized> Policy for Box<P> {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        (**self).decide(obs)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        (**self).is_deterministic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl Policy for Fixed {
+        fn decide(&mut self, _obs: &Observation) -> SetpointAction {
+            SetpointAction::off()
+        }
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let mut p = Fixed;
+        let obs = Observation::default();
+        {
+            let by_ref: &mut Fixed = &mut p;
+            assert_eq!(by_ref.decide(&obs), SetpointAction::off());
+            assert_eq!(by_ref.name(), "fixed");
+            assert!(by_ref.is_deterministic());
+        }
+        let mut boxed: Box<dyn Policy> = Box::new(Fixed);
+        assert_eq!(boxed.decide(&obs), SetpointAction::off());
+        assert!(boxed.is_deterministic());
+    }
+
+    #[test]
+    fn default_is_stochastic() {
+        struct Minimal;
+        impl Policy for Minimal {
+            fn decide(&mut self, _o: &Observation) -> SetpointAction {
+                SetpointAction::off()
+            }
+            fn name(&self) -> &str {
+                "minimal"
+            }
+        }
+        assert!(!Minimal.is_deterministic());
+    }
+}

@@ -1,0 +1,167 @@
+//! The reward function (paper Eq. 2).
+//!
+//! ```text
+//! r(s_t) = − w_e · E_t − (1 − w_e) · (|s_t − z̄|₊ + |z̲ − s_t|₊)
+//! ```
+//!
+//! where `E_t` is the energy proxy (L1 distance between the commanded
+//! setpoints and the HVAC-off setpoints) and the second term is the
+//! comfort violation in °C. The weight switches with occupancy: the
+//! paper uses `w_e = 0.01` while occupied (comfort dominates) and
+//! `w_e = 1` while unoccupied (energy only).
+
+use crate::action::SetpointAction;
+use crate::comfort::ComfortRange;
+
+/// Occupancy-dependent energy weights for Eq. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardConfig {
+    /// `w_e` during occupied periods (paper: `1e-2`).
+    pub energy_weight_occupied: f64,
+    /// `w_e` during unoccupied periods (paper: `1.0`).
+    pub energy_weight_unoccupied: f64,
+}
+
+impl RewardConfig {
+    /// The paper's weights.
+    pub fn paper() -> Self {
+        Self {
+            energy_weight_occupied: 1e-2,
+            energy_weight_unoccupied: 1.0,
+        }
+    }
+
+    /// The effective `w_e` for the given occupancy.
+    pub fn energy_weight(&self, occupied: bool) -> f64 {
+        if occupied {
+            self.energy_weight_occupied
+        } else {
+            self.energy_weight_unoccupied
+        }
+    }
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Evaluates Eq. 2 for one step.
+///
+/// `zone_temperature` is `s_t`; `action` supplies the energy proxy;
+/// `occupied` selects the energy weight.
+///
+/// The reward is always ≤ 0; the maximum (0) is achieved only with the
+/// HVAC off and the zone inside the comfort range.
+///
+/// # Example
+///
+/// ```
+/// use hvac_env::{reward, ComfortRange, RewardConfig, SetpointAction};
+///
+/// # fn main() -> Result<(), hvac_env::EnvError> {
+/// let config = RewardConfig::paper();
+/// let comfort = ComfortRange::winter();
+/// // Comfortable and off: perfect score.
+/// let r = reward(&config, &comfort, 21.0, SetpointAction::off(), false);
+/// assert_eq!(r, 0.0);
+/// // Too cold while occupied: penalized mostly on comfort.
+/// let r = reward(&config, &comfort, 17.0, SetpointAction::off(), true);
+/// assert!(r < -2.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reward(
+    config: &RewardConfig,
+    comfort: &ComfortRange,
+    zone_temperature: f64,
+    action: SetpointAction,
+    occupied: bool,
+) -> f64 {
+    let w_e = config.energy_weight(occupied);
+    let energy = action.energy_proxy();
+    let violation = comfort.violation_degrees(zone_temperature);
+    -w_e * energy - (1.0 - w_e) * violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn config() -> RewardConfig {
+        RewardConfig::paper()
+    }
+
+    #[test]
+    fn perfect_step_scores_zero() {
+        let r = reward(&config(), &ComfortRange::winter(), 21.0, SetpointAction::off(), false);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn unoccupied_ignores_comfort() {
+        // w_e = 1 while unoccupied: only energy matters.
+        let freezing = reward(&config(), &ComfortRange::winter(), 5.0, SetpointAction::off(), false);
+        assert_eq!(freezing, 0.0);
+    }
+
+    #[test]
+    fn occupied_penalizes_violation_strongly() {
+        let comfort = ComfortRange::winter();
+        let cold = reward(&config(), &comfort, 18.0, SetpointAction::off(), true);
+        let ok = reward(&config(), &comfort, 21.0, SetpointAction::off(), true);
+        assert!(cold < ok);
+        // Violation of 2 °C at (1 − 0.01) weight.
+        assert!((cold - (-0.99 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_costs_while_unoccupied() {
+        let comfort = ComfortRange::winter();
+        let heating_hard = SetpointAction::new(23, 30).unwrap();
+        let r = reward(&config(), &comfort, 21.0, heating_hard, false);
+        assert!((r - (-8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupied_weight_applies_to_energy() {
+        let comfort = ComfortRange::winter();
+        let heating_hard = SetpointAction::new(23, 30).unwrap();
+        let r = reward(&config(), &comfort, 21.0, heating_hard, true);
+        assert!((r - (-0.01 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_selector() {
+        assert_eq!(config().energy_weight(true), 0.01);
+        assert_eq!(config().energy_weight(false), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reward_nonpositive(
+            t in -40.0f64..60.0,
+            h in 15i32..=23,
+            c in 21i32..=30,
+            occupied in proptest::bool::ANY,
+        ) {
+            let a = SetpointAction::new(h, c).unwrap();
+            let r = reward(&config(), &ComfortRange::winter(), t, a, occupied);
+            prop_assert!(r <= 0.0);
+        }
+
+        #[test]
+        fn prop_reward_monotone_in_violation(
+            h in 15i32..=23,
+            c in 21i32..=30,
+        ) {
+            let a = SetpointAction::new(h, c).unwrap();
+            let comfort = ComfortRange::winter();
+            let near = reward(&config(), &comfort, 19.5, a, true);
+            let far = reward(&config(), &comfort, 16.0, a, true);
+            prop_assert!(far < near);
+        }
+    }
+}

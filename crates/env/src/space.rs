@@ -1,0 +1,218 @@
+//! State and disturbance spaces (paper Table 1).
+
+use crate::action::SetpointAction;
+
+/// Dimensionality of the policy input vector: the zone temperature, the
+/// five disturbance variables of Table 1, plus the hour of day (the
+/// "time" variable the paper's Fig. 2 decision tree splits on —
+/// Sinergym observations carry calendar features alongside Table 1's
+/// physical quantities).
+pub const POLICY_INPUT_DIM: usize = 7;
+
+/// Index of each feature inside a policy-input vector. Keeping the layout
+/// in one place lets the decision-tree verifier reason about "the zone
+/// temperature dimension" without magic numbers.
+pub mod feature {
+    /// Zone air temperature (the MDP state `s_t`), °C.
+    pub const ZONE_TEMPERATURE: usize = 0;
+    /// Outdoor air drybulb temperature, °C.
+    pub const OUTDOOR_TEMPERATURE: usize = 1;
+    /// Outdoor air relative humidity, %.
+    pub const RELATIVE_HUMIDITY: usize = 2;
+    /// Site wind speed, m/s.
+    pub const WIND_SPEED: usize = 3;
+    /// Site total radiation rate per area, W/m².
+    pub const SOLAR_RADIATION: usize = 4;
+    /// Zone people occupant count.
+    pub const OCCUPANT_COUNT: usize = 5;
+    /// Hour of day in `[0, 24)`.
+    pub const HOUR_OF_DAY: usize = 6;
+
+    /// Human-readable feature names, indexable by the constants above.
+    pub const NAMES: [&str; super::POLICY_INPUT_DIM] = [
+        "zone_air_temperature",
+        "outdoor_air_drybulb_temperature",
+        "outdoor_air_relative_humidity",
+        "site_wind_speed",
+        "site_total_radiation",
+        "zone_people_occupant_count",
+        "hour_of_day",
+    ];
+}
+
+/// The disturbance vector `d_t`: everything the HVAC action cannot
+/// influence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Disturbances {
+    /// Outdoor air drybulb temperature, °C.
+    pub outdoor_temperature: f64,
+    /// Outdoor air relative humidity, %.
+    pub relative_humidity: f64,
+    /// Site wind speed, m/s.
+    pub wind_speed: f64,
+    /// Site total radiation rate per area, W/m².
+    pub solar_radiation: f64,
+    /// Occupant count in the controlled zone.
+    pub occupant_count: f64,
+    /// Hour of day in `[0, 24)`.
+    pub hour_of_day: f64,
+}
+
+impl Disturbances {
+    /// Builds the disturbance vector from a weather sample plus the
+    /// controlled zone's occupant count.
+    pub fn from_weather(w: &hvac_sim::WeatherSample, occupant_count: f64, hour_of_day: f64) -> Self {
+        Self {
+            outdoor_temperature: w.outdoor_temperature,
+            relative_humidity: w.relative_humidity,
+            wind_speed: w.wind_speed,
+            solar_radiation: w.solar_radiation,
+            occupant_count,
+            hour_of_day,
+        }
+    }
+}
+
+/// The full policy input `(s_t, d_t)`: what the paper's decision tree and
+/// all MBRL controllers observe at each step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Observation {
+    /// Controlled-zone air temperature `s_t`, °C.
+    pub zone_temperature: f64,
+    /// Disturbances `d_t`.
+    pub disturbances: Disturbances,
+}
+
+impl Observation {
+    /// Creates an observation.
+    pub fn new(zone_temperature: f64, disturbances: Disturbances) -> Self {
+        Self {
+            zone_temperature,
+            disturbances,
+        }
+    }
+
+    /// Flattens into the canonical policy-input vector
+    /// (see [`feature`] for the layout).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hvac_env::{Disturbances, Observation};
+    /// use hvac_env::space::feature;
+    ///
+    /// let obs = Observation::new(21.0, Disturbances {
+    ///     outdoor_temperature: -3.0,
+    ///     relative_humidity: 70.0,
+    ///     wind_speed: 4.0,
+    ///     solar_radiation: 120.0,
+    ///     occupant_count: 8.0,
+    ///     hour_of_day: 10.5,
+    /// });
+    /// let x = obs.to_vector();
+    /// assert_eq!(x[feature::ZONE_TEMPERATURE], 21.0);
+    /// assert_eq!(x[feature::OCCUPANT_COUNT], 8.0);
+    /// ```
+    pub fn to_vector(&self) -> [f64; POLICY_INPUT_DIM] {
+        [
+            self.zone_temperature,
+            self.disturbances.outdoor_temperature,
+            self.disturbances.relative_humidity,
+            self.disturbances.wind_speed,
+            self.disturbances.solar_radiation,
+            self.disturbances.occupant_count,
+            self.disturbances.hour_of_day,
+        ]
+    }
+
+    /// Reconstructs an observation from a policy-input vector.
+    pub fn from_vector(x: &[f64; POLICY_INPUT_DIM]) -> Self {
+        Self {
+            zone_temperature: x[feature::ZONE_TEMPERATURE],
+            disturbances: Disturbances {
+                outdoor_temperature: x[feature::OUTDOOR_TEMPERATURE],
+                relative_humidity: x[feature::RELATIVE_HUMIDITY],
+                wind_speed: x[feature::WIND_SPEED],
+                solar_radiation: x[feature::SOLAR_RADIATION],
+                occupant_count: x[feature::OCCUPANT_COUNT],
+                hour_of_day: x[feature::HOUR_OF_DAY],
+            },
+        }
+    }
+
+    /// Whether the controlled zone is occupied (the reward's `w_e`
+    /// switch).
+    pub fn is_occupied(&self) -> bool {
+        self.disturbances.occupant_count > 0.0
+    }
+}
+
+/// One historical transition `(s, d, a, s')` — the unit of the paper's
+/// historical dataset `T` extracted from building management systems.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Observation at time `t` (state + disturbances).
+    pub observation: Observation,
+    /// Action executed at time `t`.
+    pub action: SetpointAction,
+    /// Zone temperature at time `t + 1`.
+    pub next_zone_temperature: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn vector_roundtrip() {
+        let obs = Observation::new(
+            22.5,
+            Disturbances {
+                outdoor_temperature: 5.0,
+                relative_humidity: 55.0,
+                wind_speed: 3.2,
+                solar_radiation: 410.0,
+                occupant_count: 3.0,
+                hour_of_day: 14.25,
+            },
+        );
+        assert_eq!(Observation::from_vector(&obs.to_vector()), obs);
+    }
+
+    #[test]
+    fn feature_names_align_with_dim() {
+        assert_eq!(feature::NAMES.len(), POLICY_INPUT_DIM);
+        assert_eq!(feature::NAMES[feature::ZONE_TEMPERATURE], "zone_air_temperature");
+    }
+
+    #[test]
+    fn occupancy_switch() {
+        let mut obs = Observation::default();
+        assert!(!obs.is_occupied());
+        obs.disturbances.occupant_count = 1.0;
+        assert!(obs.is_occupied());
+    }
+
+    #[test]
+    fn from_weather_copies_fields() {
+        let w = hvac_sim::WeatherSample {
+            outdoor_temperature: -2.0,
+            relative_humidity: 66.0,
+            wind_speed: 7.0,
+            solar_radiation: 90.0,
+        };
+        let d = Disturbances::from_weather(&w, 4.0, 9.5);
+        assert_eq!(d.outdoor_temperature, -2.0);
+        assert_eq!(d.occupant_count, 4.0);
+        assert_eq!(d.hour_of_day, 9.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_any_vector(v in proptest::array::uniform7(-1e3f64..1e3)) {
+            let obs = Observation::from_vector(&v);
+            prop_assert_eq!(obs.to_vector(), v);
+        }
+    }
+}

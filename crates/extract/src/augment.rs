@@ -1,0 +1,217 @@
+//! Eq. 5 noise augmentation of the historical input distribution.
+//!
+//! ```text
+//! p̂(x) = X + N(0, noise_level × sqrt(Σ(xᵢ − x̄)² / |X|))
+//! ```
+//!
+//! i.e. draw a row of the historical data `X` uniformly and add
+//! element-wise Gaussian noise whose scale is `noise_level` times that
+//! column's (population) standard deviation. This concentrates the
+//! decision dataset on the scenarios that actually occur in the target
+//! city's climate — the importance-sampling insight of Section 3.2.1.
+
+use crate::error::ExtractError;
+use hvac_env::space::feature;
+use hvac_env::{Observation, POLICY_INPUT_DIM};
+use hvac_stats::sample_standard_normal;
+use rand::Rng;
+
+/// A sampler for the augmented historical-input distribution `p̂(x)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseAugmenter {
+    rows: Vec<[f64; POLICY_INPUT_DIM]>,
+    noise_scales: [f64; POLICY_INPUT_DIM],
+    noise_level: f64,
+}
+
+impl NoiseAugmenter {
+    /// Fits the augmenter on historical policy inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::NoHistoricalData`] for an empty dataset
+    /// and [`ExtractError::BadNoiseLevel`] for a negative or non-finite
+    /// noise level.
+    pub fn fit(
+        rows: Vec<[f64; POLICY_INPUT_DIM]>,
+        noise_level: f64,
+    ) -> Result<Self, ExtractError> {
+        if rows.is_empty() {
+            return Err(ExtractError::NoHistoricalData);
+        }
+        if !(noise_level >= 0.0) || !noise_level.is_finite() {
+            return Err(ExtractError::BadNoiseLevel { value: noise_level });
+        }
+        let n = rows.len() as f64;
+        let mut means = [0.0; POLICY_INPUT_DIM];
+        for row in &rows {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut scales = [0.0; POLICY_INPUT_DIM];
+        for row in &rows {
+            for ((s, v), m) in scales.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut scales {
+            *s = noise_level * (*s / n).sqrt();
+        }
+        Ok(Self {
+            rows,
+            noise_scales: scales,
+            noise_level,
+        })
+    }
+
+    /// The configured noise level.
+    pub fn noise_level(&self) -> f64 {
+        self.noise_level
+    }
+
+    /// Number of historical rows backing the sampler.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the sampler has no rows (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Per-column Gaussian scales (`noise_level × column std`).
+    pub fn noise_scales(&self) -> &[f64; POLICY_INPUT_DIM] {
+        &self.noise_scales
+    }
+
+    /// Draws one augmented input vector: a uniformly random historical
+    /// row plus element-wise Gaussian noise. Physically impossible
+    /// results are clamped (humidity into `[0, 100]`, wind/solar/
+    /// occupancy to ≥ 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> [f64; POLICY_INPUT_DIM] {
+        let base = self.rows[rng.gen_range(0..self.rows.len())];
+        let mut out = base;
+        for (v, s) in out.iter_mut().zip(&self.noise_scales) {
+            *v += s * sample_standard_normal(rng);
+        }
+        out[feature::RELATIVE_HUMIDITY] = out[feature::RELATIVE_HUMIDITY].clamp(0.0, 100.0);
+        out[feature::WIND_SPEED] = out[feature::WIND_SPEED].max(0.0);
+        out[feature::SOLAR_RADIATION] = out[feature::SOLAR_RADIATION].max(0.0);
+        out[feature::OCCUPANT_COUNT] = out[feature::OCCUPANT_COUNT].max(0.0);
+        out[feature::HOUR_OF_DAY] = out[feature::HOUR_OF_DAY].rem_euclid(24.0);
+        out
+    }
+
+    /// Draws one augmented input as an [`Observation`].
+    pub fn sample_observation<R: Rng + ?Sized>(&self, rng: &mut R) -> Observation {
+        Observation::from_vector(&self.sample(rng))
+    }
+
+    /// Draws `n` augmented rows.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<[f64; POLICY_INPUT_DIM]> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_stats::seeded_rng;
+
+    fn rows() -> Vec<[f64; POLICY_INPUT_DIM]> {
+        (0..100)
+            .map(|i| {
+                let t = 18.0 + (i % 10) as f64 * 0.5;
+                [
+                    t,
+                    -5.0 + (i % 7) as f64,
+                    70.0,
+                    4.0,
+                    100.0,
+                    (i % 3) as f64,
+                    (i % 24) as f64,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            NoiseAugmenter::fit(Vec::new(), 0.05),
+            Err(ExtractError::NoHistoricalData)
+        ));
+    }
+
+    #[test]
+    fn negative_noise_rejected() {
+        assert!(NoiseAugmenter::fit(rows(), -0.1).is_err());
+        assert!(NoiseAugmenter::fit(rows(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_noise_reproduces_rows() {
+        let a = NoiseAugmenter::fit(rows(), 0.0).unwrap();
+        let mut rng = seeded_rng(0);
+        let s = a.sample(&mut rng);
+        assert!(rows().contains(&s));
+    }
+
+    #[test]
+    fn noise_scales_proportional_to_level() {
+        let a1 = NoiseAugmenter::fit(rows(), 0.01).unwrap();
+        let a9 = NoiseAugmenter::fit(rows(), 0.09).unwrap();
+        for (s1, s9) in a1.noise_scales().iter().zip(a9.noise_scales()) {
+            assert!((s9 - 9.0 * s1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_stay_physical() {
+        let a = NoiseAugmenter::fit(rows(), 2.0).unwrap(); // huge noise
+        let mut rng = seeded_rng(7);
+        for _ in 0..500 {
+            let s = a.sample(&mut rng);
+            assert!((0.0..=100.0).contains(&s[feature::RELATIVE_HUMIDITY]));
+            assert!(s[feature::WIND_SPEED] >= 0.0);
+            assert!(s[feature::SOLAR_RADIATION] >= 0.0);
+            assert!(s[feature::OCCUPANT_COUNT] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let a = NoiseAugmenter::fit(rows(), 0.05).unwrap();
+        let s1 = a.sample_many(&mut seeded_rng(3), 10);
+        let s2 = a.sample_many(&mut seeded_rng(3), 10);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn higher_noise_spreads_distribution() {
+        use hvac_stats::OnlineStats;
+        let spread = |level: f64| {
+            let a = NoiseAugmenter::fit(rows(), level).unwrap();
+            let mut rng = seeded_rng(11);
+            let s: OnlineStats = a
+                .sample_many(&mut rng, 2000)
+                .iter()
+                .map(|r| r[feature::OUTDOOR_TEMPERATURE])
+                .collect();
+            s.sample_std()
+        };
+        assert!(spread(0.5) > spread(0.01));
+    }
+
+    #[test]
+    fn observation_sampling_roundtrips() {
+        let a = NoiseAugmenter::fit(rows(), 0.05).unwrap();
+        let mut rng = seeded_rng(1);
+        let obs = a.sample_observation(&mut rng);
+        assert!(obs.zone_temperature.is_finite());
+    }
+}

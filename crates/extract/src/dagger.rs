@@ -1,0 +1,230 @@
+//! VIPER-style DAgger refinement of the extracted policy.
+//!
+//! The paper builds on Bastani et al.'s "Verifiable reinforcement
+//! learning via policy extraction" (its reference \[5\]), whose VIPER
+//! algorithm improves naive one-shot distillation with **data
+//! aggregation**: deploy the *current* tree, collect the states it
+//! actually visits, label them with the teacher, add them to the
+//! decision dataset, refit, repeat. This closes the distribution gap
+//! between the extraction inputs (augmented historical data) and the
+//! states the tree steers the building into.
+//!
+//! The paper itself uses one-shot extraction; this module implements
+//! the aggregation loop as the natural extension, reusing every
+//! building block (teacher, augmenter, CART).
+
+use crate::augment::NoiseAugmenter;
+use crate::decision::{
+    fit_decision_tree, generate_decision_dataset, DecisionDataset, ExtractionConfig,
+};
+use crate::error::ExtractError;
+use hvac_control::{DtPolicy, Predictor, RandomShootingController};
+use hvac_dtree::TreeConfig;
+use hvac_env::{run_episode, EnvConfig, HvacEnv};
+
+/// Settings for the DAgger loop.
+#[derive(Debug, Clone)]
+pub struct DaggerConfig {
+    /// Initial (round-0) extraction settings; later rounds reuse the
+    /// Monte-Carlo budget but draw inputs from deployments.
+    pub extraction: ExtractionConfig,
+    /// CART settings for every refit.
+    pub tree: TreeConfig,
+    /// Number of aggregation rounds after the initial fit.
+    pub rounds: usize,
+    /// Deployment steps per round (states collected for relabeling).
+    pub rollout_steps: usize,
+    /// Of the visited states, how many (evenly strided) get teacher
+    /// labels per round — relabeling is the expensive part.
+    pub labels_per_round: usize,
+}
+
+impl DaggerConfig {
+    /// A light configuration: 2 rounds, 2 deployment days, 50 new
+    /// labels per round.
+    pub fn light(extraction: ExtractionConfig) -> Self {
+        Self {
+            extraction,
+            tree: TreeConfig::default(),
+            rounds: 2,
+            rollout_steps: 2 * 96,
+            labels_per_round: 50,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::BadExtractionConfig`] for zero rounds,
+    /// rollout steps, or labels, and propagates extraction validation.
+    pub fn validate(&self) -> Result<(), ExtractError> {
+        self.extraction.validate()?;
+        if self.rounds == 0 {
+            return Err(ExtractError::BadExtractionConfig { name: "rounds" });
+        }
+        if self.rollout_steps == 0 {
+            return Err(ExtractError::BadExtractionConfig { name: "rollout_steps" });
+        }
+        if self.labels_per_round == 0 {
+            return Err(ExtractError::BadExtractionConfig {
+                name: "labels_per_round",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a DAgger run.
+#[derive(Debug, Clone)]
+pub struct DaggerOutcome {
+    /// The final fitted policy (not yet verified — run the verification
+    /// pass on it like on any extracted tree).
+    pub policy: DtPolicy,
+    /// The aggregated decision dataset across all rounds.
+    pub dataset: DecisionDataset,
+    /// Decision-dataset size after each round (including round 0).
+    pub dataset_sizes: Vec<usize>,
+}
+
+/// Runs one-shot extraction followed by `rounds` of deploy-relabel-refit
+/// aggregation.
+///
+/// # Errors
+///
+/// Propagates configuration, environment, and fitting errors.
+pub fn extract_with_dagger<P>(
+    teacher: &mut RandomShootingController<P>,
+    augmenter: &NoiseAugmenter,
+    env_config: &EnvConfig,
+    config: &DaggerConfig,
+) -> Result<DaggerOutcome, ExtractError>
+where
+    P: Predictor + Sync,
+{
+    config.validate()?;
+
+    // Round 0: the paper's one-shot extraction.
+    let mut dataset = generate_decision_dataset(teacher, augmenter, &config.extraction)?;
+    let mut policy = fit_decision_tree(&dataset, &config.tree)?;
+    let mut sizes = vec![dataset.len()];
+
+    for round in 0..config.rounds {
+        // Deploy the current tree and record the visited states.
+        let deploy_config = env_config
+            .clone()
+            .with_episode_steps(config.rollout_steps)
+            .with_seed(env_config.weather_seed.wrapping_add(round as u64 + 1));
+        let mut env = HvacEnv::new(deploy_config)?;
+        let record = run_episode(&mut env, &mut policy)?;
+
+        // Relabel an evenly-strided subset of visited states with the
+        // teacher's mode action.
+        let stride = (record.steps.len() / config.labels_per_round).max(1);
+        let space = policy.action_space().clone();
+        for step in record.steps.iter().step_by(stride) {
+            let action =
+                teacher.most_frequent_action(&step.observation, config.extraction.mc_runs);
+            dataset.push(step.observation.to_vector(), space.index_of(action));
+        }
+
+        policy = fit_decision_tree(&dataset, &config.tree)?;
+        sizes.push(dataset.len());
+    }
+
+    Ok(DaggerOutcome {
+        policy,
+        dataset,
+        dataset_sizes: sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_control::RandomShootingConfig;
+    use hvac_dynamics::{collect_historical_dataset, DynamicsModel, ModelConfig};
+    use hvac_nn::TrainConfig;
+
+    fn stack() -> (
+        RandomShootingController<DynamicsModel>,
+        NoiseAugmenter,
+        EnvConfig,
+    ) {
+        let env_config = EnvConfig::pittsburgh().with_episode_steps(96);
+        let historical = collect_historical_dataset(&env_config, 1, 3).unwrap();
+        let model = DynamicsModel::train(
+            &historical,
+            &ModelConfig {
+                hidden: vec![16],
+                train: TrainConfig {
+                    epochs: 20,
+                    ..TrainConfig::paper()
+                },
+                ..ModelConfig::default()
+            },
+        )
+        .unwrap();
+        let augmenter = NoiseAugmenter::fit(historical.policy_inputs(), 0.05).unwrap();
+        let teacher = RandomShootingController::new(
+            model,
+            RandomShootingConfig {
+                samples: 40,
+                ..RandomShootingConfig::paper()
+            },
+            0,
+        )
+        .unwrap();
+        (teacher, augmenter, env_config)
+    }
+
+    fn light() -> DaggerConfig {
+        DaggerConfig::light(ExtractionConfig {
+            n_points: 20,
+            mc_runs: 2,
+            ..ExtractionConfig::paper()
+        })
+    }
+
+    #[test]
+    fn validates_configuration() {
+        let mut c = light();
+        c.rounds = 0;
+        assert!(c.validate().is_err());
+        let mut c = light();
+        c.rollout_steps = 0;
+        assert!(c.validate().is_err());
+        let mut c = light();
+        c.labels_per_round = 0;
+        assert!(c.validate().is_err());
+        assert!(light().validate().is_ok());
+    }
+
+    #[test]
+    fn aggregates_across_rounds() {
+        let (mut teacher, augmenter, env_config) = stack();
+        let mut config = light();
+        config.rounds = 2;
+        config.rollout_steps = 48;
+        config.labels_per_round = 10;
+        let outcome =
+            extract_with_dagger(&mut teacher, &augmenter, &env_config, &config).unwrap();
+        assert_eq!(outcome.dataset_sizes.len(), 3);
+        assert!(outcome.dataset_sizes.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(outcome.dataset.len(), *outcome.dataset_sizes.last().unwrap());
+        assert!(outcome.policy.tree().node_count() >= 1);
+    }
+
+    #[test]
+    fn final_policy_is_deployable() {
+        use hvac_env::Policy;
+        let (mut teacher, augmenter, env_config) = stack();
+        let outcome =
+            extract_with_dagger(&mut teacher, &augmenter, &env_config, &light()).unwrap();
+        let mut policy = outcome.policy;
+        let mut env = HvacEnv::new(env_config.with_episode_steps(24)).unwrap();
+        let record = run_episode(&mut env, &mut policy).unwrap();
+        assert_eq!(record.steps.len(), 24);
+        assert!(policy.is_deterministic());
+    }
+}

@@ -1,0 +1,367 @@
+//! Decision-dataset generation and tree fitting (Section 3.2).
+//!
+//! Each entry of the decision dataset `Π : {(s, d, a*)}` is produced by
+//! *distilling* the stochastic MBRL decision at an augmented input: the
+//! random-shooting optimizer is run `mc_runs` times and the most
+//! frequent action becomes the label (the paper's mode-of-`p(â)` rule).
+//! A mean-distillation variant is included for the ablation called out
+//! in DESIGN.md.
+
+use crate::augment::NoiseAugmenter;
+use crate::error::ExtractError;
+use hvac_control::{DtPolicy, Predictor, RandomShootingController};
+use hvac_dtree::{DecisionTree, TreeConfig};
+use hvac_env::{ActionSpace, Observation, SetpointAction, POLICY_INPUT_DIM};
+use hvac_stats::seeded_rng;
+
+/// How to collapse the optimizer's action distribution into one label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Distillation {
+    /// The most frequent action over the Monte-Carlo runs — the paper's
+    /// choice (Section 3.2.1).
+    #[default]
+    Mode,
+    /// The setpoint-wise mean action, rounded onto the legal grid — the
+    /// ablation alternative.
+    Mean,
+    /// A single optimizer run (no distillation) — the naive baseline.
+    Single,
+}
+
+/// Extraction settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractionConfig {
+    /// Number of decision data points to generate (Fig. 6 shows ~100
+    /// suffices).
+    pub n_points: usize,
+    /// Monte-Carlo optimizer runs per point.
+    pub mc_runs: usize,
+    /// Distillation rule.
+    pub distillation: Distillation,
+    /// Seed for input sampling.
+    pub seed: u64,
+}
+
+impl ExtractionConfig {
+    /// The paper's extraction settings: mode distillation over a
+    /// moderate Monte-Carlo budget.
+    pub fn paper() -> Self {
+        Self {
+            n_points: 100,
+            mc_runs: 10,
+            distillation: Distillation::Mode,
+            seed: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::BadExtractionConfig`] when `n_points` or
+    /// `mc_runs` is zero.
+    pub fn validate(&self) -> Result<(), ExtractError> {
+        if self.n_points == 0 {
+            return Err(ExtractError::BadExtractionConfig { name: "n_points" });
+        }
+        if self.mc_runs == 0 {
+            return Err(ExtractError::BadExtractionConfig { name: "mc_runs" });
+        }
+        Ok(())
+    }
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The decision dataset `Π`: policy inputs paired with distilled optimal
+/// action labels (action-space indices).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DecisionDataset {
+    inputs: Vec<[f64; POLICY_INPUT_DIM]>,
+    labels: Vec<usize>,
+}
+
+impl DecisionDataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of `(x, a*)` pairs.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Adds one pair.
+    pub fn push(&mut self, input: [f64; POLICY_INPUT_DIM], label: usize) {
+        self.inputs.push(input);
+        self.labels.push(label);
+    }
+
+    /// The input rows.
+    pub fn inputs(&self) -> &[[f64; POLICY_INPUT_DIM]] {
+        &self.inputs
+    }
+
+    /// The action-class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// A prefix of the dataset (used by the Fig. 6/7 data-efficiency
+    /// sweeps to fit trees on growing subsets without regenerating).
+    pub fn truncated(&self, n: usize) -> DecisionDataset {
+        let n = n.min(self.len());
+        DecisionDataset {
+            inputs: self.inputs[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+        }
+    }
+}
+
+fn mean_action(space: &ActionSpace, counts: &[usize]) -> SetpointAction {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return SetpointAction::off();
+    }
+    let mut heat = 0.0;
+    let mut cool = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            let a = space.action(i).expect("count index in range");
+            heat += c as f64 * f64::from(a.heating());
+            cool += c as f64 * f64::from(a.cooling());
+        }
+    }
+    SetpointAction::from_clamped(heat / total as f64, cool / total as f64)
+}
+
+/// Generates the decision dataset by sampling augmented inputs and
+/// distilling the stochastic optimizer's choices.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::BadExtractionConfig`] for an invalid
+/// configuration.
+pub fn generate_decision_dataset<P: Predictor + Sync>(
+    controller: &mut RandomShootingController<P>,
+    augmenter: &NoiseAugmenter,
+    config: &ExtractionConfig,
+) -> Result<DecisionDataset, ExtractError> {
+    config.validate()?;
+    let space = ActionSpace::new();
+    let mut rng = seeded_rng(config.seed);
+    let mut dataset = DecisionDataset::new();
+
+    for _ in 0..config.n_points {
+        let x = augmenter.sample(&mut rng);
+        let obs = Observation::from_vector(&x);
+        let action = match config.distillation {
+            Distillation::Mode => controller.most_frequent_action(&obs, config.mc_runs),
+            Distillation::Mean => {
+                let counts = controller.action_distribution(&obs, config.mc_runs);
+                mean_action(&space, &counts)
+            }
+            Distillation::Single => controller.plan(&obs),
+        };
+        dataset.push(x, space.index_of(action));
+    }
+    Ok(dataset)
+}
+
+/// Fits a CART policy on a decision dataset (Section 3.2.2).
+///
+/// # Errors
+///
+/// Returns [`ExtractError::EmptyDecisionDataset`] for an empty dataset
+/// and propagates tree-fitting / policy-wrapping errors.
+pub fn fit_decision_tree(
+    dataset: &DecisionDataset,
+    tree_config: &TreeConfig,
+) -> Result<DtPolicy, ExtractError> {
+    if dataset.is_empty() {
+        return Err(ExtractError::EmptyDecisionDataset);
+    }
+    let inputs: Vec<Vec<f64>> = dataset.inputs().iter().map(|r| r.to_vec()).collect();
+    let tree = DecisionTree::fit(
+        &inputs,
+        dataset.labels(),
+        ActionSpace::new().len(),
+        tree_config,
+    )?;
+    Ok(DtPolicy::new(tree)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_control::RandomShootingConfig;
+    use hvac_env::space::feature;
+    use hvac_env::Policy;
+
+    /// Toy predictor: heating setpoint pulls the zone temperature up.
+    struct Toy;
+    impl Predictor for Toy {
+        fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
+            let s = obs.zone_temperature;
+            let pull = 0.3 * (f64::from(action.heating()) - s).max(0.0)
+                - 0.3 * (s - f64::from(action.cooling())).max(0.0);
+            s + pull - 0.1
+        }
+    }
+
+    fn controller(seed: u64) -> RandomShootingController<Toy> {
+        let config = RandomShootingConfig {
+            samples: 80,
+            ..RandomShootingConfig::paper()
+        };
+        RandomShootingController::new(Toy, config, seed).unwrap()
+    }
+
+    fn augmenter() -> NoiseAugmenter {
+        let rows: Vec<[f64; POLICY_INPUT_DIM]> = (0..60)
+            .map(|i| {
+                let mut r = [0.0; POLICY_INPUT_DIM];
+                r[feature::ZONE_TEMPERATURE] = 15.0 + (i % 12) as f64;
+                r[feature::OUTDOOR_TEMPERATURE] = -5.0 + (i % 7) as f64;
+                r[feature::RELATIVE_HUMIDITY] = 60.0;
+                r[feature::WIND_SPEED] = 4.0;
+                r[feature::SOLAR_RADIATION] = 80.0;
+                r[feature::OCCUPANT_COUNT] = f64::from(i % 2 == 0);
+                r
+            })
+            .collect();
+        NoiseAugmenter::fit(rows, 0.05).unwrap()
+    }
+
+    fn quick_config() -> ExtractionConfig {
+        ExtractionConfig {
+            n_points: 25,
+            mc_runs: 3,
+            distillation: Distillation::Mode,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ExtractionConfig::paper().validate().is_ok());
+        assert!(ExtractionConfig {
+            n_points: 0,
+            ..quick_config()
+        }
+        .validate()
+        .is_err());
+        assert!(ExtractionConfig {
+            mc_runs: 0,
+            ..quick_config()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let mut c = controller(1);
+        let d = generate_decision_dataset(&mut c, &augmenter(), &quick_config()).unwrap();
+        assert_eq!(d.len(), 25);
+        assert!(d.labels().iter().all(|&l| l < 90));
+    }
+
+    #[test]
+    fn generation_is_seeded_in_inputs() {
+        let d1 = generate_decision_dataset(&mut controller(1), &augmenter(), &quick_config())
+            .unwrap();
+        let d2 = generate_decision_dataset(&mut controller(1), &augmenter(), &quick_config())
+            .unwrap();
+        assert_eq!(d1.inputs(), d2.inputs());
+        assert_eq!(d1.labels(), d2.labels());
+    }
+
+    #[test]
+    fn fitted_policy_heats_cold_occupied_zones() {
+        let mut c = controller(2);
+        let config = ExtractionConfig {
+            n_points: 60,
+            mc_runs: 5,
+            ..quick_config()
+        };
+        let d = generate_decision_dataset(&mut c, &augmenter(), &config).unwrap();
+        let mut policy = fit_decision_tree(&d, &TreeConfig::default()).unwrap();
+        let obs = Observation::new(
+            15.0,
+            hvac_env::Disturbances {
+                outdoor_temperature: -3.0,
+                relative_humidity: 60.0,
+                wind_speed: 4.0,
+                solar_radiation: 80.0,
+                occupant_count: 1.0,
+                hour_of_day: 10.0,
+            },
+        );
+        let a = policy.decide(&obs);
+        assert!(a.heating() >= 19, "extracted policy chose {a}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected_by_fit() {
+        assert!(matches!(
+            fit_decision_tree(&DecisionDataset::new(), &TreeConfig::default()),
+            Err(ExtractError::EmptyDecisionDataset)
+        ));
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let mut d = DecisionDataset::new();
+        for i in 0..10 {
+            d.push([i as f64; POLICY_INPUT_DIM], i % 4);
+        }
+        let t = d.truncated(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.labels(), &[0, 1, 2, 3]);
+        assert_eq!(d.truncated(99).len(), 10);
+    }
+
+    #[test]
+    fn mean_action_averages() {
+        let space = ActionSpace::new();
+        let mut counts = vec![0usize; space.len()];
+        counts[space.index_of(SetpointAction::new(16, 22).unwrap())] = 1;
+        counts[space.index_of(SetpointAction::new(20, 28).unwrap())] = 1;
+        let m = mean_action(&space, &counts);
+        assert_eq!(m.heating(), 18);
+        assert_eq!(m.cooling(), 25);
+    }
+
+    #[test]
+    fn mean_action_on_empty_counts_is_off() {
+        let space = ActionSpace::new();
+        let counts = vec![0usize; space.len()];
+        assert_eq!(mean_action(&space, &counts), SetpointAction::off());
+    }
+
+    #[test]
+    fn distillation_modes_all_work() {
+        for mode in [Distillation::Mode, Distillation::Mean, Distillation::Single] {
+            let mut c = controller(3);
+            let config = ExtractionConfig {
+                n_points: 5,
+                mc_runs: 3,
+                distillation: mode,
+                seed: 0,
+            };
+            let d = generate_decision_dataset(&mut c, &augmenter(), &config).unwrap();
+            assert_eq!(d.len(), 5);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for policy extraction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// The historical dataset was empty.
+    NoHistoricalData,
+    /// A noise level was negative or non-finite.
+    BadNoiseLevel {
+        /// The rejected value.
+        value: f64,
+    },
+    /// Extraction was configured with zero points or zero Monte-Carlo
+    /// runs.
+    BadExtractionConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// The decision dataset was empty (nothing to fit).
+    EmptyDecisionDataset,
+    /// An underlying decision-tree error.
+    Tree(hvac_dtree::TreeError),
+    /// An underlying controller error.
+    Control(hvac_control::ControlError),
+    /// An underlying statistics error.
+    Stats(hvac_stats::StatsError),
+    /// An underlying environment error (DAgger deployments).
+    Env(hvac_env::EnvError),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::NoHistoricalData => write!(f, "historical dataset is empty"),
+            ExtractError::BadNoiseLevel { value } => {
+                write!(f, "noise level {value} must be finite and non-negative")
+            }
+            ExtractError::BadExtractionConfig { name } => {
+                write!(f, "extraction parameter {name} must be positive")
+            }
+            ExtractError::EmptyDecisionDataset => write!(f, "decision dataset is empty"),
+            ExtractError::Tree(e) => write!(f, "tree error: {e}"),
+            ExtractError::Control(e) => write!(f, "controller error: {e}"),
+            ExtractError::Stats(e) => write!(f, "statistics error: {e}"),
+            ExtractError::Env(e) => write!(f, "environment error: {e}"),
+        }
+    }
+}
+
+impl Error for ExtractError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExtractError::Tree(e) => Some(e),
+            ExtractError::Control(e) => Some(e),
+            ExtractError::Stats(e) => Some(e),
+            ExtractError::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hvac_dtree::TreeError> for ExtractError {
+    fn from(e: hvac_dtree::TreeError) -> Self {
+        ExtractError::Tree(e)
+    }
+}
+
+impl From<hvac_control::ControlError> for ExtractError {
+    fn from(e: hvac_control::ControlError) -> Self {
+        ExtractError::Control(e)
+    }
+}
+
+impl From<hvac_stats::StatsError> for ExtractError {
+    fn from(e: hvac_stats::StatsError) -> Self {
+        ExtractError::Stats(e)
+    }
+}
+
+impl From<hvac_env::EnvError> for ExtractError {
+    fn from(e: hvac_env::EnvError) -> Self {
+        ExtractError::Env(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let errs = [
+            ExtractError::NoHistoricalData,
+            ExtractError::BadNoiseLevel { value: -0.1 },
+            ExtractError::BadExtractionConfig { name: "n_points" },
+            ExtractError::EmptyDecisionDataset,
+            ExtractError::Tree(hvac_dtree::TreeError::EmptyDataset),
+            ExtractError::Stats(hvac_stats::StatsError::EmptyInput),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        assert!(ExtractError::Tree(hvac_dtree::TreeError::EmptyDataset)
+            .source()
+            .is_some());
+        assert!(ExtractError::NoHistoricalData.source().is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! Policy extraction: from a black-box MBRL controller to a decision
+//! tree.
+//!
+//! Section 3.2 of the paper, in three pieces:
+//!
+//! 1. **Importance-sampled input generation (Eq. 5).** Sampling optimal
+//!    actions uniformly over the 5-plus-dimensional input space is
+//!    hopeless (the paper estimates 444 hours); instead, inputs are
+//!    drawn from the historical data and perturbed with element-wise
+//!    Gaussian noise scaled by `noise_level × column std` —
+//!    [`NoiseAugmenter`].
+//! 2. **Noise-level selection (Fig. 3).** The augmentation must add
+//!    entropy (generalization) without drifting away from the city's
+//!    true input distribution; [`noise_study()`] reproduces the
+//!    entropy/Jensen–Shannon analysis that led the paper to
+//!    `noise_level ∈ [0.01, 0.09]`.
+//! 3. **Decision-dataset generation + CART fitting.** Each sampled input
+//!    is labeled with the *mode* of the stochastic optimizer's action
+//!    distribution (Monte-Carlo distillation), and the resulting
+//!    `(x, a*)` pairs are fitted with CART into a deployable
+//!    [`hvac_control::DtPolicy`] — [`generate_decision_dataset`] and
+//!    [`fit_decision_tree`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod dagger;
+pub mod decision;
+pub mod error;
+pub mod noise_study;
+pub mod parallel;
+
+pub use augment::NoiseAugmenter;
+pub use decision::{
+    fit_decision_tree, generate_decision_dataset, DecisionDataset, Distillation,
+    ExtractionConfig,
+};
+pub use dagger::{extract_with_dagger, DaggerConfig, DaggerOutcome};
+pub use error::ExtractError;
+pub use noise_study::{noise_study, NoiseStudyRow};
+pub use parallel::generate_decision_dataset_parallel;

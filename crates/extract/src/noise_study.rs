@@ -1,0 +1,226 @@
+//! The Fig. 3 noise-level study.
+//!
+//! "The ideal noise level should result in a JSD lower than the other
+//! city and an entropy as large as possible" (Section 3.2.1). For each
+//! candidate noise level this module computes, on the outdoor-temperature
+//! marginal of the augmented distribution:
+//!
+//! * its Shannon entropy (bits),
+//! * its Jensen–Shannon distance to the *original* historical
+//!   distribution, and
+//! * (once, independent of noise) the JSD between the two cities'
+//!   original distributions — the budget the augmented drift must stay
+//!   under.
+
+use crate::augment::NoiseAugmenter;
+use crate::error::ExtractError;
+use hvac_env::POLICY_INPUT_DIM;
+use hvac_stats::{jensen_shannon_distance, seeded_rng, shannon_entropy, Histogram};
+
+/// Result of one noise level in the study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseStudyRow {
+    /// The noise level evaluated.
+    pub noise_level: f64,
+    /// Entropy (bits) of the augmented feature distribution.
+    pub entropy_bits: f64,
+    /// JSD between the augmented and the original distribution.
+    pub jsd_to_original: f64,
+    /// JSD between the two cities' original distributions (constant
+    /// across rows; repeated for convenient tabulation).
+    pub jsd_between_cities: f64,
+}
+
+impl NoiseStudyRow {
+    /// The paper's acceptance test: the augmentation must not drift
+    /// farther from the original data than the sibling city does.
+    pub fn acceptable(&self) -> bool {
+        self.jsd_to_original < self.jsd_between_cities
+    }
+}
+
+fn column(rows: &[[f64; POLICY_INPUT_DIM]], feature: usize) -> Vec<f64> {
+    rows.iter().map(|r| r[feature]).collect()
+}
+
+/// Runs the noise study over `noise_levels` for one feature column
+/// (Fig. 3 uses the disturbance distribution; the outdoor-temperature
+/// marginal is the dominant axis).
+///
+/// `city_a` is the target city's historical inputs; `city_b` the
+/// reference city of the same ASHRAE class (the paper pairs Pittsburgh
+/// with New York). Histogram support is derived from the pooled data.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::NoHistoricalData`] for empty inputs and
+/// propagates histogram/entropy errors.
+pub fn noise_study(
+    city_a: &[[f64; POLICY_INPUT_DIM]],
+    city_b: &[[f64; POLICY_INPUT_DIM]],
+    feature: usize,
+    noise_levels: &[f64],
+    samples_per_level: usize,
+    bins: usize,
+    seed: u64,
+) -> Result<Vec<NoiseStudyRow>, ExtractError> {
+    if city_a.is_empty() || city_b.is_empty() {
+        return Err(ExtractError::NoHistoricalData);
+    }
+    let col_a = column(city_a, feature);
+    let col_b = column(city_b, feature);
+    let lo = col_a
+        .iter()
+        .chain(&col_b)
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let hi = col_a
+        .iter()
+        .chain(&col_b)
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    // Widen the support so augmented samples stay in range.
+    let pad = 0.25 * (hi - lo).max(1.0);
+    let (lo, hi) = (lo - pad, hi + pad);
+
+    let hist_a = Histogram::from_samples(bins, lo, hi, &col_a)?;
+    let hist_b = Histogram::from_samples(bins, lo, hi, &col_b)?;
+    let p_a = hist_a.probabilities();
+    let p_b = hist_b.probabilities();
+    let jsd_between_cities = jensen_shannon_distance(&p_a, &p_b)?;
+
+    let mut rows = Vec::with_capacity(noise_levels.len());
+    for (k, &level) in noise_levels.iter().enumerate() {
+        let augmenter = NoiseAugmenter::fit(city_a.to_vec(), level)?;
+        let mut rng = seeded_rng(seed.wrapping_add(k as u64));
+        let augmented = augmenter.sample_many(&mut rng, samples_per_level);
+        let aug_col = column(&augmented, feature);
+        let hist_aug = Histogram::from_samples(bins, lo, hi, &aug_col)?;
+        let p_aug = hist_aug.probabilities();
+        rows.push(NoiseStudyRow {
+            noise_level: level,
+            entropy_bits: shannon_entropy(&p_aug)?,
+            jsd_to_original: jensen_shannon_distance(&p_aug, &p_a)?,
+            jsd_between_cities,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::space::feature;
+    use hvac_stats::{sample_normal, seeded_rng};
+
+    /// Synthetic "city" climates: Gaussian outdoor temperatures.
+    fn city(mean: f64, std: f64, n: usize, seed: u64) -> Vec<[f64; POLICY_INPUT_DIM]> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                let t = sample_normal(&mut rng, mean, std);
+                [21.0, t, 60.0, 4.0, 100.0, 0.0, 12.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(noise_study(&[], &city(0.0, 1.0, 10, 1), 1, &[0.01], 100, 20, 0).is_err());
+    }
+
+    #[test]
+    fn entropy_increases_with_noise() {
+        let a = city(-1.5, 3.0, 800, 1);
+        let b = city(0.5, 3.0, 800, 2);
+        let rows = noise_study(
+            &a,
+            &b,
+            feature::OUTDOOR_TEMPERATURE,
+            &[0.01, 0.5],
+            4000,
+            40,
+            0,
+        )
+        .unwrap();
+        assert!(rows[1].entropy_bits > rows[0].entropy_bits);
+    }
+
+    #[test]
+    fn jsd_to_original_increases_with_noise() {
+        let a = city(-1.5, 3.0, 800, 1);
+        let b = city(0.5, 3.0, 800, 2);
+        let rows = noise_study(
+            &a,
+            &b,
+            feature::OUTDOOR_TEMPERATURE,
+            &[0.01, 1.0],
+            4000,
+            40,
+            0,
+        )
+        .unwrap();
+        assert!(rows[1].jsd_to_original > rows[0].jsd_to_original);
+    }
+
+    #[test]
+    fn small_noise_is_acceptable_like_the_paper() {
+        // Paper's conclusion: noise in [0.01, 0.09] keeps the augmented
+        // distribution closer to the original than the sibling 4A city.
+        let a = city(-1.5, 3.0, 1500, 1);
+        let b = city(0.8, 3.2, 1500, 2); // similar but distinct climate
+        let rows = noise_study(
+            &a,
+            &b,
+            feature::OUTDOOR_TEMPERATURE,
+            &[0.01, 0.05, 0.09],
+            6000,
+            40,
+            0,
+        )
+        .unwrap();
+        for row in &rows {
+            assert!(
+                row.acceptable(),
+                "noise {} drifted too far: {} >= {}",
+                row.noise_level,
+                row.jsd_to_original,
+                row.jsd_between_cities
+            );
+        }
+    }
+
+    #[test]
+    fn huge_noise_is_rejected() {
+        let a = city(-1.5, 3.0, 1500, 1);
+        let b = city(0.8, 3.2, 1500, 2);
+        let rows = noise_study(
+            &a,
+            &b,
+            feature::OUTDOOR_TEMPERATURE,
+            &[8.0],
+            6000,
+            40,
+            0,
+        )
+        .unwrap();
+        assert!(!rows[0].acceptable());
+    }
+
+    #[test]
+    fn jsd_between_cities_constant_across_rows() {
+        let a = city(-1.5, 3.0, 400, 1);
+        let b = city(11.0, 2.0, 400, 2);
+        let rows = noise_study(
+            &a,
+            &b,
+            feature::OUTDOOR_TEMPERATURE,
+            &[0.01, 0.1, 0.3],
+            1000,
+            30,
+            0,
+        )
+        .unwrap();
+        assert!(rows.windows(2).all(|w| w[0].jsd_between_cities == w[1].jsd_between_cities));
+    }
+}

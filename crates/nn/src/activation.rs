@@ -1,0 +1,131 @@
+//! Elementwise activation functions.
+
+/// An elementwise activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Rectified linear unit `max(0, x)` — the hidden-layer default.
+    #[default]
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// The identity function — used for regression output layers.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hvac_nn::Activation;
+    ///
+    /// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+    /// assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    /// assert_eq!(Activation::Identity.apply(-2.0), -2.0);
+    /// ```
+    pub fn apply(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// The derivative dσ/dx evaluated using the *pre-activation* value.
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation to a slice in place.
+    pub fn apply_slice(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Identity => "identity",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_basics() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn tanh_bounds_and_derivative() {
+        assert!(Activation::Tanh.apply(10.0) <= 1.0);
+        assert!(Activation::Tanh.apply(-10.0) >= -1.0);
+        assert!((Activation::Tanh.derivative(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        assert_eq!(Activation::Identity.apply(3.25), 3.25);
+        assert_eq!(Activation::Identity.derivative(-9.0), 1.0);
+    }
+
+    #[test]
+    fn apply_slice_in_place() {
+        let mut xs = [-1.0, 2.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, [0.0, 2.0]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::Relu.to_string(), "relu");
+        assert_eq!(Activation::Tanh.to_string(), "tanh");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_derivative_matches_finite_difference(
+            x in -3.0f64..3.0,
+            act in prop_oneof![
+                Just(Activation::Tanh),
+                Just(Activation::Identity),
+            ],
+        ) {
+            let h = 1e-6;
+            let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+            prop_assert!((numeric - act.derivative(x)).abs() < 1e-5);
+        }
+
+        #[test]
+        fn prop_relu_nonnegative(x in -1e6f64..1e6) {
+            prop_assert!(Activation::Relu.apply(x) >= 0.0);
+        }
+    }
+}

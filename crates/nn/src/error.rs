@@ -1,0 +1,99 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for neural-network construction and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A network was requested with fewer than two layer sizes
+    /// (input and output are the minimum).
+    TooFewLayers {
+        /// Number of sizes supplied.
+        got: usize,
+    },
+    /// A layer size of zero was supplied.
+    ZeroWidth,
+    /// An input vector's length did not match the layer/network width.
+    DimensionMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Supplied width.
+        got: usize,
+    },
+    /// Training was invoked with no samples, or with inputs/targets of
+    /// different lengths.
+    BadDataset {
+        /// Number of input rows.
+        inputs: usize,
+        /// Number of target rows.
+        targets: usize,
+    },
+    /// A hyperparameter was non-positive or non-finite.
+    BadHyperparameter {
+        /// Name of the offending hyperparameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Training produced a non-finite loss (diverged).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::TooFewLayers { got } => {
+                write!(f, "network needs at least 2 layer sizes, got {got}")
+            }
+            NnError::ZeroWidth => write!(f, "layer width must be at least 1"),
+            NnError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            NnError::BadDataset { inputs, targets } => {
+                write!(f, "bad dataset: {inputs} inputs vs {targets} targets")
+            }
+            NnError::BadHyperparameter { name, value } => {
+                write!(f, "bad hyperparameter {name} = {value}")
+            }
+            NnError::Diverged { epoch } => {
+                write!(f, "training diverged at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let errs = [
+            NnError::TooFewLayers { got: 1 },
+            NnError::ZeroWidth,
+            NnError::DimensionMismatch { expected: 3, got: 2 },
+            NnError::BadDataset { inputs: 4, targets: 5 },
+            NnError::BadHyperparameter {
+                name: "lr",
+                value: -1.0,
+            },
+            NnError::Diverged { epoch: 3 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,380 @@
+//! Dense (fully connected) layers with manual backpropagation.
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use hvac_stats::sample_standard_normal;
+use rand::rngs::StdRng;
+
+/// A dense layer `y = σ(W x + b)` storing its parameters, Adam moments,
+/// and the caches needed for backpropagation.
+///
+/// Weights are stored row-major: `weights[o * in_dim + i]` connects input
+/// `i` to output `o`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    // Gradients accumulated by the current backward pass.
+    grad_weights: Vec<f64>,
+    grad_biases: Vec<f64>,
+    // Forward caches (per last batch): inputs and pre-activations.
+    cache_input: Vec<f64>,
+    cache_pre_activation: Vec<f64>,
+    cache_batch: usize,
+}
+
+impl Dense {
+    /// Creates a layer with He-scaled Gaussian initialization (suited to
+    /// ReLU; harmless for the identity output layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroWidth`] when either dimension is zero.
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Result<Self, NnError> {
+        if in_dim == 0 || out_dim == 0 {
+            return Err(NnError::ZeroWidth);
+        }
+        let scale = (2.0 / in_dim as f64).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| scale * sample_standard_normal(rng))
+            .collect();
+        Ok(Self {
+            in_dim,
+            out_dim,
+            activation,
+            weights,
+            biases: vec![0.0; out_dim],
+            grad_weights: vec![0.0; in_dim * out_dim],
+            grad_biases: vec![0.0; out_dim],
+            cache_input: Vec::new(),
+            cache_pre_activation: Vec::new(),
+            cache_batch: 0,
+        })
+    }
+
+    /// Reconstructs a layer from explicit parameters (deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ZeroWidth`] for zero dimensions and
+    /// [`NnError::DimensionMismatch`] if the parameter vectors have the
+    /// wrong lengths.
+    pub fn from_parameters(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        weights: Vec<f64>,
+        biases: Vec<f64>,
+    ) -> Result<Self, NnError> {
+        if in_dim == 0 || out_dim == 0 {
+            return Err(NnError::ZeroWidth);
+        }
+        if weights.len() != in_dim * out_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: in_dim * out_dim,
+                got: weights.len(),
+            });
+        }
+        if biases.len() != out_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: out_dim,
+                got: biases.len(),
+            });
+        }
+        Ok(Self {
+            in_dim,
+            out_dim,
+            activation,
+            grad_weights: vec![0.0; weights.len()],
+            grad_biases: vec![0.0; biases.len()],
+            weights,
+            biases,
+            cache_input: Vec::new(),
+            cache_pre_activation: Vec::new(),
+            cache_batch: 0,
+        })
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.biases.len()
+    }
+
+    /// Forward pass for a batch laid out row-major
+    /// (`batch × in_dim` → `batch × out_dim`), caching what the backward
+    /// pass needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `input.len()` is not a
+    /// multiple of the input width.
+    pub fn forward(&mut self, input: &[f64]) -> Result<Vec<f64>, NnError> {
+        if input.is_empty() || !input.len().is_multiple_of(self.in_dim) {
+            return Err(NnError::DimensionMismatch {
+                expected: self.in_dim,
+                got: input.len(),
+            });
+        }
+        let batch = input.len() / self.in_dim;
+        let mut pre = vec![0.0; batch * self.out_dim];
+        for b in 0..batch {
+            let x = &input[b * self.in_dim..(b + 1) * self.in_dim];
+            let z = &mut pre[b * self.out_dim..(b + 1) * self.out_dim];
+            for (o, zo) in z.iter_mut().enumerate() {
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = self.biases[o];
+                for (w, xi) in row.iter().zip(x) {
+                    acc += w * xi;
+                }
+                *zo = acc;
+            }
+        }
+        self.cache_input = input.to_vec();
+        self.cache_pre_activation = pre.clone();
+        self.cache_batch = batch;
+        let mut out = pre;
+        self.activation.apply_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Inference-only forward pass (no caching, `&self`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dense::forward`].
+    pub fn infer(&self, input: &[f64]) -> Result<Vec<f64>, NnError> {
+        if input.is_empty() || !input.len().is_multiple_of(self.in_dim) {
+            return Err(NnError::DimensionMismatch {
+                expected: self.in_dim,
+                got: input.len(),
+            });
+        }
+        let batch = input.len() / self.in_dim;
+        let mut out = vec![0.0; batch * self.out_dim];
+        for b in 0..batch {
+            let x = &input[b * self.in_dim..(b + 1) * self.in_dim];
+            let y = &mut out[b * self.out_dim..(b + 1) * self.out_dim];
+            for (o, yo) in y.iter_mut().enumerate() {
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = self.biases[o];
+                for (w, xi) in row.iter().zip(x) {
+                    acc += w * xi;
+                }
+                *yo = self.activation.apply(acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: takes `dL/dy` for the batch of the last `forward`
+    /// call, accumulates parameter gradients, and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `grad_output` does not
+    /// match the cached batch, or if `forward` was never called.
+    pub fn backward(&mut self, grad_output: &[f64]) -> Result<Vec<f64>, NnError> {
+        let expected = self.cache_batch * self.out_dim;
+        if self.cache_batch == 0 || grad_output.len() != expected {
+            return Err(NnError::DimensionMismatch {
+                expected,
+                got: grad_output.len(),
+            });
+        }
+        let batch = self.cache_batch;
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_biases.iter_mut().for_each(|g| *g = 0.0);
+        let mut grad_input = vec![0.0; batch * self.in_dim];
+
+        for b in 0..batch {
+            let x = &self.cache_input[b * self.in_dim..(b + 1) * self.in_dim];
+            let z = &self.cache_pre_activation[b * self.out_dim..(b + 1) * self.out_dim];
+            let dy = &grad_output[b * self.out_dim..(b + 1) * self.out_dim];
+            let dx = &mut grad_input[b * self.in_dim..(b + 1) * self.in_dim];
+            for o in 0..self.out_dim {
+                let dz = dy[o] * self.activation.derivative(z[o]);
+                if dz == 0.0 {
+                    continue;
+                }
+                self.grad_biases[o] += dz;
+                let wrow = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let grow = &mut self.grad_weights[o * self.in_dim..(o + 1) * self.in_dim];
+                for i in 0..self.in_dim {
+                    grow[i] += dz * x[i];
+                    dx[i] += dz * wrow[i];
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    /// Parameter and gradient views for the optimizer:
+    /// `(weights, grad_weights, biases, grad_biases)`.
+    pub(crate) fn params_mut(&mut self) -> (&mut [f64], &[f64], &mut [f64], &[f64]) {
+        (
+            &mut self.weights,
+            &self.grad_weights,
+            &mut self.biases,
+            &self.grad_biases,
+        )
+    }
+
+    /// Immutable view of the weights (testing/inspection).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Immutable view of the biases (testing/inspection).
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_stats::seeded_rng;
+
+    fn layer(in_dim: usize, out_dim: usize, act: Activation) -> Dense {
+        let mut rng = seeded_rng(1);
+        Dense::new(in_dim, out_dim, act, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        let mut rng = seeded_rng(1);
+        assert_eq!(
+            Dense::new(0, 3, Activation::Relu, &mut rng).err(),
+            Some(NnError::ZeroWidth)
+        );
+        assert_eq!(
+            Dense::new(3, 0, Activation::Relu, &mut rng).err(),
+            Some(NnError::ZeroWidth)
+        );
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = layer(3, 2, Activation::Identity);
+        let y = l.forward(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(y.len(), 4); // batch 2 × out 2
+    }
+
+    #[test]
+    fn forward_rejects_misaligned_batch() {
+        let mut l = layer(3, 2, Activation::Identity);
+        assert!(l.forward(&[1.0, 2.0]).is_err());
+        assert!(l.forward(&[]).is_err());
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut l = layer(4, 3, Activation::Tanh);
+        let x = [0.5, -0.25, 1.0, 2.0];
+        let a = l.forward(&x).unwrap();
+        let b = l.infer(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_requires_forward_first() {
+        let mut l = layer(2, 2, Activation::Relu);
+        assert!(l.backward(&[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Check dL/dW numerically for a tiny layer, L = Σ y.
+        let mut l = layer(2, 2, Activation::Tanh);
+        let x = [0.3, -0.7];
+        let _ = l.forward(&x).unwrap();
+        let _ = l.backward(&[1.0, 1.0]).unwrap();
+        let analytic = l.grad_weights.clone();
+
+        let h = 1e-6;
+        for (k, &grad) in analytic.iter().enumerate() {
+            let mut lp = l.clone();
+            lp.weights[k] += h;
+            let mut lm = l.clone();
+            lm.weights[k] -= h;
+            let yp: f64 = lp.infer(&x).unwrap().iter().sum();
+            let ym: f64 = lm.infer(&x).unwrap().iter().sum();
+            let numeric = (yp - ym) / (2.0 * h);
+            assert!(
+                (numeric - grad).abs() < 1e-5,
+                "weight {k}: numeric {numeric} vs analytic {grad}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut l = layer(3, 2, Activation::Tanh);
+        let x = [0.1, 0.2, -0.4];
+        let _ = l.forward(&x).unwrap();
+        let dx = l.backward(&[1.0, -1.0]).unwrap();
+
+        let h = 1e-6;
+        for k in 0..3 {
+            let mut xp = x;
+            xp[k] += h;
+            let mut xm = x;
+            xm[k] -= h;
+            let f = |xs: &[f64]| {
+                let y = l.infer(xs).unwrap();
+                y[0] - y[1]
+            };
+            let numeric = (f(&xp) - f(&xm)) / (2.0 * h);
+            assert!((numeric - dx[k]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_gradient_is_sum_of_per_sample() {
+        let mut l = layer(2, 1, Activation::Identity);
+        let x1 = [1.0, 0.0];
+        let x2 = [0.0, 1.0];
+        let _ = l.forward(&x1).unwrap();
+        let _ = l.backward(&[1.0]).unwrap();
+        let g1 = l.grad_weights.clone();
+        let _ = l.forward(&x2).unwrap();
+        let _ = l.backward(&[1.0]).unwrap();
+        let g2 = l.grad_weights.clone();
+
+        let batch: Vec<f64> = x1.iter().chain(&x2).copied().collect();
+        let _ = l.forward(&batch).unwrap();
+        let _ = l.backward(&[1.0, 1.0]).unwrap();
+        for k in 0..g1.len() {
+            assert!((l.grad_weights[k] - (g1[k] + g2[k])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parameter_count() {
+        let l = layer(3, 4, Activation::Relu);
+        assert_eq!(l.parameter_count(), 3 * 4 + 4);
+    }
+}

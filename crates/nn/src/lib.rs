@@ -1,0 +1,52 @@
+//! A minimal dense neural-network library.
+//!
+//! The paper's system dynamics model `f̂` is a PyTorch MLP trained with
+//! MSE loss and the Adam optimizer (150 epochs, learning rate `1e-3`,
+//! weight decay `1e-5` — Section 4.1). This crate reimplements exactly
+//! that slice of deep learning from scratch: dense layers, ReLU/Tanh
+//! activations, mean-squared-error loss, Adam with L2 weight decay,
+//! mini-batch training with a seeded shuffle, and Xavier/He weight
+//! initialization.
+//!
+//! The point is not generality — it is a faithful, dependency-free,
+//! *black-box* regressor, because the paper's whole argument starts from
+//! the premise that the dynamics model is an opaque function the
+//! verifier cannot inspect.
+//!
+//! # Example
+//!
+//! ```
+//! use hvac_nn::{Activation, Mlp, TrainConfig};
+//!
+//! # fn main() -> Result<(), hvac_nn::NnError> {
+//! // Learn y = 2x on [0, 1].
+//! let inputs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 64.0]).collect();
+//! let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![2.0 * x[0]]).collect();
+//!
+//! let mut mlp = Mlp::new(&[1, 16, 1], Activation::Relu, 42)?;
+//! let config = TrainConfig { epochs: 800, batch_size: 8, ..TrainConfig::default() };
+//! let history = mlp.fit(&inputs, &targets, &config)?;
+//! assert!(history.final_loss() < 1e-3);
+//! let y = mlp.predict(&[0.5])?;
+//! assert!((y[0] - 1.0).abs() < 0.1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod error;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+pub mod serialize;
+
+pub use activation::Activation;
+pub use error::NnError;
+pub use layer::Dense;
+pub use loss::{mse, mse_gradient};
+pub use mlp::{Mlp, TrainConfig, TrainHistory};
+pub use optimizer::{Adam, AdamConfig};

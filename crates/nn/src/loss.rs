@@ -1,0 +1,112 @@
+//! Mean-squared-error loss (the paper's training criterion).
+
+use crate::error::NnError;
+
+/// Mean squared error over a flat batch: `Σ (p − t)² / n`.
+///
+/// # Errors
+///
+/// Returns [`NnError::DimensionMismatch`] if the slices differ in length
+/// or are empty.
+///
+/// # Example
+///
+/// ```
+/// let loss = hvac_nn::mse(&[1.0, 2.0], &[1.0, 4.0])?;
+/// assert!((loss - 2.0).abs() < 1e-12);
+/// # Ok::<(), hvac_nn::NnError>(())
+/// ```
+pub fn mse(predictions: &[f64], targets: &[f64]) -> Result<f64, NnError> {
+    if predictions.is_empty() || predictions.len() != targets.len() {
+        return Err(NnError::DimensionMismatch {
+            expected: targets.len(),
+            got: predictions.len(),
+        });
+    }
+    let n = predictions.len() as f64;
+    Ok(predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / n)
+}
+
+/// The gradient of [`mse`] with respect to the predictions:
+/// `2 (p − t) / n`.
+///
+/// # Errors
+///
+/// Same conditions as [`mse`].
+pub fn mse_gradient(predictions: &[f64], targets: &[f64]) -> Result<Vec<f64>, NnError> {
+    if predictions.is_empty() || predictions.len() != targets.len() {
+        return Err(NnError::DimensionMismatch {
+            expected: targets.len(),
+            got: predictions.len(),
+        });
+    }
+    let n = predictions.len() as f64;
+    Ok(predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| 2.0 * (p - t) / n)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_loss_when_equal() {
+        assert_eq!(mse(&[1.0, -2.0], &[1.0, -2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // Differences 1 and 3 → (1 + 9) / 2 = 5.
+        assert!((mse(&[1.0, 0.0], &[0.0, 3.0]).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_rejected() {
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mse(&[], &[]).is_err());
+        assert!(mse_gradient(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let p = [0.5, -1.0, 2.0];
+        let t = [0.0, 0.0, 1.0];
+        let g = mse_gradient(&p, &t).unwrap();
+        let h = 1e-6;
+        for k in 0..p.len() {
+            let mut pp = p;
+            pp[k] += h;
+            let mut pm = p;
+            pm[k] -= h;
+            let numeric = (mse(&pp, &t).unwrap() - mse(&pm, &t).unwrap()) / (2.0 * h);
+            assert!((numeric - g[k]).abs() < 1e-6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_loss_nonnegative(
+            p in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        ) {
+            let t = vec![0.0; p.len()];
+            prop_assert!(mse(&p, &t).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn prop_gradient_zero_at_minimum(
+            p in proptest::collection::vec(-10.0f64..10.0, 1..20),
+        ) {
+            let g = mse_gradient(&p, &p).unwrap();
+            prop_assert!(g.iter().all(|&x| x == 0.0));
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! The multi-layer perceptron and its trainer.
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::Dense;
+use crate::loss::{mse, mse_gradient};
+use crate::optimizer::{Adam, AdamConfig};
+use hvac_stats::seeded_rng;
+use rand::seq::SliceRandom;
+
+/// Training hyperparameters (defaults match the paper's Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset (paper: 150).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam settings (paper: lr `1e-3`, weight decay `1e-5`).
+    pub adam: AdamConfig,
+    /// Seed for the per-epoch shuffle.
+    pub shuffle_seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's training configuration.
+    pub fn paper() -> Self {
+        Self {
+            epochs: 150,
+            batch_size: 32,
+            adam: AdamConfig::paper(),
+            shuffle_seed: 0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperparameter`] for zero epochs or batch
+    /// size, or an invalid Adam configuration.
+    pub fn validate(&self) -> Result<(), NnError> {
+        if self.epochs == 0 {
+            return Err(NnError::BadHyperparameter {
+                name: "epochs",
+                value: 0.0,
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(NnError::BadHyperparameter {
+                name: "batch_size",
+                value: 0.0,
+            });
+        }
+        self.adam.validate()
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Per-epoch training losses.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainHistory {
+    /// Mean training loss of each epoch.
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainHistory {
+    /// Loss of the final epoch (`inf` if training never ran).
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// A fully connected feed-forward network for regression.
+///
+/// Hidden layers share one activation; the output layer is linear
+/// (identity), as is standard for MSE regression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    optimizers: Vec<(Adam, Adam)>, // (weights, biases) per layer
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `&[8, 64, 64, 1]`
+    /// for an 8-input, 1-output network with two 64-unit hidden layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::TooFewLayers`] for fewer than two sizes and
+    /// [`NnError::ZeroWidth`] for a zero size.
+    pub fn new(sizes: &[usize], hidden_activation: Activation, seed: u64) -> Result<Self, NnError> {
+        if sizes.len() < 2 {
+            return Err(NnError::TooFewLayers { got: sizes.len() });
+        }
+        let mut rng = seeded_rng(seed);
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            let is_output = layers.len() == sizes.len() - 2;
+            let act = if is_output {
+                Activation::Identity
+            } else {
+                hidden_activation
+            };
+            layers.push(Dense::new(w[0], w[1], act, &mut rng)?);
+        }
+        let optimizers = layers
+            .iter()
+            .map(|l| {
+                Ok((
+                    Adam::new(l.in_dim() * l.out_dim(), AdamConfig::paper())?,
+                    Adam::new(l.out_dim(), AdamConfig::paper())?,
+                ))
+            })
+            .collect::<Result<Vec<_>, NnError>>()?;
+        Ok(Self {
+            in_dim: sizes[0],
+            out_dim: *sizes.last().expect("at least two sizes"),
+            layers,
+            optimizers,
+        })
+    }
+
+    /// Reconstructs a network from explicit layers (deserialization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::TooFewLayers`] for an empty layer list and
+    /// [`NnError::DimensionMismatch`] if consecutive layers' widths do
+    /// not chain.
+    pub fn from_layers(layers: Vec<Dense>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::TooFewLayers { got: 1 });
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_dim() != pair[1].in_dim() {
+                return Err(NnError::DimensionMismatch {
+                    expected: pair[0].out_dim(),
+                    got: pair[1].in_dim(),
+                });
+            }
+        }
+        let optimizers = layers
+            .iter()
+            .map(|l| {
+                Ok((
+                    Adam::new(l.in_dim() * l.out_dim(), AdamConfig::paper())?,
+                    Adam::new(l.out_dim(), AdamConfig::paper())?,
+                ))
+            })
+            .collect::<Result<Vec<_>, NnError>>()?;
+        Ok(Self {
+            in_dim: layers[0].in_dim(),
+            out_dim: layers.last().expect("nonempty").out_dim(),
+            layers,
+            optimizers,
+        })
+    }
+
+    /// The layers, in forward order (read-only view for inspection and
+    /// serialization).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Dense::parameter_count).sum()
+    }
+
+    /// Predicts the output for a single input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong input length.
+    pub fn predict(&self, input: &[f64]) -> Result<Vec<f64>, NnError> {
+        if input.len() != self.in_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: self.in_dim,
+                got: input.len(),
+            });
+        }
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.infer(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Predicts outputs for a batch of input rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if any row has the wrong
+    /// length.
+    pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, NnError> {
+        inputs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// One optimization step on a flat batch; returns the batch loss.
+    fn train_batch(&mut self, inputs: &[f64], targets: &[f64]) -> Result<f64, NnError> {
+        let mut x = inputs.to_vec();
+        for layer in &mut self.layers {
+            x = layer.forward(&x)?;
+        }
+        let loss = mse(&x, targets)?;
+        let mut grad = mse_gradient(&x, targets)?;
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        for (layer, (opt_w, opt_b)) in self.layers.iter_mut().zip(&mut self.optimizers) {
+            let (w, gw, b, gb) = layer.params_mut();
+            opt_w.step(w, gw);
+            opt_b.step(b, gb);
+        }
+        Ok(loss)
+    }
+
+    /// Trains on `(inputs, targets)` row pairs with mini-batch Adam.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadDataset`] for empty or mismatched data,
+    /// [`NnError::DimensionMismatch`] for wrong row widths,
+    /// [`NnError::BadHyperparameter`] for an invalid config, and
+    /// [`NnError::Diverged`] if the loss becomes non-finite.
+    pub fn fit(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        config: &TrainConfig,
+    ) -> Result<TrainHistory, NnError> {
+        config.validate()?;
+        if inputs.is_empty() || inputs.len() != targets.len() {
+            return Err(NnError::BadDataset {
+                inputs: inputs.len(),
+                targets: targets.len(),
+            });
+        }
+        for row in inputs {
+            if row.len() != self.in_dim {
+                return Err(NnError::DimensionMismatch {
+                    expected: self.in_dim,
+                    got: row.len(),
+                });
+            }
+        }
+        for row in targets {
+            if row.len() != self.out_dim {
+                return Err(NnError::DimensionMismatch {
+                    expected: self.out_dim,
+                    got: row.len(),
+                });
+            }
+        }
+
+        let n = inputs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = seeded_rng(config.shuffle_seed);
+        let mut history = TrainHistory::default();
+
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0.0;
+            for chunk in order.chunks(config.batch_size) {
+                let mut flat_x = Vec::with_capacity(chunk.len() * self.in_dim);
+                let mut flat_t = Vec::with_capacity(chunk.len() * self.out_dim);
+                for &i in chunk {
+                    flat_x.extend_from_slice(&inputs[i]);
+                    flat_t.extend_from_slice(&targets[i]);
+                }
+                epoch_loss += self.train_batch(&flat_x, &flat_t)?;
+                batches += 1.0;
+            }
+            let mean_loss = epoch_loss / batches;
+            if !mean_loss.is_finite() {
+                return Err(NnError::Diverged { epoch });
+            }
+            history.epoch_losses.push(mean_loss);
+        }
+        Ok(history)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_sizes() {
+        assert!(matches!(
+            Mlp::new(&[4], Activation::Relu, 0),
+            Err(NnError::TooFewLayers { got: 1 })
+        ));
+        assert!(Mlp::new(&[4, 0, 1], Activation::Relu, 0).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_initial_predictions() {
+        let a = Mlp::new(&[2, 8, 1], Activation::Relu, 5).unwrap();
+        let b = Mlp::new(&[2, 8, 1], Activation::Relu, 5).unwrap();
+        assert_eq!(a.predict(&[0.3, 0.7]).unwrap(), b.predict(&[0.3, 0.7]).unwrap());
+    }
+
+    #[test]
+    fn different_seed_different_predictions() {
+        let a = Mlp::new(&[2, 8, 1], Activation::Relu, 5).unwrap();
+        let b = Mlp::new(&[2, 8, 1], Activation::Relu, 6).unwrap();
+        assert_ne!(a.predict(&[0.3, 0.7]).unwrap(), b.predict(&[0.3, 0.7]).unwrap());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let m = Mlp::new(&[3, 4, 2], Activation::Relu, 0).unwrap();
+        assert!(m.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let inputs: Vec<Vec<f64>> = (0..128)
+            .map(|i| vec![(i % 16) as f64 / 16.0, (i / 16) as f64 / 8.0])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| vec![3.0 * x[0] - 2.0 * x[1] + 0.5])
+            .collect();
+        let mut m = Mlp::new(&[2, 16, 1], Activation::Relu, 7).unwrap();
+        let config = TrainConfig {
+            epochs: 300,
+            ..TrainConfig::paper()
+        };
+        let history = m.fit(&inputs, &targets, &config).unwrap();
+        assert!(
+            history.final_loss() < 1e-3,
+            "loss {}",
+            history.final_loss()
+        );
+        assert!(history.epoch_losses[0] > history.final_loss());
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let inputs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0 * 4.0 - 2.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0].sin()]).collect();
+        let mut m = Mlp::new(&[1, 32, 32, 1], Activation::Tanh, 3).unwrap();
+        let config = TrainConfig {
+            epochs: 400,
+            ..TrainConfig::paper()
+        };
+        let history = m.fit(&inputs, &targets, &config).unwrap();
+        assert!(history.final_loss() < 5e-3, "loss {}", history.final_loss());
+    }
+
+    #[test]
+    fn fit_rejects_bad_data() {
+        let mut m = Mlp::new(&[1, 4, 1], Activation::Relu, 0).unwrap();
+        let config = TrainConfig::paper();
+        assert!(matches!(
+            m.fit(&[], &[], &config),
+            Err(NnError::BadDataset { .. })
+        ));
+        assert!(m
+            .fit(&[vec![1.0]], &[vec![1.0], vec![2.0]], &config)
+            .is_err());
+        assert!(m.fit(&[vec![1.0, 2.0]], &[vec![1.0]], &config).is_err());
+        assert!(m.fit(&[vec![1.0]], &[vec![1.0, 2.0]], &config).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_bad_config() {
+        let mut m = Mlp::new(&[1, 4, 1], Activation::Relu, 0).unwrap();
+        let config = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::paper()
+        };
+        assert!(m.fit(&[vec![1.0]], &[vec![1.0]], &config).is_err());
+        let config = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::paper()
+        };
+        assert!(m.fit(&[vec![1.0]], &[vec![1.0]], &config).is_err());
+    }
+
+    #[test]
+    fn training_is_reproducible() {
+        let inputs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 / 32.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] * x[0]]).collect();
+        let run = || {
+            let mut m = Mlp::new(&[1, 8, 1], Activation::Relu, 11).unwrap();
+            let config = TrainConfig {
+                epochs: 20,
+                ..TrainConfig::paper()
+            };
+            m.fit(&inputs, &targets, &config).unwrap();
+            m.predict(&[0.4]).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parameter_count_adds_up() {
+        let m = Mlp::new(&[3, 5, 2], Activation::Relu, 0).unwrap();
+        assert_eq!(m.parameter_count(), (3 * 5 + 5) + (5 * 2 + 2));
+    }
+
+    #[test]
+    fn predict_batch_maps_rows() {
+        let m = Mlp::new(&[1, 4, 1], Activation::Relu, 0).unwrap();
+        let out = m.predict_batch(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_history_final_loss_is_infinite() {
+        assert_eq!(TrainHistory::default().final_loss(), f64::INFINITY);
+    }
+}

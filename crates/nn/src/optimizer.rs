@@ -1,0 +1,209 @@
+//! Adam optimizer with L2 weight decay.
+//!
+//! Matches PyTorch's `torch.optim.Adam(…, weight_decay=…)` semantics —
+//! the decay term is added to the gradient *before* the moment updates
+//! (classic L2 regularization, not AdamW's decoupled form) — because the
+//! paper trains its dynamics model with exactly that optimizer
+//! (Section 4.1: lr `1e-3`, weight decay `1e-5`).
+
+use crate::error::NnError;
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Learning rate (paper: `1e-3`).
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical-stability constant ε.
+    pub epsilon: f64,
+    /// L2 weight decay (paper: `1e-5`).
+    pub weight_decay: f64,
+}
+
+impl AdamConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self {
+            learning_rate: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 1e-5,
+        }
+    }
+
+    /// Validates hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperparameter`] for non-positive learning
+    /// rate/epsilon, betas outside `(0, 1)`, or negative weight decay.
+    pub fn validate(&self) -> Result<(), NnError> {
+        let positive = [
+            ("learning_rate", self.learning_rate),
+            ("epsilon", self.epsilon),
+        ];
+        for (name, value) in positive {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(NnError::BadHyperparameter { name, value });
+            }
+        }
+        for (name, value) in [("beta1", self.beta1), ("beta2", self.beta2)] {
+            if !(0.0..1.0).contains(&value) {
+                return Err(NnError::BadHyperparameter { name, value });
+            }
+        }
+        if !(self.weight_decay >= 0.0) || !self.weight_decay.is_finite() {
+            return Err(NnError::BadHyperparameter {
+                name: "weight_decay",
+                value: self.weight_decay,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Adam state for one flat parameter vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `dim` parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperparameter`] for invalid configuration.
+    pub fn new(dim: usize, config: AdamConfig) -> Result<Self, NnError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        })
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update: `params ← params − lr · m̂ / (√v̂ + ε)` with
+    /// decay-augmented gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params`/`grads` lengths differ from the optimizer's
+    /// dimension (a programming error, not a data error).
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "parameter dimension changed");
+        assert_eq!(grads.len(), self.m.len(), "gradient dimension changed");
+        self.t += 1;
+        let c = &self.config;
+        let bias1 = 1.0 - c.beta1.powi(self.t as i32);
+        let bias2 = 1.0 - c.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] + c.weight_decay * params[i];
+            self.m[i] = c.beta1 * self.m[i] + (1.0 - c.beta1) * g;
+            self.v[i] = c.beta2 * self.v[i] + (1.0 - c.beta2) * g * g;
+            let m_hat = self.m[i] / bias1;
+            let v_hat = self.v[i] / bias2;
+            params[i] -= c.learning_rate * m_hat / (v_hat.sqrt() + c.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x − 3)², ∇f = 2(x − 3).
+        let config = AdamConfig {
+            learning_rate: 0.1,
+            weight_decay: 0.0,
+            ..AdamConfig::paper()
+        };
+        let mut adam = Adam::new(1, config).unwrap();
+        let mut x = vec![0.0];
+        for _ in 0..500 {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            adam.step(&mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 0.05, "converged to {}", x[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let config = AdamConfig {
+            learning_rate: 0.01,
+            weight_decay: 0.5,
+            ..AdamConfig::paper()
+        };
+        let mut adam = Adam::new(1, config).unwrap();
+        let mut x = vec![5.0];
+        // Zero task gradient: only decay acts.
+        for _ in 0..200 {
+            adam.step(&mut x, &[0.0]);
+        }
+        assert!(x[0] < 4.0, "decay failed: {}", x[0]);
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        let bad = AdamConfig {
+            learning_rate: 0.0,
+            ..AdamConfig::paper()
+        };
+        assert!(Adam::new(1, bad).is_err());
+        let bad = AdamConfig {
+            beta1: 1.0,
+            ..AdamConfig::paper()
+        };
+        assert!(Adam::new(1, bad).is_err());
+        let bad = AdamConfig {
+            weight_decay: -1.0,
+            ..AdamConfig::paper()
+        };
+        assert!(Adam::new(1, bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter dimension changed")]
+    fn dimension_change_panics() {
+        let mut adam = Adam::new(2, AdamConfig::paper()).unwrap();
+        let mut x = vec![0.0];
+        adam.step(&mut x, &[0.0]);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut adam = Adam::new(1, AdamConfig::paper()).unwrap();
+        assert_eq!(adam.steps(), 0);
+        let mut x = vec![1.0];
+        adam.step(&mut x, &[0.1]);
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn paper_config_values() {
+        let c = AdamConfig::paper();
+        assert_eq!(c.learning_rate, 1e-3);
+        assert_eq!(c.weight_decay, 1e-5);
+    }
+}

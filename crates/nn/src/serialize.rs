@@ -1,0 +1,230 @@
+//! Compact text serialization of trained networks.
+//!
+//! Training the dynamics model is an offline step; deployment (and the
+//! benchmark harness) wants to reuse a trained model without a tensor
+//! runtime or a binary format. The format is line-based:
+//!
+//! ```text
+//! mlp v1
+//! layers 2
+//! layer 8 64 relu
+//! w <64×8 floats…>
+//! b <64 floats…>
+//! layer 64 1 identity
+//! w <…>
+//! b <…>
+//! ```
+//!
+//! Floats are printed with round-trip (`f64`-exact) precision.
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::Dense;
+use crate::mlp::Mlp;
+
+const FORMAT_HEADER: &str = "mlp v1";
+
+fn activation_tag(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::Tanh => "tanh",
+        Activation::Identity => "identity",
+    }
+}
+
+fn parse_activation(tag: &str) -> Option<Activation> {
+    match tag {
+        "relu" => Some(Activation::Relu),
+        "tanh" => Some(Activation::Tanh),
+        "identity" => Some(Activation::Identity),
+        _ => None,
+    }
+}
+
+fn write_floats(out: &mut String, prefix: &str, values: &[f64]) {
+    out.push_str(prefix);
+    for v in values {
+        out.push(' ');
+        out.push_str(&format!("{v:?}"));
+    }
+    out.push('\n');
+}
+
+fn parse_floats(line: &str, prefix: &str, expected: usize) -> Result<Vec<f64>, NnError> {
+    let bad = NnError::BadHyperparameter {
+        name: "serialized model",
+        value: 0.0,
+    };
+    let rest = line.strip_prefix(prefix).ok_or_else(|| bad.clone())?;
+    let values: Vec<f64> = rest
+        .split_whitespace()
+        .map(|t| t.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad.clone())?;
+    if values.len() != expected || values.iter().any(|v| !v.is_finite()) {
+        return Err(bad);
+    }
+    Ok(values)
+}
+
+impl Mlp {
+    /// Serializes the network to the compact text format.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hvac_nn::{Activation, Mlp};
+    ///
+    /// # fn main() -> Result<(), hvac_nn::NnError> {
+    /// let mlp = Mlp::new(&[2, 8, 1], Activation::Relu, 7)?;
+    /// let text = mlp.to_compact_string();
+    /// let restored = Mlp::from_compact_string(&text)?;
+    /// assert_eq!(mlp.predict(&[0.3, -0.8])?, restored.predict(&[0.3, -0.8])?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(FORMAT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("layers {}\n", self.layers().len()));
+        for layer in self.layers() {
+            out.push_str(&format!(
+                "layer {} {} {}\n",
+                layer.in_dim(),
+                layer.out_dim(),
+                activation_tag(layer.activation())
+            ));
+            write_floats(&mut out, "w", layer.weights());
+            write_floats(&mut out, "b", layer.biases());
+        }
+        out
+    }
+
+    /// Parses a network from the compact text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadHyperparameter`] (naming the serialized
+    /// model) for any malformed or inconsistent input: bad header,
+    /// wrong counts, non-finite values, or mismatched layer widths.
+    pub fn from_compact_string(text: &str) -> Result<Self, NnError> {
+        let bad = NnError::BadHyperparameter {
+            name: "serialized model",
+            value: 0.0,
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(FORMAT_HEADER) {
+            return Err(bad);
+        }
+        let count_line = lines.next().ok_or_else(|| bad.clone())?;
+        let n_layers: usize = count_line
+            .strip_prefix("layers ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad.clone())?;
+        if n_layers == 0 {
+            return Err(bad);
+        }
+
+        let mut layers = Vec::with_capacity(n_layers);
+        let mut prev_out: Option<usize> = None;
+        for _ in 0..n_layers {
+            let header = lines.next().ok_or_else(|| bad.clone())?;
+            let mut parts = header.split_whitespace();
+            if parts.next() != Some("layer") {
+                return Err(bad);
+            }
+            let in_dim: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad.clone())?;
+            let out_dim: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad.clone())?;
+            let activation = parts
+                .next()
+                .and_then(parse_activation)
+                .ok_or_else(|| bad.clone())?;
+            if let Some(prev) = prev_out {
+                if prev != in_dim {
+                    return Err(bad);
+                }
+            }
+            prev_out = Some(out_dim);
+            let weights = parse_floats(
+                lines.next().ok_or_else(|| bad.clone())?,
+                "w",
+                in_dim * out_dim,
+            )?;
+            let biases = parse_floats(lines.next().ok_or_else(|| bad.clone())?, "b", out_dim)?;
+            layers.push(Dense::from_parameters(
+                in_dim, out_dim, activation, weights, biases,
+            )?);
+        }
+        if lines.any(|l| !l.trim().is_empty()) {
+            return Err(bad);
+        }
+        Mlp::from_layers(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::TrainConfig;
+
+    fn trained() -> Mlp {
+        let inputs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] * 2.0]).collect();
+        let mut m = Mlp::new(&[1, 8, 1], Activation::Relu, 3).unwrap();
+        let config = TrainConfig {
+            epochs: 30,
+            ..TrainConfig::paper()
+        };
+        m.fit(&inputs, &targets, &config).unwrap();
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_bitwise() {
+        let m = trained();
+        let restored = Mlp::from_compact_string(&m.to_compact_string()).unwrap();
+        for i in 0..20 {
+            let x = [i as f64 / 7.0];
+            assert_eq!(m.predict(&x).unwrap(), restored.predict(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let m = Mlp::new(&[3, 16, 8, 2], Activation::Tanh, 9).unwrap();
+        let restored = Mlp::from_compact_string(&m.to_compact_string()).unwrap();
+        assert_eq!(restored.in_dim(), 3);
+        assert_eq!(restored.out_dim(), 2);
+        assert_eq!(restored.parameter_count(), m.parameter_count());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for text in [
+            "",
+            "mlp v2\nlayers 1\n",
+            "mlp v1\nlayers 0\n",
+            "mlp v1\nlayers 1\nlayer 2 2 relu\nw 1 2 3\nb 0 0\n", // short weights
+            "mlp v1\nlayers 1\nlayer 2 2 blah\nw 1 2 3 4\nb 0 0\n",
+            "mlp v1\nlayers 1\nlayer 2 2 relu\nw 1 2 3 NaN\nb 0 0\n",
+            // mismatched chain: 2->2 then layer expecting 3 inputs
+            "mlp v1\nlayers 2\nlayer 2 2 relu\nw 1 2 3 4\nb 0 0\nlayer 3 1 identity\nw 1 2 3\nb 0\n",
+        ] {
+            assert!(Mlp::from_compact_string(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let m = trained();
+        let text = m.to_compact_string() + "extra\n";
+        assert!(Mlp::from_compact_string(&text).is_err());
+    }
+}

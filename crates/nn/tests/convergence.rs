@@ -1,0 +1,34 @@
+//! Cross-module training convergence checks.
+
+use hvac_nn::{Activation, Mlp, TrainConfig};
+
+#[test]
+fn linear_target_converges_tightly() {
+    let inputs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 64.0]).collect();
+    let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![2.0 * x[0]]).collect();
+    let mut mlp = Mlp::new(&[1, 16, 1], Activation::Relu, 42).unwrap();
+    let config = TrainConfig {
+        epochs: 800,
+        batch_size: 8,
+        ..TrainConfig::default()
+    };
+    let history = mlp.fit(&inputs, &targets, &config).unwrap();
+    assert!(history.final_loss() < 1e-4, "loss {}", history.final_loss());
+    let y = mlp.predict(&[0.5]).unwrap();
+    assert!((y[0] - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn loss_monotone_on_average() {
+    let inputs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 50.0 - 1.0]).collect();
+    let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0].abs()]).collect();
+    let mut mlp = Mlp::new(&[1, 24, 1], Activation::Relu, 9).unwrap();
+    let config = TrainConfig {
+        epochs: 100,
+        ..TrainConfig::default()
+    };
+    let history = mlp.fit(&inputs, &targets, &config).unwrap();
+    let first10: f64 = history.epoch_losses[..10].iter().sum();
+    let last10: f64 = history.epoch_losses[history.epoch_losses.len() - 10..].iter().sum();
+    assert!(last10 < first10);
+}

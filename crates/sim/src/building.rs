@@ -1,0 +1,609 @@
+//! The RC-network building model.
+//!
+//! The building is a graph of thermal zones. Each zone's air temperature
+//! evolves by the lumped energy balance
+//!
+//! ```text
+//! C_i dT_i/dt = UA_i (T_out − T_i)                    (envelope)
+//!             + Σ_j U_ij (T_j − T_i)                  (inter-zone)
+//!             + A_i · G_solar                          (solar gains)
+//!             + q_occ · n_i + q_equip(occupied)        (internal gains)
+//!             + Q_hvac,i                               (plant)
+//! ```
+//!
+//! integrated with forward-Euler sub-steps inside each 15-minute control
+//! step. Infiltration scales the envelope conductance mildly with wind
+//! speed, which makes wind a genuine (if secondary) disturbance like in
+//! the paper's Table 1.
+
+use crate::hvac::{HvacOutput, HvacPlant, HvacPlantConfig};
+use crate::time::STEP_SECONDS;
+use crate::weather::WeatherSample;
+use crate::zone::{ZoneConfig, ZoneState};
+use crate::SimError;
+
+/// Number of forward-Euler sub-steps per control step.
+const SUBSTEPS: usize = 15;
+
+/// Full description of a building: zones, adjacency, and plant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildingConfig {
+    /// Zone parameter blocks.
+    pub zones: Vec<ZoneConfig>,
+    /// Inter-zone conductances `(zone_a, zone_b, ua_watts_per_kelvin)`.
+    /// Each pair should appear once; the coupling is symmetric.
+    pub adjacency: Vec<(usize, usize, f64)>,
+    /// Plant configuration shared by all zones.
+    pub plant: HvacPlantConfig,
+    /// Wind-speed infiltration coefficient: the envelope conductance is
+    /// multiplied by `1 + wind_infiltration · wind_speed` (wind in m/s).
+    pub wind_infiltration: f64,
+    /// Initial temperature of every zone, °C.
+    pub initial_temperature: f64,
+}
+
+impl BuildingConfig {
+    /// The reference 463 m² five-zone office used throughout the paper's
+    /// evaluation: one core zone surrounded by four perimeter zones, in
+    /// the classic EnergyPlus "5ZoneAutoDXVAV" layout.
+    pub fn five_zone_463m2() -> Self {
+        let zones = vec![
+            ZoneConfig::core("SPACE5-1", 182.0),
+            ZoneConfig::perimeter("SPACE1-1", 99.0),
+            ZoneConfig::perimeter("SPACE2-1", 42.0),
+            ZoneConfig::perimeter("SPACE3-1", 96.0),
+            ZoneConfig::perimeter("SPACE4-1", 44.0),
+        ];
+        // Core couples to every perimeter zone; neighboring perimeter
+        // zones couple more weakly at their shared corners.
+        let adjacency = vec![
+            (0, 1, 160.0),
+            (0, 2, 90.0),
+            (0, 3, 155.0),
+            (0, 4, 95.0),
+            (1, 2, 25.0),
+            (2, 3, 25.0),
+            (3, 4, 25.0),
+            (4, 1, 25.0),
+        ];
+        Self {
+            zones,
+            adjacency,
+            plant: HvacPlantConfig::reference(),
+            wind_infiltration: 0.03,
+            initial_temperature: 20.0,
+        }
+    }
+
+    /// A single-zone test building (useful for unit tests and analytical
+    /// checks).
+    pub fn single_zone() -> Self {
+        Self {
+            zones: vec![ZoneConfig::perimeter("ONLY", 100.0)],
+            adjacency: Vec::new(),
+            plant: HvacPlantConfig::reference(),
+            wind_infiltration: 0.0,
+            initial_temperature: 20.0,
+        }
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates zone/plant validation failures, and rejects empty zone
+    /// lists, out-of-range adjacency indices, self-couplings and
+    /// non-finite or negative conductances.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.zones.is_empty() {
+            return Err(SimError::NoZones);
+        }
+        for z in &self.zones {
+            z.validate()?;
+        }
+        self.plant.validate()?;
+        let n = self.zones.len();
+        for &(a, b, ua) in &self.adjacency {
+            if a >= n || b >= n || a == b {
+                return Err(SimError::BadAdjacency { a, b, zones: n });
+            }
+            if !(ua >= 0.0) || !ua.is_finite() {
+                return Err(SimError::InvalidConfig {
+                    field: "adjacency conductance",
+                    value: ua,
+                });
+            }
+        }
+        if !(self.wind_infiltration >= 0.0) || !self.wind_infiltration.is_finite() {
+            return Err(SimError::InvalidConfig {
+                field: "wind_infiltration",
+                value: self.wind_infiltration,
+            });
+        }
+        if !self.initial_temperature.is_finite() {
+            return Err(SimError::InvalidConfig {
+                field: "initial_temperature",
+                value: self.initial_temperature,
+            });
+        }
+        Ok(())
+    }
+
+    /// Total conditioned floor area, m².
+    pub fn total_floor_area(&self) -> f64 {
+        self.zones.iter().map(|z| z.floor_area).sum()
+    }
+}
+
+/// Outcome of one control step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Zone air temperatures after the step, °C.
+    pub zone_temperatures: Vec<f64>,
+    /// Plant output per zone (power averaged over the step).
+    pub hvac: Vec<HvacOutput>,
+    /// Electrical energy consumed this step, kWh.
+    pub electric_energy_kwh: f64,
+    /// Thermal energy delivered (|heating| + |cooling|) this step, kWh.
+    pub thermal_energy_kwh: f64,
+}
+
+/// A stateful building simulation.
+///
+/// # Example
+///
+/// ```
+/// use hvac_sim::{Building, BuildingConfig, WeatherSample};
+///
+/// # fn main() -> Result<(), hvac_sim::SimError> {
+/// let mut b = Building::new(BuildingConfig::single_zone())?;
+/// let cold = WeatherSample { outdoor_temperature: -5.0, ..WeatherSample::default() };
+/// // With a 21 °C heating setpoint the zone is kept warm.
+/// for _ in 0..96 {
+///     b.step(&cold, &[0.0], &[(21.0, 26.0)])?;
+/// }
+/// assert!(b.zone_temperature(0) > 19.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Building {
+    config: BuildingConfig,
+    plant: HvacPlant,
+    states: Vec<ZoneState>,
+}
+
+impl Building {
+    /// Creates a building from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from [`BuildingConfig::validate`].
+    pub fn new(config: BuildingConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let plant = HvacPlant::new(config.plant)?;
+        let states = vec![ZoneState::at(config.initial_temperature); config.zones.len()];
+        Ok(Self {
+            config,
+            plant,
+            states,
+        })
+    }
+
+    /// The building configuration.
+    pub fn config(&self) -> &BuildingConfig {
+        &self.config
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.config.zones.len()
+    }
+
+    /// Current temperature of zone `i`, °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn zone_temperature(&self, i: usize) -> f64 {
+        self.states[i].temperature
+    }
+
+    /// All current zone temperatures.
+    pub fn zone_temperatures(&self) -> Vec<f64> {
+        self.states.iter().map(|s| s.temperature).collect()
+    }
+
+    /// Overwrites all zone temperatures (used to reset episodes or to
+    /// branch counterfactual rollouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZoneCountMismatch`] if the slice length is
+    /// wrong, or [`SimError::NonFiniteInput`] for NaN/inf entries.
+    pub fn set_zone_temperatures(&mut self, temps: &[f64]) -> Result<(), SimError> {
+        if temps.len() != self.states.len() {
+            return Err(SimError::ZoneCountMismatch {
+                expected: self.states.len(),
+                got: temps.len(),
+            });
+        }
+        if temps.iter().any(|t| !t.is_finite()) {
+            return Err(SimError::NonFiniteInput {
+                what: "zone temperature",
+            });
+        }
+        for (s, &t) in self.states.iter_mut().zip(temps) {
+            s.temperature = t;
+        }
+        Ok(())
+    }
+
+    /// Resets every zone to the configured initial temperature.
+    pub fn reset(&mut self) {
+        for s in &mut self.states {
+            s.temperature = self.config.initial_temperature;
+        }
+    }
+
+    /// Advances the building by one 15-minute control step.
+    ///
+    /// `occupants[i]` is the occupant count of zone `i`;
+    /// `setpoints[i] = (heating_setpoint, cooling_setpoint)` commands the
+    /// plant for zone `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZoneCountMismatch`] when slice lengths differ
+    /// from the zone count, and [`SimError::NonFiniteInput`] for
+    /// non-finite weather or setpoint values.
+    pub fn step(
+        &mut self,
+        weather: &WeatherSample,
+        occupants: &[f64],
+        setpoints: &[(f64, f64)],
+    ) -> Result<StepResult, SimError> {
+        let n = self.zone_count();
+        if occupants.len() != n {
+            return Err(SimError::ZoneCountMismatch {
+                expected: n,
+                got: occupants.len(),
+            });
+        }
+        if setpoints.len() != n {
+            return Err(SimError::ZoneCountMismatch {
+                expected: n,
+                got: setpoints.len(),
+            });
+        }
+        if !weather.outdoor_temperature.is_finite()
+            || !weather.solar_radiation.is_finite()
+            || !weather.wind_speed.is_finite()
+        {
+            return Err(SimError::NonFiniteInput { what: "weather" });
+        }
+
+        let dt = STEP_SECONDS / SUBSTEPS as f64;
+        let infiltration = 1.0 + self.config.wind_infiltration * weather.wind_speed.max(0.0);
+        let occupied_any = occupants.iter().any(|&o| o > 0.0);
+
+        let mut avg_hvac = vec![HvacOutput::default(); n];
+
+        for _ in 0..SUBSTEPS {
+            // Energy balance without HVAC on a frozen temperature field
+            // (explicit Euler).
+            let temps: Vec<f64> = self.states.iter().map(|s| s.temperature).collect();
+            let mut flux = vec![0.0f64; n];
+            for i in 0..n {
+                let z = &self.config.zones[i];
+                flux[i] += z.envelope_ua
+                    * infiltration
+                    * (weather.outdoor_temperature - temps[i]);
+                flux[i] += z.solar_aperture * weather.solar_radiation;
+                flux[i] += z.gain_per_occupant * occupants[i];
+                if occupied_any {
+                    flux[i] += z.equipment_gain;
+                }
+            }
+            for &(a, b, ua) in &self.config.adjacency {
+                let q = ua * (temps[b] - temps[a]);
+                flux[a] += q;
+                flux[b] -= q;
+            }
+
+            // Ideal-loads plant response given the current flux.
+            for i in 0..n {
+                let z = &self.config.zones[i];
+                let (h_sp, c_sp) = setpoints[i];
+                let out = self.plant.respond(
+                    temps[i],
+                    h_sp,
+                    c_sp,
+                    flux[i],
+                    z.capacitance,
+                    dt,
+                    z.max_heating_power,
+                    z.max_cooling_power,
+                )?;
+                flux[i] += out.net_thermal_power();
+                avg_hvac[i].heating_power += out.heating_power / SUBSTEPS as f64;
+                avg_hvac[i].cooling_power += out.cooling_power / SUBSTEPS as f64;
+                avg_hvac[i].electric_power += out.electric_power / SUBSTEPS as f64;
+            }
+
+            for (i, state) in self.states.iter_mut().enumerate() {
+                state.temperature += flux[i] * dt / self.config.zones[i].capacitance;
+            }
+        }
+
+        let electric_w: f64 = avg_hvac.iter().map(|h| h.electric_power).sum();
+        let thermal_w: f64 = avg_hvac
+            .iter()
+            .map(|h| h.heating_power + h.cooling_power)
+            .sum();
+        Ok(StepResult {
+            zone_temperatures: self.zone_temperatures(),
+            hvac: avg_hvac,
+            electric_energy_kwh: electric_w * STEP_SECONDS / 3.6e6,
+            thermal_energy_kwh: thermal_w * STEP_SECONDS / 3.6e6,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cold() -> WeatherSample {
+        WeatherSample {
+            outdoor_temperature: -5.0,
+            ..WeatherSample::default()
+        }
+    }
+
+    fn hot() -> WeatherSample {
+        WeatherSample {
+            outdoor_temperature: 38.0,
+            solar_radiation: 600.0,
+            ..WeatherSample::default()
+        }
+    }
+
+    const OFF: (f64, f64) = (15.0, 30.0);
+
+    #[test]
+    fn five_zone_config_validates() {
+        assert!(BuildingConfig::five_zone_463m2().validate().is_ok());
+        let area = BuildingConfig::five_zone_463m2().total_floor_area();
+        assert!((area - 463.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_building_rejected() {
+        let mut c = BuildingConfig::single_zone();
+        c.zones.clear();
+        assert_eq!(Building::new(c).err(), Some(SimError::NoZones));
+    }
+
+    #[test]
+    fn bad_adjacency_rejected() {
+        let mut c = BuildingConfig::single_zone();
+        c.adjacency.push((0, 5, 10.0));
+        assert!(matches!(
+            c.validate(),
+            Err(SimError::BadAdjacency { .. })
+        ));
+        let mut c = BuildingConfig::five_zone_463m2();
+        c.adjacency.push((2, 2, 10.0));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn free_float_cools_toward_outdoor() {
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        let start = b.zone_temperature(0);
+        for _ in 0..96 {
+            b.step(&cold(), &[0.0], &[OFF]).unwrap();
+        }
+        let end = b.zone_temperature(0);
+        assert!(end < start);
+        assert!(end > cold().outdoor_temperature);
+    }
+
+    #[test]
+    fn heating_setpoint_is_tracked() {
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        for _ in 0..96 {
+            b.step(&cold(), &[0.0], &[(21.0, 26.0)]).unwrap();
+        }
+        let t = b.zone_temperature(0);
+        assert!((20.0..22.0).contains(&t), "tracked to {t}");
+    }
+
+    #[test]
+    fn cooling_setpoint_is_tracked() {
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        b.set_zone_temperatures(&[30.0]).unwrap();
+        for _ in 0..96 {
+            b.step(&hot(), &[0.0], &[(15.0, 24.0)]).unwrap();
+        }
+        let t = b.zone_temperature(0);
+        assert!((23.0..25.5).contains(&t), "tracked to {t}");
+    }
+
+    #[test]
+    fn higher_heating_setpoint_uses_more_energy() {
+        let energy = |sp: f64| {
+            let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+            let mut total = 0.0;
+            for _ in 0..96 {
+                total += b.step(&cold(), &[0.0], &[(sp, 30.0)]).unwrap().electric_energy_kwh;
+            }
+            total
+        };
+        assert!(energy(23.0) > energy(18.0));
+        assert!(energy(18.0) > energy(15.0) - 1e-12);
+    }
+
+    #[test]
+    fn occupants_warm_the_zone() {
+        let run = |occ: f64| {
+            let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+            for _ in 0..96 {
+                b.step(&cold(), &[occ], &[OFF]).unwrap();
+            }
+            b.zone_temperature(0)
+        };
+        assert!(run(20.0) > run(0.0));
+    }
+
+    #[test]
+    fn solar_warms_the_zone() {
+        let run = |ghi: f64| {
+            let w = WeatherSample {
+                outdoor_temperature: 0.0,
+                solar_radiation: ghi,
+                ..WeatherSample::default()
+            };
+            let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+            for _ in 0..96 {
+                b.step(&w, &[0.0], &[OFF]).unwrap();
+            }
+            b.zone_temperature(0)
+        };
+        assert!(run(500.0) > run(0.0) + 0.5);
+    }
+
+    #[test]
+    fn wind_increases_heat_loss() {
+        let run = |wind: f64| {
+            let w = WeatherSample {
+                outdoor_temperature: -10.0,
+                wind_speed: wind,
+                ..WeatherSample::default()
+            };
+            let mut c = BuildingConfig::single_zone();
+            c.wind_infiltration = 0.05;
+            let mut b = Building::new(c).unwrap();
+            for _ in 0..96 {
+                b.step(&w, &[0.0], &[OFF]).unwrap();
+            }
+            b.zone_temperature(0)
+        };
+        assert!(run(10.0) < run(0.0));
+    }
+
+    #[test]
+    fn interzone_coupling_equalizes() {
+        let mut c = BuildingConfig::five_zone_463m2();
+        c.wind_infiltration = 0.0;
+        let mut b = Building::new(c).unwrap();
+        b.set_zone_temperatures(&[25.0, 15.0, 20.0, 20.0, 20.0]).unwrap();
+        let mild = WeatherSample {
+            outdoor_temperature: 20.0,
+            ..WeatherSample::default()
+        };
+        for _ in 0..48 {
+            b.step(&mild, &[0.0; 5], &[OFF; 5]).unwrap();
+        }
+        let temps = b.zone_temperatures();
+        let spread = temps
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - temps.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 5.0, "zones failed to equalize: {temps:?}");
+    }
+
+    #[test]
+    fn step_rejects_wrong_lengths() {
+        let mut b = Building::new(BuildingConfig::five_zone_463m2()).unwrap();
+        let w = WeatherSample::default();
+        assert!(matches!(
+            b.step(&w, &[0.0; 3], &[OFF; 5]),
+            Err(SimError::ZoneCountMismatch { expected: 5, got: 3 })
+        ));
+        assert!(b.step(&w, &[0.0; 5], &[OFF; 2]).is_err());
+    }
+
+    #[test]
+    fn step_rejects_nan_weather() {
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        let w = WeatherSample {
+            outdoor_temperature: f64::NAN,
+            ..WeatherSample::default()
+        };
+        assert!(b.step(&w, &[0.0], &[OFF]).is_err());
+    }
+
+    #[test]
+    fn reset_restores_initial_temperature() {
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        b.set_zone_temperatures(&[5.0]).unwrap();
+        b.reset();
+        assert_eq!(b.zone_temperature(0), 20.0);
+    }
+
+    #[test]
+    fn set_temperatures_rejects_nan() {
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        assert!(b.set_zone_temperatures(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn energy_meter_is_zero_when_plant_idle() {
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        let mild = WeatherSample {
+            outdoor_temperature: 20.0,
+            ..WeatherSample::default()
+        };
+        let r = b.step(&mild, &[0.0], &[OFF]).unwrap();
+        assert_eq!(r.electric_energy_kwh, 0.0);
+        assert_eq!(r.thermal_energy_kwh, 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_temperatures_bounded_for_bounded_inputs(
+            t_out in -30.0f64..45.0,
+            ghi in 0.0f64..1000.0,
+            occ in 0.0f64..30.0,
+            h_sp in 15.0f64..23.0,
+            c_sp in 21.0f64..30.0,
+            steps in 1usize..300,
+        ) {
+            let w = WeatherSample {
+                outdoor_temperature: t_out,
+                solar_radiation: ghi,
+                ..WeatherSample::default()
+            };
+            let mut b = Building::new(BuildingConfig::five_zone_463m2()).unwrap();
+            for _ in 0..steps {
+                b.step(&w, &[occ; 5], &[(h_sp, c_sp); 5]).unwrap();
+            }
+            for t in b.zone_temperatures() {
+                prop_assert!(t.is_finite());
+                prop_assert!((-40.0..70.0).contains(&t), "temperature diverged: {}", t);
+            }
+        }
+
+        #[test]
+        fn prop_energy_nonnegative(
+            t_out in -30.0f64..45.0,
+            h_sp in 15.0f64..23.0,
+            c_sp in 21.0f64..30.0,
+        ) {
+            let w = WeatherSample {
+                outdoor_temperature: t_out,
+                ..WeatherSample::default()
+            };
+            let mut b = Building::new(BuildingConfig::five_zone_463m2()).unwrap();
+            let r = b.step(&w, &[0.0; 5], &[(h_sp, c_sp); 5]).unwrap();
+            prop_assert!(r.electric_energy_kwh >= 0.0);
+            prop_assert!(r.thermal_energy_kwh >= 0.0);
+        }
+    }
+}

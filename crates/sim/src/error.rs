@@ -1,0 +1,95 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for building-simulation operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A building was configured with no zones.
+    NoZones,
+    /// A configuration value was out of its physically meaningful range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The number of per-zone inputs supplied to a step did not match the
+    /// number of zones in the building.
+    ZoneCountMismatch {
+        /// Zones in the building.
+        expected: usize,
+        /// Per-zone values supplied by the caller.
+        got: usize,
+    },
+    /// An adjacency entry referenced a zone index that does not exist.
+    BadAdjacency {
+        /// First zone index of the offending pair.
+        a: usize,
+        /// Second zone index of the offending pair.
+        b: usize,
+        /// Number of zones actually configured.
+        zones: usize,
+    },
+    /// A non-finite value (NaN/inf) was supplied where physics requires a
+    /// finite quantity.
+    NonFiniteInput {
+        /// Which input was non-finite.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoZones => write!(f, "building must have at least one zone"),
+            SimError::InvalidConfig { field, value } => {
+                write!(f, "invalid configuration: {field} = {value}")
+            }
+            SimError::ZoneCountMismatch { expected, got } => {
+                write!(f, "expected {expected} per-zone values, got {got}")
+            }
+            SimError::BadAdjacency { a, b, zones } => {
+                write!(f, "adjacency ({a}, {b}) references nonexistent zone (building has {zones})")
+            }
+            SimError::NonFiniteInput { what } => {
+                write!(f, "non-finite input: {what}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty() {
+        let errs = [
+            SimError::NoZones,
+            SimError::InvalidConfig {
+                field: "capacitance",
+                value: -1.0,
+            },
+            SimError::ZoneCountMismatch {
+                expected: 5,
+                got: 3,
+            },
+            SimError::BadAdjacency { a: 9, b: 0, zones: 5 },
+            SimError::NonFiniteInput { what: "setpoint" },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

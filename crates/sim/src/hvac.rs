@@ -1,0 +1,393 @@
+//! Ideal-loads HVAC plant with setpoint tracking.
+//!
+//! The paper's action is a pair of temperature setpoints per zone
+//! (heating ∈ [15, 23] °C, cooling ∈ [21, 30] °C; Section 2.1). The
+//! plant mimics EnergyPlus' *ideal loads air system*: each sub-step it
+//! computes the thermal power required to bring the zone exactly to the
+//! violated setpoint — counteracting the zone's current non-HVAC heat
+//! flux plus the capacitive term — and delivers it, saturating at the
+//! zone's capacity. When capacity suffices, the zone therefore *holds*
+//! the setpoint exactly, like EnergyPlus; when it does not, the zone
+//! drifts at full power. Electricity is metered through seasonal COPs,
+//! which is what Fig. 4's kWh axis reports.
+
+use crate::SimError;
+
+/// Plant-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HvacPlantConfig {
+    /// Thermostat deadband, K. Within ±deadband/2 of a setpoint the
+    /// plant does nothing (prevents chatter).
+    pub deadband: f64,
+    /// Coefficient of performance for heating (heat-pump style).
+    pub heating_cop: f64,
+    /// Coefficient of performance for cooling.
+    pub cooling_cop: f64,
+}
+
+impl HvacPlantConfig {
+    /// Reference configuration used by the five-zone building.
+    pub fn reference() -> Self {
+        Self {
+            deadband: 0.2,
+            heating_cop: 3.2,
+            cooling_cop: 3.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive COPs or a
+    /// negative deadband.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (field, value) in [
+            ("heating_cop", self.heating_cop),
+            ("cooling_cop", self.cooling_cop),
+        ] {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(SimError::InvalidConfig { field, value });
+            }
+        }
+        if !(self.deadband >= 0.0) || !self.deadband.is_finite() {
+            return Err(SimError::InvalidConfig {
+                field: "deadband",
+                value: self.deadband,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for HvacPlantConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Thermal and electrical output of the plant for one zone-step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HvacOutput {
+    /// Heat delivered to the zone, W (positive = heating).
+    pub heating_power: f64,
+    /// Heat removed from the zone, W (positive = cooling).
+    pub cooling_power: f64,
+    /// Electrical power drawn, W.
+    pub electric_power: f64,
+}
+
+impl HvacOutput {
+    /// Net thermal power added to the zone, W (heating − cooling).
+    pub fn net_thermal_power(&self) -> f64 {
+        self.heating_power - self.cooling_power
+    }
+}
+
+/// The ideal-loads plant.
+///
+/// # Example
+///
+/// ```
+/// use hvac_sim::{HvacPlant, HvacPlantConfig};
+///
+/// # fn main() -> Result<(), hvac_sim::SimError> {
+/// let plant = HvacPlant::new(HvacPlantConfig::reference())?;
+/// // Zone at 17 °C losing 1 kW, heating setpoint 20 °C: the plant heats.
+/// let out = plant.respond(
+///     17.0, 20.0, 25.0,   // zone temp, heating sp, cooling sp
+///     -1_000.0,           // non-HVAC flux, W
+///     4.0e6, 60.0,        // zone capacitance J/K, sub-step s
+///     8_000.0, 8_000.0,   // capacity limits, W
+/// )?;
+/// assert!(out.heating_power > 0.0);
+/// assert_eq!(out.cooling_power, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HvacPlant {
+    config: HvacPlantConfig,
+}
+
+impl HvacPlant {
+    /// Creates a plant from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is
+    /// rejected by [`HvacPlantConfig::validate`].
+    pub fn new(config: HvacPlantConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The plant configuration.
+    pub fn config(&self) -> &HvacPlantConfig {
+        &self.config
+    }
+
+    /// Computes the ideal-loads plant response for one zone sub-step.
+    ///
+    /// `zone_temp` is the current zone air temperature;
+    /// `heating_setpoint`/`cooling_setpoint` are the commanded
+    /// setpoints; `non_hvac_flux` is the zone's current heat balance
+    /// without HVAC (envelope + solar + internal + inter-zone), in W;
+    /// `capacitance` is the zone's thermal capacitance in J/K; `dt` the
+    /// integration sub-step in seconds; `max_heating`/`max_cooling` the
+    /// capacity limits in W.
+    ///
+    /// The delivered power is the amount needed to land the zone exactly
+    /// on the violated setpoint after `dt`, clamped to capacity.
+    ///
+    /// If the setpoints are inverted (cooling below heating — possible
+    /// because the paper's action space allows e.g. heat=23, cool=21),
+    /// the conflict resolves to the midpoint, mirroring EnergyPlus'
+    /// dual-setpoint thermostat honoring the tighter constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NonFiniteInput`] for NaN/infinite inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn respond(
+        &self,
+        zone_temp: f64,
+        heating_setpoint: f64,
+        cooling_setpoint: f64,
+        non_hvac_flux: f64,
+        capacitance: f64,
+        dt: f64,
+        max_heating: f64,
+        max_cooling: f64,
+    ) -> Result<HvacOutput, SimError> {
+        for (what, v) in [
+            ("zone temperature", zone_temp),
+            ("heating setpoint", heating_setpoint),
+            ("cooling setpoint", cooling_setpoint),
+            ("non-HVAC flux", non_hvac_flux),
+        ] {
+            if !v.is_finite() {
+                return Err(SimError::NonFiniteInput { what });
+            }
+        }
+        let (heat_sp, cool_sp) = if heating_setpoint > cooling_setpoint {
+            let mid = 0.5 * (heating_setpoint + cooling_setpoint);
+            (mid, mid)
+        } else {
+            (heating_setpoint, cooling_setpoint)
+        };
+
+        let half_band = 0.5 * self.config.deadband;
+        let mut out = HvacOutput::default();
+
+        if zone_temp < heat_sp - half_band {
+            // Power to land on the heating setpoint after dt.
+            let required = capacitance * (heat_sp - zone_temp) / dt - non_hvac_flux;
+            out.heating_power = required.clamp(0.0, max_heating);
+        } else if zone_temp > cool_sp + half_band {
+            let required = capacitance * (zone_temp - cool_sp) / dt + non_hvac_flux;
+            out.cooling_power = required.clamp(0.0, max_cooling);
+        } else if zone_temp >= heat_sp - half_band && zone_temp <= heat_sp + half_band {
+            // Holding at the heating setpoint: offset ongoing losses so
+            // the zone does not sag below the band.
+            if non_hvac_flux < 0.0 {
+                out.heating_power = (-non_hvac_flux).min(max_heating);
+            }
+        } else if zone_temp >= cool_sp - half_band && zone_temp <= cool_sp + half_band {
+            // Holding at the cooling setpoint against ongoing gains.
+            if non_hvac_flux > 0.0 {
+                out.cooling_power = non_hvac_flux.min(max_cooling);
+            }
+        }
+
+        out.electric_power = out.heating_power / self.config.heating_cop
+            + out.cooling_power / self.config.cooling_cop;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn plant() -> HvacPlant {
+        HvacPlant::new(HvacPlantConfig::reference()).unwrap()
+    }
+
+    const C: f64 = 4.0e6;
+    const DT: f64 = 60.0;
+    const CAP: f64 = 8_000.0;
+
+    #[test]
+    fn heats_when_cold() {
+        let out = plant()
+            .respond(16.0, 21.0, 26.0, -500.0, C, DT, CAP, CAP)
+            .unwrap();
+        assert_eq!(out.heating_power, CAP); // 5 K in one minute: saturated
+        assert_eq!(out.cooling_power, 0.0);
+        assert!(out.electric_power > 0.0);
+    }
+
+    #[test]
+    fn cools_when_hot() {
+        let out = plant()
+            .respond(29.0, 20.0, 25.0, 500.0, C, DT, CAP, CAP)
+            .unwrap();
+        assert!(out.cooling_power > 0.0);
+        assert_eq!(out.heating_power, 0.0);
+    }
+
+    #[test]
+    fn idles_in_comfort_band() {
+        let out = plant()
+            .respond(22.5, 20.0, 25.0, -500.0, C, DT, CAP, CAP)
+            .unwrap();
+        assert_eq!(out, HvacOutput::default());
+    }
+
+    #[test]
+    fn holds_setpoint_against_losses() {
+        // At the heating setpoint and losing 1 kW: the plant replaces
+        // exactly the loss so the zone neither sags nor overshoots.
+        let out = plant()
+            .respond(20.0, 20.0, 26.0, -1000.0, C, DT, CAP, CAP)
+            .unwrap();
+        assert!((out.heating_power - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lands_exactly_on_setpoint_when_capacity_allows() {
+        // 0.2 K below over a long sub-step: required power is small and
+        // not clamped, so the plant lands the zone exactly on the
+        // setpoint.
+        let t = 19.8;
+        let sp = 20.0;
+        let flux = -800.0;
+        let dt = 900.0;
+        let out = plant().respond(t, sp, 26.0, flux, C, dt, CAP, CAP).unwrap();
+        let landed = t + (out.heating_power + flux) * dt / C;
+        assert!((landed - sp).abs() < 1e-9, "landed at {landed}");
+    }
+
+    #[test]
+    fn saturates_at_capacity() {
+        let out = plant()
+            .respond(5.0, 23.0, 30.0, -2000.0, C, DT, CAP, CAP)
+            .unwrap();
+        assert_eq!(out.heating_power, CAP);
+    }
+
+    #[test]
+    fn inverted_setpoints_resolved_to_midpoint() {
+        // heat=23 > cool=21: behaves like a single 22 °C setpoint.
+        let heating = plant()
+            .respond(20.0, 23.0, 21.0, 0.0, C, DT, CAP, CAP)
+            .unwrap();
+        assert!(heating.heating_power > 0.0);
+        let cooling = plant()
+            .respond(24.0, 23.0, 21.0, 0.0, C, DT, CAP, CAP)
+            .unwrap();
+        assert!(cooling.cooling_power > 0.0);
+    }
+
+    #[test]
+    fn electricity_reflects_cop() {
+        let config = HvacPlantConfig {
+            heating_cop: 4.0,
+            ..HvacPlantConfig::reference()
+        };
+        let plant = HvacPlant::new(config).unwrap();
+        let out = plant.respond(10.0, 23.0, 30.0, 0.0, C, DT, CAP, CAP).unwrap();
+        assert!((out.electric_power - out.heating_power / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nan_inputs() {
+        assert!(plant()
+            .respond(f64::NAN, 20.0, 25.0, 0.0, C, DT, CAP, CAP)
+            .is_err());
+        assert!(plant()
+            .respond(20.0, f64::INFINITY, 25.0, 0.0, C, DT, CAP, CAP)
+            .is_err());
+        assert!(plant()
+            .respond(20.0, 20.0, 25.0, f64::NAN, C, DT, CAP, CAP)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let bad = HvacPlantConfig {
+            heating_cop: 0.0,
+            ..HvacPlantConfig::reference()
+        };
+        assert!(HvacPlant::new(bad).is_err());
+        let bad = HvacPlantConfig {
+            deadband: -0.1,
+            ..HvacPlantConfig::reference()
+        };
+        assert!(HvacPlant::new(bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_never_heats_and_cools_simultaneously(
+            t in -10.0f64..45.0,
+            h in 15.0f64..23.0,
+            c in 21.0f64..30.0,
+            flux in -5_000.0f64..5_000.0,
+        ) {
+            let out = plant().respond(t, h, c, flux, C, DT, CAP, CAP).unwrap();
+            prop_assert!(out.heating_power == 0.0 || out.cooling_power == 0.0);
+        }
+
+        #[test]
+        fn prop_powers_within_capacity(
+            t in -30.0f64..60.0,
+            h in 15.0f64..23.0,
+            c in 21.0f64..30.0,
+            flux in -20_000.0f64..20_000.0,
+            cap in 100.0f64..10_000.0,
+        ) {
+            let out = plant().respond(t, h, c, flux, C, DT, cap, cap).unwrap();
+            prop_assert!((0.0..=cap).contains(&out.heating_power));
+            prop_assert!((0.0..=cap).contains(&out.cooling_power));
+            prop_assert!(out.electric_power >= 0.0);
+        }
+
+        #[test]
+        fn prop_response_pushes_toward_comfort(
+            t in -10.0f64..45.0,
+            h in 15.0f64..23.0,
+            c in 21.0f64..30.0,
+            flux in -3_000.0f64..3_000.0,
+        ) {
+            prop_assume!(h <= c);
+            let out = plant().respond(t, h, c, flux, C, DT, CAP, CAP).unwrap();
+            if t < h - 0.2 {
+                prop_assert!(out.net_thermal_power() >= 0.0);
+            }
+            if t > c + 0.2 {
+                prop_assert!(out.net_thermal_power() <= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_never_overshoots_the_engaged_setpoint(
+            t in -10.0f64..45.0,
+            h in 15.0f64..23.0,
+            c in 21.0f64..30.0,
+            flux in -3_000.0f64..3_000.0,
+        ) {
+            prop_assume!(h <= c);
+            let out = plant().respond(t, h, c, flux, C, DT, CAP, CAP).unwrap();
+            let landed = t + (out.net_thermal_power() + flux) * DT / C;
+            if out.heating_power > 0.0 && t < h - 0.1 {
+                prop_assert!(landed <= h + 1e-9, "overshot to {landed} past {h}");
+            }
+            if out.cooling_power > 0.0 && t > c + 0.1 {
+                prop_assert!(landed >= c - 1e-9, "undershot to {landed} past {c}");
+            }
+        }
+    }
+}

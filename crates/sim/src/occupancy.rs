@@ -1,0 +1,240 @@
+//! Occupancy schedules.
+//!
+//! "Zone People Occupant Count" is one of the paper's disturbance
+//! variables (Table 1), and occupancy gates the reward's energy/comfort
+//! trade-off: the paper sets the energy weight `w_e = 0.01` during
+//! occupied periods and `w_e = 1` when the building is empty
+//! (Section 2.1). This module provides a deterministic office schedule
+//! for the five-zone building plus building blocks for custom schedules.
+
+use crate::time::SimClock;
+
+/// Number of zones in the reference building.
+pub const ZONE_COUNT: usize = 5;
+
+/// A weekly occupancy schedule producing per-zone occupant counts.
+///
+/// The default [`OccupancySchedule::office`] models a 463 m² five-zone
+/// office: occupied 08:00–18:00 on weekdays with a partial lunch dip,
+/// empty on weekends — mirroring the Sinergym 5Zone environment's
+/// schedule the paper inherits.
+///
+/// # Example
+///
+/// ```
+/// use hvac_sim::{OccupancySchedule, SimClock};
+///
+/// let schedule = OccupancySchedule::office();
+/// let mut clock = SimClock::january(); // Jan 1 2021 is a Friday
+/// clock.advance_by(40); // 10:00
+/// assert!(schedule.is_occupied(&clock));
+/// assert!(schedule.occupants(&clock).iter().sum::<f64>() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancySchedule {
+    /// Peak occupant count per zone while fully occupied.
+    peak: [f64; ZONE_COUNT],
+    /// Occupied window on weekdays (start hour inclusive, end exclusive).
+    start_hour: f64,
+    end_hour: f64,
+    /// Fraction of peak occupancy during the lunch dip (12:00–13:00).
+    lunch_fraction: f64,
+    /// Whether weekends are occupied at all.
+    weekends_occupied: bool,
+}
+
+impl OccupancySchedule {
+    /// The reference office schedule: 08:00–18:00 weekdays, lunch dip to
+    /// 60%, empty weekends. Peak headcounts are proportional to zone
+    /// floor areas (core zone largest).
+    pub fn office() -> Self {
+        Self {
+            peak: [12.0, 5.0, 5.0, 4.0, 4.0],
+            start_hour: 8.0,
+            end_hour: 18.0,
+            lunch_fraction: 0.6,
+            weekends_occupied: false,
+        }
+    }
+
+    /// An always-empty schedule (useful for free-floating tests).
+    pub fn unoccupied() -> Self {
+        Self {
+            peak: [0.0; ZONE_COUNT],
+            start_hour: 0.0,
+            end_hour: 0.0,
+            lunch_fraction: 0.0,
+            weekends_occupied: false,
+        }
+    }
+
+    /// A custom schedule.
+    ///
+    /// `start_hour`/`end_hour` bound the weekday occupied window;
+    /// `lunch_fraction` scales occupancy during 12:00–13:00.
+    pub fn custom(
+        peak: [f64; ZONE_COUNT],
+        start_hour: f64,
+        end_hour: f64,
+        lunch_fraction: f64,
+        weekends_occupied: bool,
+    ) -> Self {
+        Self {
+            peak,
+            start_hour,
+            end_hour,
+            lunch_fraction: lunch_fraction.clamp(0.0, 1.0),
+            weekends_occupied,
+        }
+    }
+
+    /// Whether the building counts as occupied at this time (any zone has
+    /// nonzero expected occupancy).
+    pub fn is_occupied(&self, clock: &SimClock) -> bool {
+        self.occupancy_fraction(clock) > 0.0 && self.peak.iter().any(|&p| p > 0.0)
+    }
+
+    /// Fraction of peak occupancy in effect at this time, in `[0, 1]`.
+    pub fn occupancy_fraction(&self, clock: &SimClock) -> f64 {
+        if clock.is_weekend() && !self.weekends_occupied {
+            return 0.0;
+        }
+        self.weekday_fraction(clock.hour_of_day())
+    }
+
+    /// Fraction of peak occupancy at `hour` on a working day (ignores
+    /// weekends). This is the schedule knowledge an MPC planner can use
+    /// when it knows the time of day but not the calendar date.
+    pub fn weekday_fraction(&self, hour: f64) -> f64 {
+        let h = hour.rem_euclid(24.0);
+        if h < self.start_hour || h >= self.end_hour {
+            return 0.0;
+        }
+        if (12.0..13.0).contains(&h) {
+            return self.lunch_fraction;
+        }
+        1.0
+    }
+
+    /// Expected occupant count per zone at this time.
+    pub fn occupants(&self, clock: &SimClock) -> [f64; ZONE_COUNT] {
+        let f = self.occupancy_fraction(clock);
+        let mut out = [0.0; ZONE_COUNT];
+        for (o, &p) in out.iter_mut().zip(&self.peak) {
+            *o = p * f;
+        }
+        out
+    }
+
+    /// Total expected occupant count across zones at this time.
+    pub fn total_occupants(&self, clock: &SimClock) -> f64 {
+        self.occupants(clock).iter().sum()
+    }
+
+    /// Peak per-zone occupant counts.
+    pub fn peak(&self) -> &[f64; ZONE_COUNT] {
+        &self.peak
+    }
+}
+
+impl Default for OccupancySchedule {
+    fn default() -> Self {
+        Self::office()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::STEPS_PER_DAY;
+    use proptest::prelude::*;
+
+    fn clock_at(day: usize, hour: f64) -> SimClock {
+        let mut c = SimClock::january();
+        c.advance_by(day * STEPS_PER_DAY + (hour * 4.0) as usize);
+        c
+    }
+
+    #[test]
+    fn weekday_business_hours_occupied() {
+        let s = OccupancySchedule::office();
+        // Jan 1 2021 = Friday.
+        assert!(s.is_occupied(&clock_at(0, 10.0)));
+        assert_eq!(s.occupancy_fraction(&clock_at(0, 10.0)), 1.0);
+    }
+
+    #[test]
+    fn night_unoccupied() {
+        let s = OccupancySchedule::office();
+        assert!(!s.is_occupied(&clock_at(0, 3.0)));
+        assert!(!s.is_occupied(&clock_at(0, 22.0)));
+    }
+
+    #[test]
+    fn weekend_unoccupied() {
+        let s = OccupancySchedule::office();
+        // Jan 2 2021 = Saturday.
+        assert!(!s.is_occupied(&clock_at(1, 10.0)));
+        assert_eq!(s.total_occupants(&clock_at(1, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn lunch_dip_applies() {
+        let s = OccupancySchedule::office();
+        let noon = s.occupancy_fraction(&clock_at(0, 12.25));
+        assert!((noon - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_hours() {
+        let s = OccupancySchedule::office();
+        assert!(s.is_occupied(&clock_at(0, 8.0)));
+        assert!(!s.is_occupied(&clock_at(0, 18.0)));
+        assert!(!s.is_occupied(&clock_at(0, 7.75)));
+    }
+
+    #[test]
+    fn unoccupied_schedule_is_always_empty() {
+        let s = OccupancySchedule::unoccupied();
+        for day in 0..7 {
+            for h in 0..24 {
+                assert!(!s.is_occupied(&clock_at(day, h as f64)));
+            }
+        }
+    }
+
+    #[test]
+    fn occupants_scale_with_peak() {
+        let s = OccupancySchedule::custom([10.0, 0.0, 0.0, 0.0, 0.0], 0.0, 24.0, 1.0, true);
+        let o = s.occupants(&clock_at(1, 12.5)); // weekend, but weekends_occupied
+        assert_eq!(o[0], 10.0);
+        assert_eq!(o[1], 0.0);
+    }
+
+    #[test]
+    fn custom_clamps_lunch_fraction() {
+        let s = OccupancySchedule::custom([1.0; 5], 8.0, 18.0, 7.0, false);
+        assert!(s.occupancy_fraction(&clock_at(0, 12.5)) <= 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fraction_in_unit_interval(day in 0usize..31, step in 0usize..STEPS_PER_DAY) {
+            let s = OccupancySchedule::office();
+            let mut c = SimClock::january();
+            c.advance_by(day * STEPS_PER_DAY + step);
+            let f = s.occupancy_fraction(&c);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn prop_occupants_nonnegative(day in 0usize..31, step in 0usize..STEPS_PER_DAY) {
+            let s = OccupancySchedule::office();
+            let mut c = SimClock::january();
+            c.advance_by(day * STEPS_PER_DAY + step);
+            for o in s.occupants(&c) {
+                prop_assert!(o >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Clear-sky solar geometry.
+//!
+//! Produces the deterministic component of "Site Total Radiation Rate Per
+//! Area" (Table 1 of the paper): global horizontal irradiance under a
+//! clear sky, computed from latitude, day-of-year and hour-of-day via the
+//! usual declination / hour-angle formulas. The stochastic cloud-cover
+//! multiplier lives in [`crate::weather`].
+
+/// Solar constant attenuated by a generic clear atmosphere, W/m².
+const CLEAR_SKY_PEAK: f64 = 950.0;
+
+/// Solar declination in radians for a given (0-based) day of year.
+///
+/// Cooper's formula: `δ = 23.45° · sin(2π (284 + n) / 365)` with `n`
+/// 1-based.
+pub fn declination(day_of_year: u16) -> f64 {
+    let n = f64::from(day_of_year) + 1.0;
+    (23.45f64).to_radians() * (2.0 * std::f64::consts::PI * (284.0 + n) / 365.0).sin()
+}
+
+/// Solar elevation angle in radians at the given location and time.
+///
+/// `hour` is local solar hour in `[0, 24)`; negative results mean the sun
+/// is below the horizon.
+pub fn elevation(latitude_deg: f64, day_of_year: u16, hour: f64) -> f64 {
+    let lat = latitude_deg.to_radians();
+    let decl = declination(day_of_year);
+    let hour_angle = ((hour - 12.0) * 15.0).to_radians();
+    (lat.sin() * decl.sin() + lat.cos() * decl.cos() * hour_angle.cos()).asin()
+}
+
+/// Clear-sky global horizontal irradiance in W/m² (zero at night).
+///
+/// A simple air-mass attenuation is applied so that low sun angles yield
+/// realistically weak irradiance.
+///
+/// # Example
+///
+/// ```
+/// // Noon in midsummer at mid latitude is bright; midnight is dark.
+/// let noon = hvac_sim::solar::clear_sky_ghi(40.0, 171, 12.0);
+/// let midnight = hvac_sim::solar::clear_sky_ghi(40.0, 171, 0.0);
+/// assert!(noon > 600.0);
+/// assert_eq!(midnight, 0.0);
+/// ```
+pub fn clear_sky_ghi(latitude_deg: f64, day_of_year: u16, hour: f64) -> f64 {
+    let el = elevation(latitude_deg, day_of_year, hour);
+    if el <= 0.0 {
+        return 0.0;
+    }
+    let sin_el = el.sin();
+    // Kasten–Young style air-mass attenuation, simplified.
+    let air_mass = 1.0 / (sin_el + 0.05);
+    let attenuation = 0.7f64.powf(air_mass.powf(0.678));
+    CLEAR_SKY_PEAK * sin_el * attenuation / 0.7f64.powf(1.0)
+}
+
+/// Daylight hours (sunrise-to-sunset duration) at the location/date, in
+/// hours. Returns 0 or 24 for polar night/day.
+pub fn daylight_hours(latitude_deg: f64, day_of_year: u16) -> f64 {
+    let lat = latitude_deg.to_radians();
+    let decl = declination(day_of_year);
+    let cos_h0 = -lat.tan() * decl.tan();
+    if cos_h0 >= 1.0 {
+        0.0
+    } else if cos_h0 <= -1.0 {
+        24.0
+    } else {
+        2.0 * cos_h0.acos().to_degrees() / 15.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn declination_solstices() {
+        // Winter solstice (~Dec 21, doy 354): close to -23.45°.
+        assert!((declination(354).to_degrees() + 23.45).abs() < 0.5);
+        // Summer solstice (~Jun 21, doy 171): close to +23.45°.
+        assert!((declination(171).to_degrees() - 23.45).abs() < 0.5);
+    }
+
+    #[test]
+    fn night_has_zero_irradiance() {
+        assert_eq!(clear_sky_ghi(40.0, 10, 0.0), 0.0);
+        assert_eq!(clear_sky_ghi(40.0, 10, 23.0), 0.0);
+    }
+
+    #[test]
+    fn noon_brighter_than_morning() {
+        let noon = clear_sky_ghi(40.0, 10, 12.0);
+        let morning = clear_sky_ghi(40.0, 10, 9.0);
+        assert!(noon > morning);
+        assert!(morning > 0.0);
+    }
+
+    #[test]
+    fn tucson_january_brighter_than_pittsburgh() {
+        // Lower latitude means higher winter sun.
+        let tucson = clear_sky_ghi(32.2, 15, 12.0);
+        let pittsburgh = clear_sky_ghi(40.4, 15, 12.0);
+        assert!(tucson > pittsburgh);
+    }
+
+    #[test]
+    fn winter_days_shorter_at_higher_latitude() {
+        let tucson = daylight_hours(32.2, 15);
+        let pittsburgh = daylight_hours(40.4, 15);
+        assert!(tucson > pittsburgh);
+        assert!(pittsburgh > 8.0 && pittsburgh < 10.5);
+    }
+
+    #[test]
+    fn polar_night_and_day() {
+        assert_eq!(daylight_hours(80.0, 354), 0.0);
+        assert_eq!(daylight_hours(80.0, 171), 24.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ghi_nonnegative_and_bounded(
+            lat in -60.0f64..60.0,
+            doy in 0u16..365,
+            hour in 0.0f64..24.0,
+        ) {
+            let g = clear_sky_ghi(lat, doy, hour);
+            prop_assert!(g >= 0.0);
+            prop_assert!(g < 1100.0);
+        }
+
+        #[test]
+        fn prop_elevation_bounded(
+            lat in -90.0f64..90.0,
+            doy in 0u16..365,
+            hour in 0.0f64..24.0,
+        ) {
+            let e = elevation(lat, doy, hour);
+            prop_assert!(e.abs() <= std::f64::consts::FRAC_PI_2 + 1e-9);
+        }
+
+        #[test]
+        fn prop_daylight_in_range(lat in -65.0f64..65.0, doy in 0u16..365) {
+            let d = daylight_hours(lat, doy);
+            prop_assert!((0.0..=24.0).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Simulation time bookkeeping.
+//!
+//! The paper simulates January at 15-minute control steps. [`SimClock`]
+//! tracks the step index and exposes the calendar quantities the rest of
+//! the workspace needs: hour-of-day (for diurnal weather cycles and
+//! occupancy schedules), day-of-month, weekday, and fractional day-of-year
+//! (for solar geometry).
+
+/// Seconds per control step (15 minutes).
+pub const STEP_SECONDS: f64 = 900.0;
+
+/// Control steps per day (96 at 15-minute resolution).
+pub const STEPS_PER_DAY: usize = 96;
+
+/// A deterministic simulation clock at 15-minute resolution.
+///
+/// Day 0 is January 1st and is a Friday by convention (matching 2021,
+/// the TMY3 weather year used by the paper's Sinergym environment).
+///
+/// # Example
+///
+/// ```
+/// use hvac_sim::SimClock;
+///
+/// let mut clock = SimClock::january();
+/// assert_eq!(clock.day(), 0);
+/// assert_eq!(clock.hour_of_day(), 0.0);
+/// for _ in 0..96 {
+///     clock.advance();
+/// }
+/// assert_eq!(clock.day(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimClock {
+    step: usize,
+    /// Weekday of day 0, with 0 = Monday .. 6 = Sunday.
+    first_weekday: u8,
+    /// Day-of-year of day 0 (0-based).
+    first_day_of_year: u16,
+}
+
+impl SimClock {
+    /// A clock starting January 1st (day-of-year 0), which in 2021 was a
+    /// Friday (`weekday = 4`).
+    pub fn january() -> Self {
+        Self {
+            step: 0,
+            first_weekday: 4,
+            first_day_of_year: 0,
+        }
+    }
+
+    /// A clock starting July 1st (day-of-year 181 in a non-leap year),
+    /// which in 2021 was a Thursday (`weekday = 3`). Used by the
+    /// summer-season scenarios (the paper's summer comfort range is
+    /// `[23, 26]` °C).
+    pub fn july() -> Self {
+        Self {
+            step: 0,
+            first_weekday: 3,
+            first_day_of_year: 181,
+        }
+    }
+
+    /// A clock with an explicit first weekday (0 = Monday .. 6 = Sunday)
+    /// and day-of-year of day 0.
+    pub fn with_start(first_weekday: u8, first_day_of_year: u16) -> Self {
+        Self {
+            step: 0,
+            first_weekday: first_weekday % 7,
+            first_day_of_year,
+        }
+    }
+
+    /// Global step index since the start of the simulation.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Advances the clock by one control step.
+    pub fn advance(&mut self) {
+        self.step += 1;
+    }
+
+    /// Advances the clock by `n` control steps.
+    pub fn advance_by(&mut self, n: usize) {
+        self.step += n;
+    }
+
+    /// Resets the clock to step 0.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Simulated day index (0-based).
+    pub fn day(&self) -> usize {
+        self.step / STEPS_PER_DAY
+    }
+
+    /// Step index within the current day, `0..STEPS_PER_DAY`.
+    pub fn step_of_day(&self) -> usize {
+        self.step % STEPS_PER_DAY
+    }
+
+    /// Fractional hour of day in `[0, 24)`.
+    pub fn hour_of_day(&self) -> f64 {
+        self.step_of_day() as f64 * STEP_SECONDS / 3600.0
+    }
+
+    /// Weekday of the current day, 0 = Monday .. 6 = Sunday.
+    pub fn weekday(&self) -> u8 {
+        ((self.first_weekday as usize + self.day()) % 7) as u8
+    }
+
+    /// Whether the current day is Saturday or Sunday.
+    pub fn is_weekend(&self) -> bool {
+        self.weekday() >= 5
+    }
+
+    /// Day of year (0-based) of the current day.
+    pub fn day_of_year(&self) -> u16 {
+        self.first_day_of_year + self.day() as u16
+    }
+
+    /// Elapsed simulated seconds since step 0.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.step as f64 * STEP_SECONDS
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::january()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn january_first_is_friday() {
+        let clock = SimClock::january();
+        assert_eq!(clock.weekday(), 4);
+        assert!(!clock.is_weekend());
+    }
+
+    #[test]
+    fn second_of_january_2021_is_saturday() {
+        let mut clock = SimClock::january();
+        clock.advance_by(STEPS_PER_DAY);
+        assert_eq!(clock.weekday(), 5);
+        assert!(clock.is_weekend());
+    }
+
+    #[test]
+    fn hour_of_day_quarter_steps() {
+        let mut clock = SimClock::january();
+        clock.advance();
+        assert!((clock.hour_of_day() - 0.25).abs() < 1e-12);
+        clock.advance_by(3);
+        assert!((clock.hour_of_day() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekday_wraps_over_week() {
+        let mut clock = SimClock::with_start(0, 0);
+        clock.advance_by(7 * STEPS_PER_DAY);
+        assert_eq!(clock.weekday(), 0);
+    }
+
+    #[test]
+    fn reset_returns_to_step_zero() {
+        let mut clock = SimClock::january();
+        clock.advance_by(500);
+        clock.reset();
+        assert_eq!(clock.step(), 0);
+    }
+
+    #[test]
+    fn july_clock_starts_midsummer() {
+        let clock = SimClock::july();
+        assert_eq!(clock.day_of_year(), 181);
+        assert_eq!(clock.weekday(), 3); // Thursday, July 1st 2021
+    }
+
+    #[test]
+    fn day_of_year_advances() {
+        let mut clock = SimClock::with_start(0, 10);
+        assert_eq!(clock.day_of_year(), 10);
+        clock.advance_by(2 * STEPS_PER_DAY);
+        assert_eq!(clock.day_of_year(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hour_in_range(n in 0usize..100_000) {
+            let mut clock = SimClock::january();
+            clock.advance_by(n);
+            let h = clock.hour_of_day();
+            prop_assert!((0.0..24.0).contains(&h));
+        }
+
+        #[test]
+        fn prop_weekday_in_range(n in 0usize..100_000, w in 0u8..7) {
+            let mut clock = SimClock::with_start(w, 0);
+            clock.advance_by(n);
+            prop_assert!(clock.weekday() < 7);
+        }
+
+        #[test]
+        fn prop_elapsed_matches_step(n in 0usize..10_000) {
+            let mut clock = SimClock::january();
+            clock.advance_by(n);
+            prop_assert!((clock.elapsed_seconds() - n as f64 * STEP_SECONDS).abs() < 1e-9);
+        }
+    }
+}

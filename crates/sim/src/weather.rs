@@ -1,0 +1,512 @@
+//! Synthetic TMY-like weather generation.
+//!
+//! The paper drives its simulations with 2021 TMY3 weather for Pittsburgh
+//! (ASHRAE climate 4A), Tucson (2B), and — for the Fig. 3 noise-level
+//! study — New York (also 4A). We cannot ship TMY3 files, so this module
+//! generates statistically similar weather: a deterministic seasonal +
+//! diurnal backbone per climate preset, plus an AR(1) synoptic process
+//! (multi-day warm/cold spells), AR(1) high-frequency noise, stochastic
+//! cloud cover modulating clear-sky solar irradiance, and co-generated
+//! relative humidity and wind speed.
+//!
+//! What matters for the paper's experiments is that (a) the two target
+//! cities have clearly distinct marginal weather distributions, and
+//! (b) Pittsburgh and New York have *similar* distributions (they share a
+//! climate class) — both properties hold by construction of the presets.
+
+use crate::solar;
+use crate::time::SimClock;
+use hvac_stats::{sample_standard_normal, seeded_rng};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One step of weather, matching the disturbance variables of the paper's
+/// Table 1 (occupancy is produced separately by
+/// [`crate::occupancy::OccupancySchedule`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeatherSample {
+    /// Outdoor air drybulb temperature, °C.
+    pub outdoor_temperature: f64,
+    /// Outdoor air relative humidity, %.
+    pub relative_humidity: f64,
+    /// Site wind speed, m/s.
+    pub wind_speed: f64,
+    /// Site total (global horizontal) radiation rate per area, W/m².
+    pub solar_radiation: f64,
+}
+
+impl Default for WeatherSample {
+    fn default() -> Self {
+        Self {
+            outdoor_temperature: 0.0,
+            relative_humidity: 50.0,
+            wind_speed: 3.0,
+            solar_radiation: 0.0,
+        }
+    }
+}
+
+/// Climate parameters for a city in a given simulated month.
+///
+/// Presets are calibrated to January conditions of the cities the paper
+/// uses. Construct custom climates with [`ClimatePreset::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClimatePreset {
+    /// Human-readable city name.
+    pub name: String,
+    /// ASHRAE 169 climate-zone label (e.g. `"4A"`).
+    pub ashrae_zone: String,
+    /// Site latitude in degrees (drives solar geometry).
+    pub latitude_deg: f64,
+    /// Monthly mean outdoor temperature, °C.
+    pub mean_temperature: f64,
+    /// Half peak-to-peak amplitude of the diurnal temperature cycle, °C.
+    pub diurnal_amplitude: f64,
+    /// Standard deviation of the multi-day synoptic process, °C.
+    pub synoptic_std: f64,
+    /// e-folding time of the synoptic process, in days.
+    pub synoptic_timescale_days: f64,
+    /// Standard deviation of fast (step-scale) temperature noise, °C.
+    pub noise_std: f64,
+    /// Mean relative humidity, %.
+    pub mean_humidity: f64,
+    /// Humidity response to temperature anomaly, %/°C (usually negative).
+    pub humidity_temp_coupling: f64,
+    /// Mean wind speed, m/s.
+    pub mean_wind: f64,
+    /// Mean cloud-cover fraction in `[0, 1]` (0 = always clear).
+    pub mean_cloud_cover: f64,
+    /// Variability of cloud cover in `[0, 1]`.
+    pub cloud_variability: f64,
+}
+
+impl ClimatePreset {
+    /// Pittsburgh, PA in January — ASHRAE 4A (mixed-humid): cold, cloudy
+    /// winters.
+    pub fn pittsburgh_4a() -> Self {
+        Self {
+            name: "Pittsburgh".to_string(),
+            ashrae_zone: "4A".to_string(),
+            latitude_deg: 40.44,
+            mean_temperature: -1.5,
+            diurnal_amplitude: 3.5,
+            synoptic_std: 4.5,
+            synoptic_timescale_days: 3.0,
+            noise_std: 0.4,
+            mean_humidity: 70.0,
+            humidity_temp_coupling: -1.2,
+            mean_wind: 4.2,
+            mean_cloud_cover: 0.65,
+            cloud_variability: 0.25,
+        }
+    }
+
+    /// Tucson, AZ in January — ASHRAE 2B (hot-dry): mild, sunny winters.
+    pub fn tucson_2b() -> Self {
+        Self {
+            name: "Tucson".to_string(),
+            ashrae_zone: "2B".to_string(),
+            latitude_deg: 32.25,
+            mean_temperature: 11.0,
+            diurnal_amplitude: 7.5,
+            synoptic_std: 2.5,
+            synoptic_timescale_days: 4.0,
+            noise_std: 0.3,
+            mean_humidity: 45.0,
+            humidity_temp_coupling: -1.5,
+            mean_wind: 3.0,
+            mean_cloud_cover: 0.2,
+            cloud_variability: 0.15,
+        }
+    }
+
+    /// New York, NY in January — ASHRAE 4A, deliberately close to
+    /// Pittsburgh (the Fig. 3 argument depends on this similarity).
+    pub fn new_york_4a() -> Self {
+        Self {
+            name: "New York".to_string(),
+            ashrae_zone: "4A".to_string(),
+            latitude_deg: 40.71,
+            mean_temperature: 0.5,
+            diurnal_amplitude: 3.0,
+            synoptic_std: 4.0,
+            synoptic_timescale_days: 3.0,
+            noise_std: 0.4,
+            mean_humidity: 62.0,
+            humidity_temp_coupling: -1.2,
+            mean_wind: 5.0,
+            mean_cloud_cover: 0.55,
+            cloud_variability: 0.25,
+        }
+    }
+
+    /// Pittsburgh in July — warm and humid (summer-season scenarios).
+    pub fn pittsburgh_4a_july() -> Self {
+        Self {
+            name: "Pittsburgh (July)".to_string(),
+            ashrae_zone: "4A".to_string(),
+            latitude_deg: 40.44,
+            mean_temperature: 23.0,
+            diurnal_amplitude: 5.0,
+            synoptic_std: 2.5,
+            synoptic_timescale_days: 3.0,
+            noise_std: 0.4,
+            mean_humidity: 68.0,
+            humidity_temp_coupling: -1.2,
+            mean_wind: 3.2,
+            mean_cloud_cover: 0.45,
+            cloud_variability: 0.25,
+        }
+    }
+
+    /// Tucson in July — hot desert summer (monsoon humidity bump).
+    pub fn tucson_2b_july() -> Self {
+        Self {
+            name: "Tucson (July)".to_string(),
+            ashrae_zone: "2B".to_string(),
+            latitude_deg: 32.25,
+            mean_temperature: 31.5,
+            diurnal_amplitude: 6.5,
+            synoptic_std: 1.8,
+            synoptic_timescale_days: 4.0,
+            noise_std: 0.3,
+            mean_humidity: 38.0,
+            humidity_temp_coupling: -1.0,
+            mean_wind: 3.3,
+            mean_cloud_cover: 0.3,
+            cloud_variability: 0.2,
+        }
+    }
+
+    /// Starts building a custom climate from an existing preset.
+    pub fn builder(base: ClimatePreset) -> ClimatePresetBuilder {
+        ClimatePresetBuilder { preset: base }
+    }
+}
+
+/// Builder for custom [`ClimatePreset`] values.
+///
+/// # Example
+///
+/// ```
+/// use hvac_sim::ClimatePreset;
+///
+/// let warm_pittsburgh = ClimatePreset::builder(ClimatePreset::pittsburgh_4a())
+///     .mean_temperature(5.0)
+///     .name("Pittsburgh (mild)")
+///     .build();
+/// assert_eq!(warm_pittsburgh.mean_temperature, 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClimatePresetBuilder {
+    preset: ClimatePreset,
+}
+
+impl ClimatePresetBuilder {
+    /// Sets the city name.
+    pub fn name(mut self, name: &str) -> Self {
+        self.preset.name = name.to_string();
+        self
+    }
+
+    /// Sets the monthly mean temperature, °C.
+    pub fn mean_temperature(mut self, t: f64) -> Self {
+        self.preset.mean_temperature = t;
+        self
+    }
+
+    /// Sets the diurnal amplitude, °C.
+    pub fn diurnal_amplitude(mut self, a: f64) -> Self {
+        self.preset.diurnal_amplitude = a;
+        self
+    }
+
+    /// Sets the synoptic standard deviation, °C.
+    pub fn synoptic_std(mut self, s: f64) -> Self {
+        self.preset.synoptic_std = s;
+        self
+    }
+
+    /// Sets the mean cloud cover fraction.
+    pub fn mean_cloud_cover(mut self, c: f64) -> Self {
+        self.preset.mean_cloud_cover = c.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> ClimatePreset {
+        self.preset
+    }
+}
+
+/// Seeded stochastic weather generator.
+///
+/// Sampling is a function of the [`SimClock`] *and* the generator's
+/// internal AR(1) states, so successive calls must be made with
+/// monotonically advancing clocks. Use [`WeatherGenerator::trace`] to
+/// materialize a whole horizon at once; a trace is the reproduction's
+/// equivalent of "a fixed set of disturbances of one day" from the
+/// paper's Fig. 1 motivation experiment.
+#[derive(Debug, Clone)]
+pub struct WeatherGenerator {
+    preset: ClimatePreset,
+    rng: StdRng,
+    synoptic: f64,
+    fast_noise: f64,
+    cloud_anomaly: f64,
+    wind_anomaly: f64,
+}
+
+impl WeatherGenerator {
+    /// Creates a generator for `preset` with a reproducible `seed`.
+    pub fn new(preset: ClimatePreset, seed: u64) -> Self {
+        Self {
+            preset,
+            rng: seeded_rng(seed),
+            synoptic: 0.0,
+            fast_noise: 0.0,
+            cloud_anomaly: 0.0,
+            wind_anomaly: 0.0,
+        }
+    }
+
+    /// The climate preset this generator draws from.
+    pub fn preset(&self) -> &ClimatePreset {
+        &self.preset
+    }
+
+    /// Samples one step of weather and advances the internal stochastic
+    /// state.
+    pub fn sample(&mut self, clock: &SimClock) -> WeatherSample {
+        let p = &self.preset;
+        let hour = clock.hour_of_day();
+        let doy = clock.day_of_year();
+
+        // AR(1) updates. phi chosen from the e-folding timescale.
+        let steps_per_day = crate::time::STEPS_PER_DAY as f64;
+        let phi_syn = (-1.0 / (p.synoptic_timescale_days * steps_per_day)).exp();
+        let syn_innov_std = p.synoptic_std * (1.0 - phi_syn * phi_syn).sqrt();
+        self.synoptic =
+            phi_syn * self.synoptic + syn_innov_std * sample_standard_normal(&mut self.rng);
+
+        let phi_fast: f64 = 0.7;
+        let fast_innov_std = p.noise_std * (1.0 - phi_fast * phi_fast).sqrt();
+        self.fast_noise = phi_fast * self.fast_noise
+            + fast_innov_std * sample_standard_normal(&mut self.rng);
+
+        let phi_cloud: f64 = 0.97;
+        self.cloud_anomaly = phi_cloud * self.cloud_anomaly
+            + p.cloud_variability
+                * (1.0 - phi_cloud * phi_cloud).sqrt()
+                * sample_standard_normal(&mut self.rng);
+
+        let phi_wind: f64 = 0.9;
+        self.wind_anomaly = phi_wind * self.wind_anomaly
+            + 1.2 * (1.0 - phi_wind * phi_wind).sqrt() * sample_standard_normal(&mut self.rng);
+
+        // Diurnal cycle peaking at ~15:00, coldest ~03:00.
+        let diurnal =
+            p.diurnal_amplitude * (std::f64::consts::TAU * (hour - 15.0) / 24.0).cos();
+        let temperature = p.mean_temperature + diurnal + self.synoptic + self.fast_noise;
+
+        let cloud = (p.mean_cloud_cover + self.cloud_anomaly).clamp(0.0, 1.0);
+        let clear = solar::clear_sky_ghi(p.latitude_deg, doy, hour);
+        // Clouds pass 25%..100% of clear-sky irradiance.
+        let solar_radiation = clear * (1.0 - 0.75 * cloud);
+
+        let humidity = (p.mean_humidity
+            + p.humidity_temp_coupling * (diurnal + self.fast_noise)
+            + 10.0 * (cloud - p.mean_cloud_cover))
+            .clamp(5.0, 100.0);
+
+        let wind_speed = (p.mean_wind + self.wind_anomaly).max(0.0);
+
+        WeatherSample {
+            outdoor_temperature: temperature,
+            relative_humidity: humidity,
+            wind_speed,
+            solar_radiation,
+        }
+    }
+
+    /// Generates a contiguous trace of `steps` samples starting from the
+    /// given clock (the clock is copied; the caller's clock is not
+    /// advanced).
+    pub fn trace(&mut self, start: &SimClock, steps: usize) -> Vec<WeatherSample> {
+        let mut clock = *start;
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            out.push(self.sample(&clock));
+            clock.advance();
+        }
+        out
+    }
+
+    /// Draws a uniformly random in-range perturbation useful for testing;
+    /// exposed so downstream crates don't each reimplement jitter.
+    pub fn jitter(&mut self, scale: f64) -> f64 {
+        self.rng.gen_range(-scale..=scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_stats::OnlineStats;
+
+    fn month_trace(preset: ClimatePreset, seed: u64) -> Vec<WeatherSample> {
+        let mut generator = WeatherGenerator::new(preset, seed);
+        let clock = SimClock::january();
+        generator.trace(&clock, 31 * crate::time::STEPS_PER_DAY)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = month_trace(ClimatePreset::pittsburgh_4a(), 7);
+        let b = month_trace(ClimatePreset::pittsburgh_4a(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = month_trace(ClimatePreset::pittsburgh_4a(), 7);
+        let b = month_trace(ClimatePreset::pittsburgh_4a(), 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pittsburgh_colder_than_tucson() {
+        let pit: OnlineStats = month_trace(ClimatePreset::pittsburgh_4a(), 1)
+            .iter()
+            .map(|w| w.outdoor_temperature)
+            .collect();
+        let tuc: OnlineStats = month_trace(ClimatePreset::tucson_2b(), 1)
+            .iter()
+            .map(|w| w.outdoor_temperature)
+            .collect();
+        assert!(pit.mean() + 5.0 < tuc.mean());
+    }
+
+    #[test]
+    fn mean_temperature_close_to_preset() {
+        let preset = ClimatePreset::pittsburgh_4a();
+        let target = preset.mean_temperature;
+        let s: OnlineStats = month_trace(preset, 3)
+            .iter()
+            .map(|w| w.outdoor_temperature)
+            .collect();
+        assert!(
+            (s.mean() - target).abs() < 3.0,
+            "monthly mean {} too far from preset {}",
+            s.mean(),
+            target
+        );
+    }
+
+    #[test]
+    fn humidity_stays_in_physical_range() {
+        for w in month_trace(ClimatePreset::new_york_4a(), 11) {
+            assert!((5.0..=100.0).contains(&w.relative_humidity));
+        }
+    }
+
+    #[test]
+    fn wind_nonnegative() {
+        for w in month_trace(ClimatePreset::pittsburgh_4a(), 13) {
+            assert!(w.wind_speed >= 0.0);
+        }
+    }
+
+    #[test]
+    fn solar_zero_at_night_positive_at_noon() {
+        let mut generator = WeatherGenerator::new(ClimatePreset::tucson_2b(), 5);
+        let mut clock = SimClock::january();
+        let mut saw_noon_sun = false;
+        for _ in 0..crate::time::STEPS_PER_DAY {
+            let w = generator.sample(&clock);
+            let h = clock.hour_of_day();
+            if !(6.0..=20.0).contains(&h) {
+                assert_eq!(w.solar_radiation, 0.0, "sun up at hour {h}");
+            }
+            if (11.5..12.5).contains(&h) && w.solar_radiation > 100.0 {
+                saw_noon_sun = true;
+            }
+            clock.advance();
+        }
+        assert!(saw_noon_sun);
+    }
+
+    #[test]
+    fn tucson_sunnier_than_pittsburgh() {
+        let sun = |preset| {
+            month_trace(preset, 21)
+                .iter()
+                .map(|w| w.solar_radiation)
+                .sum::<f64>()
+        };
+        assert!(sun(ClimatePreset::tucson_2b()) > 1.5 * sun(ClimatePreset::pittsburgh_4a()));
+    }
+
+    #[test]
+    fn pittsburgh_closer_to_new_york_than_tucson() {
+        use hvac_stats::{jensen_shannon_distance, Histogram};
+        let hist = |preset| {
+            let t: Vec<f64> = month_trace(preset, 2)
+                .iter()
+                .map(|w| w.outdoor_temperature)
+                .collect();
+            Histogram::from_samples(40, -20.0, 30.0, &t)
+                .unwrap()
+                .probabilities()
+        };
+        let pit = hist(ClimatePreset::pittsburgh_4a());
+        let nyc = hist(ClimatePreset::new_york_4a());
+        let tuc = hist(ClimatePreset::tucson_2b());
+        let d_pit_nyc = jensen_shannon_distance(&pit, &nyc).unwrap();
+        let d_pit_tuc = jensen_shannon_distance(&pit, &tuc).unwrap();
+        assert!(
+            d_pit_nyc < d_pit_tuc,
+            "4A cities should be closer: {d_pit_nyc} vs {d_pit_tuc}"
+        );
+    }
+
+    #[test]
+    fn july_presets_are_hot() {
+        let pit_summer: OnlineStats = {
+            let mut generator =
+                WeatherGenerator::new(ClimatePreset::pittsburgh_4a_july(), 5);
+            generator
+                .trace(&SimClock::july(), 31 * crate::time::STEPS_PER_DAY)
+                .iter()
+                .map(|w| w.outdoor_temperature)
+                .collect()
+        };
+        let pit_winter: OnlineStats = month_trace(ClimatePreset::pittsburgh_4a(), 5)
+            .iter()
+            .map(|w| w.outdoor_temperature)
+            .collect();
+        assert!(pit_summer.mean() > pit_winter.mean() + 15.0);
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let c = ClimatePreset::builder(ClimatePreset::tucson_2b())
+            .name("Hotter Tucson")
+            .mean_temperature(15.0)
+            .diurnal_amplitude(9.0)
+            .synoptic_std(1.0)
+            .mean_cloud_cover(2.0) // clamped
+            .build();
+        assert_eq!(c.name, "Hotter Tucson");
+        assert_eq!(c.mean_temperature, 15.0);
+        assert_eq!(c.mean_cloud_cover, 1.0);
+    }
+
+    #[test]
+    fn trace_does_not_advance_caller_clock() {
+        let mut generator = WeatherGenerator::new(ClimatePreset::pittsburgh_4a(), 2);
+        let clock = SimClock::january();
+        let _ = generator.trace(&clock, 10);
+        assert_eq!(clock.step(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Weather trace CSV import/export.
+//!
+//! The synthetic generator ([`crate::weather::WeatherGenerator`]) stands
+//! in for TMY3 files; this module is the bridge back to real data. A
+//! user with actual weather records (TMY3 exports, BMS logs, EPW
+//! conversions) can load them as a replayable trace and drive
+//! `HvacEnv::with_weather_trace` with them — the rest of the pipeline is
+//! agnostic to where the disturbances came from.
+//!
+//! Format: a header line followed by one row per 15-minute step:
+//!
+//! ```csv
+//! outdoor_temperature_c,relative_humidity_pct,wind_speed_ms,solar_radiation_wm2
+//! -1.5,72.0,4.1,0.0
+//! ```
+
+use crate::weather::WeatherSample;
+use crate::SimError;
+
+/// The canonical CSV header.
+pub const WEATHER_CSV_HEADER: &str =
+    "outdoor_temperature_c,relative_humidity_pct,wind_speed_ms,solar_radiation_wm2";
+
+/// Serializes a weather trace to CSV.
+///
+/// # Example
+///
+/// ```
+/// use hvac_sim::weather_io::{weather_to_csv, weather_from_csv};
+/// use hvac_sim::WeatherSample;
+///
+/// # fn main() -> Result<(), hvac_sim::SimError> {
+/// let trace = vec![WeatherSample::default(); 3];
+/// let csv = weather_to_csv(&trace);
+/// let restored = weather_from_csv(&csv)?;
+/// assert_eq!(trace, restored);
+/// # Ok(())
+/// # }
+/// ```
+pub fn weather_to_csv(trace: &[WeatherSample]) -> String {
+    let mut out = String::from(WEATHER_CSV_HEADER);
+    out.push('\n');
+    for w in trace {
+        out.push_str(&format!(
+            "{:?},{:?},{:?},{:?}\n",
+            w.outdoor_temperature, w.relative_humidity, w.wind_speed, w.solar_radiation
+        ));
+    }
+    out
+}
+
+/// Parses a weather trace from CSV (header required; blank lines
+/// skipped).
+///
+/// Values are validated for physical plausibility: finite temperatures
+/// in (−90, 60) °C, humidity in `[0, 100]`, non-negative wind and solar.
+///
+/// # Errors
+///
+/// Returns [`SimError::NonFiniteInput`] (naming the field) for a
+/// missing/invalid header, malformed rows, or out-of-range values.
+pub fn weather_from_csv(text: &str) -> Result<Vec<WeatherSample>, SimError> {
+    let mut lines = text.lines();
+    let header = lines.next().map(str::trim);
+    if header != Some(WEATHER_CSV_HEADER) {
+        return Err(SimError::NonFiniteInput {
+            what: "weather CSV header",
+        });
+    }
+    let mut trace = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(SimError::NonFiniteInput {
+                what: "weather CSV row width",
+            });
+        }
+        let parse = |idx: usize, what: &'static str| -> Result<f64, SimError> {
+            fields[idx]
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or(SimError::NonFiniteInput { what })
+        };
+        let outdoor_temperature = parse(0, "outdoor temperature")?;
+        let relative_humidity = parse(1, "relative humidity")?;
+        let wind_speed = parse(2, "wind speed")?;
+        let solar_radiation = parse(3, "solar radiation")?;
+        if !(-90.0..60.0).contains(&outdoor_temperature) {
+            return Err(SimError::NonFiniteInput {
+                what: "outdoor temperature out of physical range",
+            });
+        }
+        if !(0.0..=100.0).contains(&relative_humidity) {
+            return Err(SimError::NonFiniteInput {
+                what: "relative humidity out of [0, 100]",
+            });
+        }
+        if wind_speed < 0.0 {
+            return Err(SimError::NonFiniteInput {
+                what: "negative wind speed",
+            });
+        }
+        if solar_radiation < 0.0 {
+            return Err(SimError::NonFiniteInput {
+                what: "negative solar radiation",
+            });
+        }
+        trace.push(WeatherSample {
+            outdoor_temperature,
+            relative_humidity,
+            wind_speed,
+            solar_radiation,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weather::{ClimatePreset, WeatherGenerator};
+    use crate::SimClock;
+
+    #[test]
+    fn roundtrip_synthetic_trace() {
+        let mut generator = WeatherGenerator::new(ClimatePreset::pittsburgh_4a(), 1);
+        let trace = generator.trace(&SimClock::january(), 200);
+        let restored = weather_from_csv(&weather_to_csv(&trace)).unwrap();
+        assert_eq!(trace, restored);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = format!("{WEATHER_CSV_HEADER}\n1.0,50.0,3.0,0.0\n\n2.0,60.0,4.0,100.0\n");
+        let trace = weather_from_csv(&csv).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].solar_radiation, 100.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(weather_from_csv("temp,rh\n1,2\n").is_err());
+        assert!(weather_from_csv("").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        for row in [
+            "1.0,50.0,3.0",              // short
+            "1.0,50.0,3.0,0.0,9.9",      // long
+            "abc,50.0,3.0,0.0",          // non-numeric
+            "NaN,50.0,3.0,0.0",          // NaN
+            "100.0,50.0,3.0,0.0",        // impossible temperature
+            "1.0,150.0,3.0,0.0",         // impossible humidity
+            "1.0,50.0,-3.0,0.0",         // negative wind
+            "1.0,50.0,3.0,-1.0",         // negative solar
+        ] {
+            let csv = format!("{WEATHER_CSV_HEADER}\n{row}\n");
+            assert!(weather_from_csv(&csv).is_err(), "accepted {row:?}");
+        }
+    }
+
+    #[test]
+    fn loaded_trace_drives_the_environment() {
+        // End-to-end: CSV → trace → building step.
+        let csv = format!("{WEATHER_CSV_HEADER}\n-5.0,70.0,4.0,0.0\n-4.5,71.0,4.2,10.0\n");
+        let trace = weather_from_csv(&csv).unwrap();
+        let mut building =
+            crate::Building::new(crate::BuildingConfig::single_zone()).unwrap();
+        for w in &trace {
+            building.step(w, &[0.0], &[(20.0, 26.0)]).unwrap();
+        }
+        assert!(building.zone_temperature(0).is_finite());
+    }
+}

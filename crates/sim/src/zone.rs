@@ -1,0 +1,173 @@
+//! Thermal-zone parameters and state.
+
+use crate::SimError;
+
+/// Static thermal parameters of one zone in the RC network.
+///
+/// Values follow the usual lumped-parameter reductions: capacitance of
+/// the zone air plus a share of furnishing/structure mass, an envelope
+/// conductance to outdoor air, a window solar aperture, and internal
+/// gains per occupant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneConfig {
+    /// Zone name (EnergyPlus-style, e.g. `"SPACE1-1"`).
+    pub name: String,
+    /// Floor area, m².
+    pub floor_area: f64,
+    /// Effective thermal capacitance, J/K (air + lumped mass).
+    pub capacitance: f64,
+    /// Envelope conductance to outdoor air, W/K.
+    pub envelope_ua: f64,
+    /// Effective solar aperture (window area × SHGC), m².
+    pub solar_aperture: f64,
+    /// Sensible heat gain per occupant, W.
+    pub gain_per_occupant: f64,
+    /// Baseline equipment+lighting gain while occupied, W.
+    pub equipment_gain: f64,
+    /// Maximum heating power deliverable to this zone, W.
+    pub max_heating_power: f64,
+    /// Maximum cooling power removable from this zone, W.
+    pub max_cooling_power: f64,
+}
+
+impl ZoneConfig {
+    /// Validates physical plausibility of the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any quantity that must be
+    /// strictly positive is not, or any must-be-nonnegative quantity is
+    /// negative.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let strictly_positive = [
+            ("floor_area", self.floor_area),
+            ("capacitance", self.capacitance),
+            ("envelope_ua", self.envelope_ua),
+        ];
+        for (field, value) in strictly_positive {
+            if !(value > 0.0) || !value.is_finite() {
+                return Err(SimError::InvalidConfig { field, value });
+            }
+        }
+        let nonnegative = [
+            ("solar_aperture", self.solar_aperture),
+            ("gain_per_occupant", self.gain_per_occupant),
+            ("equipment_gain", self.equipment_gain),
+            ("max_heating_power", self.max_heating_power),
+            ("max_cooling_power", self.max_cooling_power),
+        ];
+        for (field, value) in nonnegative {
+            if !(value >= 0.0) || !value.is_finite() {
+                return Err(SimError::InvalidConfig { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// A perimeter office zone of the given floor area (m²) and name.
+    ///
+    /// Sizing heuristics: ~40 kJ/K·m² effective capacitance, ~1.4 W/K·m²
+    /// envelope conductance for a perimeter zone, 12% glazing ratio.
+    pub fn perimeter(name: &str, floor_area: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            floor_area,
+            capacitance: 40_000.0 * floor_area,
+            envelope_ua: 1.4 * floor_area,
+            solar_aperture: 0.12 * floor_area * 0.6,
+            gain_per_occupant: 110.0,
+            equipment_gain: 8.0 * floor_area,
+            max_heating_power: 70.0 * floor_area,
+            max_cooling_power: 90.0 * floor_area,
+        }
+    }
+
+    /// A core (interior) zone: no envelope exposure apart from the roof,
+    /// no direct solar.
+    pub fn core(name: &str, floor_area: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            floor_area,
+            capacitance: 45_000.0 * floor_area,
+            envelope_ua: 0.35 * floor_area,
+            solar_aperture: 0.0,
+            gain_per_occupant: 110.0,
+            equipment_gain: 10.0 * floor_area,
+            max_heating_power: 50.0 * floor_area,
+            max_cooling_power: 50.0 * floor_area,
+        }
+    }
+}
+
+/// Dynamic state of one zone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneState {
+    /// Zone air temperature, °C.
+    pub temperature: f64,
+}
+
+impl ZoneState {
+    /// Creates a zone state at the given temperature.
+    pub fn at(temperature: f64) -> Self {
+        Self { temperature }
+    }
+}
+
+impl Default for ZoneState {
+    fn default() -> Self {
+        Self { temperature: 21.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perimeter_zone_validates() {
+        assert!(ZoneConfig::perimeter("P1", 90.0).validate().is_ok());
+    }
+
+    #[test]
+    fn core_zone_validates() {
+        assert!(ZoneConfig::core("C", 100.0).validate().is_ok());
+    }
+
+    #[test]
+    fn zero_capacitance_rejected() {
+        let mut z = ZoneConfig::perimeter("bad", 50.0);
+        z.capacitance = 0.0;
+        assert!(matches!(
+            z.validate(),
+            Err(SimError::InvalidConfig {
+                field: "capacitance",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn negative_aperture_rejected() {
+        let mut z = ZoneConfig::perimeter("bad", 50.0);
+        z.solar_aperture = -1.0;
+        assert!(z.validate().is_err());
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut z = ZoneConfig::core("bad", 50.0);
+        z.envelope_ua = f64::NAN;
+        assert!(z.validate().is_err());
+    }
+
+    #[test]
+    fn core_has_no_solar() {
+        assert_eq!(ZoneConfig::core("C", 100.0).solar_aperture, 0.0);
+    }
+
+    #[test]
+    fn default_state_is_room_temperature() {
+        assert_eq!(ZoneState::default().temperature, 21.0);
+        assert_eq!(ZoneState::at(18.5).temperature, 18.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for statistical computations.
+///
+/// All fallible functions in this crate return `Result<_, StatsError>`.
+/// The variants carry enough context to diagnose the failing call without
+/// needing a debugger.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice was empty where at least one element is required.
+    EmptyInput,
+    /// A histogram was requested with zero bins.
+    ZeroBins,
+    /// A histogram range was degenerate or reversed (`lo >= hi`).
+    InvalidRange {
+        /// Lower edge supplied by the caller.
+        lo: f64,
+        /// Upper edge supplied by the caller.
+        hi: f64,
+    },
+    /// Two probability vectors had different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A probability vector did not sum to ~1 or contained negatives.
+    NotADistribution {
+        /// The offending sum.
+        sum: f64,
+    },
+    /// A value was not finite (NaN or infinite) where finiteness is required.
+    NonFinite {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input slice was empty"),
+            StatsError::ZeroBins => write!(f, "histogram requires at least one bin"),
+            StatsError::InvalidRange { lo, hi } => {
+                write!(f, "invalid histogram range [{lo}, {hi}]")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StatsError::NotADistribution { sum } => {
+                write!(f, "vector is not a probability distribution (sum = {sum})")
+            }
+            StatsError::NonFinite { value } => {
+                write!(f, "value is not finite: {value}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            StatsError::EmptyInput,
+            StatsError::ZeroBins,
+            StatsError::InvalidRange { lo: 1.0, hi: 0.0 },
+            StatsError::LengthMismatch { left: 2, right: 3 },
+            StatsError::NotADistribution { sum: 0.5 },
+            StatsError::NonFinite { value: f64::NAN },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,288 @@
+use crate::StatsError;
+
+/// A fixed-range, uniform-bin histogram over `f64` samples.
+///
+/// Used throughout the workspace to turn empirical samples (setpoint
+/// choices, augmented disturbance values) into discrete probability
+/// distributions for entropy / Jensen–Shannon comparisons (paper Fig. 1
+/// right panel and Fig. 3).
+///
+/// Out-of-range samples are clamped into the first / last bin so that two
+/// histograms built over the same `[lo, hi]` range are always comparable
+/// bin-by-bin, which is what the Jensen–Shannon machinery requires.
+///
+/// # Example
+///
+/// ```
+/// use hvac_stats::Histogram;
+///
+/// # fn main() -> Result<(), hvac_stats::StatsError> {
+/// let mut h = Histogram::new(4, 0.0, 4.0)?;
+/// h.add(0.5);
+/// h.add(1.5);
+/// h.add(1.6);
+/// assert_eq!(h.counts(), &[1, 2, 0, 0]);
+/// assert_eq!(h.total(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` uniform bins spanning `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::ZeroBins`] if `bins == 0`, and
+    /// [`StatsError::InvalidRange`] if `lo >= hi` or either edge is not
+    /// finite.
+    pub fn new(bins: usize, lo: f64, hi: f64) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::ZeroBins);
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(StatsError::InvalidRange { lo, hi });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Builds a histogram directly from a slice of samples.
+    ///
+    /// NaN samples are skipped (they carry no positional information);
+    /// infinite samples clamp into the edge bins like any other
+    /// out-of-range value.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Histogram::new`].
+    pub fn from_samples(
+        bins: usize,
+        lo: f64,
+        hi: f64,
+        samples: &[f64],
+    ) -> Result<Self, StatsError> {
+        let mut h = Self::new(bins, lo, hi)?;
+        h.extend(samples.iter().copied());
+        Ok(h)
+    }
+
+    /// Adds one sample, clamping out-of-range values into the edge bins.
+    ///
+    /// NaN samples are ignored.
+    pub fn add(&mut self, sample: f64) {
+        if sample.is_nan() {
+            return;
+        }
+        let idx = self.bin_index(sample);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Returns the bin that `sample` falls into (clamped to the edges).
+    pub fn bin_index(&self, sample: f64) -> usize {
+        let n = self.counts.len();
+        if sample <= self.lo {
+            return 0;
+        }
+        if sample >= self.hi {
+            return n - 1;
+        }
+        let frac = (sample - self.lo) / (self.hi - self.lo);
+        ((frac * n as f64) as usize).min(n - 1)
+    }
+
+    /// Returns the midpoint value of bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn bin_center(&self, idx: usize) -> f64 {
+        assert!(idx < self.counts.len(), "bin index out of bounds");
+        let w = self.bin_width();
+        self.lo + w * (idx as f64 + 0.5)
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// The raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower edge of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns the empirical probability of each bin.
+    ///
+    /// If the histogram is empty every bin has probability zero; callers
+    /// that feed the result into entropy/JSD functions should check
+    /// [`Histogram::total`] first.
+    pub fn probabilities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let t = self.total as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// Index of the most populated bin (the empirical mode), breaking ties
+    /// toward the lower bin.
+    ///
+    /// Returns `None` when the histogram is empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for s in iter {
+            self.add(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_bins_rejected() {
+        assert_eq!(Histogram::new(0, 0.0, 1.0), Err(StatsError::ZeroBins));
+    }
+
+    #[test]
+    fn reversed_range_rejected() {
+        assert!(matches!(
+            Histogram::new(4, 1.0, 0.0),
+            Err(StatsError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_edge_rejected() {
+        assert!(Histogram::new(4, f64::NAN, 1.0).is_err());
+        assert!(Histogram::new(4, 0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(3, 0.0, 3.0).unwrap();
+        h.add(-100.0);
+        h.add(100.0);
+        assert_eq!(h.counts(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn nan_sample_skipped() {
+        let mut h = Histogram::new(3, 0.0, 3.0).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::new(4, 0.0, 4.0).unwrap();
+        h.add(4.0);
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let h = Histogram::from_samples(8, 0.0, 8.0, &[0.5, 1.5, 1.6, 7.9]).unwrap();
+        let p: f64 = h.probabilities().iter().sum();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_probabilities_are_zero() {
+        let h = Histogram::new(4, 0.0, 1.0).unwrap();
+        assert_eq!(h.probabilities(), vec![0.0; 4]);
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn mode_bin_prefers_lower_on_tie() {
+        let h = Histogram::from_samples(4, 0.0, 4.0, &[0.5, 2.5]).unwrap();
+        assert_eq!(h.mode_bin(), Some(0));
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(4, 0.0, 4.0).unwrap();
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(3) - 3.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_sample_lands_in_exactly_one_bin(
+            samples in proptest::collection::vec(-50.0f64..50.0, 1..200),
+            bins in 1usize..40,
+        ) {
+            let h = Histogram::from_samples(bins, -10.0, 10.0, &samples).unwrap();
+            prop_assert_eq!(h.total(), samples.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+        }
+
+        #[test]
+        fn prop_bin_index_monotone(
+            a in -20.0f64..20.0,
+            b in -20.0f64..20.0,
+        ) {
+            let h = Histogram::new(16, -10.0, 10.0).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(h.bin_index(lo) <= h.bin_index(hi));
+        }
+
+        #[test]
+        fn prop_probabilities_normalized(
+            samples in proptest::collection::vec(-5.0f64..5.0, 1..100),
+        ) {
+            let h = Histogram::from_samples(10, -5.0, 5.0, &samples).unwrap();
+            let sum: f64 = h.probabilities().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Information-theoretic measures over discrete distributions.
+//!
+//! The noise-level study of the paper (Section 3.2.1, Fig. 3) selects the
+//! Gaussian augmentation scale by comparing the *Shannon entropy* of the
+//! augmented historical-data distribution (larger is better — more
+//! generalization) against the *Jensen–Shannon distance* to a reference
+//! climate (smaller than the cross-city distance — still representative).
+
+use crate::StatsError;
+
+const LOG2: f64 = std::f64::consts::LN_2;
+
+fn validate_distribution(p: &[f64]) -> Result<(), StatsError> {
+    if p.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut sum = 0.0;
+    for &x in p {
+        if !x.is_finite() {
+            return Err(StatsError::NonFinite { value: x });
+        }
+        if x < 0.0 {
+            return Err(StatsError::NotADistribution { sum: x });
+        }
+        sum += x;
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(StatsError::NotADistribution { sum });
+    }
+    Ok(())
+}
+
+/// Shannon entropy `H(p) = -Σ p_i log2 p_i` in bits.
+///
+/// Zero-probability bins contribute nothing (the `0 log 0 = 0` convention).
+///
+/// # Errors
+///
+/// Returns an error if `p` is empty, contains negative or non-finite
+/// entries, or does not sum to 1 (within `1e-6`).
+///
+/// # Example
+///
+/// ```
+/// use hvac_stats::shannon_entropy;
+///
+/// # fn main() -> Result<(), hvac_stats::StatsError> {
+/// let h = shannon_entropy(&[0.5, 0.5])?;
+/// assert!((h - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn shannon_entropy(p: &[f64]) -> Result<f64, StatsError> {
+    validate_distribution(p)?;
+    let mut h = 0.0;
+    for &x in p {
+        if x > 0.0 {
+            h -= x * x.ln();
+        }
+    }
+    Ok(h / LOG2)
+}
+
+/// Entropy normalized by the maximum achievable for the support size,
+/// yielding a value in `[0, 1]`.
+///
+/// # Errors
+///
+/// Same conditions as [`shannon_entropy`]. A single-bin distribution has
+/// zero maximum entropy; it returns `0.0` by convention.
+pub fn normalized_entropy(p: &[f64]) -> Result<f64, StatsError> {
+    let h = shannon_entropy(p)?;
+    if p.len() <= 1 {
+        return Ok(0.0);
+    }
+    Ok(h / (p.len() as f64).log2())
+}
+
+/// Kullback–Leibler divergence `D(p ‖ q)` in bits.
+///
+/// Where `p_i > 0` but `q_i == 0` the divergence is infinite; this
+/// function returns `f64::INFINITY` in that case rather than erroring,
+/// because it is a legitimate (if extreme) value of the measure.
+///
+/// # Errors
+///
+/// Returns an error if either input fails distribution validation or the
+/// lengths differ.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    validate_distribution(p)?;
+    validate_distribution(q)?;
+    if p.len() != q.len() {
+        return Err(StatsError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi == 0.0 {
+                return Ok(f64::INFINITY);
+            }
+            d += pi * (pi / qi).ln();
+        }
+    }
+    Ok(d / LOG2)
+}
+
+/// Jensen–Shannon divergence in bits: `JSD(p, q) = ½D(p‖m) + ½D(q‖m)` with
+/// `m = ½(p+q)`.
+///
+/// Always finite and bounded by `[0, 1]` (base-2).
+///
+/// # Errors
+///
+/// Returns an error if either input fails distribution validation or the
+/// lengths differ.
+pub fn jensen_shannon_divergence(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    validate_distribution(p)?;
+    validate_distribution(q)?;
+    if p.len() != q.len() {
+        return Err(StatsError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    // m_i == 0 implies p_i == q_i == 0, so the KL terms are well defined.
+    let mut d = 0.0;
+    for (&pi, &mi) in p.iter().zip(&m) {
+        if pi > 0.0 {
+            d += 0.5 * pi * (pi / mi).ln();
+        }
+    }
+    for (&qi, &mi) in q.iter().zip(&m) {
+        if qi > 0.0 {
+            d += 0.5 * qi * (qi / mi).ln();
+        }
+    }
+    Ok((d / LOG2).clamp(0.0, 1.0))
+}
+
+/// Jensen–Shannon *distance* — the square root of the divergence — which
+/// is a true metric. This is the quantity plotted in the paper's Fig. 3.
+///
+/// # Errors
+///
+/// Same conditions as [`jensen_shannon_divergence`].
+///
+/// # Example
+///
+/// ```
+/// use hvac_stats::jensen_shannon_distance;
+///
+/// # fn main() -> Result<(), hvac_stats::StatsError> {
+/// // Identical distributions are at distance zero.
+/// let d = jensen_shannon_distance(&[0.3, 0.7], &[0.3, 0.7])?;
+/// assert!(d.abs() < 1e-9);
+/// // Disjoint distributions are at the maximum distance 1 (base 2).
+/// let d = jensen_shannon_distance(&[1.0, 0.0], &[0.0, 1.0])?;
+/// assert!((d - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn jensen_shannon_distance(p: &[f64], q: &[f64]) -> Result<f64, StatsError> {
+    Ok(jensen_shannon_divergence(p, q)?.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entropy_uniform_is_log_n() {
+        let p = vec![0.25; 4];
+        assert!((shannon_entropy(&p).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_point_mass_is_zero() {
+        assert!(shannon_entropy(&[1.0, 0.0, 0.0]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_rejects_non_distribution() {
+        assert!(shannon_entropy(&[0.5, 0.2]).is_err());
+        assert!(shannon_entropy(&[-0.5, 1.5]).is_err());
+        assert!(shannon_entropy(&[]).is_err());
+        assert!(shannon_entropy(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn normalized_entropy_bounds() {
+        assert!((normalized_entropy(&[0.25; 4]).unwrap() - 1.0).abs() < 1e-12);
+        assert!(normalized_entropy(&[1.0]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_self_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_missing_support_is_infinite() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert_eq!(kl_divergence(&p, &q).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn kl_length_mismatch() {
+        assert!(matches!(
+            kl_divergence(&[1.0], &[0.5, 0.5]),
+            Err(StatsError::LengthMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn jsd_disjoint_is_one_bit() {
+        let d = jensen_shannon_divergence(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_distance_triangle_inequality_spot_check() {
+        let a = [0.7, 0.2, 0.1];
+        let b = [0.1, 0.8, 0.1];
+        let c = [0.3, 0.3, 0.4];
+        let dab = jensen_shannon_distance(&a, &b).unwrap();
+        let dac = jensen_shannon_distance(&a, &c).unwrap();
+        let dcb = jensen_shannon_distance(&c, &b).unwrap();
+        assert!(dab <= dac + dcb + 1e-12);
+    }
+
+    fn arb_distribution(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(1e-3f64..1.0, n).prop_map(|v| {
+            let s: f64 = v.iter().sum();
+            v.into_iter().map(|x| x / s).collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entropy_bounds(p in arb_distribution(8)) {
+            let h = shannon_entropy(&p).unwrap();
+            prop_assert!(h >= -1e-12);
+            prop_assert!(h <= 3.0 + 1e-9); // log2(8)
+        }
+
+        #[test]
+        fn prop_jsd_symmetric(p in arb_distribution(6), q in arb_distribution(6)) {
+            let d1 = jensen_shannon_divergence(&p, &q).unwrap();
+            let d2 = jensen_shannon_divergence(&q, &p).unwrap();
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_jsd_bounded(p in arb_distribution(6), q in arb_distribution(6)) {
+            let d = jensen_shannon_divergence(&p, &q).unwrap();
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn prop_jsd_identity_of_indiscernibles(p in arb_distribution(5)) {
+            let d = jensen_shannon_divergence(&p, &p).unwrap();
+            prop_assert!(d.abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_kl_nonnegative(p in arb_distribution(5), q in arb_distribution(5)) {
+            let d = kl_divergence(&p, &q).unwrap();
+            prop_assert!(d >= -1e-9);
+        }
+    }
+}

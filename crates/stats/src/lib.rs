@@ -1,0 +1,47 @@
+//! Statistical primitives shared across the Veri-HVAC reproduction.
+//!
+//! This crate is the numerical bedrock of the workspace: it provides
+//! histograms, information-theoretic measures (Shannon entropy,
+//! Kullback–Leibler divergence, Jensen–Shannon divergence/distance),
+//! running summary statistics, and small deterministic-RNG helpers.
+//!
+//! The paper relies on these primitives in two places:
+//!
+//! * **Section 3.2.1 (Eq. 5)** — choosing the noise level for
+//!   importance-sampled decision-dataset generation compares the
+//!   *information entropy* and *Jensen–Shannon distance* of augmented
+//!   historical-data distributions (Fig. 3).
+//! * **Section 4.2** — evaluation aggregates energy and comfort metrics
+//!   over month-long simulated episodes.
+//!
+//! # Example
+//!
+//! ```
+//! use hvac_stats::{Histogram, jensen_shannon_distance};
+//!
+//! # fn main() -> Result<(), hvac_stats::StatsError> {
+//! let a = Histogram::from_samples(20, 0.0, 10.0, &[1.0, 2.0, 2.5, 7.0])?;
+//! let b = Histogram::from_samples(20, 0.0, 10.0, &[1.1, 2.1, 2.4, 7.2])?;
+//! let d = jensen_shannon_distance(&a.probabilities(), &b.probabilities())?;
+//! assert!(d < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod histogram;
+mod info;
+mod rng;
+mod summary;
+
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use info::{
+    jensen_shannon_distance, jensen_shannon_divergence, kl_divergence, normalized_entropy,
+    shannon_entropy,
+};
+pub use rng::{sample_normal, sample_standard_normal, seeded_rng, split_seed, SeedStream};
+pub use summary::{welford_mean_std, OnlineStats, Quantiles, Summary};

@@ -1,0 +1,190 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic component in the workspace (weather generation, NN
+//! initialization, random-shooting optimizers, Monte-Carlo verification)
+//! takes its randomness from a seed so that experiments are bitwise
+//! reproducible — a prerequisite for the determinism claims the paper
+//! makes about the extracted decision-tree policy (Fig. 5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a [`StdRng`] from a `u64` seed.
+///
+/// # Example
+///
+/// ```
+/// use hvac_stats::seeded_rng;
+/// use rand::Rng;
+///
+/// let mut a = seeded_rng(42);
+/// let mut b = seeded_rng(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index using
+/// SplitMix64 finalization, so that sub-components (e.g. each ensemble
+/// member, each rollout worker) get decorrelated but reproducible streams.
+pub fn split_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A counter-based producer of decorrelated child seeds.
+///
+/// # Example
+///
+/// ```
+/// use hvac_stats::SeedStream;
+///
+/// let mut s = SeedStream::new(7);
+/// let first = s.next_seed();
+/// let second = s.next_seed();
+/// assert_ne!(first, second);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    parent: u64,
+    counter: u64,
+}
+
+impl SeedStream {
+    /// Creates a stream rooted at `parent`.
+    pub fn new(parent: u64) -> Self {
+        Self { parent, counter: 0 }
+    }
+
+    /// Produces the next child seed.
+    pub fn next_seed(&mut self) -> u64 {
+        let s = split_seed(self.parent, self.counter);
+        self.counter += 1;
+        s
+    }
+
+    /// Produces the next child RNG.
+    pub fn next_rng(&mut self) -> StdRng {
+        seeded_rng(self.next_seed())
+    }
+}
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+///
+/// The workspace avoids a `rand_distr` dependency; this is the only
+/// non-uniform distribution any component needs (AR(1) weather noise,
+/// Eq. 5 data augmentation, NN weight initialization).
+///
+/// # Example
+///
+/// ```
+/// use hvac_stats::{sample_standard_normal, seeded_rng};
+///
+/// let mut rng = seeded_rng(0);
+/// let z = sample_standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to keep ln finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws one normal variate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std` is negative or non-finite.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0 && std.is_finite(), "std must be finite and >= 0");
+    mean + std * sample_standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(1);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let av: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let bv: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn split_seed_is_deterministic() {
+        assert_eq!(split_seed(9, 3), split_seed(9, 3));
+        assert_ne!(split_seed(9, 3), split_seed(9, 4));
+        assert_ne!(split_seed(9, 3), split_seed(8, 3));
+    }
+
+    #[test]
+    fn seed_stream_counts_up() {
+        let mut s = SeedStream::new(5);
+        let a = s.next_seed();
+        let b = s.next_seed();
+        assert_eq!(a, split_seed(5, 0));
+        assert_eq!(b, split_seed(5, 1));
+    }
+
+    #[test]
+    fn seed_stream_rngs_differ() {
+        let mut s = SeedStream::new(11);
+        let mut r1 = s.next_rng();
+        let mut r2 = s.next_rng();
+        assert_ne!(r1.gen::<u64>(), r2.gen::<u64>());
+    }
+
+    #[test]
+    fn normal_samples_have_right_moments() {
+        let mut rng = seeded_rng(99);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let z = sample_standard_normal(&mut rng);
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sample_normal_scales_and_shifts() {
+        let mut rng = seeded_rng(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += sample_normal(&mut rng, 5.0, 2.0);
+        }
+        assert!((sum / n as f64 - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "std must be finite")]
+    fn sample_normal_rejects_negative_std() {
+        let mut rng = seeded_rng(1);
+        let _ = sample_normal(&mut rng, 0.0, -1.0);
+    }
+}

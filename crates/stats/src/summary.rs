@@ -1,0 +1,410 @@
+//! Running and batch summary statistics.
+
+use crate::StatsError;
+
+/// Numerically stable online mean/variance accumulator (Welford's
+/// algorithm), plus min/max tracking.
+///
+/// Used by the evaluation harnesses to aggregate per-step metrics (energy,
+/// comfort violation, decision latency) over month-long episodes without
+/// storing every sample.
+///
+/// # Example
+///
+/// ```
+/// use hvac_stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert!((s.sample_std() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation. NaN observations are ignored.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (0 if fewer than 1 observation).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 if fewer than 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Snapshot as a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.n,
+            mean: self.mean(),
+            std: self.sample_std(),
+            min: if self.n == 0 { 0.0 } else { self.min },
+            max: if self.n == 0 { 0.0 } else { self.max },
+            sum: self.sum,
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// An immutable snapshot of basic statistics over a batch of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sum.
+    pub sum: f64,
+}
+
+impl Summary {
+    /// Computes a summary over a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty slice.
+    pub fn from_slice(xs: &[f64]) -> Result<Self, StatsError> {
+        if xs.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        Ok(xs.iter().copied().collect::<OnlineStats>().summary())
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.std, self.min, self.max
+        )
+    }
+}
+
+/// Empirical quantiles of a batch of samples.
+///
+/// Quantiles are computed with linear interpolation between order
+/// statistics (the same convention as NumPy's default).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantiles {
+    sorted: Vec<f64>,
+}
+
+impl Quantiles {
+    /// Builds the quantile structure from samples. NaNs are removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if no finite samples remain.
+    pub fn from_samples(xs: &[f64]) -> Result<Self, StatsError> {
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        if sorted.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        Ok(Self { sorted })
+    }
+
+    /// Returns the `q`-quantile for `q ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Number of retained (finite) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample set is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Convenience: mean and *population* standard deviation of a slice in one
+/// pass, matching the `sqrt(Σ(x−x̄)²/|X|)` term of the paper's Eq. 5.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn welford_mean_std(xs: &[f64]) -> Result<(f64, f64), StatsError> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let s: OnlineStats = xs.iter().copied().collect();
+    Ok((s.mean(), s.population_std()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_std(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let (mean, std) = welford_mean_std(&xs).unwrap();
+        assert!((mean - 5.0).abs() < 1e-12);
+        assert!((std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_is_error() {
+        assert_eq!(welford_mean_std(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..40].iter().copied().collect();
+        let b: OnlineStats = xs[40..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - seq.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(f64::NAN);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let q = Quantiles::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((q.median() - 2.5).abs() < 1e-12);
+        assert_eq!(q.quantile(0.0), 1.0);
+        assert_eq!(q.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn quantiles_single_sample() {
+        let q = Quantiles::from_samples(&[7.0]).unwrap();
+        assert_eq!(q.median(), 7.0);
+        assert_eq!(q.quantile(0.9), 7.0);
+    }
+
+    #[test]
+    fn quantiles_drop_nan() {
+        let q = Quantiles::from_samples(&[f64::NAN, 3.0]).unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn quantiles_all_nan_is_error() {
+        assert!(Quantiles::from_samples(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn summary_display_mentions_mean() {
+        let s = Summary::from_slice(&[1.0, 3.0]).unwrap();
+        assert!(s.to_string().contains("mean=2.0000"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            prop_assert!(s.mean() >= s.min() - 1e-6);
+            prop_assert!(s.mean() <= s.max() + 1e-6);
+        }
+
+        #[test]
+        fn prop_variance_nonnegative(xs in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+            let s: OnlineStats = xs.iter().copied().collect();
+            prop_assert!(s.sample_variance() >= -1e-9);
+        }
+
+        #[test]
+        fn prop_quantile_monotone(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            a in 0.0f64..1.0,
+            b in 0.0f64..1.0,
+        ) {
+            let q = Quantiles::from_samples(&xs).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.quantile(lo) <= q.quantile(hi) + 1e-9);
+        }
+
+        #[test]
+        fn prop_merge_associative_count(
+            xs in proptest::collection::vec(-10.0f64..10.0, 3..60),
+            split in 1usize..2,
+        ) {
+            let k = split.min(xs.len() - 1);
+            let mut a: OnlineStats = xs[..k].iter().copied().collect();
+            let b: OnlineStats = xs[k..].iter().copied().collect();
+            a.merge(&b);
+            prop_assert_eq!(a.count() as usize, xs.len());
+        }
+    }
+}

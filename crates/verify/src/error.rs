@@ -1,0 +1,92 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for verification operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The requested sample count was zero.
+    ZeroSamples,
+    /// The probability threshold `l` was outside `[0, 1)`.
+    BadThreshold {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The verification horizon was zero.
+    ZeroHorizon,
+    /// Rejection sampling failed to find a safe-start state (the
+    /// augmented distribution never intersects the comfort range).
+    NoSafeStates,
+    /// An underlying decision-tree error.
+    Tree(hvac_dtree::TreeError),
+    /// An underlying environment error.
+    Env(hvac_env::EnvError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::ZeroSamples => write!(f, "sample count must be positive"),
+            VerifyError::BadThreshold { value } => {
+                write!(f, "probability threshold {value} must be in [0, 1)")
+            }
+            VerifyError::ZeroHorizon => write!(f, "verification horizon must be positive"),
+            VerifyError::NoSafeStates => {
+                write!(f, "could not sample any safe-start state from the input distribution")
+            }
+            VerifyError::Tree(e) => write!(f, "tree error: {e}"),
+            VerifyError::Env(e) => write!(f, "environment error: {e}"),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Tree(e) => Some(e),
+            VerifyError::Env(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hvac_dtree::TreeError> for VerifyError {
+    fn from(e: hvac_dtree::TreeError) -> Self {
+        VerifyError::Tree(e)
+    }
+}
+
+impl From<hvac_env::EnvError> for VerifyError {
+    fn from(e: hvac_env::EnvError) -> Self {
+        VerifyError::Env(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let errs = [
+            VerifyError::ZeroSamples,
+            VerifyError::BadThreshold { value: 1.5 },
+            VerifyError::ZeroHorizon,
+            VerifyError::NoSafeStates,
+            VerifyError::Tree(hvac_dtree::TreeError::EmptyDataset),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        assert!(VerifyError::Tree(hvac_dtree::TreeError::EmptyDataset)
+            .source()
+            .is_some());
+        assert!(VerifyError::ZeroSamples.source().is_none());
+    }
+}

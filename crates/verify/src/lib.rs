@@ -1,0 +1,61 @@
+//! Offline verification of decision-tree HVAC policies.
+//!
+//! Implements the paper's three-part verification criterion (Eq. 4):
+//!
+//! * **Criterion #1** (probabilistic): starting from a safe state, the
+//!   policy keeps the zone inside the comfort range with probability
+//!   above a threshold `l` chosen by the building manager. Verified by
+//!   the paper's *one-step* Monte-Carlo method (Section 3.3.2), which it
+//!   proves equivalent to H-step bootstrap rollouts while being
+//!   parallelizable and `H×` cheaper; both are implemented here so the
+//!   equivalence is testable.
+//! * **Criterion #2** (formal): if the zone is *above* the comfort range
+//!   the commanded setpoint must pull it down (`π(s, d) < s_t`).
+//! * **Criterion #3** (formal): if the zone is *below* the range the
+//!   setpoint must pull it up (`π(s, d) > s_t`).
+//!
+//! Criteria #2/#3 are checked by **Algorithm 1** (decision-path
+//! verification): every leaf's unique root path induces an axis-aligned
+//! input box; leaves whose box intersects the unsafe regions are checked
+//! against the rules above and *corrected in place* by rewriting their
+//! setpoints to the comfort-zone median.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hvac_verify::{verify_and_correct, VerificationConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut policy: hvac_control::DtPolicy = unimplemented!();
+//! # let model: hvac_dynamics::DynamicsModel = unimplemented!();
+//! # let augmenter: hvac_extract::NoiseAugmenter = unimplemented!();
+//! let report = verify_and_correct(
+//!     &mut policy,
+//!     &model,
+//!     &augmenter,
+//!     &VerificationConfig::paper(),
+//! )?;
+//! println!("{report}");
+//! assert!(report.criterion_1.probability() > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod path;
+pub mod probabilistic;
+pub mod reachability;
+pub mod report;
+
+pub use error::VerifyError;
+pub use path::{
+    correct_leaf, corrected_action, median_action, verify_paths, CorrectionStrategy,
+    PathVerification, PathViolation, ViolatedCriterion,
+};
+pub use probabilistic::{
+    verify_criterion_1, verify_criterion_1_bootstrap, SafeProbability,
+};
+pub use reachability::{reachability_tube, ReachabilityTube};
+pub use report::{verify_and_correct, VerificationConfig, VerificationReport};

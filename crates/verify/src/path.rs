@@ -1,0 +1,489 @@
+//! Algorithm 1 — decision-path verification of criteria #2 and #3.
+//!
+//! For each leaf, the unique root-to-leaf path induces an axis-aligned
+//! box of inputs that reach it. If that box intersects the unsafe-warm
+//! region (`s_t > z̄`), every reachable too-warm state must satisfy
+//! `π(s, d) < s_t` — the *cooling* setpoint must undercut the zone
+//! temperature so the HVAC pushes it back down. Symmetrically, if the
+//! box intersects the unsafe-cold region (`s_t < z̲`), the *heating*
+//! setpoint must exceed the reachable too-cold temperatures.
+//!
+//! Because the comparison must hold for **every** state in the
+//! intersection, the binding case is the extremum:
+//!
+//! * criterion #2: `cool_sp ≤ max(box.lo, z̄)` (states approach the
+//!   infimum from above, so `≤` on the bound gives strict `<` on every
+//!   reachable state);
+//! * criterion #3: `heat_sp ≥ min(box.hi, z̲)` (states approach the
+//!   supremum from below).
+//!
+//! The paper scopes safety to *occupied* hours ("we focus on the
+//! precise air temperature control of a thermal zone during occupied
+//! hours", Section 3.1), so a leaf whose box only contains unoccupied
+//! inputs (occupant count ≤ 0) is exempt — night setback is supposed to
+//! let the zone drift.
+//!
+//! Failing leaves are corrected by rewriting the *violating* setpoint to
+//! the comfort-zone median (Section 3.3.1): a #2 failure lowers the
+//! cooling setpoint, a #3 failure raises the heating setpoint. The
+//! median satisfies either criterion for any box.
+
+use crate::error::VerifyError;
+use hvac_control::DtPolicy;
+use hvac_dtree::LeafId;
+use hvac_env::space::feature;
+use hvac_env::{ComfortRange, SetpointAction};
+
+/// Which of the two formal criteria a leaf violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolatedCriterion {
+    /// Criterion #2: reachable too-warm states whose cooling setpoint
+    /// does not undercut them.
+    TooWarmNotCooling,
+    /// Criterion #3: reachable too-cold states whose heating setpoint
+    /// does not exceed them.
+    TooColdNotHeating,
+}
+
+/// One detected violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathViolation {
+    /// The offending leaf.
+    pub leaf: LeafId,
+    /// Which criterion it violates.
+    pub criterion: ViolatedCriterion,
+    /// The leaf's action at detection time.
+    pub action: SetpointAction,
+}
+
+/// Result of a path-verification pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PathVerification {
+    /// All violations found (a leaf can appear twice, once per
+    /// criterion).
+    pub violations: Vec<PathViolation>,
+    /// Leaves examined.
+    pub leaves_checked: usize,
+}
+
+impl PathVerification {
+    /// Number of criterion-#2 violations.
+    pub fn criterion_2_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.criterion == ViolatedCriterion::TooWarmNotCooling)
+            .count()
+    }
+
+    /// Number of criterion-#3 violations.
+    pub fn criterion_3_count(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.criterion == ViolatedCriterion::TooColdNotHeating)
+            .count()
+    }
+
+    /// Whether the policy passed both formal criteria.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations merged per leaf: `(leaf, violates_#2, violates_#3,
+    /// action)` — the unit the correction pass operates on (a leaf can
+    /// fail both criteria at once).
+    pub fn merged_by_leaf(&self) -> Vec<(LeafId, bool, bool, SetpointAction)> {
+        let mut merged: Vec<(LeafId, bool, bool, SetpointAction)> = Vec::new();
+        for v in &self.violations {
+            if let Some(entry) = merged.iter_mut().find(|(l, _, _, _)| *l == v.leaf) {
+                match v.criterion {
+                    ViolatedCriterion::TooWarmNotCooling => entry.1 = true,
+                    ViolatedCriterion::TooColdNotHeating => entry.2 = true,
+                }
+            } else {
+                let (w, c) = match v.criterion {
+                    ViolatedCriterion::TooWarmNotCooling => (true, false),
+                    ViolatedCriterion::TooColdNotHeating => (false, true),
+                };
+                merged.push((v.leaf, w, c, v.action));
+            }
+        }
+        merged
+    }
+}
+
+/// Runs Algorithm 1 over every leaf of the policy, *without* modifying
+/// it.
+///
+/// # Errors
+///
+/// Propagates tree-introspection errors (which indicate a corrupted
+/// tree, not bad input data).
+pub fn verify_paths(
+    policy: &DtPolicy,
+    comfort: &ComfortRange,
+) -> Result<PathVerification, VerifyError> {
+    let tree = policy.tree();
+    let space = policy.action_space();
+    let mut result = PathVerification::default();
+
+    for leaf in tree.leaves() {
+        result.leaves_checked += 1;
+        let class = tree.leaf_class(leaf)?;
+        let action = space
+            .action(class)
+            .map_err(|_| VerifyError::Tree(hvac_dtree::TreeError::BadClass {
+                class,
+                n_classes: space.len(),
+            }))?;
+        let input_box = tree.leaf_box(leaf)?;
+        let temp_side = input_box.side(feature::ZONE_TEMPERATURE);
+
+        // The criteria only constrain occupied states; skip leaves whose
+        // box cannot contain an occupied input.
+        let occupancy_side = input_box.side(feature::OCCUPANT_COUNT);
+        if !occupancy_side.overlaps_above(0.0) {
+            continue;
+        }
+
+        // Criterion #2: the box intersects (z̄, ∞).
+        if temp_side.overlaps_above(comfort.hi()) {
+            let infimum = temp_side.lo.max(comfort.hi());
+            if f64::from(action.cooling()) > infimum {
+                result.violations.push(PathViolation {
+                    leaf,
+                    criterion: ViolatedCriterion::TooWarmNotCooling,
+                    action,
+                });
+            }
+        }
+
+        // Criterion #3: the box intersects (−∞, z̲).
+        if temp_side.overlaps_below(comfort.lo()) {
+            let supremum = temp_side.hi.min(comfort.lo());
+            if f64::from(action.heating()) < supremum {
+                result.violations.push(PathViolation {
+                    leaf,
+                    criterion: ViolatedCriterion::TooColdNotHeating,
+                    action,
+                });
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// How a failed leaf is repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorrectionStrategy {
+    /// The paper's literal edit (Section 3.3.1): overwrite the failed
+    /// leaf's violating setpoint(s) with the comfort-zone median. Blunt
+    /// but simple — the correction also applies to the leaf's
+    /// *unoccupied* inputs, where the criteria impose nothing.
+    EditLeaf,
+    /// Occupancy-scoped refinement (default): if the failed leaf also
+    /// handles unoccupied inputs, split it on the occupant-count
+    /// feature at 0 so that only the occupied child receives the
+    /// corrected action; night setback behavior is preserved exactly.
+    /// Falls back to [`CorrectionStrategy::EditLeaf`] when the leaf is
+    /// occupied-only.
+    #[default]
+    SplitOnOccupancy,
+}
+
+/// The corrective action for a leaf given which criteria it violates:
+/// each violated side's setpoint moves to the comfort-zone median
+/// ("we correct it by editing the setpoint in the failed leaf node to
+/// the median of the comfort zone", Section 3.3.1); the other setpoint
+/// is untouched.
+pub fn corrected_action(
+    current: SetpointAction,
+    too_warm: bool,
+    too_cold: bool,
+    comfort: &ComfortRange,
+) -> SetpointAction {
+    let median = comfort.median();
+    let mut heating = f64::from(current.heating());
+    let mut cooling = f64::from(current.cooling());
+    if too_warm {
+        cooling = median;
+        heating = heating.min(median);
+    }
+    if too_cold {
+        heating = median;
+        cooling = cooling.max(median);
+    }
+    SetpointAction::from_clamped(heating, cooling)
+}
+
+/// The fully corrective action: both setpoints at the comfort median
+/// (used when a leaf violates both criteria).
+pub fn median_action(comfort: &ComfortRange) -> SetpointAction {
+    SetpointAction::from_clamped(comfort.median(), comfort.median())
+}
+
+/// Corrects one failed leaf in place.
+///
+/// `too_warm` / `too_cold` say which criteria the leaf violates (from
+/// [`PathVerification::merged_by_leaf`]).
+///
+/// # Errors
+///
+/// Propagates leaf-editing errors for invalid leaf ids.
+pub fn correct_leaf(
+    policy: &mut DtPolicy,
+    leaf: LeafId,
+    too_warm: bool,
+    too_cold: bool,
+    comfort: &ComfortRange,
+    strategy: CorrectionStrategy,
+) -> Result<(), VerifyError> {
+    let space = policy.action_space().clone();
+    let current_class = policy.tree().leaf_class(leaf)?;
+    let current = space
+        .action(current_class)
+        .map_err(|_| VerifyError::Tree(hvac_dtree::TreeError::BadClass {
+            class: current_class,
+            n_classes: space.len(),
+        }))?;
+    let corrected = corrected_action(current, too_warm, too_cold, comfort);
+    let corrected_class = space.index_of(corrected);
+
+    match strategy {
+        CorrectionStrategy::EditLeaf => {
+            policy.tree_mut().set_leaf_class(leaf, corrected_class)?;
+        }
+        CorrectionStrategy::SplitOnOccupancy => {
+            let handles_unoccupied = {
+                let input_box = policy.tree().leaf_box(leaf)?;
+                input_box.side(feature::OCCUPANT_COUNT).contains(0.0)
+            };
+            if handles_unoccupied {
+                // Unoccupied inputs (occ ≤ 0) keep the learned action;
+                // occupied inputs (occ > 0) get the correction.
+                policy.tree_mut().split_leaf(
+                    leaf,
+                    feature::OCCUPANT_COUNT,
+                    0.0,
+                    current_class,
+                    corrected_class,
+                )?;
+            } else {
+                policy.tree_mut().set_leaf_class(leaf, corrected_class)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_dtree::{DecisionTree, TreeConfig};
+    use hvac_env::{ActionSpace, Observation, Policy, POLICY_INPUT_DIM};
+
+    /// Builds a DtPolicy whose behavior we control exactly: zone temp is
+    /// the only split feature; below 20 °C → `cold_action`, above 24 °C →
+    /// `hot_action`, otherwise `mid_action`.
+    fn three_region_policy(
+        cold_action: SetpointAction,
+        mid_action: SetpointAction,
+        hot_action: SetpointAction,
+    ) -> DtPolicy {
+        let space = ActionSpace::new();
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..48 {
+            // A 0.5 °C grid offset so CART's midpoint thresholds land
+            // exactly on the comfort bounds (20.0 and 23.5).
+            let temp = 10.25 + i as f64 * 0.5; // 10.25 .. 33.75
+            let mut row = [0.0; POLICY_INPUT_DIM];
+            row[feature::ZONE_TEMPERATURE] = temp;
+            inputs.push(row.to_vec());
+            let action = if temp < 20.0 {
+                cold_action
+            } else if temp > 23.5 {
+                hot_action
+            } else {
+                mid_action
+            };
+            labels.push(space.index_of(action));
+        }
+        let tree = DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default())
+            .unwrap();
+        DtPolicy::new(tree).unwrap()
+    }
+
+    fn comfort() -> ComfortRange {
+        ComfortRange::winter() // [20, 23.5]
+    }
+
+    #[test]
+    fn safe_policy_passes() {
+        // Cold zone → heat to 23 (> all temps below 20 ✓).
+        // Hot zone → cool to 21 (cooling sp 21 ≤ 23.5 ✓ pulls down).
+        let policy = three_region_policy(
+            SetpointAction::new(23, 30).unwrap(),
+            SetpointAction::new(20, 24).unwrap(),
+            SetpointAction::new(15, 21).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        assert!(v.passed(), "violations: {:?}", v.violations);
+        assert!(v.leaves_checked >= 3);
+    }
+
+    #[test]
+    fn lazy_cooling_violates_criterion_2() {
+        // Hot zone keeps cooling setpoint at 30: the HVAC never cools.
+        let policy = three_region_policy(
+            SetpointAction::new(23, 30).unwrap(),
+            SetpointAction::new(20, 24).unwrap(),
+            SetpointAction::new(15, 30).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        assert!(v.criterion_2_count() > 0);
+        assert_eq!(v.criterion_3_count(), 0);
+    }
+
+    #[test]
+    fn lazy_heating_violates_criterion_3() {
+        // Cold zone keeps heating setpoint at 15 — below reachable
+        // too-cold temperatures (up to 20 °C).
+        let policy = three_region_policy(
+            SetpointAction::new(15, 30).unwrap(),
+            SetpointAction::new(20, 24).unwrap(),
+            SetpointAction::new(15, 21).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        assert!(v.criterion_3_count() > 0);
+        assert_eq!(v.criterion_2_count(), 0);
+    }
+
+    #[test]
+    fn correction_fixes_all_violations() {
+        let mut policy = three_region_policy(
+            SetpointAction::new(15, 30).unwrap(),
+            SetpointAction::new(20, 24).unwrap(),
+            SetpointAction::new(15, 30).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        assert!(!v.passed());
+        for (leaf, warm, cold, _) in v.merged_by_leaf() {
+            correct_leaf(&mut policy, leaf, warm, cold, &comfort(), CorrectionStrategy::EditLeaf)
+                .unwrap();
+        }
+        let v2 = verify_paths(&policy, &comfort()).unwrap();
+        assert!(v2.passed(), "still violating: {:?}", v2.violations);
+    }
+
+    #[test]
+    fn split_correction_also_converges() {
+        let mut policy = three_region_policy(
+            SetpointAction::new(15, 30).unwrap(),
+            SetpointAction::new(20, 24).unwrap(),
+            SetpointAction::new(15, 30).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        assert!(!v.passed());
+        for (leaf, warm, cold, _) in v.merged_by_leaf() {
+            correct_leaf(
+                &mut policy,
+                leaf,
+                warm,
+                cold,
+                &comfort(),
+                CorrectionStrategy::SplitOnOccupancy,
+            )
+            .unwrap();
+        }
+        let v2 = verify_paths(&policy, &comfort()).unwrap();
+        assert!(v2.passed(), "still violating: {:?}", v2.violations);
+    }
+
+    #[test]
+    fn split_correction_preserves_unoccupied_behavior() {
+        // The three-region policy never split on occupancy, so its
+        // leaves handle both occupied and unoccupied inputs. After a
+        // SplitOnOccupancy correction, unoccupied inputs must still get
+        // the original (energy-saving) action.
+        let lazy_cold = SetpointAction::off();
+        let mut policy = three_region_policy(
+            lazy_cold,
+            SetpointAction::new(20, 24).unwrap(),
+            SetpointAction::new(15, 21).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        assert!(v.criterion_3_count() > 0);
+        for (leaf, warm, cold, _) in v.merged_by_leaf() {
+            correct_leaf(
+                &mut policy,
+                leaf,
+                warm,
+                cold,
+                &comfort(),
+                CorrectionStrategy::SplitOnOccupancy,
+            )
+            .unwrap();
+        }
+        // Unoccupied cold zone: original setback action preserved.
+        let night = Observation {
+            zone_temperature: 15.0,
+            ..Observation::default()
+        };
+        assert_eq!(policy.clone().decide(&night), lazy_cold);
+        // Occupied cold zone: corrected to heat at the comfort median.
+        let mut day = night;
+        day.disturbances.occupant_count = 3.0;
+        assert_eq!(f64::from(policy.decide(&day).heating()), comfort().median().round());
+    }
+
+    #[test]
+    fn corrected_leaf_commands_median() {
+        let mut policy = three_region_policy(
+            SetpointAction::new(15, 30).unwrap(),
+            SetpointAction::new(20, 24).unwrap(),
+            SetpointAction::new(15, 21).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        let (leaf, warm, cold, _) = v.merged_by_leaf()[0];
+        correct_leaf(&mut policy, leaf, warm, cold, &comfort(), CorrectionStrategy::EditLeaf)
+            .unwrap();
+        // A deep-cold observation routes to the corrected leaf, whose
+        // heating setpoint is now the comfort median.
+        let obs = Observation {
+            zone_temperature: 12.0,
+            ..Observation::default()
+        };
+        let a = policy.decide(&obs);
+        assert_eq!(f64::from(a.heating()), comfort().median().round());
+    }
+
+    #[test]
+    fn median_action_is_legal_and_central() {
+        let m = median_action(&comfort());
+        // Winter median 21.75 → heat 22, cool 22.
+        assert_eq!(m.heating(), 22);
+        assert_eq!(m.cooling(), 22);
+    }
+
+    #[test]
+    fn median_correction_satisfies_both_criteria_for_any_box() {
+        // The correction must be universally safe: heat_sp ≥ z̲ and
+        // cool_sp ≤ z̄.
+        let m = median_action(&comfort());
+        assert!(f64::from(m.heating()) >= comfort().lo());
+        assert!(f64::from(m.cooling()) <= comfort().hi());
+    }
+
+    #[test]
+    fn interior_leaves_are_not_flagged() {
+        // A mid-range leaf with a lazy action is *not* a #2/#3
+        // violation — the criteria only constrain out-of-range states.
+        let policy = three_region_policy(
+            SetpointAction::new(23, 30).unwrap(),
+            SetpointAction::new(15, 30).unwrap(), // lazy, but in-range
+            SetpointAction::new(15, 21).unwrap(),
+        );
+        let v = verify_paths(&policy, &comfort()).unwrap();
+        assert!(v.passed(), "violations: {:?}", v.violations);
+    }
+}

@@ -1,0 +1,449 @@
+//! Criterion #1 — probabilistic verification (Section 3.3.2).
+//!
+//! Estimates the probability that, starting from a safe state drawn
+//! from the augmented input distribution `p̂(x)`, the policy's next step
+//! stays inside the comfort range. The paper proves that this *one-step*
+//! check is equivalent to classifying full H-step bootstrap rollouts
+//! while needing `H×` fewer model evaluations; the bootstrap variant is
+//! provided so tests (and the ablation bench) can observe the agreement.
+
+use crate::error::VerifyError;
+use hvac_control::Predictor;
+use hvac_env::space::feature;
+use hvac_env::{ComfortRange, Observation, Policy};
+use hvac_extract::NoiseAugmenter;
+use hvac_stats::seeded_rng;
+use rand::Rng;
+
+/// Outcome of a probabilistic verification run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeProbability {
+    /// Samples that stayed in the comfort range.
+    pub safe: usize,
+    /// Total samples evaluated.
+    pub total: usize,
+    /// The threshold `l` the estimate was compared against.
+    pub threshold: f64,
+}
+
+impl SafeProbability {
+    /// The estimated safe probability.
+    pub fn probability(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.safe as f64 / self.total as f64
+        }
+    }
+
+    /// Whether the estimate clears the threshold
+    /// (`E[z̄ ≥ s ≥ z̲] > l` in Eq. 4).
+    pub fn verified(&self) -> bool {
+        self.probability() > self.threshold
+    }
+
+    /// Wilson score interval for the safe probability at confidence
+    /// `z` standard normal quantiles (e.g. `1.96` for 95%).
+    ///
+    /// A Monte-Carlo estimate alone says nothing about how much to
+    /// trust it; the building manager's threshold `l` should be
+    /// compared against the interval's *lower* bound for a conservative
+    /// go/no-go decision (see [`SafeProbability::verified_conservative`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is negative or non-finite.
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        assert!(z >= 0.0 && z.is_finite(), "z must be finite and >= 0");
+        if self.total == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.total as f64;
+        let p = self.probability();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Conservative verification: the Wilson *lower* bound (at the given
+    /// `z`) must clear the threshold, not just the point estimate.
+    pub fn verified_conservative(&self, z: f64) -> bool {
+        self.wilson_interval(z).0 > self.threshold
+    }
+}
+
+impl std::fmt::Display for SafeProbability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}% safe ({}/{}, threshold {:.0}%)",
+            100.0 * self.probability(),
+            self.safe,
+            self.total,
+            100.0 * self.threshold,
+        )
+    }
+}
+
+fn validate(samples: usize, threshold: f64) -> Result<(), VerifyError> {
+    if samples == 0 {
+        return Err(VerifyError::ZeroSamples);
+    }
+    if !(0.0..1.0).contains(&threshold) {
+        return Err(VerifyError::BadThreshold { value: threshold });
+    }
+    Ok(())
+}
+
+/// Draws a safe-start observation: an augmented input whose zone
+/// temperature is projected into the comfort range (rejection sampling
+/// with a uniform-in-range fallback, so the draw always succeeds).
+fn sample_safe_start<R: Rng + ?Sized>(
+    augmenter: &NoiseAugmenter,
+    comfort: &ComfortRange,
+    rng: &mut R,
+) -> Observation {
+    for _ in 0..16 {
+        let x = augmenter.sample(rng);
+        if comfort.contains(x[feature::ZONE_TEMPERATURE]) {
+            return Observation::from_vector(&x);
+        }
+    }
+    let mut x = augmenter.sample(rng);
+    x[feature::ZONE_TEMPERATURE] = rng.gen_range(comfort.lo()..=comfort.hi());
+    Observation::from_vector(&x)
+}
+
+/// One-step probabilistic verification (the paper's method).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::ZeroSamples`] / [`VerifyError::BadThreshold`]
+/// for invalid parameters.
+pub fn verify_criterion_1<Pol, Pred>(
+    policy: &mut Pol,
+    predictor: &Pred,
+    augmenter: &NoiseAugmenter,
+    comfort: &ComfortRange,
+    samples: usize,
+    threshold: f64,
+    seed: u64,
+) -> Result<SafeProbability, VerifyError>
+where
+    Pol: Policy,
+    Pred: Predictor,
+{
+    validate(samples, threshold)?;
+    let mut rng = seeded_rng(seed);
+    let mut safe = 0;
+    for _ in 0..samples {
+        let obs = sample_safe_start(augmenter, comfort, &mut rng);
+        let action = policy.decide(&obs);
+        let next = predictor.predict_next(&obs, action);
+        if comfort.contains(next) {
+            safe += 1;
+        }
+    }
+    Ok(SafeProbability {
+        safe,
+        total: samples,
+        threshold,
+    })
+}
+
+/// H-step bootstrap verification (the naive method the paper's proof
+/// replaces): each sampled safe start is rolled out `horizon` steps
+/// under a persistence disturbance forecast, and counts as safe only if
+/// *every* step stays in the comfort range.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::ZeroHorizon`] for `horizon == 0` plus the
+/// parameter errors of [`verify_criterion_1`].
+#[allow(clippy::too_many_arguments)] // mirrors verify_criterion_1 plus the horizon
+pub fn verify_criterion_1_bootstrap<Pol, Pred>(
+    policy: &mut Pol,
+    predictor: &Pred,
+    augmenter: &NoiseAugmenter,
+    comfort: &ComfortRange,
+    samples: usize,
+    horizon: usize,
+    threshold: f64,
+    seed: u64,
+) -> Result<SafeProbability, VerifyError>
+where
+    Pol: Policy,
+    Pred: Predictor,
+{
+    validate(samples, threshold)?;
+    if horizon == 0 {
+        return Err(VerifyError::ZeroHorizon);
+    }
+    let mut rng = seeded_rng(seed);
+    let mut safe = 0;
+    for _ in 0..samples {
+        let mut obs = sample_safe_start(augmenter, comfort, &mut rng);
+        let mut ok = true;
+        for _ in 0..horizon {
+            let action = policy.decide(&obs);
+            let next = predictor.predict_next(&obs, action);
+            if !comfort.contains(next) {
+                ok = false;
+                break;
+            }
+            obs.zone_temperature = next;
+        }
+        if ok {
+            safe += 1;
+        }
+    }
+    Ok(SafeProbability {
+        safe,
+        total: samples,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::{SetpointAction, POLICY_INPUT_DIM};
+
+    /// Predictor that decays the zone toward the heating setpoint.
+    struct Stable;
+    impl Predictor for Stable {
+        fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
+            let target = f64::from(action.heating()).max(20.5);
+            obs.zone_temperature + 0.5 * (target.min(23.0) - obs.zone_temperature)
+        }
+    }
+
+    /// Predictor that always escapes the comfort range.
+    struct Runaway;
+    impl Predictor for Runaway {
+        fn predict_next(&self, _obs: &Observation, _action: SetpointAction) -> f64 {
+            50.0
+        }
+    }
+
+    struct Hold;
+    impl Policy for Hold {
+        fn decide(&mut self, _obs: &Observation) -> SetpointAction {
+            SetpointAction::new(21, 24).unwrap()
+        }
+        fn name(&self) -> &str {
+            "hold"
+        }
+    }
+
+    fn augmenter() -> NoiseAugmenter {
+        let rows: Vec<[f64; POLICY_INPUT_DIM]> = (0..50)
+            .map(|i| {
+                let mut r = [0.0; POLICY_INPUT_DIM];
+                r[feature::ZONE_TEMPERATURE] = 19.0 + (i % 6) as f64;
+                r[feature::OUTDOOR_TEMPERATURE] = -2.0;
+                r[feature::RELATIVE_HUMIDITY] = 60.0;
+                r
+            })
+            .collect();
+        NoiseAugmenter::fit(rows, 0.05).unwrap()
+    }
+
+    #[test]
+    fn stable_system_verifies() {
+        let p = verify_criterion_1(
+            &mut Hold,
+            &Stable,
+            &augmenter(),
+            &ComfortRange::winter(),
+            500,
+            0.9,
+            0,
+        )
+        .unwrap();
+        assert!(p.verified(), "{p}");
+        assert_eq!(p.total, 500);
+    }
+
+    #[test]
+    fn runaway_system_fails() {
+        let p = verify_criterion_1(
+            &mut Hold,
+            &Runaway,
+            &augmenter(),
+            &ComfortRange::winter(),
+            200,
+            0.9,
+            0,
+        )
+        .unwrap();
+        assert_eq!(p.safe, 0);
+        assert!(!p.verified());
+    }
+
+    #[test]
+    fn bootstrap_agrees_with_one_step_on_stable_system() {
+        let comfort = ComfortRange::winter();
+        let one = verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 400, 0.9, 1)
+            .unwrap();
+        let boot = verify_criterion_1_bootstrap(
+            &mut Hold,
+            &Stable,
+            &augmenter(),
+            &comfort,
+            400,
+            20,
+            0.9,
+            1,
+        )
+        .unwrap();
+        // The paper's equivalence: both classify the stable system as
+        // safe (the one-step estimate cannot be *lower* in the limit for
+        // a contraction like Stable).
+        assert!(one.verified());
+        assert!(boot.verified());
+        assert!((one.probability() - boot.probability()).abs() < 0.1);
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let comfort = ComfortRange::winter();
+        assert!(matches!(
+            verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 0, 0.9, 0),
+            Err(VerifyError::ZeroSamples)
+        ));
+        assert!(matches!(
+            verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 10, 1.0, 0),
+            Err(VerifyError::BadThreshold { .. })
+        ));
+        assert!(matches!(
+            verify_criterion_1_bootstrap(
+                &mut Hold, &Stable, &augmenter(), &comfort, 10, 0, 0.9, 0
+            ),
+            Err(VerifyError::ZeroHorizon)
+        ));
+    }
+
+    #[test]
+    fn verification_is_seeded() {
+        let comfort = ComfortRange::winter();
+        let a = verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 100, 0.9, 5)
+            .unwrap();
+        let b = verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 100, 0.9, 5)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn safe_starts_are_in_range() {
+        let mut rng = seeded_rng(0);
+        let comfort = ComfortRange::winter();
+        for _ in 0..200 {
+            let obs = sample_safe_start(&augmenter(), &comfort, &mut rng);
+            assert!(comfort.contains(obs.zone_temperature));
+        }
+    }
+
+    #[test]
+    fn wilson_interval_brackets_point_estimate() {
+        let p = SafeProbability {
+            safe: 95,
+            total: 100,
+            threshold: 0.9,
+        };
+        let (lo, hi) = p.wilson_interval(1.96);
+        assert!(lo < 0.95 && 0.95 < hi);
+        assert!(lo > 0.85 && hi < 1.0);
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_samples() {
+        let small = SafeProbability {
+            safe: 95,
+            total: 100,
+            threshold: 0.9,
+        };
+        let large = SafeProbability {
+            safe: 9500,
+            total: 10_000,
+            threshold: 0.9,
+        };
+        let width = |p: &SafeProbability| {
+            let (lo, hi) = p.wilson_interval(1.96);
+            hi - lo
+        };
+        assert!(width(&large) < width(&small) / 2.0);
+    }
+
+    #[test]
+    fn conservative_verification_is_stricter() {
+        // 92/100 safe clears l=0.9 on the point estimate but not on the
+        // 95% Wilson lower bound.
+        let p = SafeProbability {
+            safe: 92,
+            total: 100,
+            threshold: 0.9,
+        };
+        assert!(p.verified());
+        assert!(!p.verified_conservative(1.96));
+        // With 10k samples at the same rate, both agree.
+        let p = SafeProbability {
+            safe: 9200,
+            total: 10_000,
+            threshold: 0.9,
+        };
+        assert!(p.verified());
+        assert!(p.verified_conservative(1.96));
+    }
+
+    #[test]
+    fn wilson_degenerate_cases() {
+        let empty = SafeProbability {
+            safe: 0,
+            total: 0,
+            threshold: 0.9,
+        };
+        assert_eq!(empty.wilson_interval(1.96), (0.0, 1.0));
+        let all = SafeProbability {
+            safe: 50,
+            total: 50,
+            threshold: 0.9,
+        };
+        let (lo, hi) = all.wilson_interval(1.96);
+        assert!(lo > 0.9 && (hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "z must be finite")]
+    fn wilson_rejects_negative_z() {
+        let p = SafeProbability {
+            safe: 1,
+            total: 2,
+            threshold: 0.5,
+        };
+        let _ = p.wilson_interval(-1.0);
+    }
+
+    #[test]
+    fn display_formats_percentage() {
+        let p = SafeProbability {
+            safe: 95,
+            total: 100,
+            threshold: 0.9,
+        };
+        assert!(p.to_string().contains("95.0%"));
+    }
+
+    #[test]
+    fn empty_probability_is_zero() {
+        let p = SafeProbability {
+            safe: 0,
+            total: 0,
+            threshold: 0.9,
+        };
+        assert_eq!(p.probability(), 0.0);
+        assert!(!p.verified());
+    }
+}

@@ -1,0 +1,182 @@
+//! Forward reachability tubes (Eq. 3).
+//!
+//! `R⁺(s₀)|π^H` is the set of states reachable within `H` steps under
+//! policy `π`. With a deterministic policy and a point-estimate dynamics
+//! model, one start state yields one trajectory; the *tube* is the
+//! Monte-Carlo union over sampled disturbance scenarios. The tube's
+//! interval hull gives a quick visual/numeric safety summary
+//! ("does the tube stay inside the comfort range?").
+
+use crate::error::VerifyError;
+use hvac_control::Predictor;
+use hvac_env::{ComfortRange, Observation, Policy};
+use hvac_extract::NoiseAugmenter;
+use hvac_stats::seeded_rng;
+
+/// A forward reachability tube: per-step min/max over sampled
+/// trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachabilityTube {
+    /// Per-step lower envelope of the zone temperature, °C.
+    pub lower: Vec<f64>,
+    /// Per-step upper envelope, °C.
+    pub upper: Vec<f64>,
+}
+
+impl ReachabilityTube {
+    /// Horizon length.
+    pub fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Whether the tube is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lower.is_empty()
+    }
+
+    /// Whether the whole tube stays within the comfort range — i.e. all
+    /// states in `R⁺` are safe.
+    pub fn within(&self, comfort: &ComfortRange) -> bool {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .all(|(&lo, &hi)| comfort.contains(lo) && comfort.contains(hi))
+    }
+}
+
+/// Builds the Monte-Carlo reachability tube from `start` under `policy`
+/// and `predictor`, sampling disturbance scenarios from the augmented
+/// distribution (the zone temperature of each sampled scenario is
+/// overridden by the rolled-out state).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::ZeroSamples`] / [`VerifyError::ZeroHorizon`]
+/// for degenerate parameters.
+pub fn reachability_tube<Pol, Pred>(
+    policy: &mut Pol,
+    predictor: &Pred,
+    augmenter: &NoiseAugmenter,
+    start: &Observation,
+    horizon: usize,
+    scenarios: usize,
+    seed: u64,
+) -> Result<ReachabilityTube, VerifyError>
+where
+    Pol: Policy,
+    Pred: Predictor,
+{
+    if scenarios == 0 {
+        return Err(VerifyError::ZeroSamples);
+    }
+    if horizon == 0 {
+        return Err(VerifyError::ZeroHorizon);
+    }
+    let mut rng = seeded_rng(seed);
+    let mut lower = vec![f64::INFINITY; horizon];
+    let mut upper = vec![f64::NEG_INFINITY; horizon];
+
+    for _ in 0..scenarios {
+        // Disturbance scenario: a fresh draw per rollout, held constant
+        // over the horizon (persistence), like the planner's forecast.
+        let scenario = augmenter.sample_observation(&mut rng);
+        let mut obs = *start;
+        obs.disturbances = scenario.disturbances;
+        for step in 0..horizon {
+            let action = policy.decide(&obs);
+            let next = predictor.predict_next(&obs, action);
+            lower[step] = lower[step].min(next);
+            upper[step] = upper[step].max(next);
+            obs.zone_temperature = next;
+        }
+    }
+    Ok(ReachabilityTube { lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::space::feature;
+    use hvac_env::{SetpointAction, POLICY_INPUT_DIM};
+
+    struct Contraction;
+    impl Predictor for Contraction {
+        fn predict_next(&self, obs: &Observation, _a: SetpointAction) -> f64 {
+            obs.zone_temperature + 0.5 * (21.5 - obs.zone_temperature)
+        }
+    }
+
+    struct Hold;
+    impl Policy for Hold {
+        fn decide(&mut self, _o: &Observation) -> SetpointAction {
+            SetpointAction::new(21, 24).unwrap()
+        }
+        fn name(&self) -> &str {
+            "hold"
+        }
+    }
+
+    fn augmenter() -> NoiseAugmenter {
+        let rows: Vec<[f64; POLICY_INPUT_DIM]> = (0..20)
+            .map(|i| {
+                let mut r = [0.0; POLICY_INPUT_DIM];
+                r[feature::ZONE_TEMPERATURE] = 21.0;
+                r[feature::OUTDOOR_TEMPERATURE] = -5.0 + i as f64 * 0.5;
+                r
+            })
+            .collect();
+        NoiseAugmenter::fit(rows, 0.1).unwrap()
+    }
+
+    #[test]
+    fn tube_contracts_to_fixed_point() {
+        let start = Observation::new(21.0, Default::default());
+        let tube = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 20, 30, 0)
+            .unwrap();
+        assert_eq!(tube.len(), 20);
+        assert!((tube.lower[19] - 21.5).abs() < 0.01);
+        assert!((tube.upper[19] - 21.5).abs() < 0.01);
+        assert!(tube.within(&ComfortRange::winter()));
+    }
+
+    #[test]
+    fn tube_detects_unsafe_start_transient() {
+        let start = Observation::new(15.0, Default::default());
+        let tube = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 5, 10, 0)
+            .unwrap();
+        assert!(!tube.within(&ComfortRange::winter()));
+    }
+
+    #[test]
+    fn envelopes_ordered() {
+        let start = Observation::new(21.0, Default::default());
+        let tube = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 10, 25, 3)
+            .unwrap();
+        for (lo, hi) in tube.lower.iter().zip(&tube.upper) {
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        let start = Observation::new(21.0, Default::default());
+        assert!(matches!(
+            reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 0, 10, 0),
+            Err(VerifyError::ZeroHorizon)
+        ));
+        assert!(matches!(
+            reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 10, 0, 0),
+            Err(VerifyError::ZeroSamples)
+        ));
+    }
+
+    #[test]
+    fn seeded_tubes_reproduce() {
+        let start = Observation::new(21.0, Default::default());
+        let a = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 8, 12, 9)
+            .unwrap();
+        let b = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 8, 12, 9)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! The combined verify-and-correct pass and its report (Table 2).
+
+use crate::error::VerifyError;
+use crate::path::{correct_leaf, verify_paths, CorrectionStrategy, PathVerification};
+use crate::probabilistic::{verify_criterion_1, SafeProbability};
+use hvac_control::{DtPolicy, Predictor};
+use hvac_env::ComfortRange;
+use hvac_extract::NoiseAugmenter;
+
+/// Settings for the full verification pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerificationConfig {
+    /// Comfort range defining the safe set.
+    pub comfort: ComfortRange,
+    /// Monte-Carlo samples for criterion #1.
+    pub samples: usize,
+    /// The building manager's probability threshold `l`.
+    pub threshold: f64,
+    /// Seed for the probabilistic stage.
+    pub seed: u64,
+    /// How failed leaves are repaired.
+    pub correction: CorrectionStrategy,
+}
+
+impl VerificationConfig {
+    /// Reference settings: winter comfort, 2000 samples, `l = 0.9`.
+    pub fn paper() -> Self {
+        Self {
+            comfort: ComfortRange::winter(),
+            samples: 2000,
+            threshold: 0.9,
+            seed: 0,
+            correction: CorrectionStrategy::default(),
+        }
+    }
+}
+
+impl Default for VerificationConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The verification summary the paper reports per city in Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// Total number of tree nodes.
+    pub total_nodes: usize,
+    /// Number of leaf nodes (unique paths).
+    pub leaf_nodes: usize,
+    /// Criterion-#1 result (estimated on the corrected tree).
+    pub criterion_1: SafeProbability,
+    /// Leaves corrected because of criterion #2.
+    pub corrected_criterion_2: usize,
+    /// Leaves corrected because of criterion #3.
+    pub corrected_criterion_3: usize,
+}
+
+impl VerificationReport {
+    /// Whether the corrected policy satisfies all of Eq. 4.
+    pub fn verified(&self) -> bool {
+        self.criterion_1.verified()
+    }
+}
+
+impl std::fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Total No. of nodes                      {}", self.total_nodes)?;
+        writeln!(f, "No. of leaf nodes (unique path)         {}", self.leaf_nodes)?;
+        writeln!(
+            f,
+            "Safe probability estimated by crit. #1  {:.1}%",
+            100.0 * self.criterion_1.probability()
+        )?;
+        writeln!(
+            f,
+            "No. of nodes corrected by crit. #2      {}",
+            self.corrected_criterion_2
+        )?;
+        write!(
+            f,
+            "No. of nodes corrected by crit. #3      {}",
+            self.corrected_criterion_3
+        )
+    }
+}
+
+/// Runs the full offline verification procedure of Section 3.3:
+///
+/// 1. Algorithm 1 detects criterion-#2/#3 violations and corrects the
+///    failing leaves in place (comfort-median action).
+/// 2. Criterion #1 is estimated on the corrected policy by the one-step
+///    Monte-Carlo method.
+///
+/// # Errors
+///
+/// Propagates parameter and tree errors from the two stages.
+pub fn verify_and_correct<Pred: Predictor>(
+    policy: &mut DtPolicy,
+    predictor: &Pred,
+    augmenter: &NoiseAugmenter,
+    config: &VerificationConfig,
+) -> Result<VerificationReport, VerifyError> {
+    let path_result: PathVerification = verify_paths(policy, &config.comfort)?;
+    let corrected_2 = path_result.criterion_2_count();
+    let corrected_3 = path_result.criterion_3_count();
+    for (leaf, too_warm, too_cold, _) in path_result.merged_by_leaf() {
+        correct_leaf(
+            policy,
+            leaf,
+            too_warm,
+            too_cold,
+            &config.comfort,
+            config.correction,
+        )?;
+    }
+
+    // Corrections (and zero-gain CART splits) can leave sibling leaves
+    // with identical actions; collapse them so the reported/deployed
+    // tree is minimal. Behavior-preserving (see DecisionTree::simplify).
+    policy.tree_mut().simplify();
+
+    let criterion_1 = verify_criterion_1(
+        policy,
+        predictor,
+        augmenter,
+        &config.comfort,
+        config.samples,
+        config.threshold,
+        config.seed,
+    )?;
+
+    Ok(VerificationReport {
+        total_nodes: policy.tree().node_count(),
+        leaf_nodes: policy.tree().leaf_count(),
+        criterion_1,
+        corrected_criterion_2: corrected_2,
+        corrected_criterion_3: corrected_3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_dtree::{DecisionTree, TreeConfig};
+    use hvac_env::space::feature;
+    use hvac_env::{ActionSpace, Observation, SetpointAction, POLICY_INPUT_DIM};
+
+    struct Stable;
+    impl Predictor for Stable {
+        fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
+            let target = f64::from(action.heating()).clamp(20.5, 23.0);
+            obs.zone_temperature + 0.6 * (target - obs.zone_temperature)
+        }
+    }
+
+    fn augmenter() -> NoiseAugmenter {
+        let rows: Vec<[f64; POLICY_INPUT_DIM]> = (0..40)
+            .map(|i| {
+                let mut r = [0.0; POLICY_INPUT_DIM];
+                r[feature::ZONE_TEMPERATURE] = 18.0 + (i % 8) as f64;
+                r[feature::OUTDOOR_TEMPERATURE] = -3.0;
+                r[feature::RELATIVE_HUMIDITY] = 60.0;
+                r
+            })
+            .collect();
+        NoiseAugmenter::fit(rows, 0.05).unwrap()
+    }
+
+    /// A policy with deliberate #2/#3 violations (cold → off, hot → no
+    /// cooling).
+    fn bad_policy() -> DtPolicy {
+        let space = ActionSpace::new();
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let temp = 12.0 + i as f64 * 0.3;
+            let mut row = [0.0; POLICY_INPUT_DIM];
+            row[feature::ZONE_TEMPERATURE] = temp;
+            inputs.push(row.to_vec());
+            let action = if temp < 20.0 {
+                SetpointAction::off() // lazy heating → #3 violation
+            } else if temp > 23.5 {
+                SetpointAction::new(15, 30).unwrap() // lazy cooling → #2
+            } else {
+                SetpointAction::new(21, 23).unwrap()
+            };
+            labels.push(space.index_of(action));
+        }
+        let tree =
+            DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
+        DtPolicy::new(tree).unwrap()
+    }
+
+    #[test]
+    fn full_pass_corrects_and_verifies() {
+        let mut policy = bad_policy();
+        let config = VerificationConfig {
+            samples: 500,
+            ..VerificationConfig::paper()
+        };
+        let report = verify_and_correct(&mut policy, &Stable, &augmenter(), &config).unwrap();
+        assert!(report.corrected_criterion_2 > 0 || report.corrected_criterion_3 > 0);
+        // After correction, re-running Algorithm 1 finds nothing.
+        let recheck = verify_paths(&policy, &config.comfort).unwrap();
+        assert!(recheck.passed());
+        // Stable contraction dynamics keep safe starts safe.
+        assert!(report.verified(), "{report}");
+    }
+
+    #[test]
+    fn report_counts_match_tree() {
+        let mut policy = bad_policy();
+        let config = VerificationConfig {
+            samples: 100,
+            ..VerificationConfig::paper()
+        };
+        let report = verify_and_correct(&mut policy, &Stable, &augmenter(), &config).unwrap();
+        assert_eq!(report.total_nodes, policy.tree().node_count());
+        assert_eq!(report.leaf_nodes, policy.tree().leaf_count());
+    }
+
+    #[test]
+    fn display_has_table2_rows() {
+        let mut policy = bad_policy();
+        let config = VerificationConfig {
+            samples: 100,
+            ..VerificationConfig::paper()
+        };
+        let report = verify_and_correct(&mut policy, &Stable, &augmenter(), &config).unwrap();
+        let s = report.to_string();
+        assert!(s.contains("Total No. of nodes"));
+        assert!(s.contains("crit. #1"));
+        assert!(s.contains("crit. #2"));
+        assert!(s.contains("crit. #3"));
+    }
+
+    #[test]
+    fn idempotent_on_safe_policy() {
+        let mut policy = bad_policy();
+        let config = VerificationConfig {
+            samples: 100,
+            ..VerificationConfig::paper()
+        };
+        let _ = verify_and_correct(&mut policy, &Stable, &augmenter(), &config).unwrap();
+        let second = verify_and_correct(&mut policy, &Stable, &augmenter(), &config).unwrap();
+        assert_eq!(second.corrected_criterion_2, 0);
+        assert_eq!(second.corrected_criterion_3, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Energy audit: per-step trace export and reachability analysis of a
+//! deployed policy.
+//!
+//! ```sh
+//! cargo run --release --example energy_audit
+//! ```
+//!
+//! Extracts a verified policy, deploys it for a simulated week, writes
+//! the full per-step trace to `target/audit_trace.csv` (ready for any
+//! plotting tool), prints a daily energy/comfort digest, and finishes
+//! with a forward reachability tube (paper Eq. 3) showing the envelope
+//! of zone temperatures the policy can reach from the current state.
+
+use veri_hvac::env::{run_episode, EnvConfig, HvacEnv};
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
+use veri_hvac::stats::OnlineStats;
+use veri_hvac::verify::reachability_tube;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Energy audit: deployed DT policy, one simulated week ===\n");
+    let artifacts = run_pipeline(&PipelineConfig::reduced(EnvConfig::pittsburgh()))?;
+    let mut policy = artifacts.policy.clone();
+
+    let mut env = HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(7 * 96))?;
+    let record = run_episode(&mut env, &mut policy)?;
+
+    // Full trace to CSV.
+    std::fs::create_dir_all("target")?;
+    let path = "target/audit_trace.csv";
+    std::fs::write(path, record.to_csv())?;
+    println!("wrote per-step trace to {path} ({} rows)\n", record.steps.len());
+
+    // Daily digest.
+    println!("day  energy_kwh  zone_kwh  min_T  max_T  violations");
+    for day in 0..7 {
+        let steps = &record.steps[day * 96..(day + 1) * 96];
+        let energy: f64 = steps.iter().map(|s| s.electric_energy_kwh).sum();
+        let zone: f64 = steps.iter().map(|s| s.zone_electric_energy_kwh).sum();
+        let temps: OnlineStats = steps.iter().map(|s| s.post_zone_temperature).collect();
+        let violations = steps
+            .iter()
+            .filter(|s| s.occupied && s.comfort_violation_degrees > 0.0)
+            .count();
+        println!(
+            "{day:>3}  {energy:>10.1}  {zone:>8.1}  {:>5.1}  {:>5.1}  {violations:>10}",
+            temps.min(),
+            temps.max(),
+        );
+    }
+    println!("\n{}", record.metrics);
+
+    // Reachability tube from the episode's final state (Eq. 3):
+    // where can the policy take the zone in the next 5 hours, over the
+    // climate's disturbance scenarios?
+    let last = record.steps.last().expect("nonempty episode");
+    let start = last.observation;
+    let tube = reachability_tube(
+        &mut policy,
+        &artifacts.model,
+        &artifacts.augmenter,
+        &start,
+        20,  // H = 20 steps (5 h)
+        200, // disturbance scenarios
+        0,
+    )?;
+    println!("\n-- forward reachability tube from the final state ({:.1} °C) --", start.zone_temperature);
+    println!("step  lower_C  upper_C");
+    for (k, (lo, hi)) in tube.lower.iter().zip(&tube.upper).enumerate().step_by(4) {
+        println!("{k:>4}  {lo:>7.2}  {hi:>7.2}");
+    }
+    let comfort = veri_hvac::env::ComfortRange::winter();
+    println!(
+        "tube stays within the winter comfort range {}: {}",
+        comfort,
+        tube.within(&comfort)
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: run the paper's whole procedure on a reduced setting.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Collects historical data from the simulated Pittsburgh building,
+//! trains the black-box dynamics model, distills the stochastic MBRL
+//! controller into a decision tree, verifies/corrects the tree, and
+//! deploys it for a simulated week — printing the interpretable policy
+//! and the verification report along the way.
+
+use veri_hvac::env::{run_episode, EnvConfig, HvacEnv};
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig, PipelineError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Veri-HVAC quickstart (reduced scale) ===\n");
+
+    // 1. Extract + verify a decision-tree policy for Pittsburgh.
+    let config = PipelineConfig::reduced(EnvConfig::pittsburgh());
+    println!("running pipeline (collect → train → distill → fit → verify)…");
+    let artifacts = run_pipeline(&config).map_err(|e: PipelineError| Box::new(e) as _)
+        .map_err(|e: Box<dyn std::error::Error>| e)?;
+
+    println!("\n-- dynamics model --");
+    println!(
+        "transitions: {}   validation RMSE: {:.3} °C",
+        artifacts.historical.len(),
+        artifacts.model.validation_rmse()
+    );
+
+    println!("\n-- verification report (paper Table 2 format) --");
+    println!("{}", artifacts.report);
+
+    println!("\n-- extracted decision tree (first 30 lines) --");
+    let text = artifacts.policy.to_text();
+    for line in text.lines().take(30) {
+        println!("{line}");
+    }
+    let total_lines = text.lines().count();
+    if total_lines > 30 {
+        println!("… ({} more lines)", total_lines - 30);
+    }
+
+    // 2. Deploy the verified policy for one simulated week.
+    println!("\n-- deployment: one simulated January week --");
+    let mut policy = artifacts.policy;
+    let mut env = HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(7 * 96))?;
+    let record = run_episode(&mut env, &mut policy)?;
+    println!("policy: {}", record.policy_name);
+    println!("{}", record.metrics);
+    println!(
+        "comfort rate: {:.1}%   performance index: {:.2}",
+        100.0 * record.metrics.comfort_rate(),
+        record.metrics.performance_index()
+    );
+
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Two-city controller comparison — a reduced-scale preview of the
+//! paper's Fig. 4 evaluation.
+//!
+//! ```sh
+//! cargo run --release --example two_city_comparison
+//! ```
+//!
+//! For Pittsburgh (cold 4A) and Tucson (mild 2B), runs the default
+//! rule-based controller, the random-shooting MBRL baseline, and the
+//! extracted+verified decision-tree policy over one simulated week, and
+//! tabulates energy versus comfort. (The full-month, full-sample
+//! version lives in the benchmark harness: `fig4_building_control`.)
+
+use veri_hvac::control::{RandomShootingConfig, RandomShootingController, RuleBasedController};
+use veri_hvac::env::{run_episode, EnvConfig, EpisodeMetrics, HvacEnv, Policy};
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
+
+const WEEK: usize = 7 * 96;
+
+fn evaluate<P: Policy>(env_config: &EnvConfig, policy: &mut P) -> Result<EpisodeMetrics, Box<dyn std::error::Error>> {
+    let mut env = HvacEnv::new(env_config.clone().with_episode_steps(WEEK))?;
+    Ok(run_episode(&mut env, policy)?.metrics)
+}
+
+fn report(name: &str, m: &EpisodeMetrics) {
+    println!(
+        "  {name:<10}  energy {:>7.1} kWh   zone {:>6.1} kWh   violations {:>5.1}%   reward {:>9.1}",
+        m.total_electric_kwh,
+        m.zone_electric_kwh,
+        100.0 * m.violation_rate(),
+        m.total_reward,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (city, env_config) in [
+        ("Pittsburgh (4A)", EnvConfig::pittsburgh()),
+        ("Tucson (2B)", EnvConfig::tucson()),
+    ] {
+        println!("=== {city} — one simulated January week ===");
+
+        // Extract the verified DT policy (and reuse its trained model
+        // for the MBRL baseline, like the paper does).
+        let artifacts = run_pipeline(&PipelineConfig::reduced(env_config.clone()))?;
+
+        let mut default_ctl = RuleBasedController::new(*HvacEnv::new(env_config.clone())?.comfort());
+        report("default", &evaluate(&env_config, &mut default_ctl)?);
+
+        let rs_config = RandomShootingConfig {
+            samples: 200, // reduced from the paper's 1000 for example speed
+            ..RandomShootingConfig::paper()
+        };
+        let mut mbrl =
+            RandomShootingController::new(artifacts.model.clone(), rs_config, 1)?;
+        report("mbrl-rs", &evaluate(&env_config, &mut mbrl)?);
+
+        let mut dt = artifacts.policy;
+        report("dt (ours)", &evaluate(&env_config, &mut dt)?);
+
+        println!();
+    }
+    println!("(full-month reproduction with paper-scale sampling: `cargo run --release -p hvac-bench --bin fig4_building_control`)");
+    Ok(())
+}

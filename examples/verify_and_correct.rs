@@ -1,0 +1,80 @@
+//! Verification walkthrough: catch an unsafe tree and fix it.
+//!
+//! ```sh
+//! cargo run --release --example verify_and_correct
+//! ```
+//!
+//! Builds a deliberately unsafe decision-tree policy (it refuses to heat
+//! freezing zones), then runs the paper's offline verification:
+//! Algorithm 1 finds the failing leaves via their decision-path boxes
+//! and corrects them in place; the probabilistic criterion #1 then
+//! bounds the violation probability of the corrected policy.
+
+use veri_hvac::control::DtPolicy;
+use veri_hvac::dtree::{DecisionTree, TreeConfig};
+use veri_hvac::env::space::feature;
+use veri_hvac::env::{ActionSpace, ComfortRange, Observation, Policy, SetpointAction, POLICY_INPUT_DIM};
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
+use veri_hvac::env::EnvConfig;
+use veri_hvac::verify::{verify_and_correct, verify_paths, VerificationConfig};
+
+/// An unsafe hand-made policy: never heats, whatever the temperature.
+fn unsafe_policy() -> Result<DtPolicy, Box<dyn std::error::Error>> {
+    let space = ActionSpace::new();
+    let lazy = space.index_of(SetpointAction::off());
+    let cool = space.index_of(SetpointAction::new(15, 22)?);
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..40 {
+        let temp = 12.0 + f64::from(i) * 0.5;
+        let mut row = [0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = temp;
+        inputs.push(row.to_vec());
+        labels.push(if temp > 24.0 { cool } else { lazy });
+    }
+    let tree = DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default())?;
+    Ok(DtPolicy::new(tree)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let comfort = ComfortRange::winter();
+    let mut policy = unsafe_policy()?;
+
+    println!("=== step 1: formal check (Algorithm 1) on the unsafe policy ===");
+    let check = verify_paths(&policy, &comfort)?;
+    println!(
+        "leaves checked: {}   criterion #2 violations: {}   criterion #3 violations: {}",
+        check.leaves_checked,
+        check.criterion_2_count(),
+        check.criterion_3_count()
+    );
+    for v in check.violations.iter().take(5) {
+        println!("  leaf {:?} violates {:?} with action {}", v.leaf.node_id(), v.criterion, v.action);
+    }
+
+    // Before correction: a freezing zone gets no heating.
+    let freezing = Observation::new(14.0, Default::default());
+    println!("\nbefore correction, at 14.0 °C the policy commands: {}", policy.decide(&freezing));
+
+    println!("\n=== step 2: full verify-and-correct pass ===");
+    // Criterion #1 needs a dynamics model and an input distribution;
+    // borrow them from a quick pipeline run.
+    let artifacts = run_pipeline(&PipelineConfig::reduced(EnvConfig::pittsburgh()))?;
+    let config = VerificationConfig {
+        samples: 1000,
+        ..VerificationConfig::paper()
+    };
+    let report = verify_and_correct(&mut policy, &artifacts.model, &artifacts.augmenter, &config)?;
+    println!("{report}");
+
+    println!("\nafter correction, at 14.0 °C the policy commands: {}", policy.decide(&freezing));
+
+    println!("\n=== step 3: re-run Algorithm 1 on the corrected policy ===");
+    let recheck = verify_paths(&policy, &comfort)?;
+    println!(
+        "violations remaining: {} (passed = {})",
+        recheck.violations.len(),
+        recheck.passed()
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace-level package hosting the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! The library surface lives in the [`veri_hvac`] umbrella crate; this
+//! package only re-exports it so examples and tests have a single
+//! import root.
+
+pub use veri_hvac::*;

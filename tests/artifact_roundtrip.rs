@@ -1,0 +1,99 @@
+//! Integration tests for the deployment artifacts: a policy and model
+//! extracted by the pipeline must survive text serialization and behave
+//! identically afterwards — the contract behind the `veri_hvac` CLI and
+//! the paper's "deploy to the building edge device" step.
+
+use veri_hvac::control::DtPolicy;
+use veri_hvac::dynamics::DynamicsModel;
+use veri_hvac::env::{run_episode, EnvConfig, HvacEnv, Policy, SetpointAction};
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
+use veri_hvac::sim::weather_io::{weather_from_csv, weather_to_csv};
+use veri_hvac::sim::{ClimatePreset, SimClock, WeatherGenerator};
+
+fn artifacts() -> veri_hvac::pipeline::PipelineArtifacts {
+    run_pipeline(&PipelineConfig::quick(EnvConfig::pittsburgh())).unwrap()
+}
+
+#[test]
+fn policy_roundtrips_through_text_with_identical_behavior() {
+    let a = artifacts();
+    let text = a.policy.to_compact_string();
+    let mut restored = DtPolicy::from_compact_string(&text).unwrap();
+    let mut original = a.policy.clone();
+
+    // Identical decisions over a whole deployment episode.
+    let run = |policy: &mut DtPolicy| {
+        let mut env = HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(96)).unwrap();
+        run_episode(&mut env, policy).unwrap().actions()
+    };
+    assert_eq!(run(&mut original), run(&mut restored));
+}
+
+#[test]
+fn model_roundtrips_through_text_with_identical_predictions() {
+    let a = artifacts();
+    let text = a.model.to_compact_string();
+    let restored = DynamicsModel::from_compact_string(&text).unwrap();
+    for t in a.historical.iter().take(50) {
+        assert_eq!(
+            a.model.predict_next_temperature(&t.observation, t.action),
+            restored.predict_next_temperature(&t.observation, t.action),
+        );
+    }
+}
+
+#[test]
+fn corrupted_policy_artifacts_are_rejected() {
+    let a = artifacts();
+    let text = a.policy.to_compact_string();
+    // Flip the class count header: dimension validation must fire.
+    let corrupted = text.replace("classes 90", "classes 10");
+    assert!(DtPolicy::from_compact_string(&corrupted).is_err());
+    // Truncate the body.
+    let truncated: String = text.lines().take(6).collect::<Vec<_>>().join("\n");
+    assert!(DtPolicy::from_compact_string(&truncated).is_err());
+}
+
+#[test]
+fn weather_trace_roundtrips_and_replays_identically() {
+    let mut generator = WeatherGenerator::new(ClimatePreset::tucson_2b(), 17);
+    let trace = generator.trace(&SimClock::january(), 97);
+    let restored = weather_from_csv(&weather_to_csv(&trace)).unwrap();
+    assert_eq!(trace, restored);
+
+    // Replaying the restored trace yields a bitwise-identical episode.
+    let run = |trace: Vec<veri_hvac::sim::WeatherSample>| {
+        let mut env = HvacEnv::with_weather_trace(
+            EnvConfig::tucson().with_episode_steps(96),
+            trace,
+        )
+        .unwrap();
+        let mut obs = env.reset();
+        let mut temps = Vec::new();
+        for _ in 0..96 {
+            let out = env.step(SetpointAction::new(20, 26).unwrap()).unwrap();
+            obs = out.observation;
+            temps.push(obs.zone_temperature);
+        }
+        temps
+    };
+    assert_eq!(run(trace), run(restored));
+}
+
+#[test]
+fn verified_policy_text_artifact_still_passes_algorithm_1() {
+    use veri_hvac::env::ComfortRange;
+    use veri_hvac::verify::verify_paths;
+    let a = artifacts();
+    let restored = DtPolicy::from_compact_string(&a.policy.to_compact_string()).unwrap();
+    let check = verify_paths(&restored, &ComfortRange::winter()).unwrap();
+    assert!(check.passed(), "violations resurfaced after roundtrip: {:?}", check.violations);
+}
+
+#[test]
+fn deterministic_policy_flag_survives_roundtrip() {
+    let a = artifacts();
+    let restored = DtPolicy::from_compact_string(&a.policy.to_compact_string()).unwrap();
+    assert!(restored.is_deterministic());
+    assert_eq!(restored.name(), "dt");
+}
