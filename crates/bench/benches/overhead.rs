@@ -12,11 +12,10 @@ use veri_hvac::control::{
 };
 use veri_hvac::dtree::TreeConfig;
 use veri_hvac::dynamics::{DynamicsModel, ModelConfig, TransitionDataset};
-use veri_hvac::env::{
-    ComfortRange, Disturbances, Observation, Policy, SetpointAction, Transition,
+use veri_hvac::env::{ComfortRange, Disturbances, Observation, Policy, SetpointAction, Transition};
+use veri_hvac::extract::{
+    fit_decision_tree, generate_decision_dataset, ExtractionConfig, NoiseAugmenter,
 };
-use veri_hvac::extract::{fit_decision_tree, generate_decision_dataset, ExtractionConfig,
-    NoiseAugmenter};
 use veri_hvac::nn::TrainConfig;
 
 /// A synthetic but realistic training corpus (keeps bench setup fast
@@ -148,5 +147,40 @@ fn bench_decisions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decisions);
+/// Guards the telemetry crate's overhead contract: with the default
+/// `NullSink`, an instrumented call site must cost no more than a few
+/// relaxed atomic operations. The `dt_policy` benchmark above exercises
+/// the instrumented planner end-to-end; these isolate the primitives.
+fn bench_disabled_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_disabled");
+
+    // Baseline: the cheapest observable operation.
+    let mut x = 0u64;
+    group.bench_function("baseline_wrapping_add", |b| {
+        b.iter(|| {
+            x = black_box(x).wrapping_add(1);
+            black_box(x)
+        })
+    });
+
+    // A cached counter handle: one relaxed fetch_add per call.
+    let counter = hvac_telemetry::counter("bench.disabled.counter");
+    group.bench_function("counter_incr", |b| b.iter(|| black_box(counter).incr()));
+
+    // A full span enter/close pair against the NullSink: two clock
+    // reads, a thread-local push/pop, and two counter adds.
+    group.bench_function("span_enter_close", |b| {
+        b.iter(|| hvac_telemetry::Span::enter(black_box("bench.disabled.span")).close())
+    });
+
+    // A level-gated message that the NullSink drops: must short-circuit
+    // before formatting.
+    group.bench_function("debug_message_dropped", |b| {
+        b.iter(|| hvac_telemetry::debug!("never formatted: {}", black_box(42)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions, bench_disabled_telemetry);
 criterion_main!(benches);

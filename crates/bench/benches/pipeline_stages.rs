@@ -96,7 +96,9 @@ fn bench_tree(c: &mut Criterion) {
 
     let policy = DtPolicy::new(tree).expect("policy");
     group.bench_function("algorithm1_verify_paths", |b| {
-        b.iter(|| black_box(verify_paths(black_box(&policy), &ComfortRange::winter()).expect("verify")))
+        b.iter(|| {
+            black_box(verify_paths(black_box(&policy), &ComfortRange::winter()).expect("verify"))
+        })
     });
     group.finish();
 }

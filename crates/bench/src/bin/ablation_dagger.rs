@@ -10,6 +10,7 @@
 //! ```
 
 use hvac_bench::{fmt, parse_options, pipeline_config, City, Table};
+use hvac_telemetry::info;
 use veri_hvac::control::RandomShootingController;
 use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
 use veri_hvac::env::{run_episode, HvacEnv};
@@ -25,7 +26,7 @@ fn main() {
     let config = pipeline_config(city, options.scale);
     let eval_steps = options.scale.episode_steps();
 
-    eprintln!("[harness] building teacher for {}…", city.name());
+    info!("[harness] building teacher for {}…", city.name());
     let historical =
         collect_historical_dataset(&config.env, config.historical_episodes, config.seed)
             .expect("collect");
@@ -72,8 +73,7 @@ fn main() {
         )
         .expect("verify");
         let nodes = policy.tree().node_count();
-        let mut env =
-            HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
+        let mut env = HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
         let m = run_episode(&mut env, &mut policy).expect("episode").metrics;
         table.push_row(vec![
             "one-shot (paper)".into(),
@@ -96,9 +96,9 @@ fn main() {
             rollout_steps: 2 * 96,
             labels_per_round,
         };
-        let outcome = extract_with_dagger(&mut teacher, &augmenter, &config.env, &dagger)
-            .expect("dagger");
-        eprintln!(
+        let outcome =
+            extract_with_dagger(&mut teacher, &augmenter, &config.env, &dagger).expect("dagger");
+        info!(
             "[harness] dagger dataset growth: {:?}",
             outcome.dataset_sizes
         );
@@ -114,8 +114,7 @@ fn main() {
         )
         .expect("verify");
         let nodes = policy.tree().node_count();
-        let mut env =
-            HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
+        let mut env = HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
         let m = run_episode(&mut env, &mut policy).expect("episode").metrics;
         table.push_row(vec![
             format!("dagger ({rounds} rounds)"),

@@ -11,6 +11,7 @@
 //! ```
 
 use hvac_bench::{fmt, parse_options, pipeline_config, City, Table};
+use hvac_telemetry::info;
 use veri_hvac::control::RandomShootingController;
 use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
 use veri_hvac::env::{run_episode, HvacEnv};
@@ -25,7 +26,7 @@ fn main() {
     let config = pipeline_config(city, options.scale);
     let eval_steps = options.scale.episode_steps();
 
-    eprintln!("[harness] building teacher for {}…", city.name());
+    info!("[harness] building teacher for {}…", city.name());
     let historical =
         collect_historical_dataset(&config.env, config.historical_episodes, config.seed)
             .expect("collect");
@@ -35,7 +36,13 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: distillation rule for the decision label",
-        &["distillation", "performance_index", "violation_%", "zone_kwh", "reward"],
+        &[
+            "distillation",
+            "performance_index",
+            "violation_%",
+            "zone_kwh",
+            "reward",
+        ],
     );
 
     for (name, rule) in [
@@ -62,8 +69,7 @@ fn main() {
             },
         )
         .expect("verify");
-        let mut env =
-            HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
+        let mut env = HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
         let metrics = run_episode(&mut env, &mut policy).expect("episode").metrics;
         table.push_row(vec![
             name.into(),

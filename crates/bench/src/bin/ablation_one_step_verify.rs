@@ -26,7 +26,13 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: one-step vs H-step bootstrap verification of criterion #1",
-        &["city", "method", "safe_probability_%", "wall_ms", "model_evals"],
+        &[
+            "city",
+            "method",
+            "safe_probability_%",
+            "wall_ms",
+            "model_evals",
+        ],
     );
 
     for city in City::BOTH {

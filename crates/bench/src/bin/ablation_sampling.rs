@@ -13,7 +13,7 @@
 //! ```
 
 use hvac_bench::{fmt, parse_options, pipeline_config, City, Table};
-use veri_hvac::stats::seeded_rng;
+use hvac_telemetry::info;
 use rand::Rng;
 use veri_hvac::control::RandomShootingController;
 use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
@@ -22,6 +22,7 @@ use veri_hvac::env::{run_episode, ActionSpace, HvacEnv, Observation, POLICY_INPU
 use veri_hvac::extract::{
     fit_decision_tree, generate_decision_dataset, DecisionDataset, NoiseAugmenter,
 };
+use veri_hvac::stats::seeded_rng;
 use veri_hvac::verify::{verify_and_correct, VerificationConfig};
 
 /// Generates a decision dataset from *uniform* inputs over generous
@@ -57,7 +58,7 @@ fn main() {
     let config = pipeline_config(city, options.scale);
     let eval_steps = options.scale.episode_steps();
 
-    eprintln!("[harness] building teacher for {}…", city.name());
+    info!("[harness] building teacher for {}…", city.name());
     let historical =
         collect_historical_dataset(&config.env, config.historical_episodes, config.seed)
             .expect("collect");
@@ -67,7 +68,13 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: Eq.5 importance sampling vs uniform input sampling (equal budget)",
-        &["sampling", "performance_index", "violation_%", "zone_kwh", "tree_nodes"],
+        &[
+            "sampling",
+            "performance_index",
+            "violation_%",
+            "zone_kwh",
+            "tree_nodes",
+        ],
     );
 
     for (name, importance) in [("importance (Eq.5)", true), ("uniform", false)] {
@@ -96,8 +103,7 @@ fn main() {
         )
         .expect("verify");
         let nodes = policy.tree().node_count();
-        let mut env =
-            HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
+        let mut env = HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
         let metrics = run_episode(&mut env, &mut policy).expect("episode").metrics;
         table.push_row(vec![
             name.into(),

@@ -81,10 +81,7 @@ fn main() {
         &["setpoint_C", "probability"],
     );
     for (sp, count) in &counts {
-        right.push_row(vec![
-            sp.to_string(),
-            fmt(*count as f64 / RUNS as f64, 2),
-        ]);
+        right.push_row(vec![sp.to_string(), fmt(*count as f64 / RUNS as f64, 2)]);
     }
     right.emit("fig1_right_setpoint_distribution", &options);
 

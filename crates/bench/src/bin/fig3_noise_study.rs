@@ -14,6 +14,7 @@
 //! ```
 
 use hvac_bench::{fmt, parse_options, Scale, Table};
+use hvac_telemetry::info;
 use veri_hvac::dynamics::collect_historical_dataset;
 use veri_hvac::env::space::feature;
 use veri_hvac::env::EnvConfig;
@@ -30,7 +31,7 @@ fn main() {
         Scale::Paper => 31 * 96,
     };
 
-    eprintln!("[harness] collecting historical data for Pittsburgh and New York…");
+    info!("[harness] collecting historical data for Pittsburgh and New York…");
     let pittsburgh = collect_historical_dataset(
         &EnvConfig::pittsburgh().with_episode_steps(steps),
         episodes,
@@ -72,7 +73,11 @@ fn main() {
             fmt(row.entropy_bits, 3),
             fmt(row.jsd_to_original, 4),
             fmt(row.jsd_between_cities, 4),
-            if row.acceptable() { "yes".into() } else { "no".into() },
+            if row.acceptable() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table.emit("fig3_noise_study", &options);

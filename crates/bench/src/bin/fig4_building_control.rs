@@ -13,9 +13,10 @@
 //! ```
 
 use hvac_bench::{build_artifacts, build_ensemble, fmt, parse_options, City, Table};
+use hvac_telemetry::info;
 use veri_hvac::control::{
-    ClueConfig, ClueController, PlanningConfig, RandomShootingConfig,
-    RandomShootingController, RuleBasedController,
+    ClueConfig, ClueController, PlanningConfig, RandomShootingConfig, RandomShootingController,
+    RuleBasedController,
 };
 use veri_hvac::env::{run_episode, ComfortRange, EpisodeMetrics, HvacEnv, Policy};
 
@@ -78,7 +79,7 @@ fn main() {
         )
         .expect("clue");
         let m_clue = evaluate(city, steps, &mut clue);
-        eprintln!(
+        info!(
             "[harness] {}: CLUE fallback rate {:.1}%",
             city.name(),
             100.0 * clue.fallback_rate()

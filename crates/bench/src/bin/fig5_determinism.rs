@@ -50,8 +50,7 @@ fn main() {
         // per step and average within the hour.
         let mut cross_run = OnlineStats::new();
         for step in hour * 4..(hour + 1) * 4 {
-            let per_step: OnlineStats =
-                traces.iter().map(|t| f64::from(t[step])).collect();
+            let per_step: OnlineStats = traces.iter().map(|t| f64::from(t[step])).collect();
             cross_run.push(per_step.sample_std());
         }
         total_std.push(cross_run.mean());
@@ -64,12 +63,17 @@ fn main() {
     table.emit("fig5_dt_determinism", &options);
 
     let distinct: std::collections::HashSet<&Vec<i32>> = traces.iter().collect();
-    println!("\ndistinct setpoint traces across {RUNS} runs: {}", distinct.len());
+    println!(
+        "\ndistinct setpoint traces across {RUNS} runs: {}",
+        distinct.len()
+    );
     println!("cross-run setpoint std: {:.6} °C", total_std.mean());
     assert_eq!(
         distinct.len(),
         1,
         "the decision-tree policy must be bitwise deterministic"
     );
-    println!("PASS: all {RUNS} runs produced the identical setpoint trace (paper's determinism claim)");
+    println!(
+        "PASS: all {RUNS} runs produced the identical setpoint trace (paper's determinism claim)"
+    );
 }

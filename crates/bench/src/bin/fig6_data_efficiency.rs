@@ -11,6 +11,7 @@
 //! ```
 
 use hvac_bench::{fmt, parse_options, pipeline_config, City, Scale, Table};
+use hvac_telemetry::info;
 use veri_hvac::control::RandomShootingController;
 use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
 use veri_hvac::env::{run_episode, HvacEnv};
@@ -30,12 +31,21 @@ fn main() {
 
     let mut table = Table::new(
         "Fig. 6: performance index vs. number of decision data points",
-        &["city", "n_points", "performance_index", "violation_%", "zone_kwh"],
+        &[
+            "city",
+            "n_points",
+            "performance_index",
+            "violation_%",
+            "zone_kwh",
+        ],
     );
 
     for city in City::BOTH {
         let config = pipeline_config(city, options.scale);
-        eprintln!("[harness] {}: collecting data + training model…", city.name());
+        info!(
+            "[harness] {}: collecting data + training model…",
+            city.name()
+        );
         let historical =
             collect_historical_dataset(&config.env, config.historical_episodes, config.seed)
                 .expect("collect");
@@ -45,7 +55,10 @@ fn main() {
         let mut teacher =
             RandomShootingController::new(model.clone(), config.rs, config.seed).expect("rs");
 
-        eprintln!("[harness] {}: generating {max_points} decision points…", city.name());
+        info!(
+            "[harness] {}: generating {max_points} decision points…",
+            city.name()
+        );
         let extraction = ExtractionConfig {
             n_points: max_points,
             ..config.extraction
@@ -66,8 +79,8 @@ fn main() {
                 },
             )
             .expect("verify");
-            let mut env = HvacEnv::new(city.env_config().with_episode_steps(eval_steps))
-                .expect("env");
+            let mut env =
+                HvacEnv::new(city.env_config().with_episode_steps(eval_steps)).expect("env");
             let metrics = run_episode(&mut env, &mut policy).expect("episode").metrics;
             table.push_row(vec![
                 city.name().into(),
@@ -81,5 +94,8 @@ fn main() {
 
     table.emit("fig6_data_efficiency", &options);
     println!("\npaper's finding: performance converges within ~100 decision data points for both cities.");
-    println!("with decision data generated at ~{}ms per point, 100 points ≈ minutes of offline work", 200);
+    println!(
+        "with decision data generated at ~{}ms per point, 100 points ≈ minutes of offline work",
+        200
+    );
 }

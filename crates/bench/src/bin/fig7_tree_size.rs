@@ -12,6 +12,7 @@
 //! ```
 
 use hvac_bench::{parse_options, pipeline_config, City, Scale, Table};
+use hvac_telemetry::info;
 use veri_hvac::control::RandomShootingController;
 use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
 use veri_hvac::extract::{
@@ -33,15 +34,14 @@ fn main() {
 
     for city in City::BOTH {
         let config = pipeline_config(city, options.scale);
-        eprintln!("[harness] {}: building teacher…", city.name());
+        info!("[harness] {}: building teacher…", city.name());
         let historical =
             collect_historical_dataset(&config.env, config.historical_episodes, config.seed)
                 .expect("collect");
         let model = DynamicsModel::train(&historical, &config.model).expect("train");
         let augmenter =
             NoiseAugmenter::fit(historical.policy_inputs(), config.noise_level).expect("augment");
-        let mut teacher =
-            RandomShootingController::new(model, config.rs, config.seed).expect("rs");
+        let mut teacher = RandomShootingController::new(model, config.rs, config.seed).expect("rs");
         let extraction = ExtractionConfig {
             n_points: max_points,
             ..config.extraction

@@ -40,8 +40,14 @@ fn main() {
     ]);
     table.push_row(vec![
         "Wilson 95% lower bound on crit. #1".into(),
-        format!("{}%", fmt(100.0 * reports[0].criterion_1.wilson_interval(1.96).0, 1)),
-        format!("{}%", fmt(100.0 * reports[1].criterion_1.wilson_interval(1.96).0, 1)),
+        format!(
+            "{}%",
+            fmt(100.0 * reports[0].criterion_1.wilson_interval(1.96).0, 1)
+        ),
+        format!(
+            "{}%",
+            fmt(100.0 * reports[1].criterion_1.wilson_interval(1.96).0, 1)
+        ),
     ]);
     table.push_row(vec![
         "No. of nodes corrected by crit. #2".into(),

@@ -15,8 +15,8 @@
 use hvac_bench::{build_artifacts, build_ensemble, fmt, parse_options, City, Scale, Table};
 use std::time::Instant;
 use veri_hvac::control::{
-    ClueConfig, ClueController, PlanningConfig, RandomShootingConfig,
-    RandomShootingController, RuleBasedController,
+    ClueConfig, ClueController, PlanningConfig, RandomShootingConfig, RandomShootingController,
+    RuleBasedController,
 };
 use veri_hvac::env::{ComfortRange, HvacEnv, Policy};
 use veri_hvac::stats::OnlineStats;

@@ -7,12 +7,17 @@
 //!   1000-sample random shooting). Without it a reduced scale is used
 //!   that preserves the qualitative shape in a fraction of the time.
 //! * `--csv` — additionally write the rows to `results/<name>.csv`.
+//! * `--verbose` / `--quiet` — raise/lower the stderr progress level.
 //!
 //! Output is printed as aligned text tables; CSVs land in `results/`.
+//! Progress lines go through the `hvac-telemetry` stderr sink;
+//! `HVAC_TELEMETRY=<path>` additionally captures JSONL events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hvac_telemetry::{info, warn, Level, StderrSink};
+use std::sync::Arc;
 use std::time::Instant;
 use veri_hvac::control::{PlanningConfig, RandomShootingConfig};
 use veri_hvac::dynamics::{DynamicsEnsemble, EnsembleConfig, ModelConfig};
@@ -66,18 +71,29 @@ pub struct HarnessOptions {
     pub csv: bool,
 }
 
-/// Parses `--paper` / `--csv` from `std::env::args`.
+/// Parses `--paper` / `--csv` / `--verbose` / `--quiet` from
+/// `std::env::args` and installs the harness's leveled stderr sink
+/// (plus the `HVAC_TELEMETRY` JSONL sink when the variable is set).
 pub fn parse_options() -> HarnessOptions {
     let mut options = HarnessOptions {
         scale: Scale::Reduced,
         csv: false,
     };
+    let mut level = Level::Info;
+    let mut unknown = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--paper" => options.scale = Scale::Paper,
             "--csv" => options.csv = true,
-            other => eprintln!("warning: ignoring unknown argument {other}"),
+            "--verbose" => level = Level::Debug,
+            "--quiet" => level = Level::Warn,
+            other => unknown.push(other.to_string()),
         }
+    }
+    hvac_telemetry::set_sink(Arc::new(StderrSink::new(level)));
+    hvac_telemetry::init_from_env();
+    for other in unknown {
+        warn!("ignoring unknown argument {other}");
     }
     options
 }
@@ -154,14 +170,14 @@ pub fn pipeline_config(city: City, scale: Scale) -> PipelineConfig {
 /// Panics if the pipeline fails — harness binaries treat that as fatal.
 pub fn build_artifacts(city: City, scale: Scale) -> PipelineArtifacts {
     let started = Instant::now();
-    eprintln!(
+    info!(
         "[harness] building artifacts for {} at {} scale…",
         city.name(),
         scale.label()
     );
     let artifacts =
         run_pipeline(&pipeline_config(city, scale)).expect("pipeline must succeed for benches");
-    eprintln!(
+    info!(
         "[harness] {} artifacts ready in {:.1}s (tree: {} nodes, val RMSE {:.3} °C)",
         city.name(),
         started.elapsed().as_secs_f64(),

@@ -99,8 +99,8 @@ impl DtPolicy {
     /// Propagates parse errors and the dimension checks of
     /// [`DtPolicy::new`].
     pub fn from_compact_string(text: &str) -> Result<Self, ControlError> {
-        let tree = DecisionTree::from_compact_string(text)
-            .map_err(|_| ControlError::FeatureMismatch {
+        let tree =
+            DecisionTree::from_compact_string(text).map_err(|_| ControlError::FeatureMismatch {
                 tree: 0,
                 env: POLICY_INPUT_DIM,
             })?;
@@ -110,11 +110,7 @@ impl DtPolicy {
     /// Renders the policy as human-readable rules using the paper's
     /// feature names.
     pub fn to_text(&self) -> String {
-        let class_names: Vec<String> = self
-            .action_space
-            .iter()
-            .map(|a| a.to_string())
-            .collect();
+        let class_names: Vec<String> = self.action_space.iter().map(|a| a.to_string()).collect();
         let class_refs: Vec<&str> = class_names.iter().map(String::as_str).collect();
         self.tree.to_text(&feature::NAMES, &class_refs)
     }
@@ -213,7 +209,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             DtPolicy::new(tree),
-            Err(ControlError::ClassMismatch { tree: 2, actions: 90 })
+            Err(ControlError::ClassMismatch {
+                tree: 2,
+                actions: 90
+            })
         ));
     }
 

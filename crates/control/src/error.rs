@@ -38,10 +38,16 @@ impl fmt::Display for ControlError {
                 write!(f, "bad planner configuration: {name} = {value}")
             }
             ControlError::FeatureMismatch { tree, env } => {
-                write!(f, "tree expects {tree} features but the environment provides {env}")
+                write!(
+                    f,
+                    "tree expects {tree} features but the environment provides {env}"
+                )
             }
             ControlError::ClassMismatch { tree, actions } => {
-                write!(f, "tree has {tree} classes but the action space has {actions}")
+                write!(
+                    f,
+                    "tree has {tree} classes but the action space has {actions}"
+                )
             }
         }
     }
@@ -61,7 +67,10 @@ mod tests {
                 value: 0.0,
             },
             ControlError::FeatureMismatch { tree: 4, env: 6 },
-            ControlError::ClassMismatch { tree: 10, actions: 90 },
+            ControlError::ClassMismatch {
+                tree: 10,
+                actions: 90,
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

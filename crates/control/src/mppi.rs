@@ -201,9 +201,18 @@ mod tests {
     #[test]
     fn rejects_bad_config() {
         for bad in [
-            MppiConfig { samples: 0, ..quick() },
-            MppiConfig { noise_std: 0.0, ..quick() },
-            MppiConfig { lambda: -1.0, ..quick() },
+            MppiConfig {
+                samples: 0,
+                ..quick()
+            },
+            MppiConfig {
+                noise_std: 0.0,
+                ..quick()
+            },
+            MppiConfig {
+                lambda: -1.0,
+                ..quick()
+            },
         ] {
             assert!(MppiController::new(Toy, bad, 0).is_err());
         }

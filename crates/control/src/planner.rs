@@ -77,9 +77,11 @@ impl ForecastMode {
     ) -> hvac_env::Disturbances {
         match self {
             ForecastMode::Persistence => *current,
-            ForecastMode::OccupancySchedule { schedule, zone_peak } => {
-                let hour = (current.hour_of_day
-                    + offset as f64 * hvac_sim::STEP_SECONDS / 3600.0)
+            ForecastMode::OccupancySchedule {
+                schedule,
+                zone_peak,
+            } => {
+                let hour = (current.hour_of_day + offset as f64 * hvac_sim::STEP_SECONDS / 3600.0)
                     .rem_euclid(24.0);
                 hvac_env::Disturbances {
                     occupant_count: zone_peak * schedule.weekday_fraction(hour),

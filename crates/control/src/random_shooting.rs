@@ -13,6 +13,7 @@ use crate::error::ControlError;
 use crate::planner::{evaluate_sequence, PlanningConfig, Predictor};
 use hvac_env::{ActionSpace, Observation, Policy, SetpointAction};
 use hvac_stats::{seeded_rng, split_seed};
+use hvac_telemetry::Counter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -85,6 +86,10 @@ pub struct RandomShootingController<P> {
     action_space: ActionSpace,
     rng: StdRng,
     scratch: Vec<SetpointAction>,
+    // Cached telemetry handles: registry lookups happen once at
+    // construction, each plan() pays two relaxed atomic adds.
+    plans: Counter,
+    trajectories: Counter,
 }
 
 impl<P: Predictor + Sync> RandomShootingController<P> {
@@ -94,7 +99,11 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
     ///
     /// Returns [`ControlError::BadPlannerConfig`] for an invalid
     /// configuration.
-    pub fn new(predictor: P, config: RandomShootingConfig, seed: u64) -> Result<Self, ControlError> {
+    pub fn new(
+        predictor: P,
+        config: RandomShootingConfig,
+        seed: u64,
+    ) -> Result<Self, ControlError> {
         config.validate()?;
         Ok(Self {
             predictor,
@@ -102,6 +111,8 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
             action_space: ActionSpace::new(),
             rng: seeded_rng(seed),
             scratch: Vec::new(),
+            plans: hvac_telemetry::counter("rs.plan.count"),
+            trajectories: hvac_telemetry::counter("rs.trajectories"),
         })
     }
 
@@ -120,6 +131,11 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
     /// scope; the extraction stage calls this repeatedly to build the
     /// Monte-Carlo action distribution `p(â)` of Section 3.2.1.
     pub fn plan(&mut self, obs: &Observation) -> SetpointAction {
+        // Both paths score exactly `samples` candidate trajectories
+        // (the parallel quotas sum to `samples`), so one add covers
+        // sequential and fan-out planning alike.
+        self.plans.incr();
+        self.trajectories.add(self.config.samples as u64);
         if self.config.threads > 1 {
             return self.plan_parallel(obs);
         }
@@ -132,15 +148,9 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
             self.scratch.clear();
             for _ in 0..h {
                 let idx = self.rng.gen_range(0..n_actions);
-                self.scratch
-                    .push(self.action_space.as_slice()[idx]);
+                self.scratch.push(self.action_space.as_slice()[idx]);
             }
-            let ret = evaluate_sequence(
-                &self.predictor,
-                obs,
-                &self.scratch,
-                &self.config.planning,
-            );
+            let ret = evaluate_sequence(&self.predictor, obs, &self.scratch, &self.config.planning);
             if ret > best_return {
                 best_return = ret;
                 best_first = self.scratch[0];
@@ -306,7 +316,11 @@ mod tests {
         let mut c = RandomShootingController::new(Toy, quick_config(), 2).unwrap();
         let a = c.plan(&obs(16.0, false));
         // Unoccupied ⇒ w_e = 1 ⇒ any conditioning is pure cost.
-        assert!(a.energy_proxy() <= 4.0, "chose {a} with proxy {}", a.energy_proxy());
+        assert!(
+            a.energy_proxy() <= 4.0,
+            "chose {a} with proxy {}",
+            a.energy_proxy()
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! DOT). `simulate` deploys a saved policy in the simulated building
 //! and reports energy/comfort metrics.
 
+use hvac_telemetry::{error, info, JsonlSink, Level, StderrSink};
 use std::process::ExitCode;
+use std::sync::Arc;
 use veri_hvac::control::DtPolicy;
 use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
 use veri_hvac::env::space::feature;
@@ -33,6 +35,13 @@ USAGE:
   veri-hvac inspect  --policy FILE [--dot]
   veri-hvac simulate --policy FILE --city <city> [--days N]
 
+GLOBAL FLAGS:
+  --verbose          stderr progress at debug level (span timings included)
+  --quiet            suppress stderr progress (warnings and errors only)
+  --telemetry FILE   append machine-readable JSONL telemetry events to FILE
+                     (equivalent to HVAC_TELEMETRY=FILE)
+
+Machine-readable results go to stdout; progress and diagnostics to stderr.
 Artifacts are plain text (see hvac_dtree::serialize / hvac_dynamics::serialize).
 ";
 
@@ -73,12 +82,41 @@ impl Args {
     }
 }
 
+/// Installs the stderr sink (level from `--verbose`/`--quiet`) and, when
+/// `--telemetry FILE` is given, tees events into a JSONL file. The
+/// stderr sink goes in first so failures opening the JSONL file are
+/// still reported.
+fn init_telemetry(args: &Args) -> Result<(), String> {
+    let level = if args.has("verbose") {
+        Level::Debug
+    } else if args.has("quiet") {
+        Level::Warn
+    } else {
+        Level::Info
+    };
+    let stderr: Arc<dyn hvac_telemetry::Sink> = Arc::new(StderrSink::new(level));
+    hvac_telemetry::set_sink(Arc::clone(&stderr));
+    if let Some(path) = args.flag("telemetry") {
+        let jsonl = JsonlSink::create(path)
+            .map_err(|e| format!("cannot open telemetry file {path}: {e}"))?;
+        hvac_telemetry::set_sink(Arc::new(hvac_telemetry::MultiSink::new(vec![
+            stderr,
+            Arc::new(jsonl),
+        ])));
+    }
+    // HVAC_TELEMETRY=<path> still works; it tees into whatever is set.
+    hvac_telemetry::init_from_env();
+    Ok(())
+}
+
 fn env_config_for(city: &str) -> Result<EnvConfig, String> {
     match city {
         "pittsburgh" => Ok(EnvConfig::pittsburgh()),
         "tucson" => Ok(EnvConfig::tucson()),
         "new-york" | "new_york" => Ok(EnvConfig::new_york()),
-        other => Err(format!("unknown city {other:?} (try pittsburgh, tucson, new-york)")),
+        other => Err(format!(
+            "unknown city {other:?} (try pittsburgh, tucson, new-york)"
+        )),
     }
 }
 
@@ -92,8 +130,9 @@ fn cmd_extract(args: &Args) -> Result<(), String> {
         PipelineConfig::quick(env)
     };
 
-    eprintln!("running extraction pipeline for {city}…");
+    info!("running extraction pipeline for {city}…");
     let artifacts = run_pipeline(&config).map_err(|e| e.to_string())?;
+    info!("{}", artifacts.telemetry);
     println!("{}", artifacts.report);
     println!(
         "dynamics model: {} transitions, validation RMSE {:.3} °C",
@@ -106,8 +145,7 @@ fn cmd_extract(args: &Args) -> Result<(), String> {
     let model_path = format!("{out_dir}/model.dynmodel");
     std::fs::write(&policy_path, artifacts.policy.to_compact_string())
         .map_err(|e| e.to_string())?;
-    std::fs::write(&model_path, artifacts.model.to_compact_string())
-        .map_err(|e| e.to_string())?;
+    std::fs::write(&model_path, artifacts.model.to_compact_string()).map_err(|e| e.to_string())?;
     println!("wrote {policy_path} and {model_path}");
     Ok(())
 }
@@ -127,7 +165,7 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     let model_text = std::fs::read_to_string(model_path).map_err(|e| e.to_string())?;
     let model = DynamicsModel::from_compact_string(&model_text).map_err(|e| e.to_string())?;
 
-    eprintln!("collecting input distribution for {city}…");
+    info!("collecting input distribution for {city}…");
     let env = env_config_for(city)?.with_episode_steps(7 * 96);
     let historical = collect_historical_dataset(&env, 2, 0).map_err(|e| e.to_string())?;
     let augmenter =
@@ -150,8 +188,7 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     );
     if report.corrected_criterion_2 + report.corrected_criterion_3 > 0 {
         let corrected_path = format!("{policy_path}.corrected");
-        std::fs::write(&corrected_path, policy.to_compact_string())
-            .map_err(|e| e.to_string())?;
+        std::fs::write(&corrected_path, policy.to_compact_string()).map_err(|e| e.to_string())?;
         println!("corrected policy written to {corrected_path}");
     }
     Ok(())
@@ -162,15 +199,18 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     let policy_text = std::fs::read_to_string(policy_path).map_err(|e| e.to_string())?;
     let policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
     let tree = policy.tree();
-    eprintln!(
+    info!(
         "{} nodes, {} leaves, depth {}",
         tree.node_count(),
         tree.leaf_count(),
         tree.depth()
     );
     if args.has("dot") {
-        let class_names: Vec<String> =
-            policy.action_space().iter().map(|a| a.to_string()).collect();
+        let class_names: Vec<String> = policy
+            .action_space()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
         let class_refs: Vec<&str> = class_names.iter().map(String::as_str).collect();
         println!("{}", tree.to_dot(&feature::NAMES, &class_refs));
     } else {
@@ -192,7 +232,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let mut policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
     let env_config = env_config_for(city)?.with_episode_steps(days * 96);
     let mut env = HvacEnv::new(env_config).map_err(|e| e.to_string())?;
-    eprintln!("simulating {days} January day(s) in {city}…");
+    info!("simulating {days} January day(s) in {city}…");
     let record = run_episode(&mut env, &mut policy).map_err(|e| e.to_string())?;
     let m = &record.metrics;
     println!("{m}");
@@ -206,20 +246,24 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args = Args::parse();
-    let result = match args.positional.first().map(String::as_str) {
-        Some("extract") => cmd_extract(&args),
-        Some("verify") => cmd_verify(&args),
-        Some("inspect") => cmd_inspect(&args),
-        Some("simulate") => cmd_simulate(&args),
-        _ => {
-            eprint!("{USAGE}");
-            return ExitCode::from(2);
-        }
-    };
+    let result =
+        init_telemetry(&args).and_then(|()| match args.positional.first().map(String::as_str) {
+            Some("extract") => cmd_extract(&args),
+            Some("verify") => cmd_verify(&args),
+            Some("inspect") => cmd_inspect(&args),
+            Some("simulate") => cmd_simulate(&args),
+            _ => {
+                eprint!("{USAGE}");
+                Err(String::new())
+            }
+        });
+    hvac_telemetry::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        Err(message) if message.is_empty() => ExitCode::from(2),
         Err(message) => {
-            eprintln!("error: {message}");
+            error!("error: {message}");
+            hvac_telemetry::flush();
             ExitCode::FAILURE
         }
     }

@@ -17,12 +17,14 @@ use hvac_dynamics::{
 };
 use hvac_env::EnvConfig;
 use hvac_extract::{
-    fit_decision_tree, generate_decision_dataset, DecisionDataset, ExtractError,
-    ExtractionConfig, NoiseAugmenter,
+    fit_decision_tree, generate_decision_dataset, DecisionDataset, ExtractError, ExtractionConfig,
+    NoiseAugmenter,
 };
+use hvac_telemetry::{StageTiming, TelemetrySummary};
 use hvac_verify::{verify_and_correct, VerificationConfig, VerificationReport, VerifyError};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 /// Error type for pipeline execution.
 #[derive(Debug)]
@@ -125,8 +127,7 @@ impl PipelineConfig {
     /// schedule as its forecast.
     pub fn paper_with_env(env: EnvConfig) -> Self {
         let mut rs = RandomShootingConfig::paper();
-        rs.planning =
-            PlanningConfig::paper_with_schedule(env.schedule, env.controlled_zone);
+        rs.planning = PlanningConfig::paper_with_schedule(env.schedule, env.controlled_zone);
         rs.planning.comfort = env.comfort;
         let verification = VerificationConfig {
             comfort: env.comfort,
@@ -152,8 +153,7 @@ impl PipelineConfig {
     /// release-mode compute.
     pub fn reduced(env: EnvConfig) -> Self {
         use hvac_nn::TrainConfig;
-        let mut planning =
-            PlanningConfig::paper_with_schedule(env.schedule, env.controlled_zone);
+        let mut planning = PlanningConfig::paper_with_schedule(env.schedule, env.controlled_zone);
         planning.comfort = env.comfort;
         let verification = VerificationConfig {
             samples: 1000,
@@ -193,8 +193,7 @@ impl PipelineConfig {
     /// seconds rather than minutes while exercising every stage.
     pub fn quick(env: EnvConfig) -> Self {
         use hvac_nn::TrainConfig;
-        let mut planning =
-            PlanningConfig::paper_with_schedule(env.schedule, env.controlled_zone);
+        let mut planning = PlanningConfig::paper_with_schedule(env.schedule, env.controlled_zone);
         planning.comfort = env.comfort;
         let verification = VerificationConfig {
             samples: 300,
@@ -245,6 +244,10 @@ pub struct PipelineArtifacts {
     pub policy: DtPolicy,
     /// The verification report (Table 2 numbers).
     pub report: VerificationReport,
+    /// Telemetry rollup for this run: stage wall times (always exact)
+    /// plus the counter deltas the run moved (process-global — see
+    /// [`TelemetrySummary`]).
+    pub telemetry: TelemetrySummary,
 }
 
 /// Runs the paper's full procedure and returns every intermediate
@@ -254,24 +257,73 @@ pub struct PipelineArtifacts {
 ///
 /// Returns a [`PipelineError`] naming the failing stage.
 pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, PipelineError> {
-    // 1. Historical data from the building (BMS logs).
-    let historical = collect_historical_dataset(&config.env, config.historical_episodes, config.seed)?;
+    // Honor HVAC_TELEMETRY on any entry point that reaches the
+    // pipeline; a no-op unless the variable is set, and idempotent.
+    hvac_telemetry::init_from_env();
+    let before = hvac_telemetry::snapshot();
+    let started = Instant::now();
+    let pipeline_span = hvac_telemetry::Span::enter("pipeline");
+    let mut stages: Vec<StageTiming> = Vec::with_capacity(4);
+    let mut stage = |name: &str, wall| {
+        stages.push(StageTiming {
+            name: name.to_string(),
+            wall,
+        });
+    };
 
-    // 2. Black-box dynamics model.
+    // 1. Historical data (BMS logs), dynamics model, Eq. 5 augmenter.
+    let span = hvac_telemetry::Span::enter("dynamics");
+    let historical =
+        collect_historical_dataset(&config.env, config.historical_episodes, config.seed)?;
     let model = DynamicsModel::train(&historical, &config.model)?;
-
-    // 3. Importance-sampling augmenter (Eq. 5).
     let augmenter = NoiseAugmenter::fit(historical.policy_inputs(), config.noise_level)?;
+    stage("dynamics", span.close());
+    hvac_telemetry::info!(
+        "dynamics model trained: {} transitions, validation RMSE {:.3}",
+        historical.len(),
+        model.validation_rmse()
+    );
 
-    // 4. Monte-Carlo mode distillation of the RS controller.
+    // 2. Monte-Carlo mode distillation of the RS controller.
+    let span = hvac_telemetry::Span::enter("extraction");
     let mut teacher = RandomShootingController::new(model.clone(), config.rs, config.seed)?;
     let decision_data = generate_decision_dataset(&mut teacher, &augmenter, &config.extraction)?;
+    stage("extraction", span.close());
+    hvac_telemetry::info!(
+        "decision dataset distilled: {} points x {} MC runs",
+        decision_data.len(),
+        config.extraction.mc_runs
+    );
 
-    // 5. CART fitting.
+    // 3. CART fitting.
+    let span = hvac_telemetry::Span::enter("tree_fit");
     let mut policy = fit_decision_tree(&decision_data, &config.tree)?;
+    stage("tree_fit", span.close());
+    hvac_telemetry::info!(
+        "decision tree fitted: {} nodes, depth {}",
+        policy.tree().node_count(),
+        policy.tree().depth()
+    );
 
-    // 6. Offline verification + in-place correction.
+    // 4. Offline verification + in-place correction.
+    let span = hvac_telemetry::Span::enter("verification");
     let report = verify_and_correct(&mut policy, &model, &augmenter, &config.verification)?;
+    stage("verification", span.close());
+    hvac_telemetry::info!(
+        "verification: {} leaves, {} corrected (crit. #2), {} corrected (crit. #3)",
+        report.leaf_nodes,
+        report.corrected_criterion_2,
+        report.corrected_criterion_3
+    );
+
+    drop(pipeline_span);
+    let telemetry = TelemetrySummary::from_snapshots(
+        &before,
+        &hvac_telemetry::snapshot(),
+        started.elapsed(),
+        stages,
+    );
+    hvac_telemetry::flush();
 
     Ok(PipelineArtifacts {
         historical,
@@ -280,6 +332,7 @@ pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, Pipeli
         decision_data,
         policy,
         report,
+        telemetry,
     })
 }
 

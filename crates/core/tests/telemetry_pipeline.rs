@@ -1,0 +1,134 @@
+//! End-to-end observability tests: a quick pipeline run must produce a
+//! populated `TelemetrySummary`, and the JSONL sink must capture valid
+//! span events for all four stages.
+//!
+//! Both tests run a real (tiny) pipeline; the second swaps the global
+//! sink, so the two are serialized through a mutex to keep the sink
+//! state deterministic within this test binary.
+
+use hvac_telemetry::json::{self, JsonValue};
+use std::sync::{Arc, Mutex, OnceLock};
+use veri_hvac::env::EnvConfig;
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
+
+const STAGES: [&str; 4] = ["dynamics", "extraction", "tree_fit", "verification"];
+
+fn sink_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+#[test]
+fn summary_reports_all_four_stages_and_work_counters() {
+    let _guard = sink_lock().lock().unwrap();
+    let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+    let artifacts = run_pipeline(&config).unwrap();
+    let telemetry = &artifacts.telemetry;
+
+    let stage_names: Vec<&str> = telemetry.stages.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(stage_names, STAGES, "stages must appear in execution order");
+
+    // Child stage wall-times are disjoint sub-intervals of the run.
+    let stage_sum: std::time::Duration = telemetry.stages.iter().map(|s| s.wall).sum();
+    assert!(
+        stage_sum <= telemetry.total_wall,
+        "stage sum {stage_sum:?} exceeds total {total:?}",
+        total = telemetry.total_wall
+    );
+    for stage in &telemetry.stages {
+        assert!(stage.wall <= telemetry.total_wall, "stage {}", stage.name);
+    }
+
+    // Work counters (process-global, so >= this run's known floor).
+    let points = config.extraction.n_points as u64;
+    let mc_runs = config.extraction.mc_runs as u64;
+    assert!(telemetry.counter("extract.points") >= points);
+    assert!(telemetry.rollouts() >= points * mc_runs);
+    assert!(telemetry.trajectories() >= telemetry.rollouts() * config.rs.samples as u64);
+    assert!(telemetry.split_evaluations() > 0);
+    assert!(telemetry.tree_nodes() >= 1);
+    // paths_checked counts leaves *before* correction; correction can
+    // split leaves, so compare against 1, not the final leaf count.
+    assert!(telemetry.paths_checked() >= 1);
+    let _ = artifacts.policy.tree().leaf_count();
+
+    // Span counters fed by the RAII timers.
+    for stage in STAGES {
+        assert!(
+            telemetry.counter(&format!("span.{stage}.count")) >= 1,
+            "missing span counter for {stage}"
+        );
+    }
+}
+
+#[test]
+fn jsonl_sink_captures_valid_span_events_for_every_stage() {
+    let _guard = sink_lock().lock().unwrap();
+    let path =
+        std::env::temp_dir().join(format!("veri_hvac_telemetry_{}.jsonl", std::process::id()));
+    let sink = hvac_telemetry::JsonlSink::create(&path).unwrap();
+    let previous = hvac_telemetry::set_sink(Arc::new(sink));
+
+    let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+    let run_result = run_pipeline(&config);
+    hvac_telemetry::flush();
+    hvac_telemetry::set_sink(previous);
+    run_result.unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.is_empty(), "JSONL sink wrote nothing");
+
+    let mut opens = Vec::new();
+    let mut closes = Vec::new();
+    let mut pipeline_nanos = None;
+    let mut last_seq = None;
+    for line in text.lines() {
+        let value = json::parse(line).unwrap_or_else(|e| panic!("invalid JSON line {line:?}: {e}"));
+        let event = value.get("event").and_then(JsonValue::as_str).unwrap();
+
+        // seq strictly increases: no interleaved/torn writes.
+        let seq = value.get("seq").and_then(JsonValue::as_u64).unwrap();
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq went {prev} -> {seq}");
+        }
+        last_seq = Some(seq);
+
+        match event {
+            "span_open" => opens.push(
+                value
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .unwrap()
+                    .to_string(),
+            ),
+            "span_close" => {
+                let name = value.get("name").and_then(JsonValue::as_str).unwrap();
+                let nanos = value.get("nanos").and_then(JsonValue::as_u64).unwrap();
+                if name == "pipeline" {
+                    pipeline_nanos = Some(nanos);
+                }
+                closes.push((name.to_string(), nanos));
+            }
+            _ => {}
+        }
+    }
+
+    for stage in STAGES {
+        assert!(opens.iter().any(|n| n == stage), "no span_open for {stage}");
+        assert!(
+            closes.iter().any(|(n, _)| n == stage),
+            "no span_close for {stage}"
+        );
+    }
+    // Each stage is a child of the "pipeline" root span: child <= parent.
+    let parent = pipeline_nanos.expect("no span_close for pipeline root");
+    for (name, nanos) in &closes {
+        if STAGES.contains(&name.as_str()) {
+            assert!(
+                *nanos <= parent,
+                "stage {name} ({nanos} ns) outlived pipeline root ({parent} ns)"
+            );
+        }
+    }
+}

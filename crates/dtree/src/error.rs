@@ -92,7 +92,10 @@ impl fmt::Display for TreeError {
                 write!(f, "NaN feature value at row {row}, feature {feature}")
             }
             TreeError::BadInputWidth { expected, got } => {
-                write!(f, "input width {got} does not match tree's {expected} features")
+                write!(
+                    f,
+                    "input width {got} does not match tree's {expected} features"
+                )
             }
             TreeError::NotALeaf { id } => write!(f, "node {id} is not a leaf"),
             TreeError::BadNodeId { id, nodes } => {
@@ -116,20 +119,34 @@ mod tests {
     fn displays_nonempty() {
         let errs = [
             TreeError::EmptyDataset,
-            TreeError::LengthMismatch { inputs: 1, labels: 2 },
+            TreeError::LengthMismatch {
+                inputs: 1,
+                labels: 2,
+            },
             TreeError::RaggedInputs {
                 expected: 3,
                 got: 2,
                 row: 5,
             },
-            TreeError::LabelOutOfRange { label: 9, n_classes: 4 },
+            TreeError::LabelOutOfRange {
+                label: 9,
+                n_classes: 4,
+            },
             TreeError::NoClasses,
             TreeError::NanFeature { row: 0, feature: 1 },
-            TreeError::BadInputWidth { expected: 6, got: 5 },
+            TreeError::BadInputWidth {
+                expected: 6,
+                got: 5,
+            },
             TreeError::NotALeaf { id: 0 },
             TreeError::BadNodeId { id: 10, nodes: 3 },
-            TreeError::BadClass { class: 4, n_classes: 2 },
-            TreeError::BadConfig { what: "min_samples_split < 2" },
+            TreeError::BadClass {
+                class: 4,
+                n_classes: 2,
+            },
+            TreeError::BadConfig {
+                what: "min_samples_split < 2",
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

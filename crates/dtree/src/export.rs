@@ -111,7 +111,12 @@ mod tests {
 
     fn fitted() -> DecisionTree {
         DecisionTree::fit(
-            &[vec![0.0, 5.0], vec![1.0, 5.0], vec![0.0, 9.0], vec![1.0, 9.0]],
+            &[
+                vec![0.0, 5.0],
+                vec![1.0, 5.0],
+                vec![0.0, 9.0],
+                vec![1.0, 9.0],
+            ],
             &[0, 1, 0, 1],
             2,
             &TreeConfig::default(),

@@ -10,12 +10,17 @@
 
 use crate::error::TreeError;
 use crate::tree::{DecisionTree, Node, TreeConfig};
+use std::cell::Cell;
 
 struct FitContext<'a> {
     inputs: &'a [Vec<f64>],
     labels: &'a [usize],
     n_classes: usize,
     config: TreeConfig,
+    // Candidate thresholds scored during this fit; accumulated in a
+    // Cell and flushed to the global registry once at the end so the
+    // inner scan stays free of atomic traffic.
+    split_evals: Cell<u64>,
 }
 
 impl DecisionTree {
@@ -100,6 +105,7 @@ impl DecisionTree {
             labels,
             n_classes,
             config: *config,
+            split_evals: Cell::new(0),
         };
         let mut tree = DecisionTree {
             nodes: Vec::new(),
@@ -107,7 +113,13 @@ impl DecisionTree {
             n_classes,
         };
         let indices: Vec<usize> = (0..inputs.len()).collect();
+        let span = hvac_telemetry::Span::enter("dtree.fit");
         build(&ctx, &mut tree, &indices, 0);
+        drop(span);
+        hvac_telemetry::counter("dtree.split_evaluations").add(ctx.split_evals.get());
+        hvac_telemetry::counter("dtree.fit.nodes").add(tree.nodes.len() as u64);
+        hvac_telemetry::counter("dtree.fit.count").incr();
+        hvac_telemetry::gauge("dtree.fit.depth").record_max(tree.depth() as u64);
         Ok(tree)
     }
 }
@@ -180,6 +192,7 @@ fn best_split(ctx: &FitContext<'_>, indices: &[usize]) -> Option<BestSplit> {
             if n_left < min_leaf || n_right < min_leaf {
                 continue;
             }
+            ctx.split_evals.set(ctx.split_evals.get() + 1);
             let impurity = (n_left as f64 * gini(&left_counts, n_left)
                 + n_right as f64 * gini(&right_counts, n_right))
                 / n as f64;
@@ -367,7 +380,9 @@ mod tests {
     fn training_accuracy_is_perfect_on_separable_data() {
         // Distinct inputs ⇒ a fully grown CART must reach 100% training
         // accuracy.
-        let inputs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let inputs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
         let labels: Vec<usize> = (0..40).map(|i| (i % 5) as usize).collect();
         let t = DecisionTree::fit(&inputs, &labels, 5, &TreeConfig::default()).unwrap();
         for (x, &y) in inputs.iter().zip(&labels) {

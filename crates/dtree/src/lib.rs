@@ -46,5 +46,5 @@ pub mod serialize;
 pub mod tree;
 
 pub use error::TreeError;
-pub use interval::{Interval, InputBox};
+pub use interval::{InputBox, Interval};
 pub use tree::{DecisionTree, LeafId, Node, NodeId, TreeConfig};

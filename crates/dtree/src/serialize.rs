@@ -97,10 +97,7 @@ impl DecisionTree {
             if parts.next() != Some(key) {
                 return Err(bad(err));
             }
-            parts
-                .next()
-                .and_then(|v| v.parse().ok())
-                .ok_or(bad(err))
+            parts.next().and_then(|v| v.parse().ok()).ok_or(bad(err))
         };
         let n_features = parse_count("features", "bad features line")?;
         let n_classes = parse_count("classes", "bad classes line")?;
@@ -262,11 +259,7 @@ mod tests {
         let tree = fitted(40);
         let restored = DecisionTree::from_compact_string(&tree.to_compact_string()).unwrap();
         for (a, b) in tree.nodes.iter().zip(&restored.nodes) {
-            if let (
-                Node::Split { threshold: ta, .. },
-                Node::Split { threshold: tb, .. },
-            ) = (a, b)
-            {
+            if let (Node::Split { threshold: ta, .. }, Node::Split { threshold: tb, .. }) = (a, b) {
                 assert_eq!(ta.to_bits(), tb.to_bits(), "threshold drifted");
             }
         }
@@ -280,7 +273,7 @@ mod tests {
             "dtree v1\nfeatures 2\nclasses 2\nnodes 1\n",
             "dtree v1\nfeatures 2\nclasses 2\nnodes 1\nX 0 0\n",
             "dtree v1\nfeatures 0\nclasses 2\nnodes 1\nL 0 1\n",
-            "dtree v1\nfeatures 2\nclasses 2\nnodes 1\nL 5 1\n",      // class oob
+            "dtree v1\nfeatures 2\nclasses 2\nnodes 1\nL 5 1\n", // class oob
             "dtree v1\nfeatures 2\nclasses 2\nnodes 1\nS 0 1.0 0 0\n", // self ref
             "dtree v1\nfeatures 2\nclasses 2\nnodes 2\nS 0 1.0 1 1\nL 0 1\n", // double ref
             "dtree v1\nfeatures 2\nclasses 2\nnodes 1\nS 9 1.0 1 2\n", // feature oob

@@ -200,7 +200,10 @@ impl DecisionTree {
                 Ok(())
             }
             Some(Node::Split { .. }) => Err(TreeError::NotALeaf { id: leaf.0 }),
-            None => Err(TreeError::BadNodeId { id: leaf.0, nodes: n }),
+            None => Err(TreeError::BadNodeId {
+                id: leaf.0,
+                nodes: n,
+            }),
         }
     }
 
@@ -440,7 +443,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    id = if x[*feature] <= *threshold { *left } else { *right };
+                    id = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -470,7 +477,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    id = if x[*feature] <= *threshold { *left } else { *right };
+                    id = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                     path.push(id);
                 }
             }
@@ -565,15 +576,24 @@ mod tests {
                     left: 1,
                     right: 2,
                 },
-                Node::Leaf { class: 0, samples: 3 },
+                Node::Leaf {
+                    class: 0,
+                    samples: 3,
+                },
                 Node::Split {
                     feature: 1,
                     threshold: 2.0,
                     left: 3,
                     right: 4,
                 },
-                Node::Leaf { class: 1, samples: 2 },
-                Node::Leaf { class: 2, samples: 2 },
+                Node::Leaf {
+                    class: 1,
+                    samples: 2,
+                },
+                Node::Leaf {
+                    class: 2,
+                    samples: 2,
+                },
             ],
             n_features: 2,
             n_classes: 3,
@@ -654,7 +674,10 @@ mod tests {
         let mut t = toy_tree();
         assert!(matches!(
             t.set_leaf_class(LeafId(3), 9),
-            Err(TreeError::BadClass { class: 9, n_classes: 3 })
+            Err(TreeError::BadClass {
+                class: 9,
+                n_classes: 3
+            })
         ));
         assert!(matches!(
             t.set_leaf_class(LeafId(0), 1),
@@ -671,7 +694,10 @@ mod tests {
         let t = toy_tree();
         assert!(matches!(
             t.predict(&[1.0]),
-            Err(TreeError::BadInputWidth { expected: 2, got: 1 })
+            Err(TreeError::BadInputWidth {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(t.decision_path(&[1.0, 2.0, 3.0]).is_err());
     }

@@ -60,9 +60,7 @@ impl TransitionDataset {
     pub fn input_row(t: &Transition) -> [f64; DYNAMICS_INPUT_DIM] {
         let obs = t.observation.to_vector();
         let (h, c) = t.action.as_f64_pair();
-        [
-            obs[0], obs[1], obs[2], obs[3], obs[4], obs[5], obs[6], h, c,
-        ]
+        [obs[0], obs[1], obs[2], obs[3], obs[4], obs[5], obs[6], h, c]
     }
 
     /// Builds the `(inputs, targets)` matrices for regression.
@@ -114,9 +112,7 @@ impl TransitionDataset {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut seeded_rng(seed));
         let take = |idx: &[usize]| {
-            TransitionDataset::from_transitions(
-                idx.iter().map(|&i| self.transitions[i]).collect(),
-            )
+            TransitionDataset::from_transitions(idx.iter().map(|&i| self.transitions[i]).collect())
         };
         Ok((take(&order[..n_train]), take(&order[n_train..])))
     }
@@ -316,8 +312,7 @@ mod tests {
         let ts = d.as_slice();
         let contiguous = (0..47)
             .filter(|&k| {
-                (ts[k].next_zone_temperature - ts[k + 1].observation.zone_temperature).abs()
-                    < 1e-12
+                (ts[k].next_zone_temperature - ts[k + 1].observation.zone_temperature).abs() < 1e-12
             })
             .count();
         assert_eq!(contiguous, 47);
@@ -327,8 +322,7 @@ mod tests {
     fn collection_covers_action_space() {
         let config = EnvConfig::pittsburgh().with_episode_steps(96 * 3);
         let d = collect_historical_dataset(&config, 1, 42).unwrap();
-        let distinct: std::collections::HashSet<_> =
-            d.iter().map(|t| t.action).collect();
+        let distinct: std::collections::HashSet<_> = d.iter().map(|t| t.action).collect();
         assert!(
             distinct.len() > 20,
             "exploration too weak: {} distinct actions",

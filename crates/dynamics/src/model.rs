@@ -53,10 +53,7 @@ impl DynamicsModel {
     ///
     /// Returns [`DynamicsError::NotEnoughData`] for datasets too small to
     /// split, plus any underlying network error.
-    pub fn train(
-        dataset: &TransitionDataset,
-        config: &ModelConfig,
-    ) -> Result<Self, DynamicsError> {
+    pub fn train(dataset: &TransitionDataset, config: &ModelConfig) -> Result<Self, DynamicsError> {
         if dataset.len() < 10 {
             return Err(DynamicsError::NotEnoughData {
                 got: dataset.len(),

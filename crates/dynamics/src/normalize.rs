@@ -63,8 +63,7 @@ impl Normalizer {
                 needed: 1,
             });
         }
-        if means.iter().any(|m| !m.is_finite())
-            || stds.iter().any(|s| !(s.is_finite() && *s > 0.0))
+        if means.iter().any(|m| !m.is_finite()) || stds.iter().any(|s| !(s.is_finite() && *s > 0.0))
         {
             return Err(DynamicsError::NotEnoughData { got: 0, needed: 1 });
         }

@@ -107,7 +107,13 @@ impl DynamicsModel {
         if mlp.in_dim() != input_normalizer.dims() || mlp.out_dim() != target_normalizer.dims() {
             return Err(bad());
         }
-        DynamicsModel::from_parts(mlp, input_normalizer, target_normalizer, train_rmse, val_rmse)
+        DynamicsModel::from_parts(
+            mlp,
+            input_normalizer,
+            target_normalizer,
+            train_rmse,
+            val_rmse,
+        )
     }
 }
 

@@ -146,7 +146,10 @@ impl ActionSpace {
         let mut actions = Vec::with_capacity(90);
         for h in HEATING_RANGE {
             for c in COOLING_RANGE {
-                actions.push(SetpointAction { heating: h, cooling: c });
+                actions.push(SetpointAction {
+                    heating: h,
+                    cooling: c,
+                });
             }
         }
         Self { actions }
@@ -271,7 +274,10 @@ mod tests {
         let s = ActionSpace::new();
         assert!(matches!(
             s.action(90),
-            Err(EnvError::ActionIndexOutOfRange { index: 90, size: 90 })
+            Err(EnvError::ActionIndexOutOfRange {
+                index: 90,
+                size: 90
+            })
         ));
     }
 

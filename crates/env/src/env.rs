@@ -330,7 +330,13 @@ impl HvacEnv {
 
         let next_obs = self.observe();
         let post_temp = result.zone_temperatures[self.config.controlled_zone];
-        let r = reward(&self.config.reward, &self.config.comfort, post_temp, action, occupied);
+        let r = reward(
+            &self.config.reward,
+            &self.config.comfort,
+            post_temp,
+            action,
+            occupied,
+        );
 
         Ok(StepOutcome {
             observation: next_obs,
@@ -413,13 +419,16 @@ mod tests {
     #[test]
     fn trace_mode_is_bitwise_deterministic() {
         let config = short_config();
-        let mut generator =
-            WeatherGenerator::new(config.climate.clone(), 7);
+        let mut generator = WeatherGenerator::new(config.climate.clone(), 7);
         let trace = generator.trace(&SimClock::january(), 20);
         let run = |trace: Vec<WeatherSample>| {
             let mut env = HvacEnv::with_weather_trace(short_config(), trace).unwrap();
             (0..19)
-                .map(|_| env.step(SetpointAction::new(20, 26).unwrap()).unwrap().reward)
+                .map(|_| {
+                    env.step(SetpointAction::new(20, 26).unwrap())
+                        .unwrap()
+                        .reward
+                })
                 .collect::<Vec<f64>>()
         };
         assert_eq!(run(trace.clone()), run(trace));

@@ -176,7 +176,10 @@ impl EpisodeRecord {
 /// # Ok(())
 /// # }
 /// ```
-pub fn run_episode<P: Policy>(env: &mut HvacEnv, policy: &mut P) -> Result<EpisodeRecord, EnvError> {
+pub fn run_episode<P: Policy>(
+    env: &mut HvacEnv,
+    policy: &mut P,
+) -> Result<EpisodeRecord, EnvError> {
     let mut obs = env.reset();
     let mut steps = Vec::new();
     let mut metrics = EpisodeMetrics::default();
@@ -285,8 +288,8 @@ mod tests {
     #[test]
     fn comfort_policy_beats_off_policy_on_comfort() {
         let mut e1 = env(96 * 2);
-        let warm = run_episode(&mut e1, &mut Constant(SetpointAction::new(21, 24).unwrap()))
-            .unwrap();
+        let warm =
+            run_episode(&mut e1, &mut Constant(SetpointAction::new(21, 24).unwrap())).unwrap();
         let mut e2 = env(96 * 2);
         let off = run_episode(&mut e2, &mut Constant(SetpointAction::off())).unwrap();
         assert!(warm.metrics.violation_rate() < off.metrics.violation_rate());

@@ -52,7 +52,10 @@ impl fmt::Display for EnvError {
                 write!(f, "{which} setpoint {value} is outside the action space")
             }
             EnvError::ActionIndexOutOfRange { index, size } => {
-                write!(f, "action index {index} out of range for space of size {size}")
+                write!(
+                    f,
+                    "action index {index} out of range for space of size {size}"
+                )
             }
             EnvError::InvalidComfortRange { lo, hi } => {
                 write!(f, "invalid comfort range [{lo}, {hi}]")
@@ -94,7 +97,10 @@ mod tests {
                 which: "heating",
                 value: 99,
             },
-            EnvError::ActionIndexOutOfRange { index: 100, size: 90 },
+            EnvError::ActionIndexOutOfRange {
+                index: 100,
+                size: 90,
+            },
             EnvError::InvalidComfortRange { lo: 5.0, hi: 1.0 },
             EnvError::BadControlledZone { index: 7, zones: 5 },
             EnvError::TraceExhausted { step: 10 },

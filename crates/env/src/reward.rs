@@ -96,14 +96,26 @@ mod tests {
 
     #[test]
     fn perfect_step_scores_zero() {
-        let r = reward(&config(), &ComfortRange::winter(), 21.0, SetpointAction::off(), false);
+        let r = reward(
+            &config(),
+            &ComfortRange::winter(),
+            21.0,
+            SetpointAction::off(),
+            false,
+        );
         assert_eq!(r, 0.0);
     }
 
     #[test]
     fn unoccupied_ignores_comfort() {
         // w_e = 1 while unoccupied: only energy matters.
-        let freezing = reward(&config(), &ComfortRange::winter(), 5.0, SetpointAction::off(), false);
+        let freezing = reward(
+            &config(),
+            &ComfortRange::winter(),
+            5.0,
+            SetpointAction::off(),
+            false,
+        );
         assert_eq!(freezing, 0.0);
     }
 

@@ -61,7 +61,11 @@ pub struct Disturbances {
 impl Disturbances {
     /// Builds the disturbance vector from a weather sample plus the
     /// controlled zone's occupant count.
-    pub fn from_weather(w: &hvac_sim::WeatherSample, occupant_count: f64, hour_of_day: f64) -> Self {
+    pub fn from_weather(
+        w: &hvac_sim::WeatherSample,
+        occupant_count: f64,
+        hour_of_day: f64,
+    ) -> Self {
         Self {
             outdoor_temperature: w.outdoor_temperature,
             relative_humidity: w.relative_humidity,
@@ -183,7 +187,10 @@ mod tests {
     #[test]
     fn feature_names_align_with_dim() {
         assert_eq!(feature::NAMES.len(), POLICY_INPUT_DIM);
-        assert_eq!(feature::NAMES[feature::ZONE_TEMPERATURE], "zone_air_temperature");
+        assert_eq!(
+            feature::NAMES[feature::ZONE_TEMPERATURE],
+            "zone_air_temperature"
+        );
     }
 
     #[test]

@@ -32,10 +32,7 @@ impl NoiseAugmenter {
     /// Returns [`ExtractError::NoHistoricalData`] for an empty dataset
     /// and [`ExtractError::BadNoiseLevel`] for a negative or non-finite
     /// noise level.
-    pub fn fit(
-        rows: Vec<[f64; POLICY_INPUT_DIM]>,
-        noise_level: f64,
-    ) -> Result<Self, ExtractError> {
+    pub fn fit(rows: Vec<[f64; POLICY_INPUT_DIM]>, noise_level: f64) -> Result<Self, ExtractError> {
         if rows.is_empty() {
             return Err(ExtractError::NoHistoricalData);
         }
@@ -112,7 +109,11 @@ impl NoiseAugmenter {
     }
 
     /// Draws `n` augmented rows.
-    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<[f64; POLICY_INPUT_DIM]> {
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+    ) -> Vec<[f64; POLICY_INPUT_DIM]> {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 }

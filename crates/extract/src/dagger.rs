@@ -64,7 +64,9 @@ impl DaggerConfig {
             return Err(ExtractError::BadExtractionConfig { name: "rounds" });
         }
         if self.rollout_steps == 0 {
-            return Err(ExtractError::BadExtractionConfig { name: "rollout_steps" });
+            return Err(ExtractError::BadExtractionConfig {
+                name: "rollout_steps",
+            });
         }
         if self.labels_per_round == 0 {
             return Err(ExtractError::BadExtractionConfig {
@@ -123,8 +125,7 @@ where
         let stride = (record.steps.len() / config.labels_per_round).max(1);
         let space = policy.action_space().clone();
         for step in record.steps.iter().step_by(stride) {
-            let action =
-                teacher.most_frequent_action(&step.observation, config.extraction.mc_runs);
+            let action = teacher.most_frequent_action(&step.observation, config.extraction.mc_runs);
             dataset.push(step.observation.to_vector(), space.index_of(action));
         }
 
@@ -207,11 +208,13 @@ mod tests {
         config.rounds = 2;
         config.rollout_steps = 48;
         config.labels_per_round = 10;
-        let outcome =
-            extract_with_dagger(&mut teacher, &augmenter, &env_config, &config).unwrap();
+        let outcome = extract_with_dagger(&mut teacher, &augmenter, &env_config, &config).unwrap();
         assert_eq!(outcome.dataset_sizes.len(), 3);
         assert!(outcome.dataset_sizes.windows(2).all(|w| w[1] > w[0]));
-        assert_eq!(outcome.dataset.len(), *outcome.dataset_sizes.last().unwrap());
+        assert_eq!(
+            outcome.dataset.len(),
+            *outcome.dataset_sizes.last().unwrap()
+        );
         assert!(outcome.policy.tree().node_count() >= 1);
     }
 
@@ -219,8 +222,7 @@ mod tests {
     fn final_policy_is_deployable() {
         use hvac_env::Policy;
         let (mut teacher, augmenter, env_config) = stack();
-        let outcome =
-            extract_with_dagger(&mut teacher, &augmenter, &env_config, &light()).unwrap();
+        let outcome = extract_with_dagger(&mut teacher, &augmenter, &env_config, &light()).unwrap();
         let mut policy = outcome.policy;
         let mut env = HvacEnv::new(env_config.with_episode_steps(24)).unwrap();
         let record = run_episode(&mut env, &mut policy).unwrap();

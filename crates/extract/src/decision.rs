@@ -161,6 +161,8 @@ pub fn generate_decision_dataset<P: Predictor + Sync>(
     let space = ActionSpace::new();
     let mut rng = seeded_rng(config.seed);
     let mut dataset = DecisionDataset::new();
+    let points = hvac_telemetry::counter("extract.points");
+    let rollouts = hvac_telemetry::counter("extract.rollouts");
 
     for _ in 0..config.n_points {
         let x = augmenter.sample(&mut rng);
@@ -173,6 +175,11 @@ pub fn generate_decision_dataset<P: Predictor + Sync>(
             }
             Distillation::Single => controller.plan(&obs),
         };
+        points.incr();
+        rollouts.add(match config.distillation {
+            Distillation::Mode | Distillation::Mean => config.mc_runs as u64,
+            Distillation::Single => 1,
+        });
         dataset.push(x, space.index_of(action));
     }
     Ok(dataset)
@@ -279,10 +286,10 @@ mod tests {
 
     #[test]
     fn generation_is_seeded_in_inputs() {
-        let d1 = generate_decision_dataset(&mut controller(1), &augmenter(), &quick_config())
-            .unwrap();
-        let d2 = generate_decision_dataset(&mut controller(1), &augmenter(), &quick_config())
-            .unwrap();
+        let d1 =
+            generate_decision_dataset(&mut controller(1), &augmenter(), &quick_config()).unwrap();
+        let d2 =
+            generate_decision_dataset(&mut controller(1), &augmenter(), &quick_config()).unwrap();
         assert_eq!(d1.inputs(), d2.inputs());
         assert_eq!(d1.labels(), d2.labels());
     }

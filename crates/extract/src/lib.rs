@@ -32,11 +32,10 @@ pub mod noise_study;
 pub mod parallel;
 
 pub use augment::NoiseAugmenter;
-pub use decision::{
-    fit_decision_tree, generate_decision_dataset, DecisionDataset, Distillation,
-    ExtractionConfig,
-};
 pub use dagger::{extract_with_dagger, DaggerConfig, DaggerOutcome};
+pub use decision::{
+    fit_decision_tree, generate_decision_dataset, DecisionDataset, Distillation, ExtractionConfig,
+};
 pub use error::ExtractError;
 pub use noise_study::{noise_study, NoiseStudyRow};
 pub use parallel::generate_decision_dataset_parallel;

@@ -194,16 +194,7 @@ mod tests {
     fn huge_noise_is_rejected() {
         let a = city(-1.5, 3.0, 1500, 1);
         let b = city(0.8, 3.2, 1500, 2);
-        let rows = noise_study(
-            &a,
-            &b,
-            feature::OUTDOOR_TEMPERATURE,
-            &[8.0],
-            6000,
-            40,
-            0,
-        )
-        .unwrap();
+        let rows = noise_study(&a, &b, feature::OUTDOOR_TEMPERATURE, &[8.0], 6000, 40, 0).unwrap();
         assert!(!rows[0].acceptable());
     }
 
@@ -221,6 +212,8 @@ mod tests {
             0,
         )
         .unwrap();
-        assert!(rows.windows(2).all(|w| w[0].jsd_between_cities == w[1].jsd_between_cities));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0].jsd_between_cities == w[1].jsd_between_cities));
     }
 }

@@ -25,6 +25,20 @@ use hvac_stats::{seeded_rng, split_seed};
 /// `rs_config` and a clone of `predictor`, seeded by
 /// `split_seed(config.seed, worker)`.
 ///
+/// # Determinism contract
+///
+/// The output is a pure function of `(config.seed, threads)`: inputs
+/// are drawn sequentially from `config.seed` before the fan-out, and
+/// worker `w` labels its fixed chunk with RNG stream
+/// `split_seed(config.seed, w)`. Changing `threads` changes the
+/// chunk-to-stream assignment (and therefore the labels), never the
+/// inputs. `threads` is clamped to `n_points` up front — asking for
+/// more workers than points would previously spawn only
+/// `ceil(n_points / ceil(n_points / threads))` workers anyway (the
+/// chunking left the rest without work), so the clamp changes no
+/// observable output; it only makes the effective worker count, and
+/// hence the seed assignment, explicit.
+///
 /// # Errors
 ///
 /// Returns [`ExtractError::BadExtractionConfig`] for zero threads or an
@@ -64,6 +78,10 @@ where
     if threads == 0 {
         return Err(ExtractError::BadExtractionConfig { name: "threads" });
     }
+    // More workers than points is silently wasteful, never useful: the
+    // chunking below would hand the surplus workers empty ranges. Clamp
+    // so the effective worker count (and seed assignment) is explicit.
+    let threads = threads.min(config.n_points);
 
     // Pre-draw all inputs sequentially so the sampled input set matches
     // the sequential generator exactly; only the labeling fans out.
@@ -75,6 +93,14 @@ where
     let space = ActionSpace::new();
     let chunk = config.n_points.div_ceil(threads);
     let chunks: Vec<&[[f64; POLICY_INPUT_DIM]]> = inputs.chunks(chunk.max(1)).collect();
+
+    let span = hvac_telemetry::Span::enter("extract.parallel");
+    let points_total = hvac_telemetry::counter("extract.points");
+    let rollouts_total = hvac_telemetry::counter("extract.rollouts");
+    let rollouts_per_point = match config.distillation {
+        Distillation::Mode => config.mc_runs as u64,
+        Distillation::Mean | Distillation::Single => 1,
+    };
 
     let labels_per_chunk = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
@@ -89,6 +115,10 @@ where
                         rs_config,
                         split_seed(config.seed, w as u64),
                     )?;
+                    // Per-worker rollout counter: exposes skew between
+                    // workers when chunk sizes are uneven.
+                    let worker_rollouts =
+                        hvac_telemetry::counter(&format!("extract.worker.{w}.rollouts"));
                     let mut labels = Vec::with_capacity(chunk_inputs.len());
                     for x in *chunk_inputs {
                         let obs = Observation::from_vector(x);
@@ -105,6 +135,9 @@ where
                                 controller.plan(&obs)
                             }
                         };
+                        points_total.incr();
+                        rollouts_total.add(rollouts_per_point);
+                        worker_rollouts.add(rollouts_per_point);
                         labels.push(worker_space.index_of(action));
                     }
                     Ok(labels)
@@ -117,6 +150,12 @@ where
             .collect::<Vec<_>>()
     })
     .expect("crossbeam scope");
+
+    let wall = span.close();
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        hvac_telemetry::gauge("extract.points_per_sec").set((config.n_points as f64 / secs) as u64);
+    }
 
     let mut dataset = DecisionDataset::new();
     let mut cursor = 0;
@@ -185,14 +224,9 @@ mod tests {
 
     #[test]
     fn produces_requested_size() {
-        let d = generate_decision_dataset_parallel(
-            &Toy,
-            rs_config(),
-            &augmenter(),
-            &extraction(23),
-            4,
-        )
-        .unwrap();
+        let d =
+            generate_decision_dataset_parallel(&Toy, rs_config(), &augmenter(), &extraction(23), 4)
+                .unwrap();
         assert_eq!(d.len(), 23);
         assert!(d.labels().iter().all(|&l| l < 90));
     }
@@ -200,14 +234,9 @@ mod tests {
     #[test]
     fn inputs_match_sequential_generator() {
         use hvac_control::RandomShootingController;
-        let parallel = generate_decision_dataset_parallel(
-            &Toy,
-            rs_config(),
-            &augmenter(),
-            &extraction(15),
-            3,
-        )
-        .unwrap();
+        let parallel =
+            generate_decision_dataset_parallel(&Toy, rs_config(), &augmenter(), &extraction(15), 3)
+                .unwrap();
         let mut teacher = RandomShootingController::new(Toy, rs_config(), 0).unwrap();
         let sequential =
             crate::generate_decision_dataset(&mut teacher, &augmenter(), &extraction(15)).unwrap();
@@ -217,28 +246,34 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_thread_count() {
         let run = || {
-            generate_decision_dataset_parallel(
-                &Toy,
-                rs_config(),
-                &augmenter(),
-                &extraction(12),
-                3,
-            )
-            .unwrap()
+            generate_decision_dataset_parallel(&Toy, rs_config(), &augmenter(), &extraction(12), 3)
+                .unwrap()
         };
         assert_eq!(run(), run());
     }
 
     #[test]
+    fn surplus_threads_match_clamped_thread_count() {
+        let run = |threads| {
+            generate_decision_dataset_parallel(
+                &Toy,
+                rs_config(),
+                &augmenter(),
+                &extraction(5),
+                threads,
+            )
+            .unwrap()
+        };
+        // 64 workers over 5 points degenerates to one point per worker —
+        // bitwise identical to asking for exactly 5.
+        assert_eq!(run(64), run(5));
+    }
+
+    #[test]
     fn single_thread_works() {
-        let d = generate_decision_dataset_parallel(
-            &Toy,
-            rs_config(),
-            &augmenter(),
-            &extraction(8),
-            1,
-        )
-        .unwrap();
+        let d =
+            generate_decision_dataset_parallel(&Toy, rs_config(), &augmenter(), &extraction(8), 1)
+                .unwrap();
         assert_eq!(d.len(), 8);
     }
 }

@@ -78,8 +78,14 @@ mod tests {
         let errs = [
             NnError::TooFewLayers { got: 1 },
             NnError::ZeroWidth,
-            NnError::DimensionMismatch { expected: 3, got: 2 },
-            NnError::BadDataset { inputs: 4, targets: 5 },
+            NnError::DimensionMismatch {
+                expected: 3,
+                got: 2,
+            },
+            NnError::BadDataset {
+                inputs: 4,
+                targets: 5,
+            },
             NnError::BadHyperparameter {
                 name: "lr",
                 value: -1.0,

@@ -316,14 +316,20 @@ mod tests {
     fn same_seed_same_initial_predictions() {
         let a = Mlp::new(&[2, 8, 1], Activation::Relu, 5).unwrap();
         let b = Mlp::new(&[2, 8, 1], Activation::Relu, 5).unwrap();
-        assert_eq!(a.predict(&[0.3, 0.7]).unwrap(), b.predict(&[0.3, 0.7]).unwrap());
+        assert_eq!(
+            a.predict(&[0.3, 0.7]).unwrap(),
+            b.predict(&[0.3, 0.7]).unwrap()
+        );
     }
 
     #[test]
     fn different_seed_different_predictions() {
         let a = Mlp::new(&[2, 8, 1], Activation::Relu, 5).unwrap();
         let b = Mlp::new(&[2, 8, 1], Activation::Relu, 6).unwrap();
-        assert_ne!(a.predict(&[0.3, 0.7]).unwrap(), b.predict(&[0.3, 0.7]).unwrap());
+        assert_ne!(
+            a.predict(&[0.3, 0.7]).unwrap(),
+            b.predict(&[0.3, 0.7]).unwrap()
+        );
     }
 
     #[test]
@@ -347,17 +353,15 @@ mod tests {
             ..TrainConfig::paper()
         };
         let history = m.fit(&inputs, &targets, &config).unwrap();
-        assert!(
-            history.final_loss() < 1e-3,
-            "loss {}",
-            history.final_loss()
-        );
+        assert!(history.final_loss() < 1e-3, "loss {}", history.final_loss());
         assert!(history.epoch_losses[0] > history.final_loss());
     }
 
     #[test]
     fn learns_nonlinear_function() {
-        let inputs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0 * 4.0 - 2.0]).collect();
+        let inputs: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64 / 200.0 * 4.0 - 2.0])
+            .collect();
         let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0].sin()]).collect();
         let mut m = Mlp::new(&[1, 32, 32, 1], Activation::Tanh, 3).unwrap();
         let config = TrainConfig {

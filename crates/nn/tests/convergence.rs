@@ -29,6 +29,8 @@ fn loss_monotone_on_average() {
     };
     let history = mlp.fit(&inputs, &targets, &config).unwrap();
     let first10: f64 = history.epoch_losses[..10].iter().sum();
-    let last10: f64 = history.epoch_losses[history.epoch_losses.len() - 10..].iter().sum();
+    let last10: f64 = history.epoch_losses[history.epoch_losses.len() - 10..]
+        .iter()
+        .sum();
     assert!(last10 < first10);
 }

@@ -296,9 +296,7 @@ impl Building {
             let mut flux = vec![0.0f64; n];
             for i in 0..n {
                 let z = &self.config.zones[i];
-                flux[i] += z.envelope_ua
-                    * infiltration
-                    * (weather.outdoor_temperature - temps[i]);
+                flux[i] += z.envelope_ua * infiltration * (weather.outdoor_temperature - temps[i]);
                 flux[i] += z.solar_aperture * weather.solar_radiation;
                 flux[i] += z.gain_per_occupant * occupants[i];
                 if occupied_any {
@@ -390,10 +388,7 @@ mod tests {
     fn bad_adjacency_rejected() {
         let mut c = BuildingConfig::single_zone();
         c.adjacency.push((0, 5, 10.0));
-        assert!(matches!(
-            c.validate(),
-            Err(SimError::BadAdjacency { .. })
-        ));
+        assert!(matches!(c.validate(), Err(SimError::BadAdjacency { .. })));
         let mut c = BuildingConfig::five_zone_463m2();
         c.adjacency.push((2, 2, 10.0));
         assert!(c.validate().is_err());
@@ -438,7 +433,10 @@ mod tests {
             let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
             let mut total = 0.0;
             for _ in 0..96 {
-                total += b.step(&cold(), &[0.0], &[(sp, 30.0)]).unwrap().electric_energy_kwh;
+                total += b
+                    .step(&cold(), &[0.0], &[(sp, 30.0)])
+                    .unwrap()
+                    .electric_energy_kwh;
             }
             total
         };
@@ -499,7 +497,8 @@ mod tests {
         let mut c = BuildingConfig::five_zone_463m2();
         c.wind_infiltration = 0.0;
         let mut b = Building::new(c).unwrap();
-        b.set_zone_temperatures(&[25.0, 15.0, 20.0, 20.0, 20.0]).unwrap();
+        b.set_zone_temperatures(&[25.0, 15.0, 20.0, 20.0, 20.0])
+            .unwrap();
         let mild = WeatherSample {
             outdoor_temperature: 20.0,
             ..WeatherSample::default()
@@ -508,10 +507,7 @@ mod tests {
             b.step(&mild, &[0.0; 5], &[OFF; 5]).unwrap();
         }
         let temps = b.zone_temperatures();
-        let spread = temps
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - temps.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread < 5.0, "zones failed to equalize: {temps:?}");
     }
@@ -522,7 +518,10 @@ mod tests {
         let w = WeatherSample::default();
         assert!(matches!(
             b.step(&w, &[0.0; 3], &[OFF; 5]),
-            Err(SimError::ZoneCountMismatch { expected: 5, got: 3 })
+            Err(SimError::ZoneCountMismatch {
+                expected: 5,
+                got: 3
+            })
         ));
         assert!(b.step(&w, &[0.0; 5], &[OFF; 2]).is_err());
     }

@@ -52,7 +52,10 @@ impl fmt::Display for SimError {
                 write!(f, "expected {expected} per-zone values, got {got}")
             }
             SimError::BadAdjacency { a, b, zones } => {
-                write!(f, "adjacency ({a}, {b}) references nonexistent zone (building has {zones})")
+                write!(
+                    f,
+                    "adjacency ({a}, {b}) references nonexistent zone (building has {zones})"
+                )
             }
             SimError::NonFiniteInput { what } => {
                 write!(f, "non-finite input: {what}")
@@ -79,7 +82,11 @@ mod tests {
                 expected: 5,
                 got: 3,
             },
-            SimError::BadAdjacency { a: 9, b: 0, zones: 5 },
+            SimError::BadAdjacency {
+                a: 9,
+                b: 0,
+                zones: 5,
+            },
             SimError::NonFiniteInput { what: "setpoint" },
         ];
         for e in errs {

@@ -298,7 +298,9 @@ mod tests {
             ..HvacPlantConfig::reference()
         };
         let plant = HvacPlant::new(config).unwrap();
-        let out = plant.respond(10.0, 23.0, 30.0, 0.0, C, DT, CAP, CAP).unwrap();
+        let out = plant
+            .respond(10.0, 23.0, 30.0, 0.0, C, DT, CAP, CAP)
+            .unwrap();
         assert!((out.electric_power - out.heating_power / 4.0).abs() < 1e-9);
     }
 

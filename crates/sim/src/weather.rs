@@ -291,8 +291,8 @@ impl WeatherGenerator {
 
         let phi_fast: f64 = 0.7;
         let fast_innov_std = p.noise_std * (1.0 - phi_fast * phi_fast).sqrt();
-        self.fast_noise = phi_fast * self.fast_noise
-            + fast_innov_std * sample_standard_normal(&mut self.rng);
+        self.fast_noise =
+            phi_fast * self.fast_noise + fast_innov_std * sample_standard_normal(&mut self.rng);
 
         let phi_cloud: f64 = 0.97;
         self.cloud_anomaly = phi_cloud * self.cloud_anomaly
@@ -305,8 +305,7 @@ impl WeatherGenerator {
             + 1.2 * (1.0 - phi_wind * phi_wind).sqrt() * sample_standard_normal(&mut self.rng);
 
         // Diurnal cycle peaking at ~15:00, coldest ~03:00.
-        let diurnal =
-            p.diurnal_amplitude * (std::f64::consts::TAU * (hour - 15.0) / 24.0).cos();
+        let diurnal = p.diurnal_amplitude * (std::f64::consts::TAU * (hour - 15.0) / 24.0).cos();
         let temperature = p.mean_temperature + diurnal + self.synoptic + self.fast_noise;
 
         let cloud = (p.mean_cloud_cover + self.cloud_anomaly).clamp(0.0, 1.0);
@@ -473,8 +472,7 @@ mod tests {
     #[test]
     fn july_presets_are_hot() {
         let pit_summer: OnlineStats = {
-            let mut generator =
-                WeatherGenerator::new(ClimatePreset::pittsburgh_4a_july(), 5);
+            let mut generator = WeatherGenerator::new(ClimatePreset::pittsburgh_4a_july(), 5);
             generator
                 .trace(&SimClock::july(), 31 * crate::time::STEPS_PER_DAY)
                 .iter()

@@ -152,14 +152,14 @@ mod tests {
     #[test]
     fn rejects_malformed_rows() {
         for row in [
-            "1.0,50.0,3.0",              // short
-            "1.0,50.0,3.0,0.0,9.9",      // long
-            "abc,50.0,3.0,0.0",          // non-numeric
-            "NaN,50.0,3.0,0.0",          // NaN
-            "100.0,50.0,3.0,0.0",        // impossible temperature
-            "1.0,150.0,3.0,0.0",         // impossible humidity
-            "1.0,50.0,-3.0,0.0",         // negative wind
-            "1.0,50.0,3.0,-1.0",         // negative solar
+            "1.0,50.0,3.0",         // short
+            "1.0,50.0,3.0,0.0,9.9", // long
+            "abc,50.0,3.0,0.0",     // non-numeric
+            "NaN,50.0,3.0,0.0",     // NaN
+            "100.0,50.0,3.0,0.0",   // impossible temperature
+            "1.0,150.0,3.0,0.0",    // impossible humidity
+            "1.0,50.0,-3.0,0.0",    // negative wind
+            "1.0,50.0,3.0,-1.0",    // negative solar
         ] {
             let csv = format!("{WEATHER_CSV_HEADER}\n{row}\n");
             assert!(weather_from_csv(&csv).is_err(), "accepted {row:?}");
@@ -171,8 +171,7 @@ mod tests {
         // End-to-end: CSV → trace → building step.
         let csv = format!("{WEATHER_CSV_HEADER}\n-5.0,70.0,4.0,0.0\n-4.5,71.0,4.2,10.0\n");
         let trace = weather_from_csv(&csv).unwrap();
-        let mut building =
-            crate::Building::new(crate::BuildingConfig::single_zone()).unwrap();
+        let mut building = crate::Building::new(crate::BuildingConfig::single_zone()).unwrap();
         for w in &trace {
             building.step(w, &[0.0], &[(20.0, 26.0)]).unwrap();
         }

@@ -1,0 +1,72 @@
+//! **hvac-telemetry** — zero-dependency observability for the
+//! Veri-HVAC pipeline.
+//!
+//! The paper's procedure is dominated by opaque offline cost (16.8 s
+//! per decision point for importance-sampled distillation); this crate
+//! makes that cost visible without adding a single external
+//! dependency. Three layers:
+//!
+//! * **Registry** ([`counter`], [`gauge`], [`histogram`]) — global,
+//!   lock-cheap metrics keyed by dotted `&str` names. Updates are one
+//!   relaxed atomic op; handles are `Copy` and belong in hot loops.
+//! * **Spans** ([`Span::enter`]) — RAII wall-time timers with
+//!   per-thread nesting (parent/child is tracked per worker thread, so
+//!   the crossbeam fan-outs in `hvac-extract`/`hvac-control` just
+//!   work). Closing a span feeds `span.<name>.ns`/`.count` counters
+//!   and emits open/close events.
+//! * **Sinks** ([`set_sink`]) — where events go. [`NullSink`]
+//!   (default) costs one relaxed atomic load per event site;
+//!   [`StderrSink`] pretty-prints leveled messages for operators;
+//!   [`JsonlSink`] appends one JSON object per event for machines;
+//!   [`MultiSink`] combines sinks. `HVAC_TELEMETRY=<path>` (see
+//!   [`init_from_env`]) switches the JSONL sink on from the
+//!   environment.
+//!
+//! Per-run rollups are captured with [`registry::snapshot`] diffs and
+//! packaged as [`TelemetrySummary`] — the type `PipelineArtifacts`
+//! embeds so callers get stage wall times, rollout counts, tree-fit
+//! and verification work programmatically.
+//!
+//! # Overhead guarantee
+//!
+//! With the default [`NullSink`], an instrumented call site pays at
+//! most a few relaxed atomic operations (no locks, no allocation, no
+//! formatting); `crates/bench/benches/overhead.rs` guards this. Level
+//! checks short-circuit before any message formatting.
+//!
+//! # Example
+//!
+//! ```
+//! use hvac_telemetry as telemetry;
+//!
+//! let rollouts = telemetry::counter("extract.rollouts");
+//! let before = telemetry::registry::snapshot();
+//! {
+//!     let _span = telemetry::Span::enter("extraction");
+//!     rollouts.add(10);
+//! }
+//! let after = telemetry::registry::snapshot();
+//! assert!(after.counter_delta(&before, "extract.rollouts") >= 10);
+//! assert!(after.counter_delta(&before, "span.extraction.count") >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod registry;
+mod sink;
+mod span;
+mod summary;
+
+pub use registry::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, RegistrySnapshot,
+    LATENCY_BOUNDS_NS,
+};
+pub use sink::{
+    emit, emit_counter_deltas, flush, init_from_env, message, message_enabled, process_elapsed_ns,
+    set_sink, sink_active, thread_id, Event, JsonlSink, Level, MultiSink, NullSink, Sink,
+    StderrSink,
+};
+pub use span::Span;
+pub use summary::{StageTiming, TelemetrySummary};

@@ -1,0 +1,358 @@
+//! The global, lock-cheap metrics registry.
+//!
+//! Metrics are keyed by `&'static str` names in dotted form
+//! (`"rs.trajectories"`, `"dtree.split_evaluations"`). Registration
+//! takes a short mutex; every *update* is a single relaxed atomic
+//! operation on a leaked cell, so handles can sit in hot loops. Handles
+//! are `Copy` — register once (e.g. in a constructor) and reuse.
+//!
+//! The registry is process-global and cumulative. Callers that need
+//! per-run numbers take a [`snapshot`] before and after and diff them
+//! (see [`RegistrySnapshot::counter_delta`]); the pipeline's
+//! `TelemetrySummary` is built exactly that way.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy)]
+pub struct Counter {
+    cell: &'static AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` (relaxed; safe from any thread).
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `u64` (last value or running maximum).
+#[derive(Debug, Clone, Copy)]
+pub struct Gauge {
+    cell: &'static AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the gauge.
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if larger (lock-free CAS loop).
+    pub fn record_max(&self, value: u64) {
+        self.cell.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (e.g. latency in
+/// nanoseconds, rollout counts).
+///
+/// Bucket `i` counts samples `v` with `v <= bounds[i]` (and greater
+/// than the previous bound); one extra overflow bucket counts samples
+/// above the last bound. Bounds are fixed at registration.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    inner: &'static HistogramCells,
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    pub(crate) bounds: Vec<u64>,
+    pub(crate) buckets: Vec<AtomicU64>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let cells = self.inner;
+        let idx = cells
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(cells.bounds.len());
+        cells.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// The bucket upper bounds this histogram was registered with.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Per-bucket counts; one entry longer than [`Self::bounds`] (the
+    /// final entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Default latency bucket bounds in nanoseconds: 1 µs … 100 s, one
+/// decade per bucket.
+pub const LATENCY_BOUNDS_NS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+];
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static HistogramCells>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+fn intern_cell(
+    map: &Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+    name: &str,
+) -> &'static AtomicU64 {
+    let mut map = map.lock().expect("registry mutex poisoned");
+    if let Some(cell) = map.get(name) {
+        return cell;
+    }
+    // First registration of this name: leak the cell (and, for
+    // dynamically built names, the name). Leaks are bounded by the
+    // number of distinct metric names, which is small and static.
+    let key: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    map.insert(key, cell);
+    cell
+}
+
+/// Returns (registering on first use) the counter called `name`.
+///
+/// Accepts non-static names (they are interned); hot paths should call
+/// this once and keep the returned handle.
+pub fn counter(name: &str) -> Counter {
+    Counter {
+        cell: intern_cell(&registry().counters, name),
+    }
+}
+
+/// Returns (registering on first use) the gauge called `name`.
+pub fn gauge(name: &str) -> Gauge {
+    Gauge {
+        cell: intern_cell(&registry().gauges, name),
+    }
+}
+
+/// Returns (registering on first use) the histogram called `name` with
+/// the given bucket upper bounds. The bounds of the **first**
+/// registration win; later calls with different bounds get the
+/// existing histogram.
+pub fn histogram(name: &str, bounds: &[u64]) -> Histogram {
+    let mut map = registry()
+        .histograms
+        .lock()
+        .expect("registry mutex poisoned");
+    if let Some(cells) = map.get(name) {
+        return Histogram { inner: cells };
+    }
+    let mut sorted = bounds.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+    let cells: &'static HistogramCells = Box::leak(Box::new(HistogramCells {
+        bounds: sorted,
+        buckets,
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        max: AtomicU64::new(0),
+    }));
+    let key: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    map.insert(key, cells);
+    Histogram { inner: cells }
+}
+
+/// A point-in-time copy of every registered counter and gauge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl RegistrySnapshot {
+    /// `self[name] - earlier[name]`, treating missing entries as zero
+    /// (counters are monotone, so this is the work done in between —
+    /// saturating in case `earlier` is actually newer).
+    pub fn counter_delta(&self, earlier: &RegistrySnapshot, name: &str) -> u64 {
+        let now = self.counters.get(name).copied().unwrap_or(0);
+        let then = earlier.counters.get(name).copied().unwrap_or(0);
+        now.saturating_sub(then)
+    }
+
+    /// All counter deltas since `earlier`, dropping zero entries.
+    pub fn counter_deltas(&self, earlier: &RegistrySnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter_map(|(name, &now)| {
+                let delta = now.saturating_sub(earlier.counters.get(name).copied().unwrap_or(0));
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect()
+    }
+}
+
+/// Captures the current value of every counter and gauge.
+pub fn snapshot() -> RegistrySnapshot {
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .expect("registry mutex poisoned")
+        .iter()
+        .map(|(&name, cell)| (name.to_owned(), cell.load(Ordering::Relaxed)))
+        .collect();
+    let gauges = reg
+        .gauges
+        .lock()
+        .expect("registry mutex poisoned")
+        .iter()
+        .map(|(&name, cell)| (name.to_owned(), cell.load(Ordering::Relaxed)))
+        .collect();
+    RegistrySnapshot { counters, gauges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_the_cell() {
+        let a = counter("test.registry.shared");
+        let b = counter("test.registry.shared");
+        let before = a.get();
+        a.add(3);
+        b.incr();
+        assert_eq!(a.get() - before, 4);
+        assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let g = gauge("test.registry.gauge");
+        g.set(10);
+        g.record_max(7);
+        assert_eq!(g.get(), 10);
+        g.record_max(22);
+        assert_eq!(g.get(), 22);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = histogram("test.registry.hist", &[10, 100, 1000]);
+        // On the bound → that bucket; one above → next bucket.
+        h.record(10);
+        h.record(11);
+        h.record(100);
+        h.record(1000);
+        h.record(1001); // overflow bucket
+        h.record(0); // first bucket
+        let counts = h.bucket_counts();
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 1000 + 1001);
+        assert_eq!(h.max(), 1001);
+        assert_eq!(h.bounds(), &[10, 100, 1000]);
+    }
+
+    #[test]
+    fn histogram_first_registration_wins() {
+        let a = histogram("test.registry.hist_first", &[5, 50]);
+        let b = histogram("test.registry.hist_first", &[1, 2, 3, 4]);
+        assert_eq!(b.bounds(), &[5, 50]);
+        a.record(7);
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn counters_merge_across_threads() {
+        let c = counter("test.registry.threads");
+        let before = c.get();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let local = counter("test.registry.threads");
+                    for _ in 0..1000 {
+                        local.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - before, 4000);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let c = counter("test.registry.delta");
+        let before = snapshot();
+        c.add(17);
+        let after = snapshot();
+        assert_eq!(after.counter_delta(&before, "test.registry.delta"), 17);
+        assert_eq!(
+            after
+                .counter_deltas(&before)
+                .get("test.registry.delta")
+                .copied(),
+            Some(17)
+        );
+        // Missing names read as zero.
+        assert_eq!(after.counter_delta(&before, "test.registry.absent"), 0);
+    }
+}

@@ -1,0 +1,557 @@
+//! Pluggable event sinks.
+//!
+//! Every telemetry event flows through the process-global sink set with
+//! [`set_sink`]. The default is [`NullSink`]: a single relaxed atomic
+//! load on the hot path, nothing else. [`StderrSink`] pretty-prints
+//! leveled messages (and span closes at `Debug`) for humans;
+//! [`JsonlSink`] appends one JSON object per event to a file for
+//! machines; [`MultiSink`] fans an event out to several sinks (e.g.
+//! stderr for the operator *and* JSONL for the audit trail).
+
+use crate::json::ObjectWriter;
+use crate::registry;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Message severity, ordered from most to least important.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or surprising conditions.
+    Error,
+    /// Suspicious conditions worth an operator's attention.
+    Warn,
+    /// Progress messages (the default CLI verbosity).
+    Info,
+    /// Per-stage details (`--verbose`).
+    Debug,
+    /// Per-item details; very chatty.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name (`"info"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// One telemetry event, borrowed from the emitting site.
+#[derive(Debug, Clone)]
+pub enum Event<'a> {
+    /// A span started.
+    SpanOpen {
+        /// Span name.
+        name: &'static str,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<&'static str>,
+        /// Nesting depth on this thread (root = 0).
+        depth: usize,
+        /// Telemetry-assigned thread id (0 = first thread seen).
+        thread: u64,
+    },
+    /// A span finished.
+    SpanClose {
+        /// Span name.
+        name: &'static str,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<&'static str>,
+        /// Nesting depth on this thread (root = 0).
+        depth: usize,
+        /// Telemetry-assigned thread id.
+        thread: u64,
+        /// Wall time between open and close.
+        nanos: u64,
+    },
+    /// A counter moved by `delta` since the last report.
+    CounterDelta {
+        /// Counter name.
+        name: &'a str,
+        /// Increase since the previous report.
+        delta: u64,
+        /// Cumulative value.
+        total: u64,
+    },
+    /// A per-stage rollup (wall time plus the counters the stage moved).
+    StageSummary {
+        /// Stage name.
+        stage: &'a str,
+        /// Stage wall time.
+        nanos: u64,
+        /// Counter deltas attributed to the stage.
+        counters: &'a [(String, u64)],
+    },
+    /// A human-readable leveled message.
+    Message {
+        /// Severity.
+        level: Level,
+        /// The formatted text.
+        text: &'a str,
+    },
+}
+
+/// Where events go. Implementations must be cheap to call concurrently.
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &Event<'_>);
+
+    /// Whether `Message` events at `level` will be observed; lets
+    /// emitting sites skip formatting entirely.
+    fn message_enabled(&self, level: Level) -> bool;
+
+    /// Whether this sink drops everything ([`NullSink`] only). Installing
+    /// a null sink turns the hot-path fast-skip back on.
+    fn is_null(&self) -> bool {
+        false
+    }
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The default sink: drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event<'_>) {}
+
+    fn message_enabled(&self, _level: Level) -> bool {
+        false
+    }
+
+    fn is_null(&self) -> bool {
+        true
+    }
+}
+
+/// Pretty-printer for humans on stderr.
+///
+/// `Message` events at or below the configured level are printed as
+/// `[level] text`; span closes and stage summaries appear from `Debug`
+/// up. Machine-readable stdout output is never touched.
+#[derive(Debug, Clone, Copy)]
+pub struct StderrSink {
+    level: Level,
+}
+
+impl StderrSink {
+    /// A stderr sink showing messages at or above `level` importance.
+    pub fn new(level: Level) -> Self {
+        Self { level }
+    }
+
+    /// The configured verbosity.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+}
+
+impl Sink for StderrSink {
+    fn emit(&self, event: &Event<'_>) {
+        match event {
+            Event::Message { level, text } if *level <= self.level => {
+                eprintln!("[{}] {text}", level.name());
+            }
+            Event::SpanClose { name, nanos, .. } if self.level >= Level::Debug => {
+                eprintln!("[span] {name} {:.3} ms", *nanos as f64 / 1e6);
+            }
+            Event::StageSummary {
+                stage,
+                nanos,
+                counters,
+            } if self.level >= Level::Debug => {
+                eprintln!("[stage] {stage} {:.3} s", *nanos as f64 / 1e9);
+                for (name, delta) in counters.iter() {
+                    eprintln!("[stage]   {name} +{delta}");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn message_enabled(&self, level: Level) -> bool {
+        level <= self.level
+    }
+}
+
+/// Appends one JSON object per event to a file (JSONL).
+///
+/// Every line is a flat object with an `"event"` discriminator, a
+/// monotonic sequence number `"seq"`, and a monotonic process
+/// timestamp `"t_ns"`. See `DESIGN.md` § Observability for the schema.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self {
+            out: Mutex::new(BufWriter::new(file)),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    fn line(&self, event: &Event<'_>) -> String {
+        let mut o = ObjectWriter::new();
+        match event {
+            Event::SpanOpen {
+                name,
+                parent,
+                depth,
+                thread,
+            } => {
+                o.str_field("event", "span_open");
+                o.str_field("name", name);
+                if let Some(parent) = parent {
+                    o.str_field("parent", parent);
+                }
+                o.u64_field("depth", *depth as u64);
+                o.u64_field("thread", *thread);
+            }
+            Event::SpanClose {
+                name,
+                parent,
+                depth,
+                thread,
+                nanos,
+            } => {
+                o.str_field("event", "span_close");
+                o.str_field("name", name);
+                if let Some(parent) = parent {
+                    o.str_field("parent", parent);
+                }
+                o.u64_field("depth", *depth as u64);
+                o.u64_field("thread", *thread);
+                o.u64_field("nanos", *nanos);
+            }
+            Event::CounterDelta { name, delta, total } => {
+                o.str_field("event", "counter");
+                o.str_field("name", name);
+                o.u64_field("delta", *delta);
+                o.u64_field("total", *total);
+            }
+            Event::StageSummary {
+                stage,
+                nanos,
+                counters,
+            } => {
+                o.str_field("event", "stage_summary");
+                o.str_field("stage", stage);
+                o.u64_field("nanos", *nanos);
+                for (name, delta) in counters.iter() {
+                    o.u64_field(name, *delta);
+                }
+            }
+            Event::Message { level, text } => {
+                o.str_field("event", "message");
+                o.str_field("level", level.name());
+                o.str_field("text", text);
+            }
+        }
+        o.u64_field("seq", self.seq.fetch_add(1, Ordering::Relaxed));
+        o.u64_field("t_ns", process_elapsed_ns());
+        o.finish()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event<'_>) {
+        let line = self.line(event);
+        let mut out = self.out.lock().expect("jsonl sink mutex poisoned");
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn message_enabled(&self, _level: Level) -> bool {
+        true
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink mutex poisoned").flush();
+    }
+}
+
+/// Fans each event out to every wrapped sink.
+#[derive(Clone)]
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl std::fmt::Debug for MultiSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl MultiSink {
+    /// Combines `sinks`; events reach each in order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn emit(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn message_enabled(&self, level: Level) -> bool {
+        self.sinks.iter().any(|s| s.message_enabled(level))
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// `true` once a non-null sink is installed — the one branch hot paths
+/// pay when telemetry is off.
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static RwLock<Arc<dyn Sink>> {
+    static SLOT: OnceLock<RwLock<Arc<dyn Sink>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(Arc::new(NullSink)))
+}
+
+/// Installs `sink` as the process-global event sink and returns the
+/// previous one. Pass [`NullSink`] to disable telemetry again.
+pub fn set_sink(sink: Arc<dyn Sink>) -> Arc<dyn Sink> {
+    let active = !sink.is_null();
+    let mut slot = sink_slot().write().expect("sink lock poisoned");
+    let previous = std::mem::replace(&mut *slot, sink);
+    SINK_ACTIVE.store(active, Ordering::Release);
+    previous
+}
+
+/// Whether a non-null sink is installed (cheap relaxed load).
+#[inline]
+pub fn sink_active() -> bool {
+    SINK_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Emits one event to the global sink. Near-free when the sink is the
+/// default [`NullSink`].
+#[inline]
+pub fn emit(event: &Event<'_>) {
+    if !sink_active() {
+        return;
+    }
+    sink_slot().read().expect("sink lock poisoned").emit(event);
+}
+
+/// Whether `Message` events at `level` would currently be observed.
+/// Use to skip building expensive message payloads.
+pub fn message_enabled(level: Level) -> bool {
+    sink_active()
+        && sink_slot()
+            .read()
+            .expect("sink lock poisoned")
+            .message_enabled(level)
+}
+
+/// Formats and emits a leveled message (the `info!`/`debug!` macros
+/// route here). Free when no sink wants the level.
+pub fn message(level: Level, args: std::fmt::Arguments<'_>) {
+    if !message_enabled(level) {
+        return;
+    }
+    let text = std::fmt::format(args);
+    emit(&Event::Message { level, text: &text });
+}
+
+/// Flushes the global sink (e.g. before process exit so the JSONL file
+/// is complete on disk).
+pub fn flush() {
+    if !sink_active() {
+        return;
+    }
+    sink_slot().read().expect("sink lock poisoned").flush();
+}
+
+/// Emits a `CounterDelta` event for every counter that moved since
+/// `earlier`, and returns the deltas. Used at stage boundaries to keep
+/// the JSONL stream compact (per-increment events would swamp it).
+pub fn emit_counter_deltas(
+    earlier: &registry::RegistrySnapshot,
+) -> std::collections::BTreeMap<String, u64> {
+    let now = registry::snapshot();
+    let deltas = now.counter_deltas(earlier);
+    if sink_active() {
+        for (name, delta) in &deltas {
+            let total = now.counters.get(name).copied().unwrap_or(*delta);
+            emit(&Event::CounterDelta {
+                name,
+                delta: *delta,
+                total,
+            });
+        }
+    }
+    deltas
+}
+
+/// Reads `HVAC_TELEMETRY` and, if it names a writable path, installs a
+/// [`JsonlSink`] there (combined with any sink already installed).
+/// Idempotent: only the first call with the variable set has an effect.
+/// Returns whether a JSONL sink was installed by this call.
+pub fn init_from_env() -> bool {
+    static DONE: AtomicBool = AtomicBool::new(false);
+    if DONE.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    let Ok(path) = std::env::var("HVAC_TELEMETRY") else {
+        return false;
+    };
+    if path.is_empty() {
+        return false;
+    }
+    match JsonlSink::create(&path) {
+        Ok(jsonl) => {
+            let jsonl: Arc<dyn Sink> = Arc::new(jsonl);
+            let previous = set_sink(jsonl.clone());
+            if !previous.is_null() {
+                set_sink(Arc::new(MultiSink::new(vec![previous, jsonl])));
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("warning: HVAC_TELEMETRY={path}: {e}; telemetry disabled");
+            false
+        }
+    }
+}
+
+/// Monotonic nanoseconds since the telemetry clock was first touched.
+pub fn process_elapsed_ns() -> u64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    let start = *START.get_or_init(Instant::now);
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Telemetry-assigned id of the calling thread (dense, starting at 0).
+pub fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::message($crate::Level::Error, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::message($crate::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::message($crate::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::message($crate::Level::Debug, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        $crate::message($crate::Level::Trace, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_importance() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::Warn.name(), "warn");
+    }
+
+    #[test]
+    fn null_sink_observes_nothing() {
+        let sink = NullSink;
+        assert!(!sink.message_enabled(Level::Error));
+        assert!(!sink.message_enabled(Level::Trace));
+    }
+
+    #[test]
+    fn stderr_sink_level_filtering() {
+        let sink = StderrSink::new(Level::Info);
+        assert!(sink.message_enabled(Level::Error));
+        assert!(sink.message_enabled(Level::Info));
+        assert!(!sink.message_enabled(Level::Debug));
+    }
+
+    #[test]
+    fn multi_sink_is_union_of_levels() {
+        let quiet = Arc::new(StderrSink::new(Level::Error));
+        let chatty = Arc::new(StderrSink::new(Level::Debug));
+        let multi = MultiSink::new(vec![quiet, chatty]);
+        assert!(multi.message_enabled(Level::Debug));
+        assert!(!multi.message_enabled(Level::Trace));
+    }
+
+    #[test]
+    fn thread_ids_are_distinct() {
+        let main_id = thread_id();
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(main_id, other);
+        assert_eq!(main_id, thread_id());
+    }
+
+    #[test]
+    fn process_clock_is_monotonic() {
+        let a = process_elapsed_ns();
+        let b = process_elapsed_ns();
+        assert!(b >= a);
+    }
+}

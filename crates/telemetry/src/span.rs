@@ -1,0 +1,195 @@
+//! RAII timing spans with per-thread nesting.
+//!
+//! [`Span::enter`] pushes the span onto a thread-local stack (so
+//! parent/child relationships are tracked per worker thread — safe
+//! under crossbeam's scoped fan-out, where every worker gets its own
+//! stack) and emits a `span_open` event. Dropping (or explicitly
+//! [`Span::close`]-ing) the span emits `span_close` and accumulates the
+//! wall time into the global registry as `span.<name>.ns` /
+//! `span.<name>.count`, so summaries can be built from counters alone.
+//!
+//! ```
+//! use hvac_telemetry::Span;
+//!
+//! let outer = Span::enter("extraction");
+//! {
+//!     let inner = Span::enter("rollouts");
+//!     // … work …
+//!     drop(inner);
+//! }
+//! let wall = outer.close();
+//! println!("extraction took {wall:?}");
+//! ```
+
+use crate::registry::counter;
+use crate::sink::{emit, thread_id, Event};
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open timing span; closes on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    parent: Option<&'static str>,
+    depth: usize,
+    start: Instant,
+    closed: bool,
+}
+
+impl Span {
+    /// Opens a span named `name`, nested under the calling thread's
+    /// innermost open span (if any).
+    pub fn enter(name: &'static str) -> Self {
+        let (parent, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            let depth = stack.len();
+            stack.push(name);
+            (parent, depth)
+        });
+        emit(&Event::SpanOpen {
+            name,
+            parent,
+            depth,
+            thread: thread_id(),
+        });
+        Self {
+            name,
+            parent,
+            depth,
+            start: Instant::now(),
+            closed: false,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Wall time since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span now and returns its wall time.
+    pub fn close(mut self) -> Duration {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Duration {
+        if self.closed {
+            return self.start.elapsed();
+        }
+        self.closed = true;
+        let wall = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans normally close innermost-first; if one is held
+            // across an unwind, remove the right entry regardless.
+            if stack.last() == Some(&self.name) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&n| n == self.name) {
+                stack.remove(pos);
+            }
+        });
+        let nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        counter(&format!("span.{}.ns", self.name)).add(nanos);
+        counter(&format!("span.{}.count", self.name)).incr();
+        emit(&Event::SpanClose {
+            name: self.name,
+            parent: self.parent,
+            depth: self.depth,
+            thread: thread_id(),
+            nanos,
+        });
+        wall
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::snapshot;
+
+    #[test]
+    fn nesting_tracks_parent_and_depth() {
+        let outer = Span::enter("test_span_outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.parent, None);
+        let inner = Span::enter("test_span_inner");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.parent, Some("test_span_outer"));
+        drop(inner);
+        let sibling = Span::enter("test_span_sibling");
+        assert_eq!(sibling.depth, 1);
+        assert_eq!(sibling.parent, Some("test_span_outer"));
+    }
+
+    #[test]
+    fn close_records_registry_counters() {
+        let before = snapshot();
+        let span = Span::enter("test_span_counted");
+        std::thread::sleep(Duration::from_millis(2));
+        let wall = span.close();
+        let after = snapshot();
+        assert_eq!(
+            after.counter_delta(&before, "span.test_span_counted.count"),
+            1
+        );
+        let ns = after.counter_delta(&before, "span.test_span_counted.ns");
+        assert!(ns >= 2_000_000, "recorded {ns} ns");
+        assert!(wall >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn out_of_order_close_keeps_stack_consistent() {
+        let a = Span::enter("test_span_a");
+        let b = Span::enter("test_span_b");
+        drop(a); // wrong order on purpose
+        let c = Span::enter("test_span_c");
+        // `b` is still the innermost open span.
+        assert_eq!(c.parent, Some("test_span_b"));
+        drop(b);
+        drop(c);
+        let fresh = Span::enter("test_span_fresh");
+        assert_eq!(fresh.depth, 0);
+    }
+
+    #[test]
+    fn spans_across_scoped_threads_land_in_registry() {
+        let before = snapshot();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|_| {
+                    // Each worker thread has its own stack: these are
+                    // roots there, not children of the caller's spans.
+                    let worker = Span::enter("test_span_worker");
+                    assert_eq!(worker.depth, 0);
+                    let inner = Span::enter("test_span_worker_inner");
+                    assert_eq!(inner.parent, Some("test_span_worker"));
+                });
+            }
+        })
+        .expect("crossbeam scope");
+        let after = snapshot();
+        assert_eq!(
+            after.counter_delta(&before, "span.test_span_worker.count"),
+            3
+        );
+        assert_eq!(
+            after.counter_delta(&before, "span.test_span_worker_inner.count"),
+            3
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Programmatic per-run telemetry rollups.
+//!
+//! [`TelemetrySummary`] is the snapshot type pipeline callers get back
+//! inside `PipelineArtifacts`: stage wall times plus the counters each
+//! run moved, with the headline numbers (rollouts, split evaluations,
+//! verification work) surfaced as typed accessors. Built by diffing
+//! [`crate::registry::snapshot`]s around the run, so it reflects
+//! exactly the work attributed between the two snapshots.
+
+use crate::registry::RegistrySnapshot;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Wall time of one named pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (e.g. `"dynamics"`).
+    pub name: String,
+    /// Stage wall time.
+    pub wall: Duration,
+}
+
+/// Everything telemetry observed during one pipeline run.
+///
+/// Counters are process-global: when several pipelines run concurrently
+/// in one process, counter deltas include every concurrent run's work.
+/// Stage wall times are measured locally and are always exact for this
+/// run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// End-to-end wall time of the run.
+    pub total_wall: Duration,
+    /// Per-stage wall times, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Every counter delta observed during the run (dotted names).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl TelemetrySummary {
+    /// Builds a summary from snapshots taken around the run plus the
+    /// locally measured stage timings.
+    pub fn from_snapshots(
+        before: &RegistrySnapshot,
+        after: &RegistrySnapshot,
+        total_wall: Duration,
+        stages: Vec<StageTiming>,
+    ) -> Self {
+        Self {
+            total_wall,
+            stages,
+            counters: after.counter_deltas(before),
+        }
+    }
+
+    /// The wall time of the stage called `name`, if present.
+    pub fn stage_wall(&self, name: &str) -> Option<Duration> {
+        self.stages.iter().find(|s| s.name == name).map(|s| s.wall)
+    }
+
+    /// A counter delta by name (0 when the counter never moved).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Stochastic-optimizer invocations spent distilling the decision
+    /// dataset (the paper's dominant 16.8 s-per-point cost).
+    pub fn rollouts(&self) -> u64 {
+        self.counter("extract.rollouts")
+    }
+
+    /// Candidate trajectories scored by the random-shooting planner.
+    pub fn trajectories(&self) -> u64 {
+        self.counter("rs.trajectories")
+    }
+
+    /// Candidate split thresholds evaluated while fitting the tree.
+    pub fn split_evaluations(&self) -> u64 {
+        self.counter("dtree.split_evaluations")
+    }
+
+    /// Nodes in the most recently fitted tree.
+    pub fn tree_nodes(&self) -> u64 {
+        self.counter("dtree.fit.nodes")
+    }
+
+    /// Leaf paths checked by Algorithm 1.
+    pub fn paths_checked(&self) -> u64 {
+        self.counter("verify.paths_checked")
+    }
+
+    /// Leaves rewritten by the correction pass.
+    pub fn leaves_corrected(&self) -> u64 {
+        self.counter("verify.leaves_corrected")
+    }
+}
+
+impl std::fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pipeline wall time {:.3} s",
+            self.total_wall.as_secs_f64()
+        )?;
+        for stage in &self.stages {
+            writeln!(
+                f,
+                "  stage {:<14} {:>9.3} s",
+                stage.name,
+                stage.wall.as_secs_f64()
+            )?;
+        }
+        write!(
+            f,
+            "  rollouts {}   trajectories {}   split evals {}   paths checked {}   leaves corrected {}",
+            self.rollouts(),
+            self.trajectories(),
+            self.split_evaluations(),
+            self.paths_checked(),
+            self.leaves_corrected()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter, snapshot};
+
+    #[test]
+    fn summary_diffs_counters_and_keeps_stages() {
+        let before = snapshot();
+        counter("test.summary.rolls").add(5);
+        counter("extract.rollouts").add(7);
+        let after = snapshot();
+        let summary = TelemetrySummary::from_snapshots(
+            &before,
+            &after,
+            Duration::from_secs(2),
+            vec![
+                StageTiming {
+                    name: "dynamics".into(),
+                    wall: Duration::from_millis(500),
+                },
+                StageTiming {
+                    name: "extraction".into(),
+                    wall: Duration::from_millis(1500),
+                },
+            ],
+        );
+        assert_eq!(summary.counter("test.summary.rolls"), 5);
+        assert!(summary.rollouts() >= 7);
+        assert_eq!(
+            summary.stage_wall("dynamics"),
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(summary.stage_wall("missing"), None);
+        assert_eq!(summary.total_wall, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn display_lists_stages() {
+        let summary = TelemetrySummary {
+            total_wall: Duration::from_secs(1),
+            stages: vec![StageTiming {
+                name: "tree_fit".into(),
+                wall: Duration::from_millis(10),
+            }],
+            counters: BTreeMap::new(),
+        };
+        let text = summary.to_string();
+        assert!(text.contains("tree_fit"));
+        assert!(text.contains("rollouts 0"));
+    }
+}

@@ -34,7 +34,10 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::ZeroHorizon => write!(f, "verification horizon must be positive"),
             VerifyError::NoSafeStates => {
-                write!(f, "could not sample any safe-start state from the input distribution")
+                write!(
+                    f,
+                    "could not sample any safe-start state from the input distribution"
+                )
             }
             VerifyError::Tree(e) => write!(f, "tree error: {e}"),
             VerifyError::Env(e) => write!(f, "environment error: {e}"),

@@ -54,8 +54,6 @@ pub use path::{
     correct_leaf, corrected_action, median_action, verify_paths, CorrectionStrategy,
     PathVerification, PathViolation, ViolatedCriterion,
 };
-pub use probabilistic::{
-    verify_criterion_1, verify_criterion_1_bootstrap, SafeProbability,
-};
+pub use probabilistic::{verify_criterion_1, verify_criterion_1_bootstrap, SafeProbability};
 pub use reachability::{reachability_tube, ReachabilityTube};
 pub use report::{verify_and_correct, VerificationConfig, VerificationReport};

@@ -129,12 +129,12 @@ pub fn verify_paths(
     for leaf in tree.leaves() {
         result.leaves_checked += 1;
         let class = tree.leaf_class(leaf)?;
-        let action = space
-            .action(class)
-            .map_err(|_| VerifyError::Tree(hvac_dtree::TreeError::BadClass {
+        let action = space.action(class).map_err(|_| {
+            VerifyError::Tree(hvac_dtree::TreeError::BadClass {
                 class,
                 n_classes: space.len(),
-            }))?;
+            })
+        })?;
         let input_box = tree.leaf_box(leaf)?;
         let temp_side = input_box.side(feature::ZONE_TEMPERATURE);
 
@@ -239,12 +239,12 @@ pub fn correct_leaf(
 ) -> Result<(), VerifyError> {
     let space = policy.action_space().clone();
     let current_class = policy.tree().leaf_class(leaf)?;
-    let current = space
-        .action(current_class)
-        .map_err(|_| VerifyError::Tree(hvac_dtree::TreeError::BadClass {
+    let current = space.action(current_class).map_err(|_| {
+        VerifyError::Tree(hvac_dtree::TreeError::BadClass {
             class: current_class,
             n_classes: space.len(),
-        }))?;
+        })
+    })?;
     let corrected = corrected_action(current, too_warm, too_cold, comfort);
     let corrected_class = space.index_of(corrected);
 
@@ -308,8 +308,8 @@ mod tests {
             };
             labels.push(space.index_of(action));
         }
-        let tree = DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default())
-            .unwrap();
+        let tree =
+            DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
         DtPolicy::new(tree).unwrap()
     }
 
@@ -368,8 +368,15 @@ mod tests {
         let v = verify_paths(&policy, &comfort()).unwrap();
         assert!(!v.passed());
         for (leaf, warm, cold, _) in v.merged_by_leaf() {
-            correct_leaf(&mut policy, leaf, warm, cold, &comfort(), CorrectionStrategy::EditLeaf)
-                .unwrap();
+            correct_leaf(
+                &mut policy,
+                leaf,
+                warm,
+                cold,
+                &comfort(),
+                CorrectionStrategy::EditLeaf,
+            )
+            .unwrap();
         }
         let v2 = verify_paths(&policy, &comfort()).unwrap();
         assert!(v2.passed(), "still violating: {:?}", v2.violations);
@@ -433,7 +440,10 @@ mod tests {
         // Occupied cold zone: corrected to heat at the comfort median.
         let mut day = night;
         day.disturbances.occupant_count = 3.0;
-        assert_eq!(f64::from(policy.decide(&day).heating()), comfort().median().round());
+        assert_eq!(
+            f64::from(policy.decide(&day).heating()),
+            comfort().median().round()
+        );
     }
 
     #[test]
@@ -445,8 +455,15 @@ mod tests {
         );
         let v = verify_paths(&policy, &comfort()).unwrap();
         let (leaf, warm, cold, _) = v.merged_by_leaf()[0];
-        correct_leaf(&mut policy, leaf, warm, cold, &comfort(), CorrectionStrategy::EditLeaf)
-            .unwrap();
+        correct_leaf(
+            &mut policy,
+            leaf,
+            warm,
+            cold,
+            &comfort(),
+            CorrectionStrategy::EditLeaf,
+        )
+        .unwrap();
         // A deep-cold observation routes to the corrected leaf, whose
         // heating setpoint is now the comfort median.
         let obs = Observation {

@@ -286,8 +286,8 @@ mod tests {
     #[test]
     fn bootstrap_agrees_with_one_step_on_stable_system() {
         let comfort = ComfortRange::winter();
-        let one = verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 400, 0.9, 1)
-            .unwrap();
+        let one =
+            verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 400, 0.9, 1).unwrap();
         let boot = verify_criterion_1_bootstrap(
             &mut Hold,
             &Stable,
@@ -319,9 +319,7 @@ mod tests {
             Err(VerifyError::BadThreshold { .. })
         ));
         assert!(matches!(
-            verify_criterion_1_bootstrap(
-                &mut Hold, &Stable, &augmenter(), &comfort, 10, 0, 0.9, 0
-            ),
+            verify_criterion_1_bootstrap(&mut Hold, &Stable, &augmenter(), &comfort, 10, 0, 0.9, 0),
             Err(VerifyError::ZeroHorizon)
         ));
     }
@@ -329,10 +327,10 @@ mod tests {
     #[test]
     fn verification_is_seeded() {
         let comfort = ComfortRange::winter();
-        let a = verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 100, 0.9, 5)
-            .unwrap();
-        let b = verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 100, 0.9, 5)
-            .unwrap();
+        let a =
+            verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 100, 0.9, 5).unwrap();
+        let b =
+            verify_criterion_1(&mut Hold, &Stable, &augmenter(), &comfort, 100, 0.9, 5).unwrap();
         assert_eq!(a, b);
     }
 

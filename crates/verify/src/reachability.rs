@@ -131,8 +131,8 @@ mod tests {
     #[test]
     fn tube_contracts_to_fixed_point() {
         let start = Observation::new(21.0, Default::default());
-        let tube = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 20, 30, 0)
-            .unwrap();
+        let tube =
+            reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 20, 30, 0).unwrap();
         assert_eq!(tube.len(), 20);
         assert!((tube.lower[19] - 21.5).abs() < 0.01);
         assert!((tube.upper[19] - 21.5).abs() < 0.01);
@@ -142,16 +142,16 @@ mod tests {
     #[test]
     fn tube_detects_unsafe_start_transient() {
         let start = Observation::new(15.0, Default::default());
-        let tube = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 5, 10, 0)
-            .unwrap();
+        let tube =
+            reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 5, 10, 0).unwrap();
         assert!(!tube.within(&ComfortRange::winter()));
     }
 
     #[test]
     fn envelopes_ordered() {
         let start = Observation::new(21.0, Default::default());
-        let tube = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 10, 25, 3)
-            .unwrap();
+        let tube =
+            reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 10, 25, 3).unwrap();
         for (lo, hi) in tube.lower.iter().zip(&tube.upper) {
             assert!(lo <= hi);
         }
@@ -173,10 +173,8 @@ mod tests {
     #[test]
     fn seeded_tubes_reproduce() {
         let start = Observation::new(21.0, Default::default());
-        let a = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 8, 12, 9)
-            .unwrap();
-        let b = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 8, 12, 9)
-            .unwrap();
+        let a = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 8, 12, 9).unwrap();
+        let b = reachability_tube(&mut Hold, &Contraction, &augmenter(), &start, 8, 12, 9).unwrap();
         assert_eq!(a, b);
     }
 }

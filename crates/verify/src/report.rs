@@ -65,8 +65,16 @@ impl VerificationReport {
 
 impl std::fmt::Display for VerificationReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Total No. of nodes                      {}", self.total_nodes)?;
-        writeln!(f, "No. of leaf nodes (unique path)         {}", self.leaf_nodes)?;
+        writeln!(
+            f,
+            "Total No. of nodes                      {}",
+            self.total_nodes
+        )?;
+        writeln!(
+            f,
+            "No. of leaf nodes (unique path)         {}",
+            self.leaf_nodes
+        )?;
         writeln!(
             f,
             "Safe probability estimated by crit. #1  {:.1}%",
@@ -101,9 +109,11 @@ pub fn verify_and_correct<Pred: Predictor>(
     augmenter: &NoiseAugmenter,
     config: &VerificationConfig,
 ) -> Result<VerificationReport, VerifyError> {
+    let paths_checked = policy.tree().leaf_count();
     let path_result: PathVerification = verify_paths(policy, &config.comfort)?;
     let corrected_2 = path_result.criterion_2_count();
     let corrected_3 = path_result.criterion_3_count();
+    let mut leaves_corrected = 0u64;
     for (leaf, too_warm, too_cold, _) in path_result.merged_by_leaf() {
         correct_leaf(
             policy,
@@ -113,7 +123,10 @@ pub fn verify_and_correct<Pred: Predictor>(
             &config.comfort,
             config.correction,
         )?;
+        leaves_corrected += 1;
     }
+    hvac_telemetry::counter("verify.paths_checked").add(paths_checked as u64);
+    hvac_telemetry::counter("verify.leaves_corrected").add(leaves_corrected);
 
     // Corrections (and zero-gain CART splits) can leave sibling leaves
     // with identical actions; collapse them so the reported/deployed

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all("target")?;
     let path = "target/audit_trace.csv";
     std::fs::write(path, record.to_csv())?;
-    println!("wrote per-step trace to {path} ({} rows)\n", record.steps.len());
+    println!(
+        "wrote per-step trace to {path} ({} rows)\n",
+        record.steps.len()
+    );
 
     // Daily digest.
     println!("day  energy_kwh  zone_kwh  min_T  max_T  violations");
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         200, // disturbance scenarios
         0,
     )?;
-    println!("\n-- forward reachability tube from the final state ({:.1} °C) --", start.zone_temperature);
+    println!(
+        "\n-- forward reachability tube from the final state ({:.1} °C) --",
+        start.zone_temperature
+    );
     println!("step  lower_C  upper_C");
     for (k, (lo, hi)) in tube.lower.iter().zip(&tube.upper).enumerate().step_by(4) {
         println!("{k:>4}  {lo:>7.2}  {hi:>7.2}");

@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..
             } => {
                 let v = x[*f];
-                let taken = if v <= *threshold { "≤ → left" } else { "> → right" };
+                let taken = if v <= *threshold {
+                    "≤ → left"
+                } else {
+                    "> → right"
+                };
                 println!(
                     "  step {i}: {} = {v:.2} vs {threshold:.2}  ({taken})",
                     feature::NAMES[*f]
@@ -92,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = "target/decision_tree.dot";
     std::fs::create_dir_all("target")?;
     std::fs::write(path, &dot)?;
-    println!("\n-- view 4: Graphviz DOT written to {path} ({} bytes) --", dot.len());
+    println!(
+        "\n-- view 4: Graphviz DOT written to {path} ({} bytes) --",
+        dot.len()
+    );
     println!("render with: dot -Tpng {path} -o tree.png");
 
     Ok(())

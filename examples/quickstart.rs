@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Extract + verify a decision-tree policy for Pittsburgh.
     let config = PipelineConfig::reduced(EnvConfig::pittsburgh());
     println!("running pipeline (collect → train → distill → fit → verify)…");
-    let artifacts = run_pipeline(&config).map_err(|e: PipelineError| Box::new(e) as _)
+    let artifacts = run_pipeline(&config)
+        .map_err(|e: PipelineError| Box::new(e) as _)
         .map_err(|e: Box<dyn std::error::Error>| e)?;
 
     println!("\n-- dynamics model --");

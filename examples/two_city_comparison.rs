@@ -17,7 +17,10 @@ use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
 
 const WEEK: usize = 7 * 96;
 
-fn evaluate<P: Policy>(env_config: &EnvConfig, policy: &mut P) -> Result<EpisodeMetrics, Box<dyn std::error::Error>> {
+fn evaluate<P: Policy>(
+    env_config: &EnvConfig,
+    policy: &mut P,
+) -> Result<EpisodeMetrics, Box<dyn std::error::Error>> {
     let mut env = HvacEnv::new(env_config.clone().with_episode_steps(WEEK))?;
     Ok(run_episode(&mut env, policy)?.metrics)
 }
@@ -43,15 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // for the MBRL baseline, like the paper does).
         let artifacts = run_pipeline(&PipelineConfig::reduced(env_config.clone()))?;
 
-        let mut default_ctl = RuleBasedController::new(*HvacEnv::new(env_config.clone())?.comfort());
+        let mut default_ctl =
+            RuleBasedController::new(*HvacEnv::new(env_config.clone())?.comfort());
         report("default", &evaluate(&env_config, &mut default_ctl)?);
 
         let rs_config = RandomShootingConfig {
             samples: 200, // reduced from the paper's 1000 for example speed
             ..RandomShootingConfig::paper()
         };
-        let mut mbrl =
-            RandomShootingController::new(artifacts.model.clone(), rs_config, 1)?;
+        let mut mbrl = RandomShootingController::new(artifacts.model.clone(), rs_config, 1)?;
         report("mbrl-rs", &evaluate(&env_config, &mut mbrl)?);
 
         let mut dt = artifacts.policy;

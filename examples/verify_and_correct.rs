@@ -13,9 +13,11 @@
 use veri_hvac::control::DtPolicy;
 use veri_hvac::dtree::{DecisionTree, TreeConfig};
 use veri_hvac::env::space::feature;
-use veri_hvac::env::{ActionSpace, ComfortRange, Observation, Policy, SetpointAction, POLICY_INPUT_DIM};
-use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
 use veri_hvac::env::EnvConfig;
+use veri_hvac::env::{
+    ActionSpace, ComfortRange, Observation, Policy, SetpointAction, POLICY_INPUT_DIM,
+};
+use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
 use veri_hvac::verify::{verify_and_correct, verify_paths, VerificationConfig};
 
 /// An unsafe hand-made policy: never heats, whatever the temperature.
@@ -49,12 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         check.criterion_3_count()
     );
     for v in check.violations.iter().take(5) {
-        println!("  leaf {:?} violates {:?} with action {}", v.leaf.node_id(), v.criterion, v.action);
+        println!(
+            "  leaf {:?} violates {:?} with action {}",
+            v.leaf.node_id(),
+            v.criterion,
+            v.action
+        );
     }
 
     // Before correction: a freezing zone gets no heating.
     let freezing = Observation::new(14.0, Default::default());
-    println!("\nbefore correction, at 14.0 °C the policy commands: {}", policy.decide(&freezing));
+    println!(
+        "\nbefore correction, at 14.0 °C the policy commands: {}",
+        policy.decide(&freezing)
+    );
 
     println!("\n=== step 2: full verify-and-correct pass ===");
     // Criterion #1 needs a dynamics model and an input distribution;
@@ -67,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = verify_and_correct(&mut policy, &artifacts.model, &artifacts.augmenter, &config)?;
     println!("{report}");
 
-    println!("\nafter correction, at 14.0 °C the policy commands: {}", policy.decide(&freezing));
+    println!(
+        "\nafter correction, at 14.0 °C the policy commands: {}",
+        policy.decide(&freezing)
+    );
 
     println!("\n=== step 3: re-run Algorithm 1 on the corrected policy ===");
     let recheck = verify_paths(&policy, &comfort)?;

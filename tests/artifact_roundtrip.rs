@@ -63,17 +63,13 @@ fn weather_trace_roundtrips_and_replays_identically() {
 
     // Replaying the restored trace yields a bitwise-identical episode.
     let run = |trace: Vec<veri_hvac::sim::WeatherSample>| {
-        let mut env = HvacEnv::with_weather_trace(
-            EnvConfig::tucson().with_episode_steps(96),
-            trace,
-        )
-        .unwrap();
-        let mut obs = env.reset();
+        let mut env =
+            HvacEnv::with_weather_trace(EnvConfig::tucson().with_episode_steps(96), trace).unwrap();
+        env.reset();
         let mut temps = Vec::new();
         for _ in 0..96 {
             let out = env.step(SetpointAction::new(20, 26).unwrap()).unwrap();
-            obs = out.observation;
-            temps.push(obs.zone_temperature);
+            temps.push(out.observation.zone_temperature);
         }
         temps
     };
@@ -87,7 +83,11 @@ fn verified_policy_text_artifact_still_passes_algorithm_1() {
     let a = artifacts();
     let restored = DtPolicy::from_compact_string(&a.policy.to_compact_string()).unwrap();
     let check = verify_paths(&restored, &ComfortRange::winter()).unwrap();
-    assert!(check.passed(), "violations resurfaced after roundtrip: {:?}", check.violations);
+    assert!(
+        check.passed(),
+        "violations resurfaced after roundtrip: {:?}",
+        check.violations
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 
 use veri_hvac::control::RuleBasedController;
 use veri_hvac::env::{run_episode, ComfortRange, EnvConfig, HvacEnv, Policy, SetpointAction};
-use veri_hvac::env::{Observation, EpisodeMetrics};
+use veri_hvac::env::{EpisodeMetrics, Observation};
 
 struct Constant(SetpointAction);
 impl Policy for Constant {
@@ -57,7 +57,10 @@ fn off_policy_saves_energy_but_violates_comfort() {
     // "Off" (heat 15 / cool 30) is not literally zero energy in a
     // Pittsburgh January — the zone can sink below 15 °C — but it must
     // use far less than comfort-holding while violating massively.
-    let off = week(EnvConfig::pittsburgh(), &mut Constant(SetpointAction::off()));
+    let off = week(
+        EnvConfig::pittsburgh(),
+        &mut Constant(SetpointAction::off()),
+    );
     let hold = week(
         EnvConfig::pittsburgh(),
         &mut Constant(SetpointAction::new(21, 24).unwrap()),
@@ -73,7 +76,10 @@ fn aggressive_heating_eliminates_cold_violations_at_a_cost() {
         EnvConfig::pittsburgh(),
         &mut Constant(SetpointAction::new(22, 24).unwrap()),
     );
-    let off = week(EnvConfig::pittsburgh(), &mut Constant(SetpointAction::off()));
+    let off = week(
+        EnvConfig::pittsburgh(),
+        &mut Constant(SetpointAction::off()),
+    );
     assert!(warm.violation_rate() < off.violation_rate());
     assert!(warm.zone_electric_kwh > off.zone_electric_kwh);
 }

@@ -30,7 +30,9 @@ fn mbrl_is_stochastic_on_a_fixed_day() {
             fixed_day(),
         )
         .unwrap();
-        run_episode(&mut env, &mut controller).unwrap().heating_setpoints()
+        run_episode(&mut env, &mut controller)
+            .unwrap()
+            .heating_setpoints()
     };
     let traces: std::collections::HashSet<Vec<i32>> = (0..4).map(run).collect();
     assert!(
@@ -68,7 +70,13 @@ fn whole_pipeline_is_reproducible_across_processes_worth_of_state() {
     let a = run_pipeline(&config).unwrap();
     let b = run_pipeline(&config).unwrap();
     assert_eq!(a.policy.tree(), b.policy.tree());
-    assert_eq!(a.report.corrected_criterion_2, b.report.corrected_criterion_2);
-    assert_eq!(a.report.corrected_criterion_3, b.report.corrected_criterion_3);
+    assert_eq!(
+        a.report.corrected_criterion_2,
+        b.report.corrected_criterion_2
+    );
+    assert_eq!(
+        a.report.corrected_criterion_3,
+        b.report.corrected_criterion_3
+    );
     assert_eq!(a.report.criterion_1, b.report.criterion_1);
 }
