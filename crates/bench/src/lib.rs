@@ -8,6 +8,10 @@
 //!   that preserves the qualitative shape in a fraction of the time.
 //! * `--csv` — additionally write the rows to `results/<name>.csv`.
 //! * `--verbose` / `--quiet` — raise/lower the stderr progress level.
+//! * `--metrics-addr HOST:PORT` — expose the live metrics registry
+//!   over HTTP (`/metrics`, `/healthz`, `/summary.json`) for the
+//!   duration of the run, so long benches can be watched from a
+//!   Prometheus scrape or a `curl` loop.
 //!
 //! Output is printed as aligned text tables; CSVs land in `results/`.
 //! Progress lines go through the `hvac-telemetry` stderr sink;
@@ -17,7 +21,7 @@
 #![warn(missing_docs)]
 
 use hvac_telemetry::{info, warn, Level, StderrSink};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 use veri_hvac::control::{PlanningConfig, RandomShootingConfig};
 use veri_hvac::dynamics::{DynamicsEnsemble, EnsembleConfig, ModelConfig};
@@ -71,29 +75,47 @@ pub struct HarnessOptions {
     pub csv: bool,
 }
 
-/// Parses `--paper` / `--csv` / `--verbose` / `--quiet` from
-/// `std::env::args` and installs the harness's leveled stderr sink
-/// (plus the `HVAC_TELEMETRY` JSONL sink when the variable is set).
+/// The metrics server started by `--metrics-addr`, held for the
+/// lifetime of the process so the listener outlives `parse_options`.
+static METRICS_SERVER: OnceLock<hvac_telemetry::http::HttpServer> = OnceLock::new();
+
+/// Parses `--paper` / `--csv` / `--verbose` / `--quiet` /
+/// `--metrics-addr HOST:PORT` from `std::env::args` and installs the
+/// harness's leveled stderr sink (plus the `HVAC_TELEMETRY` JSONL sink
+/// when the variable is set). With `--metrics-addr` the live registry
+/// is additionally exposed over HTTP until the process exits.
 pub fn parse_options() -> HarnessOptions {
     let mut options = HarnessOptions {
         scale: Scale::Reduced,
         csv: false,
     };
     let mut level = Level::Info;
+    let mut metrics_addr = None;
     let mut unknown = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--paper" => options.scale = Scale::Paper,
             "--csv" => options.csv = true,
             "--verbose" => level = Level::Debug,
             "--quiet" => level = Level::Warn,
+            "--metrics-addr" => metrics_addr = args.next(),
             other => unknown.push(other.to_string()),
         }
     }
     hvac_telemetry::set_sink(Arc::new(StderrSink::new(level)));
     hvac_telemetry::init_from_env();
+    hvac_telemetry::install_panic_flush_hook();
     for other in unknown {
         warn!("ignoring unknown argument {other}");
+    }
+    if let Some(addr) = metrics_addr {
+        match hvac_telemetry::http::HttpServer::bind(&addr) {
+            Ok(server) => {
+                let _ = METRICS_SERVER.set(server);
+            }
+            Err(e) => warn!("cannot bind metrics server on {addr}: {e}"),
+        }
     }
     options
 }

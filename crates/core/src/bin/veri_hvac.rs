@@ -6,6 +6,7 @@
 //! veri-hvac verify   --policy artifacts/policy.dtree --model artifacts/model.dynmodel --city pittsburgh
 //! veri-hvac inspect  --policy artifacts/policy.dtree [--dot]
 //! veri-hvac simulate --policy artifacts/policy.dtree --city pittsburgh --days 7
+//! veri-hvac serve    --policy artifacts/policy.dtree --addr 127.0.0.1:9464
 //! ```
 //!
 //! `extract` runs the paper's full procedure (Fig. 2) and writes the
@@ -13,7 +14,11 @@
 //! human-auditable text artifacts. `verify` re-runs offline verification
 //! on saved artifacts. `inspect` prints the policy's rules (or Graphviz
 //! DOT). `simulate` deploys a saved policy in the simulated building
-//! and reports energy/comfort metrics.
+//! and reports energy/comfort metrics. `serve` loads a policy and
+//! answers `POST /decide` (plus `/metrics`, `/healthz`,
+//! `/summary.json`) until interrupted. Any long-running subcommand
+//! additionally exposes the observability routes when
+//! `--metrics-addr ADDR` is given.
 
 use hvac_telemetry::{error, info, JsonlSink, Level, StderrSink};
 use std::process::ExitCode;
@@ -34,12 +39,19 @@ USAGE:
   veri-hvac verify   --policy FILE --model FILE --city <city> [--samples N]
   veri-hvac inspect  --policy FILE [--dot]
   veri-hvac simulate --policy FILE --city <city> [--days N]
+  veri-hvac serve    --policy FILE [--addr HOST:PORT]
 
 GLOBAL FLAGS:
   --verbose          stderr progress at debug level (span timings included)
   --quiet            suppress stderr progress (warnings and errors only)
   --telemetry FILE   append machine-readable JSONL telemetry events to FILE
                      (equivalent to HVAC_TELEMETRY=FILE)
+  --metrics-addr A   expose GET /metrics, /healthz, /summary.json at A
+                     (e.g. 127.0.0.1:9464) for the duration of the run
+
+`serve` answers POST /decide with the policy's setpoint decision for a
+JSON observation body and always exposes the observability routes on
+its own --addr (default 127.0.0.1:9464; port 0 picks one).
 
 Machine-readable results go to stdout; progress and diagnostics to stderr.
 Artifacts are plain text (see hvac_dtree::serialize / hvac_dynamics::serialize).
@@ -106,7 +118,20 @@ fn init_telemetry(args: &Args) -> Result<(), String> {
     }
     // HVAC_TELEMETRY=<path> still works; it tees into whatever is set.
     hvac_telemetry::init_from_env();
+    // A buffered JSONL sink must survive panics with its tail intact.
+    hvac_telemetry::install_panic_flush_hook();
     Ok(())
+}
+
+/// Starts the opt-in observability server when `--metrics-addr` is
+/// given; the returned guard keeps it alive for the whole run.
+fn init_metrics_server(args: &Args) -> Result<Option<hvac_telemetry::http::HttpServer>, String> {
+    let Some(addr) = args.flag("metrics-addr") else {
+        return Ok(None);
+    };
+    let server = hvac_telemetry::http::HttpServer::bind(addr)
+        .map_err(|e| format!("cannot bind metrics server on {addr}: {e}"))?;
+    Ok(Some(server))
 }
 
 fn env_config_for(city: &str) -> Result<EnvConfig, String> {
@@ -244,20 +269,51 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let policy_path = args.flag("policy").ok_or("serve requires --policy")?;
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:9464");
+    let policy_text = std::fs::read_to_string(policy_path).map_err(|e| e.to_string())?;
+    let policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
+    info!(
+        "serving policy {policy_path} ({} nodes, depth {})",
+        policy.tree().node_count(),
+        policy.tree().depth()
+    );
+    let server = veri_hvac::serve_policy(policy, addr)
+        .map_err(|e| format!("cannot bind serve endpoint on {addr}: {e}"))?;
+    println!("serving on http://{}", server.addr());
+    println!("  POST /decide      {{\"zone_temperature\": 18.5, ...}} -> setpoint action");
+    println!("  GET  /metrics     Prometheus text format 0.0.4");
+    println!("  GET  /healthz     liveness probe");
+    println!("  GET  /summary.json  registry summary with p50/p95/p99");
+    hvac_telemetry::flush();
+    // Serve until the process is interrupted.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse();
-    let result =
-        init_telemetry(&args).and_then(|()| match args.positional.first().map(String::as_str) {
+    let mut metrics_guard = None;
+    let result = init_telemetry(&args)
+        .and_then(|()| {
+            metrics_guard = init_metrics_server(&args)?;
+            Ok(())
+        })
+        .and_then(|()| match args.positional.first().map(String::as_str) {
             Some("extract") => cmd_extract(&args),
             Some("verify") => cmd_verify(&args),
             Some("inspect") => cmd_inspect(&args),
             Some("simulate") => cmd_simulate(&args),
+            Some("serve") => cmd_serve(&args),
             _ => {
                 eprint!("{USAGE}");
                 Err(String::new())
             }
         });
     hvac_telemetry::flush();
+    drop(metrics_guard);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) if message.is_empty() => ExitCode::from(2),

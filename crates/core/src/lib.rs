@@ -48,6 +48,7 @@
 //! | [`extract`] | Eq. 5 augmentation, noise study, distillation |
 //! | [`verify`] | Algorithm 1 + probabilistic criterion #1 |
 //! | [`stats`] | histograms, entropy, JSD, summaries |
+//! | [`serve`] | HTTP serving of verified policies (`POST /decide`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,5 +64,7 @@ pub use hvac_stats as stats;
 pub use hvac_verify as verify;
 
 pub mod pipeline;
+pub mod serve;
 
 pub use pipeline::{run_pipeline, PipelineArtifacts, PipelineConfig, PipelineError};
+pub use serve::serve_policy;

@@ -1,0 +1,220 @@
+//! Online decision serving — the first traffic-serving path of the
+//! reproduction.
+//!
+//! The paper's argument (Table 3) is that a verified decision tree is
+//! cheap enough to serve live traffic: one root-to-leaf descent per
+//! request. This module puts that claim on the wire: [`serve_policy`]
+//! wraps a [`DtPolicy`] in the zero-dependency HTTP server of
+//! `hvac-telemetry` and answers
+//!
+//! * `POST /decide` — body is a flat JSON observation (see
+//!   [`observation_from_json`]); the response carries the chosen
+//!   setpoints, the action index, and the in-handler latency;
+//! * `GET /metrics`, `/healthz`, `/summary.json` — the standard
+//!   observability routes, including the per-request
+//!   `serve.decide.ns` latency histogram and `serve.decisions`
+//!   counter this module records.
+//!
+//! The handler locks the policy around a single tree descent, so a
+//! served decision is bit-identical to calling
+//! [`Policy::decide`] in process on the same state.
+
+use hvac_control::DtPolicy;
+use hvac_env::space::feature;
+use hvac_env::{Observation, Policy, POLICY_INPUT_DIM};
+use hvac_telemetry::http::{HttpServer, Response};
+use hvac_telemetry::json::{parse, JsonValue, ObjectWriter};
+use hvac_telemetry::LATENCY_BOUNDS_NS;
+use std::net::ToSocketAddrs;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Parses a flat JSON object into an [`Observation`].
+///
+/// Field names are the canonical feature names of
+/// [`feature::NAMES`] **or** the short aliases used throughout the
+/// workspace (`zone_temperature`, `outdoor_temperature`,
+/// `relative_humidity`, `wind_speed`, `solar_radiation`,
+/// `occupant_count`, `hour_of_day`). `zone_temperature` is required;
+/// missing disturbances default to 0.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed or missing field.
+pub fn observation_from_json(text: &str) -> Result<Observation, String> {
+    let value = parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err("body must be a JSON object".to_string());
+    }
+    const ALIASES: [&str; POLICY_INPUT_DIM] = [
+        "zone_temperature",
+        "outdoor_temperature",
+        "relative_humidity",
+        "wind_speed",
+        "solar_radiation",
+        "occupant_count",
+        "hour_of_day",
+    ];
+    let mut x = [0.0f64; POLICY_INPUT_DIM];
+    for (i, slot) in x.iter_mut().enumerate() {
+        let field = value
+            .get(ALIASES[i])
+            .or_else(|| value.get(feature::NAMES[i]));
+        match field {
+            Some(v) => {
+                *slot = v
+                    .as_f64()
+                    .ok_or_else(|| format!("field {:?} must be a number", ALIASES[i]))?;
+                if !slot.is_finite() {
+                    return Err(format!("field {:?} must be finite", ALIASES[i]));
+                }
+            }
+            None if i == feature::ZONE_TEMPERATURE => {
+                return Err("missing required field \"zone_temperature\"".to_string());
+            }
+            None => {}
+        }
+    }
+    Ok(Observation::from_vector(&x))
+}
+
+/// Decides on `body` with `policy` and renders the response JSON.
+///
+/// # Errors
+///
+/// Propagates [`observation_from_json`] errors.
+pub fn decide_json(policy: &Mutex<DtPolicy>, body: &str) -> Result<String, String> {
+    let observation = observation_from_json(body)?;
+    let started = Instant::now();
+    let action = policy
+        .lock()
+        .expect("policy mutex poisoned")
+        .decide(&observation);
+    let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    hvac_telemetry::counter("serve.decisions").incr();
+    hvac_telemetry::histogram("serve.decide.ns", LATENCY_BOUNDS_NS).record(latency_ns);
+    let mut o = ObjectWriter::new();
+    o.u64_field("heating_setpoint", action.heating() as u64);
+    o.u64_field("cooling_setpoint", action.cooling() as u64);
+    let index = policy
+        .lock()
+        .expect("policy mutex poisoned")
+        .action_space()
+        .index_of(action);
+    o.u64_field("action_index", index as u64);
+    o.str_field("action", &action.to_string());
+    o.u64_field("latency_ns", latency_ns);
+    Ok(o.finish())
+}
+
+/// Binds the serving endpoint: `POST /decide` over `policy` plus the
+/// built-in observability routes. Returns the running server (drop or
+/// [`HttpServer::shutdown`] stops it); `server.addr()` has the bound
+/// port.
+///
+/// # Errors
+///
+/// Propagates socket binding errors.
+pub fn serve_policy(policy: DtPolicy, addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+    let shared = Mutex::new(policy);
+    HttpServer::builder()
+        .route("POST", "/decide", move |req| {
+            match decide_json(&shared, &req.body) {
+                Ok(body) => Response::json(200, body),
+                Err(message) => {
+                    let mut o = ObjectWriter::new();
+                    o.str_field("error", &message);
+                    Response::json(422, o.finish())
+                }
+            }
+        })
+        .bind(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_dtree::{DecisionTree, TreeConfig};
+    use hvac_env::{ActionSpace, Disturbances, SetpointAction};
+    use hvac_telemetry::http::blocking_request;
+
+    /// Cold zones → heat hard, warm zones → off (same toy tree as the
+    /// dt_policy unit tests).
+    fn toy_policy() -> DtPolicy {
+        let space = ActionSpace::new();
+        let heat = space.index_of(SetpointAction::new(23, 30).unwrap());
+        let off = space.index_of(SetpointAction::off());
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let temp = 14.0 + f64::from(i) * 0.5;
+            let mut row = vec![0.0; POLICY_INPUT_DIM];
+            row[feature::ZONE_TEMPERATURE] = temp;
+            inputs.push(row);
+            labels.push(if temp < 20.0 { heat } else { off });
+        }
+        let tree =
+            DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
+        DtPolicy::new(tree).unwrap()
+    }
+
+    #[test]
+    fn observation_parsing_accepts_aliases_and_canonical_names() {
+        let obs = observation_from_json(
+            r#"{"zone_temperature":18.5,"outdoor_temperature":-3.0,"hour_of_day":10.5}"#,
+        )
+        .unwrap();
+        assert_eq!(obs.zone_temperature, 18.5);
+        assert_eq!(obs.disturbances.outdoor_temperature, -3.0);
+        assert_eq!(obs.disturbances.hour_of_day, 10.5);
+        let obs = observation_from_json(
+            r#"{"zone_air_temperature":21.0,"zone_people_occupant_count":4}"#,
+        )
+        .unwrap();
+        assert_eq!(obs.zone_temperature, 21.0);
+        assert_eq!(obs.disturbances.occupant_count, 4.0);
+    }
+
+    #[test]
+    fn observation_parsing_rejects_bad_bodies() {
+        assert!(observation_from_json("not json").is_err());
+        assert!(observation_from_json("[1,2,3]").is_err());
+        assert!(observation_from_json(r#"{"outdoor_temperature":1}"#)
+            .unwrap_err()
+            .contains("zone_temperature"));
+        assert!(observation_from_json(r#"{"zone_temperature":"cold"}"#).is_err());
+    }
+
+    #[test]
+    fn served_decision_matches_in_process_policy() {
+        let mut reference = toy_policy();
+        let server = serve_policy(toy_policy(), "127.0.0.1:0").expect("bind");
+        for temp in [15.0, 18.3, 21.0, 23.5] {
+            let obs = Observation::new(temp, Disturbances::default());
+            let expected = reference.decide(&obs);
+            let body = format!(r#"{{"zone_temperature":{temp}}}"#);
+            let (status, text) = blocking_request(server.addr(), "POST", "/decide", &body).unwrap();
+            assert_eq!(status, 200, "{text}");
+            let v = parse(&text).unwrap();
+            let heating = v
+                .get("heating_setpoint")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            let cooling = v
+                .get("cooling_setpoint")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            assert_eq!(heating as i32, expected.heating(), "at {temp} °C");
+            assert_eq!(cooling as i32, expected.cooling(), "at {temp} °C");
+            assert!(v.get("latency_ns").and_then(JsonValue::as_u64).is_some());
+        }
+        // The serving path records its latency histogram and counter.
+        let snap = hvac_telemetry::snapshot();
+        assert!(snap.counters["serve.decisions"] >= 4);
+        assert!(snap.histograms["serve.decide.ns"].count >= 4);
+        // Malformed bodies are a 422, not a crash.
+        let (status, _) = blocking_request(server.addr(), "POST", "/decide", "{broken").unwrap();
+        assert_eq!(status, 422);
+        server.shutdown();
+    }
+}

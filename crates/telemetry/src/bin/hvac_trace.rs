@@ -1,0 +1,72 @@
+//! `hvac-trace` — analyze JSONL telemetry traces produced by
+//! `HVAC_TELEMETRY=<path>` or `--telemetry <path>`.
+//!
+//! ```text
+//! hvac-trace report RUN.jsonl      per-stage wall times, critical paths, counters
+//! hvac-trace folded RUN.jsonl      flamegraph folded stacks (pipe to inferno/flamegraph.pl)
+//! hvac-trace diff   A.jsonl B.jsonl   per-stage wall-time deltas (a = baseline)
+//! ```
+//!
+//! Reports go to stdout; diagnostics to stderr. Exit codes: 0 success,
+//! 1 analysis failure, 2 usage error.
+
+use hvac_telemetry::trace::{diff_report, Trace};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hvac-trace — span-tree analysis of hvac-telemetry JSONL files
+
+USAGE:
+  hvac-trace report FILE       stage wall times, critical paths, counter totals
+  hvac-trace folded FILE       flamegraph folded stacks on stdout
+  hvac-trace diff FILE FILE    per-stage wall-time regression diff (baseline first)
+";
+
+fn load(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace = Trace::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if trace.skipped_lines > 0 {
+        eprintln!(
+            "warning: {path}: skipped {} unparseable line(s)",
+            trace.skipped_lines
+        );
+    }
+    Ok(trace)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args {
+        [cmd, file] if cmd == "report" => {
+            print!("{}", load(file)?.report());
+            Ok(())
+        }
+        [cmd, file] if cmd == "folded" => {
+            let folded = load(file)?.folded();
+            if folded.is_empty() {
+                return Err(format!("{file}: no completed spans to fold"));
+            }
+            print!("{folded}");
+            Ok(())
+        }
+        [cmd, a, b] if cmd == "diff" => {
+            print!("{}", diff_report(&load(a)?, &load(b)?));
+            Ok(())
+        }
+        _ => Err(String::new()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) if message.is_empty() => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

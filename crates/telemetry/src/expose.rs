@@ -1,0 +1,250 @@
+//! Live exposition of the metrics registry.
+//!
+//! Two renderers over [`crate::registry::snapshot`]:
+//!
+//! * [`render_prometheus`] — Prometheus text format 0.0.4. Dotted
+//!   registry names map to `hvac_`-prefixed underscore names
+//!   ([`metric_name`]); histograms expose cumulative
+//!   `_bucket{le="…"}` series plus `_sum`/`_count`, exactly what a
+//!   Prometheus scrape of `/metrics` expects.
+//! * [`render_summary_json`] — a nested JSON object with counters,
+//!   gauges, and per-histogram p50/p95/p99 rollups for `/summary.json`
+//!   and ad-hoc tooling.
+//!
+//! Both are pure functions of the snapshot; scraping never blocks a
+//! recording hot path for longer than the registry's short
+//! registration mutex.
+
+use crate::json::escape_into;
+use crate::registry::{snapshot, HistogramSnapshot, RegistrySnapshot};
+use crate::sink::process_elapsed_ns;
+use std::fmt::Write as _;
+
+/// Maps a dotted registry name to a Prometheus-legal metric name:
+/// `hvac_` prefix, every character outside `[a-zA-Z0-9_]` replaced by
+/// `_`. (`rs.trajectories` → `hvac_rs_trajectories`.)
+pub fn metric_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 5);
+    out.push_str("hvac_");
+    for c in dotted.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` text: backslashes and newlines per the
+/// exposition-format rules.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let metric = metric_name(name);
+    let _ = writeln!(out, "# HELP {metric} {}", escape_help(name));
+    let _ = writeln!(out, "# TYPE {metric} histogram");
+    let mut cumulative = 0u64;
+    for (i, &in_bucket) in h.buckets.iter().enumerate() {
+        cumulative += in_bucket;
+        match h.bounds.get(i) {
+            Some(bound) => {
+                let _ = writeln!(out, "{metric}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            None => {
+                let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+    }
+    let _ = writeln!(out, "{metric}_sum {}", h.sum);
+    let _ = writeln!(out, "{metric}_count {}", h.count);
+}
+
+/// Renders a registry snapshot in Prometheus text format 0.0.4.
+pub fn render_prometheus_from(snap: &RegistrySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    for (name, value) in &snap.counters {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# HELP {metric} {}", escape_help(name));
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# HELP {metric} {}", escape_help(name));
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        render_histogram(&mut out, name, h);
+    }
+    // Process uptime makes an otherwise-empty scrape non-empty and
+    // gives dashboards a liveness series.
+    let _ = writeln!(out, "# HELP hvac_uptime_ns nanoseconds since process start");
+    let _ = writeln!(out, "# TYPE hvac_uptime_ns gauge");
+    let _ = writeln!(out, "hvac_uptime_ns {}", process_elapsed_ns());
+    out
+}
+
+/// Renders the live registry in Prometheus text format 0.0.4
+/// (the `/metrics` endpoint body).
+pub fn render_prometheus() -> String {
+    render_prometheus_from(&snapshot())
+}
+
+/// Renders a registry snapshot as a nested JSON summary: `uptime_ns`,
+/// `counters`, `gauges`, and `histograms` (each histogram carrying
+/// `count`/`sum`/`max` and estimated `p50`/`p95`/`p99`).
+pub fn render_summary_json_from(snap: &RegistrySnapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push('{');
+    let _ = write!(out, "\"uptime_ns\":{}", process_elapsed_ns());
+    for (section, values) in [("counters", &snap.counters), ("gauges", &snap.gauges)] {
+        let _ = write!(out, ",\"{section}\":{{");
+        for (i, (name, value)) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push('}');
+    }
+    out.push_str(",\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            h.count,
+            h.sum,
+            h.max,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders the live registry as the `/summary.json` body.
+pub fn render_summary_json() -> String {
+    render_summary_json_from(&snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+    use crate::registry::{counter, gauge, histogram};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn metric_names_are_prometheus_legal() {
+        assert_eq!(metric_name("rs.trajectories"), "hvac_rs_trajectories");
+        assert_eq!(metric_name("span.tree_fit.ns"), "hvac_span_tree_fit_ns");
+        assert_eq!(metric_name("weird name-°C"), "hvac_weird_name__C");
+        let n = metric_name("extract.worker.3.rollouts");
+        assert!(n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+    }
+
+    #[test]
+    fn help_text_escapes_backslash_and_newline() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+    }
+
+    #[test]
+    fn exposition_contains_counters_and_gauges() {
+        counter("test.expose.counter").add(3);
+        gauge("test.expose.gauge").set(9);
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE hvac_test_expose_counter counter"));
+        assert!(text.contains("# TYPE hvac_test_expose_gauge gauge"));
+        assert!(text.contains("\nhvac_test_expose_gauge 9\n"));
+        assert!(text.contains("hvac_uptime_ns "));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            assert!(name.starts_with("hvac_"), "bad series name in {line:?}");
+            assert!(parts.next().unwrap().parse::<u64>().is_ok(), "{line:?}");
+            assert!(parts.next().is_none(), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let h = histogram("test.expose.hist", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(60);
+        h.record(500);
+        let snap = snapshot();
+        let mut only = RegistrySnapshot::default();
+        only.histograms.insert(
+            "test.expose.hist".into(),
+            snap.histograms["test.expose.hist"].clone(),
+        );
+        let text = render_prometheus_from(&only);
+        let value_of = |needle: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(needle))
+                .unwrap_or_else(|| panic!("missing {needle}"))
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let b10 = value_of("hvac_test_expose_hist_bucket{le=\"10\"}");
+        let b100 = value_of("hvac_test_expose_hist_bucket{le=\"100\"}");
+        let binf = value_of("hvac_test_expose_hist_bucket{le=\"+Inf\"}");
+        assert!(b10 <= b100 && b100 <= binf, "{b10} {b100} {binf}");
+        assert_eq!(b10, 1);
+        assert_eq!(b100, 3);
+        assert_eq!(binf, 4);
+        assert_eq!(binf, value_of("hvac_test_expose_hist_count"));
+        assert_eq!(value_of("hvac_test_expose_hist_sum"), 615);
+    }
+
+    #[test]
+    fn summary_json_parses_and_carries_quantiles() {
+        let h = histogram("test.expose.json_hist", &[1_000, 1_000_000]);
+        h.record(500);
+        h.record(2_000);
+        counter("test.expose.json_counter\"quoted").incr();
+        let text = render_summary_json();
+        let v = parse(&text).expect("valid JSON");
+        assert!(v.get("uptime_ns").and_then(JsonValue::as_u64).is_some());
+        let counters = v.get("counters").expect("counters");
+        assert!(counters
+            .get("test.expose.json_counter\"quoted")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        let hist = v
+            .get("histograms")
+            .and_then(|hs| hs.get("test.expose.json_hist"))
+            .expect("histogram present");
+        assert!(hist.get("count").and_then(JsonValue::as_u64).unwrap() >= 2);
+        assert!(hist.get("p50").and_then(JsonValue::as_u64).is_some());
+        assert!(hist.get("p99").and_then(JsonValue::as_u64).is_some());
+    }
+
+    #[test]
+    fn empty_snapshot_renders_uptime_only() {
+        let snap = RegistrySnapshot {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        let text = render_prometheus_from(&snap);
+        assert!(text.contains("hvac_uptime_ns"));
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 1);
+    }
+}

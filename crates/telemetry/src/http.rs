@@ -1,0 +1,504 @@
+//! A minimal, dependency-free HTTP/1.1 server for live observability.
+//!
+//! Built on `std::net::TcpListener` with a thread-per-connection model
+//! behind a bounded concurrency gate: the accept loop runs on one
+//! background thread, each accepted connection is handled on its own
+//! short-lived thread, and connections beyond the cap are answered
+//! `503` instead of queueing unboundedly. Shutdown is graceful — the
+//! guard sets a flag, wakes the accept loop with a loopback
+//! connection, and joins it.
+//!
+//! Every server answers three built-in routes:
+//!
+//! * `GET /metrics` — Prometheus text format 0.0.4
+//!   ([`crate::expose::render_prometheus`]);
+//! * `GET /healthz` — `200 ok` liveness probe;
+//! * `GET /summary.json` — the JSON registry summary.
+//!
+//! Additional routes (e.g. the serving path's `POST /decide`) are
+//! registered through [`ServerBuilder::route`]. Each request also
+//! feeds `http.requests` / `http.request.ns` registry metrics, so the
+//! server observes itself.
+//!
+//! # Example
+//!
+//! ```
+//! use hvac_telemetry::http::{HttpServer, Response};
+//!
+//! let server = HttpServer::builder()
+//!     .route("GET", "/hello", |_req| Response::text(200, "hi"))
+//!     .bind("127.0.0.1:0")
+//!     .unwrap();
+//! let (status, body) =
+//!     hvac_telemetry::http::blocking_request(server.addr(), "GET", "/hello", "").unwrap();
+//! assert_eq!((status, body.as_str()), (200, "hi"));
+//! server.shutdown();
+//! ```
+
+use crate::registry::{counter, histogram, LATENCY_BOUNDS_NS};
+use crate::{expose, Level};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Maximum concurrently handled connections before `503` shedding.
+const MAX_INFLIGHT: usize = 64;
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Maximum accepted request header block.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body.
+const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path without query string (`/decide`).
+    pub path: String,
+    /// Request body (empty when none was sent).
+    pub body: String,
+}
+
+/// An HTTP response to send back.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `404`, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+struct Route {
+    method: &'static str,
+    path: String,
+    handler: Handler,
+}
+
+/// Configures routes before binding an [`HttpServer`].
+#[derive(Default)]
+pub struct ServerBuilder {
+    routes: Vec<Route>,
+}
+
+impl ServerBuilder {
+    /// Registers a handler for `method path` (exact path match, query
+    /// strings stripped). User routes take precedence over the
+    /// built-in `/metrics`, `/healthz`, and `/summary.json`.
+    pub fn route(
+        mut self,
+        method: &'static str,
+        path: impl Into<String>,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push(Route {
+            method,
+            path: path.into(),
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral)
+    /// and starts serving on a background accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub fn bind(mut self, addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+        self.routes.push(Route {
+            method: "GET",
+            path: "/metrics".into(),
+            handler: Arc::new(|_| {
+                let mut r = Response::text(200, expose::render_prometheus());
+                r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+                r
+            }),
+        });
+        self.routes.push(Route {
+            method: "GET",
+            path: "/healthz".into(),
+            handler: Arc::new(|_| Response::text(200, "ok")),
+        });
+        self.routes.push(Route {
+            method: "GET",
+            path: "/summary.json".into(),
+            handler: Arc::new(|_| Response::json(200, expose::render_summary_json())),
+        });
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let routes = Arc::new(self.routes);
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("hvac-http-accept".into())
+                .spawn(move || accept_loop(&listener, &routes, &shutdown))?
+        };
+        crate::message(
+            Level::Info,
+            format_args!("metrics server listening on http://{local}"),
+        );
+        Ok(HttpServer {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, routes: &Arc<Vec<Route>>, shutdown: &Arc<AtomicBool>) {
+    let inflight = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        if inflight.load(Ordering::Acquire) >= MAX_INFLIGHT {
+            counter("http.rejected").incr();
+            let _ = Response::text(503, "server busy\n").write_to(&mut stream);
+            continue;
+        }
+        inflight.fetch_add(1, Ordering::AcqRel);
+        let routes = Arc::clone(routes);
+        let conn_inflight = Arc::clone(&inflight);
+        let spawned = std::thread::Builder::new()
+            .name("hvac-http-conn".into())
+            .spawn(move || {
+                handle_connection(&mut stream, &routes);
+                conn_inflight.fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, routes: &[Route]) {
+    let started = Instant::now();
+    let response = match read_request(stream) {
+        Ok(request) => dispatch(routes, &request),
+        Err(error) => Response::text(error.status, format!("{}\n", error.message)),
+    };
+    let _ = response.write_to(stream);
+    counter("http.requests").incr();
+    if response.status >= 400 {
+        counter("http.errors").incr();
+    }
+    histogram("http.request.ns", LATENCY_BOUNDS_NS)
+        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+}
+
+fn dispatch(routes: &[Route], request: &Request) -> Response {
+    let mut path_known = false;
+    for route in routes {
+        if route.path == request.path {
+            path_known = true;
+            if route.method == request.method {
+                return (route.handler)(request);
+            }
+        }
+    }
+    if path_known {
+        Response::text(405, "method not allowed\n")
+    } else {
+        Response::text(404, "not found\n")
+    }
+}
+
+struct HttpError {
+    status: u16,
+    message: &'static str,
+}
+
+fn http_err(status: u16, message: &'static str) -> HttpError {
+    HttpError { status, message }
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|_| http_err(400, "unreadable request line"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| http_err(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| http_err(400, "missing path"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(http_err(400, "path must be absolute"));
+    }
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|_| http_err(400, "unreadable header"))?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(http_err(413, "headers too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| http_err(400, "bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(http_err(413, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| http_err(400, "truncated body"))?;
+    let body = String::from_utf8(body).map_err(|_| http_err(400, "body is not UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+/// A running observability server; shuts down on [`HttpServer::shutdown`]
+/// or drop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Starts configuring a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// Binds a server with only the built-in observability routes
+    /// (`/metrics`, `/healthz`, `/summary.json`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket binding errors.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+        Self::builder().bind(addr)
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// In-flight connection threads finish on their own (bounded by the
+    /// socket timeout).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(handle) = self.accept_thread.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A tiny blocking HTTP/1.1 client for tests, benches, and smoke
+/// checks: sends one request, returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; malformed responses surface
+/// as `InvalidData`.
+pub fn blocking_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
+        })?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_builtin_observability_routes() {
+        crate::registry::counter("test.http.builtin").add(2);
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = blocking_request(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok"));
+
+        let (status, body) = blocking_request(addr, "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("hvac_test_http_builtin 2") || body.contains("hvac_test_http_builtin")
+        );
+        assert!(body.contains("# TYPE hvac_uptime_ns gauge"));
+
+        let (status, body) = blocking_request(addr, "GET", "/summary.json", "").unwrap();
+        assert_eq!(status, 200);
+        let v = crate::json::parse(&body).expect("summary is valid JSON");
+        assert!(v.get("counters").is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn custom_routes_and_errors() {
+        let server = HttpServer::builder()
+            .route("POST", "/echo", |req| Response::text(200, req.body.clone()))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = blocking_request(addr, "POST", "/echo", "payload").unwrap();
+        assert_eq!((status, body.as_str()), (200, "payload"));
+
+        let (status, _) = blocking_request(addr, "GET", "/echo", "").unwrap();
+        assert_eq!(status, 405);
+
+        let (status, _) = blocking_request(addr, "GET", "/missing", "").unwrap();
+        assert_eq!(status, 404);
+
+        // Query strings are stripped before matching.
+        let (status, _) = blocking_request(addr, "GET", "/healthz?probe=1", "").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        server.shutdown();
+        // The socket no longer accepts (connect may succeed briefly on
+        // some platforms' backlog, but a request must not be answered).
+        let answered = blocking_request(addr, "GET", "/healthz", "")
+            .map(|(status, _)| status == 200)
+            .unwrap_or(false);
+        assert!(!answered, "server answered after shutdown");
+    }
+
+    #[test]
+    fn requests_feed_self_metrics() {
+        let before = crate::registry::snapshot();
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        blocking_request(server.addr(), "GET", "/healthz", "").unwrap();
+        blocking_request(server.addr(), "GET", "/missing", "").unwrap();
+        server.shutdown();
+        let after = crate::registry::snapshot();
+        assert!(after.counter_delta(&before, "http.requests") >= 2);
+        assert!(after.counter_delta(&before, "http.errors") >= 1);
+        let h = &after.histograms["http.request.ns"];
+        assert!(h.count >= 2);
+    }
+}

@@ -27,6 +27,17 @@
 //! embeds so callers get stage wall times, rollout counts, tree-fit
 //! and verification work programmatically.
 //!
+//! On top of the substrate sits a **live layer**, still std-only:
+//!
+//! * [`expose`] — Prometheus text-format 0.0.4 and JSON renderers over
+//!   the registry;
+//! * [`http`] — a minimal HTTP/1.1 server exposing `/metrics`,
+//!   `/healthz`, and `/summary.json` (plus caller routes such as the
+//!   serving path's `POST /decide`);
+//! * [`trace`] — post-hoc JSONL trace analysis (span trees, folded
+//!   flamegraph stacks, critical paths, two-run diffs), driven by the
+//!   `hvac-trace` binary.
+//!
 //! # Overhead guarantee
 //!
 //! With the default [`NullSink`], an instrumented call site pays at
@@ -53,20 +64,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expose;
+pub mod http;
 pub mod json;
 pub mod registry;
 mod sink;
 mod span;
 mod summary;
+pub mod trace;
 
 pub use registry::{
-    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, RegistrySnapshot,
-    LATENCY_BOUNDS_NS,
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
+    RegistrySnapshot, LATENCY_BOUNDS_NS,
 };
 pub use sink::{
-    emit, emit_counter_deltas, flush, init_from_env, message, message_enabled, process_elapsed_ns,
-    set_sink, sink_active, thread_id, Event, JsonlSink, Level, MultiSink, NullSink, Sink,
-    StderrSink,
+    emit, emit_counter_deltas, flush, init_from_env, install_panic_flush_hook, message,
+    message_enabled, process_elapsed_ns, set_sink, sink_active, thread_id, Event, JsonlSink, Level,
+    MultiSink, NullSink, Sink, StderrSink,
 };
 pub use span::Span;
-pub use summary::{StageTiming, TelemetrySummary};
+pub use summary::{HistogramStats, StageTiming, TelemetrySummary};

@@ -218,13 +218,84 @@ pub fn histogram(name: &str, bounds: &[u64]) -> Histogram {
     Histogram { inner: cells }
 }
 
-/// A point-in-time copy of every registered counter and gauge.
+/// A point-in-time copy of one registered histogram.
+///
+/// Fields are read one relaxed load at a time while writers may be
+/// recording, so cross-field consistency is approximate (e.g. `count`
+/// can briefly exceed the bucket total); every individual field is
+/// monotone across successive snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (sorted, deduplicated at registration).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one entry longer than `bounds` (the final
+    /// entry is the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Per-bucket counts since `earlier` (same histogram, saturating).
+    /// `max` keeps the later snapshot's value — it is a running maximum,
+    /// not a rate.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let zip_sub = |now: &[u64], then: &[u64]| -> Vec<u64> {
+            now.iter()
+                .enumerate()
+                .map(|(i, &n)| n.saturating_sub(then.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: zip_sub(&self.buckets, &earlier.buckets),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket
+    /// counts by linear interpolation inside the containing bucket.
+    /// Samples in the overflow bucket are attributed to `max`. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let hi = self.bounds.get(i).copied().unwrap_or(self.max.max(lo));
+                let frac = (rank - seen) as f64 / in_bucket as f64;
+                return lo + ((hi.saturating_sub(lo)) as f64 * frac).round() as u64;
+            }
+            seen += in_bucket;
+        }
+        self.max
+    }
+}
+
+/// A point-in-time copy of every registered counter, gauge, and
+/// histogram.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RegistrySnapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by name.
     pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl RegistrySnapshot {
@@ -249,7 +320,7 @@ impl RegistrySnapshot {
     }
 }
 
-/// Captures the current value of every counter and gauge.
+/// Captures the current value of every counter, gauge, and histogram.
 pub fn snapshot() -> RegistrySnapshot {
     let reg = registry();
     let counters = reg
@@ -266,7 +337,33 @@ pub fn snapshot() -> RegistrySnapshot {
         .iter()
         .map(|(&name, cell)| (name.to_owned(), cell.load(Ordering::Relaxed)))
         .collect();
-    RegistrySnapshot { counters, gauges }
+    let histograms = reg
+        .histograms
+        .lock()
+        .expect("registry mutex poisoned")
+        .iter()
+        .map(|(&name, cells)| {
+            (
+                name.to_owned(),
+                HistogramSnapshot {
+                    bounds: cells.bounds.clone(),
+                    buckets: cells
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                    count: cells.count.load(Ordering::Relaxed),
+                    sum: cells.sum.load(Ordering::Relaxed),
+                    max: cells.max.load(Ordering::Relaxed),
+                },
+            )
+        })
+        .collect();
+    RegistrySnapshot {
+        counters,
+        gauges,
+        histograms,
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +433,50 @@ mod tests {
             }
         });
         assert_eq!(c.get() - before, 4000);
+    }
+
+    #[test]
+    fn snapshot_includes_histograms() {
+        let h = histogram("test.registry.snap_hist", &[10, 100]);
+        let before = snapshot();
+        h.record(5);
+        h.record(50);
+        h.record(500);
+        let after = snapshot();
+        let d = after.histograms["test.registry.snap_hist"]
+            .delta(&before.histograms["test.registry.snap_hist"]);
+        assert_eq!(d.buckets, vec![1, 1, 1]);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 555);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = HistogramSnapshot {
+            bounds: vec![10, 100, 1000],
+            buckets: vec![0, 100, 0, 0],
+            count: 100,
+            sum: 5500,
+            max: 99,
+        };
+        // All 100 samples sit in (10, 100]: p50 ≈ 55, p99 ≈ 100.
+        let p50 = h.quantile(0.50);
+        assert!((46..=64).contains(&p50), "p50 was {p50}");
+        assert!(h.quantile(0.99) > p50);
+        assert!(h.quantile(1.0) <= 100);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_max() {
+        let h = HistogramSnapshot {
+            bounds: vec![10],
+            buckets: vec![0, 4],
+            count: 4,
+            sum: 4000,
+            max: 1234,
+        };
+        assert_eq!(h.quantile(0.99), 1234);
     }
 
     #[test]

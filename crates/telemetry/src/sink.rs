@@ -439,6 +439,9 @@ pub fn init_from_env() -> bool {
             if !previous.is_null() {
                 set_sink(Arc::new(MultiSink::new(vec![previous, jsonl])));
             }
+            // A buffered file sink must survive panics with its tail
+            // intact.
+            install_panic_flush_hook();
             true
         }
         Err(e) => {
@@ -446,6 +449,23 @@ pub fn init_from_env() -> bool {
             false
         }
     }
+}
+
+/// Installs a panic hook that flushes the global sink before the
+/// default (or previously installed) hook runs, so a buffered
+/// [`JsonlSink`] doesn't silently drop its tail events when a run dies
+/// mid-stage. Idempotent; cheap to call from every entry point that
+/// installs a sink.
+pub fn install_panic_flush_hook() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        flush();
+        previous(info);
+    }));
 }
 
 /// Monotonic nanoseconds since the telemetry clock was first touched.

@@ -7,9 +7,51 @@
 //! [`crate::registry::snapshot`]s around the run, so it reflects
 //! exactly the work attributed between the two snapshots.
 
-use crate::registry::RegistrySnapshot;
+use crate::registry::{HistogramSnapshot, RegistrySnapshot};
 use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Headline statistics of one histogram over one run: the sample count
+/// and sum plus p50/p95/p99 estimated from bucket counts (see
+/// [`HistogramSnapshot::quantile`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramStats {
+    /// Samples recorded during the run.
+    pub count: u64,
+    /// Sum of the samples recorded during the run.
+    pub sum: u64,
+    /// Largest sample ever recorded (process-cumulative running max).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramStats {
+    /// Summarizes a (typically delta) histogram snapshot.
+    pub fn from_snapshot(h: &HistogramSnapshot) -> Self {
+        Self {
+            count: h.count,
+            sum: h.sum,
+            max: h.max,
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
 
 /// Wall time of one named pipeline stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +76,9 @@ pub struct TelemetrySummary {
     pub stages: Vec<StageTiming>,
     /// Every counter delta observed during the run (dotted names).
     pub counters: BTreeMap<String, u64>,
+    /// Per-histogram p50/p95/p99 rollups for every histogram that
+    /// recorded at least one sample during the run.
+    pub histograms: BTreeMap<String, HistogramStats>,
 }
 
 impl TelemetrySummary {
@@ -45,11 +90,28 @@ impl TelemetrySummary {
         total_wall: Duration,
         stages: Vec<StageTiming>,
     ) -> Self {
+        let histograms = after
+            .histograms
+            .iter()
+            .filter_map(|(name, now)| {
+                let delta = match before.histograms.get(name) {
+                    Some(then) => now.delta(then),
+                    None => now.clone(),
+                };
+                (delta.count > 0).then(|| (name.clone(), HistogramStats::from_snapshot(&delta)))
+            })
+            .collect();
         Self {
             total_wall,
             stages,
             counters: after.counter_deltas(before),
+            histograms,
         }
+    }
+
+    /// A histogram rollup by name, if the histogram moved this run.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramStats> {
+        self.histograms.get(name)
     }
 
     /// The wall time of the stage called `name`, if present.
@@ -109,6 +171,13 @@ impl std::fmt::Display for TelemetrySummary {
                 stage.wall.as_secs_f64()
             )?;
         }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  hist  {:<20} n={:<8} p50 {}   p95 {}   p99 {}",
+                name, h.count, h.p50, h.p95, h.p99
+            )?;
+        }
         write!(
             f,
             "  rollouts {}   trajectories {}   split evals {}   paths checked {}   leaves corrected {}",
@@ -166,9 +235,31 @@ mod tests {
                 wall: Duration::from_millis(10),
             }],
             counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
         };
         let text = summary.to_string();
         assert!(text.contains("tree_fit"));
         assert!(text.contains("rollouts 0"));
+    }
+
+    #[test]
+    fn summary_rolls_up_histogram_quantiles() {
+        use crate::registry::histogram;
+        let h = histogram("test.summary.lat", &[10, 100, 1000]);
+        let before = snapshot();
+        for v in [5, 50, 60, 70, 500] {
+            h.record(v);
+        }
+        let after = snapshot();
+        let summary =
+            TelemetrySummary::from_snapshots(&before, &after, Duration::from_secs(1), Vec::new());
+        let stats = summary.histogram("test.summary.lat").expect("moved");
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.sum, 685);
+        assert!(stats.p50 > 10 && stats.p50 <= 100, "p50 {}", stats.p50);
+        assert!(stats.p99 > 100, "p99 {}", stats.p99);
+        assert!(stats.mean() > 0.0);
+        // The display carries the quantiles.
+        assert!(summary.to_string().contains("test.summary.lat"));
     }
 }

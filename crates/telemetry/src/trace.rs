@@ -1,0 +1,494 @@
+//! Post-hoc analysis of JSONL telemetry traces.
+//!
+//! The [`JsonlSink`](crate::JsonlSink) writes one event per line; this
+//! module reads those files back (with the crate's own JSON parser, so
+//! the loop stays dependency-free), rebuilds the per-thread span trees
+//! from `span_open`/`span_close` pairs, and derives:
+//!
+//! * **stage wall times** — the direct children of the `pipeline`
+//!   span, i.e. exactly the numbers `TelemetrySummary.stages` printed
+//!   at run time;
+//! * **flamegraph folded stacks** — `thread-N;parent;child self_ns`
+//!   lines consumable by `inferno`/`flamegraph.pl`;
+//! * **a critical-path report** — per stage, the chain of heaviest
+//!   child spans with percentages of the run;
+//! * **two-run diffs** — per-stage wall-time deltas with percentage
+//!   changes, for regression hunting between two JSONL files.
+//!
+//! The `hvac-trace` binary is a thin CLI over this module.
+
+use crate::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One completed span reconstructed from the event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Wall time in nanoseconds.
+    pub nanos: u64,
+    /// Child spans, in completion order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time minus the children's wall time (never negative).
+    pub fn self_nanos(&self) -> u64 {
+        let child_total: u64 = self.children.iter().map(|c| c.nanos).sum();
+        self.nanos.saturating_sub(child_total)
+    }
+
+    /// The heaviest direct child, if any.
+    pub fn heaviest_child(&self) -> Option<&SpanNode> {
+        self.children.iter().max_by_key(|c| c.nanos)
+    }
+}
+
+/// Errors raised while reading a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The input contained no parseable telemetry events.
+    NoEvents,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NoEvents => write!(f, "no telemetry events found in input"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A parsed trace: per-thread span forests plus headline counters.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Completed root spans per telemetry thread id.
+    pub roots: BTreeMap<u64, Vec<SpanNode>>,
+    /// Final cumulative value of every counter seen in the stream.
+    pub counters: BTreeMap<String, u64>,
+    /// Lines that failed to parse as JSON (count only).
+    pub skipped_lines: usize,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    children: Vec<SpanNode>,
+}
+
+impl Trace {
+    /// Parses the content of a JSONL telemetry file.
+    ///
+    /// Unparseable lines are counted and skipped (a crashed run may
+    /// leave a truncated last line); spans still open at end-of-stream
+    /// are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::NoEvents`] when nothing parseable is found.
+    pub fn from_jsonl(text: &str) -> Result<Self, TraceError> {
+        let mut trace = Trace::default();
+        // Per-thread stacks of currently open spans.
+        let mut open: BTreeMap<u64, Vec<OpenSpan>> = BTreeMap::new();
+        let mut events = 0usize;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(value) = parse(line) else {
+                trace.skipped_lines += 1;
+                continue;
+            };
+            let Some(event) = value.get("event").and_then(JsonValue::as_str) else {
+                trace.skipped_lines += 1;
+                continue;
+            };
+            events += 1;
+            let field_u64 =
+                |name: &str| -> u64 { value.get(name).and_then(JsonValue::as_u64).unwrap_or(0) };
+            let field_str =
+                |name: &str| -> Option<&str> { value.get(name).and_then(JsonValue::as_str) };
+            match event {
+                "span_open" => {
+                    let Some(name) = field_str("name") else {
+                        continue;
+                    };
+                    open.entry(field_u64("thread")).or_default().push(OpenSpan {
+                        name: name.to_string(),
+                        children: Vec::new(),
+                    });
+                }
+                "span_close" => {
+                    let Some(name) = field_str("name") else {
+                        continue;
+                    };
+                    let stack = open.entry(field_u64("thread")).or_default();
+                    // Spans close innermost-first in the normal case;
+                    // search backwards to tolerate out-of-order closes.
+                    let Some(pos) = stack.iter().rposition(|s| s.name == name) else {
+                        continue;
+                    };
+                    let closed = stack.remove(pos);
+                    let node = SpanNode {
+                        name: closed.name,
+                        nanos: field_u64("nanos"),
+                        children: closed.children,
+                    };
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => trace
+                            .roots
+                            .entry(field_u64("thread"))
+                            .or_default()
+                            .push(node),
+                    }
+                }
+                "counter" => {
+                    if let Some(name) = field_str("name") {
+                        trace.counters.insert(name.to_string(), field_u64("total"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if events == 0 {
+            return Err(TraceError::NoEvents);
+        }
+        Ok(trace)
+    }
+
+    /// Wall times of the pipeline stages: every direct child of a span
+    /// named `pipeline`, in completion order across the whole trace.
+    pub fn stage_walls(&self) -> Vec<(String, u64)> {
+        let mut stages = Vec::new();
+        for roots in self.roots.values() {
+            for root in roots {
+                collect_stages(root, &mut stages);
+            }
+        }
+        stages
+    }
+
+    /// Total wall time of the `pipeline` span(s), if present.
+    pub fn pipeline_nanos(&self) -> Option<u64> {
+        let mut total = 0u64;
+        let mut found = false;
+        for roots in self.roots.values() {
+            for root in roots {
+                visit(root, &mut |node| {
+                    if node.name == "pipeline" {
+                        total += node.nanos;
+                        found = true;
+                    }
+                });
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// Flamegraph folded-stack output: one `stack value` line per
+    /// distinct root-to-span path, where `value` is the span's *self*
+    /// time in nanoseconds and stacks are prefixed `thread-<id>`.
+    pub fn folded(&self) -> String {
+        let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+        for (&thread, roots) in &self.roots {
+            for root in roots {
+                fold(root, &format!("thread-{thread}"), &mut lines);
+            }
+        }
+        let mut out = String::new();
+        for (stack, self_ns) in lines {
+            let _ = writeln!(out, "{stack} {self_ns}");
+        }
+        out
+    }
+
+    /// A human-readable critical-path report: stage wall times as
+    /// percentages of the pipeline, each stage's heaviest descendant
+    /// chain, and the headline counters.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let stages = self.stage_walls();
+        let total: u64 = match self.pipeline_nanos() {
+            Some(ns) => ns,
+            None => stages.iter().map(|(_, ns)| ns).sum(),
+        };
+        let _ = writeln!(out, "pipeline wall time {:.3} s", total as f64 / 1e9);
+        for (name, nanos) in &stages {
+            let pct = if total > 0 {
+                100.0 * *nanos as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  stage {name:<14} {:>9.3} s  {pct:>5.1}%",
+                *nanos as f64 / 1e9
+            );
+            if let Some(node) = self.find_span(name) {
+                let mut chain = Vec::new();
+                let mut cursor = node;
+                while let Some(child) = cursor.heaviest_child() {
+                    chain.push(child);
+                    cursor = child;
+                }
+                if let Some(deepest) = chain.last() {
+                    let path: Vec<&str> = chain.iter().map(|n| n.name.as_str()).collect();
+                    let _ = writeln!(
+                        out,
+                        "        critical path: {} ({:.3} s at {})",
+                        path.join(" > "),
+                        deepest.nanos as f64 / 1e9,
+                        deepest.name,
+                    );
+                }
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters (final totals):");
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "    {name} {total}");
+            }
+        }
+        if self.skipped_lines > 0 {
+            let _ = writeln!(
+                out,
+                "  ({} unparseable line(s) skipped)",
+                self.skipped_lines
+            );
+        }
+        out
+    }
+
+    fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        for roots in self.roots.values() {
+            for root in roots {
+                if let Some(found) = find(root, name) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+}
+
+fn visit<'a>(node: &'a SpanNode, f: &mut impl FnMut(&'a SpanNode)) {
+    f(node);
+    for child in &node.children {
+        visit(child, f);
+    }
+}
+
+fn find<'a>(node: &'a SpanNode, name: &str) -> Option<&'a SpanNode> {
+    if node.name == name {
+        return Some(node);
+    }
+    node.children.iter().find_map(|c| find(c, name))
+}
+
+fn collect_stages(node: &SpanNode, stages: &mut Vec<(String, u64)>) {
+    if node.name == "pipeline" {
+        for child in &node.children {
+            stages.push((child.name.clone(), child.nanos));
+        }
+    }
+    for child in &node.children {
+        collect_stages(child, stages);
+    }
+}
+
+fn fold(node: &SpanNode, prefix: &str, lines: &mut BTreeMap<String, u64>) {
+    let stack = format!("{prefix};{}", node.name);
+    *lines.entry(stack.clone()).or_insert(0) += node.self_nanos();
+    for child in &node.children {
+        fold(child, &stack, lines);
+    }
+}
+
+/// Per-stage wall-time comparison of two traces (`a` = baseline,
+/// `b` = candidate) with signed percentage deltas; stages present in
+/// only one run are reported too.
+pub fn diff_report(a: &Trace, b: &Trace) -> String {
+    let into_map = |t: &Trace| -> BTreeMap<String, u64> {
+        // Sum repeated stages (multiple pipeline runs in one file).
+        let mut m = BTreeMap::new();
+        for (name, ns) in t.stage_walls() {
+            *m.entry(name).or_insert(0) += ns;
+        }
+        m
+    };
+    let wa = into_map(a);
+    let wb = into_map(b);
+    let mut names: Vec<&String> = wa.keys().chain(wb.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>9}",
+        "stage", "a_seconds", "b_seconds", "delta"
+    );
+    for name in names {
+        let sa = wa.get(name).copied();
+        let sb = wb.get(name).copied();
+        let cell = |v: Option<u64>| match v {
+            Some(ns) => format!("{:.3}", ns as f64 / 1e9),
+            None => "-".to_string(),
+        };
+        let delta = match (sa, sb) {
+            (Some(a_ns), Some(b_ns)) if a_ns > 0 => {
+                format!("{:+.1}%", 100.0 * (b_ns as f64 - a_ns as f64) / a_ns as f64)
+            }
+            (Some(_), Some(_)) => "n/a".to_string(),
+            (None, Some(_)) => "added".to_string(),
+            (Some(_), None) => "removed".to_string(),
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        let _ = writeln!(
+            out,
+            "{name:<16} {:>12} {:>12} {delta:>9}",
+            cell(sa),
+            cell(sb)
+        );
+    }
+    let totals = |t: &Trace| t.pipeline_nanos().unwrap_or(0);
+    let (ta, tb) = (totals(a), totals(b));
+    if ta > 0 && tb > 0 {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12.3} {:>12.3} {:>8.1}%",
+            "pipeline",
+            ta as f64 / 1e9,
+            tb as f64 / 1e9,
+            100.0 * (tb as f64 - ta as f64) / ta as f64
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_open(name: &str, thread: u64) -> String {
+        format!(
+            r#"{{"event":"span_open","name":"{name}","thread":{thread},"depth":0,"seq":0,"t_ns":0}}"#
+        )
+    }
+
+    fn span_close(name: &str, thread: u64, nanos: u64) -> String {
+        format!(
+            r#"{{"event":"span_close","name":"{name}","thread":{thread},"depth":0,"nanos":{nanos},"seq":0,"t_ns":0}}"#
+        )
+    }
+
+    fn pipeline_jsonl(stage_ns: &[(&str, u64)]) -> String {
+        let total: u64 = stage_ns.iter().map(|(_, ns)| ns).sum();
+        let mut lines = vec![span_open("pipeline", 0)];
+        for (name, ns) in stage_ns {
+            lines.push(span_open(name, 0));
+            lines.push(span_close(name, 0, *ns));
+        }
+        lines.push(span_close("pipeline", 0, total + 1_000));
+        lines.join("\n")
+    }
+
+    #[test]
+    fn rebuilds_stage_walls_from_jsonl() {
+        let text = pipeline_jsonl(&[
+            ("dynamics", 2_000_000),
+            ("extraction", 5_000_000),
+            ("tree_fit", 1_000_000),
+            ("verification", 3_000_000),
+        ]);
+        let trace = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(
+            trace.stage_walls(),
+            vec![
+                ("dynamics".to_string(), 2_000_000),
+                ("extraction".to_string(), 5_000_000),
+                ("tree_fit".to_string(), 1_000_000),
+                ("verification".to_string(), 3_000_000),
+            ]
+        );
+        assert_eq!(trace.pipeline_nanos(), Some(11_001_000));
+        let report = trace.report();
+        assert!(report.contains("stage extraction"));
+        assert!(report.contains('%'));
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time() {
+        let text = [
+            span_open("pipeline", 0),
+            span_open("extraction", 0),
+            span_close("extraction", 0, 400),
+            span_close("pipeline", 0, 1_000),
+            span_open("worker", 3),
+            span_close("worker", 3, 50),
+        ]
+        .join("\n");
+        let trace = Trace::from_jsonl(&text).unwrap();
+        let folded = trace.folded();
+        assert!(folded.contains("thread-0;pipeline 600\n"), "{folded}");
+        assert!(folded.contains("thread-0;pipeline;extraction 400\n"));
+        assert!(folded.contains("thread-3;worker 50\n"));
+    }
+
+    #[test]
+    fn diff_reports_percentage_deltas() {
+        let a = Trace::from_jsonl(&pipeline_jsonl(&[
+            ("dynamics", 1_000_000_000),
+            ("extraction", 2_000_000_000),
+        ]))
+        .unwrap();
+        let b = Trace::from_jsonl(&pipeline_jsonl(&[
+            ("dynamics", 1_500_000_000),
+            ("tree_fit", 100_000_000),
+        ]))
+        .unwrap();
+        let report = diff_report(&a, &b);
+        assert!(report.contains("+50.0%"), "{report}");
+        assert!(report.contains("removed"), "{report}");
+        assert!(report.contains("added"), "{report}");
+    }
+
+    #[test]
+    fn tolerates_garbage_and_truncated_lines() {
+        let text = format!(
+            "not json\n{}\n{}\n{{\"event\":\"span_close\",\"name\":\"half",
+            span_open("pipeline", 0),
+            span_close("pipeline", 0, 10),
+        );
+        let trace = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(trace.skipped_lines, 2);
+        assert_eq!(trace.pipeline_nanos(), Some(10));
+    }
+
+    #[test]
+    fn counters_keep_final_totals() {
+        let text = [
+            span_open("pipeline", 0),
+            r#"{"event":"counter","name":"extract.rollouts","delta":5,"total":5}"#.to_string(),
+            r#"{"event":"counter","name":"extract.rollouts","delta":7,"total":12}"#.to_string(),
+            span_close("pipeline", 0, 10),
+        ]
+        .join("\n");
+        let trace = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(trace.counters["extract.rollouts"], 12);
+        assert!(trace.report().contains("extract.rollouts 12"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(matches!(Trace::from_jsonl(""), Err(TraceError::NoEvents)));
+        assert!(matches!(
+            Trace::from_jsonl("junk\nmore junk"),
+            Err(TraceError::NoEvents)
+        ));
+    }
+}

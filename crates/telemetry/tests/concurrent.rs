@@ -1,0 +1,131 @@
+//! Concurrency tests for the registry: writers hammer counters and
+//! histograms while a reader loops `registry::snapshot()`. Snapshots
+//! must never tear — every observed field is monotone across
+//! successive snapshots, and the final snapshot accounts for every
+//! recorded update.
+
+use hvac_telemetry::registry::{counter, histogram, snapshot};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const WRITERS: usize = 4;
+const UPDATES: u64 = 20_000;
+
+#[test]
+fn snapshots_are_monotone_under_concurrent_writers() {
+    // Pre-register so `before` already carries both metrics.
+    counter("test.concurrent.counter");
+    histogram("test.concurrent.hist", &[10, 100, 1_000]);
+    let before = snapshot();
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            scope.spawn(move || {
+                let local_c = counter("test.concurrent.counter");
+                let local_h = histogram("test.concurrent.hist", &[10, 100, 1_000]);
+                for i in 0..UPDATES {
+                    local_c.incr();
+                    // Spread samples across all buckets incl. overflow.
+                    local_h.record((w as u64 * 37 + i) % 2_000);
+                }
+            });
+        }
+
+        let reader_done = Arc::clone(&done);
+        scope.spawn(move || {
+            let done = reader_done;
+            let mut last_count = 0u64;
+            let mut last_sum = 0u64;
+            let mut last_buckets = 0u64;
+            let mut last_counter = 0u64;
+            let mut iterations = 0u64;
+            while !done.load(Ordering::Acquire) || iterations == 0 {
+                let snap = snapshot();
+                let counter_now = snap.counters["test.concurrent.counter"];
+                assert!(
+                    counter_now >= last_counter,
+                    "counter went backwards: {last_counter} -> {counter_now}"
+                );
+                last_counter = counter_now;
+                let hist = &snap.histograms["test.concurrent.hist"];
+                assert_eq!(hist.bounds, vec![10, 100, 1_000]);
+                assert_eq!(hist.buckets.len(), 4);
+                assert!(hist.count >= last_count, "histogram count went backwards");
+                assert!(hist.sum >= last_sum, "histogram sum went backwards");
+                let bucket_total: u64 = hist.buckets.iter().sum();
+                assert!(bucket_total >= last_buckets, "bucket total went backwards");
+                last_count = hist.count;
+                last_sum = hist.sum;
+                last_buckets = bucket_total;
+                iterations += 1;
+            }
+            assert!(iterations > 0);
+        });
+
+        // Stop the reader once every writer update has landed.
+        let target = before
+            .counters
+            .get("test.concurrent.counter")
+            .copied()
+            .unwrap_or(0)
+            + (WRITERS as u64) * UPDATES;
+        scope.spawn({
+            let done = Arc::clone(&done);
+            move || {
+                let local_c = counter("test.concurrent.counter");
+                while local_c.get() < target {
+                    std::thread::yield_now();
+                }
+                done.store(true, Ordering::Release);
+            }
+        });
+    });
+
+    let after = snapshot();
+    let expected = (WRITERS as u64) * UPDATES;
+    assert_eq!(
+        after.counter_delta(&before, "test.concurrent.counter"),
+        expected
+    );
+    let hist_delta = after.histograms["test.concurrent.hist"].delta(
+        &before
+            .histograms
+            .get("test.concurrent.hist")
+            .cloned()
+            .unwrap_or_default(),
+    );
+    assert_eq!(hist_delta.count, expected);
+    assert_eq!(hist_delta.buckets.iter().sum::<u64>(), expected);
+    // Samples landed in every bucket, including overflow.
+    assert!(hist_delta.buckets.iter().all(|&b| b > 0));
+}
+
+#[test]
+fn exposition_renders_consistently_under_writers() {
+    let h = histogram("test.concurrent.expose", &[50]);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..5_000u64 {
+                h.record(i % 100);
+            }
+        });
+        scope.spawn(|| {
+            for _ in 0..50 {
+                let text = hvac_telemetry::expose::render_prometheus();
+                // Bucket series must stay cumulative in every render.
+                let value = |needle: &str| -> Option<u64> {
+                    text.lines()
+                        .find(|l| l.starts_with(needle))
+                        .and_then(|l| l.rsplit(' ').next())
+                        .and_then(|v| v.parse().ok())
+                };
+                let b50 = value("hvac_test_concurrent_expose_bucket{le=\"50\"}");
+                let binf = value("hvac_test_concurrent_expose_bucket{le=\"+Inf\"}");
+                if let (Some(b50), Some(binf)) = (b50, binf) {
+                    assert!(b50 <= binf, "non-cumulative buckets: {b50} > {binf}");
+                }
+            }
+        });
+    });
+}
