@@ -1,0 +1,164 @@
+//! Scalar vs. lockstep-batched planner latency.
+//!
+//! The paper's random-shooting optimizer (N = 1000 candidate sequences,
+//! H = 20 steps) dominates both online decision latency (Table 3) and
+//! the offline extraction cost (16.8 s per decision point). This bench
+//! times the same controller twice over a trained [`DynamicsModel`] —
+//! once with scalar candidate evaluation (`N × H` model calls per
+//! decision) and once with the lockstep-batched path (`H` batched calls
+//! per decision) — and checks the two pick identical actions, since
+//! `batched` is a pure latency knob.
+//!
+//! Results land in `BENCH_planner_latency.json` next to the text table,
+//! so the speedup is machine-checkable across commits.
+//!
+//! ```sh
+//! cargo run --release -p hvac-bench --bin planner_latency [--paper] [--csv]
+//! ```
+
+use hvac_bench::{fmt, parse_options, City, Scale, Table};
+use hvac_telemetry::json::ObjectWriter;
+use std::time::Instant;
+use veri_hvac::control::{
+    forecast_rollout, PlanningConfig, RandomShootingConfig, RandomShootingController,
+};
+use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel, ModelConfig};
+use veri_hvac::env::{Disturbances, Observation, SetpointAction};
+use veri_hvac::nn::TrainConfig;
+use veri_hvac::stats::OnlineStats;
+
+/// The paper's planner shape — the comparison point the acceptance
+/// criterion names, timed at both scales (only the model-training budget
+/// and the number of timed decisions shrink under `Reduced`).
+const SAMPLES: usize = 1000;
+const HORIZON: usize = 20;
+
+fn observations(n: usize) -> Vec<Observation> {
+    (0..n)
+        .map(|i| {
+            Observation::new(
+                15.0 + (i % 10) as f64,
+                Disturbances {
+                    outdoor_temperature: -5.0 + (i % 7) as f64,
+                    relative_humidity: 60.0,
+                    wind_speed: 3.0,
+                    solar_radiation: 50.0 * (i % 4) as f64,
+                    occupant_count: f64::from(i % 2 == 0),
+                    hour_of_day: (6 + i % 12) as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Times `decisions` plans, returning per-decision latency stats in
+/// milliseconds plus the chosen actions (for the identity check).
+fn time_plans(
+    model: &DynamicsModel,
+    batched: bool,
+    decisions: usize,
+) -> (OnlineStats, Vec<SetpointAction>) {
+    let config = RandomShootingConfig {
+        samples: SAMPLES,
+        planning: PlanningConfig {
+            horizon: HORIZON,
+            ..PlanningConfig::paper()
+        },
+        threads: 1,
+        batched,
+    };
+    let mut controller =
+        RandomShootingController::new(model.clone(), config, 42).expect("controller");
+    let mut stats = OnlineStats::new();
+    let mut actions = Vec::with_capacity(decisions);
+    for obs in observations(decisions) {
+        let started = Instant::now();
+        actions.push(controller.plan(&obs));
+        stats.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    (stats, actions)
+}
+
+fn main() {
+    let options = parse_options();
+    let city = City::Pittsburgh;
+    let (episodes, steps, epochs, decisions) = match options.scale {
+        Scale::Reduced => (2, 96 * 3, 30, 15),
+        Scale::Paper => (3, 96 * 7, 150, 50),
+    };
+
+    let dataset =
+        collect_historical_dataset(&city.env_config().with_episode_steps(steps), episodes, 0)
+            .expect("historical data");
+    let model_config = ModelConfig {
+        hidden: vec![64, 64],
+        train: TrainConfig {
+            epochs,
+            ..TrainConfig::paper()
+        },
+        ..ModelConfig::default()
+    };
+    let model = DynamicsModel::train(&dataset, &model_config).expect("model training");
+
+    let (scalar, scalar_actions) = time_plans(&model, false, decisions);
+    let (batched, batched_actions) = time_plans(&model, true, decisions);
+    assert_eq!(
+        scalar_actions, batched_actions,
+        "batched planning must pick bit-identical actions"
+    );
+    let speedup = scalar.mean() / batched.mean();
+
+    let mut table = Table::new(
+        "Planner latency: scalar vs lockstep-batched candidate evaluation",
+        &["path", "model_calls/plan", "average_ms", "std_ms", "max_ms"],
+    );
+    table.push_row(vec![
+        "scalar".to_string(),
+        format!("{}", SAMPLES * HORIZON),
+        fmt(scalar.mean(), 3),
+        fmt(scalar.sample_std(), 3),
+        fmt(scalar.max(), 3),
+    ]);
+    table.push_row(vec![
+        "batched".to_string(),
+        format!("{HORIZON} (batch {SAMPLES})"),
+        fmt(batched.mean(), 3),
+        fmt(batched.sample_std(), 3),
+        fmt(batched.max(), 3),
+    ]);
+    table.emit("planner_latency", &options);
+    println!("\nspeedup (scalar / batched): {speedup:.2}x over {decisions} decisions at N={SAMPLES}, H={HORIZON}");
+
+    // Exercise the exported forecast-aware rollout on the last decision:
+    // repeating the chosen setpoint over the horizon shows the predicted
+    // temperature envelope the planner committed to.
+    let last_obs = observations(decisions).pop().expect("nonempty");
+    let hold = vec![*batched_actions.last().expect("nonempty"); HORIZON];
+    let planning = PlanningConfig {
+        horizon: HORIZON,
+        ..PlanningConfig::paper()
+    };
+    let trajectory = forecast_rollout(&model, &last_obs, &hold, &planning.forecast);
+    let lo = trajectory.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = trajectory.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "holding {} from {:.1} °C keeps the model's forecast in [{lo:.1}, {hi:.1}] °C",
+        hold[0], last_obs.zone_temperature
+    );
+
+    let mut json = ObjectWriter::new();
+    json.str_field("bench", "planner_latency");
+    json.str_field("scale", options.scale.label());
+    json.u64_field("samples", SAMPLES as u64);
+    json.u64_field("horizon", HORIZON as u64);
+    json.u64_field("decisions", decisions as u64);
+    json.f64_field("scalar_mean_ms", scalar.mean());
+    json.f64_field("scalar_max_ms", scalar.max());
+    json.f64_field("batched_mean_ms", batched.mean());
+    json.f64_field("batched_max_ms", batched.max());
+    json.f64_field("speedup", speedup);
+    let body = json.finish();
+    let path = "BENCH_planner_latency.json";
+    std::fs::write(path, format!("{body}\n")).expect("write bench json");
+    println!("wrote {path}");
+}

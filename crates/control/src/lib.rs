@@ -31,6 +31,9 @@ pub use clue::{ClueConfig, ClueController};
 pub use dt_policy::DtPolicy;
 pub use error::ControlError;
 pub use mppi::{MppiConfig, MppiController};
-pub use planner::{evaluate_sequence, persistence_rollout, PlanningConfig, Predictor};
+pub use planner::{
+    evaluate_sequence, evaluate_sequences_lockstep, forecast_rollout, persistence_rollout,
+    ForecastMode, LockstepWorkspace, PlanningConfig, Predictor,
+};
 pub use random_shooting::{RandomShootingConfig, RandomShootingController};
 pub use rule_based::RuleBasedController;

@@ -24,11 +24,44 @@ use crate::error::ControlError;
 pub trait Predictor {
     /// Predicts `s_{t+1}` for `(obs, action)`.
     fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64;
+
+    /// Predicts `s_{t+1}` for a whole batch of `(obs, action)` pairs
+    /// into `out`.
+    ///
+    /// The default maps the scalar [`Predictor::predict_next`] over the
+    /// batch, so toy predictors and existing implementations need no
+    /// changes and behave bit-identically under the batched planner.
+    /// Real models ([`DynamicsModel`], [`DynamicsEnsemble`]) override
+    /// this with an allocation-free batched forward that is itself
+    /// bit-identical to their scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the three slices differ in length.
+    fn predict_next_batch(
+        &self,
+        observations: &[Observation],
+        actions: &[SetpointAction],
+        out: &mut [f64],
+    ) {
+        for ((obs, &action), slot) in observations.iter().zip(actions).zip(out.iter_mut()) {
+            *slot = self.predict_next(obs, action);
+        }
+    }
 }
 
 impl Predictor for DynamicsModel {
     fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
         self.predict_next_temperature(obs, action)
+    }
+
+    fn predict_next_batch(
+        &self,
+        observations: &[Observation],
+        actions: &[SetpointAction],
+        out: &mut [f64],
+    ) {
+        self.predict_batch_into(observations, actions, out);
     }
 }
 
@@ -36,11 +69,29 @@ impl Predictor for DynamicsEnsemble {
     fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
         self.predict_mean(obs, action)
     }
+
+    fn predict_next_batch(
+        &self,
+        observations: &[Observation],
+        actions: &[SetpointAction],
+        out: &mut [f64],
+    ) {
+        self.predict_mean_batch_into(observations, actions, out);
+    }
 }
 
 impl<P: Predictor + ?Sized> Predictor for &P {
     fn predict_next(&self, obs: &Observation, action: SetpointAction) -> f64 {
         (**self).predict_next(obs, action)
+    }
+
+    fn predict_next_batch(
+        &self,
+        observations: &[Observation],
+        actions: &[SetpointAction],
+        out: &mut [f64],
+    ) {
+        (**self).predict_next_batch(observations, actions, out);
     }
 }
 
@@ -219,6 +270,99 @@ pub fn evaluate_sequence<P: Predictor>(
         obs.zone_temperature = next;
     }
     total
+}
+
+/// Reusable buffers for [`evaluate_sequences_lockstep`]. One workspace
+/// serves any number of calls and any `(candidates, horizon)` shape;
+/// buffers grow on demand, so repeated planning performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct LockstepWorkspace {
+    observations: Vec<Observation>,
+    step_actions: Vec<SetpointAction>,
+    next_temperatures: Vec<f64>,
+}
+
+impl LockstepWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scores `n` candidate action sequences in lockstep: all candidates
+/// advance one horizon step at a time through
+/// [`Predictor::predict_next_batch`], so a plan costs `H` batched model
+/// calls instead of `N × H` scalar ones.
+///
+/// `sequences` is flat row-major — candidate `i` occupies
+/// `sequences[i * horizon .. (i + 1) * horizon]`. Discounted returns
+/// are written to `returns` (cleared and refilled, one entry per
+/// candidate).
+///
+/// Per candidate, the arithmetic (forecast disturbances, reward on the
+/// predicted next state, discount accumulation) runs in exactly the
+/// order of [`evaluate_sequence`], and the batched predictors are
+/// bit-identical to their scalar paths — so each returned score equals
+/// the scalar `evaluate_sequence` result for that candidate bit for
+/// bit.
+///
+/// # Panics
+///
+/// Panics if `horizon` is zero or `sequences.len()` is not a multiple
+/// of `horizon`.
+pub fn evaluate_sequences_lockstep<P: Predictor>(
+    predictor: &P,
+    start: &Observation,
+    sequences: &[SetpointAction],
+    horizon: usize,
+    config: &PlanningConfig,
+    workspace: &mut LockstepWorkspace,
+    returns: &mut Vec<f64>,
+) {
+    assert!(horizon > 0, "zero horizon");
+    assert!(
+        sequences.len().is_multiple_of(horizon),
+        "sequences not a multiple of the horizon"
+    );
+    let n = sequences.len() / horizon;
+    returns.clear();
+    returns.resize(n, 0.0);
+    if n == 0 {
+        return;
+    }
+    workspace.observations.clear();
+    workspace.observations.resize(n, *start);
+    workspace.step_actions.clear();
+    workspace.step_actions.resize(n, sequences[0]);
+    workspace.next_temperatures.clear();
+    workspace.next_temperatures.resize(n, 0.0);
+
+    let mut discount = config.gamma;
+    for k in 0..horizon {
+        // The forecast depends only on the start disturbances and the
+        // step offset — shared by every candidate, computed once.
+        let disturbances = config.forecast.disturbances_at(&start.disturbances, k);
+        for (i, obs) in workspace.observations.iter_mut().enumerate() {
+            obs.disturbances = disturbances;
+            workspace.step_actions[i] = sequences[i * horizon + k];
+        }
+        predictor.predict_next_batch(
+            &workspace.observations,
+            &workspace.step_actions,
+            &mut workspace.next_temperatures,
+        );
+        let occupied = workspace.observations[0].is_occupied();
+        for (((ret, &next), obs), &action) in returns
+            .iter_mut()
+            .zip(&workspace.next_temperatures)
+            .zip(workspace.observations.iter_mut())
+            .zip(&workspace.step_actions)
+        {
+            *ret += discount * reward(&config.reward, &config.comfort, next, action, occupied);
+            obs.zone_temperature = next;
+        }
+        discount *= config.gamma;
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +566,107 @@ mod tests {
         let r_heat_p = evaluate_sequence(&Toy, &start, &heat, &config);
         let r_idle_p = evaluate_sequence(&Toy, &start, &idle, &config);
         assert!(r_idle_p > r_heat_p);
+    }
+
+    #[test]
+    fn lockstep_matches_scalar_evaluate_sequence() {
+        let config = PlanningConfig::paper();
+        let start = obs(16.5, true);
+        let h = config.horizon;
+        // Deterministic candidate set spanning the action grid.
+        let candidates: Vec<Vec<SetpointAction>> = (0..7)
+            .map(|i| {
+                (0..h)
+                    .map(|k| SetpointAction::new(15 + ((i + k) % 9) as i32, 25).unwrap())
+                    .collect()
+            })
+            .collect();
+        let flat: Vec<SetpointAction> = candidates.iter().flatten().copied().collect();
+        let mut ws = LockstepWorkspace::new();
+        let mut returns = Vec::new();
+        evaluate_sequences_lockstep(&Toy, &start, &flat, h, &config, &mut ws, &mut returns);
+        assert_eq!(returns.len(), 7);
+        for (i, seq) in candidates.iter().enumerate() {
+            let scalar = evaluate_sequence(&Toy, &start, seq, &config);
+            assert_eq!(returns[i], scalar, "candidate {i} diverged");
+        }
+    }
+
+    #[test]
+    fn lockstep_matches_scalar_under_schedule_forecast() {
+        use hvac_sim::OccupancySchedule;
+        let mut config = PlanningConfig::paper();
+        config.forecast = ForecastMode::OccupancySchedule {
+            schedule: OccupancySchedule::office(),
+            zone_peak: 5.0,
+        };
+        let start = Observation::new(
+            15.0,
+            hvac_env::Disturbances {
+                hour_of_day: 7.0,
+                occupant_count: 0.0,
+                ..Default::default()
+            },
+        );
+        let h = 20;
+        let heat: Vec<SetpointAction> = vec![SetpointAction::new(22, 30).unwrap(); h];
+        let idle: Vec<SetpointAction> = vec![SetpointAction::off(); h];
+        let flat: Vec<SetpointAction> = heat.iter().chain(idle.iter()).copied().collect();
+        let mut ws = LockstepWorkspace::new();
+        let mut returns = Vec::new();
+        evaluate_sequences_lockstep(&Toy, &start, &flat, h, &config, &mut ws, &mut returns);
+        assert_eq!(returns[0], evaluate_sequence(&Toy, &start, &heat, &config));
+        assert_eq!(returns[1], evaluate_sequence(&Toy, &start, &idle, &config));
+        assert!(returns[0] > returns[1], "preheating should still pay off");
+    }
+
+    #[test]
+    fn lockstep_empty_candidate_set_yields_no_returns() {
+        let config = PlanningConfig::paper();
+        let mut ws = LockstepWorkspace::new();
+        let mut returns = vec![1.0, 2.0];
+        evaluate_sequences_lockstep(
+            &Toy,
+            &obs(20.0, true),
+            &[],
+            config.horizon,
+            &config,
+            &mut ws,
+            &mut returns,
+        );
+        assert!(returns.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the horizon")]
+    fn lockstep_rejects_misaligned_sequences() {
+        let config = PlanningConfig::paper();
+        let mut ws = LockstepWorkspace::new();
+        let mut returns = Vec::new();
+        evaluate_sequences_lockstep(
+            &Toy,
+            &obs(20.0, true),
+            &[SetpointAction::off(); 7],
+            4,
+            &config,
+            &mut ws,
+            &mut returns,
+        );
+    }
+
+    #[test]
+    fn default_batch_method_maps_scalar_predictor() {
+        let observations = [obs(18.0, true), obs(21.0, false), obs(25.0, true)];
+        let actions = [
+            SetpointAction::new(22, 30).unwrap(),
+            SetpointAction::off(),
+            SetpointAction::new(15, 22).unwrap(),
+        ];
+        let mut out = [0.0; 3];
+        Toy.predict_next_batch(&observations, &actions, &mut out);
+        for i in 0..3 {
+            assert_eq!(out[i], Toy.predict_next(&observations[i], actions[i]));
+        }
     }
 
     #[test]

@@ -10,12 +10,15 @@
 //! demonstrates and its decision-tree extraction removes.
 
 use crate::error::ControlError;
-use crate::planner::{evaluate_sequence, PlanningConfig, Predictor};
+use crate::planner::{
+    evaluate_sequence, evaluate_sequences_lockstep, LockstepWorkspace, PlanningConfig, Predictor,
+};
 use hvac_env::{ActionSpace, Observation, Policy, SetpointAction};
 use hvac_stats::{seeded_rng, split_seed};
-use hvac_telemetry::Counter;
+use hvac_telemetry::{Counter, Histogram, LATENCY_BOUNDS_NS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Random-shooting hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,10 +29,20 @@ pub struct RandomShootingConfig {
     pub planning: PlanningConfig,
     /// Worker threads for candidate evaluation. `1` (the default) runs
     /// sequentially; larger values fan the samples out with crossbeam
-    /// scoped threads. Results are identical across thread counts —
-    /// each worker derives its own seed and the argmax merge is
-    /// deterministic by (return, worker, order).
+    /// scoped threads (clamped to `samples` — surplus workers would
+    /// receive empty quotas). Results are identical across thread
+    /// counts — each worker derives its own seed and the argmax merge
+    /// is deterministic by (return, worker, order).
     pub threads: usize,
+    /// Evaluate candidates in lockstep through the predictor's batched
+    /// path (`true`, the default): all `samples` sequences advance one
+    /// horizon step at a time, costing `H` batched model calls instead
+    /// of `N × H` scalar calls. The chosen action is bit-identical to
+    /// the scalar path for the same seed — candidates are drawn in the
+    /// same RNG order, scored with bit-identical arithmetic, and
+    /// arg-maxed with the same tie-breaking — so this is purely a
+    /// latency knob (kept switchable for benchmarking).
+    pub batched: bool,
 }
 
 impl RandomShootingConfig {
@@ -39,6 +52,7 @@ impl RandomShootingConfig {
             samples: 1000,
             planning: PlanningConfig::paper(),
             threads: 1,
+            batched: true,
         }
     }
 
@@ -86,10 +100,16 @@ pub struct RandomShootingController<P> {
     action_space: ActionSpace,
     rng: StdRng,
     scratch: Vec<SetpointAction>,
+    // Lockstep-path buffers, reused across plan() calls so steady-state
+    // planning allocates nothing.
+    candidates: Vec<SetpointAction>,
+    returns: Vec<f64>,
+    workspace: LockstepWorkspace,
     // Cached telemetry handles: registry lookups happen once at
-    // construction, each plan() pays two relaxed atomic adds.
+    // construction, each plan() pays a few relaxed atomic adds.
     plans: Counter,
     trajectories: Counter,
+    plan_ns: Histogram,
 }
 
 impl<P: Predictor + Sync> RandomShootingController<P> {
@@ -111,8 +131,12 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
             action_space: ActionSpace::new(),
             rng: seeded_rng(seed),
             scratch: Vec::new(),
+            candidates: Vec::new(),
+            returns: Vec::new(),
+            workspace: LockstepWorkspace::new(),
             plans: hvac_telemetry::counter("rs.plan.count"),
             trajectories: hvac_telemetry::counter("rs.trajectories"),
+            plan_ns: hvac_telemetry::histogram("rs.plan.ns", LATENCY_BOUNDS_NS),
         })
     }
 
@@ -131,14 +155,27 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
     /// scope; the extraction stage calls this repeatedly to build the
     /// Monte-Carlo action distribution `p(â)` of Section 3.2.1.
     pub fn plan(&mut self, obs: &Observation) -> SetpointAction {
-        // Both paths score exactly `samples` candidate trajectories
+        // All paths score exactly `samples` candidate trajectories
         // (the parallel quotas sum to `samples`), so one add covers
-        // sequential and fan-out planning alike.
+        // sequential, lockstep, and fan-out planning alike.
         self.plans.incr();
         self.trajectories.add(self.config.samples as u64);
-        if self.config.threads > 1 {
-            return self.plan_parallel(obs);
-        }
+        let started = Instant::now();
+        let action = if self.config.threads > 1 {
+            self.plan_parallel(obs)
+        } else if self.config.batched {
+            self.plan_lockstep(obs)
+        } else {
+            self.plan_scalar(obs)
+        };
+        self.plan_ns
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        action
+    }
+
+    /// Sequential scalar evaluation: one `evaluate_sequence` rollout per
+    /// candidate (`N × H` scalar predictor calls).
+    fn plan_scalar(&mut self, obs: &Observation) -> SetpointAction {
         let h = self.config.planning.horizon;
         let n_actions = self.action_space.len();
         let mut best_first = self.action_space.as_slice()[0];
@@ -159,15 +196,57 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
         best_first
     }
 
+    /// Lockstep batched evaluation: candidates are drawn in exactly the
+    /// scalar path's RNG order, then all advance one horizon step at a
+    /// time through the predictor's batched forward (`H` batched calls).
+    /// The strictly-greater argmax in candidate order reproduces the
+    /// scalar path's tie-breaking, so the chosen action is bit-identical
+    /// to [`RandomShootingController::plan_scalar`] for the same seed.
+    fn plan_lockstep(&mut self, obs: &Observation) -> SetpointAction {
+        let h = self.config.planning.horizon;
+        let n_actions = self.action_space.len();
+        self.candidates.clear();
+        self.candidates.reserve(self.config.samples * h);
+        for _ in 0..self.config.samples * h {
+            let idx = self.rng.gen_range(0..n_actions);
+            self.candidates.push(self.action_space.as_slice()[idx]);
+        }
+        evaluate_sequences_lockstep(
+            &self.predictor,
+            obs,
+            &self.candidates,
+            h,
+            &self.config.planning,
+            &mut self.workspace,
+            &mut self.returns,
+        );
+        let mut best_first = self.action_space.as_slice()[0];
+        let mut best_return = f64::NEG_INFINITY;
+        for (i, &ret) in self.returns.iter().enumerate() {
+            if ret > best_return {
+                best_return = ret;
+                best_first = self.candidates[i * h];
+            }
+        }
+        best_first
+    }
+
     /// Parallel candidate evaluation with crossbeam scoped threads.
     ///
     /// One RNG seed per worker is derived from the controller's main
     /// RNG, so the parallel planner is just as reproducible as the
     /// sequential one (though it samples a *different* candidate set —
     /// the two paths are each deterministic, not identical to each
-    /// other).
+    /// other). The thread count is clamped to `samples` so no worker
+    /// spawns with an empty quota; clamping does not change the chosen
+    /// action for any `(seed, threads)` pair, because `per_worker` and
+    /// the active workers' derived seeds are unaffected and a zero-quota
+    /// worker's `(−∞, off)` entry can never win the strictly-greater
+    /// merge. When `batched` is set each worker evaluates its quota in
+    /// lockstep — same draws, same scores, same winner as the scalar
+    /// worker loop, just fewer predictor calls.
     fn plan_parallel(&mut self, obs: &Observation) -> SetpointAction {
-        let threads = self.config.threads;
+        let threads = self.config.threads.min(self.config.samples);
         let h = self.config.planning.horizon;
         let base: u64 = self.rng.gen();
         let per_worker = self.config.samples.div_ceil(threads);
@@ -175,6 +254,7 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
         let predictor = &self.predictor;
         let planning = self.config.planning;
         let total = self.config.samples;
+        let batched = self.config.batched;
 
         let results = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
@@ -182,20 +262,45 @@ impl<P: Predictor + Sync> RandomShootingController<P> {
                     scope.spawn(move |_| {
                         let mut rng = StdRng::seed_from_u64(split_seed(base, w as u64));
                         let n_actions = space.len();
-                        let mut scratch = Vec::with_capacity(h);
+                        let quota = per_worker.min(total.saturating_sub(w * per_worker));
                         let mut best_first = space.as_slice()[0];
                         let mut best_return = f64::NEG_INFINITY;
-                        let quota = per_worker.min(total.saturating_sub(w * per_worker));
-                        for _ in 0..quota {
-                            scratch.clear();
-                            for _ in 0..h {
+                        if batched {
+                            let mut candidates = Vec::with_capacity(quota * h);
+                            for _ in 0..quota * h {
                                 let idx = rng.gen_range(0..n_actions);
-                                scratch.push(space.as_slice()[idx]);
+                                candidates.push(space.as_slice()[idx]);
                             }
-                            let ret = evaluate_sequence(predictor, obs, &scratch, &planning);
-                            if ret > best_return {
-                                best_return = ret;
-                                best_first = scratch[0];
+                            let mut workspace = LockstepWorkspace::new();
+                            let mut returns = Vec::new();
+                            evaluate_sequences_lockstep(
+                                predictor,
+                                obs,
+                                &candidates,
+                                h,
+                                &planning,
+                                &mut workspace,
+                                &mut returns,
+                            );
+                            for (i, &ret) in returns.iter().enumerate() {
+                                if ret > best_return {
+                                    best_return = ret;
+                                    best_first = candidates[i * h];
+                                }
+                            }
+                        } else {
+                            let mut scratch = Vec::with_capacity(h);
+                            for _ in 0..quota {
+                                scratch.clear();
+                                for _ in 0..h {
+                                    let idx = rng.gen_range(0..n_actions);
+                                    scratch.push(space.as_slice()[idx]);
+                                }
+                                let ret = evaluate_sequence(predictor, obs, &scratch, &planning);
+                                if ret > best_return {
+                                    best_return = ret;
+                                    best_first = scratch[0];
+                                }
                             }
                         }
                         (best_return, best_first)
@@ -401,5 +506,53 @@ mod tests {
         let c = RandomShootingController::new(Toy, quick_config(), 0).unwrap();
         assert!(!c.is_deterministic());
         assert_eq!(c.name(), "mbrl-rs");
+    }
+
+    #[test]
+    fn lockstep_plan_matches_scalar_plan() {
+        // `batched` is purely a latency knob: same seed ⇒ same candidate
+        // draws ⇒ same argmax ⇒ identical decisions, plan after plan.
+        let run = |batched| {
+            let config = RandomShootingConfig {
+                batched,
+                ..quick_config()
+            };
+            let mut c = RandomShootingController::new(Toy, config, 11).unwrap();
+            (0..4)
+                .map(|i| c.plan(&obs(15.0 + 2.0 * f64::from(i), i % 2 == 0)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn parallel_batched_matches_parallel_scalar() {
+        let run = |batched| {
+            let config = RandomShootingConfig {
+                samples: 130, // not divisible by threads
+                threads: 4,
+                batched,
+                ..RandomShootingConfig::paper()
+            };
+            let mut c = RandomShootingController::new(Toy, config, 13).unwrap();
+            (0..3).map(|_| c.plan(&obs(21.0, true))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn more_threads_than_samples_is_safe_and_clamped() {
+        // Regression: surplus workers used to spawn with zero quotas.
+        // Clamping threads to samples must not change the decision.
+        let run = |threads| {
+            let config = RandomShootingConfig {
+                samples: 3,
+                threads,
+                ..RandomShootingConfig::paper()
+            };
+            let mut c = RandomShootingController::new(Toy, config, 17).unwrap();
+            c.plan(&obs(16.0, true))
+        };
+        assert_eq!(run(8), run(3));
     }
 }

@@ -1,0 +1,156 @@
+//! Integration tests: batched planning over a *trained* dynamics model.
+//!
+//! The unit tests in `random_shooting.rs` prove scalar/batched identity
+//! for toy predictors (which route through the default batched method).
+//! These tests close the remaining gap: a real [`DynamicsModel`]
+//! overrides `predict_next_batch` with the normalized, transposed MLP
+//! path, and the planner must still pick bit-identical actions.
+
+use hvac_control::{
+    evaluate_sequence, evaluate_sequences_lockstep, LockstepWorkspace, PlanningConfig,
+    RandomShootingConfig, RandomShootingController,
+};
+use hvac_dynamics::{DynamicsModel, ModelConfig, TransitionDataset};
+use hvac_env::{ActionSpace, Disturbances, Observation, SetpointAction, Transition};
+use hvac_nn::TrainConfig;
+
+fn trained_model() -> DynamicsModel {
+    let dataset: TransitionDataset = (0..160)
+        .map(|i| {
+            let s = 14.0 + (i % 12) as f64;
+            let heat = 15 + (i % 9);
+            Transition {
+                observation: Observation::new(
+                    s,
+                    Disturbances {
+                        outdoor_temperature: -4.0 + (i % 7) as f64,
+                        occupant_count: f64::from(i % 2 == 0),
+                        hour_of_day: (i % 24) as f64,
+                        ..Disturbances::default()
+                    },
+                ),
+                action: SetpointAction::new(heat, 25).unwrap(),
+                next_zone_temperature: 0.85 * s + 0.12 * f64::from(heat) + 0.4,
+            }
+        })
+        .collect();
+    let config = ModelConfig {
+        hidden: vec![24, 24],
+        train: TrainConfig {
+            epochs: 40,
+            ..TrainConfig::paper()
+        },
+        ..ModelConfig::default()
+    };
+    DynamicsModel::train(&dataset, &config).expect("quick model trains")
+}
+
+fn start_obs(temp: f64) -> Observation {
+    Observation::new(
+        temp,
+        Disturbances {
+            outdoor_temperature: -2.0,
+            occupant_count: 2.0,
+            hour_of_day: 9.0,
+            ..Disturbances::default()
+        },
+    )
+}
+
+#[test]
+fn lockstep_evaluation_is_bit_identical_to_scalar_over_trained_model() {
+    let model = trained_model();
+    let space = ActionSpace::new();
+    let planning = PlanningConfig {
+        horizon: 6,
+        ..PlanningConfig::paper()
+    };
+    // A deterministic spread of candidate sequences across the space.
+    let n = 40;
+    let sequences: Vec<SetpointAction> = (0..n * planning.horizon)
+        .map(|k| {
+            space
+                .action((k * 37) % space.len())
+                .expect("index in range")
+        })
+        .collect();
+    let mut workspace = LockstepWorkspace::new();
+    let mut returns = Vec::new();
+    evaluate_sequences_lockstep(
+        &model,
+        &start_obs(17.5),
+        &sequences,
+        planning.horizon,
+        &planning,
+        &mut workspace,
+        &mut returns,
+    );
+    assert_eq!(returns.len(), n);
+    for i in 0..n {
+        let seq = &sequences[i * planning.horizon..(i + 1) * planning.horizon];
+        let scalar = evaluate_sequence(&model, &start_obs(17.5), seq, &planning);
+        assert_eq!(returns[i], scalar, "candidate {i} diverged");
+    }
+}
+
+#[test]
+fn batched_controller_plans_identically_to_scalar_over_trained_model() {
+    let model = trained_model();
+    let run = |batched| {
+        let config = RandomShootingConfig {
+            samples: 120,
+            planning: PlanningConfig {
+                horizon: 8,
+                ..PlanningConfig::paper()
+            },
+            threads: 1,
+            batched,
+        };
+        let mut controller = RandomShootingController::new(model.clone(), config, 23).unwrap();
+        (0..5)
+            .map(|i| controller.plan(&start_obs(15.0 + f64::from(i))))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn samples_not_divisible_by_threads_is_deterministic_and_complete() {
+    let model = trained_model();
+    let run = || {
+        let config = RandomShootingConfig {
+            samples: 50, // 50 = 4 × 13 − 2: last worker gets a short quota
+            planning: PlanningConfig {
+                horizon: 5,
+                ..PlanningConfig::paper()
+            },
+            threads: 4,
+            batched: true,
+        };
+        let mut controller = RandomShootingController::new(model.clone(), config, 31).unwrap();
+        (0..3)
+            .map(|_| controller.plan(&start_obs(16.0)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn threads_beyond_samples_clamp_without_changing_the_plan() {
+    let model = trained_model();
+    let run = |threads| {
+        let config = RandomShootingConfig {
+            samples: 4,
+            planning: PlanningConfig {
+                horizon: 5,
+                ..PlanningConfig::paper()
+            },
+            threads,
+            batched: true,
+        };
+        let mut controller = RandomShootingController::new(model.clone(), config, 7).unwrap();
+        controller.plan(&start_obs(18.0))
+    };
+    // 16 workers over 4 samples must behave exactly like 4 workers.
+    assert_eq!(run(16), run(4));
+}

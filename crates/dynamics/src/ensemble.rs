@@ -132,6 +132,45 @@ impl DynamicsEnsemble {
     pub fn primary(&self) -> &DynamicsModel {
         &self.models[0]
     }
+
+    /// Batched mean prediction across members — the lockstep-planner
+    /// counterpart of [`DynamicsEnsemble::predict_mean`]. Each member
+    /// predicts the whole batch through its allocation-free batched
+    /// path; per-observation sums accumulate in member order, so every
+    /// output is bit-identical to the scalar `predict_mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations`, `actions`, and `out` differ in length.
+    pub fn predict_mean_batch_into(
+        &self,
+        observations: &[Observation],
+        actions: &[SetpointAction],
+        out: &mut [f64],
+    ) {
+        assert_eq!(observations.len(), actions.len(), "batch width");
+        assert_eq!(observations.len(), out.len(), "output buffer width");
+        MEMBER_BUFFER.with(|cell| {
+            let tmp = &mut *cell.borrow_mut();
+            tmp.resize(out.len(), 0.0);
+            out.fill(0.0);
+            for model in &self.models {
+                model.predict_batch_into(observations, actions, tmp);
+                for (acc, &p) in out.iter_mut().zip(tmp.iter()) {
+                    *acc += p;
+                }
+            }
+            let n = self.models.len() as f64;
+            for acc in out.iter_mut() {
+                *acc /= n;
+            }
+        });
+    }
+}
+
+thread_local! {
+    /// Per-thread member-prediction buffer for the batched mean path.
+    static MEMBER_BUFFER: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[cfg(test)]
@@ -225,5 +264,22 @@ mod tests {
         let d = synthetic_dataset(60);
         let e = DynamicsEnsemble::train(&d, &quick_config(2)).unwrap();
         assert_eq!(e.primary(), &e.members()[0]);
+    }
+
+    #[test]
+    fn batched_mean_is_bit_identical_to_scalar_mean() {
+        let d = synthetic_dataset(80);
+        let e = DynamicsEnsemble::train(&d, &quick_config(3)).unwrap();
+        let observations: Vec<Observation> = (0..12)
+            .map(|i| Observation::new(16.0 + i as f64, Disturbances::default()))
+            .collect();
+        let actions: Vec<SetpointAction> = (0..12)
+            .map(|i| SetpointAction::new(15 + (i % 9), 25).unwrap())
+            .collect();
+        let mut out = vec![0.0; 12];
+        e.predict_mean_batch_into(&observations, &actions, &mut out);
+        for i in 0..12 {
+            assert_eq!(out[i], e.predict_mean(&observations[i], actions[i]));
+        }
     }
 }

@@ -48,5 +48,5 @@ pub mod serialize;
 pub use dataset::{collect_historical_dataset, TransitionDataset, DYNAMICS_INPUT_DIM};
 pub use ensemble::{DynamicsEnsemble, EnsembleConfig};
 pub use error::DynamicsError;
-pub use model::{DynamicsModel, ModelConfig};
+pub use model::{DynamicsModel, DynamicsScratch, ModelConfig};
 pub use normalize::Normalizer;

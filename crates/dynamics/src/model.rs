@@ -4,7 +4,40 @@ use crate::dataset::{TransitionDataset, DYNAMICS_INPUT_DIM};
 use crate::error::DynamicsError;
 use crate::normalize::Normalizer;
 use hvac_env::{Observation, SetpointAction};
-use hvac_nn::{Activation, Mlp, TrainConfig};
+use hvac_nn::{Activation, Mlp, MlpScratch, TrainConfig};
+use std::cell::RefCell;
+
+/// Reusable buffers for allocation-free (batched) dynamics prediction.
+///
+/// One scratch serves any number of [`DynamicsModel::predict_rows_with`]
+/// calls and any batch size — buffers grow on demand and are never
+/// shrunk, so the steady-state planner hot path performs no heap
+/// allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicsScratch {
+    /// Raw input rows (`n × DYNAMICS_INPUT_DIM`).
+    raw: Vec<f64>,
+    /// Normalized input rows (`n × DYNAMICS_INPUT_DIM`).
+    normed: Vec<f64>,
+    /// Normalized network outputs (`n × 1`).
+    y: Vec<f64>,
+    /// Network-internal ping-pong buffers.
+    mlp: MlpScratch,
+}
+
+impl DynamicsScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the convenience batched entry points,
+    /// so `&self` prediction stays `Sync`-friendly *and* allocation-free
+    /// after the first call on each thread.
+    static CACHED_SCRATCH: RefCell<DynamicsScratch> = RefCell::new(DynamicsScratch::new());
+}
 
 /// Configuration of the dynamics model. The training hyperparameters
 /// default to the paper's (Section 4.1).
@@ -96,7 +129,12 @@ impl DynamicsModel {
         self.predict_row(&raw)
     }
 
-    /// Predicts from a raw 8-wide input row `[s, d…, a_heat, a_cool]`.
+    /// Predicts from a raw [`DYNAMICS_INPUT_DIM`]-wide (9-wide) input
+    /// row laid out `[s, d…, a_heat, a_cool]`: the zone temperature
+    /// `s`, the six disturbance features of the policy input (outdoor
+    /// temperature, relative humidity, wind speed, solar radiation,
+    /// occupant count, hour of day — together with `s` the 7-wide
+    /// policy input), then the heating and cooling setpoints.
     ///
     /// # Panics
     ///
@@ -109,6 +147,74 @@ impl DynamicsModel {
             .predict(&x)
             .expect("width checked by normalizer/assert");
         self.target_normalizer.inverse(&y)[0]
+    }
+
+    /// Batched, allocation-free prediction from flat row-major input
+    /// (`n × DYNAMICS_INPUT_DIM`, same per-row layout as
+    /// [`DynamicsModel::predict_row`]) into `out` (`n` temperatures).
+    ///
+    /// Each output is bit-identical to the corresponding
+    /// [`DynamicsModel::predict_row`] call: normalization, the network
+    /// forward, and the inverse transform all reuse the scalar path's
+    /// per-element arithmetic — only the per-call allocations and
+    /// per-row layer dispatch are gone, and the network weights stay
+    /// cache-resident across the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not a multiple of [`DYNAMICS_INPUT_DIM`] or
+    /// `out` does not hold exactly one slot per row.
+    pub fn predict_rows_with(&self, rows: &[f64], scratch: &mut DynamicsScratch, out: &mut [f64]) {
+        assert!(
+            rows.len().is_multiple_of(DYNAMICS_INPUT_DIM),
+            "input row width"
+        );
+        let n = rows.len() / DYNAMICS_INPUT_DIM;
+        assert_eq!(out.len(), n, "output buffer width");
+        if n == 0 {
+            return;
+        }
+        scratch.normed.resize(rows.len(), 0.0);
+        scratch.y.resize(n, 0.0);
+        self.input_normalizer
+            .transform_into(rows, &mut scratch.normed);
+        self.mlp
+            .predict_batch_into(&scratch.normed, n, &mut scratch.mlp, &mut scratch.y)
+            .expect("widths checked by asserts");
+        self.target_normalizer.inverse_into(&scratch.y, out);
+    }
+
+    /// Batched prediction for `(observation, action)` pairs — the
+    /// planner's lockstep hot path. Uses a per-thread cached scratch,
+    /// so repeated calls are allocation-free after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations`, `actions`, and `out` differ in length.
+    pub fn predict_batch_into(
+        &self,
+        observations: &[Observation],
+        actions: &[SetpointAction],
+        out: &mut [f64],
+    ) {
+        assert_eq!(observations.len(), actions.len(), "batch width");
+        assert_eq!(observations.len(), out.len(), "output buffer width");
+        CACHED_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.raw.clear();
+            scratch.raw.reserve(observations.len() * DYNAMICS_INPUT_DIM);
+            for (obs, action) in observations.iter().zip(actions) {
+                let o = obs.to_vector();
+                let (h, c) = action.as_f64_pair();
+                scratch.raw.extend_from_slice(&o);
+                scratch.raw.push(h);
+                scratch.raw.push(c);
+            }
+            // Split the borrow: `raw` is the input, the rest is scratch.
+            let raw = std::mem::take(&mut scratch.raw);
+            self.predict_rows_with(&raw, scratch, out);
+            scratch.raw = raw;
+        });
     }
 
     /// Root-mean-square prediction error over a dataset, °C.
@@ -301,5 +407,63 @@ mod tests {
         let data = synthetic_dataset(100);
         let model = DynamicsModel::train(&data, &quick_config()).unwrap();
         assert!(model.parameter_count() > 100);
+    }
+
+    #[test]
+    fn predict_rows_with_is_bit_identical_to_predict_row() {
+        let data = synthetic_dataset(120);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let rows: Vec<f64> = data
+            .iter()
+            .take(40)
+            .flat_map(TransitionDataset::input_row)
+            .collect();
+        let mut scratch = DynamicsScratch::new();
+        let mut out = vec![0.0; 40];
+        model.predict_rows_with(&rows, &mut scratch, &mut out);
+        for (i, got) in out.iter().enumerate() {
+            let row = &rows[i * DYNAMICS_INPUT_DIM..(i + 1) * DYNAMICS_INPUT_DIM];
+            assert_eq!(*got, model.predict_row(row), "row {i}");
+        }
+        // The scratch is reusable for a different batch size.
+        let mut one = [0.0];
+        model.predict_rows_with(&rows[..DYNAMICS_INPUT_DIM], &mut scratch, &mut one);
+        assert_eq!(one[0], out[0]);
+    }
+
+    #[test]
+    fn predict_batch_into_matches_predict_next_temperature() {
+        let data = synthetic_dataset(120);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let observations: Vec<Observation> = data.iter().take(25).map(|t| t.observation).collect();
+        let actions: Vec<SetpointAction> = data.iter().take(25).map(|t| t.action).collect();
+        let mut out = vec![0.0; 25];
+        model.predict_batch_into(&observations, &actions, &mut out);
+        for i in 0..25 {
+            assert_eq!(
+                out[i],
+                model.predict_next_temperature(&observations[i], actions[i]),
+                "observation {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_rows_with_empty_batch_is_noop() {
+        let data = synthetic_dataset(100);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let mut scratch = DynamicsScratch::new();
+        model.predict_rows_with(&[], &mut scratch, &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer width")]
+    fn predict_rows_with_rejects_short_output() {
+        let data = synthetic_dataset(100);
+        let model = DynamicsModel::train(&data, &quick_config()).unwrap();
+        let mut scratch = DynamicsScratch::new();
+        let rows = vec![0.0; 2 * DYNAMICS_INPUT_DIM];
+        let mut out = [0.0; 1];
+        model.predict_rows_with(&rows, &mut scratch, &mut out);
     }
 }

@@ -117,6 +117,54 @@ impl Normalizer {
     pub fn transform_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
         rows.iter().map(|r| self.transform(r)).collect()
     }
+
+    /// Normalizes flat row-major data into a caller-provided buffer —
+    /// the zero-allocation variant of [`Normalizer::transform`] used by
+    /// the batched planner hot path. `rows` may hold any number of
+    /// rows; each column is standardized with the same `(v − m) / s`
+    /// arithmetic as the scalar path, so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the fitted
+    /// dimensionality or `out.len() != rows.len()`.
+    pub fn transform_into(&self, rows: &[f64], out: &mut [f64]) {
+        let dim = self.means.len();
+        assert!(rows.len().is_multiple_of(dim), "row width mismatch");
+        assert_eq!(rows.len(), out.len(), "output buffer mismatch");
+        for (src, dst) in rows.chunks_exact(dim).zip(out.chunks_exact_mut(dim)) {
+            for ((d, &v), (&m, &s)) in dst
+                .iter_mut()
+                .zip(src)
+                .zip(self.means.iter().zip(&self.stds))
+            {
+                *d = (v - m) / s;
+            }
+        }
+    }
+
+    /// Inverse-transforms flat row-major data into a caller-provided
+    /// buffer — the zero-allocation variant of [`Normalizer::inverse`].
+    /// Bit-identical to the scalar path (`v * s + m` per column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the fitted
+    /// dimensionality or `out.len() != rows.len()`.
+    pub fn inverse_into(&self, rows: &[f64], out: &mut [f64]) {
+        let dim = self.means.len();
+        assert!(rows.len().is_multiple_of(dim), "row width mismatch");
+        assert_eq!(rows.len(), out.len(), "output buffer mismatch");
+        for (src, dst) in rows.chunks_exact(dim).zip(out.chunks_exact_mut(dim)) {
+            for ((d, &v), (&m, &s)) in dst
+                .iter_mut()
+                .zip(src)
+                .zip(self.means.iter().zip(&self.stds))
+            {
+                *d = v * s + m;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +200,46 @@ mod tests {
     fn width_mismatch_panics() {
         let n = Normalizer::fit(&[vec![1.0, 2.0]]).unwrap();
         n.transform(&[1.0]);
+    }
+
+    #[test]
+    fn transform_into_matches_scalar_transform() {
+        let rows = vec![
+            vec![1.0, -4.0, 9.0],
+            vec![3.0, 2.0, -1.0],
+            vec![0.5, 0.0, 7.0],
+        ];
+        let n = Normalizer::fit(&rows).unwrap();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let mut out = vec![0.0; flat.len()];
+        n.transform_into(&flat, &mut out);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(&out[r * 3..(r + 1) * 3], n.transform(row).as_slice());
+        }
+        let mut back = vec![0.0; flat.len()];
+        n.inverse_into(&out, &mut back);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(
+                &back[r * 3..(r + 1) * 3],
+                n.inverse(&n.transform(row)).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn transform_into_rejects_misaligned_batch() {
+        let n = Normalizer::fit(&[vec![1.0, 2.0]]).unwrap();
+        let mut out = [0.0; 3];
+        n.transform_into(&[1.0, 2.0, 3.0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer mismatch")]
+    fn inverse_into_rejects_short_output() {
+        let n = Normalizer::fit(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let mut out = [0.0; 2];
+        n.inverse_into(&[1.0, 2.0, 3.0, 4.0], &mut out);
     }
 
     proptest! {

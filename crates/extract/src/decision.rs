@@ -6,6 +6,14 @@
 //! frequent action becomes the label (the paper's mode-of-`p(â)` rule).
 //! A mean-distillation variant is included for the ablation called out
 //! in DESIGN.md.
+//!
+//! Extraction is the repo's hottest loop — `n_points × mc_runs`
+//! optimizer invocations, each scoring `samples` sequences over the
+//! horizon — so the teacher controller's lockstep-batched evaluation
+//! (`RandomShootingConfig::batched`, on by default) matters most here:
+//! every distilled label costs `H` batched dynamics-model calls per
+//! optimizer run instead of `N × H` scalar calls, with bit-identical
+//! labels either way.
 
 use crate::augment::NoiseAugmenter;
 use crate::error::ExtractError;

@@ -11,6 +11,12 @@
 //! [`crate::generate_decision_dataset`] (workers consume different RNG
 //! streams) but it is deterministic for a fixed `(seed, threads)` pair
 //! and statistically equivalent.
+//!
+//! Thread-level fan-out composes with the controller's lockstep-batched
+//! candidate evaluation (`rs_config.batched`, on by default): each
+//! worker's optimizer advances all its candidate sequences through the
+//! dynamics model one horizon step at a time, so the per-point cost
+//! drops by the batch factor *and* the points spread across cores.
 
 use crate::augment::NoiseAugmenter;
 use crate::decision::{DecisionDataset, Distillation, ExtractionConfig};

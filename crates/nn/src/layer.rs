@@ -189,6 +189,129 @@ impl Dense {
         Ok(out)
     }
 
+    /// Inference-only forward pass into a caller-provided buffer — the
+    /// zero-allocation core of the batched planner hot path.
+    ///
+    /// `input` is row-major `batch × in_dim`; `out` must be exactly
+    /// `batch × out_dim`. The per-row arithmetic (bias-seeded
+    /// accumulation in input order) is identical to [`Dense::infer`],
+    /// so results are bit-identical to the allocating path. The whole
+    /// batch is swept in a single matmul-shaped pass, keeping the
+    /// weight matrix resident in cache across rows instead of paying a
+    /// fresh allocation and cold traversal per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `input` is empty or not
+    /// a multiple of the input width, or if `out` does not match the
+    /// implied batch size.
+    pub fn infer_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), NnError> {
+        if input.is_empty() || !input.len().is_multiple_of(self.in_dim) {
+            return Err(NnError::DimensionMismatch {
+                expected: self.in_dim,
+                got: input.len(),
+            });
+        }
+        let batch = input.len() / self.in_dim;
+        if out.len() != batch * self.out_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: batch * self.out_dim,
+                got: out.len(),
+            });
+        }
+        for (x, y) in input
+            .chunks_exact(self.in_dim)
+            .zip(out.chunks_exact_mut(self.out_dim))
+        {
+            for (o, yo) in y.iter_mut().enumerate() {
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = self.biases[o];
+                for (w, xi) in row.iter().zip(x) {
+                    acc += w * xi;
+                }
+                *yo = self.activation.apply(acc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Inference-only forward pass in **transposed** (column-major)
+    /// layout: `xt` is `in_dim × batch` (`xt[i * batch + r]` = feature
+    /// `i` of row `r`) and the result lands transposed in `yt`
+    /// (`out_dim × batch`).
+    ///
+    /// Each output neuron seeds the whole batch with its bias and then
+    /// sweeps the weights in input order, adding `w[o][i] * xt[i][..]`
+    /// across contiguous columns. Per row the floating-point op order is
+    /// exactly [`Dense::infer`]'s bias-seeded input-order accumulation —
+    /// results are bit-identical — but the serial dependency chain of
+    /// the row-major dot product is gone: consecutive lanes belong to
+    /// *different* rows, so the compiler vectorizes the inner loop
+    /// across the batch. This is what makes the lockstep planner's
+    /// batched path beat `batch ×` scalar calls rather than merely
+    /// matching their arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `xt` is not
+    /// `in_dim × batch` or `yt` is not `out_dim × batch`, or if `batch`
+    /// is zero.
+    pub fn infer_transposed_into(
+        &self,
+        xt: &[f64],
+        batch: usize,
+        yt: &mut [f64],
+    ) -> Result<(), NnError> {
+        if batch == 0 || xt.len() != batch * self.in_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: batch * self.in_dim,
+                got: xt.len(),
+            });
+        }
+        if yt.len() != batch * self.out_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: batch * self.out_dim,
+                got: yt.len(),
+            });
+        }
+        for (o, acc) in yt.chunks_exact_mut(batch).enumerate() {
+            acc.fill(self.biases[o]);
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            // Four inputs per sweep: the accumulator column is loaded and
+            // stored once per quartet instead of once per input, which is
+            // what bounds the plain axpy. Within each row the adds still
+            // happen in input order (i, i+1, i+2, i+3 sequentially), so
+            // bit-identity with the row-major path is preserved.
+            let quads = self.in_dim / 4;
+            for q in 0..quads {
+                let i = q * 4;
+                let [w0, w1, w2, w3]: [f64; 4] = row[i..i + 4].try_into().expect("quad");
+                let x0 = &xt[i * batch..(i + 1) * batch];
+                let x1 = &xt[(i + 1) * batch..(i + 2) * batch];
+                let x2 = &xt[(i + 2) * batch..(i + 3) * batch];
+                let x3 = &xt[(i + 3) * batch..(i + 4) * batch];
+                for ((((a, &v0), &v1), &v2), &v3) in acc.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3)
+                {
+                    let mut sum = *a;
+                    sum += w0 * v0;
+                    sum += w1 * v1;
+                    sum += w2 * v2;
+                    sum += w3 * v3;
+                    *a = sum;
+                }
+            }
+            for i in quads * 4..self.in_dim {
+                let w = row[i];
+                let xi = &xt[i * batch..(i + 1) * batch];
+                for (a, &x) in acc.iter_mut().zip(xi) {
+                    *a += w * x;
+                }
+            }
+            self.activation.apply_slice(acc);
+        }
+        Ok(())
+    }
+
     /// Backward pass: takes `dL/dy` for the batch of the last `forward`
     /// call, accumulates parameter gradients, and returns `dL/dx`.
     ///

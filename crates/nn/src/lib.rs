@@ -48,5 +48,5 @@ pub use activation::Activation;
 pub use error::NnError;
 pub use layer::Dense;
 pub use loss::{mse, mse_gradient};
-pub use mlp::{Mlp, TrainConfig, TrainHistory};
+pub use mlp::{Mlp, MlpScratch, TrainConfig, TrainHistory};
 pub use optimizer::{Adam, AdamConfig};

@@ -75,6 +75,44 @@ impl TrainHistory {
     }
 }
 
+/// Reusable ping-pong buffers for allocation-free inference.
+///
+/// One scratch serves any number of [`Mlp::predict_into`] /
+/// [`Mlp::predict_batch_into`] calls (and any mix of networks or batch
+/// sizes — buffers grow on demand and are never shrunk). Keeping it
+/// outside the network keeps `Mlp` shareable across threads while each
+/// worker owns its own workspace.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows both buffers to hold `len` values without reallocating on
+    /// the hot path.
+    fn reserve(&mut self, len: usize) {
+        if self.ping.len() < len {
+            self.ping.resize(len, 0.0);
+        }
+        if self.pong.len() < len {
+            self.pong.resize(len, 0.0);
+        }
+    }
+}
+
+/// Batch size at which [`Mlp::predict_batch_into`] switches from the
+/// row-major sweep to the transposed (column-major) kernel. Below this
+/// the two O(rows × width) transposes cost more than the vectorization
+/// of the layer sweeps recovers; the cutover only affects latency —
+/// both paths are bit-identical to [`Mlp::predict`].
+const TRANSPOSE_THRESHOLD: usize = 16;
+
 /// A fully connected feed-forward network for regression.
 ///
 /// Hidden layers share one activation; the output layer is linear
@@ -211,6 +249,125 @@ impl Mlp {
     /// length.
     pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, NnError> {
         inputs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Widest layer boundary (including input and output), i.e. the
+    /// per-row scratch requirement of the inference path.
+    pub fn max_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(Dense::in_dim)
+            .chain(std::iter::once(self.out_dim))
+            .max()
+            .expect("at least one layer")
+    }
+
+    /// Zero-allocation single forward: writes the prediction for one
+    /// input row into `out`, reusing `scratch` for intermediates.
+    /// Bit-identical to [`Mlp::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] for a wrong input or
+    /// output length.
+    pub fn predict_into(
+        &self,
+        input: &[f64],
+        scratch: &mut MlpScratch,
+        out: &mut [f64],
+    ) -> Result<(), NnError> {
+        self.predict_batch_into(input, 1, scratch, out)
+    }
+
+    /// True row-major batched forward: one matmul-shaped pass per layer
+    /// over all `rows` rows, with no allocation on the hot path.
+    ///
+    /// `inputs` is flat row-major (`rows × in_dim`), `out` must be
+    /// `rows × out_dim`. Each output row is bit-identical to what
+    /// [`Mlp::predict`] returns for the corresponding input row: the
+    /// per-row accumulation order inside each layer is unchanged, only
+    /// the allocations and the per-row layer-loop overhead are gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `inputs` is not
+    /// `rows × in_dim` or `out` is not `rows × out_dim`.
+    pub fn predict_batch_into(
+        &self,
+        inputs: &[f64],
+        rows: usize,
+        scratch: &mut MlpScratch,
+        out: &mut [f64],
+    ) -> Result<(), NnError> {
+        if rows == 0 || inputs.len() != rows * self.in_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: rows * self.in_dim,
+                got: inputs.len(),
+            });
+        }
+        if out.len() != rows * self.out_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: rows * self.out_dim,
+                got: out.len(),
+            });
+        }
+        if rows >= TRANSPOSE_THRESHOLD {
+            return self.predict_batch_transposed(inputs, rows, scratch, out);
+        }
+        if self.layers.len() == 1 {
+            return self.layers[0].infer_into(inputs, out);
+        }
+        scratch.reserve(rows * self.max_width());
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let src = if i == 0 {
+                inputs
+            } else {
+                &scratch.ping[..rows * layer.in_dim()]
+            };
+            if i == last {
+                layer.infer_into(src, out)?;
+            } else {
+                let dst = &mut scratch.pong[..rows * layer.out_dim()];
+                layer.infer_into(src, dst)?;
+                std::mem::swap(&mut scratch.ping, &mut scratch.pong);
+            }
+        }
+        Ok(())
+    }
+
+    /// Large-batch forward in transposed (column-major) space: the batch
+    /// is transposed once on entry, every layer runs
+    /// [`Dense::infer_transposed_into`] (vectorizable across rows, see
+    /// there for the bit-identity argument), and the result is
+    /// transposed back into row-major `out`. The two O(rows × width)
+    /// transposes are amortized by the O(rows × in × out) layer sweeps.
+    fn predict_batch_transposed(
+        &self,
+        inputs: &[f64],
+        rows: usize,
+        scratch: &mut MlpScratch,
+        out: &mut [f64],
+    ) -> Result<(), NnError> {
+        scratch.reserve(rows * self.max_width());
+        let MlpScratch { ping, pong } = scratch;
+        for (i, column) in ping.chunks_exact_mut(rows).take(self.in_dim).enumerate() {
+            for (r, slot) in column.iter_mut().enumerate() {
+                *slot = inputs[r * self.in_dim + i];
+            }
+        }
+        for layer in &self.layers {
+            let src = &ping[..rows * layer.in_dim()];
+            let dst = &mut pong[..rows * layer.out_dim()];
+            layer.infer_transposed_into(src, rows, dst)?;
+            std::mem::swap(ping, pong);
+        }
+        for (o, column) in ping.chunks_exact(rows).take(self.out_dim).enumerate() {
+            for (r, &value) in column.iter().enumerate() {
+                out[r * self.out_dim + o] = value;
+            }
+        }
+        Ok(())
     }
 
     /// One optimization step on a flat batch; returns the batch loss.
@@ -434,5 +591,108 @@ mod tests {
     #[test]
     fn empty_history_final_loss_is_infinite() {
         assert_eq!(TrainHistory::default().final_loss(), f64::INFINITY);
+    }
+
+    #[test]
+    fn predict_into_is_bit_identical_to_predict() {
+        let m = Mlp::new(&[3, 16, 8, 2], Activation::Relu, 13).unwrap();
+        let mut scratch = MlpScratch::new();
+        let mut out = [0.0; 2];
+        for i in 0..20 {
+            let x = [i as f64 * 0.3 - 2.0, (i % 5) as f64, -(i as f64) * 0.1];
+            m.predict_into(&x, &mut scratch, &mut out).unwrap();
+            assert_eq!(out.to_vec(), m.predict(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn predict_batch_into_matches_per_row_predict() {
+        let m = Mlp::new(&[4, 32, 32, 3], Activation::Tanh, 7).unwrap();
+        let rows = 17;
+        let flat: Vec<f64> = (0..rows * 4).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut scratch = MlpScratch::new();
+        let mut out = vec![0.0; rows * 3];
+        m.predict_batch_into(&flat, rows, &mut scratch, &mut out)
+            .unwrap();
+        for r in 0..rows {
+            let expected = m.predict(&flat[r * 4..(r + 1) * 4]).unwrap();
+            assert_eq!(&out[r * 3..(r + 1) * 3], expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn predict_batch_into_single_layer_network() {
+        let m = Mlp::new(&[2, 3], Activation::Relu, 1).unwrap();
+        let mut scratch = MlpScratch::new();
+        let mut out = vec![0.0; 2 * 3];
+        m.predict_batch_into(&[0.5, -1.0, 2.0, 0.25], 2, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(&out[..3], m.predict(&[0.5, -1.0]).unwrap().as_slice());
+        assert_eq!(&out[3..], m.predict(&[2.0, 0.25]).unwrap().as_slice());
+    }
+
+    #[test]
+    fn predict_batch_into_validates_shapes() {
+        let m = Mlp::new(&[3, 4, 1], Activation::Relu, 0).unwrap();
+        let mut scratch = MlpScratch::new();
+        let mut out = vec![0.0; 2];
+        // Wrong input length for the claimed row count.
+        assert!(m
+            .predict_batch_into(&[1.0; 5], 2, &mut scratch, &mut out)
+            .is_err());
+        // Zero rows.
+        assert!(m.predict_batch_into(&[], 0, &mut scratch, &mut []).is_err());
+        // Wrong output length.
+        let mut short = vec![0.0; 1];
+        assert!(m
+            .predict_batch_into(&[1.0; 6], 2, &mut scratch, &mut short)
+            .is_err());
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_networks_and_batch_sizes() {
+        let a = Mlp::new(&[2, 8, 1], Activation::Relu, 3).unwrap();
+        let b = Mlp::new(&[5, 64, 64, 2], Activation::Relu, 4).unwrap();
+        let mut scratch = MlpScratch::new();
+        let mut out_a = [0.0; 1];
+        a.predict_into(&[0.1, 0.2], &mut scratch, &mut out_a)
+            .unwrap();
+        assert_eq!(out_a.to_vec(), a.predict(&[0.1, 0.2]).unwrap());
+        let rows = 9;
+        let flat: Vec<f64> = (0..rows * 5).map(|i| i as f64 * 0.01).collect();
+        let mut out_b = vec![0.0; rows * 2];
+        b.predict_batch_into(&flat, rows, &mut scratch, &mut out_b)
+            .unwrap();
+        assert_eq!(
+            &out_b[..2],
+            b.predict(&flat[..5]).unwrap().as_slice(),
+            "scratch reuse must not corrupt results"
+        );
+    }
+
+    #[test]
+    fn transposed_and_row_major_batch_paths_agree_bitwise() {
+        // Straddle TRANSPOSE_THRESHOLD: every row must match the scalar
+        // predict exactly on both sides of the cutover.
+        let m = Mlp::new(&[5, 24, 16, 2], Activation::Relu, 21).unwrap();
+        let mut scratch = MlpScratch::new();
+        for rows in [TRANSPOSE_THRESHOLD - 1, TRANSPOSE_THRESHOLD, 53] {
+            let flat: Vec<f64> = (0..rows * 5).map(|i| (i as f64 * 0.211).cos()).collect();
+            let mut out = vec![0.0; rows * 2];
+            m.predict_batch_into(&flat, rows, &mut scratch, &mut out)
+                .unwrap();
+            for r in 0..rows {
+                let expected = m.predict(&flat[r * 5..(r + 1) * 5]).unwrap();
+                assert_eq!(&out[r * 2..(r + 1) * 2], expected.as_slice(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_width_spans_input_hidden_output() {
+        let m = Mlp::new(&[3, 64, 5], Activation::Relu, 0).unwrap();
+        assert_eq!(m.max_width(), 64);
+        let n = Mlp::new(&[9, 4, 2], Activation::Relu, 0).unwrap();
+        assert_eq!(n.max_width(), 9);
     }
 }

@@ -137,15 +137,22 @@ where
 {
     validate(samples, threshold)?;
     let mut rng = seeded_rng(seed);
-    let mut safe = 0;
+    // Sample every safe start and decide every action up front, then
+    // resolve all one-step predictions in a single batched model call.
+    // The verifier's RNG only feeds `sample_safe_start` and the policy's
+    // internal stream only feeds `decide`, so hoisting the phases leaves
+    // both streams — and therefore the estimate — bit-identical to the
+    // interleaved sample/decide/predict loop this replaces.
+    let mut starts = Vec::with_capacity(samples);
+    let mut actions = Vec::with_capacity(samples);
     for _ in 0..samples {
         let obs = sample_safe_start(augmenter, comfort, &mut rng);
-        let action = policy.decide(&obs);
-        let next = predictor.predict_next(&obs, action);
-        if comfort.contains(next) {
-            safe += 1;
-        }
+        actions.push(policy.decide(&obs));
+        starts.push(obs);
     }
+    let mut next = vec![0.0; samples];
+    predictor.predict_next_batch(&starts, &actions, &mut next);
+    let safe = next.iter().filter(|&&t| comfort.contains(t)).count();
     Ok(SafeProbability {
         safe,
         total: samples,
