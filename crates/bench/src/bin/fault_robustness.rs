@@ -1,0 +1,241 @@
+//! Fault robustness: raw vs. guarded decision-tree policy under
+//! injected sensor faults.
+//!
+//! Extracts the Pittsburgh policy, then replays January episodes
+//! through a [`FaultedEnv`] for every fault model × intensity rung of
+//! the preset grid — once with the bare tree policy and once wrapped
+//! in a [`GuardedPolicy`] (strict episode preset). The policy under
+//! test sees the corrupted observations; a [`SafetyAudit`] runs on the
+//! **true** zone state, so every row reports what the building
+//! actually experienced: comfort-violation rate plus empirical
+//! criterion-1/2/3 counts.
+//!
+//! At the highest intensity of every model the guarded rate must be
+//! *strictly below* the raw rate — the degradation ladder has to buy
+//! real comfort, not just different telemetry. The binary asserts it.
+//!
+//! Results land in `BENCH_fault_robustness.json` next to the text
+//! table, so the comparison is machine-checkable across commits.
+//!
+//! ```sh
+//! cargo run --release -p hvac-bench --bin fault_robustness [--paper] [--csv]
+//! ```
+
+use hvac_bench::{build_artifacts, fmt, parse_options, City, Table};
+use hvac_telemetry::info;
+use hvac_telemetry::json::ObjectWriter;
+use veri_hvac::control::{GuardConfig, GuardedPolicy};
+use veri_hvac::env::{EnvConfig, HvacEnv, Policy};
+use veri_hvac::faults::{FaultModel, FaultSchedule, FaultedEnv};
+use veri_hvac::verify::SafetyAudit;
+
+/// Fault-stream seed shared by every case, so raw and guarded arms see
+/// byte-identical corruption.
+const FAULT_SEED: u64 = 1234;
+
+/// Replays one faulted episode, auditing the policy's decisions
+/// against the true (uncorrupted) zone state.
+fn run_case<P: Policy>(policy: &mut P, config: &EnvConfig, schedule: FaultSchedule) -> SafetyAudit {
+    let env = HvacEnv::new(config.clone()).expect("env construction");
+    let mut faulted = FaultedEnv::new(env, schedule);
+    let mut audit = SafetyAudit::new(config.comfort);
+    let mut obs = faulted.reset();
+    loop {
+        let pre_temp = faulted.true_observation().zone_temperature;
+        let action = policy.decide(&obs);
+        let out = faulted.step(action).expect("env step");
+        audit.record_step(
+            pre_temp,
+            action,
+            faulted.true_observation().zone_temperature,
+            out.occupied,
+        );
+        obs = out.observation;
+        if out.done {
+            break;
+        }
+    }
+    audit
+}
+
+/// One audited arm rendered for the JSON report.
+fn arm_json(o: &mut ObjectWriter, prefix: &str, audit: &SafetyAudit) {
+    o.f64_field(
+        &format!("{prefix}_violation_rate"),
+        audit.comfort_violation_rate(),
+    );
+    o.f64_field(
+        &format!("{prefix}_violation_degree_hours"),
+        audit.violation_degree_hours(),
+    );
+    o.u64_field(
+        &format!("{prefix}_criterion_1"),
+        audit.criterion_1_departures() as u64,
+    );
+    o.u64_field(
+        &format!("{prefix}_criterion_2"),
+        audit.criterion_2_violations() as u64,
+    );
+    o.u64_field(
+        &format!("{prefix}_criterion_3"),
+        audit.criterion_3_violations() as u64,
+    );
+}
+
+fn main() {
+    let options = parse_options();
+    let artifacts = build_artifacts(City::Pittsburgh, options.scale);
+    let steps = options.scale.episode_steps();
+    let config = City::Pittsburgh.env_config().with_episode_steps(steps);
+
+    let guarded_policy = || {
+        GuardedPolicy::new(
+            artifacts.policy.clone(),
+            GuardConfig::strict(config.comfort),
+        )
+    };
+
+    // Clean baseline: both arms on an empty schedule. The guard is
+    // bit-identical to the bare policy here, so one audited pair also
+    // re-checks that property end-to-end.
+    let clean_raw = run_case(
+        &mut artifacts.policy.clone(),
+        &config,
+        FaultSchedule::new(FAULT_SEED),
+    );
+    let clean_guarded = run_case(
+        &mut guarded_policy(),
+        &config,
+        FaultSchedule::new(FAULT_SEED),
+    );
+    assert_eq!(
+        clean_raw, clean_guarded,
+        "guarded policy must be bit-identical to raw on clean inputs"
+    );
+
+    let mut table = Table::new(
+        "Fault robustness: comfort-violation rate, raw vs guarded DT policy (Pittsburgh)",
+        &[
+            "fault",
+            "intensity",
+            "raw_rate",
+            "grd_rate",
+            "raw_c1",
+            "grd_c1",
+            "raw_c2",
+            "grd_c2",
+            "raw_c3",
+            "grd_c3",
+            "ladder",
+        ],
+    );
+    table.push_row(vec![
+        "none".into(),
+        "-".into(),
+        fmt(clean_raw.comfort_violation_rate(), 4),
+        fmt(clean_guarded.comfort_violation_rate(), 4),
+        clean_raw.criterion_1_departures().to_string(),
+        clean_guarded.criterion_1_departures().to_string(),
+        clean_raw.criterion_2_violations().to_string(),
+        clean_guarded.criterion_2_violations().to_string(),
+        clean_raw.criterion_3_violations().to_string(),
+        clean_guarded.criterion_3_violations().to_string(),
+        "normal".into(),
+    ]);
+
+    let mut cases = Vec::new();
+    let mut severe_ties = Vec::new();
+    for model in FaultModel::ALL {
+        for intensity in 0..FaultModel::INTENSITIES {
+            let schedule = model.schedule(intensity, steps, FAULT_SEED);
+            let raw = run_case(&mut artifacts.policy.clone(), &config, schedule.clone());
+            let mut guarded = guarded_policy();
+            let grd = run_case(&mut guarded, &config, schedule);
+            let stats = guarded.stats();
+            info!(
+                "[fault_robustness] {model} {}: raw {:.4} vs guarded {:.4} ({} rejections, {} holds, {} fallbacks, {} failsafes)",
+                model.intensity_label(intensity),
+                raw.comfort_violation_rate(),
+                grd.comfort_violation_rate(),
+                stats.rejections,
+                stats.holds,
+                stats.fallbacks,
+                stats.failsafes,
+            );
+
+            table.push_row(vec![
+                model.name().into(),
+                model.intensity_label(intensity),
+                fmt(raw.comfort_violation_rate(), 4),
+                fmt(grd.comfort_violation_rate(), 4),
+                raw.criterion_1_departures().to_string(),
+                grd.criterion_1_departures().to_string(),
+                raw.criterion_2_violations().to_string(),
+                grd.criterion_2_violations().to_string(),
+                raw.criterion_3_violations().to_string(),
+                grd.criterion_3_violations().to_string(),
+                format!(
+                    "{}h/{}f/{}fs",
+                    stats.holds, stats.fallbacks, stats.failsafes
+                ),
+            ]);
+
+            let mut o = ObjectWriter::new();
+            o.str_field("model", model.name());
+            o.u64_field("intensity", intensity as u64);
+            o.str_field("intensity_label", &model.intensity_label(intensity));
+            arm_json(&mut o, "raw", &raw);
+            arm_json(&mut o, "guarded", &grd);
+            o.u64_field("guard_rejections", stats.rejections);
+            o.u64_field("guard_holds", stats.holds);
+            o.u64_field("guard_fallbacks", stats.fallbacks);
+            o.u64_field("guard_failsafes", stats.failsafes);
+            cases.push(o.finish());
+
+            if intensity == FaultModel::INTENSITIES - 1
+                && grd.comfort_violation_rate() >= raw.comfort_violation_rate()
+            {
+                severe_ties.push(format!(
+                    "{model}: guarded {:.4} !< raw {:.4}",
+                    grd.comfort_violation_rate(),
+                    raw.comfort_violation_rate()
+                ));
+            }
+        }
+    }
+    table.emit("fault_robustness", &options);
+
+    let mut clean = ObjectWriter::new();
+    arm_json(&mut clean, "raw", &clean_raw);
+    arm_json(&mut clean, "guarded", &clean_guarded);
+    let mut meta = ObjectWriter::new();
+    meta.str_field("bench", "fault_robustness");
+    meta.str_field("scale", options.scale.label());
+    meta.str_field("city", City::Pittsburgh.name());
+    meta.u64_field("episode_steps", steps as u64);
+    meta.u64_field("fault_seed", FAULT_SEED);
+    meta.u64_field(
+        "guarded_strictly_better_at_severe",
+        u64::from(severe_ties.is_empty()),
+    );
+    let meta = meta.finish();
+    let body = format!(
+        "{},\"clean\":{},\"cases\":[{}]}}",
+        meta.trim_end_matches('}'),
+        clean.finish(),
+        cases.join(",")
+    );
+    let path = "BENCH_fault_robustness.json";
+    std::fs::write(path, format!("{body}\n")).expect("write bench json");
+    println!("wrote {path}");
+
+    assert!(
+        severe_ties.is_empty(),
+        "guarded policy must strictly beat raw at the highest intensity of every fault model:\n{}",
+        severe_ties.join("\n")
+    );
+    println!(
+        "guarded policy strictly beats raw at the highest intensity of all {} fault models",
+        FaultModel::ALL.len()
+    );
+}

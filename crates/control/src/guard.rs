@@ -1,0 +1,589 @@
+//! Graceful degradation around any policy: input validation, last-good
+//! holds and a three-rung fallback ladder.
+//!
+//! The paper's three safety criteria are proved over *clean*
+//! observations. [`GuardedPolicy`] is the runtime companion to that
+//! offline proof: it checks every incoming reading against the
+//! observation-space box ([`hvac_env::VALID_RANGES`]), rejects NaN/∞,
+//! holds briefly-missing fields at their last good value, and walks a
+//! degradation ladder when the sensor stream stays bad:
+//!
+//! 1. **Normal / Hold** — the wrapped policy decides (on the original
+//!    observation, bit-identically, when nothing was repaired; on the
+//!    repaired one while holds are within the staleness budget);
+//! 2. **Fallback** — a rule-based controller takes over, holding a
+//!    setpoint pair one degree inside each comfort bound so the zone
+//!    stays in range regardless of what the sensors claim;
+//! 3. **Fail-safe** — when even the occupancy feed is untrustworthy,
+//!    that same margin setpoint pair is emitted without consulting the
+//!    observation at all.
+//!
+//! Every guard action is recorded in telemetry: `guard.rejections`,
+//! `guard.holds`, `guard.fallbacks`, `guard.failsafes` counters and the
+//! `guard.state` gauge (0 = normal, 1 = hold, 2 = fallback,
+//! 3 = fail-safe).
+
+use crate::rule_based::RuleBasedController;
+use hvac_env::space::feature;
+use hvac_env::{ComfortRange, Observation, Policy, SetpointAction, POLICY_INPUT_DIM, VALID_RANGES};
+
+/// Where the guard currently sits on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardState {
+    /// Every field valid — the wrapped policy decided on the original
+    /// observation.
+    Normal,
+    /// Some fields were repaired from last-good values (all within the
+    /// staleness budget) — the wrapped policy decided on the repaired
+    /// observation.
+    Hold,
+    /// At least one field stayed invalid beyond the staleness budget —
+    /// the rule-based fallback decided.
+    Fallback,
+    /// The occupancy feed itself is untrustworthy — the fail-safe
+    /// setpoints were emitted.
+    FailSafe,
+}
+
+impl GuardState {
+    /// Gauge encoding (0 = normal … 3 = fail-safe).
+    pub fn as_gauge(self) -> u64 {
+        match self {
+            GuardState::Normal => 0,
+            GuardState::Hold => 1,
+            GuardState::Fallback => 2,
+            GuardState::FailSafe => 3,
+        }
+    }
+
+    /// Snake-case rung name, for logs and serving responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardState::Normal => "normal",
+            GuardState::Hold => "hold",
+            GuardState::Fallback => "fallback",
+            GuardState::FailSafe => "fail_safe",
+        }
+    }
+}
+
+/// Configuration of the input validator and degradation ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Per-feature `[lo, hi]` validity box (defaults to
+    /// [`hvac_env::VALID_RANGES`]).
+    pub bounds: [(f64, f64); POLICY_INPUT_DIM],
+    /// How many *consecutive* invalid steps a field may be held at its
+    /// last good value before the guard escalates to the fallback rung.
+    pub staleness_budget: usize,
+    /// Treat the zone-temperature sensor as stuck after this many
+    /// consecutive *bit-identical* readings (0 disables the check —
+    /// the right setting when serving independent requests, where
+    /// repeats are legitimate).
+    pub stuck_after: usize,
+    /// Dead-reckon the hour-of-day field against its own 15-minute
+    /// cadence and reject readings that disagree (off by default; only
+    /// sound when `decide` is called once per simulation step).
+    pub clock_check: bool,
+    /// Tolerated |reported − dead-reckoned| hour gap (wrapping).
+    pub clock_tolerance_hours: f64,
+    /// Comfort range the fallback rungs defend.
+    pub comfort: ComfortRange,
+}
+
+impl GuardConfig {
+    /// Serve-safe defaults: box + NaN/∞ validation and last-good holds
+    /// only. The stuck-sensor and clock checks stay off because
+    /// repeated or out-of-cadence requests are legitimate on the wire.
+    pub fn new(comfort: ComfortRange) -> Self {
+        Self {
+            bounds: VALID_RANGES,
+            staleness_budget: 4,
+            stuck_after: 0,
+            clock_check: false,
+            clock_tolerance_hours: 1.0,
+            comfort,
+        }
+    }
+
+    /// Episode-monitoring preset: additionally treats 8 consecutive
+    /// bit-identical zone readings (2 h) as a stuck sensor and
+    /// dead-reckons the clock — sound when `decide` is called once per
+    /// 15-minute step.
+    pub fn strict(comfort: ComfortRange) -> Self {
+        Self {
+            stuck_after: 8,
+            clock_check: true,
+            ..Self::new(comfort)
+        }
+    }
+}
+
+/// Per-instance guard counters (the telemetry counters aggregate across
+/// instances; these are exact for one policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardStats {
+    /// Individual field readings rejected by the validator.
+    pub rejections: u64,
+    /// Field repairs from last-good values.
+    pub holds: u64,
+    /// Decisions delegated to the rule-based fallback.
+    pub fallbacks: u64,
+    /// Decisions resolved by the fail-safe setpoints.
+    pub failsafes: u64,
+}
+
+/// Wraps any [`Policy`] with input validation and the degradation
+/// ladder described in the module docs.
+///
+/// On a clean observation stream the wrapper is bit-identical to the
+/// wrapped policy: no field is touched, and the inner policy receives
+/// the original observation reference.
+#[derive(Debug, Clone)]
+pub struct GuardedPolicy<P> {
+    inner: P,
+    config: GuardConfig,
+    fallback: RuleBasedController,
+    failsafe: SetpointAction,
+    name: String,
+    last_good: [Option<f64>; POLICY_INPUT_DIM],
+    invalid_run: [usize; POLICY_INPUT_DIM],
+    last_zone_bits: Option<u64>,
+    zone_repeat_run: usize,
+    last_action: Option<SetpointAction>,
+    expected_hour: Option<f64>,
+    state: GuardState,
+    stats: GuardStats,
+}
+
+/// How close (°C) a bit-repeating zone reading may sit to the last
+/// commanded setpoint and still be read as the plant *holding* the
+/// zone there rather than a stuck sensor. An ideal-loads plant pins
+/// the zone exactly on the active setpoint (bit-identical readings
+/// for hours are normal at equilibrium); a sensor frozen anywhere
+/// else has no such excuse.
+const SETPOINT_PIN_TOLERANCE: f64 = 0.75;
+
+impl<P: Policy> GuardedPolicy<P> {
+    /// Wraps `inner` with `config`. The fallback and fail-safe rungs
+    /// both hold a setpoint pair one degree *inside* each comfort
+    /// bound: the plant's thermostat deadband lets the zone sag a
+    /// fraction of a degree below a heating setpoint (and ride above a
+    /// cooling one), so holding the exact bounds would park the zone
+    /// marginally outside the range it is supposed to defend.
+    pub fn new(inner: P, config: GuardConfig) -> Self {
+        let hold = SetpointAction::from_clamped(
+            config.comfort.lo().ceil() + 1.0,
+            config.comfort.hi().floor() - 1.0,
+        );
+        let fallback = RuleBasedController::with_actions(hold, hold);
+        let failsafe = hold;
+        let name = format!("guarded({})", inner.name());
+        Self {
+            inner,
+            config,
+            fallback,
+            failsafe,
+            name,
+            last_good: [None; POLICY_INPUT_DIM],
+            invalid_run: [0; POLICY_INPUT_DIM],
+            last_zone_bits: None,
+            zone_repeat_run: 0,
+            last_action: None,
+            expected_hour: None,
+            state: GuardState::Normal,
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Replaces the fallback rung (e.g. with the setback variant).
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: RuleBasedController) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Current rung on the degradation ladder.
+    pub fn state(&self) -> GuardState {
+        self.state
+    }
+
+    /// Per-instance counters.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The wrapped policy, mutably.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Unwraps the inner policy.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Wrapping |a − b| distance on the 24-hour circle.
+    fn hour_gap(a: f64, b: f64) -> f64 {
+        let d = (a - b).rem_euclid(24.0);
+        d.min(24.0 - d)
+    }
+
+    fn in_bounds(&self, index: usize, value: f64) -> bool {
+        let (lo, hi) = self.config.bounds[index];
+        value.is_finite() && value >= lo && value <= hi
+    }
+
+    /// Validates and (where possible) repairs `x` in place; returns
+    /// `(any_repaired, any_exceeded_budget)`.
+    fn validate(&mut self, x: &mut [f64; POLICY_INPUT_DIM]) -> (bool, bool) {
+        // Stuck-sensor detection runs on the *raw* zone reading so a
+        // frozen (or coarsely quantized) sensor is caught even when the
+        // frozen value is plausible. Readings pinned at the last
+        // commanded setpoint are exempt: an ideal plant at equilibrium
+        // legitimately reports the same bits for hours.
+        let zone_stuck = if self.config.stuck_after > 0 {
+            let reading = x[feature::ZONE_TEMPERATURE];
+            let bits = reading.to_bits();
+            if self.last_zone_bits == Some(bits) {
+                self.zone_repeat_run += 1;
+            } else {
+                self.zone_repeat_run = 0;
+            }
+            self.last_zone_bits = Some(bits);
+            let pinned = self.last_action.is_some_and(|a| {
+                let (heat, cool) = a.as_f64_pair();
+                (reading - heat).abs() <= SETPOINT_PIN_TOLERANCE
+                    || (reading - cool).abs() <= SETPOINT_PIN_TOLERANCE
+            });
+            self.zone_repeat_run >= self.config.stuck_after && !pinned
+        } else {
+            false
+        };
+
+        let dead_reckoned = self.expected_hour;
+        let mut repaired = false;
+        let mut exceeded = false;
+        for (i, slot) in x.iter_mut().enumerate() {
+            let mut valid = self.in_bounds(i, *slot);
+            if valid && i == feature::ZONE_TEMPERATURE && zone_stuck {
+                valid = false;
+            }
+            if valid && i == feature::HOUR_OF_DAY && self.config.clock_check {
+                if let Some(expected) = dead_reckoned {
+                    if Self::hour_gap(*slot, expected) > self.config.clock_tolerance_hours {
+                        valid = false;
+                    }
+                }
+            }
+
+            if valid {
+                self.last_good[i] = Some(*slot);
+                self.invalid_run[i] = 0;
+                continue;
+            }
+
+            self.stats.rejections += 1;
+            hvac_telemetry::counter("guard.rejections").incr();
+            self.invalid_run[i] += 1;
+            // The dead-reckoned hour beats a stale one when the clock
+            // check is on; every other field holds its last good value.
+            let substitute = if i == feature::HOUR_OF_DAY && self.config.clock_check {
+                dead_reckoned.or(self.last_good[i])
+            } else {
+                self.last_good[i]
+            };
+            match substitute {
+                Some(value) if self.invalid_run[i] <= self.config.staleness_budget => {
+                    *slot = value;
+                    repaired = true;
+                    self.stats.holds += 1;
+                    hvac_telemetry::counter("guard.holds").incr();
+                }
+                _ => exceeded = true,
+            }
+        }
+
+        // Advance the clock expectation: re-anchor on a trusted reading,
+        // otherwise dead-reckon forward one 15-minute step.
+        if self.config.clock_check {
+            let h = feature::HOUR_OF_DAY;
+            self.expected_hour = if self.invalid_run[h] == 0 {
+                Some((x[h] + 0.25).rem_euclid(24.0))
+            } else {
+                dead_reckoned.map(|e| (e + 0.25).rem_euclid(24.0))
+            };
+        }
+
+        (repaired, exceeded)
+    }
+}
+
+impl<P: Policy> Policy for GuardedPolicy<P> {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        let mut x = obs.to_vector();
+        let (repaired, exceeded) = self.validate(&mut x);
+
+        let (state, action) = if exceeded {
+            // Ladder rung 2 or 3: the stream is broken beyond repair.
+            if self.invalid_run[feature::OCCUPANT_COUNT] > self.config.staleness_budget {
+                self.stats.failsafes += 1;
+                hvac_telemetry::counter("guard.failsafes").incr();
+                (GuardState::FailSafe, self.failsafe)
+            } else {
+                self.stats.fallbacks += 1;
+                hvac_telemetry::counter("guard.fallbacks").incr();
+                let repaired_obs = Observation::from_vector(&x);
+                (GuardState::Fallback, self.fallback.decide(&repaired_obs))
+            }
+        } else if repaired {
+            let repaired_obs = Observation::from_vector(&x);
+            (GuardState::Hold, self.inner.decide(&repaired_obs))
+        } else {
+            // Clean path: the inner policy sees the caller's
+            // observation untouched — bit-identical behavior.
+            (GuardState::Normal, self.inner.decide(obs))
+        };
+
+        self.state = state;
+        self.last_action = Some(action);
+        hvac_telemetry::gauge("guard.state").set(state.as_gauge());
+        action
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.inner.is_deterministic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dt_policy::DtPolicy;
+    use hvac_dtree::{DecisionTree, TreeConfig};
+    use hvac_env::{ActionSpace, Disturbances};
+
+    /// Cold zones → heat hard, warm zones → off.
+    fn toy_policy() -> DtPolicy {
+        let space = ActionSpace::new();
+        let heat = space.index_of(SetpointAction::new(23, 30).unwrap());
+        let off = space.index_of(SetpointAction::off());
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let temp = 14.0 + f64::from(i) * 0.5;
+            let mut row = vec![0.0; POLICY_INPUT_DIM];
+            row[feature::ZONE_TEMPERATURE] = temp;
+            inputs.push(row);
+            labels.push(if temp < 20.0 { heat } else { off });
+        }
+        let tree =
+            DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
+        DtPolicy::new(tree).unwrap()
+    }
+
+    fn obs(zone: f64, step: usize) -> Observation {
+        Observation::new(
+            zone,
+            Disturbances {
+                outdoor_temperature: -3.0,
+                relative_humidity: 65.0,
+                wind_speed: 4.0,
+                solar_radiation: 90.0,
+                occupant_count: 5.0,
+                hour_of_day: (step as f64 * 0.25).rem_euclid(24.0),
+            },
+        )
+    }
+
+    /// The guard's degraded-rung pair: one degree inside each winter
+    /// comfort bound ([20, 23.5] → heating 21, cooling 22).
+    fn comfort_hold() -> SetpointAction {
+        SetpointAction::new(21, 22).unwrap()
+    }
+
+    #[test]
+    fn clean_inputs_are_bit_identical_to_the_wrapped_policy() {
+        let mut raw = toy_policy();
+        let mut guarded =
+            GuardedPolicy::new(toy_policy(), GuardConfig::strict(ComfortRange::winter()));
+        for step in 0..200 {
+            // A drifting but plausible zone trace, never bit-repeating.
+            let zone = 18.0 + 4.0 * ((step as f64) * 0.37).sin() + step as f64 * 1e-6;
+            let o = obs(zone, step);
+            assert_eq!(guarded.decide(&o), raw.decide(&o), "step {step}");
+            assert_eq!(guarded.state(), GuardState::Normal, "step {step}");
+        }
+        assert_eq!(guarded.stats(), GuardStats::default());
+        assert_eq!(guarded.name(), "guarded(dt)");
+        assert!(guarded.is_deterministic());
+    }
+
+    #[test]
+    fn nan_reading_is_held_at_last_good_value() {
+        let mut guarded =
+            GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()));
+        // Establish a last-good cold reading → tree heats.
+        let warm_up = guarded.decide(&obs(16.0, 0));
+        let held = guarded.decide(&obs(f64::NAN, 1));
+        assert_eq!(held, warm_up, "held value must reproduce the decision");
+        assert_eq!(guarded.state(), GuardState::Hold);
+        assert_eq!(guarded.stats().rejections, 1);
+        assert_eq!(guarded.stats().holds, 1);
+    }
+
+    #[test]
+    fn out_of_range_reading_is_rejected_like_nan() {
+        let mut guarded =
+            GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()));
+        guarded.decide(&obs(16.0, 0));
+        guarded.decide(&obs(51.0, 1)); // spiked: outside the zone box
+        assert_eq!(guarded.state(), GuardState::Hold);
+        assert_eq!(guarded.stats().rejections, 1);
+    }
+
+    #[test]
+    fn staleness_budget_escalates_to_the_rule_based_fallback() {
+        let config = GuardConfig::new(ComfortRange::winter());
+        let budget = config.staleness_budget;
+        let mut guarded = GuardedPolicy::new(toy_policy(), config);
+        guarded.decide(&obs(16.0, 0));
+        for k in 1..=budget {
+            guarded.decide(&obs(f64::NAN, k));
+            assert_eq!(guarded.state(), GuardState::Hold, "within budget, step {k}");
+        }
+        let degraded = guarded.decide(&obs(f64::NAN, budget + 1));
+        assert_eq!(guarded.state(), GuardState::Fallback);
+        assert_eq!(degraded, comfort_hold());
+        assert!(guarded.stats().fallbacks >= 1);
+    }
+
+    #[test]
+    fn dead_occupancy_feed_escalates_to_fail_safe() {
+        let config = GuardConfig::new(ComfortRange::winter());
+        let budget = config.staleness_budget;
+        let mut guarded = GuardedPolicy::new(toy_policy(), config);
+        guarded.decide(&obs(21.0, 0));
+        for k in 1..=(budget + 1) {
+            let mut o = obs(f64::NAN, k);
+            o.disturbances.occupant_count = f64::NAN;
+            guarded.decide(&o);
+        }
+        assert_eq!(guarded.state(), GuardState::FailSafe);
+        assert!(guarded.stats().failsafes >= 1);
+        // The fail-safe pair is the comfort hold: trivially inside the
+        // comfort range, so criteria 2 and 3 hold whatever the sensors
+        // claim.
+        let mut o = obs(f64::NAN, budget + 2);
+        o.disturbances.occupant_count = f64::NAN;
+        assert_eq!(guarded.decide(&o), comfort_hold());
+    }
+
+    #[test]
+    fn guard_recovers_when_the_stream_heals() {
+        let config = GuardConfig::new(ComfortRange::winter());
+        let budget = config.staleness_budget;
+        let mut guarded = GuardedPolicy::new(toy_policy(), config);
+        let mut raw = toy_policy();
+        guarded.decide(&obs(16.0, 0));
+        for k in 1..=(budget + 3) {
+            guarded.decide(&obs(f64::NAN, k));
+        }
+        assert_eq!(guarded.state(), GuardState::Fallback);
+        let healed = obs(22.0, budget + 4);
+        assert_eq!(guarded.decide(&healed), raw.decide(&healed));
+        assert_eq!(guarded.state(), GuardState::Normal);
+    }
+
+    #[test]
+    fn stuck_sensor_is_detected_by_bit_repeats() {
+        let mut config = GuardConfig::strict(ComfortRange::winter());
+        config.stuck_after = 3;
+        let budget = config.staleness_budget;
+        let mut guarded = GuardedPolicy::new(toy_policy(), config);
+        // The same bits forever: plausible value, frozen sensor.
+        let mut saw_fallback = false;
+        for step in 0..(3 + budget + 2) {
+            guarded.decide(&obs(21.5, step));
+            saw_fallback |= guarded.state() == GuardState::Fallback;
+        }
+        assert!(saw_fallback, "stuck sensor must escalate to fallback");
+        assert!(guarded.stats().rejections > 0);
+    }
+
+    #[test]
+    fn clock_skew_is_dead_reckoned_then_escalated() {
+        let config = GuardConfig::strict(ComfortRange::winter());
+        let budget = config.staleness_budget;
+        let mut guarded = GuardedPolicy::new(toy_policy(), config);
+        // Anchor the clock with two clean steps.
+        guarded.decide(&obs(21.0, 0));
+        guarded.decide(&obs(21.1, 1));
+        // Hour jumps 12 h: rejected, substituted, eventually fallback.
+        for k in 2..=(2 + budget + 1) {
+            let mut o = obs(21.0 + k as f64 * 0.01, k);
+            o.disturbances.hour_of_day = (o.disturbances.hour_of_day + 12.0).rem_euclid(24.0);
+            guarded.decide(&o);
+        }
+        assert_eq!(guarded.state(), GuardState::Fallback);
+        assert!(guarded.stats().rejections >= 1);
+    }
+
+    #[test]
+    fn gauge_and_counters_are_recorded() {
+        let before = hvac_telemetry::snapshot();
+        let mut guarded =
+            GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()));
+        guarded.decide(&obs(20.0, 0));
+        guarded.decide(&obs(f64::INFINITY, 1));
+        let after = hvac_telemetry::snapshot();
+        let delta = |name: &str| {
+            after.counters.get(name).copied().unwrap_or(0)
+                - before.counters.get(name).copied().unwrap_or(0)
+        };
+        assert!(delta("guard.rejections") >= 1);
+        assert!(delta("guard.holds") >= 1);
+        assert!(after.gauges.contains_key("guard.state"));
+    }
+
+    #[test]
+    fn state_gauge_encoding_is_stable() {
+        assert_eq!(GuardState::Normal.as_gauge(), 0);
+        assert_eq!(GuardState::Hold.as_gauge(), 1);
+        assert_eq!(GuardState::Fallback.as_gauge(), 2);
+        assert_eq!(GuardState::FailSafe.as_gauge(), 3);
+    }
+
+    #[test]
+    fn custom_fallback_is_respected() {
+        let config = GuardConfig::new(ComfortRange::winter());
+        let budget = config.staleness_budget;
+        let mut guarded = GuardedPolicy::new(toy_policy(), config)
+            .with_fallback(RuleBasedController::with_setback(ComfortRange::winter()));
+        guarded.decide(&obs(21.0, 0));
+        for k in 1..=(budget + 1) {
+            let mut o = obs(f64::NAN, k);
+            o.disturbances.occupant_count = 0.0; // building empty
+            guarded.decide(&o);
+        }
+        assert_eq!(guarded.state(), GuardState::Fallback);
+        // The setback fallback released the setpoints while empty.
+        let mut o = obs(f64::NAN, budget + 2);
+        o.disturbances.occupant_count = 0.0;
+        assert_eq!(guarded.decide(&o), SetpointAction::off());
+    }
+}

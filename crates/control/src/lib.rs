@@ -15,6 +15,11 @@
 //!
 //! All controllers implement [`hvac_env::Policy`], so any of them can be
 //! dropped into [`hvac_env::run_episode`] or the benchmark harnesses.
+//!
+//! For deployment, [`GuardedPolicy`] wraps any of the above with input
+//! validation and a degradation ladder (tree → rule-based fallback →
+//! fail-safe setpoints) so faulty sensor streams degrade gracefully
+//! instead of feeding garbage to a verified policy.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +27,7 @@
 pub mod clue;
 pub mod dt_policy;
 pub mod error;
+pub mod guard;
 pub mod mppi;
 pub mod planner;
 pub mod random_shooting;
@@ -30,6 +36,7 @@ pub mod rule_based;
 pub use clue::{ClueConfig, ClueController};
 pub use dt_policy::DtPolicy;
 pub use error::ControlError;
+pub use guard::{GuardConfig, GuardState, GuardStats, GuardedPolicy};
 pub use mppi::{MppiConfig, MppiController};
 pub use planner::{
     evaluate_sequence, evaluate_sequences_lockstep, forecast_rollout, persistence_rollout,

@@ -51,7 +51,11 @@ GLOBAL FLAGS:
 
 `serve` answers POST /decide with the policy's setpoint decision for a
 JSON observation body and always exposes the observability routes on
-its own --addr (default 127.0.0.1:9464; port 0 picks one).
+its own --addr (default 127.0.0.1:9464; port 0 picks one). Decisions
+pass through a degradation guard: invalid readings are held or routed
+to a rule-based fallback (the response's guard_state field names the
+rung), oversized bodies get 413, stalled requests 408, and parse
+failures a structured 422 JSON error.
 
 Machine-readable results go to stdout; progress and diagnostics to stderr.
 Artifacts are plain text (see hvac_dtree::serialize / hvac_dynamics::serialize).

@@ -47,6 +47,7 @@
 //! | [`dtree`] | CART with boxes, paths and leaf editing |
 //! | [`extract`] | Eq. 5 augmentation, noise study, distillation |
 //! | [`verify`] | Algorithm 1 + probabilistic criterion #1 |
+//! | [`faults`] | deterministic sensor/weather fault injection |
 //! | [`stats`] | histograms, entropy, JSD, summaries |
 //! | [`serve`] | HTTP serving of verified policies (`POST /decide`) |
 
@@ -58,6 +59,7 @@ pub use hvac_dtree as dtree;
 pub use hvac_dynamics as dynamics;
 pub use hvac_env as env;
 pub use hvac_extract as extract;
+pub use hvac_faults as faults;
 pub use hvac_nn as nn;
 pub use hvac_sim as sim;
 pub use hvac_stats as stats;
@@ -67,4 +69,4 @@ pub mod pipeline;
 pub mod serve;
 
 pub use pipeline::{run_pipeline, PipelineArtifacts, PipelineConfig, PipelineError};
-pub use serve::serve_policy;
+pub use serve::{serve_guarded_policy, serve_policy};

@@ -343,7 +343,8 @@ mod tests {
     use hvac_verify::verify_paths;
 
     fn artifacts() -> PipelineArtifacts {
-        run_pipeline(&PipelineConfig::quick(EnvConfig::pittsburgh())).unwrap()
+        run_pipeline(&PipelineConfig::quick(EnvConfig::pittsburgh()))
+            .expect("quick pipeline: collect → train → extract → verify")
     }
 
     #[test]
@@ -359,7 +360,8 @@ mod tests {
     #[test]
     fn corrected_policy_passes_formal_criteria() {
         let a = artifacts();
-        let recheck = verify_paths(&a.policy, &VerificationConfig::paper().comfort).unwrap();
+        let recheck = verify_paths(&a.policy, &VerificationConfig::paper().comfort)
+            .expect("re-verification of the corrected tree");
         assert!(recheck.passed());
     }
 
@@ -367,8 +369,9 @@ mod tests {
     fn extracted_policy_is_deployable() {
         let a = artifacts();
         let mut policy = a.policy;
-        let mut env = HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(96)).unwrap();
-        let record = run_episode(&mut env, &mut policy).unwrap();
+        let mut env = HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(96))
+            .expect("one-day Pittsburgh deployment env");
+        let record = run_episode(&mut env, &mut policy).expect("deployment episode");
         assert_eq!(record.steps.len(), 96);
         assert!(policy.is_deterministic());
     }
@@ -376,8 +379,8 @@ mod tests {
     #[test]
     fn pipeline_is_reproducible() {
         let config = PipelineConfig::quick(EnvConfig::pittsburgh());
-        let a = run_pipeline(&config).unwrap();
-        let b = run_pipeline(&config).unwrap();
+        let a = run_pipeline(&config).expect("first pipeline run");
+        let b = run_pipeline(&config).expect("second pipeline run");
         assert_eq!(a.policy.tree(), b.policy.tree());
         assert_eq!(a.report, b.report);
     }

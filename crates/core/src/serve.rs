@@ -15,19 +15,36 @@
 //!   `serve.decide.ns` latency histogram and `serve.decisions`
 //!   counter this module records.
 //!
-//! The handler locks the policy around a single tree descent, so a
-//! served decision is bit-identical to calling
-//! [`Policy::decide`] in process on the same state.
+//! The served policy is wrapped in a
+//! [`GuardedPolicy`](hvac_control::GuardedPolicy): invalid readings
+//! degrade down the ladder (hold → rule-based fallback → fail-safe
+//! setpoints) instead of reaching the tree, and each response reports
+//! the rung in a `guard_state` field. On clean inputs the guard is
+//! bit-identical to the bare policy, so a served decision still
+//! matches calling [`Policy::decide`] in process on the same state.
+//!
+//! The endpoint itself is hardened: request bodies beyond
+//! [`MAX_DECIDE_BODY_BYTES`] are answered `413`, clients that stall
+//! longer than [`DECIDE_TIMEOUT`] get `408`, parse failures are a
+//! structured `422` JSON (`{"error": …, "status": …}`), and no
+//! handler panic can reach the socket.
 
-use hvac_control::DtPolicy;
+use hvac_control::{DtPolicy, GuardConfig, GuardedPolicy};
 use hvac_env::space::feature;
-use hvac_env::{Observation, Policy, POLICY_INPUT_DIM};
+use hvac_env::{ComfortRange, Observation, Policy, POLICY_INPUT_DIM};
 use hvac_telemetry::http::{HttpServer, Response};
 use hvac_telemetry::json::{parse, JsonValue, ObjectWriter};
 use hvac_telemetry::LATENCY_BOUNDS_NS;
 use std::net::ToSocketAddrs;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Largest accepted `POST /decide` body. A flat 7-field observation
+/// fits in a few hundred bytes; anything near this cap is hostile.
+pub const MAX_DECIDE_BODY_BYTES: usize = 16 * 1024;
+
+/// Per-request socket timeout on the serving endpoint.
+pub const DECIDE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Parses a flat JSON object into an [`Observation`].
 ///
@@ -40,7 +57,9 @@ use std::time::Instant;
 ///
 /// # Errors
 ///
-/// Returns a message naming the malformed or missing field.
+/// Returns a single aggregated message naming **every** malformed or
+/// missing field (semicolon-separated), so a client fixing a bad body
+/// sees all its problems at once instead of one per round trip.
 pub fn observation_from_json(text: &str) -> Result<Observation, String> {
     let value = parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
     if !matches!(value, JsonValue::Object(_)) {
@@ -56,79 +75,101 @@ pub fn observation_from_json(text: &str) -> Result<Observation, String> {
         "hour_of_day",
     ];
     let mut x = [0.0f64; POLICY_INPUT_DIM];
+    let mut problems: Vec<String> = Vec::new();
     for (i, slot) in x.iter_mut().enumerate() {
         let field = value
             .get(ALIASES[i])
             .or_else(|| value.get(feature::NAMES[i]));
         match field {
-            Some(v) => {
-                *slot = v
-                    .as_f64()
-                    .ok_or_else(|| format!("field {:?} must be a number", ALIASES[i]))?;
-                if !slot.is_finite() {
-                    return Err(format!("field {:?} must be finite", ALIASES[i]));
-                }
-            }
+            Some(v) => match v.as_f64() {
+                // Oversized literals (`1e999`) parse to ±∞ — every
+                // path that yields a value must reject non-finite, or
+                // NaN/∞ leak straight into the tree descent.
+                Some(n) if n.is_finite() => *slot = n,
+                Some(_) => problems.push(format!("field {:?} must be finite", ALIASES[i])),
+                None => problems.push(format!("field {:?} must be a number", ALIASES[i])),
+            },
             None if i == feature::ZONE_TEMPERATURE => {
-                return Err("missing required field \"zone_temperature\"".to_string());
+                problems.push("missing required field \"zone_temperature\"".to_string());
             }
             None => {}
         }
     }
-    Ok(Observation::from_vector(&x))
+    if problems.is_empty() {
+        Ok(Observation::from_vector(&x))
+    } else {
+        Err(problems.join("; "))
+    }
 }
 
-/// Decides on `body` with `policy` and renders the response JSON.
+/// Decides on `body` with the guarded `policy` and renders the
+/// response JSON (setpoints, action index, `guard_state`, latency).
+///
+/// A poisoned mutex is recovered rather than propagated: the guard and
+/// tree hold no invariants a panicking thread could have broken
+/// half-way (both update plain counters), and a serving endpoint must
+/// not turn one contained panic into a permanent 5xx.
 ///
 /// # Errors
 ///
 /// Propagates [`observation_from_json`] errors.
-pub fn decide_json(policy: &Mutex<DtPolicy>, body: &str) -> Result<String, String> {
+pub fn decide_json(policy: &Mutex<GuardedPolicy<DtPolicy>>, body: &str) -> Result<String, String> {
     let observation = observation_from_json(body)?;
     let started = Instant::now();
-    let action = policy
-        .lock()
-        .expect("policy mutex poisoned")
-        .decide(&observation);
+    let mut guard = policy.lock().unwrap_or_else(PoisonError::into_inner);
+    let action = guard.decide(&observation);
+    let state = guard.state();
+    let index = guard.inner().action_space().index_of(action);
+    drop(guard);
     let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     hvac_telemetry::counter("serve.decisions").incr();
     hvac_telemetry::histogram("serve.decide.ns", LATENCY_BOUNDS_NS).record(latency_ns);
     let mut o = ObjectWriter::new();
     o.u64_field("heating_setpoint", action.heating() as u64);
     o.u64_field("cooling_setpoint", action.cooling() as u64);
-    let index = policy
-        .lock()
-        .expect("policy mutex poisoned")
-        .action_space()
-        .index_of(action);
     o.u64_field("action_index", index as u64);
     o.str_field("action", &action.to_string());
+    o.str_field("guard_state", state.name());
     o.u64_field("latency_ns", latency_ns);
     Ok(o.finish())
 }
 
-/// Binds the serving endpoint: `POST /decide` over `policy` plus the
-/// built-in observability routes. Returns the running server (drop or
+/// Binds the serving endpoint: `POST /decide` over `policy` (wrapped
+/// in a [`GuardedPolicy`] with the serve-safe [`GuardConfig::new`]
+/// preset and `comfort` as the fallback band) plus the built-in
+/// observability routes. Returns the running server (drop or
 /// [`HttpServer::shutdown`] stops it); `server.addr()` has the bound
 /// port.
 ///
 /// # Errors
 ///
 /// Propagates socket binding errors.
-pub fn serve_policy(policy: DtPolicy, addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
-    let shared = Mutex::new(policy);
+pub fn serve_guarded_policy(
+    policy: DtPolicy,
+    comfort: ComfortRange,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<HttpServer> {
+    let shared = Mutex::new(GuardedPolicy::new(policy, GuardConfig::new(comfort)));
     HttpServer::builder()
+        .max_body_bytes(MAX_DECIDE_BODY_BYTES)
+        .request_timeout(DECIDE_TIMEOUT)
         .route("POST", "/decide", move |req| {
             match decide_json(&shared, &req.body) {
                 Ok(body) => Response::json(200, body),
-                Err(message) => {
-                    let mut o = ObjectWriter::new();
-                    o.str_field("error", &message);
-                    Response::json(422, o.finish())
-                }
+                Err(message) => Response::error(422, &message),
             }
         })
         .bind(addr)
+}
+
+/// [`serve_guarded_policy`] with the paper's winter comfort band as
+/// the fallback — the evaluation setting (January, Pittsburgh).
+///
+/// # Errors
+///
+/// Propagates socket binding errors.
+pub fn serve_policy(policy: DtPolicy, addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+    serve_guarded_policy(policy, ComfortRange::winter(), addr)
 }
 
 #[cfg(test)]
@@ -159,30 +200,75 @@ mod tests {
     }
 
     #[test]
-    fn observation_parsing_accepts_aliases_and_canonical_names() {
+    fn observation_parsing_accepts_every_alias() {
+        // One body per short alias, each carrying a distinct value.
         let obs = observation_from_json(
-            r#"{"zone_temperature":18.5,"outdoor_temperature":-3.0,"hour_of_day":10.5}"#,
+            r#"{"zone_temperature":18.5,"outdoor_temperature":-3.0,
+                "relative_humidity":55.0,"wind_speed":4.5,"solar_radiation":120.0,
+                "occupant_count":3,"hour_of_day":10.5}"#,
         )
         .unwrap();
         assert_eq!(obs.zone_temperature, 18.5);
         assert_eq!(obs.disturbances.outdoor_temperature, -3.0);
+        assert_eq!(obs.disturbances.relative_humidity, 55.0);
+        assert_eq!(obs.disturbances.wind_speed, 4.5);
+        assert_eq!(obs.disturbances.solar_radiation, 120.0);
+        assert_eq!(obs.disturbances.occupant_count, 3.0);
         assert_eq!(obs.disturbances.hour_of_day, 10.5);
-        let obs = observation_from_json(
-            r#"{"zone_air_temperature":21.0,"zone_people_occupant_count":4}"#,
-        )
-        .unwrap();
-        assert_eq!(obs.zone_temperature, 21.0);
-        assert_eq!(obs.disturbances.occupant_count, 4.0);
     }
 
     #[test]
-    fn observation_parsing_rejects_bad_bodies() {
-        assert!(observation_from_json("not json").is_err());
-        assert!(observation_from_json("[1,2,3]").is_err());
+    fn observation_parsing_accepts_every_canonical_name() {
+        // Same seven fields under their `feature::NAMES` spellings.
+        let mut body = String::from("{");
+        for (i, name) in feature::NAMES.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\"{name}\":{}", 10 + i));
+        }
+        body.push('}');
+        let obs = observation_from_json(&body).unwrap();
+        assert_eq!(obs.to_vector(), [10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0]);
+    }
+
+    #[test]
+    fn observation_parsing_rejects_each_branch() {
+        // Branch: unparsable JSON.
+        assert!(observation_from_json("not json")
+            .unwrap_err()
+            .contains("invalid JSON"));
+        // Branch: valid JSON, not an object.
+        assert!(observation_from_json("[1,2,3]")
+            .unwrap_err()
+            .contains("object"));
+        // Branch: required field missing.
         assert!(observation_from_json(r#"{"outdoor_temperature":1}"#)
             .unwrap_err()
             .contains("zone_temperature"));
-        assert!(observation_from_json(r#"{"zone_temperature":"cold"}"#).is_err());
+        // Branch: present but not a number.
+        assert!(observation_from_json(r#"{"zone_temperature":"cold"}"#)
+            .unwrap_err()
+            .contains("must be a number"));
+        // Branch: present, numeric, non-finite (oversized literal → ∞).
+        assert!(observation_from_json(r#"{"zone_temperature":1e999}"#)
+            .unwrap_err()
+            .contains("must be finite"));
+    }
+
+    #[test]
+    fn observation_parsing_aggregates_all_problems() {
+        let err = observation_from_json(
+            r#"{"outdoor_temperature":"windy","wind_speed":1e999,"hour_of_day":[]}"#,
+        )
+        .unwrap_err();
+        // All four problems in one message: missing zone temperature
+        // plus the three malformed fields.
+        assert!(err.contains("zone_temperature"), "{err}");
+        assert!(err.contains("outdoor_temperature"), "{err}");
+        assert!(err.contains("wind_speed"), "{err}");
+        assert!(err.contains("hour_of_day"), "{err}");
+        assert_eq!(err.matches(';').count(), 3, "{err}");
     }
 
     #[test]
@@ -207,14 +293,89 @@ mod tests {
             assert_eq!(heating as i32, expected.heating(), "at {temp} °C");
             assert_eq!(cooling as i32, expected.cooling(), "at {temp} °C");
             assert!(v.get("latency_ns").and_then(JsonValue::as_u64).is_some());
+            // Clean inputs never leave the normal rung.
+            assert_eq!(
+                v.get("guard_state").and_then(JsonValue::as_str),
+                Some("normal")
+            );
         }
         // The serving path records its latency histogram and counter.
         let snap = hvac_telemetry::snapshot();
         assert!(snap.counters["serve.decisions"] >= 4);
         assert!(snap.histograms["serve.decide.ns"].count >= 4);
-        // Malformed bodies are a 422, not a crash.
-        let (status, _) = blocking_request(server.addr(), "POST", "/decide", "{broken").unwrap();
+        // Malformed bodies are a structured 422, not a crash.
+        let (status, text) = blocking_request(server.addr(), "POST", "/decide", "{broken").unwrap();
         assert_eq!(status, 422);
+        let v = parse(&text).expect("422 body is JSON");
+        assert!(v.get("error").is_some());
+        assert_eq!(v.get("status").and_then(JsonValue::as_u64), Some(422));
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_readings_degrade_instead_of_reaching_the_tree() {
+        let server = serve_policy(toy_policy(), "127.0.0.1:0").expect("bind");
+        // 300 °C parses fine but fails range validation; with no last
+        // good value to hold, the guard drops straight to the
+        // rule-based fallback.
+        let (status, text) = blocking_request(
+            server.addr(),
+            "POST",
+            "/decide",
+            r#"{"zone_temperature":300}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{text}");
+        let v = parse(&text).unwrap();
+        assert_eq!(
+            v.get("guard_state").and_then(JsonValue::as_str),
+            Some("fallback")
+        );
+        // A good reading re-arms the ladder; the next bad one is held.
+        let (_, _) = blocking_request(
+            server.addr(),
+            "POST",
+            "/decide",
+            r#"{"zone_temperature":21}"#,
+        )
+        .unwrap();
+        let (status, text) = blocking_request(
+            server.addr(),
+            "POST",
+            "/decide",
+            r#"{"zone_temperature":300}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{text}");
+        let v = parse(&text).unwrap();
+        assert_eq!(
+            v.get("guard_state").and_then(JsonValue::as_str),
+            Some("hold")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_decide_bodies_are_rejected() {
+        use std::io::{Read, Write};
+        let server = serve_policy(toy_policy(), "127.0.0.1:0").expect("bind");
+        // Declare a body beyond the cap; the server answers 413 from
+        // the headers alone, without waiting for (or reading) it.
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /decide HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    MAX_DECIDE_BODY_BYTES + 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        let body = response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap();
+        assert!(parse(body).is_ok(), "413 body is JSON: {body}");
         server.shutdown();
     }
 }

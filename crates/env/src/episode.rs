@@ -6,10 +6,49 @@
 //! policy against an environment and aggregates exactly those metrics.
 
 use crate::action::SetpointAction;
-use crate::env::HvacEnv;
+use crate::env::{HvacEnv, StepOutcome};
 use crate::error::EnvError;
 use crate::policy::Policy;
 use crate::space::Observation;
+
+/// Anything the episode driver can run a policy against: reset to an
+/// initial observation, then step on commanded setpoints.
+///
+/// [`HvacEnv`] implements it directly; wrappers — e.g. a fault injector
+/// that corrupts what the policy observes while the true building state
+/// evolves underneath — implement it by delegation, so
+/// [`run_episode`] and every harness built on it stay wrapper-agnostic.
+pub trait Environment {
+    /// Resets the episode and returns the initial observation.
+    fn reset(&mut self) -> Observation;
+
+    /// Executes `action` for one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EnvError`] raised by the environment.
+    fn step(&mut self, action: SetpointAction) -> Result<StepOutcome, EnvError>;
+}
+
+impl Environment for HvacEnv {
+    fn reset(&mut self) -> Observation {
+        HvacEnv::reset(self)
+    }
+
+    fn step(&mut self, action: SetpointAction) -> Result<StepOutcome, EnvError> {
+        HvacEnv::step(self, action)
+    }
+}
+
+impl<E: Environment + ?Sized> Environment for &mut E {
+    fn reset(&mut self) -> Observation {
+        (**self).reset()
+    }
+
+    fn step(&mut self, action: SetpointAction) -> Result<StepOutcome, EnvError> {
+        (**self).step(action)
+    }
+}
 
 /// Per-step log entry of an episode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -176,8 +215,8 @@ impl EpisodeRecord {
 /// # Ok(())
 /// # }
 /// ```
-pub fn run_episode<P: Policy>(
-    env: &mut HvacEnv,
+pub fn run_episode<E: Environment + ?Sized, P: Policy>(
+    env: &mut E,
     policy: &mut P,
 ) -> Result<EpisodeRecord, EnvError> {
     let mut obs = env.reset();

@@ -52,8 +52,10 @@ pub mod space;
 pub use action::{ActionSpace, SetpointAction, COOLING_RANGE, HEATING_RANGE};
 pub use comfort::ComfortRange;
 pub use env::{EnvConfig, HvacEnv, StepOutcome};
-pub use episode::{run_episode, EpisodeMetrics, EpisodeRecord, StepRecord};
+pub use episode::{run_episode, Environment, EpisodeMetrics, EpisodeRecord, StepRecord};
 pub use error::EnvError;
 pub use policy::Policy;
 pub use reward::{reward, RewardConfig};
-pub use space::{Disturbances, Observation, Transition, POLICY_INPUT_DIM};
+pub use space::{
+    in_valid_range, Disturbances, Observation, Transition, POLICY_INPUT_DIM, VALID_RANGES,
+};

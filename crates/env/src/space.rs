@@ -40,6 +40,31 @@ pub mod feature {
     ];
 }
 
+/// Physically plausible sensor range per feature — the observation-space
+/// box input validators check against. The bounds are generous: they
+/// admit every value the simulator or any TMY-like weather trace can
+/// produce (extreme climates included) while rejecting readings no real
+/// sensor on a conditioned building could report, so a value outside the
+/// box is a *fault*, not an unusual day.
+///
+/// Indexed by the [`feature`] constants; `[lo, hi]` inclusive.
+pub const VALID_RANGES: [(f64, f64); POLICY_INPUT_DIM] = [
+    (-10.0, 50.0), // zone air temperature, °C (conditioned interior)
+    (-40.0, 50.0), // outdoor drybulb, °C
+    (0.0, 100.0),  // relative humidity, %
+    (0.0, 45.0),   // wind speed, m/s
+    (0.0, 1200.0), // solar radiation, W/m² (above clear-sky max)
+    (0.0, 1000.0), // occupant count
+    (0.0, 24.0),   // hour of day
+];
+
+/// Whether `value` is a plausible reading for feature `index`: finite and
+/// inside [`VALID_RANGES`]. NaN and ±∞ always fail.
+pub fn in_valid_range(index: usize, value: f64) -> bool {
+    let (lo, hi) = VALID_RANGES[index];
+    value.is_finite() && value >= lo && value <= hi
+}
+
 /// The disturbance vector `d_t`: everything the HVAC action cannot
 /// influence.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -191,6 +216,36 @@ mod tests {
             feature::NAMES[feature::ZONE_TEMPERATURE],
             "zone_air_temperature"
         );
+    }
+
+    #[test]
+    fn valid_ranges_accept_typical_and_reject_faulted_readings() {
+        // A normal January observation sits inside the box.
+        let obs = Observation::new(
+            21.0,
+            Disturbances {
+                outdoor_temperature: -12.0,
+                relative_humidity: 70.0,
+                wind_speed: 6.0,
+                solar_radiation: 310.0,
+                occupant_count: 8.0,
+                hour_of_day: 13.75,
+            },
+        );
+        for (i, v) in obs.to_vector().iter().enumerate() {
+            assert!(in_valid_range(i, *v), "feature {i} value {v}");
+        }
+        // Non-finite readings always fail, regardless of feature.
+        for i in 0..POLICY_INPUT_DIM {
+            assert!(!in_valid_range(i, f64::NAN));
+            assert!(!in_valid_range(i, f64::INFINITY));
+            assert!(!in_valid_range(i, f64::NEG_INFINITY));
+        }
+        // Physically absurd readings fail their feature's box.
+        assert!(!in_valid_range(feature::ZONE_TEMPERATURE, 80.0));
+        assert!(!in_valid_range(feature::RELATIVE_HUMIDITY, -5.0));
+        assert!(!in_valid_range(feature::SOLAR_RADIATION, 1500.0));
+        assert!(!in_valid_range(feature::HOUR_OF_DAY, 25.0));
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The faulted environment wrapper and simulator-side trace corruption.
+
+use crate::schedule::{FaultInjector, FaultSchedule};
+use hvac_env::{
+    Disturbances, EnvError, Environment, HvacEnv, Observation, SetpointAction, StepOutcome,
+};
+use hvac_sim::WeatherSample;
+
+/// An [`HvacEnv`] whose *reported* observations pass through a
+/// [`FaultSchedule`].
+///
+/// Only the policy's view is corrupted: the building dynamics, reward,
+/// occupancy accounting and comfort-violation bookkeeping inside
+/// [`StepOutcome`] are all computed by the inner environment on the true
+/// state. Episode metrics over a faulted run therefore measure what the
+/// building *actually experienced* while the controller was being lied
+/// to — exactly the quantity the robustness benchmark compares between
+/// raw and guarded policies.
+///
+/// With an empty schedule the wrapper is a bitwise no-op, so any episode
+/// can be replayed bit-identically with and without faults.
+pub struct FaultedEnv {
+    inner: HvacEnv,
+    injector: FaultInjector,
+    true_observation: Observation,
+}
+
+impl FaultedEnv {
+    /// Wraps `inner` with `schedule`.
+    pub fn new(inner: HvacEnv, schedule: FaultSchedule) -> Self {
+        let true_observation = inner.observe();
+        Self {
+            inner,
+            injector: FaultInjector::new(schedule),
+            true_observation,
+        }
+    }
+
+    /// The wrapped environment.
+    pub fn inner(&self) -> &HvacEnv {
+        &self.inner
+    }
+
+    /// The *clean* observation at the current decision time — what a
+    /// healthy sensor suite would report. Benchmarks use it to audit
+    /// decisions against ground truth.
+    pub fn true_observation(&self) -> Observation {
+        self.true_observation
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &FaultSchedule {
+        self.injector.schedule()
+    }
+
+    /// Resets the inner environment and rewinds the fault streams;
+    /// returns the (possibly corrupted) initial observation.
+    pub fn reset(&mut self) -> Observation {
+        self.injector.reset();
+        self.true_observation = Environment::reset(&mut self.inner);
+        self.injector.corrupt(&self.true_observation)
+    }
+
+    /// Steps the inner environment on `action` and corrupts the next
+    /// observation in the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inner-environment errors.
+    pub fn step(&mut self, action: SetpointAction) -> Result<StepOutcome, EnvError> {
+        let mut out = Environment::step(&mut self.inner, action)?;
+        self.true_observation = out.observation;
+        out.observation = self.injector.corrupt(&out.observation);
+        Ok(out)
+    }
+}
+
+impl Environment for FaultedEnv {
+    fn reset(&mut self) -> Observation {
+        FaultedEnv::reset(self)
+    }
+
+    fn step(&mut self, action: SetpointAction) -> Result<StepOutcome, EnvError> {
+        FaultedEnv::step(self, action)
+    }
+}
+
+/// Applies the weather-capable faults of `schedule` to a weather trace
+/// in place — the simulator-side injection: the building *physically
+/// experiences* the anomaly (feed it to
+/// [`HvacEnv::with_weather_trace`](hvac_env::HvacEnv::with_weather_trace)),
+/// rather than merely reporting it.
+///
+/// Zone-temperature, occupancy and hour-of-day faults have no weather
+/// field to corrupt and are skipped; the stochastic streams are the same
+/// ones [`FaultInjector`] uses, so an observation-side and a
+/// simulator-side run of one schedule corrupt the same steps.
+pub fn corrupt_weather_trace(trace: &mut [WeatherSample], schedule: &FaultSchedule) {
+    let mut injector = FaultInjector::new(schedule.clone());
+    for sample in trace.iter_mut() {
+        let carrier = Observation::new(
+            0.0,
+            Disturbances {
+                outdoor_temperature: sample.outdoor_temperature,
+                relative_humidity: sample.relative_humidity,
+                wind_speed: sample.wind_speed,
+                solar_radiation: sample.solar_radiation,
+                occupant_count: 0.0,
+                hour_of_day: 0.0,
+            },
+        );
+        let corrupted = injector.corrupt(&carrier).disturbances;
+        sample.outdoor_temperature = corrupted.outdoor_temperature;
+        sample.relative_humidity = corrupted.relative_humidity;
+        sample.wind_speed = corrupted.wind_speed;
+        sample.solar_radiation = corrupted.solar_radiation;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Fault, FaultKind, FaultModel};
+    use hvac_env::space::feature;
+    use hvac_env::{run_episode, EnvConfig, Policy};
+
+    struct Hold(SetpointAction);
+    impl Policy for Hold {
+        fn decide(&mut self, _o: &Observation) -> SetpointAction {
+            self.0
+        }
+        fn name(&self) -> &str {
+            "hold"
+        }
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+    }
+
+    fn env(steps: usize) -> HvacEnv {
+        HvacEnv::new(EnvConfig::pittsburgh().with_episode_steps(steps)).unwrap()
+    }
+
+    #[test]
+    fn empty_schedule_replays_the_clean_episode_bit_identically() {
+        let action = SetpointAction::new(21, 25).unwrap();
+        let mut clean_env = env(60);
+        let clean = run_episode(&mut clean_env, &mut Hold(action)).unwrap();
+        let mut faulted = FaultedEnv::new(env(60), FaultSchedule::new(7));
+        let wrapped = run_episode(&mut faulted, &mut Hold(action)).unwrap();
+        assert_eq!(clean, wrapped);
+    }
+
+    #[test]
+    fn faulted_episode_replays_bit_identically() {
+        let schedule = FaultModel::Spike.schedule(2, 60, 11);
+        let action = SetpointAction::new(20, 26).unwrap();
+        let run = || {
+            let mut faulted = FaultedEnv::new(env(60), schedule.clone());
+            run_episode(&mut faulted, &mut Hold(action)).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.steps
+                .iter()
+                .map(|s| s.observation.zone_temperature.to_bits())
+                .collect::<Vec<_>>(),
+            b.steps
+                .iter()
+                .map(|s| s.observation.zone_temperature.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn reset_rewinds_the_fault_streams() {
+        let schedule = FaultSchedule::new(5).with(Fault {
+            kind: FaultKind::Dropout { probability: 0.5 },
+            feature: feature::ZONE_TEMPERATURE,
+            window: (0, 60),
+        });
+        let mut faulted = FaultedEnv::new(env(60), schedule);
+        let action = SetpointAction::off();
+        let trace = |e: &mut FaultedEnv| {
+            let first = e.reset().zone_temperature.to_bits();
+            let mut bits = vec![first];
+            for _ in 0..20 {
+                bits.push(
+                    e.step(action)
+                        .unwrap()
+                        .observation
+                        .zone_temperature
+                        .to_bits(),
+                );
+            }
+            bits
+        };
+        assert_eq!(trace(&mut faulted), trace(&mut faulted));
+    }
+
+    #[test]
+    fn metrics_measure_the_true_state_not_the_corrupted_one() {
+        // Zone readings are NaN every step, yet reward and violation
+        // bookkeeping stay finite because the inner env never sees the
+        // corruption.
+        // Window covers the final post-step observation too (the
+        // injector corrupts `episode_steps + 1` frames: the reset frame
+        // plus one per step).
+        let schedule = FaultSchedule::new(1).with(Fault {
+            kind: FaultKind::Dropout { probability: 1.0 },
+            feature: feature::ZONE_TEMPERATURE,
+            window: (0, 97),
+        });
+        let mut faulted = FaultedEnv::new(env(96), schedule);
+        let obs = faulted.reset();
+        assert!(obs.zone_temperature.is_nan());
+        for _ in 0..96 {
+            let out = faulted.step(SetpointAction::new(21, 25).unwrap()).unwrap();
+            assert!(out.observation.zone_temperature.is_nan());
+            assert!(out.reward.is_finite());
+            assert!(out.comfort_violation_degrees.is_finite());
+            assert!(faulted.true_observation().zone_temperature.is_finite());
+            if out.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn true_observation_tracks_the_inner_env() {
+        let schedule = FaultModel::BiasDrift.schedule(2, 96, 3);
+        let mut faulted = FaultedEnv::new(env(96), schedule);
+        faulted.reset();
+        for _ in 0..10 {
+            faulted.step(SetpointAction::off()).unwrap();
+        }
+        assert_eq!(faulted.true_observation(), faulted.inner().observe());
+    }
+
+    #[test]
+    fn weather_trace_corruption_is_deterministic_and_windowed() {
+        let base = vec![
+            WeatherSample {
+                outdoor_temperature: -2.0,
+                relative_humidity: 60.0,
+                wind_speed: 3.0,
+                solar_radiation: 100.0,
+            };
+            20
+        ];
+        let schedule = FaultSchedule::new(2).with(Fault {
+            kind: FaultKind::WeatherAnomaly { delta: 25.0 },
+            feature: feature::OUTDOOR_TEMPERATURE,
+            window: (10, 20),
+        });
+        let mut a = base.clone();
+        corrupt_weather_trace(&mut a, &schedule);
+        let mut b = base.clone();
+        corrupt_weather_trace(&mut b, &schedule);
+        assert_eq!(a, b);
+        for (i, (corrupted, clean)) in a.iter().zip(base.iter()).enumerate() {
+            if i < 10 {
+                assert_eq!(corrupted, clean, "step {i} is outside the window");
+            } else {
+                assert_eq!(corrupted.outdoor_temperature, 23.0, "step {i}");
+                assert_eq!(corrupted.solar_radiation, 600.0, "step {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Deterministic sensor- and simulator-fault injection.
+//!
+//! The paper proves its three safety criteria over *clean* observations;
+//! a deployed controller sees stuck sensors, dropped fields, spikes,
+//! quantized ADCs, drifting biases, skewed clocks and implausible
+//! weather feeds long before it sees a clean TMY trace. This crate makes
+//! those failure modes first-class and reproducible:
+//!
+//! * [`FaultKind`] — the seven fault models, each a pure per-reading
+//!   transform (plus per-fault state such as the frozen value of a
+//!   stuck sensor or the accumulated drift of a bias fault);
+//! * [`Fault`] — one fault model bound to a target feature and a
+//!   per-step activation window;
+//! * [`FaultSchedule`] — a seeded, composable list of faults; the same
+//!   schedule replayed over the same episode corrupts bit-identically,
+//!   and an empty schedule is a guaranteed no-op;
+//! * [`FaultInjector`] — the stateful applier (one per episode);
+//! * [`FaultedEnv`] — an [`hvac_env::Environment`] wrapper around
+//!   [`hvac_env::HvacEnv`] that corrupts only what the *policy
+//!   observes*: the true building state, reward and comfort accounting
+//!   are untouched, so episode metrics always measure reality;
+//! * [`corrupt_weather_trace`] — the simulator-side variant: corrupts a
+//!   weather trace itself, so the building *physically experiences* the
+//!   anomaly instead of merely reporting it.
+//!
+//! [`FaultModel`] names each model and carries a three-point intensity
+//! ladder used by the `fault_robustness` bench and the CLI.
+//!
+//! # Example
+//!
+//! ```
+//! use hvac_env::{run_episode, EnvConfig, HvacEnv, Environment};
+//! use hvac_faults::{FaultModel, FaultSchedule, FaultedEnv};
+//!
+//! # fn main() -> Result<(), hvac_env::EnvError> {
+//! let config = EnvConfig::pittsburgh().with_episode_steps(96);
+//! let schedule = FaultModel::Dropout.schedule(2, 96, 7);
+//! let mut env = FaultedEnv::new(HvacEnv::new(config)?, schedule);
+//! let obs = env.reset();
+//! // Dropped readings surface as NaN — exactly what a guard must catch.
+//! # let _ = obs;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod model;
+pub mod schedule;
+
+pub use env::{corrupt_weather_trace, FaultedEnv};
+pub use model::{Fault, FaultKind, FaultModel};
+pub use schedule::{FaultInjector, FaultSchedule};

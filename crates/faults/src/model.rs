@@ -1,0 +1,306 @@
+//! Fault models and their named intensity ladders.
+
+use crate::schedule::FaultSchedule;
+use hvac_env::space::feature;
+use hvac_sim::STEPS_PER_DAY;
+
+/// One fault model: how a reading (or a whole observation frame) is
+/// corrupted on each step the fault is active.
+///
+/// Per-feature kinds corrupt the single feature a [`Fault`] names;
+/// [`FaultKind::ClockSkew`] and [`FaultKind::WeatherAnomaly`] are
+/// frame-level and ignore the target feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Sensor frozen: from window entry on, the reading is pinned at the
+    /// entry value plus `offset` (a stuck ADC code need not equal the
+    /// last true value).
+    StuckAt {
+        /// Added to the window-entry reading before freezing.
+        offset: f64,
+    },
+    /// Missing field: the reading becomes NaN with probability
+    /// `probability` per step (seeded, reproducible).
+    Dropout {
+        /// Per-step drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Additive spike of `±magnitude` with probability `probability`
+    /// per step; the sign is drawn from the seeded stream.
+    Spike {
+        /// Spike magnitude (absolute).
+        magnitude: f64,
+        /// Per-step spike probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Coarse ADC: the reading is rounded to the nearest multiple of
+    /// `step`.
+    Quantize {
+        /// Quantization grid width (> 0).
+        step: f64,
+    },
+    /// Calibration drift: an additive bias that grows by `rate` every
+    /// active step (so `k` steps into the window the reading is off by
+    /// `rate × (k + 1)`).
+    BiasDrift {
+        /// Bias growth per step, °C (or feature units) per step.
+        rate: f64,
+    },
+    /// Skewed timestamp: `hour_of_day` is shifted by `hours`
+    /// (wrapping mod 24). Frame-level; ignores the target feature.
+    ClockSkew {
+        /// Shift applied to the reported hour of day.
+        hours: f64,
+    },
+    /// Implausible weather feed ("heat burst"): the outdoor temperature
+    /// reading gains `delta` °C and solar radiation gains
+    /// `20 × delta` W/m². Frame-level; ignores the target feature.
+    WeatherAnomaly {
+        /// Outdoor-temperature excursion, °C.
+        delta: f64,
+    },
+}
+
+/// A fault model bound to a target feature and an activation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// How readings are corrupted while active.
+    pub kind: FaultKind,
+    /// Target feature index (see [`hvac_env::space::feature`]); ignored
+    /// by frame-level kinds.
+    pub feature: usize,
+    /// Active decision steps `[start, end)` within the episode.
+    pub window: (usize, usize),
+}
+
+impl Fault {
+    /// Whether the fault is active at decision step `step`.
+    pub fn is_active(&self, step: usize) -> bool {
+        step >= self.window.0 && step < self.window.1
+    }
+}
+
+/// The named fault models of the robustness benchmark, each with a
+/// three-point intensity ladder (0 = mild, 1 = moderate, 2 = severe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Zone-temperature sensor freezes (severe: frozen warm, +8 °C).
+    StuckAt,
+    /// Zone-temperature reading drops to NaN (severe: every step, and
+    /// the occupancy feed drops too).
+    Dropout,
+    /// Additive ±spikes on the zone temperature.
+    Spike,
+    /// Coarse quantization of the zone temperature.
+    Quantize,
+    /// Warm calibration drift on the zone temperature.
+    BiasDrift,
+    /// Reported hour of day shifted.
+    ClockSkew,
+    /// Implausible heat-burst weather feed.
+    WeatherAnomaly,
+}
+
+impl FaultModel {
+    /// Every model, in benchmark order.
+    pub const ALL: [FaultModel; 7] = [
+        FaultModel::StuckAt,
+        FaultModel::Dropout,
+        FaultModel::Spike,
+        FaultModel::Quantize,
+        FaultModel::BiasDrift,
+        FaultModel::ClockSkew,
+        FaultModel::WeatherAnomaly,
+    ];
+
+    /// Number of intensity rungs per model.
+    pub const INTENSITIES: usize = 3;
+
+    /// Stable name (CLI argument / report key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::StuckAt => "stuck_at",
+            FaultModel::Dropout => "dropout",
+            FaultModel::Spike => "spike",
+            FaultModel::Quantize => "quantize",
+            FaultModel::BiasDrift => "bias_drift",
+            FaultModel::ClockSkew => "clock_skew",
+            FaultModel::WeatherAnomaly => "weather_anomaly",
+        }
+    }
+
+    /// Parses a model name as accepted by the CLI and bench.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// Human-readable label of one intensity rung (for report tables).
+    pub fn intensity_label(&self, intensity: usize) -> String {
+        let i = intensity.min(Self::INTENSITIES - 1);
+        match self {
+            FaultModel::StuckAt => ["+0.0 °C", "+3.0 °C", "+8.0 °C"][i].to_string(),
+            FaultModel::Dropout => ["p=0.05", "p=0.30", "p=1.00+occ"][i].to_string(),
+            FaultModel::Spike => ["±2 p=0.05", "±8 p=0.20", "±30 p=0.60"][i].to_string(),
+            FaultModel::Quantize => ["0.5 °C", "2.0 °C", "8.0 °C"][i].to_string(),
+            FaultModel::BiasDrift => {
+                ["+0.01 °C/step", "+0.05 °C/step", "+0.25 °C/step"][i].to_string()
+            }
+            FaultModel::ClockSkew => ["+1 h", "+4 h", "+12 h"][i].to_string(),
+            FaultModel::WeatherAnomaly => ["+8 °C", "+25 °C", "+60 °C"][i].to_string(),
+        }
+    }
+
+    /// Builds the preset [`FaultSchedule`] for one intensity rung over an
+    /// episode of `episode_steps` decision steps.
+    ///
+    /// The fault window opens on day 2 (step [`STEPS_PER_DAY`]), so the
+    /// first day establishes clean last-good values, and stays open to
+    /// the end of the episode. The stuck-at window opens mid-afternoon
+    /// of day 2 — the warmest point of the occupied day — so the frozen
+    /// reading is a *warm* one, the direction that lulls a winter
+    /// controller into under-heating.
+    ///
+    /// Intensities above the top rung clamp to the top rung.
+    pub fn schedule(&self, intensity: usize, episode_steps: usize, seed: u64) -> FaultSchedule {
+        let i = intensity.min(Self::INTENSITIES - 1);
+        let start = STEPS_PER_DAY.min(episode_steps);
+        let window = (start, episode_steps);
+        let zone = feature::ZONE_TEMPERATURE;
+        let mut schedule = FaultSchedule::new(seed);
+        match self {
+            FaultModel::StuckAt => {
+                // 14:30 of day 2 = step 96 + 58.
+                let afternoon = (STEPS_PER_DAY + 58).min(episode_steps);
+                schedule = schedule.with(Fault {
+                    kind: FaultKind::StuckAt {
+                        offset: [0.0, 3.0, 8.0][i],
+                    },
+                    feature: zone,
+                    window: (afternoon, episode_steps),
+                });
+            }
+            FaultModel::Dropout => {
+                let p = [0.05, 0.3, 1.0][i];
+                schedule = schedule.with(Fault {
+                    kind: FaultKind::Dropout { probability: p },
+                    feature: zone,
+                    window,
+                });
+                if i == 2 {
+                    // A severe bus failure takes the occupancy feed down
+                    // with the zone sensor.
+                    schedule = schedule.with(Fault {
+                        kind: FaultKind::Dropout { probability: 1.0 },
+                        feature: feature::OCCUPANT_COUNT,
+                        window,
+                    });
+                }
+            }
+            FaultModel::Spike => {
+                let (magnitude, p) = [(2.0, 0.05), (8.0, 0.2), (30.0, 0.6)][i];
+                schedule = schedule.with(Fault {
+                    kind: FaultKind::Spike {
+                        magnitude,
+                        probability: p,
+                    },
+                    feature: zone,
+                    window,
+                });
+            }
+            FaultModel::Quantize => {
+                schedule = schedule.with(Fault {
+                    kind: FaultKind::Quantize {
+                        step: [0.5, 2.0, 8.0][i],
+                    },
+                    feature: zone,
+                    window,
+                });
+            }
+            FaultModel::BiasDrift => {
+                schedule = schedule.with(Fault {
+                    kind: FaultKind::BiasDrift {
+                        rate: [0.01, 0.05, 0.25][i],
+                    },
+                    feature: zone,
+                    window,
+                });
+            }
+            FaultModel::ClockSkew => {
+                schedule = schedule.with(Fault {
+                    kind: FaultKind::ClockSkew {
+                        hours: [1.0, 4.0, 12.0][i],
+                    },
+                    feature: feature::HOUR_OF_DAY,
+                    window,
+                });
+            }
+            FaultModel::WeatherAnomaly => {
+                schedule = schedule.with(Fault {
+                    kind: FaultKind::WeatherAnomaly {
+                        delta: [8.0, 25.0, 60.0][i],
+                    },
+                    feature: feature::OUTDOOR_TEMPERATURE,
+                    window,
+                });
+            }
+        }
+        schedule
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for model in FaultModel::ALL {
+            assert_eq!(FaultModel::from_name(model.name()), Some(model));
+        }
+        assert_eq!(FaultModel::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn window_activation() {
+        let fault = Fault {
+            kind: FaultKind::Quantize { step: 1.0 },
+            feature: feature::ZONE_TEMPERATURE,
+            window: (10, 20),
+        };
+        assert!(!fault.is_active(9));
+        assert!(fault.is_active(10));
+        assert!(fault.is_active(19));
+        assert!(!fault.is_active(20));
+    }
+
+    #[test]
+    fn presets_cover_every_model_and_clamp_intensity() {
+        for model in FaultModel::ALL {
+            for intensity in 0..FaultModel::INTENSITIES {
+                let s = model.schedule(intensity, 96 * 7, 1);
+                assert!(!s.faults().is_empty(), "{model} rung {intensity}");
+                assert!(!model.intensity_label(intensity).is_empty());
+            }
+            // Out-of-range intensity clamps instead of panicking.
+            let clamped = model.schedule(99, 96 * 7, 1);
+            assert_eq!(
+                clamped.faults(),
+                model.schedule(2, 96 * 7, 1).faults(),
+                "{model}"
+            );
+        }
+    }
+
+    #[test]
+    fn severe_dropout_takes_occupancy_down() {
+        let s = FaultModel::Dropout.schedule(2, 96 * 7, 1);
+        assert_eq!(s.faults().len(), 2);
+        assert_eq!(s.faults()[1].feature, feature::OCCUPANT_COUNT);
+    }
+}

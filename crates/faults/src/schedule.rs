@@ -1,0 +1,319 @@
+//! Composable fault schedules and the stateful injector that applies
+//! them.
+
+use crate::model::{Fault, FaultKind};
+use hvac_env::space::feature;
+use hvac_env::Observation;
+use hvac_stats::seeded_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A seeded list of faults, each with its own activation window.
+///
+/// The schedule is pure configuration: cloning it and replaying the same
+/// episode corrupts bit-identically, because every stochastic fault
+/// draws from its own stream derived from `(seed, fault index)` and
+/// advances only on its active steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (a guaranteed no-op) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The configured faults, in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the schedule corrupts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Per-fault mutable state: the stochastic stream and, for stuck-at
+/// faults, the frozen value captured at window entry.
+#[derive(Debug, Clone)]
+struct FaultState {
+    rng: StdRng,
+    stuck: Option<f64>,
+}
+
+/// Applies a [`FaultSchedule`] to a stream of observations, one call per
+/// decision step.
+///
+/// The injector is deliberately separable from the environment wrapper:
+/// tests (and the serve-path fuzzers) can corrupt observation sequences
+/// without simulating a building.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    schedule: FaultSchedule,
+    states: Vec<FaultState>,
+    step: usize,
+}
+
+impl FaultInjector {
+    /// Creates an injector positioned at decision step 0.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        let states = Self::fresh_states(&schedule);
+        Self {
+            schedule,
+            states,
+            step: 0,
+        }
+    }
+
+    fn fresh_states(schedule: &FaultSchedule) -> Vec<FaultState> {
+        (0..schedule.faults.len())
+            .map(|i| FaultState {
+                // Golden-ratio stride decorrelates per-fault streams
+                // while keeping them a pure function of (seed, index).
+                rng: seeded_rng(
+                    schedule
+                        .seed
+                        .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ),
+                stuck: None,
+            })
+            .collect()
+    }
+
+    /// Rewinds to decision step 0 and re-derives every fault stream, so
+    /// a reset episode replays the exact same corruption.
+    pub fn reset(&mut self) {
+        self.states = Self::fresh_states(&self.schedule);
+        self.step = 0;
+    }
+
+    /// The schedule being applied.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// The decision step the next [`FaultInjector::corrupt`] call will
+    /// corrupt.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Corrupts the observation for the current decision step and
+    /// advances to the next. Faults apply in schedule order, each seeing
+    /// the output of the previous one.
+    pub fn corrupt(&mut self, clean: &Observation) -> Observation {
+        let mut x = clean.to_vector();
+        for (fault, state) in self.schedule.faults.iter().zip(self.states.iter_mut()) {
+            if !fault.is_active(self.step) {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::StuckAt { offset } => {
+                    let frozen = *state.stuck.get_or_insert(x[fault.feature] + offset);
+                    x[fault.feature] = frozen;
+                }
+                FaultKind::Dropout { probability } => {
+                    let roll: f64 = state.rng.gen();
+                    if roll < probability {
+                        x[fault.feature] = f64::NAN;
+                    }
+                }
+                FaultKind::Spike {
+                    magnitude,
+                    probability,
+                } => {
+                    // Both draws happen every active step so the stream
+                    // stays aligned whatever the outcomes.
+                    let roll: f64 = state.rng.gen();
+                    let sign = if state.rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    if roll < probability {
+                        x[fault.feature] += sign * magnitude;
+                    }
+                }
+                FaultKind::Quantize { step } => {
+                    x[fault.feature] = (x[fault.feature] / step).round() * step;
+                }
+                FaultKind::BiasDrift { rate } => {
+                    x[fault.feature] += rate * (self.step - fault.window.0 + 1) as f64;
+                }
+                FaultKind::ClockSkew { hours } => {
+                    x[feature::HOUR_OF_DAY] = (x[feature::HOUR_OF_DAY] + hours).rem_euclid(24.0);
+                }
+                FaultKind::WeatherAnomaly { delta } => {
+                    x[feature::OUTDOOR_TEMPERATURE] += delta;
+                    x[feature::SOLAR_RADIATION] += 20.0 * delta;
+                }
+            }
+        }
+        self.step += 1;
+        Observation::from_vector(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::Disturbances;
+
+    fn clean(step: usize) -> Observation {
+        Observation::new(
+            20.0 + (step % 5) as f64 * 0.1,
+            Disturbances {
+                outdoor_temperature: -2.0,
+                relative_humidity: 60.0,
+                wind_speed: 3.0,
+                solar_radiation: 100.0,
+                occupant_count: 5.0,
+                hour_of_day: (step as f64 * 0.25) % 24.0,
+            },
+        )
+    }
+
+    fn bits(o: &Observation) -> Vec<u64> {
+        o.to_vector().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn empty_schedule_is_a_bitwise_noop() {
+        let mut injector = FaultInjector::new(FaultSchedule::new(1));
+        for step in 0..50 {
+            let o = clean(step);
+            assert_eq!(bits(&injector.corrupt(&o)), bits(&o));
+        }
+    }
+
+    #[test]
+    fn replay_is_bitwise_deterministic() {
+        let schedule = FaultSchedule::new(9)
+            .with(Fault {
+                kind: FaultKind::Dropout { probability: 0.4 },
+                feature: feature::ZONE_TEMPERATURE,
+                window: (5, 80),
+            })
+            .with(Fault {
+                kind: FaultKind::Spike {
+                    magnitude: 6.0,
+                    probability: 0.3,
+                },
+                feature: feature::OUTDOOR_TEMPERATURE,
+                window: (0, 100),
+            });
+        let run = |mut injector: FaultInjector| {
+            (0..100)
+                .map(|s| bits(&injector.corrupt(&clean(s))))
+                .collect::<Vec<_>>()
+        };
+        let a = run(FaultInjector::new(schedule.clone()));
+        let b = run(FaultInjector::new(schedule.clone()));
+        assert_eq!(a, b);
+        // And reset() replays in place.
+        let mut injector = FaultInjector::new(schedule);
+        let first = run(injector.clone());
+        for s in 0..30 {
+            injector.corrupt(&clean(s));
+        }
+        injector.reset();
+        assert_eq!(run(injector), first);
+    }
+
+    #[test]
+    fn stuck_at_freezes_the_entry_value_plus_offset() {
+        let schedule = FaultSchedule::new(1).with(Fault {
+            kind: FaultKind::StuckAt { offset: 3.0 },
+            feature: feature::ZONE_TEMPERATURE,
+            window: (2, 100),
+        });
+        let mut injector = FaultInjector::new(schedule);
+        assert_eq!(injector.corrupt(&clean(0)).zone_temperature, 20.0);
+        assert_eq!(injector.corrupt(&clean(1)).zone_temperature, 20.1);
+        let entry = clean(2).zone_temperature + 3.0;
+        for step in 2..20 {
+            assert_eq!(injector.corrupt(&clean(step)).zone_temperature, entry);
+        }
+    }
+
+    #[test]
+    fn bias_drift_grows_linearly() {
+        let schedule = FaultSchedule::new(1).with(Fault {
+            kind: FaultKind::BiasDrift { rate: 0.5 },
+            feature: feature::ZONE_TEMPERATURE,
+            window: (10, 100),
+        });
+        let mut injector = FaultInjector::new(schedule);
+        for step in 0..10 {
+            injector.corrupt(&clean(step));
+        }
+        let k1 = injector.corrupt(&clean(10));
+        let k2 = injector.corrupt(&clean(11));
+        assert!((k1.zone_temperature - (clean(10).zone_temperature + 0.5)).abs() < 1e-12);
+        assert!((k2.zone_temperature - (clean(11).zone_temperature + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_skew_wraps_and_weather_anomaly_hits_two_fields() {
+        let schedule = FaultSchedule::new(1)
+            .with(Fault {
+                kind: FaultKind::ClockSkew { hours: 12.0 },
+                feature: feature::HOUR_OF_DAY,
+                window: (0, 10),
+            })
+            .with(Fault {
+                kind: FaultKind::WeatherAnomaly { delta: 60.0 },
+                feature: feature::OUTDOOR_TEMPERATURE,
+                window: (0, 10),
+            });
+        let mut injector = FaultInjector::new(schedule);
+        let o = clean(80); // hour 20.0
+        let corrupted = injector.corrupt(&o);
+        assert!((corrupted.disturbances.hour_of_day - 8.0).abs() < 1e-12);
+        assert_eq!(corrupted.disturbances.outdoor_temperature, 58.0);
+        assert_eq!(corrupted.disturbances.solar_radiation, 1300.0);
+        // Zone temperature is untouched by frame-level weather faults.
+        assert_eq!(corrupted.zone_temperature, o.zone_temperature);
+    }
+
+    #[test]
+    fn full_dropout_nans_every_active_step() {
+        let schedule = FaultSchedule::new(3).with(Fault {
+            kind: FaultKind::Dropout { probability: 1.0 },
+            feature: feature::ZONE_TEMPERATURE,
+            window: (1, 50),
+        });
+        let mut injector = FaultInjector::new(schedule);
+        assert!(injector.corrupt(&clean(0)).zone_temperature.is_finite());
+        for step in 1..50 {
+            assert!(injector.corrupt(&clean(step)).zone_temperature.is_nan());
+        }
+    }
+
+    #[test]
+    fn quantize_snaps_to_grid() {
+        let schedule = FaultSchedule::new(1).with(Fault {
+            kind: FaultKind::Quantize { step: 8.0 },
+            feature: feature::ZONE_TEMPERATURE,
+            window: (0, 10),
+        });
+        let mut injector = FaultInjector::new(schedule);
+        // 20.0 / 8 = 2.5 → rounds away from zero → 24.
+        assert_eq!(injector.corrupt(&clean(0)).zone_temperature, 24.0);
+    }
+}

@@ -279,8 +279,14 @@ impl Building {
         if !weather.outdoor_temperature.is_finite()
             || !weather.solar_radiation.is_finite()
             || !weather.wind_speed.is_finite()
+            || !weather.relative_humidity.is_finite()
         {
             return Err(SimError::NonFiniteInput { what: "weather" });
+        }
+        // A NaN occupant count would otherwise flow through the gain
+        // terms into the zone flux and poison the RC state silently.
+        if occupants.iter().any(|o| !o.is_finite()) {
+            return Err(SimError::NonFiniteInput { what: "occupants" });
         }
 
         let dt = STEP_SECONDS / SUBSTEPS as f64;
@@ -534,6 +540,34 @@ mod tests {
             ..WeatherSample::default()
         };
         assert!(b.step(&w, &[0.0], &[OFF]).is_err());
+        let w = WeatherSample {
+            relative_humidity: f64::INFINITY,
+            ..WeatherSample::default()
+        };
+        assert!(b.step(&w, &[0.0], &[OFF]).is_err());
+    }
+
+    #[test]
+    fn faulted_inputs_cannot_poison_the_rc_state() {
+        // A rejected step must leave the thermal state untouched — a
+        // fault-injected NaN anywhere in the inputs produces an error,
+        // never a silently corrupted zone temperature.
+        let mut b = Building::new(BuildingConfig::single_zone()).unwrap();
+        let w = WeatherSample::default();
+        let before = b.zone_temperatures().to_vec();
+
+        assert!(matches!(
+            b.step(&w, &[f64::NAN], &[OFF]),
+            Err(SimError::NonFiniteInput { what: "occupants" })
+        ));
+        assert!(b.step(&w, &[f64::INFINITY], &[OFF]).is_err());
+        assert!(b.step(&w, &[0.0], &[(f64::NAN, 30.0)]).is_err());
+        assert!(b.step(&w, &[0.0], &[(15.0, f64::NEG_INFINITY)]).is_err());
+
+        assert_eq!(b.zone_temperatures(), before.as_slice());
+        // And a good step still works afterwards.
+        assert!(b.step(&w, &[0.0], &[OFF]).is_ok());
+        assert!(b.zone_temperature(0).is_finite());
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! feeds `http.requests` / `http.request.ns` registry metrics, so the
 //! server observes itself.
 //!
+//! The server is hardened against hostile clients: request bodies are
+//! capped ([`ServerBuilder::max_body_bytes`], `413`), stalled reads
+//! time out ([`ServerBuilder::request_timeout`], `408`), every
+//! server-generated failure is a structured JSON body
+//! (`{"error": …, "status": …}`, see [`Response::error`]), and a
+//! panicking handler is contained to a `500` plus an `http.panics`
+//! counter instead of tearing down the connection.
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +47,7 @@ use crate::registry::{counter, histogram, LATENCY_BOUNDS_NS};
 use crate::{expose, Level};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -46,12 +55,28 @@ use std::time::{Duration, Instant};
 
 /// Maximum concurrently handled connections before `503` shedding.
 const MAX_INFLIGHT: usize = 64;
-/// Per-connection socket read/write timeout.
+/// Default per-connection socket read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 /// Maximum accepted request header block.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Maximum accepted request body.
+/// Default maximum accepted request body.
 const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// Per-server request limits, configurable on [`ServerBuilder`].
+#[derive(Debug, Clone, Copy)]
+struct Limits {
+    max_body_bytes: usize,
+    request_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_body_bytes: MAX_BODY_BYTES,
+            request_timeout: IO_TIMEOUT,
+        }
+    }
+}
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -94,14 +119,31 @@ impl Response {
         }
     }
 
+    /// A structured JSON error: `{"error": message, "status": status}`.
+    ///
+    /// All server-generated failures (parse errors, 404/405, panics,
+    /// shedding) use this shape so clients never have to sniff whether
+    /// an error body is prose or JSON.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\":{},\"status\":{status}}}",
+                crate::json::escaped(message)
+            ),
+        )
+    }
+
     fn reason(status: u16) -> &'static str {
         match status {
             200 => "OK",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -133,6 +175,7 @@ struct Route {
 #[derive(Default)]
 pub struct ServerBuilder {
     routes: Vec<Route>,
+    limits: Limits,
 }
 
 impl ServerBuilder {
@@ -150,6 +193,20 @@ impl ServerBuilder {
             path: path.into(),
             handler: Arc::new(handler),
         });
+        self
+    }
+
+    /// Caps the accepted request body; larger `Content-Length`s are
+    /// answered `413` without reading the body. Defaults to 256 KiB.
+    pub fn max_body_bytes(mut self, bytes: usize) -> Self {
+        self.limits.max_body_bytes = bytes;
+        self
+    }
+
+    /// Socket read/write timeout per request; a client that stalls
+    /// mid-request is answered `408`. Defaults to 10 s.
+    pub fn request_timeout(mut self, timeout: Duration) -> Self {
+        self.limits.request_timeout = timeout;
         self
     }
 
@@ -183,11 +240,12 @@ impl ServerBuilder {
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let routes = Arc::new(self.routes);
+        let limits = self.limits;
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("hvac-http-accept".into())
-                .spawn(move || accept_loop(&listener, &routes, &shutdown))?
+                .spawn(move || accept_loop(&listener, &routes, limits, &shutdown))?
         };
         crate::message(
             Level::Info,
@@ -201,18 +259,23 @@ impl ServerBuilder {
     }
 }
 
-fn accept_loop(listener: &TcpListener, routes: &Arc<Vec<Route>>, shutdown: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    routes: &Arc<Vec<Route>>,
+    limits: Limits,
+    shutdown: &Arc<AtomicBool>,
+) {
     let inflight = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
         if shutdown.load(Ordering::Acquire) {
             break;
         }
         let Ok(mut stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_read_timeout(Some(limits.request_timeout));
+        let _ = stream.set_write_timeout(Some(limits.request_timeout));
         if inflight.load(Ordering::Acquire) >= MAX_INFLIGHT {
             counter("http.rejected").incr();
-            let _ = Response::text(503, "server busy\n").write_to(&mut stream);
+            let _ = Response::error(503, "server busy").write_to(&mut stream);
             continue;
         }
         inflight.fetch_add(1, Ordering::AcqRel);
@@ -221,7 +284,7 @@ fn accept_loop(listener: &TcpListener, routes: &Arc<Vec<Route>>, shutdown: &Arc<
         let spawned = std::thread::Builder::new()
             .name("hvac-http-conn".into())
             .spawn(move || {
-                handle_connection(&mut stream, &routes);
+                handle_connection(&mut stream, &routes, limits);
                 conn_inflight.fetch_sub(1, Ordering::AcqRel);
             });
         if spawned.is_err() {
@@ -230,11 +293,11 @@ fn accept_loop(listener: &TcpListener, routes: &Arc<Vec<Route>>, shutdown: &Arc<
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, routes: &[Route]) {
+fn handle_connection(stream: &mut TcpStream, routes: &[Route], limits: Limits) {
     let started = Instant::now();
-    let response = match read_request(stream) {
+    let response = match read_request(stream, limits) {
         Ok(request) => dispatch(routes, &request),
-        Err(error) => Response::text(error.status, format!("{}\n", error.message)),
+        Err(error) => Response::error(error.status, error.message),
     };
     let _ = response.write_to(stream);
     counter("http.requests").incr();
@@ -251,14 +314,23 @@ fn dispatch(routes: &[Route], request: &Request) -> Response {
         if route.path == request.path {
             path_known = true;
             if route.method == request.method {
-                return (route.handler)(request);
+                // A panicking handler must never tear down the
+                // connection thread with the response unsent: contain
+                // it, count it, and answer 500 so the client sees a
+                // structured failure instead of a reset socket.
+                return catch_unwind(AssertUnwindSafe(|| (route.handler)(request))).unwrap_or_else(
+                    |_| {
+                        counter("http.panics").incr();
+                        Response::error(500, "handler panicked")
+                    },
+                );
             }
         }
     }
     if path_known {
-        Response::text(405, "method not allowed\n")
+        Response::error(405, "method not allowed")
     } else {
-        Response::text(404, "not found\n")
+        Response::error(404, "not found")
     }
 }
 
@@ -271,12 +343,23 @@ fn http_err(status: u16, message: &'static str) -> HttpError {
     HttpError { status, message }
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+/// Maps a socket read failure to 408 when the client stalled past the
+/// request timeout, otherwise to a 400 with `context`.
+fn read_err(error: &std::io::Error, context: &'static str) -> HttpError {
+    match error.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            http_err(408, "request read timed out")
+        }
+        _ => http_err(400, context),
+    }
+}
+
+fn read_request(stream: &mut TcpStream, limits: Limits) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader
         .read_line(&mut line)
-        .map_err(|_| http_err(400, "unreadable request line"))?;
+        .map_err(|e| read_err(&e, "unreadable request line"))?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -294,7 +377,7 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         let mut header = String::new();
         reader
             .read_line(&mut header)
-            .map_err(|_| http_err(400, "unreadable header"))?;
+            .map_err(|e| read_err(&e, "unreadable header"))?;
         head_bytes += header.len();
         if head_bytes > MAX_HEAD_BYTES {
             return Err(http_err(413, "headers too large"));
@@ -312,13 +395,13 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
+    if content_length > limits.max_body_bytes {
         return Err(http_err(413, "body too large"));
     }
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|_| http_err(400, "truncated body"))?;
+        .map_err(|e| read_err(&e, "truncated body"))?;
     let body = String::from_utf8(body).map_err(|_| http_err(400, "body is not UTF-8"))?;
     Ok(Request { method, path, body })
 }
@@ -461,6 +544,76 @@ mod tests {
         // Query strings are stripped before matching.
         let (status, _) = blocking_request(addr, "GET", "/healthz?probe=1", "").unwrap();
         assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn error_responses_are_structured_json() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let (status, body) = blocking_request(server.addr(), "GET", "/missing", "").unwrap();
+        assert_eq!(status, 404);
+        let v = crate::json::parse(&body).expect("404 body is JSON");
+        assert_eq!(v.get("error").and_then(|e| e.as_str()), Some("not found"));
+        assert_eq!(v.get("status").and_then(|s| s.as_u64()), Some(404));
+
+        let (status, body) = blocking_request(server.addr(), "POST", "/healthz", "x").unwrap();
+        assert_eq!(status, 405);
+        assert!(crate::json::parse(&body).is_ok(), "405 body is JSON");
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_handler_is_contained_as_500() {
+        let before = crate::registry::snapshot();
+        let server = HttpServer::builder()
+            .route("GET", "/boom", |_req| panic!("handler exploded"))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let (status, body) = blocking_request(server.addr(), "GET", "/boom", "").unwrap();
+        assert_eq!(status, 500);
+        let v = crate::json::parse(&body).expect("500 body is JSON");
+        assert_eq!(
+            v.get("error").and_then(|e| e.as_str()),
+            Some("handler panicked")
+        );
+        // The server survives the panic.
+        let (status, _) = blocking_request(server.addr(), "GET", "/healthz", "").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+        let after = crate::registry::snapshot();
+        assert!(after.counter_delta(&before, "http.panics") >= 1);
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_with_413() {
+        let server = HttpServer::builder()
+            .route("POST", "/echo", |req| Response::text(200, req.body.clone()))
+            .max_body_bytes(16)
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let (status, _) = blocking_request(server.addr(), "POST", "/echo", "short").unwrap();
+        assert_eq!(status, 200);
+        let big = "x".repeat(17);
+        let (status, body) = blocking_request(server.addr(), "POST", "/echo", &big).unwrap();
+        assert_eq!(status, 413);
+        assert!(crate::json::parse(&body).is_ok(), "413 body is JSON");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_clients_are_answered_408() {
+        let server = HttpServer::builder()
+            .request_timeout(Duration::from_millis(100))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Promise a body and never send it.
+        stream
+            .write_all(b"POST /healthz HTTP/1.1\r\nContent-Length: 10\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
         server.shutdown();
     }
 

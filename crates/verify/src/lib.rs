@@ -48,6 +48,7 @@ pub mod path;
 pub mod probabilistic;
 pub mod reachability;
 pub mod report;
+pub mod runtime;
 
 pub use error::VerifyError;
 pub use path::{
@@ -57,3 +58,4 @@ pub use path::{
 pub use probabilistic::{verify_criterion_1, verify_criterion_1_bootstrap, SafeProbability};
 pub use reachability::{reachability_tube, ReachabilityTube};
 pub use report::{verify_and_correct, VerificationConfig, VerificationReport};
+pub use runtime::SafetyAudit;

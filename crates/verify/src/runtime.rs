@@ -1,0 +1,202 @@
+//! Runtime safety auditing — counting criterion departures on a live
+//! trace.
+//!
+//! The offline machinery of this crate proves properties of the *tree*;
+//! [`SafetyAudit`] measures the same three criteria on an *executed
+//! episode*, one `(pre-state, action, post-state)` triple at a time. The
+//! fault-robustness benchmark runs it on the **true** zone state while
+//! the policy under test sees corrupted observations, so the audit
+//! reports what the building actually experienced:
+//!
+//! * **criterion #1 departures** — the zone was inside the comfort range
+//!   before the step and outside it after (the empirical counterpart of
+//!   the probabilistic `P(safe | safe) ≥ l` bound);
+//! * **criterion #2 violations** — occupied and above the range, yet the
+//!   commanded cooling setpoint did not pull the zone down
+//!   (`cooling ≥ s_t`);
+//! * **criterion #3 violations** — occupied and below the range, yet the
+//!   commanded heating setpoint did not pull it up (`heating ≤ s_t`).
+
+use hvac_env::{ComfortRange, SetpointAction};
+
+/// Accumulates safety-criterion counts over an executed trace.
+///
+/// Feed every control step through [`SafetyAudit::record_step`]; read
+/// the counters and rates at the end of the episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafetyAudit {
+    comfort: ComfortRange,
+    steps: usize,
+    occupied_steps: usize,
+    violation_steps: usize,
+    violation_degree_hours: f64,
+    criterion_1_departures: usize,
+    criterion_2_violations: usize,
+    criterion_3_violations: usize,
+}
+
+impl SafetyAudit {
+    /// An empty audit against `comfort`.
+    pub fn new(comfort: ComfortRange) -> Self {
+        Self {
+            comfort,
+            steps: 0,
+            occupied_steps: 0,
+            violation_steps: 0,
+            violation_degree_hours: 0.0,
+            criterion_1_departures: 0,
+            criterion_2_violations: 0,
+            criterion_3_violations: 0,
+        }
+    }
+
+    /// Records one control step: the zone was at `pre_temp` when
+    /// `action` was commanded, and at `post_temp` one step later.
+    /// `occupied` is the occupancy during the step; comfort violations
+    /// follow the paper and only count while someone is present.
+    pub fn record_step(
+        &mut self,
+        pre_temp: f64,
+        action: SetpointAction,
+        post_temp: f64,
+        occupied: bool,
+    ) {
+        self.steps += 1;
+        if occupied {
+            self.occupied_steps += 1;
+            if !self.comfort.contains(post_temp) {
+                self.violation_steps += 1;
+                self.violation_degree_hours += self.comfort.violation_degrees(post_temp) * 0.25;
+            }
+            if self.comfort.is_above(pre_temp) && f64::from(action.cooling()) >= pre_temp {
+                self.criterion_2_violations += 1;
+            }
+            if self.comfort.is_below(pre_temp) && f64::from(action.heating()) <= pre_temp {
+                self.criterion_3_violations += 1;
+            }
+        }
+        if occupied && self.comfort.contains(pre_temp) && !self.comfort.contains(post_temp) {
+            self.criterion_1_departures += 1;
+        }
+    }
+
+    /// Steps recorded so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Steps recorded with occupancy.
+    pub fn occupied_steps(&self) -> usize {
+        self.occupied_steps
+    }
+
+    /// Occupied steps whose post-step temperature violated comfort.
+    pub fn violation_steps(&self) -> usize {
+        self.violation_steps
+    }
+
+    /// Violation magnitude integrated over time, °C·h (15-minute steps).
+    pub fn violation_degree_hours(&self) -> f64 {
+        self.violation_degree_hours
+    }
+
+    /// Fraction of *occupied* steps that violated comfort (0 when the
+    /// trace had no occupancy).
+    pub fn comfort_violation_rate(&self) -> f64 {
+        if self.occupied_steps == 0 {
+            0.0
+        } else {
+            self.violation_steps as f64 / self.occupied_steps as f64
+        }
+    }
+
+    /// Occupied safe→unsafe transitions (empirical criterion #1).
+    pub fn criterion_1_departures(&self) -> usize {
+        self.criterion_1_departures
+    }
+
+    /// Occupied too-warm steps whose cooling setpoint failed to command
+    /// a pull-down (criterion #2).
+    pub fn criterion_2_violations(&self) -> usize {
+        self.criterion_2_violations
+    }
+
+    /// Occupied too-cold steps whose heating setpoint failed to command
+    /// a pull-up (criterion #3).
+    pub fn criterion_3_violations(&self) -> usize {
+        self.criterion_3_violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn action(heat: i32, cool: i32) -> SetpointAction {
+        SetpointAction::new(heat, cool).unwrap()
+    }
+
+    #[test]
+    fn comfortable_occupied_trace_counts_nothing() {
+        let mut audit = SafetyAudit::new(ComfortRange::winter());
+        for _ in 0..10 {
+            audit.record_step(21.0, action(20, 23), 21.5, true);
+        }
+        assert_eq!(audit.steps(), 10);
+        assert_eq!(audit.occupied_steps(), 10);
+        assert_eq!(audit.comfort_violation_rate(), 0.0);
+        assert_eq!(audit.criterion_1_departures(), 0);
+        assert_eq!(audit.criterion_2_violations(), 0);
+        assert_eq!(audit.criterion_3_violations(), 0);
+    }
+
+    #[test]
+    fn departure_from_comfort_is_a_criterion_1_event() {
+        let mut audit = SafetyAudit::new(ComfortRange::winter());
+        // In range → out of range: departure AND violation step.
+        audit.record_step(21.0, action(15, 30), 18.0, true);
+        assert_eq!(audit.criterion_1_departures(), 1);
+        assert_eq!(audit.violation_steps(), 1);
+        // Already out of range → still out: violation but no new departure.
+        audit.record_step(18.0, action(15, 30), 17.5, true);
+        assert_eq!(audit.criterion_1_departures(), 1);
+        assert_eq!(audit.violation_steps(), 2);
+        assert_eq!(audit.comfort_violation_rate(), 1.0);
+        assert!(audit.violation_degree_hours() > 0.0);
+    }
+
+    #[test]
+    fn too_warm_without_pull_down_is_a_criterion_2_event() {
+        let mut audit = SafetyAudit::new(ComfortRange::winter());
+        // 25 °C is above winter comfort; cooling at 26 does not pull down.
+        audit.record_step(25.0, action(20, 26), 25.0, true);
+        assert_eq!(audit.criterion_2_violations(), 1);
+        // Cooling at 23 (< 25) commands a pull-down: compliant.
+        audit.record_step(25.0, action(20, 23), 24.0, true);
+        assert_eq!(audit.criterion_2_violations(), 1);
+    }
+
+    #[test]
+    fn too_cold_without_pull_up_is_a_criterion_3_event() {
+        let mut audit = SafetyAudit::new(ComfortRange::winter());
+        // 18 °C is below winter comfort; heating at 15 does not pull up.
+        audit.record_step(18.0, action(15, 30), 18.0, true);
+        assert_eq!(audit.criterion_3_violations(), 1);
+        // Heating at 21 (> 18) commands a pull-up: compliant.
+        audit.record_step(18.0, action(21, 30), 19.0, true);
+        assert_eq!(audit.criterion_3_violations(), 1);
+    }
+
+    #[test]
+    fn unoccupied_steps_are_exempt() {
+        let mut audit = SafetyAudit::new(ComfortRange::winter());
+        audit.record_step(18.0, action(15, 30), 17.0, false);
+        audit.record_step(25.0, action(20, 26), 26.0, false);
+        assert_eq!(audit.steps(), 2);
+        assert_eq!(audit.occupied_steps(), 0);
+        assert_eq!(audit.comfort_violation_rate(), 0.0);
+        assert_eq!(audit.criterion_1_departures(), 0);
+        assert_eq!(audit.criterion_2_violations(), 0);
+        assert_eq!(audit.criterion_3_violations(), 0);
+    }
+}
