@@ -1,0 +1,720 @@
+//! Content-addressed, persistent storage of pipeline artifacts.
+//!
+//! Every stage of the paper's Fig. 2 pipeline is an expensive,
+//! deterministic function of (a prefix of) the [`PipelineConfig`] and
+//! the master seed. This module gives each stage output a stable
+//! content address — a 64-bit FNV-1a hash over the producing config
+//! prefix, the seed, the parent-stage keys, and a format version — and
+//! persists it on disk so later runs (and parallel sweep workers) can
+//! skip recomputation entirely.
+//!
+//! # Layout and manifest schema
+//!
+//! ```text
+//! <root>/
+//!   historical/<hash>/historical.txt   + manifest.json
+//!   model/<hash>/model.dynmodel        + manifest.json
+//!   augmenter/<hash>/augmenter.aug     + manifest.json
+//!   decision/<hash>/decisions.txt      + manifest.json
+//!   tree/<hash>/policy.dtree           + manifest.json
+//!   verified/<hash>/policy.dtree
+//!                  + report.json       + manifest.json
+//! ```
+//!
+//! `manifest.json` is a flat JSON object with the fields `format`
+//! (`"artifact_manifest v1"`), `stage`, `key`, `format_version`,
+//! `crate_version`, `seed`, `noise_level`, `config` (the `Debug`
+//! rendering of the producing config prefix), and `parents`
+//! (comma-separated parent keys) — full provenance for every cached
+//! artifact.
+//!
+//! # Keys and invalidation
+//!
+//! [`PipelineKeys::derive`] computes all six stage keys from one
+//! config. Each key hashes its own config prefix *plus its parents'
+//! keys*, so invalidation is exactly downstream: changing
+//! `noise_level` leaves `historical` and `model` untouched but changes
+//! `augmenter`, `decision`, `tree`, and `verified`; changing only
+//! `verification` re-verifies a cached tree without refitting it.
+//! Bumping [`FORMAT_VERSION`] invalidates everything.
+//!
+//! Writes are atomic (staged into a scratch directory, then renamed),
+//! so a store shared by concurrent sweep workers never exposes a
+//! half-written artifact; when two workers race on the same key, one
+//! rename wins and the other's identical output is discarded.
+
+use crate::pipeline::PipelineConfig;
+use hvac_control::DtPolicy;
+use hvac_dynamics::{DynamicsModel, TransitionDataset};
+use hvac_extract::{DecisionDataset, NoiseAugmenter};
+use hvac_telemetry::json::{self, JsonValue, ObjectWriter};
+use hvac_verify::VerificationReport;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version tag hashed into every stage key. Bump when any on-disk
+/// artifact format changes; every existing cache entry then misses.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MANIFEST_FORMAT: &str = "artifact_manifest v1";
+
+/// Error type for artifact-store operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A stored artifact failed to parse.
+    Malformed {
+        /// Which stage's artifact was malformed.
+        stage: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The requested key is not in the store.
+    Missing {
+        /// Which stage was probed.
+        stage: &'static str,
+        /// The missing key's hash.
+        key: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io { path, source } => {
+                write!(f, "artifact I/O failed at {}: {source}", path.display())
+            }
+            ArtifactError::Malformed { stage, detail } => {
+                write!(f, "stored {stage} artifact is malformed: {detail}")
+            }
+            ArtifactError::Missing { stage, key } => {
+                write!(f, "no {stage} artifact stored under key {key}")
+            }
+        }
+    }
+}
+
+impl Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArtifactError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path) -> impl FnOnce(std::io::Error) -> ArtifactError + '_ {
+    move |source| ArtifactError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms and
+/// compiler versions (unlike `std::hash`), which is what a persistent
+/// cache key needs.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content address of one stage output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageKey {
+    /// Stage name (also the store subdirectory).
+    pub stage: &'static str,
+    /// Hex-encoded canonical hash.
+    pub hash: String,
+}
+
+impl StageKey {
+    fn derive(stage: &'static str, parents: &[&StageKey], parts: &[&str]) -> Self {
+        let mut canon = String::new();
+        canon.push_str(stage);
+        canon.push('\n');
+        canon.push_str(&format!("format_version {FORMAT_VERSION}\n"));
+        for p in parents {
+            canon.push_str("parent ");
+            canon.push_str(&p.hash);
+            canon.push('\n');
+        }
+        for part in parts {
+            canon.push_str(part);
+            canon.push('\n');
+        }
+        StageKey {
+            stage,
+            hash: format!("{:016x}", fnv1a64(canon.as_bytes())),
+        }
+    }
+}
+
+impl fmt::Display for StageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.stage, self.hash)
+    }
+}
+
+/// The content addresses of all six stage outputs of one
+/// [`PipelineConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineKeys {
+    /// Historical dataset `T` (env + episodes + master seed).
+    pub historical: StageKey,
+    /// Trained dynamics model `f̂` (historical + model config).
+    pub model: StageKey,
+    /// Eq. 5 augmenter (historical + noise level).
+    pub augmenter: StageKey,
+    /// Decision dataset `Π` (model + augmenter + teacher/extraction
+    /// config).
+    pub decision: StageKey,
+    /// Uncorrected CART tree (decision + tree config).
+    pub tree: StageKey,
+    /// Verified/corrected policy + Table-2 report (tree + model +
+    /// augmenter + verification config).
+    pub verified: StageKey,
+}
+
+impl PipelineKeys {
+    /// Derives every stage key for `config`. Pure and deterministic:
+    /// the same config always maps to the same keys, and any config
+    /// change invalidates exactly the stages downstream of it.
+    pub fn derive(config: &PipelineConfig) -> Self {
+        let historical = StageKey::derive(
+            "historical",
+            &[],
+            &[
+                &format!("env {:?}", config.env),
+                &format!("episodes {}", config.historical_episodes),
+                &format!("seed {}", config.seed),
+            ],
+        );
+        let model = StageKey::derive(
+            "model",
+            &[&historical],
+            &[&format!("model {:?}", config.model)],
+        );
+        let augmenter = StageKey::derive(
+            "augmenter",
+            &[&historical],
+            &[&format!("noise_level {:?}", config.noise_level)],
+        );
+        let decision = StageKey::derive(
+            "decision",
+            &[&model, &augmenter],
+            &[
+                &format!("rs {:?}", config.rs),
+                &format!("extraction {:?}", config.extraction),
+                &format!("teacher_seed {}", config.seed),
+            ],
+        );
+        let tree = StageKey::derive("tree", &[&decision], &[&format!("tree {:?}", config.tree)]);
+        let verified = StageKey::derive(
+            "verified",
+            &[&tree, &model, &augmenter],
+            &[&format!("verification {:?}", config.verification)],
+        );
+        Self {
+            historical,
+            model,
+            augmenter,
+            decision,
+            tree,
+            verified,
+        }
+    }
+
+    fn parents_of(&self, key: &StageKey) -> Vec<&StageKey> {
+        match key.stage {
+            "historical" => vec![],
+            "model" | "augmenter" => vec![&self.historical],
+            "decision" => vec![&self.model, &self.augmenter],
+            "tree" => vec![&self.decision],
+            "verified" => vec![&self.tree, &self.model, &self.augmenter],
+            _ => vec![],
+        }
+    }
+}
+
+/// A persistent, content-addressed store of pipeline artifacts.
+///
+/// Cheap to open, safe to share across threads (all methods take
+/// `&self`; writes are atomic renames).
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    scratch_seq: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] when the root cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, ArtifactError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(io_err(&root))?;
+        Ok(Self {
+            root,
+            scratch_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn dir(&self, key: &StageKey) -> PathBuf {
+        self.root.join(key.stage).join(&key.hash)
+    }
+
+    /// Whether an artifact is stored under `key` (its manifest exists).
+    pub fn contains(&self, key: &StageKey) -> bool {
+        self.dir(key).join("manifest.json").is_file()
+    }
+
+    /// Reads and parses the manifest stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] when the key is absent and
+    /// [`ArtifactError::Malformed`] when the manifest does not parse.
+    pub fn manifest(&self, key: &StageKey) -> Result<JsonValue, ArtifactError> {
+        let text = self.read(key, "manifest.json")?;
+        json::parse(&text).map_err(|e| ArtifactError::Malformed {
+            stage: key.stage,
+            detail: format!("manifest: {e}"),
+        })
+    }
+
+    fn read(&self, key: &StageKey, file: &str) -> Result<String, ArtifactError> {
+        let path = self.dir(key).join(file);
+        if !path.is_file() {
+            return Err(ArtifactError::Missing {
+                stage: key.stage,
+                key: key.hash.clone(),
+            });
+        }
+        fs::read_to_string(&path).map_err(io_err(&path))
+    }
+
+    /// Writes `files` (plus the manifest) under `key` atomically: the
+    /// whole entry is staged in a scratch directory and renamed into
+    /// place. Losing a rename race to a concurrent writer is fine — the
+    /// winner's content is identical by construction (same key, same
+    /// deterministic producer).
+    fn write(
+        &self,
+        key: &StageKey,
+        files: &[(&str, &str)],
+        manifest: &str,
+    ) -> Result<(), ArtifactError> {
+        let final_dir = self.dir(key);
+        if final_dir.join("manifest.json").is_file() {
+            return Ok(());
+        }
+        let stage_dir = self.root.join(key.stage);
+        fs::create_dir_all(&stage_dir).map_err(io_err(&stage_dir))?;
+        let scratch = stage_dir.join(format!(
+            ".tmp-{}-{}-{}",
+            key.hash,
+            std::process::id(),
+            self.scratch_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&scratch).map_err(io_err(&scratch))?;
+        for (name, content) in files {
+            let path = scratch.join(name);
+            fs::write(&path, content).map_err(io_err(&path))?;
+        }
+        // The manifest is written last inside the scratch dir; its
+        // presence marks a complete entry (see `contains`).
+        let manifest_path = scratch.join("manifest.json");
+        fs::write(&manifest_path, manifest).map_err(io_err(&manifest_path))?;
+        match fs::rename(&scratch, &final_dir) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_dir_all(&scratch);
+                if final_dir.join("manifest.json").is_file() {
+                    // A concurrent writer landed the same key first.
+                    Ok(())
+                } else {
+                    Err(ArtifactError::Io {
+                        path: final_dir,
+                        source: e,
+                    })
+                }
+            }
+        }
+    }
+
+    fn manifest_for(&self, keys: &PipelineKeys, key: &StageKey, config: &PipelineConfig) -> String {
+        let parents: Vec<String> = keys.parents_of(key).iter().map(|p| p.to_string()).collect();
+        let mut o = ObjectWriter::new();
+        o.str_field("format", MANIFEST_FORMAT);
+        o.str_field("stage", key.stage);
+        o.str_field("key", &key.hash);
+        o.u64_field("format_version", u64::from(FORMAT_VERSION));
+        o.str_field("crate_version", env!("CARGO_PKG_VERSION"));
+        o.u64_field("seed", config.seed);
+        o.f64_field("noise_level", config.noise_level);
+        o.str_field("config", &format!("{config:?}"));
+        o.str_field("parents", &parents.join(","));
+        o.finish()
+    }
+
+    /// Saves the historical dataset under `keys.historical`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on write failure.
+    pub fn save_historical(
+        &self,
+        keys: &PipelineKeys,
+        config: &PipelineConfig,
+        data: &TransitionDataset,
+    ) -> Result<(), ArtifactError> {
+        self.write(
+            &keys.historical,
+            &[("historical.txt", &data.to_compact_string())],
+            &self.manifest_for(keys, &keys.historical, config),
+        )
+    }
+
+    /// Loads the historical dataset stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] / [`ArtifactError::Malformed`].
+    pub fn load_historical(&self, key: &StageKey) -> Result<TransitionDataset, ArtifactError> {
+        let text = self.read(key, "historical.txt")?;
+        TransitionDataset::from_compact_string(&text).map_err(|e| ArtifactError::Malformed {
+            stage: key.stage,
+            detail: e.to_string(),
+        })
+    }
+
+    /// Saves the trained dynamics model under `keys.model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on write failure.
+    pub fn save_model(
+        &self,
+        keys: &PipelineKeys,
+        config: &PipelineConfig,
+        model: &DynamicsModel,
+    ) -> Result<(), ArtifactError> {
+        self.write(
+            &keys.model,
+            &[("model.dynmodel", &model.to_compact_string())],
+            &self.manifest_for(keys, &keys.model, config),
+        )
+    }
+
+    /// Loads the dynamics model stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] / [`ArtifactError::Malformed`].
+    pub fn load_model(&self, key: &StageKey) -> Result<DynamicsModel, ArtifactError> {
+        let text = self.read(key, "model.dynmodel")?;
+        DynamicsModel::from_compact_string(&text).map_err(|e| ArtifactError::Malformed {
+            stage: key.stage,
+            detail: e.to_string(),
+        })
+    }
+
+    /// Saves the Eq. 5 augmenter under `keys.augmenter`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on write failure.
+    pub fn save_augmenter(
+        &self,
+        keys: &PipelineKeys,
+        config: &PipelineConfig,
+        augmenter: &NoiseAugmenter,
+    ) -> Result<(), ArtifactError> {
+        self.write(
+            &keys.augmenter,
+            &[("augmenter.aug", &augmenter.to_compact_string())],
+            &self.manifest_for(keys, &keys.augmenter, config),
+        )
+    }
+
+    /// Loads the augmenter stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] / [`ArtifactError::Malformed`].
+    pub fn load_augmenter(&self, key: &StageKey) -> Result<NoiseAugmenter, ArtifactError> {
+        let text = self.read(key, "augmenter.aug")?;
+        NoiseAugmenter::from_compact_string(&text).map_err(|e| ArtifactError::Malformed {
+            stage: key.stage,
+            detail: e.to_string(),
+        })
+    }
+
+    /// Saves the decision dataset under `keys.decision`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on write failure.
+    pub fn save_decision(
+        &self,
+        keys: &PipelineKeys,
+        config: &PipelineConfig,
+        data: &DecisionDataset,
+    ) -> Result<(), ArtifactError> {
+        self.write(
+            &keys.decision,
+            &[("decisions.txt", &data.to_compact_string())],
+            &self.manifest_for(keys, &keys.decision, config),
+        )
+    }
+
+    /// Loads the decision dataset stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] / [`ArtifactError::Malformed`].
+    pub fn load_decision(&self, key: &StageKey) -> Result<DecisionDataset, ArtifactError> {
+        let text = self.read(key, "decisions.txt")?;
+        DecisionDataset::from_compact_string(&text).map_err(|e| ArtifactError::Malformed {
+            stage: key.stage,
+            detail: e.to_string(),
+        })
+    }
+
+    /// Saves the uncorrected CART policy under `keys.tree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on write failure.
+    pub fn save_tree(
+        &self,
+        keys: &PipelineKeys,
+        config: &PipelineConfig,
+        policy: &DtPolicy,
+    ) -> Result<(), ArtifactError> {
+        self.write(
+            &keys.tree,
+            &[("policy.dtree", &policy.to_compact_string())],
+            &self.manifest_for(keys, &keys.tree, config),
+        )
+    }
+
+    /// Loads the uncorrected CART policy stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] / [`ArtifactError::Malformed`].
+    pub fn load_tree(&self, key: &StageKey) -> Result<DtPolicy, ArtifactError> {
+        let text = self.read(key, "policy.dtree")?;
+        DtPolicy::from_compact_string(&text).map_err(|e| ArtifactError::Malformed {
+            stage: key.stage,
+            detail: e.to_string(),
+        })
+    }
+
+    /// Saves the verified (corrected) policy plus its Table-2 report
+    /// under `keys.verified`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on write failure.
+    pub fn save_verified(
+        &self,
+        keys: &PipelineKeys,
+        config: &PipelineConfig,
+        policy: &DtPolicy,
+        report: &VerificationReport,
+    ) -> Result<(), ArtifactError> {
+        self.write(
+            &keys.verified,
+            &[
+                ("policy.dtree", &policy.to_compact_string()),
+                ("report.json", &report.to_json_string()),
+            ],
+            &self.manifest_for(keys, &keys.verified, config),
+        )
+    }
+
+    /// Loads the verified policy and report stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] / [`ArtifactError::Malformed`].
+    pub fn load_verified(
+        &self,
+        key: &StageKey,
+    ) -> Result<(DtPolicy, VerificationReport), ArtifactError> {
+        let policy_text = self.read(key, "policy.dtree")?;
+        let policy =
+            DtPolicy::from_compact_string(&policy_text).map_err(|e| ArtifactError::Malformed {
+                stage: key.stage,
+                detail: e.to_string(),
+            })?;
+        let report_text = self.read(key, "report.json")?;
+        let report = VerificationReport::from_json_string(&report_text).map_err(|e| {
+            ArtifactError::Malformed {
+                stage: key.stage,
+                detail: e.to_string(),
+            }
+        })?;
+        Ok((policy, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hvac_env::EnvConfig;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hvac-artifacts-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_are_stable_and_config_sensitive() {
+        let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+        let a = PipelineKeys::derive(&config);
+        let b = PipelineKeys::derive(&config);
+        assert_eq!(a, b);
+
+        let mut other = config.clone();
+        other.seed += 1;
+        let c = PipelineKeys::derive(&other);
+        assert_ne!(a.historical, c.historical);
+        assert_ne!(a.verified, c.verified);
+    }
+
+    #[test]
+    fn noise_change_invalidates_exactly_downstream_stages() {
+        let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+        let mut noisier = config.clone();
+        noisier.noise_level = 0.09;
+        let a = PipelineKeys::derive(&config);
+        let b = PipelineKeys::derive(&noisier);
+        // Upstream of the augmenter: unchanged.
+        assert_eq!(a.historical, b.historical);
+        assert_eq!(a.model, b.model);
+        // The augmenter and everything downstream: changed.
+        assert_ne!(a.augmenter, b.augmenter);
+        assert_ne!(a.decision, b.decision);
+        assert_ne!(a.tree, b.tree);
+        assert_ne!(a.verified, b.verified);
+    }
+
+    #[test]
+    fn verification_change_keeps_tree_key() {
+        let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+        let mut stricter = config.clone();
+        stricter.verification.samples += 100;
+        let a = PipelineKeys::derive(&config);
+        let b = PipelineKeys::derive(&stricter);
+        assert_eq!(a.tree, b.tree);
+        assert_ne!(a.verified, b.verified);
+    }
+
+    #[test]
+    fn store_roundtrips_historical_with_manifest() {
+        let root = temp_root("historical");
+        let store = ArtifactStore::open(&root).unwrap();
+        let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+        let keys = PipelineKeys::derive(&config);
+        let data = hvac_dynamics::collect_historical_dataset(
+            &config.env,
+            config.historical_episodes,
+            config.seed,
+        )
+        .unwrap();
+
+        assert!(!store.contains(&keys.historical));
+        store.save_historical(&keys, &config, &data).unwrap();
+        assert!(store.contains(&keys.historical));
+        let restored = store.load_historical(&keys.historical).unwrap();
+        assert_eq!(data, restored);
+
+        let manifest = store.manifest(&keys.historical).unwrap();
+        assert_eq!(
+            manifest.get("stage").and_then(|v| v.as_str()),
+            Some("historical")
+        );
+        assert_eq!(
+            manifest.get("key").and_then(|v| v.as_str()),
+            Some(keys.historical.hash.as_str())
+        );
+        assert_eq!(
+            manifest.get("seed").and_then(|v| v.as_u64()),
+            Some(config.seed)
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn save_is_idempotent_and_missing_loads_error() {
+        let root = temp_root("idempotent");
+        let store = ArtifactStore::open(&root).unwrap();
+        let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+        let keys = PipelineKeys::derive(&config);
+
+        assert!(matches!(
+            store.load_historical(&keys.historical),
+            Err(ArtifactError::Missing {
+                stage: "historical",
+                ..
+            })
+        ));
+
+        let data = TransitionDataset::new();
+        store.save_historical(&keys, &config, &data).unwrap();
+        store.save_historical(&keys, &config, &data).unwrap(); // no-op
+        assert!(store.contains(&keys.historical));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn malformed_artifact_is_reported() {
+        let root = temp_root("malformed");
+        let store = ArtifactStore::open(&root).unwrap();
+        let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+        let keys = PipelineKeys::derive(&config);
+        let dir = store.dir(&keys.model);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("model.dynmodel"), "not a model").unwrap();
+        fs::write(dir.join("manifest.json"), "{}").unwrap();
+        assert!(matches!(
+            store.load_model(&keys.model),
+            Err(ArtifactError::Malformed { stage: "model", .. })
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -2,41 +2,57 @@
 //! pipeline.
 //!
 //! ```text
-//! veri-hvac extract  --city pittsburgh --out-dir artifacts [--paper]
-//! veri-hvac verify   --policy artifacts/policy.dtree --model artifacts/model.dynmodel --city pittsburgh
+//! veri-hvac extract  --city pittsburgh --out-dir artifacts [--paper] [--noise 0.05] [--cache-dir cache]
+//! veri-hvac verify   --artifacts artifacts [--samples N] [--conservative]
+//! veri-hvac sweep    --cities pittsburgh,tucson --seeds 0..8 --threads 4 --cache-dir cache --out sweep
 //! veri-hvac inspect  --policy artifacts/policy.dtree [--dot]
 //! veri-hvac simulate --policy artifacts/policy.dtree --city pittsburgh --days 7
 //! veri-hvac serve    --policy artifacts/policy.dtree --addr 127.0.0.1:9464
 //! ```
 //!
 //! `extract` runs the paper's full procedure (Fig. 2) and writes the
-//! verified decision-tree policy plus the trained dynamics model as
-//! human-auditable text artifacts. `verify` re-runs offline verification
-//! on saved artifacts. `inspect` prints the policy's rules (or Graphviz
-//! DOT). `simulate` deploys a saved policy in the simulated building
-//! and reports energy/comfort metrics. `serve` loads a policy and
-//! answers `POST /decide` (plus `/metrics`, `/healthz`,
-//! `/summary.json`) until interrupted. Any long-running subcommand
-//! additionally exposes the observability routes when
-//! `--metrics-addr ADDR` is given.
+//! verified decision-tree policy, the trained dynamics model, the Eq. 5
+//! noise augmenter, and a provenance manifest as human-auditable text
+//! artifacts. `verify` re-runs offline verification on saved artifacts
+//! using the *persisted* augmenter — the exact input distribution the
+//! policy was extracted against, not a refit at some other noise level.
+//! `sweep` fans (city × seed) pipeline runs across a bounded worker
+//! pool, sharing one content-addressed artifact cache, and writes
+//! per-run JSON reports plus an aggregate Table-2-style summary.
+//! `inspect` prints the policy's rules (or Graphviz DOT). `simulate`
+//! deploys a saved policy in the simulated building and reports
+//! energy/comfort metrics. `serve` loads a policy and answers
+//! `POST /decide` (plus `/metrics`, `/healthz`, `/summary.json`) until
+//! interrupted. Any long-running subcommand additionally exposes the
+//! observability routes when `--metrics-addr ADDR` is given.
 
+use hvac_telemetry::json::{self, JsonValue, ObjectWriter};
 use hvac_telemetry::{error, info, JsonlSink, Level, StderrSink};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use veri_hvac::control::DtPolicy;
-use veri_hvac::dynamics::{collect_historical_dataset, DynamicsModel};
+use veri_hvac::dynamics::DynamicsModel;
 use veri_hvac::env::space::feature;
 use veri_hvac::env::{run_episode, EnvConfig, HvacEnv};
 use veri_hvac::extract::NoiseAugmenter;
-use veri_hvac::pipeline::{run_pipeline, PipelineConfig};
-use veri_hvac::verify::{verify_and_correct, VerificationConfig};
+use veri_hvac::pipeline::{run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig};
+use veri_hvac::verify::{verify_and_correct, VerificationConfig, VerificationReport};
+use veri_hvac::ArtifactStore;
 
 const USAGE: &str = "\
 veri-hvac — interpretable & verifiable decision-tree HVAC control
 
 USAGE:
-  veri-hvac extract  --city <pittsburgh|tucson|new-york> [--out-dir DIR] [--paper]
-  veri-hvac verify   --policy FILE --model FILE --city <city> [--samples N]
+  veri-hvac extract  --city <pittsburgh|tucson|new-york> [--out-dir DIR]
+                     [--paper] [--noise LEVEL] [--cache-dir DIR]
+  veri-hvac verify   --artifacts DIR [--samples N] [--conservative]
+                     (or --policy FILE --model FILE; the augmenter is
+                     loaded from the manifest next to the policy)
+  veri-hvac sweep    [--cities A,B,...] [--seeds N..M | N,M,...]
+                     [--threads N] [--cache-dir DIR] [--out DIR]
+                     [--paper] [--noise LEVEL] [--conservative]
   veri-hvac inspect  --policy FILE [--dot]
   veri-hvac simulate --policy FILE --city <city> [--days N]
   veri-hvac serve    --policy FILE [--addr HOST:PORT]
@@ -49,6 +65,14 @@ GLOBAL FLAGS:
   --metrics-addr A   expose GET /metrics, /healthz, /summary.json at A
                      (e.g. 127.0.0.1:9464) for the duration of the run
 
+`extract --cache-dir DIR` keeps a content-addressed store of every
+pipeline stage; re-runs with the same config skip straight to the
+cached artifacts. `verify --conservative` gates the verdict on the
+Wilson 95% lower bound of criterion #1 instead of the point estimate.
+`sweep` defaults to --cities pittsburgh,tucson --seeds 0..4
+--threads 4 --out sweep; its per-run and aggregate JSON reports omit
+wall-clock times, so output is byte-identical for any --threads value.
+
 `serve` answers POST /decide with the policy's setpoint decision for a
 JSON observation body and always exposes the observability routes on
 its own --addr (default 127.0.0.1:9464; port 0 picks one). Decisions
@@ -60,6 +84,12 @@ failures a structured 422 JSON error.
 Machine-readable results go to stdout; progress and diagnostics to stderr.
 Artifacts are plain text (see hvac_dtree::serialize / hvac_dynamics::serialize).
 ";
+
+/// Format tag of the manifest `extract` writes beside its artifacts.
+const EXTRACT_MANIFEST_FORMAT: &str = "extract_manifest v1";
+
+/// z-score for the 95% Wilson interval used by `--conservative`.
+const WILSON_Z: f64 = 1.96;
 
 struct Args {
     positional: Vec<String>,
@@ -149,19 +179,60 @@ fn env_config_for(city: &str) -> Result<EnvConfig, String> {
     }
 }
 
-fn cmd_extract(args: &Args) -> Result<(), String> {
-    let city = args.flag("city").ok_or("extract requires --city")?;
-    let out_dir = args.flag("out-dir").unwrap_or("artifacts");
-    let env = env_config_for(city)?;
-    let config = if args.has("paper") {
+/// Builds the pipeline configuration shared by `extract` and `sweep`:
+/// `--paper` picks the full-scale profile, `--noise` overrides the
+/// Eq. 5 noise level.
+fn pipeline_config(args: &Args, env: EnvConfig) -> Result<PipelineConfig, String> {
+    let mut config = if args.has("paper") {
         PipelineConfig::paper_with_env(env)
     } else {
         PipelineConfig::quick(env)
     };
+    if let Some(noise) = args.flag("noise") {
+        config.noise_level = noise
+            .parse()
+            .map_err(|_| format!("--noise must be a number, got {noise:?}"))?;
+    }
+    Ok(config)
+}
+
+/// Opens the content-addressed artifact store when `--cache-dir` is
+/// given.
+fn open_store(args: &Args) -> Result<Option<ArtifactStore>, String> {
+    args.flag("cache-dir")
+        .map(|dir| ArtifactStore::open(dir).map_err(|e| e.to_string()))
+        .transpose()
+}
+
+/// Runs the pipeline, through the store when one is open.
+fn run_with_store(
+    config: &PipelineConfig,
+    store: Option<&ArtifactStore>,
+) -> Result<PipelineArtifacts, String> {
+    match store {
+        Some(store) => run_pipeline_cached(config, store),
+        None => run_pipeline(config),
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_extract(args: &Args) -> Result<(), String> {
+    let city = args.flag("city").ok_or("extract requires --city")?;
+    let out_dir = args.flag("out-dir").unwrap_or("artifacts");
+    let env = env_config_for(city)?;
+    let config = pipeline_config(args, env)?;
+    let store = open_store(args)?;
 
     info!("running extraction pipeline for {city}…");
-    let artifacts = run_pipeline(&config).map_err(|e| e.to_string())?;
+    let artifacts = run_with_store(&config, store.as_ref())?;
     info!("{}", artifacts.telemetry);
+    if store.is_some() {
+        info!(
+            "cache: {} hits, {} misses",
+            artifacts.telemetry.counter("cache.hits"),
+            artifacts.telemetry.counter("cache.misses")
+        );
+    }
     println!("{}", artifacts.report);
     println!(
         "dynamics model: {} transitions, validation RMSE {:.3} °C",
@@ -170,35 +241,124 @@ fn cmd_extract(args: &Args) -> Result<(), String> {
     );
 
     std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
-    let policy_path = format!("{out_dir}/policy.dtree");
-    let model_path = format!("{out_dir}/model.dynmodel");
-    std::fs::write(&policy_path, artifacts.policy.to_compact_string())
-        .map_err(|e| e.to_string())?;
-    std::fs::write(&model_path, artifacts.model.to_compact_string()).map_err(|e| e.to_string())?;
-    println!("wrote {policy_path} and {model_path}");
+    let writes = [
+        ("policy.dtree", artifacts.policy.to_compact_string()),
+        ("model.dynmodel", artifacts.model.to_compact_string()),
+        ("augmenter.aug", artifacts.augmenter.to_compact_string()),
+        ("manifest.json", extract_manifest(city, &config)),
+    ];
+    for (name, content) in &writes {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    println!("wrote policy.dtree, model.dynmodel, augmenter.aug and manifest.json to {out_dir}/");
     Ok(())
 }
 
+/// The provenance manifest `extract` leaves beside its artifacts; the
+/// `augmenter` / `noise_level` fields are what `verify` reads back so
+/// re-verification uses the extraction-time input distribution.
+fn extract_manifest(city: &str, config: &PipelineConfig) -> String {
+    let mut o = ObjectWriter::new();
+    o.str_field("format", EXTRACT_MANIFEST_FORMAT);
+    o.str_field("city", city);
+    o.u64_field("seed", config.seed);
+    o.f64_field("noise_level", config.noise_level);
+    o.str_field("crate_version", env!("CARGO_PKG_VERSION"));
+    o.str_field("policy", "policy.dtree");
+    o.str_field("model", "model.dynmodel");
+    o.str_field("augmenter", "augmenter.aug");
+    o.finish()
+}
+
+/// Loads the persisted augmenter for an artifact directory, with a
+/// clear error for directories written before augmenters were
+/// persisted.
+fn load_persisted_augmenter(dir: &Path) -> Result<NoiseAugmenter, String> {
+    let legacy = |missing: &str| {
+        format!(
+            "no {missing} in {dir} — this artifact directory predates persisted \
+             augmenters; re-run `veri-hvac extract` to regenerate it (verification \
+             must use the extraction-time input distribution, not a refit)",
+            dir = dir.display()
+        )
+    };
+    let manifest_path = dir.join("manifest.json");
+    let manifest_text =
+        std::fs::read_to_string(&manifest_path).map_err(|_| legacy("manifest.json"))?;
+    let manifest = json::parse(&manifest_text)
+        .map_err(|e| format!("malformed manifest {}: {e}", manifest_path.display()))?;
+    if manifest.get("format").and_then(JsonValue::as_str) != Some(EXTRACT_MANIFEST_FORMAT) {
+        return Err(legacy("extract manifest"));
+    }
+    let noise_level = manifest
+        .get("noise_level")
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("manifest {} lacks noise_level", manifest_path.display()))?;
+    let augmenter_file = manifest
+        .get("augmenter")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("augmenter.aug");
+    let augmenter_path = dir.join(augmenter_file);
+    let augmenter_text =
+        std::fs::read_to_string(&augmenter_path).map_err(|_| legacy(augmenter_file))?;
+    let augmenter = NoiseAugmenter::from_compact_string(&augmenter_text)
+        .map_err(|e| format!("malformed augmenter {}: {e}", augmenter_path.display()))?;
+    if (augmenter.noise_level() - noise_level).abs() > f64::EPSILON {
+        return Err(format!(
+            "manifest noise_level {noise_level} does not match augmenter artifact ({})",
+            augmenter.noise_level()
+        ));
+    }
+    Ok(augmenter)
+}
+
 fn cmd_verify(args: &Args) -> Result<(), String> {
-    let policy_path = args.flag("policy").ok_or("verify requires --policy")?;
-    let model_path = args.flag("model").ok_or("verify requires --model")?;
-    let city = args.flag("city").ok_or("verify requires --city")?;
+    // Resolve the artifact directory: --artifacts DIR, or the directory
+    // holding --policy for split paths.
+    let artifacts_dir: PathBuf = match (args.flag("artifacts"), args.flag("policy")) {
+        (Some(dir), _) => PathBuf::from(dir),
+        (None, Some(policy)) => {
+            let parent = Path::new(policy).parent().unwrap_or(Path::new("."));
+            if parent.as_os_str().is_empty() {
+                PathBuf::from(".")
+            } else {
+                parent.to_path_buf()
+            }
+        }
+        (None, None) => return Err("verify requires --artifacts DIR (or --policy FILE)".into()),
+    };
+    let policy_path = args
+        .flag("policy")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| artifacts_dir.join("policy.dtree"));
+    let model_path = args
+        .flag("model")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| artifacts_dir.join("model.dynmodel"));
     let samples: usize = args
         .flag("samples")
         .map(|v| v.parse().map_err(|_| "--samples must be a number"))
         .transpose()?
         .unwrap_or(2000);
+    let conservative = args.has("conservative");
 
-    let policy_text = std::fs::read_to_string(policy_path).map_err(|e| e.to_string())?;
+    let policy_text = std::fs::read_to_string(&policy_path)
+        .map_err(|e| format!("cannot read {}: {e}", policy_path.display()))?;
     let mut policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
-    let model_text = std::fs::read_to_string(model_path).map_err(|e| e.to_string())?;
+    let model_text = std::fs::read_to_string(&model_path)
+        .map_err(|e| format!("cannot read {}: {e}", model_path.display()))?;
     let model = DynamicsModel::from_compact_string(&model_text).map_err(|e| e.to_string())?;
 
-    info!("collecting input distribution for {city}…");
-    let env = env_config_for(city)?.with_episode_steps(7 * 96);
-    let historical = collect_historical_dataset(&env, 2, 0).map_err(|e| e.to_string())?;
-    let augmenter =
-        NoiseAugmenter::fit(historical.policy_inputs(), 0.01).map_err(|e| e.to_string())?;
+    // The input distribution comes from the extraction run itself (the
+    // manifest's augmenter), never a fresh refit at a different noise
+    // level — criterion #1 is only meaningful against the distribution
+    // the policy was distilled for.
+    let augmenter = load_persisted_augmenter(&artifacts_dir)?;
+    println!(
+        "using persisted augmenter (noise {})",
+        augmenter.noise_level()
+    );
 
     let config = VerificationConfig {
         samples,
@@ -207,19 +367,262 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     let report =
         verify_and_correct(&mut policy, &model, &augmenter, &config).map_err(|e| e.to_string())?;
     println!("{report}");
-    println!(
-        "\nverdict: {}",
-        if report.verified() {
-            "VERIFIED (criterion #1 above threshold; #2/#3 corrected)"
-        } else {
-            "NOT VERIFIED (criterion #1 below threshold)"
-        }
-    );
+    let pass = if conservative {
+        report.verified_conservative(WILSON_Z)
+    } else {
+        report.verified()
+    };
+    let (wilson_low, _) = report.criterion_1.wilson_interval(WILSON_Z);
+    let verdict = match (conservative, pass) {
+        (true, true) => format!(
+            "VERIFIED (Wilson 95% lower bound {:.3} above threshold; #2/#3 corrected)",
+            wilson_low
+        ),
+        (true, false) => format!(
+            "NOT VERIFIED (Wilson 95% lower bound {:.3} not above threshold {})",
+            wilson_low, report.criterion_1.threshold
+        ),
+        (false, true) => "VERIFIED (criterion #1 above threshold; #2/#3 corrected)".to_string(),
+        (false, false) => "NOT VERIFIED (criterion #1 below threshold)".to_string(),
+    };
+    println!("\nverdict: {verdict}");
     if report.corrected_criterion_2 + report.corrected_criterion_3 > 0 {
-        let corrected_path = format!("{policy_path}.corrected");
+        let corrected_path = format!("{}.corrected", policy_path.display());
         std::fs::write(&corrected_path, policy.to_compact_string()).map_err(|e| e.to_string())?;
         println!("corrected policy written to {corrected_path}");
     }
+    Ok(())
+}
+
+/// One completed sweep run, ready for reporting. Carries no wall-clock
+/// fields: sweep reports must be byte-identical for any `--threads`.
+struct SweepRun {
+    city: String,
+    seed: u64,
+    report: VerificationReport,
+    nodes: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl SweepRun {
+    fn to_json(&self) -> String {
+        let c1 = &self.report.criterion_1;
+        let (wilson_low, wilson_high) = c1.wilson_interval(WILSON_Z);
+        let mut o = ObjectWriter::new();
+        o.str_field("format", "sweep_run v1");
+        o.str_field("city", &self.city);
+        o.u64_field("seed", self.seed);
+        o.u64_field("total_nodes", self.nodes as u64);
+        o.u64_field("leaf_nodes", self.report.leaf_nodes as u64);
+        o.u64_field("safe", c1.safe as u64);
+        o.u64_field("samples", c1.total as u64);
+        o.f64_field("threshold", c1.threshold);
+        o.f64_field("safe_probability", c1.probability());
+        o.f64_field("wilson_low", wilson_low);
+        o.f64_field("wilson_high", wilson_high);
+        o.u64_field(
+            "corrected_criterion_2",
+            self.report.corrected_criterion_2 as u64,
+        );
+        o.u64_field(
+            "corrected_criterion_3",
+            self.report.corrected_criterion_3 as u64,
+        );
+        o.u64_field("verified", u64::from(self.report.verified()));
+        o.u64_field(
+            "verified_conservative",
+            u64::from(self.report.verified_conservative(WILSON_Z)),
+        );
+        o.u64_field("cache_hits", self.cache_hits);
+        o.u64_field("cache_misses", self.cache_misses);
+        o.finish()
+    }
+}
+
+/// Parses `--seeds`: either an exclusive range `N..M` or a comma list.
+fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
+    let bad = || format!("bad --seeds {spec:?} (expected N..M or N,M,...)");
+    if let Some((start, end)) = spec.split_once("..") {
+        let start: u64 = start.trim().parse().map_err(|_| bad())?;
+        let end: u64 = end.trim().parse().map_err(|_| bad())?;
+        if end <= start {
+            return Err(format!("empty --seeds range {spec:?}"));
+        }
+        Ok((start..end).collect())
+    } else {
+        spec.split(',')
+            .map(|s| s.trim().parse::<u64>().map_err(|_| bad()))
+            .collect()
+    }
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let cities: Vec<String> = args
+        .flag("cities")
+        .unwrap_or("pittsburgh,tucson")
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if cities.is_empty() {
+        return Err("--cities must name at least one city".into());
+    }
+    let seeds = parse_seeds(args.flag("seeds").unwrap_or("0..4"))?;
+    let threads: usize = args
+        .flag("threads")
+        .map(|v| v.parse().map_err(|_| "--threads must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let out_dir = args.flag("out").unwrap_or("sweep");
+    let conservative = args.has("conservative");
+    let store = open_store(args)?;
+
+    // City-major job order in the order given; results land by job
+    // index, so reports are identically ordered for any thread count.
+    let mut jobs: Vec<(String, u64, PipelineConfig)> = Vec::new();
+    for city in &cities {
+        let env = env_config_for(city)?;
+        for &seed in &seeds {
+            let mut config = pipeline_config(args, env.clone())?;
+            config.seed = seed;
+            jobs.push((city.clone(), seed, config));
+        }
+    }
+
+    info!(
+        "sweeping {} runs ({} cities x {} seeds) over {} worker(s)…",
+        jobs.len(),
+        cities.len(),
+        seeds.len(),
+        threads.min(jobs.len())
+    );
+
+    // Bounded pool: workers pull the next job index off a shared atomic
+    // until the list drains. Each (city, seed) pair owns disjoint cache
+    // keys, so sharing the store never couples two jobs.
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<SweepRun, String>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len()) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some((city, seed, config)) = jobs.get(index) else {
+                    break;
+                };
+                info!("sweep: {city} seed {seed} starting");
+                let run = run_with_store(config, store.as_ref()).map(|artifacts| SweepRun {
+                    city: city.clone(),
+                    seed: *seed,
+                    nodes: artifacts.policy.tree().node_count(),
+                    cache_hits: artifacts.telemetry.counter("cache.hits"),
+                    cache_misses: artifacts.telemetry.counter("cache.misses"),
+                    report: artifacts.report,
+                });
+                *results[index].lock().unwrap() = Some(run);
+            });
+        }
+    });
+
+    let mut runs = Vec::with_capacity(jobs.len());
+    let mut failures = Vec::new();
+    for (slot, (city, seed, _)) in results.iter().zip(&jobs) {
+        match slot.lock().unwrap().take() {
+            Some(Ok(run)) => runs.push(run),
+            Some(Err(e)) => failures.push(format!("{city} seed {seed}: {e}")),
+            None => failures.push(format!("{city} seed {seed}: worker never ran the job")),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} sweep run(s) failed: {}",
+            failures.len(),
+            failures.join("; ")
+        ));
+    }
+
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    for run in &runs {
+        let path = format!("{out_dir}/run-{}-seed{}.json", run.city, run.seed);
+        std::fs::write(&path, run.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let cache_hits: u64 = runs.iter().map(|r| r.cache_hits).sum();
+    let cache_misses: u64 = runs.iter().map(|r| r.cache_misses).sum();
+    let verified = runs.iter().filter(|r| r.report.verified()).count();
+    let verified_conservative = runs
+        .iter()
+        .filter(|r| r.report.verified_conservative(WILSON_Z))
+        .count();
+
+    // The aggregate embeds each run object verbatim; every field is
+    // deterministic, so two sweeps over a warm cache produce identical
+    // bytes.
+    let mut aggregate = String::from("{\"format\":\"sweep_summary v1\"");
+    aggregate.push_str(&format!(",\"runs_total\":{}", runs.len()));
+    aggregate.push_str(&format!(",\"verified_runs\":{verified}"));
+    aggregate.push_str(&format!(
+        ",\"verified_conservative_runs\":{verified_conservative}"
+    ));
+    aggregate.push_str(&format!(",\"cache_hits\":{cache_hits}"));
+    aggregate.push_str(&format!(",\"cache_misses\":{cache_misses}"));
+    aggregate.push_str(",\"runs\":[");
+    let run_objects: Vec<String> = runs.iter().map(SweepRun::to_json).collect();
+    aggregate.push_str(&run_objects.join(","));
+    aggregate.push_str("]}");
+    let aggregate_path = format!("{out_dir}/sweep-summary.json");
+    std::fs::write(&aggregate_path, &aggregate)
+        .map_err(|e| format!("cannot write {aggregate_path}: {e}"))?;
+
+    // Table-2-style stdout summary, one row per (city, seed).
+    println!(
+        "{:<12} {:>5} {:>6} {:>7} {:>7}   {:<16} {:>7} {:>7}  verdict",
+        "city", "seed", "nodes", "leaves", "safe%", "wilson 95%", "corr#2", "corr#3"
+    );
+    for run in &runs {
+        let c1 = &run.report.criterion_1;
+        let (low, high) = c1.wilson_interval(WILSON_Z);
+        let pass = if conservative {
+            run.report.verified_conservative(WILSON_Z)
+        } else {
+            run.report.verified()
+        };
+        println!(
+            "{:<12} {:>5} {:>6} {:>7} {:>7.1}   [{:>5.1}%, {:>5.1}%] {:>7} {:>7}  {}",
+            run.city,
+            run.seed,
+            run.nodes,
+            run.report.leaf_nodes,
+            100.0 * c1.probability(),
+            100.0 * low,
+            100.0 * high,
+            run.report.corrected_criterion_2,
+            run.report.corrected_criterion_3,
+            if pass { "VERIFIED" } else { "NOT VERIFIED" }
+        );
+    }
+    println!(
+        "{}/{} runs verified ({} gate); cache: {cache_hits} hits, {cache_misses} misses",
+        if conservative {
+            verified_conservative
+        } else {
+            verified
+        },
+        runs.len(),
+        if conservative {
+            "Wilson lower-bound"
+        } else {
+            "point-estimate"
+        }
+    );
+    println!(
+        "wrote {} per-run reports and sweep-summary.json to {out_dir}/",
+        runs.len()
+    );
     Ok(())
 }
 
@@ -308,6 +711,7 @@ fn main() -> ExitCode {
         .and_then(|()| match args.positional.first().map(String::as_str) {
             Some("extract") => cmd_extract(&args),
             Some("verify") => cmd_verify(&args),
+            Some("sweep") => cmd_sweep(&args),
             Some("inspect") => cmd_inspect(&args),
             Some("simulate") => cmd_simulate(&args),
             Some("serve") => cmd_serve(&args),

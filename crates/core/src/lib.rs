@@ -50,6 +50,7 @@
 //! | [`faults`] | deterministic sensor/weather fault injection |
 //! | [`stats`] | histograms, entropy, JSD, summaries |
 //! | [`serve`] | HTTP serving of verified policies (`POST /decide`) |
+//! | [`artifacts`] | content-addressed pipeline artifact store |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,8 +66,12 @@ pub use hvac_sim as sim;
 pub use hvac_stats as stats;
 pub use hvac_verify as verify;
 
+pub mod artifacts;
 pub mod pipeline;
 pub mod serve;
 
-pub use pipeline::{run_pipeline, PipelineArtifacts, PipelineConfig, PipelineError};
+pub use artifacts::{ArtifactError, ArtifactStore, PipelineKeys, StageKey};
+pub use pipeline::{
+    run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig, PipelineError,
+};
 pub use serve::{serve_guarded_policy, serve_policy};

@@ -10,6 +10,7 @@
 //!                                        deployable DT policy
 //! ```
 
+use crate::artifacts::{ArtifactError, ArtifactStore, PipelineKeys, StageKey};
 use hvac_control::{DtPolicy, PlanningConfig, RandomShootingConfig, RandomShootingController};
 use hvac_dtree::TreeConfig;
 use hvac_dynamics::{
@@ -20,7 +21,7 @@ use hvac_extract::{
     fit_decision_tree, generate_decision_dataset, DecisionDataset, ExtractError, ExtractionConfig,
     NoiseAugmenter,
 };
-use hvac_telemetry::{StageTiming, TelemetrySummary};
+use hvac_telemetry::{RunScope, StageTiming, TelemetrySummary};
 use hvac_verify::{verify_and_correct, VerificationConfig, VerificationReport, VerifyError};
 use std::error::Error;
 use std::fmt;
@@ -38,6 +39,8 @@ pub enum PipelineError {
     Verify(VerifyError),
     /// Controller construction failed.
     Control(hvac_control::ControlError),
+    /// The artifact store failed (I/O or a corrupt cached artifact).
+    Artifact(ArtifactError),
 }
 
 impl fmt::Display for PipelineError {
@@ -47,6 +50,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Extract(e) => write!(f, "extraction stage failed: {e}"),
             PipelineError::Verify(e) => write!(f, "verification stage failed: {e}"),
             PipelineError::Control(e) => write!(f, "controller stage failed: {e}"),
+            PipelineError::Artifact(e) => write!(f, "artifact store failed: {e}"),
         }
     }
 }
@@ -58,7 +62,14 @@ impl Error for PipelineError {
             PipelineError::Extract(e) => Some(e),
             PipelineError::Verify(e) => Some(e),
             PipelineError::Control(e) => Some(e),
+            PipelineError::Artifact(e) => Some(e),
         }
+    }
+}
+
+impl From<ArtifactError> for PipelineError {
+    fn from(e: ArtifactError) -> Self {
+        PipelineError::Artifact(e)
     }
 }
 
@@ -244,9 +255,10 @@ pub struct PipelineArtifacts {
     pub policy: DtPolicy,
     /// The verification report (Table 2 numbers).
     pub report: VerificationReport,
-    /// Telemetry rollup for this run: stage wall times (always exact)
-    /// plus the counter deltas the run moved (process-global — see
-    /// [`TelemetrySummary`]).
+    /// Telemetry rollup for this run: stage wall times plus the counter
+    /// deltas attributed to this run's [`RunScope`] — exact even when
+    /// several pipelines run concurrently in one process. Cached runs
+    /// additionally carry `cache.hits` / `cache.misses`.
     pub telemetry: TelemetrySummary,
 }
 
@@ -257,10 +269,42 @@ pub struct PipelineArtifacts {
 ///
 /// Returns a [`PipelineError`] naming the failing stage.
 pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, PipelineError> {
+    run_inner(config, None)
+}
+
+/// Like [`run_pipeline`], but every stage first probes `store` and
+/// skips recomputation on hit, and every computed stage output is
+/// persisted. Hits and misses are counted in the run's
+/// `cache.hits` / `cache.misses` telemetry counters.
+///
+/// A warm re-run of the same config loads bit-identical artifacts:
+/// every serializer round-trips exactly, and the augmenter is refit
+/// deterministically from its stored rows.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the failing stage;
+/// [`PipelineError::Artifact`] covers store I/O and corrupt cached
+/// artifacts.
+pub fn run_pipeline_cached(
+    config: &PipelineConfig,
+    store: &ArtifactStore,
+) -> Result<PipelineArtifacts, PipelineError> {
+    run_inner(config, Some(store))
+}
+
+fn run_inner(
+    config: &PipelineConfig,
+    store: Option<&ArtifactStore>,
+) -> Result<PipelineArtifacts, PipelineError> {
     // Honor HVAC_TELEMETRY on any entry point that reaches the
     // pipeline; a no-op unless the variable is set, and idempotent.
     hvac_telemetry::init_from_env();
-    let before = hvac_telemetry::snapshot();
+    // All counters/histograms this run touches — including on extraction
+    // worker threads, which re-enter the scope — are attributed to this
+    // scope, keeping the summary exact under concurrent runs.
+    let run_scope = RunScope::new();
+    let _scope_guard = run_scope.handle().enter();
     let started = Instant::now();
     let pipeline_span = hvac_telemetry::Span::enter("pipeline");
     let mut stages: Vec<StageTiming> = Vec::with_capacity(4);
@@ -270,13 +314,56 @@ pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, Pipeli
             wall,
         });
     };
+    let keys = store.map(|_| PipelineKeys::derive(config));
+    let hits = hvac_telemetry::counter("cache.hits");
+    let misses = hvac_telemetry::counter("cache.misses");
+    // Probes the store for one stage: `load` on hit, `None` on miss,
+    // moving the cache counters either way. Uncached runs never probe.
+    let cached = |key: fn(&PipelineKeys) -> &StageKey| match (store, &keys) {
+        (Some(store), Some(keys)) if store.contains(key(keys)) => {
+            hits.incr();
+            Some((store, key(keys)))
+        }
+        (Some(_), _) => {
+            misses.incr();
+            None
+        }
+        _ => None,
+    };
 
     // 1. Historical data (BMS logs), dynamics model, Eq. 5 augmenter.
     let span = hvac_telemetry::Span::enter("dynamics");
-    let historical =
-        collect_historical_dataset(&config.env, config.historical_episodes, config.seed)?;
-    let model = DynamicsModel::train(&historical, &config.model)?;
-    let augmenter = NoiseAugmenter::fit(historical.policy_inputs(), config.noise_level)?;
+    let historical = match cached(|k| &k.historical) {
+        Some((store, key)) => store.load_historical(key)?,
+        None => {
+            let data =
+                collect_historical_dataset(&config.env, config.historical_episodes, config.seed)?;
+            if let (Some(store), Some(keys)) = (store, &keys) {
+                store.save_historical(keys, config, &data)?;
+            }
+            data
+        }
+    };
+    let model = match cached(|k| &k.model) {
+        Some((store, key)) => store.load_model(key)?,
+        None => {
+            let model = DynamicsModel::train(&historical, &config.model)?;
+            if let (Some(store), Some(keys)) = (store, &keys) {
+                store.save_model(keys, config, &model)?;
+            }
+            model
+        }
+    };
+    let augmenter = match cached(|k| &k.augmenter) {
+        Some((store, key)) => store.load_augmenter(key)?,
+        None => {
+            let augmenter = NoiseAugmenter::fit(historical.policy_inputs(), config.noise_level)?;
+            if let (Some(store), Some(keys)) = (store, &keys) {
+                store.save_augmenter(keys, config, &augmenter)?;
+            }
+            augmenter
+        }
+    };
     stage("dynamics", span.close());
     hvac_telemetry::info!(
         "dynamics model trained: {} transitions, validation RMSE {:.3}",
@@ -286,8 +373,17 @@ pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, Pipeli
 
     // 2. Monte-Carlo mode distillation of the RS controller.
     let span = hvac_telemetry::Span::enter("extraction");
-    let mut teacher = RandomShootingController::new(model.clone(), config.rs, config.seed)?;
-    let decision_data = generate_decision_dataset(&mut teacher, &augmenter, &config.extraction)?;
+    let decision_data = match cached(|k| &k.decision) {
+        Some((store, key)) => store.load_decision(key)?,
+        None => {
+            let mut teacher = RandomShootingController::new(model.clone(), config.rs, config.seed)?;
+            let data = generate_decision_dataset(&mut teacher, &augmenter, &config.extraction)?;
+            if let (Some(store), Some(keys)) = (store, &keys) {
+                store.save_decision(keys, config, &data)?;
+            }
+            data
+        }
+    };
     stage("extraction", span.close());
     hvac_telemetry::info!(
         "decision dataset distilled: {} points x {} MC runs",
@@ -297,7 +393,16 @@ pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, Pipeli
 
     // 3. CART fitting.
     let span = hvac_telemetry::Span::enter("tree_fit");
-    let mut policy = fit_decision_tree(&decision_data, &config.tree)?;
+    let mut policy = match cached(|k| &k.tree) {
+        Some((store, key)) => store.load_tree(key)?,
+        None => {
+            let policy = fit_decision_tree(&decision_data, &config.tree)?;
+            if let (Some(store), Some(keys)) = (store, &keys) {
+                store.save_tree(keys, config, &policy)?;
+            }
+            policy
+        }
+    };
     stage("tree_fit", span.close());
     hvac_telemetry::info!(
         "decision tree fitted: {} nodes, depth {}",
@@ -307,7 +412,20 @@ pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, Pipeli
 
     // 4. Offline verification + in-place correction.
     let span = hvac_telemetry::Span::enter("verification");
-    let report = verify_and_correct(&mut policy, &model, &augmenter, &config.verification)?;
+    let report = match cached(|k| &k.verified) {
+        Some((store, key)) => {
+            let (verified_policy, report) = store.load_verified(key)?;
+            policy = verified_policy;
+            report
+        }
+        None => {
+            let report = verify_and_correct(&mut policy, &model, &augmenter, &config.verification)?;
+            if let (Some(store), Some(keys)) = (store, &keys) {
+                store.save_verified(keys, config, &policy, &report)?;
+            }
+            report
+        }
+    };
     stage("verification", span.close());
     hvac_telemetry::info!(
         "verification: {} leaves, {} corrected (crit. #2), {} corrected (crit. #3)",
@@ -317,12 +435,7 @@ pub fn run_pipeline(config: &PipelineConfig) -> Result<PipelineArtifacts, Pipeli
     );
 
     drop(pipeline_span);
-    let telemetry = TelemetrySummary::from_snapshots(
-        &before,
-        &hvac_telemetry::snapshot(),
-        started.elapsed(),
-        stages,
-    );
+    let telemetry = TelemetrySummary::from_scope(&run_scope, started.elapsed(), stages);
     hvac_telemetry::flush();
 
     Ok(PipelineArtifacts {

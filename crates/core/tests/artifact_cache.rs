@@ -1,0 +1,108 @@
+//! Cache semantics of the content-addressed pipeline: a warm re-run
+//! hits every stage and reproduces bit-identical artifacts, a config
+//! change invalidates exactly the downstream stages, and concurrent
+//! runs keep their telemetry summaries non-interleaved.
+
+use std::path::PathBuf;
+use veri_hvac::env::EnvConfig;
+use veri_hvac::pipeline::{run_pipeline, run_pipeline_cached, PipelineConfig};
+use veri_hvac::ArtifactStore;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("veri-hvac-cache-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_rerun_hits_every_stage_with_bit_identical_artifacts() {
+    let root = temp_store("warm");
+    let store = ArtifactStore::open(&root).unwrap();
+    let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+
+    let cold = run_pipeline_cached(&config, &store).unwrap();
+    assert_eq!(
+        cold.telemetry.counter("cache.hits"),
+        0,
+        "cold run must miss"
+    );
+    assert_eq!(cold.telemetry.counter("cache.misses"), 6);
+
+    let warm = run_pipeline_cached(&config, &store).unwrap();
+    assert_eq!(warm.telemetry.counter("cache.hits"), 6, "warm run must hit");
+    assert_eq!(warm.telemetry.counter("cache.misses"), 0);
+
+    // Every artifact loads back bit-identical to what the cold run
+    // computed — the serializers round-trip exactly and the augmenter
+    // refit is deterministic.
+    assert_eq!(
+        cold.historical.to_compact_string(),
+        warm.historical.to_compact_string()
+    );
+    assert_eq!(
+        cold.model.to_compact_string(),
+        warm.model.to_compact_string()
+    );
+    assert_eq!(
+        cold.augmenter.to_compact_string(),
+        warm.augmenter.to_compact_string()
+    );
+    assert_eq!(
+        cold.decision_data.to_compact_string(),
+        warm.decision_data.to_compact_string()
+    );
+    assert_eq!(
+        cold.policy.to_compact_string(),
+        warm.policy.to_compact_string()
+    );
+    assert_eq!(cold.report, warm.report);
+
+    // A cached run is equivalent to an uncached one.
+    let uncached = run_pipeline(&config).unwrap();
+    assert_eq!(
+        uncached.policy.to_compact_string(),
+        warm.policy.to_compact_string()
+    );
+    assert_eq!(uncached.report, warm.report);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn noise_change_misses_exactly_the_downstream_stages() {
+    let root = temp_store("noise");
+    let store = ArtifactStore::open(&root).unwrap();
+    let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+    run_pipeline_cached(&config, &store).unwrap();
+
+    // noise_level feeds the augmenter: historical data and the dynamics
+    // model stay valid, the other four stages recompute.
+    let mut noisier = config.clone();
+    noisier.noise_level = 0.09;
+    let run = run_pipeline_cached(&noisier, &store).unwrap();
+    assert_eq!(run.telemetry.counter("cache.hits"), 2);
+    assert_eq!(run.telemetry.counter("cache.misses"), 4);
+    assert!((run.augmenter.noise_level() - 0.09).abs() < f64::EPSILON);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_runs_report_non_interleaved_telemetry() {
+    let config = PipelineConfig::quick(EnvConfig::pittsburgh());
+    let expected_points = config.extraction.n_points as u64;
+    let expected_rollouts = expected_points * config.extraction.mc_runs as u64;
+
+    // Two pipelines in flight at once: each summary must count exactly
+    // its own run's work, not the process-global total.
+    let (a, b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| run_pipeline(&config).unwrap());
+        let hb = scope.spawn(|| run_pipeline(&config).unwrap());
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    for run in [&a, &b] {
+        assert_eq!(run.telemetry.counter("extract.points"), expected_points);
+        assert_eq!(run.telemetry.rollouts(), expected_rollouts);
+    }
+}

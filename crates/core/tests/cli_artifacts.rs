@@ -1,0 +1,202 @@
+//! CLI regression tests for the artifact-carrying subcommands: extract
+//! must persist the augmenter it actually used, verify must load that
+//! augmenter (never refit at a hard-coded noise level), legacy artifact
+//! dirs must fail with a clear message, and sweep must be cache-warm
+//! deterministic regardless of thread count.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_veri_hvac");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("veri-hvac-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn veri_hvac binary")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn verify_uses_the_persisted_augmenter_not_a_hardcoded_refit() {
+    let out_dir = temp_dir("extract-verify");
+    let out = out_dir.to_str().unwrap();
+
+    // Extract at a noise level that differs from both the config
+    // default (0.01) and the old hard-coded refit (0.01): if verify
+    // refits instead of loading, the notice below cannot appear.
+    let extract = run(&[
+        "extract",
+        "--city",
+        "pittsburgh",
+        "--noise",
+        "0.05",
+        "--out-dir",
+        out,
+        "--quiet",
+    ]);
+    assert!(
+        extract.status.success(),
+        "extract failed: {}",
+        stderr(&extract)
+    );
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(
+        manifest.contains("\"noise_level\":0.05"),
+        "manifest must record the extraction noise level: {manifest}"
+    );
+    assert!(out_dir.join("augmenter.aug").is_file());
+
+    let verify = run(&["verify", "--artifacts", out, "--samples", "200", "--quiet"]);
+    assert!(
+        verify.status.success(),
+        "verify failed: {}",
+        stderr(&verify)
+    );
+    let text = stdout(&verify);
+    assert!(
+        text.contains("using persisted augmenter (noise 0.05)"),
+        "verify must use the manifest's augmenter: {text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn verify_rejects_legacy_artifact_dirs_with_a_clear_error() {
+    let src_dir = temp_dir("legacy-src");
+    let src = src_dir.to_str().unwrap();
+    let extract = run(&[
+        "extract",
+        "--city",
+        "pittsburgh",
+        "--out-dir",
+        src,
+        "--quiet",
+    ]);
+    assert!(
+        extract.status.success(),
+        "extract failed: {}",
+        stderr(&extract)
+    );
+
+    // A pre-manifest layout: policy + model only.
+    let legacy_dir = temp_dir("legacy");
+    std::fs::create_dir_all(&legacy_dir).unwrap();
+    for file in ["policy.dtree", "model.dynmodel"] {
+        std::fs::copy(src_dir.join(file), legacy_dir.join(file)).unwrap();
+    }
+
+    let verify = run(&[
+        "verify",
+        "--artifacts",
+        legacy_dir.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(!verify.status.success(), "legacy dir must be rejected");
+    let text = stderr(&verify);
+    assert!(
+        text.contains("predates persisted augmenters"),
+        "error must explain the legacy layout: {text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&src_dir);
+    let _ = std::fs::remove_dir_all(&legacy_dir);
+}
+
+#[test]
+fn sweep_is_warm_cache_resumable_and_thread_count_invariant() {
+    let cache_dir = temp_dir("sweep-cache");
+    let cache = cache_dir.to_str().unwrap();
+    let cold_out_dir = temp_dir("sweep-cold");
+    let warm_out_dir = temp_dir("sweep-warm");
+    let single_out_dir = temp_dir("sweep-single");
+
+    let sweep = |threads: &str, out: &PathBuf| {
+        run(&[
+            "sweep",
+            "--cities",
+            "pittsburgh",
+            "--seeds",
+            "0..2",
+            "--threads",
+            threads,
+            "--cache-dir",
+            cache,
+            "--out",
+            out.to_str().unwrap(),
+            "--quiet",
+        ])
+    };
+
+    let cold = sweep("2", &cold_out_dir);
+    assert!(
+        cold.status.success(),
+        "cold sweep failed: {}",
+        stderr(&cold)
+    );
+    let cold_summary = std::fs::read_to_string(cold_out_dir.join("sweep-summary.json")).unwrap();
+    assert!(
+        cold_summary.contains("\"cache_hits\":0"),
+        "cold sweep must miss everything: {cold_summary}"
+    );
+    assert!(cold_out_dir.join("run-pittsburgh-seed0.json").is_file());
+    assert!(cold_out_dir.join("run-pittsburgh-seed1.json").is_file());
+
+    // Second pass over the same cache: every stage of every run hits.
+    let warm = sweep("2", &warm_out_dir);
+    assert!(
+        warm.status.success(),
+        "warm sweep failed: {}",
+        stderr(&warm)
+    );
+    let warm_summary = std::fs::read_to_string(warm_out_dir.join("sweep-summary.json")).unwrap();
+    assert!(
+        warm_summary.contains("\"cache_misses\":0"),
+        "warm sweep must hit everything: {warm_summary}"
+    );
+
+    // Reports carry no wall times: output is byte-identical whether the
+    // pool has one worker or several.
+    let single = sweep("1", &single_out_dir);
+    assert!(
+        single.status.success(),
+        "single-thread sweep failed: {}",
+        stderr(&single)
+    );
+    let single_summary =
+        std::fs::read_to_string(single_out_dir.join("sweep-summary.json")).unwrap();
+    assert_eq!(
+        warm_summary, single_summary,
+        "sweep output must not depend on --threads"
+    );
+
+    // Verification results are identical cold and warm, and every run
+    // appears in the aggregate in (city, seed) order.
+    let strip_cache = |s: &str| {
+        s.replace("\"cache_hits\":0", "")
+            .replace("\"cache_hits\":12", "")
+            .replace("\"cache_misses\":0", "")
+            .replace("\"cache_misses\":12", "")
+            .replace("\"cache_hits\":6", "")
+            .replace("\"cache_misses\":6", "")
+    };
+    assert_eq!(strip_cache(&cold_summary), strip_cache(&warm_summary));
+
+    for dir in [&cache_dir, &cold_out_dir, &warm_out_dir, &single_out_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -17,12 +17,15 @@
 //! …
 //! ```
 
+use crate::dataset::TransitionDataset;
 use crate::error::DynamicsError;
 use crate::model::DynamicsModel;
 use crate::normalize::Normalizer;
+use hvac_env::{Observation, SetpointAction, Transition, POLICY_INPUT_DIM};
 use hvac_nn::Mlp;
 
 const FORMAT_HEADER: &str = "dynmodel v1";
+const DATASET_HEADER: &str = "transitions v1";
 
 fn bad() -> DynamicsError {
     DynamicsError::NotEnoughData { got: 0, needed: 1 }
@@ -117,6 +120,80 @@ impl DynamicsModel {
     }
 }
 
+impl TransitionDataset {
+    /// Serializes the historical dataset, one transition per line:
+    /// the 7 observation features, the two integer setpoints, and the
+    /// recorded next zone temperature. Floats are written with `{:?}`
+    /// so parsing them back is bitwise-exact.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(DATASET_HEADER);
+        out.push('\n');
+        out.push_str(&format!("n {}\n", self.len()));
+        for t in self.iter() {
+            out.push('t');
+            for v in t.observation.to_vector() {
+                out.push(' ');
+                out.push_str(&format!("{v:?}"));
+            }
+            out.push_str(&format!(
+                " {} {} {:?}\n",
+                t.action.heating(),
+                t.action.cooling(),
+                t.next_zone_temperature
+            ));
+        }
+        out
+    }
+
+    /// Parses a dataset from the compact text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DynamicsError`] on a bad header, a transition count
+    /// that does not match the body, or any malformed row (including
+    /// out-of-range setpoints).
+    pub fn from_compact_string(text: &str) -> Result<Self, DynamicsError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(DATASET_HEADER) {
+            return Err(bad());
+        }
+        let n = lines
+            .next()
+            .and_then(|l| l.strip_prefix("n "))
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .ok_or_else(bad)?;
+        let mut transitions = Vec::with_capacity(n);
+        for line in lines {
+            let rest = line.strip_prefix("t ").ok_or_else(bad)?;
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != POLICY_INPUT_DIM + 3 {
+                return Err(bad());
+            }
+            let mut obs = [0.0; POLICY_INPUT_DIM];
+            for (slot, tok) in obs.iter_mut().zip(&tokens[..POLICY_INPUT_DIM]) {
+                *slot = tok.parse::<f64>().map_err(|_| bad())?;
+            }
+            let heating = tokens[POLICY_INPUT_DIM].parse::<i32>().map_err(|_| bad())?;
+            let cooling = tokens[POLICY_INPUT_DIM + 1]
+                .parse::<i32>()
+                .map_err(|_| bad())?;
+            let next = tokens[POLICY_INPUT_DIM + 2]
+                .parse::<f64>()
+                .map_err(|_| bad())?;
+            transitions.push(Transition {
+                observation: Observation::from_vector(&obs),
+                action: SetpointAction::new(heating, cooling).map_err(|_| bad())?,
+                next_zone_temperature: next,
+            });
+        }
+        if transitions.len() != n {
+            return Err(bad());
+        }
+        Ok(TransitionDataset::from_transitions(transitions))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::dataset::TransitionDataset;
@@ -182,6 +259,38 @@ mod tests {
         ] {
             assert!(
                 DynamicsModel::from_compact_string(text).is_err(),
+                "accepted {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_roundtrip_is_bitwise_exact() {
+        let config = hvac_env::EnvConfig::pittsburgh().with_episode_steps(24);
+        let data = crate::dataset::collect_historical_dataset(&config, 2, 5).unwrap();
+        let restored = TransitionDataset::from_compact_string(&data.to_compact_string()).unwrap();
+        assert_eq!(data, restored);
+    }
+
+    #[test]
+    fn dataset_roundtrip_empty() {
+        let empty = TransitionDataset::new();
+        let restored = TransitionDataset::from_compact_string(&empty.to_compact_string()).unwrap();
+        assert_eq!(empty, restored);
+    }
+
+    #[test]
+    fn dataset_rejects_garbage() {
+        for text in [
+            "",
+            "transitions v9\nn 0\n",
+            "transitions v1\nn 2\nt 1 2 3 4 5 6 7 18 26 20.5\n", // count mismatch
+            "transitions v1\nn 1\nt 1 2 3 4 5 6 7 18 26\n",      // short row
+            "transitions v1\nn 1\nt 1 2 3 4 5 6 7 99 26 20.5\n", // illegal setpoint
+            "transitions v1\nn 1\nx 1 2 3 4 5 6 7 18 26 20.5\n", // bad prefix
+        ] {
+            assert!(
+                TransitionDataset::from_compact_string(text).is_err(),
                 "accepted {text:?}"
             );
         }

@@ -85,6 +85,13 @@ impl NoiseAugmenter {
         &self.noise_scales
     }
 
+    /// The historical rows backing the sampler (serialization support;
+    /// refitting on these rows with [`NoiseAugmenter::noise_level`]
+    /// reconstructs the augmenter exactly).
+    pub fn rows(&self) -> &[[f64; POLICY_INPUT_DIM]] {
+        &self.rows
+    }
+
     /// Draws one augmented input vector: a uniformly random historical
     /// row plus element-wise Gaussian noise. Physically impossible
     /// results are clamped (humidity into `[0, 100]`, wind/solar/

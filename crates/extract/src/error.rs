@@ -22,6 +22,11 @@ pub enum ExtractError {
     },
     /// The decision dataset was empty (nothing to fit).
     EmptyDecisionDataset,
+    /// A serialized artifact failed to parse.
+    BadArtifact {
+        /// Which artifact format was malformed.
+        what: &'static str,
+    },
     /// An underlying decision-tree error.
     Tree(hvac_dtree::TreeError),
     /// An underlying controller error.
@@ -43,6 +48,9 @@ impl fmt::Display for ExtractError {
                 write!(f, "extraction parameter {name} must be positive")
             }
             ExtractError::EmptyDecisionDataset => write!(f, "decision dataset is empty"),
+            ExtractError::BadArtifact { what } => {
+                write!(f, "malformed {what} artifact")
+            }
             ExtractError::Tree(e) => write!(f, "tree error: {e}"),
             ExtractError::Control(e) => write!(f, "controller error: {e}"),
             ExtractError::Stats(e) => write!(f, "statistics error: {e}"),

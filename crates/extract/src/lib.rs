@@ -30,6 +30,7 @@ pub mod decision;
 pub mod error;
 pub mod noise_study;
 pub mod parallel;
+pub mod serialize;
 
 pub use augment::NoiseAugmenter;
 pub use dagger::{extract_with_dagger, DaggerConfig, DaggerOutcome};

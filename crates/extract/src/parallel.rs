@@ -108,6 +108,10 @@ where
         Distillation::Mean | Distillation::Single => 1,
     };
 
+    // Workers record counters on their own threads; propagate the
+    // caller's telemetry scope (if any) so a `RunScope`-attributed run
+    // still sees the fanned-out work as its own.
+    let run_scope = hvac_telemetry::current_scope();
     let labels_per_chunk = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
@@ -115,7 +119,9 @@ where
             .map(|(w, chunk_inputs)| {
                 let worker_predictor = predictor.clone();
                 let worker_space = space.clone();
+                let worker_scope = run_scope.clone();
                 scope.spawn(move |_| -> Result<Vec<usize>, ExtractError> {
+                    let _scope_guard = worker_scope.as_ref().map(|s| s.enter());
                     let mut controller = RandomShootingController::new(
                         worker_predictor,
                         rs_config,

@@ -1,0 +1,240 @@
+//! Compact text serialization of extraction-stage artifacts.
+//!
+//! Same conventions as `hvac_dynamics::serialize`: a one-line versioned
+//! header, floats written with `{:?}` so parsing is bitwise-exact, one
+//! record per line.
+//!
+//! The [`NoiseAugmenter`] format stores the historical rows and the
+//! noise level and *refits* on load — [`NoiseAugmenter::fit`] is a
+//! deterministic function of those two, so the reconstructed per-column
+//! scales are bit-identical to the originals.
+
+use crate::augment::NoiseAugmenter;
+use crate::decision::DecisionDataset;
+use crate::error::ExtractError;
+use hvac_env::POLICY_INPUT_DIM;
+
+const AUGMENTER_HEADER: &str = "augmenter v1";
+const DECISIONS_HEADER: &str = "decisions v1";
+
+fn write_row(out: &mut String, prefix: char, row: &[f64; POLICY_INPUT_DIM]) {
+    out.push(prefix);
+    for v in row {
+        out.push(' ');
+        out.push_str(&format!("{v:?}"));
+    }
+}
+
+fn parse_row(tokens: &[&str], what: &'static str) -> Result<[f64; POLICY_INPUT_DIM], ExtractError> {
+    if tokens.len() < POLICY_INPUT_DIM {
+        return Err(ExtractError::BadArtifact { what });
+    }
+    let mut row = [0.0; POLICY_INPUT_DIM];
+    for (slot, tok) in row.iter_mut().zip(tokens) {
+        *slot = tok
+            .parse::<f64>()
+            .map_err(|_| ExtractError::BadArtifact { what })?;
+    }
+    Ok(row)
+}
+
+fn parse_count(line: Option<&str>, what: &'static str) -> Result<usize, ExtractError> {
+    line.and_then(|l| l.strip_prefix("n "))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .ok_or(ExtractError::BadArtifact { what })
+}
+
+impl NoiseAugmenter {
+    /// Serializes the augmenter (noise level + backing rows).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(AUGMENTER_HEADER);
+        out.push('\n');
+        out.push_str(&format!("noise_level {:?}\n", self.noise_level()));
+        out.push_str(&format!("n {}\n", self.len()));
+        for row in self.rows() {
+            write_row(&mut out, 'r', row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses an augmenter from the compact text format, refitting on
+    /// the stored rows (bit-identical to the original).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::BadArtifact`] for malformed text and
+    /// propagates [`NoiseAugmenter::fit`] failures (empty rows, bad
+    /// noise level).
+    pub fn from_compact_string(text: &str) -> Result<Self, ExtractError> {
+        const WHAT: &str = "augmenter";
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(AUGMENTER_HEADER) {
+            return Err(ExtractError::BadArtifact { what: WHAT });
+        }
+        let noise_level = lines
+            .next()
+            .and_then(|l| l.strip_prefix("noise_level "))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .ok_or(ExtractError::BadArtifact { what: WHAT })?;
+        let n = parse_count(lines.next(), WHAT)?;
+        let mut rows = Vec::with_capacity(n);
+        for line in lines {
+            let rest = line
+                .strip_prefix("r ")
+                .ok_or(ExtractError::BadArtifact { what: WHAT })?;
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != POLICY_INPUT_DIM {
+                return Err(ExtractError::BadArtifact { what: WHAT });
+            }
+            rows.push(parse_row(&tokens, WHAT)?);
+        }
+        if rows.len() != n {
+            return Err(ExtractError::BadArtifact { what: WHAT });
+        }
+        NoiseAugmenter::fit(rows, noise_level)
+    }
+}
+
+impl DecisionDataset {
+    /// Serializes the decision dataset, one `(x, a*)` pair per line.
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(DECISIONS_HEADER);
+        out.push('\n');
+        out.push_str(&format!("n {}\n", self.len()));
+        for (input, label) in self.inputs().iter().zip(self.labels()) {
+            write_row(&mut out, 'd', input);
+            out.push_str(&format!(" {label}\n"));
+        }
+        out
+    }
+
+    /// Parses a decision dataset from the compact text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::BadArtifact`] for malformed text.
+    pub fn from_compact_string(text: &str) -> Result<Self, ExtractError> {
+        const WHAT: &str = "decision dataset";
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(DECISIONS_HEADER) {
+            return Err(ExtractError::BadArtifact { what: WHAT });
+        }
+        let n = parse_count(lines.next(), WHAT)?;
+        let mut dataset = DecisionDataset::new();
+        for line in lines {
+            let rest = line
+                .strip_prefix("d ")
+                .ok_or(ExtractError::BadArtifact { what: WHAT })?;
+            let tokens: Vec<&str> = rest.split_whitespace().collect();
+            if tokens.len() != POLICY_INPUT_DIM + 1 {
+                return Err(ExtractError::BadArtifact { what: WHAT });
+            }
+            let input = parse_row(&tokens[..POLICY_INPUT_DIM], WHAT)?;
+            let label = tokens[POLICY_INPUT_DIM]
+                .parse::<usize>()
+                .map_err(|_| ExtractError::BadArtifact { what: WHAT })?;
+            dataset.push(input, label);
+        }
+        if dataset.len() != n {
+            return Err(ExtractError::BadArtifact { what: WHAT });
+        }
+        Ok(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<[f64; POLICY_INPUT_DIM]> {
+        (0..50)
+            .map(|i| {
+                [
+                    18.0 + (i % 10) as f64 * 0.3,
+                    -5.0 + (i % 7) as f64 * 1.7,
+                    70.0 + (i % 4) as f64,
+                    4.0,
+                    100.0 * (i % 5) as f64,
+                    (i % 3) as f64,
+                    (i % 24) as f64 + 0.25,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn augmenter_roundtrip_is_bitwise_exact() {
+        let a = NoiseAugmenter::fit(rows(), 0.05).unwrap();
+        let restored = NoiseAugmenter::from_compact_string(&a.to_compact_string()).unwrap();
+        assert_eq!(a, restored);
+        assert_eq!(a.noise_scales(), restored.noise_scales());
+        // Same RNG stream → same samples.
+        use hvac_stats::seeded_rng;
+        assert_eq!(
+            a.sample_many(&mut seeded_rng(3), 8),
+            restored.sample_many(&mut seeded_rng(3), 8)
+        );
+    }
+
+    #[test]
+    fn augmenter_preserves_noise_level() {
+        for level in [0.0, 0.01, 0.05, 0.09] {
+            let a = NoiseAugmenter::fit(rows(), level).unwrap();
+            let restored = NoiseAugmenter::from_compact_string(&a.to_compact_string()).unwrap();
+            assert_eq!(restored.noise_level(), level);
+        }
+    }
+
+    #[test]
+    fn augmenter_rejects_garbage() {
+        for text in [
+            "",
+            "augmenter v9\nnoise_level 0.05\nn 0\n",
+            "augmenter v1\nnoise_level nope\nn 0\n",
+            "augmenter v1\nnoise_level 0.05\nn 2\nr 1 2 3 4 5 6 7\n", // count mismatch
+            "augmenter v1\nnoise_level 0.05\nn 1\nr 1 2 3\n",         // short row
+            "augmenter v1\nnoise_level 0.05\nn 0\n",                  // empty → fit() rejects
+        ] {
+            assert!(
+                NoiseAugmenter::from_compact_string(text).is_err(),
+                "accepted {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decisions_roundtrip_is_bitwise_exact() {
+        let mut d = DecisionDataset::new();
+        for (i, row) in rows().into_iter().enumerate() {
+            d.push(row, i % 90);
+        }
+        let restored = DecisionDataset::from_compact_string(&d.to_compact_string()).unwrap();
+        assert_eq!(d, restored);
+    }
+
+    #[test]
+    fn decisions_roundtrip_empty() {
+        let d = DecisionDataset::new();
+        let restored = DecisionDataset::from_compact_string(&d.to_compact_string()).unwrap();
+        assert_eq!(d, restored);
+    }
+
+    #[test]
+    fn decisions_rejects_garbage() {
+        for text in [
+            "",
+            "decisions v9\nn 0\n",
+            "decisions v1\nn 2\nd 1 2 3 4 5 6 7 12\n", // count mismatch
+            "decisions v1\nn 1\nd 1 2 3 4 5 6 7\n",    // missing label
+            "decisions v1\nn 1\nd 1 2 3 4 5 6 7 -2\n", // negative label
+        ] {
+            assert!(
+                DecisionDataset::from_compact_string(text).is_err(),
+                "accepted {text:?}"
+            );
+        }
+    }
+}

@@ -22,10 +22,12 @@
 //!   [`init_from_env`]) switches the JSONL sink on from the
 //!   environment.
 //!
-//! Per-run rollups are captured with [`registry::snapshot`] diffs and
-//! packaged as [`TelemetrySummary`] — the type `PipelineArtifacts`
-//! embeds so callers get stage wall times, rollout counts, tree-fit
-//! and verification work programmatically.
+//! Per-run rollups are captured with a [`RunScope`] (per-run
+//! attribution that stays correct under concurrent runs; snapshot
+//! diffs via [`registry::snapshot`] remain available for whole-process
+//! accounting) and packaged as [`TelemetrySummary`] — the type
+//! `PipelineArtifacts` embeds so callers get stage wall times, rollout
+//! counts, tree-fit and verification work programmatically.
 //!
 //! On top of the substrate sits a **live layer**, still std-only:
 //!
@@ -68,6 +70,7 @@ pub mod expose;
 pub mod http;
 pub mod json;
 pub mod registry;
+pub mod scope;
 mod sink;
 mod span;
 mod summary;
@@ -77,6 +80,7 @@ pub use registry::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
     RegistrySnapshot, LATENCY_BOUNDS_NS,
 };
+pub use scope::{current_scope, RunScope, ScopeGuard, ScopeHandle};
 pub use sink::{
     emit, emit_counter_deltas, flush, init_from_env, install_panic_flush_hook, message,
     message_enabled, process_elapsed_ns, set_sink, sink_active, thread_id, Event, JsonlSink, Level,

@@ -18,13 +18,17 @@ use std::sync::{Mutex, OnceLock};
 /// A monotonically increasing counter.
 #[derive(Debug, Clone, Copy)]
 pub struct Counter {
+    name: &'static str,
     cell: &'static AtomicU64,
 }
 
 impl Counter {
-    /// Adds `n` (relaxed; safe from any thread).
+    /// Adds `n` (relaxed; safe from any thread). When the calling
+    /// thread is inside a [`crate::RunScope`], the delta is additionally
+    /// attributed to that scope (see [`crate::scope`]).
     pub fn add(&self, n: u64) {
         self.cell.fetch_add(n, Ordering::Relaxed);
+        crate::scope::record_counter(self.name, n);
     }
 
     /// Adds one.
@@ -69,6 +73,7 @@ impl Gauge {
 /// above the last bound. Bounds are fixed at registration.
 #[derive(Debug, Clone, Copy)]
 pub struct Histogram {
+    name: &'static str,
     inner: &'static HistogramCells,
 }
 
@@ -82,7 +87,9 @@ pub(crate) struct HistogramCells {
 }
 
 impl Histogram {
-    /// Records one sample.
+    /// Records one sample. When the calling thread is inside a
+    /// [`crate::RunScope`], the sample is additionally attributed to
+    /// that scope (see [`crate::scope`]).
     pub fn record(&self, value: u64) {
         let cells = self.inner;
         let idx = cells
@@ -94,6 +101,7 @@ impl Histogram {
         cells.count.fetch_add(1, Ordering::Relaxed);
         cells.sum.fetch_add(value, Ordering::Relaxed);
         cells.max.fetch_max(value, Ordering::Relaxed);
+        crate::scope::record_histogram(self.name, &cells.bounds, value);
     }
 
     /// Number of recorded samples.
@@ -159,10 +167,10 @@ fn registry() -> &'static Registry {
 fn intern_cell(
     map: &Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
     name: &str,
-) -> &'static AtomicU64 {
+) -> (&'static str, &'static AtomicU64) {
     let mut map = map.lock().expect("registry mutex poisoned");
-    if let Some(cell) = map.get(name) {
-        return cell;
+    if let Some((&key, &cell)) = map.get_key_value(name) {
+        return (key, cell);
     }
     // First registration of this name: leak the cell (and, for
     // dynamically built names, the name). Leaks are bounded by the
@@ -170,7 +178,7 @@ fn intern_cell(
     let key: &'static str = Box::leak(name.to_owned().into_boxed_str());
     let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
     map.insert(key, cell);
-    cell
+    (key, cell)
 }
 
 /// Returns (registering on first use) the counter called `name`.
@@ -178,16 +186,14 @@ fn intern_cell(
 /// Accepts non-static names (they are interned); hot paths should call
 /// this once and keep the returned handle.
 pub fn counter(name: &str) -> Counter {
-    Counter {
-        cell: intern_cell(&registry().counters, name),
-    }
+    let (name, cell) = intern_cell(&registry().counters, name);
+    Counter { name, cell }
 }
 
 /// Returns (registering on first use) the gauge called `name`.
 pub fn gauge(name: &str) -> Gauge {
-    Gauge {
-        cell: intern_cell(&registry().gauges, name),
-    }
+    let (_, cell) = intern_cell(&registry().gauges, name);
+    Gauge { cell }
 }
 
 /// Returns (registering on first use) the histogram called `name` with
@@ -199,8 +205,11 @@ pub fn histogram(name: &str, bounds: &[u64]) -> Histogram {
         .histograms
         .lock()
         .expect("registry mutex poisoned");
-    if let Some(cells) = map.get(name) {
-        return Histogram { inner: cells };
+    if let Some((&key, &cells)) = map.get_key_value(name) {
+        return Histogram {
+            name: key,
+            inner: cells,
+        };
     }
     let mut sorted = bounds.to_vec();
     sorted.sort_unstable();
@@ -215,7 +224,10 @@ pub fn histogram(name: &str, bounds: &[u64]) -> Histogram {
     }));
     let key: &'static str = Box::leak(name.to_owned().into_boxed_str());
     map.insert(key, cells);
-    Histogram { inner: cells }
+    Histogram {
+        name: key,
+        inner: cells,
+    }
 }
 
 /// A point-in-time copy of one registered histogram.

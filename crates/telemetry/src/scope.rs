@@ -1,0 +1,283 @@
+//! Per-run metric attribution.
+//!
+//! The registry is process-global and cumulative: diffing two
+//! [`crate::registry::snapshot`]s attributes *everything* the process
+//! did in between, including work done by concurrent pipeline runs. A
+//! [`RunScope`] fixes that: while a thread is inside a scope, every
+//! [`crate::Counter::add`] and [`crate::Histogram::record`] it performs
+//! is *also* tallied into the scope's private map (the global registry
+//! still sees the update). Reading the scope back gives exactly the
+//! work this run did, no matter what the rest of the process was doing.
+//!
+//! Scopes are entered per thread. Code that fans work out to its own
+//! worker threads propagates the scope by capturing
+//! [`current_scope`] before the spawn and entering the returned
+//! [`ScopeHandle`] inside each worker (see `hvac-extract`'s parallel
+//! generator for the pattern).
+//!
+//! ```
+//! use hvac_telemetry as telemetry;
+//!
+//! let scope = telemetry::RunScope::new();
+//! {
+//!     let _guard = scope.handle().enter();
+//!     telemetry::counter("demo.scope.work").add(3);
+//! }
+//! assert_eq!(scope.counters().get("demo.scope.work"), Some(&3));
+//! ```
+
+use crate::registry::HistogramSnapshot;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct ScopeData {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, HistogramSnapshot>>,
+}
+
+thread_local! {
+    /// Stack of scopes active on this thread (innermost last). Updates
+    /// are attributed to every active scope so nested scopes both see
+    /// the work.
+    static ACTIVE: RefCell<Vec<Arc<ScopeData>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A per-run metric collector.
+///
+/// Create one per logical run, [`ScopeHandle::enter`] it on every
+/// thread doing that run's work, and read the attributed deltas back
+/// with [`RunScope::counters`] / [`RunScope::histograms`] once the run
+/// finishes.
+#[derive(Debug, Default)]
+pub struct RunScope {
+    data: Arc<ScopeData>,
+}
+
+impl RunScope {
+    /// Creates an empty scope (not yet active on any thread).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cheap, sendable handle for entering this scope on a thread.
+    pub fn handle(&self) -> ScopeHandle {
+        ScopeHandle {
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Every counter delta attributed to this scope so far.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.data.counters.lock().expect("scope mutex").clone()
+    }
+
+    /// Every histogram attributed to this scope so far (bounds mirror
+    /// the global registration; buckets/count/sum/max cover only the
+    /// scoped samples).
+    pub fn histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        self.data.histograms.lock().expect("scope mutex").clone()
+    }
+}
+
+/// A sendable handle to a [`RunScope`], used to activate it on worker
+/// threads.
+#[derive(Debug, Clone)]
+pub struct ScopeHandle {
+    data: Arc<ScopeData>,
+}
+
+impl ScopeHandle {
+    /// Activates the scope on the calling thread until the returned
+    /// guard drops. Nesting is allowed; updates count toward every
+    /// active scope.
+    pub fn enter(&self) -> ScopeGuard {
+        ACTIVE.with(|stack| stack.borrow_mut().push(Arc::clone(&self.data)));
+        ScopeGuard {
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+/// RAII guard deactivating the scope on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    data: Arc<ScopeData>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop *this* guard's scope; guards normally drop in LIFO
+            // order, but be robust to out-of-order drops.
+            if let Some(pos) = stack.iter().rposition(|d| Arc::ptr_eq(d, &self.data)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// The innermost scope active on the calling thread, if any. Capture
+/// this before spawning workers and [`ScopeHandle::enter`] it inside
+/// each, so their metric updates stay attributed to the run.
+pub fn current_scope() -> Option<ScopeHandle> {
+    ACTIVE.with(|stack| {
+        stack.borrow().last().map(|data| ScopeHandle {
+            data: Arc::clone(data),
+        })
+    })
+}
+
+/// Attributes a counter delta to every scope active on this thread.
+/// Called by [`crate::Counter::add`]; a no-op (one thread-local read)
+/// when no scope is active.
+pub(crate) fn record_counter(name: &str, n: u64) {
+    ACTIVE.with(|stack| {
+        for data in stack.borrow().iter() {
+            let mut counters = data.counters.lock().expect("scope mutex");
+            match counters.get_mut(name) {
+                Some(v) => *v += n,
+                None => {
+                    counters.insert(name.to_owned(), n);
+                }
+            }
+        }
+    });
+}
+
+/// Attributes a histogram sample to every scope active on this thread.
+/// Called by [`crate::Histogram::record`].
+pub(crate) fn record_histogram(name: &str, bounds: &[u64], value: u64) {
+    ACTIVE.with(|stack| {
+        for data in stack.borrow().iter() {
+            let mut histograms = data.histograms.lock().expect("scope mutex");
+            let h = histograms
+                .entry(name.to_owned())
+                .or_insert_with(|| HistogramSnapshot {
+                    bounds: bounds.to_vec(),
+                    buckets: vec![0; bounds.len() + 1],
+                    count: 0,
+                    sum: 0,
+                    max: 0,
+                });
+            let idx = h
+                .bounds
+                .iter()
+                .position(|&b| value <= b)
+                .unwrap_or(h.bounds.len());
+            h.buckets[idx] += 1;
+            h.count += 1;
+            h.sum += value;
+            h.max = h.max.max(value);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter, histogram};
+
+    #[test]
+    fn scoped_counters_are_attributed_and_global_still_moves() {
+        let c = counter("test.scope.basic");
+        let global_before = c.get();
+        let scope = RunScope::new();
+        {
+            let _guard = scope.handle().enter();
+            c.add(5);
+        }
+        c.add(2); // outside the scope
+        assert_eq!(scope.counters().get("test.scope.basic"), Some(&5));
+        assert_eq!(c.get() - global_before, 7);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_interleave() {
+        let shared = counter("test.scope.concurrent");
+        let scope_a = RunScope::new();
+        let scope_b = RunScope::new();
+        std::thread::scope(|s| {
+            let ha = scope_a.handle();
+            let hb = scope_b.handle();
+            s.spawn(move || {
+                let _guard = ha.enter();
+                for _ in 0..1000 {
+                    shared.incr();
+                }
+            });
+            s.spawn(move || {
+                let _guard = hb.enter();
+                for _ in 0..500 {
+                    shared.add(2);
+                }
+            });
+        });
+        assert_eq!(scope_a.counters().get("test.scope.concurrent"), Some(&1000));
+        assert_eq!(scope_b.counters().get("test.scope.concurrent"), Some(&1000));
+    }
+
+    #[test]
+    fn scope_propagates_to_workers_via_handle() {
+        let c = counter("test.scope.workers");
+        let scope = RunScope::new();
+        {
+            let _guard = scope.handle().enter();
+            let inherited = current_scope().expect("scope active");
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _worker_guard = inherited.enter();
+                    c.add(11);
+                });
+            });
+        }
+        assert_eq!(scope.counters().get("test.scope.workers"), Some(&11));
+    }
+
+    #[test]
+    fn no_scope_means_no_attribution() {
+        assert!(current_scope().is_none());
+        counter("test.scope.unscoped").add(3);
+        let scope = RunScope::new();
+        assert!(scope.counters().is_empty());
+    }
+
+    #[test]
+    fn nested_scopes_both_see_updates() {
+        let c = counter("test.scope.nested");
+        let outer = RunScope::new();
+        let inner = RunScope::new();
+        {
+            let _o = outer.handle().enter();
+            c.add(1);
+            {
+                let _i = inner.handle().enter();
+                c.add(10);
+            }
+            c.add(100);
+        }
+        assert_eq!(outer.counters().get("test.scope.nested"), Some(&111));
+        assert_eq!(inner.counters().get("test.scope.nested"), Some(&10));
+    }
+
+    #[test]
+    fn scoped_histograms_accumulate_bucket_counts() {
+        let h = histogram("test.scope.hist", &[10, 100]);
+        let scope = RunScope::new();
+        {
+            let _guard = scope.handle().enter();
+            h.record(5);
+            h.record(50);
+            h.record(500);
+        }
+        h.record(7); // unscoped
+        let snap = &scope.histograms()["test.scope.hist"];
+        assert_eq!(snap.buckets, vec![1, 1, 1]);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 555);
+        assert_eq!(snap.max, 500);
+        assert_eq!(snap.bounds, vec![10, 100]);
+    }
+}

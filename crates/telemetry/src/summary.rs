@@ -3,11 +3,14 @@
 //! [`TelemetrySummary`] is the snapshot type pipeline callers get back
 //! inside `PipelineArtifacts`: stage wall times plus the counters each
 //! run moved, with the headline numbers (rollouts, split evaluations,
-//! verification work) surfaced as typed accessors. Built by diffing
-//! [`crate::registry::snapshot`]s around the run, so it reflects
-//! exactly the work attributed between the two snapshots.
+//! verification work) surfaced as typed accessors. Built from a
+//! [`crate::RunScope`] ([`TelemetrySummary::from_scope`]) for exact
+//! per-run attribution, or by diffing [`crate::registry::snapshot`]s
+//! ([`TelemetrySummary::from_snapshots`]) when whole-process deltas
+//! are wanted.
 
 use crate::registry::{HistogramSnapshot, RegistrySnapshot};
+use crate::scope::RunScope;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -64,10 +67,12 @@ pub struct StageTiming {
 
 /// Everything telemetry observed during one pipeline run.
 ///
-/// Counters are process-global: when several pipelines run concurrently
-/// in one process, counter deltas include every concurrent run's work.
-/// Stage wall times are measured locally and are always exact for this
-/// run.
+/// Built with [`TelemetrySummary::from_scope`], counters and histograms
+/// cover exactly the work done inside that run's [`RunScope`], even
+/// when several pipelines run concurrently in one process. Built with
+/// [`TelemetrySummary::from_snapshots`], they are process-global deltas
+/// and include every concurrent run's work. Stage wall times are
+/// measured locally and are always exact for this run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetrySummary {
     /// End-to-end wall time of the run.
@@ -105,6 +110,24 @@ impl TelemetrySummary {
             total_wall,
             stages,
             counters: after.counter_deltas(before),
+            histograms,
+        }
+    }
+
+    /// Builds a summary from the metrics attributed to `scope`, plus
+    /// the locally measured stage timings. Unlike
+    /// [`TelemetrySummary::from_snapshots`], concurrent work outside
+    /// the scope is excluded.
+    pub fn from_scope(scope: &RunScope, total_wall: Duration, stages: Vec<StageTiming>) -> Self {
+        let histograms = scope
+            .histograms()
+            .iter()
+            .map(|(name, h)| (name.clone(), HistogramStats::from_snapshot(h)))
+            .collect();
+        Self {
+            total_wall,
+            stages,
+            counters: scope.counters(),
             histograms,
         }
     }
@@ -240,6 +263,19 @@ mod tests {
         let text = summary.to_string();
         assert!(text.contains("tree_fit"));
         assert!(text.contains("rollouts 0"));
+    }
+
+    #[test]
+    fn from_scope_excludes_unscoped_work() {
+        use crate::scope::RunScope;
+        let scope = RunScope::new();
+        {
+            let _guard = scope.handle().enter();
+            counter("test.summary.scoped").add(9);
+        }
+        counter("test.summary.scoped").add(4); // outside the scope
+        let summary = TelemetrySummary::from_scope(&scope, Duration::from_secs(1), Vec::new());
+        assert_eq!(summary.counter("test.summary.scoped"), 9);
     }
 
     #[test]

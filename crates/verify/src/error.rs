@@ -19,6 +19,11 @@ pub enum VerifyError {
     /// Rejection sampling failed to find a safe-start state (the
     /// augmented distribution never intersects the comfort range).
     NoSafeStates,
+    /// A serialized verification report failed to parse.
+    BadReport {
+        /// Which part of the report was malformed or missing.
+        what: &'static str,
+    },
     /// An underlying decision-tree error.
     Tree(hvac_dtree::TreeError),
     /// An underlying environment error.
@@ -38,6 +43,9 @@ impl fmt::Display for VerifyError {
                     f,
                     "could not sample any safe-start state from the input distribution"
                 )
+            }
+            VerifyError::BadReport { what } => {
+                write!(f, "malformed verification report: bad {what}")
             }
             VerifyError::Tree(e) => write!(f, "tree error: {e}"),
             VerifyError::Env(e) => write!(f, "environment error: {e}"),

@@ -6,6 +6,9 @@ use crate::probabilistic::{verify_criterion_1, SafeProbability};
 use hvac_control::{DtPolicy, Predictor};
 use hvac_env::ComfortRange;
 use hvac_extract::NoiseAugmenter;
+use hvac_telemetry::json::{self, ObjectWriter};
+
+const REPORT_FORMAT: &str = "verification_report v1";
 
 /// Settings for the full verification pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +64,63 @@ impl VerificationReport {
     pub fn verified(&self) -> bool {
         self.criterion_1.verified()
     }
+
+    /// Conservative variant of [`VerificationReport::verified`]: the
+    /// Wilson lower bound at `z` standard normal quantiles (e.g. `1.96`
+    /// for 95%) must clear the threshold, not just the point estimate.
+    pub fn verified_conservative(&self, z: f64) -> bool {
+        self.criterion_1.verified_conservative(z)
+    }
+
+    /// Serializes the report as a flat JSON object.
+    pub fn to_json_string(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.str_field("format", REPORT_FORMAT);
+        o.u64_field("total_nodes", self.total_nodes as u64);
+        o.u64_field("leaf_nodes", self.leaf_nodes as u64);
+        o.u64_field("safe", self.criterion_1.safe as u64);
+        o.u64_field("total", self.criterion_1.total as u64);
+        o.f64_field("threshold", self.criterion_1.threshold);
+        o.u64_field("corrected_criterion_2", self.corrected_criterion_2 as u64);
+        o.u64_field("corrected_criterion_3", self.corrected_criterion_3 as u64);
+        o.finish()
+    }
+
+    /// Parses a report from [`VerificationReport::to_json_string`]
+    /// output. The float threshold round-trips bitwise (written with
+    /// `{:?}` precision).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::BadReport`] for malformed JSON, a missing
+    /// field, or an unknown format tag.
+    pub fn from_json_string(text: &str) -> Result<Self, VerifyError> {
+        let bad = |what: &'static str| VerifyError::BadReport { what };
+        let v = json::parse(text).map_err(|_| bad("json"))?;
+        if v.get("format").and_then(|f| f.as_str()) != Some(REPORT_FORMAT) {
+            return Err(bad("format"));
+        }
+        let u = |name: &'static str| {
+            v.get(name)
+                .and_then(|x| x.as_u64())
+                .map(|x| x as usize)
+                .ok_or(bad(name))
+        };
+        Ok(Self {
+            total_nodes: u("total_nodes")?,
+            leaf_nodes: u("leaf_nodes")?,
+            criterion_1: SafeProbability {
+                safe: u("safe")?,
+                total: u("total")?,
+                threshold: v
+                    .get("threshold")
+                    .and_then(|x| x.as_f64())
+                    .ok_or(bad("threshold"))?,
+            },
+            corrected_criterion_2: u("corrected_criterion_2")?,
+            corrected_criterion_3: u("corrected_criterion_3")?,
+        })
+    }
 }
 
 impl std::fmt::Display for VerificationReport {
@@ -79,6 +139,13 @@ impl std::fmt::Display for VerificationReport {
             f,
             "Safe probability estimated by crit. #1  {:.1}%",
             100.0 * self.criterion_1.probability()
+        )?;
+        let (lo, hi) = self.criterion_1.wilson_interval(1.96);
+        writeln!(
+            f,
+            "95% Wilson interval for crit. #1        [{:.1}%, {:.1}%]",
+            100.0 * lo,
+            100.0 * hi
         )?;
         writeln!(
             f,
@@ -246,6 +313,75 @@ mod tests {
         assert!(s.contains("crit. #1"));
         assert!(s.contains("crit. #2"));
         assert!(s.contains("crit. #3"));
+    }
+
+    #[test]
+    fn display_includes_wilson_interval() {
+        let report = VerificationReport {
+            total_nodes: 11,
+            leaf_nodes: 6,
+            criterion_1: SafeProbability {
+                safe: 95,
+                total: 100,
+                threshold: 0.9,
+            },
+            corrected_criterion_2: 1,
+            corrected_criterion_3: 0,
+        };
+        let s = report.to_string();
+        assert!(s.contains("Wilson interval"), "{s}");
+        let (lo, hi) = report.criterion_1.wilson_interval(1.96);
+        assert!(lo < 0.95 && 0.95 < hi);
+    }
+
+    #[test]
+    fn conservative_gate_is_stricter_than_point_estimate() {
+        let report = VerificationReport {
+            total_nodes: 11,
+            leaf_nodes: 6,
+            criterion_1: SafeProbability {
+                safe: 92,
+                total: 100,
+                threshold: 0.9,
+            },
+            corrected_criterion_2: 0,
+            corrected_criterion_3: 0,
+        };
+        assert!(report.verified());
+        assert!(!report.verified_conservative(1.96));
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let report = VerificationReport {
+            total_nodes: 123,
+            leaf_nodes: 62,
+            criterion_1: SafeProbability {
+                safe: 1873,
+                total: 2000,
+                threshold: 0.9,
+            },
+            corrected_criterion_2: 3,
+            corrected_criterion_3: 7,
+        };
+        let restored = VerificationReport::from_json_string(&report.to_json_string()).unwrap();
+        assert_eq!(report, restored);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        for text in [
+            "",
+            "{}",
+            r#"{"format":"verification_report v9"}"#,
+            r#"{"format":"verification_report v1","total_nodes":1}"#, // missing fields
+            "not json",
+        ] {
+            assert!(
+                VerificationReport::from_json_string(text).is_err(),
+                "accepted {text:?}"
+            );
+        }
     }
 
     #[test]
