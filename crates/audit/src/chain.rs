@@ -1,0 +1,504 @@
+//! The append-only audit chain writer.
+//!
+//! [`AuditChain`] owns one chain file and appends records in strict
+//! sequence: a genesis record binding the chain to the served policy
+//! (and its certificate, when present), then decision / transition
+//! records as they happen, a checkpoint every
+//! [`ChainConfig::checkpoint_every`] records, and a `seal` record —
+//! a final checkpoint — on graceful close or `Drop`.
+//!
+//! Durability follows the threat model, not just the crash model: a
+//! chain is *evidence*, so by default every append is flushed through
+//! the `BufWriter` to the OS ([`ChainConfig::durable`]). That costs a
+//! `write(2)` per record (measured in `BENCH_serve_audit.json`) but
+//! means a `SIGKILL`-ed serve loses at most the decision in flight —
+//! never a suffix of acknowledged decisions. Non-durable mode keeps
+//! appends in the buffer and leans on the telemetry panic-hook idiom:
+//! live chains register in a process-wide list that
+//! [`flush_all_chains`] (wired into
+//! [`hvac_telemetry::install_panic_flush_hook`]'s chained hook via
+//! [`install_chain_flush_hook`]) drains on panic.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use hvac_telemetry::{
+    counter, histogram, process_elapsed_ns, Counter, Histogram, LATENCY_BOUNDS_NS,
+};
+
+use crate::hash::Sha256;
+use crate::record::{ChainRecord, Payload, CHAIN_FORMAT, GENESIS_PREV_HASH, OBSERVATION_DIM};
+
+/// Tuning knobs for a chain writer.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// A checkpoint record is appended after every this-many records.
+    pub checkpoint_every: u64,
+    /// Flush every append to the OS (see module docs). Defaults on.
+    pub durable: bool,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 256,
+            durable: true,
+        }
+    }
+}
+
+/// Mutable writer state behind the chain's mutex.
+#[derive(Debug)]
+struct Inner {
+    out: BufWriter<File>,
+    /// `seq` of the next record.
+    next_seq: u64,
+    /// `record_hash` of the last appended record.
+    prev_hash: String,
+    /// Running digest over the newline-joined `record_hash` values of
+    /// every appended record; cloned (not consumed) at checkpoints.
+    digest: Sha256,
+    decisions: u64,
+    transitions: u64,
+    /// Content records appended since the last checkpoint.
+    since_checkpoint: u64,
+    sealed: bool,
+}
+
+/// An open, append-only decision chain.
+///
+/// Thread-safe: appends serialise on an internal mutex (the serve path
+/// already holds its policy mutex per decision, so this adds no new
+/// contention shape).
+#[derive(Debug)]
+pub struct AuditChain {
+    inner: Mutex<Inner>,
+    config: ChainConfig,
+    records_total: Counter,
+    checkpoints_total: Counter,
+    append_ns: Histogram,
+}
+
+impl AuditChain {
+    /// Creates `path` (truncating any existing file) and writes the
+    /// genesis record binding the chain to `policy_hash` /
+    /// `certificate_id` (pass `""` when serving uncertified).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation or write failures.
+    pub fn create(
+        path: &Path,
+        policy_hash: &str,
+        certificate_id: &str,
+        config: ChainConfig,
+    ) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let chain = Self {
+            inner: Mutex::new(Inner {
+                out: BufWriter::new(file),
+                next_seq: 0,
+                prev_hash: GENESIS_PREV_HASH.to_string(),
+                digest: Sha256::new(),
+                decisions: 0,
+                transitions: 0,
+                since_checkpoint: 0,
+                sealed: false,
+            }),
+            config,
+            records_total: counter("audit.records"),
+            checkpoints_total: counter("audit.checkpoints"),
+            append_ns: histogram("audit.append.ns", LATENCY_BOUNDS_NS),
+        };
+        {
+            let mut inner = chain.inner.lock().expect("audit chain mutex poisoned");
+            chain.append_locked(
+                &mut inner,
+                "genesis",
+                Payload::Genesis {
+                    format: CHAIN_FORMAT.to_string(),
+                    policy_hash: policy_hash.to_string(),
+                    certificate_id: certificate_id.to_string(),
+                    crate_version: env!("CARGO_PKG_VERSION").to_string(),
+                },
+            )?;
+        }
+        Ok(chain)
+    }
+
+    /// Appends one decision record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; appending to a sealed chain is an
+    /// error of kind [`std::io::ErrorKind::Other`].
+    pub fn append_decision(
+        &self,
+        observation: [f64; OBSERVATION_DIM],
+        heating: u64,
+        cooling: u64,
+        action_index: u64,
+        guard_state: &str,
+    ) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("audit chain mutex poisoned");
+        inner.decisions += 1;
+        self.append_locked(
+            &mut inner,
+            "decision",
+            Payload::Decision {
+                observation,
+                heating,
+                cooling,
+                action_index,
+                guard_state: guard_state.to_string(),
+            },
+        )
+    }
+
+    /// Appends one guard degradation-ladder transition record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (see [`AuditChain::append_decision`]).
+    pub fn append_transition(&self, from: &str, to: &str) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("audit chain mutex poisoned");
+        inner.transitions += 1;
+        self.append_locked(
+            &mut inner,
+            "transition",
+            Payload::Transition {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        )
+    }
+
+    /// Writes the final `seal` checkpoint and flushes. Idempotent;
+    /// called automatically on `Drop`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn seal(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("audit chain mutex poisoned");
+        if inner.sealed {
+            return Ok(());
+        }
+        let payload = Self::checkpoint_payload(&inner);
+        self.append_locked(&mut inner, "seal", payload)?;
+        inner.sealed = true;
+        inner.out.flush()
+    }
+
+    /// Flushes buffered appends to the OS without sealing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush failures.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner
+            .lock()
+            .expect("audit chain mutex poisoned")
+            .out
+            .flush()
+    }
+
+    /// Records appended so far (genesis and checkpoints included).
+    pub fn len(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("audit chain mutex poisoned")
+            .next_seq
+    }
+
+    /// Always `false`: a chain carries its genesis record from birth.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn checkpoint_payload(inner: &Inner) -> Payload {
+        Payload::Checkpoint {
+            records: inner.next_seq,
+            decisions: inner.decisions,
+            transitions: inner.transitions,
+            digest: inner.digest.clone().finalize_hex(),
+        }
+    }
+
+    /// The one append path: builds, hashes, writes, and advances the
+    /// running state; inserts a checkpoint when the cadence comes due.
+    fn append_locked(
+        &self,
+        inner: &mut Inner,
+        kind: &str,
+        payload: Payload,
+    ) -> std::io::Result<()> {
+        if inner.sealed {
+            return Err(std::io::Error::other("audit chain already sealed"));
+        }
+        let start = process_elapsed_ns();
+        let record = ChainRecord::new(
+            kind,
+            inner.next_seq,
+            start,
+            inner.prev_hash.clone(),
+            payload,
+        );
+        inner.out.write_all(record.to_line().as_bytes())?;
+        inner.digest.update(record.record_hash.as_bytes());
+        inner.digest.update(b"\n");
+        inner.prev_hash = record.record_hash;
+        inner.next_seq += 1;
+        if self.config.durable {
+            inner.out.flush()?;
+        }
+        self.records_total.incr();
+        self.append_ns
+            .record(process_elapsed_ns().saturating_sub(start));
+        // Cadence counts *content* records (checkpoints and the seal
+        // don't reset-and-count themselves).
+        match kind {
+            "checkpoint" => inner.since_checkpoint = 0,
+            "seal" => {}
+            _ => inner.since_checkpoint += 1,
+        }
+        if kind != "seal"
+            && kind != "checkpoint"
+            && self.config.checkpoint_every > 0
+            && inner.since_checkpoint >= self.config.checkpoint_every
+        {
+            let payload = Self::checkpoint_payload(inner);
+            self.checkpoints_total.incr();
+            self.append_locked(inner, "checkpoint", payload)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for AuditChain {
+    fn drop(&mut self) {
+        // Best effort: a failing disk at drop time must not panic the
+        // unwinding thread.
+        let _ = self.seal();
+    }
+}
+
+/// Process-wide list of live chains, for the panic flush hook.
+fn live_chains() -> &'static Mutex<Vec<Weak<AuditChain>>> {
+    static LIVE: std::sync::OnceLock<Mutex<Vec<Weak<AuditChain>>>> = std::sync::OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers `chain` for panic-time flushing and returns it unchanged.
+pub fn register_chain(chain: Arc<AuditChain>) -> Arc<AuditChain> {
+    let mut live = live_chains().lock().expect("live chain list poisoned");
+    live.retain(|weak| weak.strong_count() > 0);
+    live.push(Arc::downgrade(&chain));
+    chain
+}
+
+/// Flushes (not seals) every registered, still-live chain. Called from
+/// the panic hook; safe to call any time.
+pub fn flush_all_chains() {
+    if let Ok(live) = live_chains().lock() {
+        for weak in live.iter() {
+            if let Some(chain) = weak.upgrade() {
+                let _ = chain.flush();
+            }
+        }
+    }
+}
+
+/// Installs a panic hook that flushes all registered chains (then the
+/// telemetry sinks, via the chained previous hook). Idempotent.
+pub fn install_chain_flush_hook() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    hvac_telemetry::install_panic_flush_hook();
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        flush_all_chains();
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::split_line;
+    use hvac_telemetry::json::parse;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hvac-audit-chain-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("chain.jsonl")
+    }
+
+    fn read_records(path: &Path) -> Vec<ChainRecord> {
+        let text = std::fs::read_to_string(path).unwrap();
+        text.lines()
+            .map(|line| ChainRecord::from_json(&parse(split_line(line).unwrap()).unwrap()).unwrap())
+            .collect()
+    }
+
+    fn obs(seed: f64) -> [f64; OBSERVATION_DIM] {
+        [seed, 1.0, 50.0, 4.0, 100.0, 2.0, 12.0]
+    }
+
+    #[test]
+    fn chain_links_checkpoints_and_seals() {
+        let path = temp_path("links");
+        let chain = AuditChain::create(
+            &path,
+            &"aa".repeat(32),
+            "",
+            ChainConfig {
+                checkpoint_every: 4,
+                durable: false,
+            },
+        )
+        .unwrap();
+        for i in 0..10u64 {
+            chain
+                .append_decision(obs(i as f64), 20, 26, i, "normal")
+                .unwrap();
+        }
+        chain.append_transition("normal", "hold").unwrap();
+        chain.seal().unwrap();
+        let records = read_records(&path);
+
+        // Genesis first, seal last, hash-linked throughout.
+        assert_eq!(records[0].kind, "genesis");
+        assert_eq!(records[0].prev_hash, GENESIS_PREV_HASH);
+        assert_eq!(records.last().unwrap().kind, "seal");
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.seq, i as u64);
+            assert!(record.hash_is_consistent(), "record {i}");
+            if i > 0 {
+                assert_eq!(record.prev_hash, records[i - 1].record_hash, "link {i}");
+            }
+        }
+
+        // Cadence: a checkpoint after every 4 content records.
+        let checkpoint_seqs: Vec<u64> = records
+            .iter()
+            .filter(|r| r.kind == "checkpoint")
+            .map(|r| r.seq)
+            .collect();
+        // Content records (genesis + 10 decisions + 1 transition) in
+        // groups of 4: checkpoints land after seqs 0-3, 5-8, 10-13.
+        assert_eq!(checkpoint_seqs, vec![4, 9, 14]);
+
+        // Checkpoint digests replay from the prefix hashes.
+        for record in &records {
+            if let Payload::Checkpoint {
+                records: count,
+                digest,
+                ..
+            } = &record.payload
+            {
+                let mut h = Sha256::new();
+                for prior in &records[..*count as usize] {
+                    h.update(prior.record_hash.as_bytes());
+                    h.update(b"\n");
+                }
+                assert_eq!(&h.finalize_hex(), digest, "digest at seq {}", record.seq);
+            }
+        }
+
+        // Seal counters cover the whole chain.
+        let Payload::Checkpoint {
+            decisions,
+            transitions,
+            ..
+        } = &records.last().unwrap().payload
+        else {
+            panic!("seal payload");
+        };
+        assert_eq!((*decisions, *transitions), (10, 1));
+    }
+
+    #[test]
+    fn seal_is_idempotent_and_blocks_further_appends() {
+        let path = temp_path("sealed");
+        let chain = AuditChain::create(&path, "ph", "cid", ChainConfig::default()).unwrap();
+        chain.seal().unwrap();
+        chain.seal().unwrap();
+        assert!(chain
+            .append_decision(obs(0.0), 20, 26, 0, "normal")
+            .is_err());
+        let records = read_records(&path);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].kind, "seal");
+    }
+
+    #[test]
+    fn drop_seals_the_chain() {
+        let path = temp_path("drop");
+        {
+            let chain = AuditChain::create(&path, "ph", "", ChainConfig::default()).unwrap();
+            chain
+                .append_decision(obs(1.0), 21, 27, 3, "normal")
+                .unwrap();
+        }
+        let records = read_records(&path);
+        assert_eq!(records.last().unwrap().kind, "seal");
+    }
+
+    #[test]
+    fn durable_appends_are_visible_without_seal() {
+        let path = temp_path("durable");
+        let chain = AuditChain::create(
+            &path,
+            "ph",
+            "",
+            ChainConfig {
+                checkpoint_every: 256,
+                durable: true,
+            },
+        )
+        .unwrap();
+        chain
+            .append_decision(obs(2.0), 22, 28, 5, "normal")
+            .unwrap();
+        // Read back while the chain is still open: both records are on
+        // disk, every line complete.
+        let records = read_records(&path);
+        assert_eq!(records.len(), 2);
+        drop(chain);
+    }
+
+    #[test]
+    fn flush_all_chains_drains_registered_buffers() {
+        let path = temp_path("panicflush");
+        let chain = register_chain(Arc::new(
+            AuditChain::create(
+                &path,
+                "ph",
+                "",
+                ChainConfig {
+                    checkpoint_every: 256,
+                    durable: false,
+                },
+            )
+            .unwrap(),
+        ));
+        chain
+            .append_decision(obs(3.0), 23, 29, 6, "normal")
+            .unwrap();
+        flush_all_chains();
+        let records = read_records(&path);
+        assert_eq!(records.len(), 2);
+        drop(chain);
+    }
+}

@@ -1,0 +1,327 @@
+//! One integration test per tamper class the audit chain is designed
+//! to catch (`ISSUE` acceptance criteria): bit-flip, deletion,
+//! reordering, truncation after the last checkpoint, and policy /
+//! certificate mismatch — plus a ≥1000-decision clean session that must
+//! audit green end to end.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hvac_audit::{
+    bind_certificate, policy_hash, AuditChain, AuditOptions, AuditReport, Auditor, ChainConfig,
+};
+use hvac_control::DtPolicy;
+use hvac_dtree::{DecisionTree, TreeConfig};
+use hvac_env::space::feature;
+use hvac_env::{ActionSpace, Observation, Policy, SetpointAction, POLICY_INPUT_DIM};
+use hvac_verify::probabilistic::SafeProbability;
+use hvac_verify::{Certificate, VerificationConfig, VerificationReport};
+
+/// Cold zones → heat hard, warm zones → off (the serve tests' toy
+/// tree).
+fn toy_policy() -> DtPolicy {
+    let space = ActionSpace::new();
+    let heat = space.index_of(SetpointAction::new(23, 30).unwrap());
+    let off = space.index_of(SetpointAction::off());
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..20 {
+        let temp = 14.0 + f64::from(i) * 0.5;
+        let mut row = vec![0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = temp;
+        inputs.push(row);
+        labels.push(if temp < 20.0 { heat } else { off });
+    }
+    let tree = DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
+    DtPolicy::new(tree).unwrap()
+}
+
+/// A bound certificate covering `policy` (synthetic verification
+/// outcome — the binding, not the verification math, is under test).
+fn toy_certificate(policy: &DtPolicy) -> Certificate {
+    let report = VerificationReport {
+        total_nodes: 7,
+        leaf_nodes: 4,
+        criterion_1: SafeProbability {
+            safe: 1980,
+            total: 2000,
+            threshold: 0.9,
+        },
+        corrected_criterion_2: 1,
+        corrected_criterion_3: 0,
+    };
+    let config = VerificationConfig::paper();
+    bind_certificate(Certificate::new(
+        policy_hash(policy),
+        report,
+        &config,
+        0.1,
+        vec!["dataset/0011223344556677".to_string()],
+    ))
+}
+
+/// A scratch path under the target-dir tempdir, unique per test.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hvac-audit-tamper");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Serves `decisions` observations through `policy` into a fresh
+/// sealed chain and returns the raw chain text.
+fn record_session(
+    name: &str,
+    policy: &DtPolicy,
+    certificate_id: &str,
+    decisions: usize,
+    checkpoint_every: u64,
+) -> String {
+    let path = scratch(name);
+    let mut live = policy.clone();
+    let chain = Arc::new(
+        AuditChain::create(
+            &path,
+            &policy_hash(policy),
+            certificate_id,
+            ChainConfig {
+                checkpoint_every,
+                durable: false,
+            },
+        )
+        .unwrap(),
+    );
+    for i in 0..decisions {
+        let mut x = [0.0f64; POLICY_INPUT_DIM];
+        x[feature::ZONE_TEMPERATURE] = 14.0 + (i % 160) as f64 * 0.063;
+        x[feature::HOUR_OF_DAY] = (i % 24) as f64;
+        let action = live.decide(&Observation::from_vector(&x));
+        let index = live.action_space().index_of(action) as u64;
+        // A couple of guard excursions so replay has non-normal rows
+        // to skip.
+        if i % 97 == 5 {
+            chain.append_transition("normal", "hold").unwrap();
+            chain.append_decision(x, 20, 26, index, "hold").unwrap();
+            chain.append_transition("hold", "normal").unwrap();
+            continue;
+        }
+        chain
+            .append_decision(
+                x,
+                action.heating() as u64,
+                action.cooling() as u64,
+                index,
+                "normal",
+            )
+            .unwrap();
+    }
+    chain.seal().unwrap();
+    std::fs::read_to_string(&path).unwrap()
+}
+
+fn audit(text: &str, policy: &DtPolicy, certificate: &Certificate) -> AuditReport {
+    Auditor::new(text)
+        .with_policy(policy)
+        .with_certificate(certificate)
+        .run()
+}
+
+fn failed_names(report: &AuditReport) -> Vec<&'static str> {
+    report
+        .checks
+        .iter()
+        .filter(|c| !c.passed)
+        .map(|c| c.name)
+        .collect()
+}
+
+#[test]
+fn clean_thousand_decision_session_audits_green() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session(
+        "clean.jsonl",
+        &policy,
+        &certificate.certificate_id,
+        1000,
+        64,
+    );
+    let report = audit(&text, &policy, &certificate);
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.decisions, 1000);
+    assert!(report.checkpoints >= 15, "{report}");
+    assert!(report.sealed);
+    assert!(report.replayed >= 60, "{report}");
+    assert_eq!(report.policy_hash, policy_hash(&policy));
+    assert_eq!(report.certificate_id, certificate.certificate_id);
+}
+
+#[test]
+fn bit_flip_in_a_record_is_detected() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session(
+        "bitflip.jsonl",
+        &policy,
+        &certificate.certificate_id,
+        40,
+        16,
+    );
+    // Flip one digit of a mid-chain observation (length-preserving, so
+    // only the hash can catch it).
+    let lines: Vec<&str> = text.lines().collect();
+    let victim = lines[20];
+    let flipped = if victim.contains("14.") {
+        victim.replacen("14.", "15.", 1)
+    } else {
+        victim.replacen("0.0", "0.1", 1)
+    };
+    assert_ne!(victim, flipped, "fixture must actually flip a byte");
+    let tampered = text.replacen(victim, &flipped, 1);
+    let report = audit(&tampered, &policy, &certificate);
+    assert!(!report.passed());
+    let failed = failed_names(&report);
+    assert!(
+        failed.contains(&"record_hashes") || failed.contains(&"lines"),
+        "bit-flip must fail the hash or parse check, failed: {failed:?}"
+    );
+    assert!(
+        report.first_failure().unwrap().detail.contains("2"),
+        "failure should point at a line/seq: {}",
+        report.first_failure().unwrap().detail
+    );
+}
+
+#[test]
+fn deleted_record_is_detected() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session("delete.jsonl", &policy, &certificate.certificate_id, 40, 16);
+    let lines: Vec<&str> = text.lines().collect();
+    // Drop one mid-chain decision record entirely.
+    let mut kept: Vec<&str> = lines.clone();
+    kept.remove(12);
+    let tampered = kept.join("\n") + "\n";
+    let report = audit(&tampered, &policy, &certificate);
+    assert!(!report.passed());
+    assert!(
+        failed_names(&report).contains(&"chain_links"),
+        "deletion must break the seq/prev_hash links: {report}"
+    );
+}
+
+#[test]
+fn reordered_records_are_detected() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session(
+        "reorder.jsonl",
+        &policy,
+        &certificate.certificate_id,
+        40,
+        16,
+    );
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.swap(8, 9);
+    let tampered = lines.join("\n") + "\n";
+    let report = audit(&tampered, &policy, &certificate);
+    assert!(!report.passed());
+    assert!(
+        failed_names(&report).contains(&"chain_links"),
+        "reordering must break the seq/prev_hash links: {report}"
+    );
+}
+
+#[test]
+fn truncation_after_last_checkpoint_is_detected() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session(
+        "truncate.jsonl",
+        &policy,
+        &certificate.certificate_id,
+        50,
+        16,
+    );
+    // Cut the suffix after the last periodic checkpoint (seal
+    // included): every surviving prefix hash still verifies, so only
+    // the missing seal can betray the cut.
+    let lines: Vec<&str> = text.lines().collect();
+    let last_checkpoint = lines
+        .iter()
+        .rposition(|l| l.contains("\"kind\":\"checkpoint\""))
+        .expect("session long enough to checkpoint");
+    let tampered = lines[..=last_checkpoint].join("\n") + "\n";
+    let report = audit(&tampered, &policy, &certificate);
+    assert!(!report.passed());
+    assert_eq!(failed_names(&report), vec!["seal"], "{report}");
+    // The documented trade-off: --allow-unsealed tolerates exactly
+    // this, for chains from signal-killed serves.
+    let tolerant = Auditor::new(&tampered)
+        .with_policy(&policy)
+        .with_certificate(&certificate)
+        .options(AuditOptions {
+            allow_unsealed: true,
+            ..AuditOptions::default()
+        })
+        .run();
+    assert!(tolerant.passed(), "{tolerant}");
+}
+
+#[test]
+fn policy_and_certificate_mismatches_are_detected() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session(
+        "mismatch.jsonl",
+        &policy,
+        &certificate.certificate_id,
+        30,
+        16,
+    );
+
+    // A different policy: both the binding check and (generally) the
+    // replay check must object.
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    let space = ActionSpace::new();
+    let low = space.index_of(SetpointAction::new(18, 26).unwrap());
+    for i in 0..20 {
+        let mut row = vec![0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = 14.0 + f64::from(i) * 0.5;
+        inputs.push(row);
+        labels.push(low);
+    }
+    let other = DtPolicy::new(
+        DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap(),
+    )
+    .unwrap();
+    let report = audit(&text, &other, &certificate);
+    assert!(!report.passed());
+    assert!(
+        failed_names(&report).contains(&"policy"),
+        "wrong policy must fail the binding check: {report}"
+    );
+
+    // A certificate for the wrong policy: the certificate check fails
+    // even though the chain and policy agree with each other.
+    let wrong_certificate = toy_certificate(&other);
+    let report = audit(&text, &policy, &wrong_certificate);
+    assert!(!report.passed());
+    // The certificate binding fails outright, and the policy check
+    // (which trusts the certificate's claim when one is supplied)
+    // correctly objects too.
+    assert!(
+        failed_names(&report).contains(&"certificate"),
+        "wrong certificate must fail the binding check: {report}"
+    );
+
+    // A certificate whose id was edited after binding: the id no
+    // longer hashes its canonical bytes.
+    let mut forged = certificate.clone();
+    forged.certificate_id = format!("0{}", &forged.certificate_id[1..]);
+    let report = audit(&text, &policy, &forged);
+    assert!(
+        failed_names(&report).contains(&"certificate"),
+        "forged certificate id must fail: {report}"
+    );
+}

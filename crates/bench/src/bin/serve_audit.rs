@@ -1,0 +1,157 @@
+//! Serve-path latency with the tamper-evident audit chain off vs. on.
+//!
+//! Every audited decision pays one hash-chained, flushed JSONL append
+//! (`AuditChain::append_decision`). This bench serves the same toy
+//! policy twice over loopback HTTP — once plain, once with an audit
+//! chain in the durable default configuration — fires the same request
+//! mix at both, and reports client-observed p50/p99 per decision plus
+//! the chain's own `audit.append.ns` histogram. The acceptance target
+//! is p99 overhead under 10%.
+//!
+//! Results land in `BENCH_serve_audit.json`.
+//!
+//! ```sh
+//! cargo run --release -p hvac-bench --bin serve_audit [--paper] [--csv]
+//! ```
+
+use hvac_bench::{fmt, parse_options, Scale, Table};
+use hvac_telemetry::http::blocking_request;
+use hvac_telemetry::json::ObjectWriter;
+use std::sync::Arc;
+use std::time::Instant;
+use veri_hvac::audit::{AuditChain, ChainConfig};
+use veri_hvac::control::DtPolicy;
+use veri_hvac::dtree::{DecisionTree, TreeConfig};
+use veri_hvac::env::space::feature;
+use veri_hvac::env::{ActionSpace, SetpointAction, POLICY_INPUT_DIM};
+use veri_hvac::{serve_with_options, ServeOptions};
+
+/// The serve tests' toy tree: cold zones heat hard, warm zones idle.
+fn toy_policy() -> DtPolicy {
+    let space = ActionSpace::new();
+    let heat = space.index_of(SetpointAction::new(23, 30).unwrap());
+    let off = space.index_of(SetpointAction::off());
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..20 {
+        let temp = 14.0 + f64::from(i) * 0.5;
+        let mut row = vec![0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = temp;
+        inputs.push(row);
+        labels.push(if temp < 20.0 { heat } else { off });
+    }
+    let tree = DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
+    DtPolicy::new(tree).unwrap()
+}
+
+/// Fires `n` decisions at a freshly served policy (audited when `chain`
+/// is given) and returns the client-observed per-request latencies in
+/// microseconds, sorted ascending.
+fn time_requests(chain: Option<Arc<AuditChain>>, n: usize) -> Vec<f64> {
+    let options = ServeOptions {
+        audit: chain,
+        ..ServeOptions::default()
+    };
+    let server = serve_with_options(toy_policy(), options, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    // Warm up the accept loop and the policy path off the clock.
+    for _ in 0..20 {
+        let (status, _) =
+            blocking_request(addr, "POST", "/decide", r#"{"zone_temperature":18.0}"#).unwrap();
+        assert_eq!(status, 200);
+    }
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        let body = format!(r#"{{"zone_temperature":{}}}"#, 14 + i % 12);
+        let started = Instant::now();
+        let (status, _) = blocking_request(addr, "POST", "/decide", &body).unwrap();
+        samples.push(started.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(status, 200);
+    }
+    server.shutdown();
+    samples.sort_by(f64::total_cmp);
+    samples
+}
+
+/// The `q`-quantile of an ascending sample vector.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() {
+    let options = parse_options();
+    let decisions = match options.scale {
+        Scale::Reduced => 400,
+        Scale::Paper => 2000,
+    };
+
+    let plain = time_requests(None, decisions);
+
+    let chain_path = std::env::temp_dir().join("hvac-bench-serve-audit.jsonl");
+    let policy_hash = veri_hvac::audit::policy_hash(&toy_policy());
+    let chain = Arc::new(
+        AuditChain::create(&chain_path, &policy_hash, "", ChainConfig::default())
+            .expect("audit chain"),
+    );
+    let before = hvac_telemetry::snapshot();
+    let audited = time_requests(Some(Arc::clone(&chain)), decisions);
+    let append = hvac_telemetry::snapshot().histograms["audit.append.ns"].delta(
+        &before
+            .histograms
+            .get("audit.append.ns")
+            .cloned()
+            .unwrap_or_default(),
+    );
+
+    let (p50_off, p99_off) = (percentile(&plain, 0.50), percentile(&plain, 0.99));
+    let (p50_on, p99_on) = (percentile(&audited, 0.50), percentile(&audited, 0.99));
+    let p50_overhead = 100.0 * (p50_on - p50_off) / p50_off;
+    let p99_overhead = 100.0 * (p99_on - p99_off) / p99_off;
+
+    let mut table = Table::new(
+        "Serve latency per decision, audit chain off vs on (client-observed, loopback HTTP)",
+        &["audit", "p50_us", "p99_us", "max_us"],
+    );
+    table.push_row(vec![
+        "off".to_string(),
+        fmt(p50_off, 1),
+        fmt(p99_off, 1),
+        fmt(*plain.last().unwrap(), 1),
+    ]);
+    table.push_row(vec![
+        "on".to_string(),
+        fmt(p50_on, 1),
+        fmt(p99_on, 1),
+        fmt(*audited.last().unwrap(), 1),
+    ]);
+    table.emit("serve_audit", &options);
+    println!(
+        "\naudit overhead: p50 {p50_overhead:+.1}%, p99 {p99_overhead:+.1}% over {decisions} decisions"
+    );
+    println!(
+        "chain append (in-process): {} records, p50 {} ns, p99 {} ns",
+        append.count,
+        append.quantile(0.50),
+        append.quantile(0.99)
+    );
+
+    let mut json = ObjectWriter::new();
+    json.str_field("bench", "serve_audit");
+    json.str_field("scale", options.scale.label());
+    json.u64_field("decisions", decisions as u64);
+    json.f64_field("p50_off_us", p50_off);
+    json.f64_field("p99_off_us", p99_off);
+    json.f64_field("p50_on_us", p50_on);
+    json.f64_field("p99_on_us", p99_on);
+    json.f64_field("p50_overhead_pct", p50_overhead);
+    json.f64_field("p99_overhead_pct", p99_overhead);
+    json.u64_field("append_count", append.count);
+    json.u64_field("append_p50_ns", append.quantile(0.50));
+    json.u64_field("append_p99_ns", append.quantile(0.99));
+    let body = json.finish();
+    let path = "BENCH_serve_audit.json";
+    std::fs::write(path, format!("{body}\n")).expect("write bench json");
+    println!("wrote {path}");
+    let _ = std::fs::remove_file(&chain_path);
+}

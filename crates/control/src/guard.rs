@@ -65,7 +65,35 @@ impl GuardState {
             GuardState::FailSafe => "fail_safe",
         }
     }
+
+    /// Parses a rung back from its [`GuardState::name`] spelling (used
+    /// by the offline audit verifier when re-reading chain records).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "normal" => Some(GuardState::Normal),
+            "hold" => Some(GuardState::Hold),
+            "fallback" => Some(GuardState::Fallback),
+            "fail_safe" => Some(GuardState::FailSafe),
+            _ => None,
+        }
+    }
 }
+
+/// One recorded movement on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardTransition {
+    /// Rung before the decision.
+    pub from: GuardState,
+    /// Rung after the decision.
+    pub to: GuardState,
+    /// Zero-based index of the decision that moved the ladder.
+    pub decision_index: u64,
+}
+
+/// Pending-transition buffer cap: transitions are rare (the ladder has
+/// four rungs) and callers drain per decision, but an undrained guard
+/// must not grow without bound.
+const MAX_PENDING_TRANSITIONS: usize = 1024;
 
 /// Configuration of the input validator and degradation ladder.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +182,8 @@ pub struct GuardedPolicy<P> {
     expected_hour: Option<f64>,
     state: GuardState,
     stats: GuardStats,
+    decisions: u64,
+    transitions: Vec<GuardTransition>,
 }
 
 /// How close (°C) a bit-repeating zone reading may sit to the last
@@ -193,6 +223,8 @@ impl<P: Policy> GuardedPolicy<P> {
             expected_hour: None,
             state: GuardState::Normal,
             stats: GuardStats::default(),
+            decisions: 0,
+            transitions: Vec::new(),
         }
     }
 
@@ -211,6 +243,13 @@ impl<P: Policy> GuardedPolicy<P> {
     /// Per-instance counters.
     pub fn stats(&self) -> GuardStats {
         self.stats
+    }
+
+    /// Drains the degradation-ladder transitions recorded since the
+    /// last call, in decision order, so callers (the serve audit chain)
+    /// can turn rung movements into auditable events.
+    pub fn take_transitions(&mut self) -> Vec<GuardTransition> {
+        std::mem::take(&mut self.transitions)
     }
 
     /// The configuration in force.
@@ -355,6 +394,14 @@ impl<P: Policy> Policy for GuardedPolicy<P> {
             (GuardState::Normal, self.inner.decide(obs))
         };
 
+        if state != self.state && self.transitions.len() < MAX_PENDING_TRANSITIONS {
+            self.transitions.push(GuardTransition {
+                from: self.state,
+                to: state,
+                decision_index: self.decisions,
+            });
+        }
+        self.decisions += 1;
         self.state = state;
         self.last_action = Some(action);
         hvac_telemetry::gauge("guard.state").set(state.as_gauge());
@@ -566,6 +613,52 @@ mod tests {
         assert_eq!(GuardState::Hold.as_gauge(), 1);
         assert_eq!(GuardState::Fallback.as_gauge(), 2);
         assert_eq!(GuardState::FailSafe.as_gauge(), 3);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for state in [
+            GuardState::Normal,
+            GuardState::Hold,
+            GuardState::Fallback,
+            GuardState::FailSafe,
+        ] {
+            assert_eq!(GuardState::from_name(state.name()), Some(state));
+        }
+        assert_eq!(GuardState::from_name("panic"), None);
+    }
+
+    #[test]
+    fn ladder_movements_are_recorded_as_transitions() {
+        let config = GuardConfig::new(ComfortRange::winter());
+        let budget = config.staleness_budget;
+        let mut guarded = GuardedPolicy::new(toy_policy(), config);
+        guarded.decide(&obs(16.0, 0));
+        for k in 1..=(budget + 1) {
+            guarded.decide(&obs(f64::NAN, k));
+        }
+        guarded.decide(&obs(21.0, budget + 2));
+        let transitions = guarded.take_transitions();
+        // normal → hold (decision 1), hold → fallback, fallback → normal.
+        assert_eq!(transitions.len(), 3);
+        assert_eq!(
+            (
+                transitions[0].from,
+                transitions[0].to,
+                transitions[0].decision_index
+            ),
+            (GuardState::Normal, GuardState::Hold, 1)
+        );
+        assert_eq!(
+            (transitions[1].from, transitions[1].to),
+            (GuardState::Hold, GuardState::Fallback)
+        );
+        assert_eq!(
+            (transitions[2].from, transitions[2].to),
+            (GuardState::Fallback, GuardState::Normal)
+        );
+        // Drained: a second take returns nothing.
+        assert!(guarded.take_transitions().is_empty());
     }
 
     #[test]

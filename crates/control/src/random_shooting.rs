@@ -418,13 +418,25 @@ mod tests {
 
     #[test]
     fn saves_energy_when_unoccupied() {
-        let mut c = RandomShootingController::new(Toy, quick_config(), 2).unwrap();
-        let a = c.plan(&obs(16.0, false));
-        // Unoccupied ⇒ w_e = 1 ⇒ any conditioning is pure cost.
+        // Unoccupied ⇒ w_e = 1 ⇒ any conditioning is pure cost, so
+        // across seeds the optimizer should spend clearly less energy
+        // than it does heating the same cold zone when occupied. (A
+        // single-seed threshold is a coin flip: the argmax over random
+        // *sequences* only weakly constrains the first action.)
+        let mean_proxy = |occupied: bool| {
+            (0..8)
+                .map(|seed| {
+                    let mut c = RandomShootingController::new(Toy, quick_config(), seed).unwrap();
+                    c.plan(&obs(16.0, occupied)).energy_proxy()
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let unoccupied = mean_proxy(false);
+        let occupied = mean_proxy(true);
         assert!(
-            a.energy_proxy() <= 4.0,
-            "chose {a} with proxy {}",
-            a.energy_proxy()
+            unoccupied < occupied,
+            "mean proxy unoccupied {unoccupied} !< occupied {occupied}"
         );
     }
 

@@ -19,6 +19,7 @@
 //!   tree/<hash>/policy.dtree           + manifest.json
 //!   verified/<hash>/policy.dtree
 //!                  + report.json       + manifest.json
+//!   certificates/<policy_sha256>/certificate.json + manifest.json
 //! ```
 //!
 //! `manifest.json` is a flat JSON object with the fields `format`
@@ -48,7 +49,7 @@ use hvac_control::DtPolicy;
 use hvac_dynamics::{DynamicsModel, TransitionDataset};
 use hvac_extract::{DecisionDataset, NoiseAugmenter};
 use hvac_telemetry::json::{self, JsonValue, ObjectWriter};
-use hvac_verify::VerificationReport;
+use hvac_verify::{Certificate, VerificationReport};
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -554,6 +555,59 @@ impl ArtifactStore {
             ],
             &self.manifest_for(keys, &keys.verified, config),
         )
+    }
+
+    /// Saves a verification certificate under
+    /// `certificates/<policy_hash>/certificate.json`.
+    ///
+    /// Certificates are addressed by the policy content hash they
+    /// bind, so re-verifying an already-certified policy is a no-op:
+    /// the first stored certificate for a policy wins. Writes use the
+    /// same atomic staged-rename path as every other artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] on write failure.
+    pub fn save_certificate(&self, certificate: &Certificate) -> Result<(), ArtifactError> {
+        let key = Self::certificate_key(&certificate.policy_hash);
+        let mut o = ObjectWriter::new();
+        o.str_field("format", MANIFEST_FORMAT);
+        o.str_field("stage", key.stage);
+        o.str_field("key", &key.hash);
+        o.u64_field("format_version", u64::from(FORMAT_VERSION));
+        o.str_field("crate_version", env!("CARGO_PKG_VERSION"));
+        o.str_field("certificate_id", &certificate.certificate_id);
+        self.write(
+            &key,
+            &[("certificate.json", &certificate.to_json_string())],
+            &o.finish(),
+        )
+    }
+
+    /// Loads the certificate stored for `policy_hash`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Missing`] / [`ArtifactError::Malformed`].
+    pub fn load_certificate(&self, policy_hash: &str) -> Result<Certificate, ArtifactError> {
+        let key = Self::certificate_key(policy_hash);
+        let text = self.read(&key, "certificate.json")?;
+        Certificate::from_json_string(&text).map_err(|e| ArtifactError::Malformed {
+            stage: key.stage,
+            detail: e.to_string(),
+        })
+    }
+
+    /// Whether a certificate is stored for `policy_hash`.
+    pub fn has_certificate(&self, policy_hash: &str) -> bool {
+        self.contains(&Self::certificate_key(policy_hash))
+    }
+
+    fn certificate_key(policy_hash: &str) -> StageKey {
+        StageKey {
+            stage: "certificates",
+            hash: policy_hash.to_string(),
+        }
     }
 
     /// Loads the verified policy and report stored under `key`.

@@ -8,6 +8,8 @@
 //! veri-hvac inspect  --policy artifacts/policy.dtree [--dot]
 //! veri-hvac simulate --policy artifacts/policy.dtree --city pittsburgh --days 7
 //! veri-hvac serve    --policy artifacts/policy.dtree --addr 127.0.0.1:9464
+//!                    [--audit-log chain.jsonl] [--require-certificate]
+//! veri-hvac audit    --chain chain.jsonl --policy artifacts/policy.dtree
 //! ```
 //!
 //! `extract` runs the paper's full procedure (Fig. 2) and writes the
@@ -32,13 +34,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use veri_hvac::audit as hvac_audit;
 use veri_hvac::control::DtPolicy;
 use veri_hvac::dynamics::DynamicsModel;
 use veri_hvac::env::space::feature;
 use veri_hvac::env::{run_episode, EnvConfig, HvacEnv};
 use veri_hvac::extract::NoiseAugmenter;
 use veri_hvac::pipeline::{run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig};
-use veri_hvac::verify::{verify_and_correct, VerificationConfig, VerificationReport};
+use veri_hvac::verify::{verify_and_correct, Certificate, VerificationConfig, VerificationReport};
 use veri_hvac::ArtifactStore;
 
 const USAGE: &str = "\
@@ -55,7 +58,12 @@ USAGE:
                      [--paper] [--noise LEVEL] [--conservative]
   veri-hvac inspect  --policy FILE [--dot]
   veri-hvac simulate --policy FILE --city <city> [--days N]
-  veri-hvac serve    --policy FILE [--addr HOST:PORT]
+  veri-hvac serve    --policy FILE [--addr HOST:PORT] [--audit-log FILE]
+                     [--certificate FILE] [--require-certificate]
+                     [--cache-dir DIR] [--duration SECS]
+  veri-hvac audit    --chain FILE [--policy FILE] [--certificate FILE]
+                     [--cache-dir DIR] [--replay N] [--allow-unsealed]
+                     [--json]
 
 GLOBAL FLAGS:
   --verbose          stderr progress at debug level (span timings included)
@@ -80,6 +88,21 @@ pass through a degradation guard: invalid readings are held or routed
 to a rule-based fallback (the response's guard_state field names the
 rung), oversized bodies get 413, stalled requests 408, and parse
 failures a structured 422 JSON error.
+
+`verify` writes certificate.json beside the policy: the verification
+verdict bound (SHA-256) to the exact policy bytes, inputs, and artifact
+hashes. `serve` picks the certificate up automatically (or via
+--certificate FILE / the --cache-dir store), reports it on
+GET /version, warns when serving uncertified, and refuses with
+--require-certificate. A wrong or edited certificate is always refused.
+`serve --audit-log FILE` appends every decision and guard transition to
+a tamper-evident hash chain, sealed on graceful shutdown. `audit`
+re-verifies such a chain offline: every hash, link, and checkpoint
+digest is recomputed, the certificate binding is checked, and sampled
+decisions are re-executed through the policy (--replay N, default 64)
+for bit-identical actions. `--allow-unsealed` tolerates chains from
+signal-killed serves; `--json` prints the machine-readable report.
+Exit is nonzero if any audit check fails.
 
 Machine-readable results go to stdout; progress and diagnostics to stderr.
 Artifacts are plain text (see hvac_dtree::serialize / hvac_dynamics::serialize).
@@ -391,7 +414,49 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         std::fs::write(&corrected_path, policy.to_compact_string()).map_err(|e| e.to_string())?;
         println!("corrected policy written to {corrected_path}");
     }
+
+    // Emit the verification certificate: the verdict bound to the
+    // exact (post-correction) policy bytes, the verification inputs,
+    // and the hashes of the artifacts it ran against. `serve` and
+    // `audit` check this binding end to end.
+    let artifact_keys = vec![
+        artifact_key_for(&policy_path)?,
+        artifact_key_for(&model_path)?,
+    ];
+    let certificate = hvac_audit::bind_certificate(Certificate::new(
+        hvac_audit::policy_hash(&policy),
+        report,
+        &config,
+        augmenter.noise_level(),
+        artifact_keys,
+    ));
+    let certificate_path = artifacts_dir.join("certificate.json");
+    std::fs::write(&certificate_path, certificate.to_json_string())
+        .map_err(|e| format!("cannot write {}: {e}", certificate_path.display()))?;
+    println!(
+        "certificate {}… written to {}",
+        &certificate.certificate_id[..12],
+        certificate_path.display()
+    );
+    if let Some(store) = open_store(args)? {
+        store
+            .save_certificate(&certificate)
+            .map_err(|e| e.to_string())?;
+        println!("certificate saved to the artifact store");
+    }
     Ok(())
+}
+
+/// `NAME:sha256:HEX` for a verification input file — the provenance
+/// pointer a certificate carries for each artifact it was computed
+/// from.
+fn artifact_key_for(path: &Path) -> Result<String, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let name = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    Ok(format!("{name}:sha256:{}", hvac_audit::sha256_hex(&bytes)))
 }
 
 /// One completed sweep run, ready for reporting. Carries no wall-clock
@@ -676,27 +741,238 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves the certificate to serve/audit `policy` under: an explicit
+/// `--certificate FILE`, else `certificate.json` beside the policy,
+/// else the artifact store's entry for the policy hash (when
+/// `--cache-dir` is open). Whatever is found must actually cover the
+/// policy: a stale or foreign certificate is an error, not a warning.
+fn resolve_certificate(
+    args: &Args,
+    policy_path: &Path,
+    policy_hash: &str,
+) -> Result<Option<Certificate>, String> {
+    let certificate = if let Some(path) = args.flag("certificate") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read certificate {path}: {e}"))?;
+        Some(Certificate::from_json_string(&text).map_err(|e| e.to_string())?)
+    } else {
+        let sibling = policy_path
+            .parent()
+            .unwrap_or(Path::new("."))
+            .join("certificate.json");
+        match std::fs::read_to_string(&sibling) {
+            Ok(text) => Some(
+                Certificate::from_json_string(&text)
+                    .map_err(|e| format!("malformed certificate {}: {e}", sibling.display()))?,
+            ),
+            Err(_) => match open_store(args)? {
+                Some(store) if store.has_certificate(policy_hash) => Some(
+                    store
+                        .load_certificate(policy_hash)
+                        .map_err(|e| e.to_string())?,
+                ),
+                _ => None,
+            },
+        }
+    };
+    let Some(certificate) = certificate else {
+        return Ok(None);
+    };
+    if !hvac_audit::certificate_id_is_consistent(&certificate) {
+        return Err(format!(
+            "certificate id {}… does not hash its canonical bytes — the file was edited \
+             after binding",
+            &certificate.certificate_id[..12.min(certificate.certificate_id.len())]
+        ));
+    }
+    if certificate.policy_hash != policy_hash {
+        return Err(format!(
+            "certificate covers policy {:.12}… but {} hashes to {policy_hash:.12}… — \
+             re-run `veri-hvac verify`",
+            certificate.policy_hash,
+            policy_path.display()
+        ));
+    }
+    Ok(Some(certificate))
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let policy_path = args.flag("policy").ok_or("serve requires --policy")?;
+    let policy_path = PathBuf::from(args.flag("policy").ok_or("serve requires --policy")?);
     let addr = args.flag("addr").unwrap_or("127.0.0.1:9464");
-    let policy_text = std::fs::read_to_string(policy_path).map_err(|e| e.to_string())?;
+    let policy_text = std::fs::read_to_string(&policy_path).map_err(|e| e.to_string())?;
     let policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;
+    let policy_hash = hvac_audit::policy_hash(&policy);
+
+    // Certificate gate: verified-then-served is the paper's whole
+    // deployment story, so serving an uncertified policy is at minimum
+    // loud, and with --require-certificate a refusal.
+    let certificate = resolve_certificate(args, &policy_path, &policy_hash)?;
+    match &certificate {
+        Some(cert) if !cert.verified() && args.has("require-certificate") => {
+            return Err(format!(
+                "certificate {}… records a NOT VERIFIED outcome and --require-certificate \
+                 is set — fix and re-verify the policy first",
+                &cert.certificate_id[..12]
+            ));
+        }
+        Some(cert) => {
+            if !cert.verified() {
+                hvac_telemetry::warn!(
+                    "certificate {}… records a NOT VERIFIED outcome — serving anyway \
+                     (pass --require-certificate to refuse)",
+                    &cert.certificate_id[..12]
+                );
+            }
+            info!(
+                "serving under certificate {}… (criterion #1 {}/{} safe)",
+                &cert.certificate_id[..12],
+                cert.report.criterion_1.safe,
+                cert.report.criterion_1.total
+            );
+        }
+        None if args.has("require-certificate") => {
+            return Err(format!(
+                "no verification certificate for policy {policy_hash:.12}… and \
+                 --require-certificate is set — run `veri-hvac verify` first"
+            ));
+        }
+        None => hvac_telemetry::warn!(
+            "serving UNCERTIFIED policy {policy_hash:.12}… — run `veri-hvac verify` to \
+             certify it (or pass --require-certificate to refuse instead)"
+        ),
+    }
+
+    // Tamper-evident decision chain: every decision and guard
+    // transition, hash-chained and sealed on graceful shutdown.
+    let audit = args
+        .flag("audit-log")
+        .map(|path| {
+            hvac_audit::AuditChain::create(
+                Path::new(path),
+                &policy_hash,
+                certificate
+                    .as_ref()
+                    .map_or("", |c| c.certificate_id.as_str()),
+                hvac_audit::ChainConfig::default(),
+            )
+            .map(|chain| hvac_audit::register_chain(Arc::new(chain)))
+            .map_err(|e| format!("cannot create audit chain {path}: {e}"))
+        })
+        .transpose()?;
+    if audit.is_some() {
+        // Panics must still leave a flushed, checkpointed chain behind.
+        hvac_audit::install_chain_flush_hook();
+    }
+
     info!(
-        "serving policy {policy_path} ({} nodes, depth {})",
+        "serving policy {} ({} nodes, depth {})",
+        policy_path.display(),
         policy.tree().node_count(),
         policy.tree().depth()
     );
-    let server = veri_hvac::serve_policy(policy, addr)
+    let options = veri_hvac::ServeOptions {
+        audit: audit.clone(),
+        certificate_id: certificate.as_ref().map(|c| c.certificate_id.clone()),
+        ..veri_hvac::ServeOptions::default()
+    };
+    let server = veri_hvac::serve_with_options(policy, options, addr)
         .map_err(|e| format!("cannot bind serve endpoint on {addr}: {e}"))?;
     println!("serving on http://{}", server.addr());
     println!("  POST /decide      {{\"zone_temperature\": 18.5, ...}} -> setpoint action");
+    println!("  GET  /version     build, policy hash, certificate id");
     println!("  GET  /metrics     Prometheus text format 0.0.4");
     println!("  GET  /healthz     liveness probe");
     println!("  GET  /summary.json  registry summary with p50/p95/p99");
+    if let Some(chain) = &audit {
+        println!(
+            "audit chain: {} (sealed on graceful shutdown; verify with `veri-hvac audit`)",
+            args.flag("audit-log").unwrap_or("?")
+        );
+        let _ = chain; // chain lives in the server's shutdown hook too
+    }
     hvac_telemetry::flush();
-    // Serve until the process is interrupted.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    match args.flag("duration") {
+        // Bounded session (smoke tests, CI): serve for N seconds, then
+        // shut down gracefully — hooks run, the chain seals, sinks
+        // flush.
+        Some(secs) => {
+            let secs: u64 = secs
+                .parse()
+                .map_err(|_| format!("--duration must be a number of seconds, got {secs:?}"))?;
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            info!("--duration elapsed; shutting down");
+            server.shutdown();
+            Ok(())
+        }
+        // Serve until the process is interrupted. A signal kill skips
+        // destructors: the chain stays durable per append but unsealed
+        // (audit it with --allow-unsealed).
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let chain_path = args.flag("chain").ok_or("audit requires --chain FILE")?;
+    let text = std::fs::read_to_string(chain_path)
+        .map_err(|e| format!("cannot read chain {chain_path}: {e}"))?;
+
+    // The policy is optional (hash/link checks run without it) but
+    // enables the binding and replay checks.
+    let policy = args
+        .flag("policy")
+        .map(|path| -> Result<DtPolicy, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read policy {path}: {e}"))?;
+            DtPolicy::from_compact_string(&text).map_err(|e| e.to_string())
+        })
+        .transpose()?;
+    let certificate = match &policy {
+        Some(p) => {
+            let path = PathBuf::from(args.flag("policy").unwrap_or("."));
+            resolve_certificate(args, &path, &hvac_audit::policy_hash(p))?
+        }
+        None => args
+            .flag("certificate")
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read certificate {path}: {e}"))?;
+                Certificate::from_json_string(&text).map_err(|e| e.to_string())
+            })
+            .transpose()?,
+    };
+
+    let replay_sample: usize = args
+        .flag("replay")
+        .map(|v| v.parse().map_err(|_| "--replay must be a number"))
+        .transpose()?
+        .unwrap_or(64);
+    let mut auditor = hvac_audit::Auditor::new(&text).options(hvac_audit::AuditOptions {
+        allow_unsealed: args.has("allow-unsealed"),
+        replay_sample,
+    });
+    if let Some(p) = &policy {
+        auditor = auditor.with_policy(p);
+    }
+    if let Some(c) = &certificate {
+        auditor = auditor.with_certificate(c);
+    }
+    let report = auditor.run();
+
+    if args.has("json") {
+        println!("{}", report.to_json_string());
+    } else {
+        print!("{report}");
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        let failure = report.first_failure().expect("failed report has a failure");
+        Err(format!(
+            "chain {chain_path} FAILED the {} check: {}",
+            failure.name, failure.detail
+        ))
     }
 }
 
@@ -715,6 +991,7 @@ fn main() -> ExitCode {
             Some("inspect") => cmd_inspect(&args),
             Some("simulate") => cmd_simulate(&args),
             Some("serve") => cmd_serve(&args),
+            Some("audit") => cmd_audit(&args),
             _ => {
                 eprint!("{USAGE}");
                 Err(String::new())

@@ -47,6 +47,7 @@
 //! | [`dtree`] | CART with boxes, paths and leaf editing |
 //! | [`extract`] | Eq. 5 augmentation, noise study, distillation |
 //! | [`verify`] | Algorithm 1 + probabilistic criterion #1 |
+//! | [`mod@audit`] | tamper-evident decision chains + offline verifier |
 //! | [`faults`] | deterministic sensor/weather fault injection |
 //! | [`stats`] | histograms, entropy, JSD, summaries |
 //! | [`serve`] | HTTP serving of verified policies (`POST /decide`) |
@@ -55,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hvac_audit as audit;
 pub use hvac_control as control;
 pub use hvac_dtree as dtree;
 pub use hvac_dynamics as dynamics;
@@ -74,4 +76,4 @@ pub use artifacts::{ArtifactError, ArtifactStore, PipelineKeys, StageKey};
 pub use pipeline::{
     run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig, PipelineError,
 };
-pub use serve::{serve_guarded_policy, serve_policy};
+pub use serve::{serve_guarded_policy, serve_policy, serve_with_options, ServeOptions};

@@ -29,14 +29,15 @@
 //! structured `422` JSON (`{"error": …, "status": …}`), and no
 //! handler panic can reach the socket.
 
+use hvac_audit::AuditChain;
 use hvac_control::{DtPolicy, GuardConfig, GuardedPolicy};
 use hvac_env::space::feature;
 use hvac_env::{ComfortRange, Observation, Policy, POLICY_INPUT_DIM};
 use hvac_telemetry::http::{HttpServer, Response};
 use hvac_telemetry::json::{parse, JsonValue, ObjectWriter};
-use hvac_telemetry::LATENCY_BOUNDS_NS;
+use hvac_telemetry::{warn, LATENCY_BOUNDS_NS};
 use std::net::ToSocketAddrs;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Largest accepted `POST /decide` body. A flat 7-field observation
@@ -114,13 +115,58 @@ pub fn observation_from_json(text: &str) -> Result<Observation, String> {
 ///
 /// Propagates [`observation_from_json`] errors.
 pub fn decide_json(policy: &Mutex<GuardedPolicy<DtPolicy>>, body: &str) -> Result<String, String> {
+    decide_json_audited(policy, None, body)
+}
+
+/// [`decide_json`] with an optional tamper-evident decision chain:
+/// when `audit` is given, the guard's ladder transitions and the
+/// decision itself (observation, setpoints, action index, guard rung)
+/// are appended to the chain before the response is rendered.
+///
+/// A failed chain append never fails the request — the decision was
+/// already taken and the actuator side must not stall on audit I/O —
+/// but it is counted (`serve.audit.errors`) and logged, so a full
+/// chain that stopped recording is loudly visible.
+///
+/// # Errors
+///
+/// Propagates [`observation_from_json`] errors.
+pub fn decide_json_audited(
+    policy: &Mutex<GuardedPolicy<DtPolicy>>,
+    audit: Option<&AuditChain>,
+    body: &str,
+) -> Result<String, String> {
     let observation = observation_from_json(body)?;
     let started = Instant::now();
     let mut guard = policy.lock().unwrap_or_else(PoisonError::into_inner);
     let action = guard.decide(&observation);
     let state = guard.state();
     let index = guard.inner().action_space().index_of(action);
+    let transitions = if audit.is_some() {
+        guard.take_transitions()
+    } else {
+        Vec::new()
+    };
     drop(guard);
+    if let Some(chain) = audit {
+        // Ladder movements first, then the decision they led to, so
+        // the chain reads in causal order.
+        let mut result = Ok(());
+        for t in &transitions {
+            result = result.and(chain.append_transition(t.from.name(), t.to.name()));
+        }
+        result = result.and(chain.append_decision(
+            observation.to_vector(),
+            action.heating() as u64,
+            action.cooling() as u64,
+            index as u64,
+            state.name(),
+        ));
+        if let Err(e) = result {
+            hvac_telemetry::counter("serve.audit.errors").incr();
+            warn!("audit chain append failed: {e}");
+        }
+    }
     let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     hvac_telemetry::counter("serve.decisions").incr();
     hvac_telemetry::histogram("serve.decide.ns", LATENCY_BOUNDS_NS).record(latency_ns);
@@ -134,12 +180,104 @@ pub fn decide_json(policy: &Mutex<GuardedPolicy<DtPolicy>>, body: &str) -> Resul
     Ok(o.finish())
 }
 
+/// Serving configuration beyond the policy itself: the guard's
+/// fallback comfort band, an optional tamper-evident audit chain, and
+/// the id of the verification certificate the policy was served under
+/// (stamped into `GET /version`).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Fallback comfort band for the degradation guard.
+    pub comfort: ComfortRange,
+    /// When set, every decision and guard transition is appended to
+    /// this chain, and graceful shutdown seals it.
+    pub audit: Option<Arc<AuditChain>>,
+    /// Certificate id reported by `GET /version` (`None` serves
+    /// uncertified).
+    pub certificate_id: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            comfort: ComfortRange::winter(),
+            audit: None,
+            certificate_id: None,
+        }
+    }
+}
+
+/// Renders the `GET /version` body: crate version, build info (the
+/// `VERI_HVAC_BUILD_INFO` compile-time env var when CI stamps one,
+/// a `-src` marker otherwise), the served policy's content hash, and
+/// the certificate id when the policy is certified.
+fn version_json(policy_hash: &str, certificate_id: Option<&str>) -> String {
+    let mut o = ObjectWriter::new();
+    o.str_field("crate_version", env!("CARGO_PKG_VERSION"));
+    o.str_field(
+        "build",
+        option_env!("VERI_HVAC_BUILD_INFO").unwrap_or(concat!(
+            "v",
+            env!("CARGO_PKG_VERSION"),
+            "-src"
+        )),
+    );
+    o.str_field("policy_hash", policy_hash);
+    o.bool_field("certified", certificate_id.is_some());
+    if let Some(id) = certificate_id {
+        o.str_field("certificate_id", id);
+    }
+    o.finish()
+}
+
 /// Binds the serving endpoint: `POST /decide` over `policy` (wrapped
 /// in a [`GuardedPolicy`] with the serve-safe [`GuardConfig::new`]
-/// preset and `comfort` as the fallback band) plus the built-in
-/// observability routes. Returns the running server (drop or
-/// [`HttpServer::shutdown`] stops it); `server.addr()` has the bound
-/// port.
+/// preset and the options' comfort band as fallback), `GET /version`,
+/// and the built-in observability routes. With an audit chain in
+/// `options`, every decision is appended to the chain and a graceful
+/// shutdown (explicit or drop) seals it, so the chain file ends on a
+/// complete, verifiable seal record. Returns the running server;
+/// `server.addr()` has the bound port.
+///
+/// # Errors
+///
+/// Propagates socket binding errors.
+pub fn serve_with_options(
+    policy: DtPolicy,
+    options: ServeOptions,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<HttpServer> {
+    let policy_hash = hvac_audit::policy_hash(&policy);
+    let ServeOptions {
+        comfort,
+        audit,
+        certificate_id,
+    } = options;
+    let shared = Mutex::new(GuardedPolicy::new(policy, GuardConfig::new(comfort)));
+    let decide_chain = audit.clone();
+    let mut builder = HttpServer::builder()
+        .max_body_bytes(MAX_DECIDE_BODY_BYTES)
+        .request_timeout(DECIDE_TIMEOUT)
+        .route("POST", "/decide", move |req| {
+            match decide_json_audited(&shared, decide_chain.as_deref(), &req.body) {
+                Ok(body) => Response::json(200, body),
+                Err(message) => Response::error(422, &message),
+            }
+        })
+        .route("GET", "/version", move |_req| {
+            Response::json(200, version_json(&policy_hash, certificate_id.as_deref()))
+        });
+    if let Some(chain) = audit {
+        builder = builder.on_shutdown(move || {
+            if let Err(e) = chain.seal() {
+                warn!("audit chain seal failed on shutdown: {e}");
+            }
+        });
+    }
+    builder.bind(addr)
+}
+
+/// Binds the serving endpoint with only a custom comfort band — no
+/// audit chain, no certificate (see [`serve_with_options`]).
 ///
 /// # Errors
 ///
@@ -149,17 +287,14 @@ pub fn serve_guarded_policy(
     comfort: ComfortRange,
     addr: impl ToSocketAddrs,
 ) -> std::io::Result<HttpServer> {
-    let shared = Mutex::new(GuardedPolicy::new(policy, GuardConfig::new(comfort)));
-    HttpServer::builder()
-        .max_body_bytes(MAX_DECIDE_BODY_BYTES)
-        .request_timeout(DECIDE_TIMEOUT)
-        .route("POST", "/decide", move |req| {
-            match decide_json(&shared, &req.body) {
-                Ok(body) => Response::json(200, body),
-                Err(message) => Response::error(422, &message),
-            }
-        })
-        .bind(addr)
+    serve_with_options(
+        policy,
+        ServeOptions {
+            comfort,
+            ..ServeOptions::default()
+        },
+        addr,
+    )
 }
 
 /// [`serve_guarded_policy`] with the paper's winter comfort band as
@@ -353,6 +488,105 @@ mod tests {
             Some("hold")
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn version_endpoint_reports_build_policy_and_certificate() {
+        // Uncertified: certified=false, no certificate_id key.
+        let server = serve_policy(toy_policy(), "127.0.0.1:0").expect("bind");
+        let (status, text) = blocking_request(server.addr(), "GET", "/version", "").unwrap();
+        assert_eq!(status, 200, "{text}");
+        let v = parse(&text).unwrap();
+        assert_eq!(
+            v.get("crate_version").and_then(JsonValue::as_str),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        assert!(v
+            .get("build")
+            .and_then(JsonValue::as_str)
+            .is_some_and(|b| !b.is_empty()));
+        assert_eq!(
+            v.get("policy_hash").and_then(JsonValue::as_str),
+            Some(hvac_audit::policy_hash(&toy_policy()).as_str())
+        );
+        assert_eq!(v.get("certified").and_then(JsonValue::as_bool), Some(false));
+        assert!(v.get("certificate_id").is_none());
+        server.shutdown();
+
+        // Certified: the id round-trips verbatim.
+        let options = ServeOptions {
+            certificate_id: Some("deadbeef".repeat(8)),
+            ..ServeOptions::default()
+        };
+        let server = serve_with_options(toy_policy(), options, "127.0.0.1:0").expect("bind");
+        let (_, text) = blocking_request(server.addr(), "GET", "/version", "").unwrap();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("certified").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            v.get("certificate_id").and_then(JsonValue::as_str),
+            Some("deadbeef".repeat(8).as_str())
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn audited_serve_session_seals_a_verifiable_chain_on_shutdown() {
+        use hvac_audit::{AuditChain, Auditor, ChainConfig};
+
+        let dir = std::env::temp_dir().join("hvac-serve-audit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.jsonl");
+        let policy = toy_policy();
+        let policy_hash = hvac_audit::policy_hash(&policy);
+        let chain = std::sync::Arc::new(
+            AuditChain::create(
+                &path,
+                &policy_hash,
+                "",
+                ChainConfig {
+                    checkpoint_every: 8,
+                    durable: true,
+                },
+            )
+            .unwrap(),
+        );
+        let options = ServeOptions {
+            audit: Some(std::sync::Arc::clone(&chain)),
+            ..ServeOptions::default()
+        };
+        let server = serve_with_options(policy.clone(), options, "127.0.0.1:0").expect("bind");
+        for i in 0..30 {
+            let temp = 14.0 + f64::from(i) * 0.3;
+            let body = format!(r#"{{"zone_temperature":{temp}}}"#);
+            let (status, _) = blocking_request(server.addr(), "POST", "/decide", &body).unwrap();
+            assert_eq!(status, 200);
+        }
+        // One invalid reading so the chain records guard transitions
+        // too (normal → hold → normal).
+        let (status, _) = blocking_request(
+            server.addr(),
+            "POST",
+            "/decide",
+            r#"{"zone_temperature":300}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        // Graceful shutdown runs the seal hook before returning.
+        server.shutdown();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        // No trailing partial record: the file ends on a newline and
+        // the last line is a complete seal record.
+        assert!(text.ends_with('\n'), "chain file ends mid-record");
+        assert!(
+            text.lines().last().unwrap().contains(r#""kind":"seal""#),
+            "chain does not end in a seal record"
+        );
+        let report = Auditor::new(&text).with_policy(&policy).run();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.decisions, 31);
+        assert!(report.transitions >= 1, "{report}");
+        assert!(report.sealed);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! short-lived thread, and connections beyond the cap are answered
 //! `503` instead of queueing unboundedly. Shutdown is graceful — the
 //! guard sets a flag, wakes the accept loop with a loopback
-//! connection, and joins it.
+//! connection, joins it, runs any [`ServerBuilder::on_shutdown`]
+//! hooks, and flushes the installed telemetry sink so buffered JSONL
+//! events reach disk before the process exits.
 //!
 //! Every server answers three built-in routes:
 //!
@@ -49,7 +51,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -176,6 +178,7 @@ struct Route {
 pub struct ServerBuilder {
     routes: Vec<Route>,
     limits: Limits,
+    shutdown_hooks: Vec<Box<dyn FnOnce() + Send>>,
 }
 
 impl ServerBuilder {
@@ -207,6 +210,16 @@ impl ServerBuilder {
     /// mid-request is answered `408`. Defaults to 10 s.
     pub fn request_timeout(mut self, timeout: Duration) -> Self {
         self.limits.request_timeout = timeout;
+        self
+    }
+
+    /// Registers a hook run exactly once on graceful shutdown (explicit
+    /// [`HttpServer::shutdown`] or drop), after the accept loop has
+    /// been joined — i.e. after the last accepted request finished
+    /// dispatching. Serving layers use this to seal audit chains and
+    /// flush durable logs before the process exits.
+    pub fn on_shutdown(mut self, hook: impl FnOnce() + Send + 'static) -> Self {
+        self.shutdown_hooks.push(Box::new(hook));
         self
     }
 
@@ -255,6 +268,7 @@ impl ServerBuilder {
             addr: local,
             shutdown,
             accept_thread: Some(accept_thread),
+            shutdown_hooks: Mutex::new(self.shutdown_hooks),
         })
     }
 }
@@ -408,11 +422,27 @@ fn read_request(stream: &mut TcpStream, limits: Limits) -> Result<Request, HttpE
 
 /// A running observability server; shuts down on [`HttpServer::shutdown`]
 /// or drop.
-#[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    // Behind a `Mutex` so the server stays `Sync` (harnesses park it in
+    // a `static OnceLock`) even though `FnOnce` boxes are not.
+    shutdown_hooks: Mutex<Vec<Box<dyn FnOnce() + Send>>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let hooks = self
+            .shutdown_hooks
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("shutdown_hooks", &hooks)
+            .finish_non_exhaustive()
+    }
 }
 
 impl HttpServer {
@@ -451,6 +481,20 @@ impl HttpServer {
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         let _ = handle.join();
+        // A graceful stop must not strand buffered observability:
+        // run the registered hooks (audit-chain seals etc.), then
+        // flush any installed telemetry sink so JSONL files end on a
+        // complete record.
+        let hooks = std::mem::take(
+            &mut *self
+                .shutdown_hooks
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for hook in hooks {
+            hook();
+        }
+        crate::sink::flush();
     }
 }
 

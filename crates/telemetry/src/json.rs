@@ -99,6 +99,44 @@ impl ObjectWriter {
         }
     }
 
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Adds an array of floats. Values round-trip bitwise through
+    /// [`parse`] (written with `{:?}` precision); non-finite entries
+    /// become `null`.
+    pub fn f64_array_field(&mut self, name: &str, values: &[f64]) {
+        self.key(name);
+        self.buf.push('[');
+        for (i, value) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            if value.is_finite() {
+                let _ = write!(self.buf, "{value:?}");
+            } else {
+                self.buf.push_str("null");
+            }
+        }
+        self.buf.push(']');
+    }
+
+    /// Adds an array of strings.
+    pub fn str_array_field(&mut self, name: &str, values: &[String]) {
+        self.key(name);
+        self.buf.push('[');
+        for (i, value) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            escape_into(&mut self.buf, value);
+        }
+        self.buf.push(']');
+    }
+
     /// Closes the object and returns the JSON text.
     pub fn finish(mut self) -> String {
         self.buf.push('}');
@@ -152,6 +190,22 @@ impl JsonValue {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -407,6 +461,22 @@ mod tests {
         assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(42));
         assert_eq!(v.get("secs").and_then(JsonValue::as_f64), Some(1.5));
         assert_eq!(v.get("bad"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn f64_arrays_round_trip_bitwise() {
+        let values = [18.5, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, f64::NAN];
+        let mut o = ObjectWriter::new();
+        o.f64_array_field("obs", &values);
+        let v = parse(&o.finish()).unwrap();
+        let items = v.get("obs").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(items.len(), values.len());
+        for (item, original) in items.iter().zip(&values) {
+            match item.as_f64() {
+                Some(parsed) => assert_eq!(parsed.to_bits(), original.to_bits()),
+                None => assert!(!original.is_finite()),
+            }
+        }
     }
 
     #[test]

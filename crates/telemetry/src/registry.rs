@@ -492,6 +492,49 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edge_cases_never_nan_or_panic() {
+        // Empty histogram (fresh registration, no observations): every
+        // quantile is 0, not a division by a zero total.
+        let empty = HistogramSnapshot {
+            bounds: vec![10, 100],
+            buckets: vec![0, 0, 0],
+            count: 0,
+            sum: 0,
+            max: 0,
+        };
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty histogram at q={q}");
+        }
+
+        // A single observation: p50, p95 and p99 all land in (and are
+        // bounded by) its bucket.
+        let single = histogram("test.registry.quantile_single", &[10, 100, 1000]);
+        single.record(42);
+        let snap = &snapshot().histograms["test.registry.quantile_single"];
+        for q in [0.5, 0.95, 0.99] {
+            let v = snap.quantile(q);
+            assert!((11..=100).contains(&v), "single-sample q={q} was {v}");
+        }
+
+        // Every sample in one interior bucket: all quantiles stay
+        // inside that bucket's bounds, and they are monotone in q.
+        let h = HistogramSnapshot {
+            bounds: vec![10, 100, 1000],
+            buckets: vec![0, 0, 7, 0],
+            count: 7,
+            sum: 3500,
+            max: 999,
+        };
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 >= 100 && p99 <= 1000, "p50 {p50}, p99 {p99}");
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+
+        // Out-of-range q is clamped, not a panic or a bogus rank.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
     fn snapshot_deltas() {
         let c = counter("test.registry.delta");
         let before = snapshot();

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certificate;
 pub mod error;
 pub mod path;
 pub mod probabilistic;
@@ -50,6 +51,7 @@ pub mod reachability;
 pub mod report;
 pub mod runtime;
 
+pub use certificate::{Certificate, CERTIFICATE_FORMAT, CERTIFICATE_WILSON_Z};
 pub use error::VerifyError;
 pub use path::{
     correct_leaf, corrected_action, median_action, verify_paths, CorrectionStrategy,

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses exactly one crossbeam API —
+//! [`thread::scope`] with [`thread::Scope::spawn`] — which `std` has
+//! provided natively since 1.63. This shim keeps crossbeam's call
+//! shape (spawn closures take a `&Scope` argument; `scope` returns a
+//! `Result` that is `Err` when a child panic escaped unjoined) on top
+//! of [`std::thread::scope`].
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; spawned closures receive a reference to it so
+    /// they can spawn siblings.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread; joining yields the closure's
+    /// return value or the payload of its panic.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be
+    /// spawned; all are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the closure (or an unjoined child
+    /// thread) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_through_join() {
+        let result = thread::scope(|scope| {
+            let handle = scope.spawn(|_| -> u32 { panic!("boom") });
+            handle.join()
+        })
+        .expect("scope itself survives a joined child panic");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_argument() {
+        let n = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}
