@@ -26,7 +26,9 @@ use hvac_telemetry::json::{parse, ObjectWriter};
 use hvac_verify::Certificate;
 
 use crate::hash::{sha256_hex, Sha256};
-use crate::record::{split_line, ChainRecord, Payload, CHAIN_FORMAT, GENESIS_PREV_HASH};
+use crate::record::{
+    split_line, ChainRecord, Payload, CHAIN_FORMAT, CHAIN_FORMAT_V1, GENESIS_PREV_HASH,
+};
 
 /// Tuning for an audit pass.
 #[derive(Debug, Clone, Copy)]
@@ -281,10 +283,10 @@ impl<'a> Auditor<'a> {
                 policy_hash,
                 certificate_id,
                 ..
-            }) if format == CHAIN_FORMAT => (
+            }) if format == CHAIN_FORMAT || format == CHAIN_FORMAT_V1 => (
                 policy_hash.clone(),
                 certificate_id.clone(),
-                Ok(format!("format {CHAIN_FORMAT:?}")),
+                Ok(format!("format {format:?}")),
             ),
             Some(Payload::Genesis { format, .. }) => (
                 String::new(),

@@ -9,15 +9,20 @@
 //!
 //! Durability follows the threat model, not just the crash model: a
 //! chain is *evidence*, so by default every append is flushed through
-//! the `BufWriter` to the OS ([`ChainConfig::durable`]). That costs a
-//! `write(2)` per record (measured in `BENCH_serve_audit.json`) but
-//! means a `SIGKILL`-ed serve loses at most the decision in flight —
-//! never a suffix of acknowledged decisions. Non-durable mode keeps
-//! appends in the buffer and leans on the telemetry panic-hook idiom:
-//! live chains register in a process-wide list that
+//! the `BufWriter` to the OS ([`FlushPolicy::Always`]). That costs a
+//! `write(2)` per record (measured in `BENCH_serve_audit.json`: p50
+//! +29.6% on the serve path) but means a `SIGKILL`-ed serve loses at
+//! most the decision in flight — never a suffix of acknowledged
+//! decisions. Deployments that can tolerate a bounded loss window buy
+//! the latency back with [`FlushPolicy::EveryN`] (flush after every
+//! K appends) or [`FlushPolicy::IntervalMs`] (flush when the last
+//! flush is older than T ms); [`FlushPolicy::OnSeal`] buffers
+//! everything until seal/explicit flush and leans on the telemetry
+//! panic-hook idiom: live chains register in a process-wide list that
 //! [`flush_all_chains`] (wired into
 //! [`hvac_telemetry::install_panic_flush_hook`]'s chained hook via
-//! [`install_chain_flush_hook`]) drains on panic.
+//! [`install_chain_flush_hook`]) drains on panic. Sealing flushes
+//! under every policy.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
@@ -32,20 +37,77 @@ use hvac_telemetry::{
 use crate::hash::Sha256;
 use crate::record::{ChainRecord, Payload, CHAIN_FORMAT, GENESIS_PREV_HASH, OBSERVATION_DIM};
 
+/// When buffered appends are pushed to the OS (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush after every append — the evidence-grade default; a kill
+    /// loses at most the decision in flight.
+    Always,
+    /// Flush after every `K` appends (clamped to at least 1); a kill
+    /// loses at most `K` acknowledged records.
+    EveryN(u64),
+    /// Flush when the previous flush is older than `T` ms at append
+    /// time; a kill loses at most the records of the last `T` ms.
+    IntervalMs(u64),
+    /// Buffer until [`AuditChain::seal`] / [`AuditChain::flush`] /
+    /// the panic hook.
+    OnSeal,
+}
+
+impl FlushPolicy {
+    /// Parses the `--audit-flush` CLI syntax: `always`, `every-n=K`,
+    /// or `interval-ms=T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed value.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if text == "always" {
+            return Ok(Self::Always);
+        }
+        if let Some(k) = text.strip_prefix("every-n=") {
+            return match k.parse::<u64>() {
+                Ok(k) if k > 0 => Ok(Self::EveryN(k)),
+                _ => Err(format!("every-n wants a positive integer, got {k:?}")),
+            };
+        }
+        if let Some(t) = text.strip_prefix("interval-ms=") {
+            return match t.parse::<u64>() {
+                Ok(t) => Ok(Self::IntervalMs(t)),
+                _ => Err(format!("interval-ms wants an integer, got {t:?}")),
+            };
+        }
+        Err(format!(
+            "unknown flush policy {text:?}; expected always, every-n=K, or interval-ms=T"
+        ))
+    }
+}
+
+impl std::fmt::Display for FlushPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Always => write!(f, "always"),
+            Self::EveryN(k) => write!(f, "every-n={k}"),
+            Self::IntervalMs(t) => write!(f, "interval-ms={t}"),
+            Self::OnSeal => write!(f, "on-seal"),
+        }
+    }
+}
+
 /// Tuning knobs for a chain writer.
 #[derive(Debug, Clone)]
 pub struct ChainConfig {
     /// A checkpoint record is appended after every this-many records.
     pub checkpoint_every: u64,
-    /// Flush every append to the OS (see module docs). Defaults on.
-    pub durable: bool,
+    /// When appends reach the OS. Defaults to [`FlushPolicy::Always`].
+    pub flush: FlushPolicy,
 }
 
 impl Default for ChainConfig {
     fn default() -> Self {
         Self {
             checkpoint_every: 256,
-            durable: true,
+            flush: FlushPolicy::Always,
         }
     }
 }
@@ -65,6 +127,10 @@ struct Inner {
     transitions: u64,
     /// Content records appended since the last checkpoint.
     since_checkpoint: u64,
+    /// Appends since the last flush ([`FlushPolicy::EveryN`] state).
+    since_flush: u64,
+    /// Process time of the last flush ([`FlushPolicy::IntervalMs`]).
+    last_flush_ns: u64,
     sealed: bool,
 }
 
@@ -110,6 +176,8 @@ impl AuditChain {
                 decisions: 0,
                 transitions: 0,
                 since_checkpoint: 0,
+                since_flush: 0,
+                last_flush_ns: process_elapsed_ns(),
                 sealed: false,
             }),
             config,
@@ -146,6 +214,7 @@ impl AuditChain {
         cooling: u64,
         action_index: u64,
         guard_state: &str,
+        trace_id: Option<&str>,
     ) -> std::io::Result<()> {
         let mut inner = self.inner.lock().expect("audit chain mutex poisoned");
         inner.decisions += 1;
@@ -158,6 +227,7 @@ impl AuditChain {
                 cooling,
                 action_index,
                 guard_state: guard_state.to_string(),
+                trace_id: trace_id.map(str::to_string),
             },
         )
     }
@@ -194,6 +264,7 @@ impl AuditChain {
         let payload = Self::checkpoint_payload(&inner);
         self.append_locked(&mut inner, "seal", payload)?;
         inner.sealed = true;
+        // The seal reaches disk under every flush policy.
         inner.out.flush()
     }
 
@@ -203,11 +274,11 @@ impl AuditChain {
     ///
     /// Propagates flush failures.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.inner
-            .lock()
-            .expect("audit chain mutex poisoned")
-            .out
-            .flush()
+        let mut inner = self.inner.lock().expect("audit chain mutex poisoned");
+        inner.out.flush()?;
+        inner.since_flush = 0;
+        inner.last_flush_ns = process_elapsed_ns();
+        Ok(())
     }
 
     /// Records appended so far (genesis and checkpoints included).
@@ -256,8 +327,19 @@ impl AuditChain {
         inner.digest.update(b"\n");
         inner.prev_hash = record.record_hash;
         inner.next_seq += 1;
-        if self.config.durable {
+        inner.since_flush += 1;
+        let due = match self.config.flush {
+            FlushPolicy::Always => true,
+            FlushPolicy::EveryN(k) => inner.since_flush >= k.max(1),
+            FlushPolicy::IntervalMs(t) => {
+                process_elapsed_ns().saturating_sub(inner.last_flush_ns) >= t * 1_000_000
+            }
+            FlushPolicy::OnSeal => false,
+        };
+        if due {
             inner.out.flush()?;
+            inner.since_flush = 0;
+            inner.last_flush_ns = process_elapsed_ns();
         }
         self.records_total.incr();
         self.append_ns
@@ -364,13 +446,13 @@ mod tests {
             "",
             ChainConfig {
                 checkpoint_every: 4,
-                durable: false,
+                flush: FlushPolicy::OnSeal,
             },
         )
         .unwrap();
         for i in 0..10u64 {
             chain
-                .append_decision(obs(i as f64), 20, 26, i, "normal")
+                .append_decision(obs(i as f64), 20, 26, i, "normal", Some("req-ln"))
                 .unwrap();
         }
         chain.append_transition("normal", "hold").unwrap();
@@ -435,7 +517,7 @@ mod tests {
         chain.seal().unwrap();
         chain.seal().unwrap();
         assert!(chain
-            .append_decision(obs(0.0), 20, 26, 0, "normal")
+            .append_decision(obs(0.0), 20, 26, 0, "normal", None)
             .is_err());
         let records = read_records(&path);
         assert_eq!(records.len(), 2);
@@ -448,7 +530,7 @@ mod tests {
         {
             let chain = AuditChain::create(&path, "ph", "", ChainConfig::default()).unwrap();
             chain
-                .append_decision(obs(1.0), 21, 27, 3, "normal")
+                .append_decision(obs(1.0), 21, 27, 3, "normal", None)
                 .unwrap();
         }
         let records = read_records(&path);
@@ -464,17 +546,98 @@ mod tests {
             "",
             ChainConfig {
                 checkpoint_every: 256,
-                durable: true,
+                flush: FlushPolicy::Always,
             },
         )
         .unwrap();
         chain
-            .append_decision(obs(2.0), 22, 28, 5, "normal")
+            .append_decision(obs(2.0), 22, 28, 5, "normal", Some("req-durable"))
             .unwrap();
         // Read back while the chain is still open: both records are on
         // disk, every line complete.
         let records = read_records(&path);
         assert_eq!(records.len(), 2);
+        drop(chain);
+    }
+
+    #[test]
+    fn flush_policy_parses_cli_syntax() {
+        assert_eq!(FlushPolicy::parse("always"), Ok(FlushPolicy::Always));
+        assert_eq!(
+            FlushPolicy::parse("every-n=64"),
+            Ok(FlushPolicy::EveryN(64))
+        );
+        assert_eq!(
+            FlushPolicy::parse("interval-ms=25"),
+            Ok(FlushPolicy::IntervalMs(25))
+        );
+        assert!(FlushPolicy::parse("every-n=0").is_err());
+        assert!(FlushPolicy::parse("every-n=x").is_err());
+        assert!(FlushPolicy::parse("sometimes").is_err());
+        assert_eq!(FlushPolicy::EveryN(8).to_string(), "every-n=8");
+    }
+
+    #[test]
+    fn every_n_flushes_in_batches_and_seal_flushes_the_rest() {
+        let path = temp_path("everyn");
+        let chain = AuditChain::create(
+            &path,
+            "ph",
+            "",
+            ChainConfig {
+                checkpoint_every: 1_000,
+                flush: FlushPolicy::EveryN(4),
+            },
+        )
+        .unwrap();
+        // Genesis is append 1 of the first batch of 4; two decisions
+        // leave the batch incomplete, so only complete lines on disk
+        // come from ... nothing yet (batch not full).
+        chain
+            .append_decision(obs(0.0), 20, 26, 0, "normal", None)
+            .unwrap();
+        chain
+            .append_decision(obs(1.0), 20, 26, 1, "normal", None)
+            .unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().is_empty());
+        // Fourth append completes the batch → everything visible.
+        chain
+            .append_decision(obs(2.0), 20, 26, 2, "normal", None)
+            .unwrap();
+        assert_eq!(read_records(&path).len(), 4);
+        // One more buffered append, then seal pushes it out with the
+        // seal record regardless of batch state.
+        chain
+            .append_decision(obs(3.0), 20, 26, 3, "normal", None)
+            .unwrap();
+        chain.seal().unwrap();
+        let records = read_records(&path);
+        assert_eq!(records.len(), 6);
+        assert_eq!(records.last().unwrap().kind, "seal");
+    }
+
+    #[test]
+    fn interval_policy_flushes_once_the_clock_passes() {
+        let path = temp_path("interval");
+        let chain = AuditChain::create(
+            &path,
+            "ph",
+            "",
+            ChainConfig {
+                checkpoint_every: 1_000,
+                flush: FlushPolicy::IntervalMs(20),
+            },
+        )
+        .unwrap();
+        chain
+            .append_decision(obs(0.0), 20, 26, 0, "normal", None)
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // The next append notices the interval elapsed and flushes.
+        chain
+            .append_decision(obs(1.0), 20, 26, 1, "normal", None)
+            .unwrap();
+        assert_eq!(read_records(&path).len(), 3);
         drop(chain);
     }
 
@@ -488,13 +651,13 @@ mod tests {
                 "",
                 ChainConfig {
                     checkpoint_every: 256,
-                    durable: false,
+                    flush: FlushPolicy::OnSeal,
                 },
             )
             .unwrap(),
         ));
         chain
-            .append_decision(obs(3.0), 23, 29, 6, "normal")
+            .append_decision(obs(3.0), 23, 29, 6, "normal", None)
             .unwrap();
         flush_all_chains();
         let records = read_records(&path);

@@ -31,8 +31,14 @@ use crate::hash::sha256_hex;
 use hvac_telemetry::json::{JsonValue, ObjectWriter};
 
 /// Chain format tag embedded in every genesis record. Bump on any
-/// change to the record schema or canonical encoding.
-pub const CHAIN_FORMAT: &str = "decision_chain v1";
+/// change to the record schema or canonical encoding. v2 added the
+/// optional `trace_id` field to decision records; v1 chains (no
+/// `trace_id` anywhere) still parse and hash-verify, so verifiers
+/// accept both tags.
+pub const CHAIN_FORMAT: &str = "decision_chain v2";
+
+/// The PR 6 format tag: decision records without `trace_id`.
+pub const CHAIN_FORMAT_V1: &str = "decision_chain v1";
 
 /// `prev_hash` of the genesis record: 64 zeros (no predecessor).
 pub const GENESIS_PREV_HASH: &str =
@@ -72,6 +78,10 @@ pub enum Payload {
         /// Guard rung that produced the action (`normal`, `hold`,
         /// `fallback`, `fail_safe`).
         guard_state: String,
+        /// Trace id of the serving request (format v2; `None` when
+        /// parsed from a v1 chain, in which case the field is absent
+        /// from the canonical text so v1 hashes still verify).
+        trace_id: Option<String>,
     },
     /// A guard degradation-ladder transition (PR 4's rungs made
     /// auditable).
@@ -232,6 +242,14 @@ impl ChainRecord {
                     cooling: u64_of("cooling")?,
                     action_index: u64_of("action_index")?,
                     guard_state: str_of("guard_state")?,
+                    trace_id: v
+                        .get("trace_id")
+                        .map(|t| {
+                            t.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "non-string field \"trace_id\"".to_string())
+                        })
+                        .transpose()?,
                 }
             }
             "transition" => Payload::Transition {
@@ -282,12 +300,18 @@ fn canonical_text(kind: &str, seq: u64, t_ns: u64, prev_hash: &str, payload: &Pa
             cooling,
             action_index,
             guard_state,
+            trace_id,
         } => {
             o.f64_array_field("observation", observation);
             o.u64_field("heating", *heating);
             o.u64_field("cooling", *cooling);
             o.u64_field("action_index", *action_index);
             o.str_field("guard_state", guard_state);
+            // Written only when present so v1 chains (no trace ids)
+            // re-canonicalise to the exact bytes they were hashed over.
+            if let Some(trace_id) = trace_id {
+                o.str_field("trace_id", trace_id);
+            }
         }
         Payload::Transition { from, to } => {
             o.str_field("from", from);
@@ -347,6 +371,7 @@ mod tests {
                 cooling: 30,
                 action_index: 7,
                 guard_state: "normal".into(),
+                trace_id: Some("req-00000001".into()),
             },
         )
     }
@@ -379,6 +404,42 @@ mod tests {
         let mut tampered = record;
         if let Payload::Decision { heating, .. } = &mut tampered.payload {
             *heating = 24;
+        }
+        assert!(!tampered.hash_is_consistent());
+    }
+
+    #[test]
+    fn v1_decision_without_trace_id_still_round_trips() {
+        // A v1 chain line carries no trace_id; parsing must yield
+        // `None` and re-canonicalising must reproduce the hashed bytes.
+        let v1 = ChainRecord::new(
+            "decision",
+            2,
+            999,
+            "ab".repeat(32),
+            Payload::Decision {
+                observation: [18.5, -3.0, 55.0, 4.5, 120.0, 3.0, 10.25],
+                heating: 21,
+                cooling: 26,
+                action_index: 1,
+                guard_state: "normal".into(),
+                trace_id: None,
+            },
+        );
+        assert!(!v1.canonical().contains("trace_id"));
+        let line = v1.to_line();
+        let parsed =
+            ChainRecord::from_json(&parse(split_line(line.trim_end()).unwrap()).unwrap()).unwrap();
+        assert_eq!(parsed, v1);
+        assert!(parsed.hash_is_consistent());
+    }
+
+    #[test]
+    fn trace_id_is_hash_covered_in_v2_records() {
+        let record = decision_record();
+        let mut tampered = record;
+        if let Payload::Decision { trace_id, .. } = &mut tampered.payload {
+            *trace_id = Some("req-spoofed".into());
         }
         assert!(!tampered.hash_is_consistent());
     }

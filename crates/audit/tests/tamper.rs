@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use hvac_audit::{
     bind_certificate, policy_hash, AuditChain, AuditOptions, AuditReport, Auditor, ChainConfig,
+    FlushPolicy,
 };
 use hvac_control::DtPolicy;
 use hvac_dtree::{DecisionTree, TreeConfig};
@@ -85,7 +86,7 @@ fn record_session(
             certificate_id,
             ChainConfig {
                 checkpoint_every,
-                durable: false,
+                flush: FlushPolicy::OnSeal,
             },
         )
         .unwrap(),
@@ -100,7 +101,9 @@ fn record_session(
         // to skip.
         if i % 97 == 5 {
             chain.append_transition("normal", "hold").unwrap();
-            chain.append_decision(x, 20, 26, index, "hold").unwrap();
+            chain
+                .append_decision(x, 20, 26, index, "hold", Some("req-hold"))
+                .unwrap();
             chain.append_transition("hold", "normal").unwrap();
             continue;
         }
@@ -111,6 +114,7 @@ fn record_session(
                 action.cooling() as u64,
                 index,
                 "normal",
+                Some(&format!("req-{i:08x}")),
             )
             .unwrap();
     }

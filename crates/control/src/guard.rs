@@ -417,6 +417,25 @@ impl<P: Policy> Policy for GuardedPolicy<P> {
     }
 }
 
+impl<P: Policy> GuardedPolicy<P> {
+    /// [`Policy::decide`] with the serving request's trace id threaded
+    /// through: identical decision semantics, plus a trace-level
+    /// telemetry message stamping the id, the rung that served the
+    /// decision, and the chosen setpoints — so a JSONL trace joins
+    /// against the flight recorder and the audit chain by id.
+    pub fn decide_traced(&mut self, obs: &Observation, trace_id: &str) -> SetpointAction {
+        let action = self.decide(obs);
+        hvac_telemetry::trace!(
+            "guard.decide trace_id={} rung={} heating={} cooling={}",
+            trace_id,
+            self.state.name(),
+            action.heating(),
+            action.cooling()
+        );
+        action
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +497,24 @@ mod tests {
         assert_eq!(guarded.stats(), GuardStats::default());
         assert_eq!(guarded.name(), "guarded(dt)");
         assert!(guarded.is_deterministic());
+    }
+
+    #[test]
+    fn traced_decide_matches_untraced_decide() {
+        let mut plain =
+            GuardedPolicy::new(toy_policy(), GuardConfig::strict(ComfortRange::winter()));
+        let mut traced =
+            GuardedPolicy::new(toy_policy(), GuardConfig::strict(ComfortRange::winter()));
+        for step in 0..50 {
+            let zone = 17.0 + 3.0 * ((step as f64) * 0.41).sin();
+            let o = obs(zone, step);
+            assert_eq!(
+                traced.decide_traced(&o, "req-trace-eq"),
+                plain.decide(&o),
+                "step {step}"
+            );
+            assert_eq!(traced.state(), plain.state(), "step {step}");
+        }
     }
 
     #[test]

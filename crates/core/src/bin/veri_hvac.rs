@@ -59,8 +59,10 @@ USAGE:
   veri-hvac inspect  --policy FILE [--dot]
   veri-hvac simulate --policy FILE --city <city> [--days N]
   veri-hvac serve    --policy FILE [--addr HOST:PORT] [--audit-log FILE]
-                     [--certificate FILE] [--require-certificate]
-                     [--cache-dir DIR] [--duration SECS]
+                     [--audit-flush always|every-n=K|interval-ms=T]
+                     [--flight-capacity N] [--certificate FILE]
+                     [--require-certificate] [--cache-dir DIR]
+                     [--duration SECS]
   veri-hvac audit    --chain FILE [--policy FILE] [--certificate FILE]
                      [--cache-dir DIR] [--replay N] [--allow-unsealed]
                      [--json]
@@ -96,7 +98,18 @@ hashes. `serve` picks the certificate up automatically (or via
 GET /version, warns when serving uncertified, and refuses with
 --require-certificate. A wrong or edited certificate is always refused.
 `serve --audit-log FILE` appends every decision and guard transition to
-a tamper-evident hash chain, sealed on graceful shutdown. `audit`
+a tamper-evident hash chain, sealed on graceful shutdown.
+`--audit-flush` trades append latency for durability: `always`
+(default) fsync-buffers every record, `every-n=K` flushes every K
+appends, `interval-ms=T` flushes once T ms have passed; the seal always
+flushes regardless. Serve also runs a live ops plane: every request
+carries a trace id (client `X-Request-Id` or a minted `srv-…` id)
+echoed on the response, stamped into the audit chain, and captured in a
+lock-free flight recorder (`GET /debug/flight`, last N decisions,
+`--flight-capacity N`, default 256, 0 disables). Windowed (60 s)
+latency quantiles ride along in /metrics and /summary.json, and
+`GET /debug/slo` reports fast/slow burn rates for the latency,
+availability, and guard-integrity objectives. `audit`
 re-verifies such a chain offline: every hash, link, and checkpoint
 digest is recomputed, the certificate binding is checked, and sampled
 decisions are re-executed through the policy (--replay N, default 64)
@@ -844,6 +857,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     // Tamper-evident decision chain: every decision and guard
     // transition, hash-chained and sealed on graceful shutdown.
+    let flush = args
+        .flag("audit-flush")
+        .map(hvac_audit::FlushPolicy::parse)
+        .transpose()
+        .map_err(|e| format!("--audit-flush: {e}"))?
+        .unwrap_or(hvac_audit::FlushPolicy::Always);
     let audit = args
         .flag("audit-log")
         .map(|path| {
@@ -853,7 +872,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 certificate
                     .as_ref()
                     .map_or("", |c| c.certificate_id.as_str()),
-                hvac_audit::ChainConfig::default(),
+                hvac_audit::ChainConfig {
+                    flush,
+                    ..hvac_audit::ChainConfig::default()
+                },
             )
             .map(|chain| hvac_audit::register_chain(Arc::new(chain)))
             .map_err(|e| format!("cannot create audit chain {path}: {e}"))
@@ -870,9 +892,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         policy.tree().node_count(),
         policy.tree().depth()
     );
+    let flight_capacity = args
+        .flag("flight-capacity")
+        .map(|n| {
+            n.parse::<usize>()
+                .map_err(|_| format!("--flight-capacity must be a record count, got {n:?}"))
+        })
+        .transpose()?
+        .unwrap_or(veri_hvac::OpsOptions::default().flight_capacity);
     let options = veri_hvac::ServeOptions {
         audit: audit.clone(),
         certificate_id: certificate.as_ref().map(|c| c.certificate_id.clone()),
+        ops: veri_hvac::OpsOptions {
+            flight_capacity,
+            ..veri_hvac::OpsOptions::default()
+        },
         ..veri_hvac::ServeOptions::default()
     };
     let server = veri_hvac::serve_with_options(policy, options, addr)
@@ -883,6 +917,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     println!("  GET  /metrics     Prometheus text format 0.0.4");
     println!("  GET  /healthz     liveness probe");
     println!("  GET  /summary.json  registry summary with p50/p95/p99");
+    println!("  GET  /debug/slo   SLO objectives with fast/slow burn rates");
+    if flight_capacity > 0 {
+        println!("  GET  /debug/flight  last {flight_capacity} decisions (flight recorder)");
+    }
     if let Some(chain) = &audit {
         println!(
             "audit chain: {} (sealed on graceful shutdown; verify with `veri-hvac audit`)",

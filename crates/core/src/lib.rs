@@ -76,4 +76,7 @@ pub use artifacts::{ArtifactError, ArtifactStore, PipelineKeys, StageKey};
 pub use pipeline::{
     run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig, PipelineError,
 };
-pub use serve::{serve_guarded_policy, serve_policy, serve_with_options, ServeOptions};
+pub use serve::{
+    decide_json_traced, serve_guarded_policy, serve_policy, serve_with_options, DecideOutcome,
+    OpsOptions, ServeOptions,
+};

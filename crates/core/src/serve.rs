@@ -28,15 +28,30 @@
 //! longer than [`DECIDE_TIMEOUT`] get `408`, parse failures are a
 //! structured `422` JSON (`{"error": …, "status": …}`), and no
 //! handler panic can reach the socket.
+//!
+//! On top of the decision path sits the **live ops plane**
+//! ([`OpsOptions`]): every request carries a trace id (the client's
+//! validated `X-Request-Id`, or a minted deterministic one) that is
+//! echoed in the response header and body, stamped into the audit
+//! chain's decision record, threaded through the guard's telemetry,
+//! and captured — together with per-stage latencies, guard rung,
+//! action, and HTTP status — in a lock-free flight recorder behind
+//! `GET /debug/flight`. Decide latencies also feed a sliding-window
+//! histogram (windowed p50/p95/p99 in `/metrics` and `/summary.json`)
+//! and an SLO tracker with fast/slow burn rates behind
+//! `GET /debug/slo`.
 
 use hvac_audit::AuditChain;
 use hvac_control::{DtPolicy, GuardConfig, GuardedPolicy};
 use hvac_env::space::feature;
 use hvac_env::{ComfortRange, Observation, Policy, POLICY_INPUT_DIM};
-use hvac_telemetry::http::{HttpServer, Response};
+use hvac_telemetry::http::{HttpServer, Response, REQUEST_ID_HEADER};
 use hvac_telemetry::json::{parse, JsonValue, ObjectWriter};
-use hvac_telemetry::{warn, LATENCY_BOUNDS_NS};
+use hvac_telemetry::ring::{FlightRecord, FlightRecorder};
+use hvac_telemetry::slo::{SloConfig, SloTracker};
+use hvac_telemetry::{process_elapsed_ns, warn, windowed_histogram, LATENCY_BOUNDS_NS};
 use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -136,10 +151,58 @@ pub fn decide_json_audited(
     audit: Option<&AuditChain>,
     body: &str,
 ) -> Result<String, String> {
-    let observation = observation_from_json(body)?;
+    decide_json_traced(policy, audit, body, None).map(|outcome| outcome.body)
+}
+
+/// Everything one `/decide` request produced, for the ops plane: the
+/// response body plus the per-stage breakdown the flight recorder and
+/// SLO tracker consume.
+#[derive(Debug)]
+pub struct DecideOutcome {
+    /// Rendered response JSON.
+    pub body: String,
+    /// Time spent parsing the request body, ns.
+    pub parse_ns: u64,
+    /// Time spent inside the guarded decide (policy mutex included), ns.
+    pub decide_ns: u64,
+    /// Time spent appending to the audit chain (0 when unaudited), ns.
+    pub audit_ns: u64,
+    /// End-to-end handler latency (the value `serve.decide.ns`
+    /// recorded), ns.
+    pub total_ns: u64,
+    /// Guard rung gauge (0 normal … 3 fail-safe).
+    pub guard_gauge: u64,
+    /// Chosen heating setpoint (°C).
+    pub heating: u64,
+    /// Chosen cooling setpoint (°C).
+    pub cooling: u64,
+}
+
+/// [`decide_json_audited`] with the request's trace id threaded all
+/// the way down: into the guard's decide (trace-level telemetry), the
+/// audit chain's decision record (format v2), and the response body's
+/// `trace_id` field. Returns the full [`DecideOutcome`] so the caller
+/// can feed the flight recorder and SLO tracker.
+///
+/// # Errors
+///
+/// Propagates [`observation_from_json`] errors.
+pub fn decide_json_traced(
+    policy: &Mutex<GuardedPolicy<DtPolicy>>,
+    audit: Option<&AuditChain>,
+    body: &str,
+    trace_id: Option<&str>,
+) -> Result<DecideOutcome, String> {
     let started = Instant::now();
+    let observation = observation_from_json(body)?;
+    let parse_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let decide_started = Instant::now();
     let mut guard = policy.lock().unwrap_or_else(PoisonError::into_inner);
-    let action = guard.decide(&observation);
+    let action = match trace_id {
+        Some(id) => guard.decide_traced(&observation, id),
+        None => guard.decide(&observation),
+    };
     let state = guard.state();
     let index = guard.inner().action_space().index_of(action);
     let transitions = if audit.is_some() {
@@ -148,6 +211,9 @@ pub fn decide_json_audited(
         Vec::new()
     };
     drop(guard);
+    let decide_ns = u64::try_from(decide_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let audit_started = Instant::now();
     if let Some(chain) = audit {
         // Ladder movements first, then the decision they led to, so
         // the chain reads in causal order.
@@ -161,12 +227,19 @@ pub fn decide_json_audited(
             action.cooling() as u64,
             index as u64,
             state.name(),
+            trace_id,
         ));
         if let Err(e) = result {
             hvac_telemetry::counter("serve.audit.errors").incr();
             warn!("audit chain append failed: {e}");
         }
     }
+    let audit_ns = if audit.is_some() {
+        u64::try_from(audit_started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    } else {
+        0
+    };
+
     let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     hvac_telemetry::counter("serve.decisions").incr();
     hvac_telemetry::histogram("serve.decide.ns", LATENCY_BOUNDS_NS).record(latency_ns);
@@ -177,13 +250,55 @@ pub fn decide_json_audited(
     o.str_field("action", &action.to_string());
     o.str_field("guard_state", state.name());
     o.u64_field("latency_ns", latency_ns);
-    Ok(o.finish())
+    if let Some(id) = trace_id {
+        o.str_field("trace_id", id);
+    }
+    Ok(DecideOutcome {
+        body: o.finish(),
+        parse_ns,
+        decide_ns,
+        audit_ns,
+        total_ns: latency_ns,
+        guard_gauge: state.as_gauge(),
+        heating: action.heating() as u64,
+        cooling: action.cooling() as u64,
+    })
 }
 
+/// Live ops-plane knobs for a serve session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpsOptions {
+    /// Flight-recorder capacity (last-N decisions behind
+    /// `GET /debug/flight`); 0 disables the recorder (and the route
+    /// answers 404). Defaults to 256.
+    pub flight_capacity: usize,
+    /// Feed decide latencies into the sliding-window histogram
+    /// (windowed p50/p95/p99 in `/metrics` / `/summary.json`).
+    /// Defaults on.
+    pub windowed: bool,
+    /// Objectives for the `GET /debug/slo` burn-rate tracker.
+    pub slo: SloConfig,
+}
+
+impl Default for OpsOptions {
+    fn default() -> Self {
+        Self {
+            flight_capacity: 256,
+            windowed: true,
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+/// The sliding window the serve path records decide latencies into:
+/// one minute at five-second resolution.
+const SERVE_WINDOW_NS: u64 = 60 * 1_000_000_000;
+const SERVE_WINDOW_EPOCHS: usize = 12;
+
 /// Serving configuration beyond the policy itself: the guard's
-/// fallback comfort band, an optional tamper-evident audit chain, and
-/// the id of the verification certificate the policy was served under
-/// (stamped into `GET /version`).
+/// fallback comfort band, an optional tamper-evident audit chain, the
+/// id of the verification certificate the policy was served under
+/// (stamped into `GET /version`), and the ops plane.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Fallback comfort band for the degradation guard.
@@ -194,6 +309,8 @@ pub struct ServeOptions {
     /// Certificate id reported by `GET /version` (`None` serves
     /// uncertified).
     pub certificate_id: Option<String>,
+    /// Flight recorder / windowed histogram / SLO tracker knobs.
+    pub ops: OpsOptions,
 }
 
 impl Default for ServeOptions {
@@ -202,8 +319,63 @@ impl Default for ServeOptions {
             comfort: ComfortRange::winter(),
             audit: None,
             certificate_id: None,
+            ops: OpsOptions::default(),
         }
     }
+}
+
+/// Mints a deterministic trace id for a request that arrived without
+/// one: FNV-1a over the served policy's hash and a process-local
+/// sequence number — stable across identical replays, unique within a
+/// serve session, and trivially valid per the `X-Request-Id` contract.
+fn mint_trace_id(seed: &str, sequence: u64) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seed.bytes().chain(sequence.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    format!("srv-{h:016x}")
+}
+
+/// Guard rung name for a flight-recorded gauge value.
+fn rung_name(gauge: u64) -> &'static str {
+    match gauge {
+        0 => "normal",
+        1 => "hold",
+        2 => "fallback",
+        3 => "fail_safe",
+        _ => "unknown",
+    }
+}
+
+/// Renders the `GET /debug/flight` body: ring capacity, total records
+/// ever captured, and the surviving snapshot (most recent first).
+fn flight_json(recorder: &FlightRecorder) -> String {
+    let records = recorder.snapshot();
+    let mut out = String::with_capacity(256 + records.len() * 256);
+    out.push_str(&format!(
+        "{{\"capacity\":{},\"recorded\":{},\"records\":[",
+        recorder.capacity(),
+        recorder.recorded()
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut o = ObjectWriter::new();
+        o.str_field("trace_id", &r.trace_id);
+        o.u64_field("t_ns", r.t_ns);
+        o.u64_field("parse_ns", r.parse_ns);
+        o.u64_field("decide_ns", r.decide_ns);
+        o.u64_field("audit_ns", r.audit_ns);
+        o.str_field("guard_state", rung_name(r.guard_state));
+        o.u64_field("heating_setpoint", r.heating_centi / 100);
+        o.u64_field("cooling_setpoint", r.cooling_centi / 100);
+        o.u64_field("http_status", r.http_status);
+        out.push_str(&o.finish());
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Renders the `GET /version` body: crate version, build info (the
@@ -251,21 +423,98 @@ pub fn serve_with_options(
         comfort,
         audit,
         certificate_id,
+        ops,
     } = options;
     let shared = Mutex::new(GuardedPolicy::new(policy, GuardConfig::new(comfort)));
     let decide_chain = audit.clone();
+
+    // Ops plane: flight recorder (0 capacity disables), windowed
+    // latency series, SLO tracker. All lock-free / atomic on the
+    // record path, so the decide handler never queues behind a scrape.
+    let flight =
+        (ops.flight_capacity > 0).then(|| Arc::new(FlightRecorder::new(ops.flight_capacity)));
+    let decide_flight = flight.clone();
+    let window = ops.windowed.then(|| {
+        windowed_histogram(
+            "serve.decide.ns",
+            LATENCY_BOUNDS_NS,
+            SERVE_WINDOW_NS,
+            SERVE_WINDOW_EPOCHS,
+        )
+    });
+    let slo = Arc::new(SloTracker::new(ops.slo));
+    let decide_slo = Arc::clone(&slo);
+    let mint_seed = policy_hash.clone();
+    let mint_sequence = AtomicU64::new(0);
+
     let mut builder = HttpServer::builder()
         .max_body_bytes(MAX_DECIDE_BODY_BYTES)
         .request_timeout(DECIDE_TIMEOUT)
         .route("POST", "/decide", move |req| {
-            match decide_json_audited(&shared, decide_chain.as_deref(), &req.body) {
-                Ok(body) => Response::json(200, body),
-                Err(message) => Response::error(422, &message),
+            // The HTTP layer has already 422'd malformed client ids,
+            // so whatever arrives here is safe to embed downstream.
+            let trace_id = match req.request_id() {
+                Some(id) => id.to_string(),
+                None => mint_trace_id(&mint_seed, mint_sequence.fetch_add(1, Ordering::Relaxed)),
+            };
+            let now_ns = process_elapsed_ns();
+            let (response, record) = match decide_json_traced(
+                &shared,
+                decide_chain.as_deref(),
+                &req.body,
+                Some(&trace_id),
+            ) {
+                Ok(outcome) => {
+                    if let Some(w) = window {
+                        w.record_at(now_ns, outcome.total_ns);
+                    }
+                    decide_slo.record_decide_at(now_ns, outcome.total_ns);
+                    decide_slo.record_guard_at(now_ns, outcome.guard_gauge);
+                    let record = FlightRecord {
+                        trace_id: trace_id.clone(),
+                        t_ns: now_ns,
+                        parse_ns: outcome.parse_ns,
+                        decide_ns: outcome.decide_ns,
+                        audit_ns: outcome.audit_ns,
+                        guard_state: outcome.guard_gauge,
+                        heating_centi: outcome.heating * 100,
+                        cooling_centi: outcome.cooling * 100,
+                        http_status: 200,
+                    };
+                    (Response::json(200, outcome.body), record)
+                }
+                Err(message) => {
+                    let record = FlightRecord {
+                        trace_id: trace_id.clone(),
+                        t_ns: now_ns,
+                        parse_ns: 0,
+                        decide_ns: 0,
+                        audit_ns: 0,
+                        guard_state: 0,
+                        heating_centi: 0,
+                        cooling_centi: 0,
+                        http_status: 422,
+                    };
+                    (Response::error(422, &message), record)
+                }
+            };
+            decide_slo.record_response_at(now_ns, response.status);
+            if let Some(ring) = &decide_flight {
+                ring.push(&record);
             }
+            response.with_header(REQUEST_ID_HEADER, trace_id)
         })
         .route("GET", "/version", move |_req| {
             Response::json(200, version_json(&policy_hash, certificate_id.as_deref()))
+        })
+        .route("GET", "/debug/slo", move |_req| {
+            Response::json(200, slo.render_json_at(process_elapsed_ns()))
         });
+    if let Some(ring) = flight {
+        builder = builder.route("GET", "/debug/flight", move |_req| {
+            Response::json(200, flight_json(&ring))
+        });
+    }
     if let Some(chain) = audit {
         builder = builder.on_shutdown(move || {
             if let Err(e) = chain.seal() {
@@ -531,7 +780,7 @@ mod tests {
 
     #[test]
     fn audited_serve_session_seals_a_verifiable_chain_on_shutdown() {
-        use hvac_audit::{AuditChain, Auditor, ChainConfig};
+        use hvac_audit::{AuditChain, Auditor, ChainConfig, FlushPolicy};
 
         let dir = std::env::temp_dir().join("hvac-serve-audit-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -545,7 +794,7 @@ mod tests {
                 "",
                 ChainConfig {
                     checkpoint_every: 8,
-                    durable: true,
+                    flush: FlushPolicy::Always,
                 },
             )
             .unwrap(),
@@ -587,6 +836,150 @@ mod tests {
         assert_eq!(report.decisions, 31);
         assert!(report.transitions >= 1, "{report}");
         assert!(report.sealed);
+    }
+
+    #[test]
+    fn minted_trace_ids_are_deterministic_and_valid() {
+        let a = mint_trace_id("policyhash", 0);
+        let b = mint_trace_id("policyhash", 0);
+        let c = mint_trace_id("policyhash", 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with("srv-"));
+        assert!(hvac_telemetry::http::valid_request_id(&a));
+    }
+
+    #[test]
+    fn decide_without_client_id_mints_one_and_flight_records_it() {
+        use hvac_telemetry::http::{blocking_request_with_headers, header_value};
+
+        let server = serve_policy(toy_policy(), "127.0.0.1:0").expect("bind");
+        let (status, headers, text) = blocking_request_with_headers(
+            server.addr(),
+            "POST",
+            "/decide",
+            &[],
+            r#"{"zone_temperature":18}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{text}");
+        let minted = header_value(&headers, REQUEST_ID_HEADER)
+            .expect("minted id on response")
+            .to_string();
+        assert!(minted.starts_with("srv-"), "{minted}");
+        // The body carries the same id.
+        let v = parse(&text).unwrap();
+        assert_eq!(
+            v.get("trace_id").and_then(JsonValue::as_str),
+            Some(minted.as_str())
+        );
+        // And so does the flight snapshot.
+        let (status, flight) = blocking_request(server.addr(), "GET", "/debug/flight", "").unwrap();
+        assert_eq!(status, 200);
+        let v = parse(&flight).unwrap();
+        let records = v.get("records").and_then(JsonValue::as_array).unwrap();
+        assert!(records
+            .iter()
+            .any(|r| { r.get("trace_id").and_then(JsonValue::as_str) == Some(minted.as_str()) }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_trace_id_reaches_flight_window_and_slo() {
+        use hvac_telemetry::http::{blocking_request_with_headers, header_value};
+
+        let server = serve_policy(toy_policy(), "127.0.0.1:0").expect("bind");
+        let id = "req-ops-plane-0042";
+        let (status, headers, text) = blocking_request_with_headers(
+            server.addr(),
+            "POST",
+            "/decide",
+            &[(REQUEST_ID_HEADER, id)],
+            r#"{"zone_temperature":16}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{text}");
+        assert_eq!(header_value(&headers, REQUEST_ID_HEADER), Some(id));
+
+        // Flight snapshot carries the client id, stage latencies, and
+        // the decision.
+        let (_, flight) = blocking_request(server.addr(), "GET", "/debug/flight", "").unwrap();
+        let v = parse(&flight).unwrap();
+        let records = v.get("records").and_then(JsonValue::as_array).unwrap();
+        let mine = records
+            .iter()
+            .find(|r| r.get("trace_id").and_then(JsonValue::as_str) == Some(id))
+            .expect("client id in flight snapshot");
+        assert!(mine.get("decide_ns").and_then(JsonValue::as_u64).unwrap() > 0);
+        assert_eq!(
+            mine.get("guard_state").and_then(JsonValue::as_str),
+            Some("normal")
+        );
+        assert_eq!(
+            mine.get("http_status").and_then(JsonValue::as_u64),
+            Some(200)
+        );
+
+        // The windowed latency series saw the request.
+        let (_, summary) = blocking_request(server.addr(), "GET", "/summary.json", "").unwrap();
+        let v = parse(&summary).unwrap();
+        let window = v
+            .get("windows")
+            .and_then(|w| w.get("serve.decide.ns"))
+            .expect("windowed serve.decide.ns in summary");
+        assert!(window.get("count").and_then(JsonValue::as_u64).unwrap() >= 1);
+
+        // The SLO tracker counted it and reports burn status.
+        let (status, slo) = blocking_request(server.addr(), "GET", "/debug/slo", "").unwrap();
+        assert_eq!(status, 200);
+        let v = parse(&slo).unwrap();
+        assert!(v.get("overall").and_then(JsonValue::as_str).is_some());
+        let objectives = v.get("objectives").and_then(JsonValue::as_array).unwrap();
+        let availability = objectives
+            .iter()
+            .find(|o| o.get("name").and_then(JsonValue::as_str) == Some("availability"))
+            .unwrap();
+        assert!(
+            availability
+                .get("fast")
+                .and_then(|f| f.get("total"))
+                .and_then(JsonValue::as_u64)
+                .unwrap()
+                >= 1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn disabled_flight_recorder_answers_404() {
+        let options = ServeOptions {
+            ops: OpsOptions {
+                flight_capacity: 0,
+                ..OpsOptions::default()
+            },
+            ..ServeOptions::default()
+        };
+        let server = serve_with_options(toy_policy(), options, "127.0.0.1:0").expect("bind");
+        let (status, _) = blocking_request(server.addr(), "GET", "/debug/flight", "").unwrap();
+        assert_eq!(status, 404);
+        // The SLO endpoint stays up regardless.
+        let (status, _) = blocking_request(server.addr(), "GET", "/debug/slo", "").unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejected_decides_are_flight_recorded_with_422() {
+        let server = serve_policy(toy_policy(), "127.0.0.1:0").expect("bind");
+        let (status, _) = blocking_request(server.addr(), "POST", "/decide", "{broken").unwrap();
+        assert_eq!(status, 422);
+        let (_, flight) = blocking_request(server.addr(), "GET", "/debug/flight", "").unwrap();
+        let v = parse(&flight).unwrap();
+        let records = v.get("records").and_then(JsonValue::as_array).unwrap();
+        assert!(records
+            .iter()
+            .any(|r| { r.get("http_status").and_then(JsonValue::as_u64) == Some(422) }));
+        server.shutdown();
     }
 
     #[test]

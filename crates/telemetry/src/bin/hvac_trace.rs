@@ -1,16 +1,21 @@
 //! `hvac-trace` — analyze JSONL telemetry traces produced by
-//! `HVAC_TELEMETRY=<path>` or `--telemetry <path>`.
+//! `HVAC_TELEMETRY=<path>` or `--telemetry <path>`, and watch a live
+//! serve endpoint's ops plane.
 //!
 //! ```text
 //! hvac-trace report RUN.jsonl      per-stage wall times, critical paths, counters
 //! hvac-trace folded RUN.jsonl      flamegraph folded stacks (pipe to inferno/flamegraph.pl)
 //! hvac-trace diff   A.jsonl B.jsonl   per-stage wall-time deltas (a = baseline)
+//! hvac-trace live   HOST:PORT      terminal dashboard over /summary.json + /debug/slo
 //! ```
 //!
 //! Reports go to stdout; diagnostics to stderr. Exit codes: 0 success,
 //! 1 analysis failure, 2 usage error.
 
+use hvac_telemetry::http::blocking_request;
+use hvac_telemetry::json::{parse, JsonValue};
 use hvac_telemetry::trace::{diff_report, Trace};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -20,6 +25,12 @@ USAGE:
   hvac-trace report FILE       stage wall times, critical paths, counter totals
   hvac-trace folded FILE       flamegraph folded stacks on stdout
   hvac-trace diff FILE FILE    per-stage wall-time regression diff (baseline first)
+  hvac-trace live ADDR [--interval SECS] [--count N]
+                               poll a veri-hvac serve endpoint and render a
+                               live dashboard: windowed latency quantiles,
+                               SLO burn rates, decision/error counters.
+                               --count bounds the number of frames (for
+                               scripting; default: poll until interrupted)
 ";
 
 fn load(path: &str) -> Result<Trace, String> {
@@ -32,6 +43,146 @@ fn load(path: &str) -> Result<Trace, String> {
         );
     }
     Ok(trace)
+}
+
+/// One polled frame of the live dashboard, rendered as plain text so it
+/// works in any terminal (and under `watch`/CI log capture).
+fn live_frame(addr: SocketAddr) -> Result<String, String> {
+    let fetch = |path: &str| -> Result<JsonValue, String> {
+        let (status, body) =
+            blocking_request(addr, "GET", path, "").map_err(|e| format!("GET {path}: {e}"))?;
+        if status != 200 {
+            return Err(format!("GET {path}: HTTP {status}"));
+        }
+        parse(&body).map_err(|e| format!("GET {path}: bad JSON: {e:?}"))
+    };
+    let summary = fetch("/summary.json")?;
+    let slo = fetch("/debug/slo")?;
+
+    let mut out = String::new();
+    let uptime = summary
+        .get("uptime_ns")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "veri-hvac @ {addr}  up {:.1}s  overall: {}\n",
+        uptime as f64 / 1e9,
+        slo.get("overall")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?"),
+    ));
+
+    // Windowed latency quantiles (the last 60 s, not since boot).
+    if let Some(windows) = summary.get("windows") {
+        if let Some(w) = windows.get("serve.decide.ns") {
+            let q = |k: &str| w.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+            out.push_str(&format!(
+                "  decide window ({:.0}s): count {}  p50 {}µs  p95 {}µs  p99 {}µs  max {}µs\n",
+                q("window_ns") as f64 / 1e9,
+                q("count"),
+                q("p50") / 1_000,
+                q("p95") / 1_000,
+                q("p99") / 1_000,
+                q("max") / 1_000,
+            ));
+        }
+    }
+
+    // SLO objectives with fast/slow burn rates.
+    if let Some(objectives) = slo.get("objectives").and_then(JsonValue::as_array) {
+        for objective in objectives {
+            let s = |k: &str| objective.get(k).and_then(JsonValue::as_str).unwrap_or("?");
+            let burn = |window: &str| {
+                objective
+                    .get(window)
+                    .and_then(|w| w.get("burn_rate"))
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0)
+            };
+            let bad = |window: &str| {
+                objective
+                    .get(window)
+                    .and_then(|w| w.get("bad"))
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0)
+            };
+            out.push_str(&format!(
+                "  slo {:<16} {:<8} burn fast {:>7.2}  slow {:>7.2}  bad {}/{}\n",
+                s("name"),
+                s("status"),
+                burn("fast"),
+                burn("slow"),
+                bad("fast"),
+                objective
+                    .get("fast")
+                    .and_then(|w| w.get("total"))
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+            ));
+        }
+    }
+
+    // Lifetime counters worth glancing at (counters render as a map).
+    if let Some(counters) = summary.get("counters") {
+        let mut picks = Vec::new();
+        for name in [
+            "serve.decisions",
+            "http.requests",
+            "http.errors",
+            "guard.rejections",
+            "guard.fallbacks",
+        ] {
+            if let Some(value) = counters.get(name).and_then(JsonValue::as_u64) {
+                picks.push(format!("{name} {value}"));
+            }
+        }
+        if !picks.is_empty() {
+            out.push_str(&format!("  totals: {}\n", picks.join("  ")));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_live(addr_text: &str, rest: &[String]) -> Result<(), String> {
+    let mut interval_secs = 2u64;
+    let mut count: Option<u64> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .as_str();
+        match flag.as_str() {
+            "--interval" => {
+                interval_secs = value
+                    .parse()
+                    .map_err(|_| format!("--interval must be seconds, got {value:?}"))?;
+            }
+            "--count" => {
+                count = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--count must be a number, got {value:?}"))?,
+                );
+            }
+            other => return Err(format!("unknown live flag {other:?}")),
+        }
+    }
+    let addr = addr_text
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr_text}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr_text} resolves to no address"))?;
+
+    let mut frames = 0u64;
+    loop {
+        print!("{}", live_frame(addr)?);
+        frames += 1;
+        if count.is_some_and(|n| frames >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval_secs.max(1)));
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -52,6 +203,7 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{}", diff_report(&load(a)?, &load(b)?));
             Ok(())
         }
+        [cmd, addr, rest @ ..] if cmd == "live" => cmd_live(addr, rest),
         _ => Err(String::new()),
     }
 }

@@ -18,6 +18,8 @@
 use crate::json::escape_into;
 use crate::registry::{snapshot, HistogramSnapshot, RegistrySnapshot};
 use crate::sink::process_elapsed_ns;
+use crate::window::{window_snapshots, WindowSnapshot};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Maps a dotted registry name to a Prometheus-legal metric name:
@@ -88,10 +90,44 @@ pub fn render_prometheus_from(snap: &RegistrySnapshot) -> String {
     out
 }
 
+/// Renders a registry snapshot plus windowed series in Prometheus
+/// text format 0.0.4. Each registered window contributes gauge
+/// series named `<metric>_window_{p50,p95,p99,count,max,len_ns}` —
+/// gauges rather than native histograms because a sliding window can
+/// shrink, which Prometheus counters/histograms must never do.
+pub fn render_prometheus_with(
+    snap: &RegistrySnapshot,
+    windows: &BTreeMap<String, WindowSnapshot>,
+) -> String {
+    let mut out = render_prometheus_from(snap);
+    for (name, w) in windows {
+        let metric = metric_name(name);
+        let h = &w.histogram;
+        for (suffix, value) in [
+            ("p50", h.quantile(0.50)),
+            ("p95", h.quantile(0.95)),
+            ("p99", h.quantile(0.99)),
+            ("count", h.count),
+            ("max", h.max),
+            ("len_ns", w.window_ns),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP {metric}_window_{suffix} {} (sliding window)",
+                escape_help(name)
+            );
+            let _ = writeln!(out, "# TYPE {metric}_window_{suffix} gauge");
+            let _ = writeln!(out, "{metric}_window_{suffix} {value}");
+        }
+    }
+    out
+}
+
 /// Renders the live registry in Prometheus text format 0.0.4
-/// (the `/metrics` endpoint body).
+/// (the `/metrics` endpoint body), including every registered
+/// sliding window.
 pub fn render_prometheus() -> String {
-    render_prometheus_from(&snapshot())
+    render_prometheus_with(&snapshot(), &window_snapshots())
 }
 
 /// Renders a registry snapshot as a nested JSON summary: `uptime_ns`,
@@ -133,9 +169,43 @@ pub fn render_summary_json_from(snap: &RegistrySnapshot) -> String {
     out
 }
 
-/// Renders the live registry as the `/summary.json` body.
+/// Renders a registry snapshot plus windowed series as the summary
+/// JSON: everything [`render_summary_json_from`] emits, followed by a
+/// `windows` section mapping each registered window name to
+/// `{window_ns, count, sum, max, p50, p95, p99}` over that window.
+pub fn render_summary_json_with(
+    snap: &RegistrySnapshot,
+    windows: &BTreeMap<String, WindowSnapshot>,
+) -> String {
+    let mut out = render_summary_json_from(snap);
+    out.pop(); // reopen the top-level object
+    out.push_str(",\"windows\":{");
+    for (i, (name, w)) in windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(&mut out, name);
+        let h = &w.histogram;
+        let _ = write!(
+            out,
+            ":{{\"window_ns\":{},\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            w.window_ns,
+            h.count,
+            h.sum,
+            h.max,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders the live registry as the `/summary.json` body, including
+/// every registered sliding window.
 pub fn render_summary_json() -> String {
-    render_summary_json_from(&snapshot())
+    render_summary_json_with(&snapshot(), &window_snapshots())
 }
 
 #[cfg(test)]
@@ -234,6 +304,37 @@ mod tests {
         assert!(hist.get("count").and_then(JsonValue::as_u64).unwrap() >= 2);
         assert!(hist.get("p50").and_then(JsonValue::as_u64).is_some());
         assert!(hist.get("p99").and_then(JsonValue::as_u64).is_some());
+    }
+
+    #[test]
+    fn windowed_series_render_as_u64_gauges_and_json_section() {
+        let w = crate::window::windowed_histogram(
+            "test.expose.window.ns",
+            &[1_000, 1_000_000],
+            60_000_000_000,
+            12,
+        );
+        w.record(500);
+        w.record(2_000);
+
+        let text = render_prometheus();
+        assert!(text.contains("# TYPE hvac_test_expose_window_ns_window_p99 gauge"));
+        assert!(text.contains("hvac_test_expose_window_ns_window_count 2"));
+        // The windowed lines obey the same "name u64" shape as the rest.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            parts.next().unwrap();
+            assert!(parts.next().unwrap().parse::<u64>().is_ok(), "{line:?}");
+        }
+
+        let v = parse(&render_summary_json()).expect("valid JSON");
+        let win = v
+            .get("windows")
+            .and_then(|ws| ws.get("test.expose.window.ns"))
+            .expect("window present in summary");
+        assert_eq!(win.get("count").and_then(JsonValue::as_u64), Some(2));
+        assert!(win.get("p50").and_then(JsonValue::as_u64).is_some());
+        assert!(win.get("window_ns").and_then(JsonValue::as_u64).is_some());
     }
 
     #[test]

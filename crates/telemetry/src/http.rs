@@ -30,6 +30,14 @@
 //! panicking handler is contained to a `500` plus an `http.panics`
 //! counter instead of tearing down the connection.
 //!
+//! Requests carry an identity: a client-supplied `X-Request-Id` is
+//! validated ([`valid_request_id`]; malformed ids are rejected with a
+//! structured `422` before any handler runs) and echoed on every
+//! response, including error responses generated after the headers
+//! were parsed (oversized body, truncated body, non-UTF-8 body).
+//! Handlers can stamp their own id (e.g. a minted one) via
+//! [`Response::with_header`]; the echo only fills the gap.
+//!
 //! # Example
 //!
 //! ```
@@ -80,6 +88,24 @@ impl Default for Limits {
     }
 }
 
+/// Header carrying the per-request trace id (client-supplied or
+/// minted by the server; always echoed on the response).
+pub const REQUEST_ID_HEADER: &str = "X-Request-Id";
+
+/// Longest accepted client-supplied request id, matching
+/// [`crate::ring::MAX_TRACE_ID_BYTES`].
+pub const MAX_REQUEST_ID_BYTES: usize = 128;
+
+/// A valid request id is 1–128 bytes of printable ASCII with no
+/// spaces (`0x21..=0x7E`) — safe to embed verbatim in JSON, JSONL
+/// audit records, and Prometheus-adjacent text without escaping
+/// surprises.
+pub fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_REQUEST_ID_BYTES
+        && id.bytes().all(|b| (0x21..=0x7e).contains(&b))
+}
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -87,8 +113,26 @@ pub struct Request {
     pub method: String,
     /// Request path without query string (`/decide`).
     pub path: String,
+    /// Request headers in arrival order (names as sent; values
+    /// trimmed). Lookup via [`Request::header`].
+    pub headers: Vec<(String, String)>,
     /// Request body (empty when none was sent).
     pub body: String,
+}
+
+impl Request {
+    /// First header value whose name matches case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The client-supplied `X-Request-Id`, if any (not validated).
+    pub fn request_id(&self) -> Option<&str> {
+        self.header(REQUEST_ID_HEADER)
+    }
 }
 
 /// An HTTP response to send back.
@@ -98,6 +142,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. the echoed `X-Request-Id`).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: String,
 }
@@ -108,6 +154,7 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into(),
         }
     }
@@ -117,8 +164,23 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// Adds a response header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// First header value whose name matches case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// A structured JSON error: `{"error": message, "status": status}`.
@@ -152,13 +214,20 @@ impl Response {
     }
 
     fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             Self::reason(self.status),
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(self.body.as_bytes())?;
         stream.flush()
@@ -309,10 +378,38 @@ fn accept_loop(
 
 fn handle_connection(stream: &mut TcpStream, routes: &[Route], limits: Limits) {
     let started = Instant::now();
-    let response = match read_request(stream, limits) {
-        Ok(request) => dispatch(routes, &request),
-        Err(error) => Response::error(error.status, error.message),
+    let (mut response, request_id) = match read_request(stream, limits) {
+        Ok(request) => match request.request_id() {
+            // A malformed client id is rejected before dispatch so no
+            // handler ever observes (or propagates) an id that cannot
+            // be embedded safely downstream.
+            Some(id) if !valid_request_id(id) => {
+                counter("http.request_id.rejected").incr();
+                (
+                    Response::error(
+                        422,
+                        "invalid X-Request-Id: need 1-128 printable ASCII bytes, no spaces",
+                    ),
+                    None,
+                )
+            }
+            id => {
+                let id = id.map(str::to_owned);
+                (dispatch(routes, &request), id)
+            }
+        },
+        Err(error) => {
+            let id = error.request_id.filter(|id| valid_request_id(id));
+            (Response::error(error.status, error.message), id)
+        }
     };
+    // Echo the client's id on every response — success or error —
+    // unless the handler already stamped one (e.g. a minted id).
+    if response.header(REQUEST_ID_HEADER).is_none() {
+        if let Some(id) = request_id {
+            response = response.with_header(REQUEST_ID_HEADER, id);
+        }
+    }
     let _ = response.write_to(stream);
     counter("http.requests").incr();
     if response.status >= 400 {
@@ -351,10 +448,18 @@ fn dispatch(routes: &[Route], request: &Request) -> Response {
 struct HttpError {
     status: u16,
     message: &'static str,
+    /// The client's `X-Request-Id` when the failure happened after the
+    /// headers were parsed (e.g. an oversized body), so even those
+    /// errors echo the id back.
+    request_id: Option<String>,
 }
 
 fn http_err(status: u16, message: &'static str) -> HttpError {
-    HttpError { status, message }
+    HttpError {
+        status,
+        message,
+        request_id: None,
+    }
 }
 
 /// Maps a socket read failure to 408 when the client stalled past the
@@ -387,6 +492,7 @@ fn read_request(stream: &mut TcpStream, limits: Limits) -> Result<Request, HttpE
 
     let mut content_length = 0usize;
     let mut head_bytes = line.len();
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let mut header = String::new();
         reader
@@ -407,17 +513,38 @@ fn read_request(stream: &mut TcpStream, limits: Limits) -> Result<Request, HttpE
                     .parse()
                     .map_err(|_| http_err(400, "bad content-length"))?;
             }
+            headers.push((name.to_string(), value.trim().to_string()));
         }
     }
+    // Errors past this point happened after the headers were parsed:
+    // carry the client id so the error response still echoes it.
+    let request_id_of = |headers: &[(String, String)]| {
+        headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(REQUEST_ID_HEADER))
+            .map(|(_, v)| v.clone())
+    };
     if content_length > limits.max_body_bytes {
-        return Err(http_err(413, "body too large"));
+        return Err(HttpError {
+            request_id: request_id_of(&headers),
+            ..http_err(413, "body too large")
+        });
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| read_err(&e, "truncated body"))?;
-    let body = String::from_utf8(body).map_err(|_| http_err(400, "body is not UTF-8"))?;
-    Ok(Request { method, path, body })
+    reader.read_exact(&mut body).map_err(|e| HttpError {
+        request_id: request_id_of(&headers),
+        ..read_err(&e, "truncated body")
+    })?;
+    let body = String::from_utf8(body).map_err(|_| HttpError {
+        request_id: request_id_of(&headers),
+        ..http_err(400, "body is not UTF-8")
+    })?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 /// A running observability server; shuts down on [`HttpServer::shutdown`]
@@ -517,13 +644,44 @@ pub fn blocking_request(
     path: &str,
     body: &str,
 ) -> std::io::Result<(u16, String)> {
+    let (status, _headers, body) = blocking_request_with_headers(addr, method, path, &[], body)?;
+    Ok((status, body))
+}
+
+/// Response header list returned by [`blocking_request_with_headers`]:
+/// `(name, value)` pairs in wire order.
+pub type HeaderList = Vec<(String, String)>;
+
+/// Like [`blocking_request`] but sends extra request headers and also
+/// returns the parsed response headers as `(name, value)` pairs —
+/// what the trace-id tests use to assert the `X-Request-Id` echo.
+///
+/// # Errors
+///
+/// Propagates connection and read errors; malformed responses surface
+/// as `InvalidData`.
+pub fn blocking_request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<(u16, HeaderList, String)> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (name, value) in headers {
+        request.push_str(name);
+        request.push_str(": ");
+        request.push_str(value);
+        request.push_str("\r\n");
+    }
+    request.push_str("\r\n");
+    request.push_str(body);
     stream.write_all(request.as_bytes())?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -534,11 +692,26 @@ pub fn blocking_request(
         .ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed status line")
         })?;
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((response.clone(), String::new()));
+    let response_headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Ok((status, response_headers, body))
+}
+
+/// First value of `name` (case-insensitive) in a header list returned
+/// by [`blocking_request_with_headers`].
+pub fn header_value<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
 }
 
 #[cfg(test)]
@@ -683,6 +856,110 @@ mod tests {
             .map(|(status, _)| status == 200)
             .unwrap_or(false);
         assert!(!answered, "server answered after shutdown");
+    }
+
+    #[test]
+    fn request_id_is_echoed_on_success_and_errors() {
+        let server = HttpServer::builder()
+            .route("POST", "/echo", |req| Response::text(200, req.body.clone()))
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let addr = server.addr();
+        let id = [(REQUEST_ID_HEADER, "req-echo-1")];
+
+        let (status, headers, _) =
+            blocking_request_with_headers(addr, "POST", "/echo", &id, "hi").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            header_value(&headers, REQUEST_ID_HEADER),
+            Some("req-echo-1")
+        );
+
+        // Echoed on router errors too.
+        let (status, headers, _) =
+            blocking_request_with_headers(addr, "GET", "/missing", &id, "").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(
+            header_value(&headers, REQUEST_ID_HEADER),
+            Some("req-echo-1")
+        );
+        let (status, headers, _) =
+            blocking_request_with_headers(addr, "GET", "/echo", &id, "").unwrap();
+        assert_eq!(status, 405);
+        assert_eq!(
+            header_value(&headers, REQUEST_ID_HEADER),
+            Some("req-echo-1")
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_id_is_echoed_on_oversized_body_413() {
+        let server = HttpServer::builder()
+            .route("POST", "/echo", |req| Response::text(200, req.body.clone()))
+            .max_body_bytes(8)
+            .bind("127.0.0.1:0")
+            .expect("bind");
+        let big = "x".repeat(64);
+        let (status, headers, _) = blocking_request_with_headers(
+            server.addr(),
+            "POST",
+            "/echo",
+            &[(REQUEST_ID_HEADER, "req-413")],
+            &big,
+        )
+        .unwrap();
+        assert_eq!(status, 413);
+        assert_eq!(header_value(&headers, REQUEST_ID_HEADER), Some("req-413"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_ids_are_rejected_422() {
+        let server = HttpServer::bind("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        // Embedded space → non-printable per our contract.
+        let (status, _, body) = blocking_request_with_headers(
+            addr,
+            "GET",
+            "/healthz",
+            &[(REQUEST_ID_HEADER, "has a space")],
+            "",
+        )
+        .unwrap();
+        assert_eq!(status, 422);
+        let v = crate::json::parse(&body).expect("422 body is JSON");
+        assert_eq!(v.get("status").and_then(|s| s.as_u64()), Some(422));
+
+        // Oversized id.
+        let long = "a".repeat(MAX_REQUEST_ID_BYTES + 1);
+        let (status, _, _) = blocking_request_with_headers(
+            addr,
+            "GET",
+            "/healthz",
+            &[(REQUEST_ID_HEADER, &long)],
+            "",
+        )
+        .unwrap();
+        assert_eq!(status, 422);
+
+        // A max-length printable id is fine.
+        let edge = "b".repeat(MAX_REQUEST_ID_BYTES);
+        let (status, headers, _) = blocking_request_with_headers(
+            addr,
+            "GET",
+            "/healthz",
+            &[(REQUEST_ID_HEADER, &edge)],
+            "",
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            header_value(&headers, REQUEST_ID_HEADER),
+            Some(edge.as_str())
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -38,7 +38,14 @@
 //!   serving path's `POST /decide`);
 //! * [`trace`] — post-hoc JSONL trace analysis (span trees, folded
 //!   flamegraph stacks, critical paths, two-run diffs), driven by the
-//!   `hvac-trace` binary.
+//!   `hvac-trace` binary;
+//! * [`ring`] — a lock-free fixed-capacity flight recorder holding the
+//!   last N serve decisions for `GET /debug/flight`;
+//! * [`window`] — sliding-window histograms/counters (epoch rings) so
+//!   `/metrics` and `/summary.json` report recent p50/p95/p99
+//!   alongside the cumulative series;
+//! * [`slo`] — declarative serve objectives with fast/slow-window
+//!   burn rates behind `GET /debug/slo`.
 //!
 //! # Overhead guarantee
 //!
@@ -70,21 +77,29 @@ pub mod expose;
 pub mod http;
 pub mod json;
 pub mod registry;
+pub mod ring;
 pub mod scope;
 mod sink;
+pub mod slo;
 mod span;
 mod summary;
 pub mod trace;
+pub mod window;
 
 pub use registry::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
     RegistrySnapshot, LATENCY_BOUNDS_NS,
 };
+pub use ring::{FlightRecord, FlightRecorder};
 pub use scope::{current_scope, RunScope, ScopeGuard, ScopeHandle};
 pub use sink::{
     emit, emit_counter_deltas, flush, init_from_env, install_panic_flush_hook, message,
     message_enabled, process_elapsed_ns, set_sink, sink_active, thread_id, Event, JsonlSink, Level,
     MultiSink, NullSink, Sink, StderrSink,
 };
+pub use slo::{ObjectiveStatus, SloConfig, SloTracker};
 pub use span::Span;
 pub use summary::{HistogramStats, StageTiming, TelemetrySummary};
+pub use window::{
+    window_snapshots, windowed_histogram, WindowSnapshot, WindowedCounter, WindowedHistogram,
+};

@@ -1,0 +1,283 @@
+//! Lock-free fixed-capacity flight recorder for serve-path decisions.
+//!
+//! A [`FlightRecorder`] keeps the last `N` decision records in a ring
+//! of atomic slots so `GET /debug/flight` can answer "what were the
+//! most recent requests through this process" without locks on the
+//! write path and without ever blocking a writer on a reader.
+//!
+//! Each slot is a seqlock-in-miniature built entirely from `AtomicU64`
+//! cells (this crate forbids `unsafe`): writers take a global ticket
+//! from the write cursor, mark the slot odd (write in progress), store
+//! the payload words, then publish `2·ticket + 2` with Release
+//! ordering. Readers load the sequence with Acquire, copy the words,
+//! and re-check the sequence. Because two writers a full lap apart can
+//! land on the same slot, the sequence check alone is not airtight —
+//! so every record also carries an FNV-1a checksum over its payload
+//! words mixed with the ticket, and [`FlightRecorder::snapshot`]
+//! discards any record whose checksum fails. A torn read is therefore
+//! dropped, never surfaced.
+//!
+//! Variable-width data (the trace id) is stored inline as bytes packed
+//! into words, bounded by [`MAX_TRACE_ID_BYTES`]; memory is
+//! `capacity × (8 + WORDS) × 8` bytes, fixed at construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Longest trace id preserved in a flight record, matching the HTTP
+/// layer's `X-Request-Id` limit. Longer ids are truncated (they cannot
+/// occur via HTTP, which rejects them with 422).
+pub const MAX_TRACE_ID_BYTES: usize = 128;
+
+/// Payload words per slot: fixed fields + packed trace-id bytes.
+const TRACE_WORDS: usize = MAX_TRACE_ID_BYTES / 8;
+/// t_ns, parse_ns, decide_ns, audit_ns, guard_state, action bits,
+/// http_status, trace_len, checksum.
+const FIXED_WORDS: usize = 9;
+const WORDS: usize = FIXED_WORDS + TRACE_WORDS;
+
+/// One decision as captured on the serve path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Trace id of the request (client-supplied or minted).
+    pub trace_id: String,
+    /// Monotonic process time when the request finished, in ns.
+    pub t_ns: u64,
+    /// Time spent parsing the request body, in ns.
+    pub parse_ns: u64,
+    /// Time spent inside the guarded policy decide, in ns.
+    pub decide_ns: u64,
+    /// Time spent appending to the audit chain (0 when unaudited), ns.
+    pub audit_ns: u64,
+    /// Guard rung at decision time (`GuardState::as_gauge` encoding).
+    pub guard_state: u64,
+    /// Heating setpoint scaled by 100 (f64 setpoints round-trip as
+    /// centidegrees to stay in integer words).
+    pub heating_centi: u64,
+    /// Cooling setpoint scaled by 100.
+    pub cooling_centi: u64,
+    /// HTTP status the request was answered with.
+    pub http_status: u64,
+}
+
+impl FlightRecord {
+    fn to_words(&self, ticket: u64) -> [u64; WORDS] {
+        let mut words = [0u64; WORDS];
+        let id = self.trace_id.as_bytes();
+        let len = id.len().min(MAX_TRACE_ID_BYTES);
+        words[0] = self.t_ns;
+        words[1] = self.parse_ns;
+        words[2] = self.decide_ns;
+        words[3] = self.audit_ns;
+        words[4] = self.guard_state;
+        words[5] = (self.heating_centi << 32) | (self.cooling_centi & 0xffff_ffff);
+        words[6] = self.http_status;
+        words[7] = len as u64;
+        for (i, &b) in id[..len].iter().enumerate() {
+            words[FIXED_WORDS + i / 8] |= (b as u64) << ((i % 8) * 8);
+        }
+        words[8] = checksum(&words, ticket);
+        words
+    }
+
+    fn from_words(words: &[u64; WORDS], ticket: u64) -> Option<Self> {
+        if words[8] != checksum(words, ticket) {
+            return None;
+        }
+        let len = words[7] as usize;
+        if len > MAX_TRACE_ID_BYTES {
+            return None;
+        }
+        let mut id = Vec::with_capacity(len);
+        for i in 0..len {
+            id.push((words[FIXED_WORDS + i / 8] >> ((i % 8) * 8)) as u8);
+        }
+        Some(Self {
+            trace_id: String::from_utf8(id).ok()?,
+            t_ns: words[0],
+            parse_ns: words[1],
+            decide_ns: words[2],
+            audit_ns: words[3],
+            guard_state: words[4],
+            heating_centi: words[5] >> 32,
+            cooling_centi: words[5] & 0xffff_ffff,
+            http_status: words[6],
+        })
+    }
+}
+
+/// FNV-1a over every payload word except the checksum cell itself,
+/// seeded with the write ticket so a record re-read across a full ring
+/// lap under a different ticket cannot validate.
+fn checksum(words: &[u64; WORDS], ticket: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    mix(ticket);
+    for (i, &w) in words.iter().enumerate() {
+        if i != 8 {
+            mix(w);
+        }
+    }
+    h
+}
+
+struct Slot {
+    /// 0 = never written; odd = write in progress; `2·ticket + 2` =
+    /// published by `ticket`.
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Lock-free ring of the last `capacity` [`FlightRecord`]s.
+pub struct FlightRecorder {
+    cursor: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.cursor.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` records
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever pushed (not clamped to capacity).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends a record, overwriting the oldest once full. Lock-free:
+    /// the ticket from `fetch_add` names both the slot and the
+    /// published sequence, so concurrent writers never wait on each
+    /// other.
+    pub fn push(&self, record: &FlightRecord) {
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let words = record.to_words(ticket);
+        slot.seq.store(2 * ticket + 1, Ordering::Release);
+        for (cell, &w) in slot.words.iter().zip(&words) {
+            cell.store(w, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Consistent copy of the ring, most recent record first. Records
+    /// mid-write or torn by a racing overwrite are dropped (sequence
+    /// re-check plus per-record checksum), never returned corrupt.
+    /// When writers race across laps a slot can end up holding a
+    /// stale-lap record (an older ticket's write landed last); those
+    /// are likewise dropped rather than surfaced under the wrong
+    /// ordinal, so a snapshot taken during or right after heavy
+    /// contention may briefly hold fewer than `capacity` records.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let end = self.cursor.load(Ordering::Acquire);
+        let n = self.slots.len() as u64;
+        let mut out = Vec::with_capacity(self.slots.len());
+        // Walk tickets newest → oldest over at most one full lap.
+        let start = end.saturating_sub(n);
+        for ticket in (start..end).rev() {
+            let slot = &self.slots[(ticket % n) as usize];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq != 2 * ticket + 2 {
+                continue; // never written, mid-write, or already overwritten
+            }
+            let mut words = [0u64; WORDS];
+            for (w, cell) in words.iter_mut().zip(&slot.words) {
+                *w = cell.load(Ordering::Relaxed);
+            }
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue; // torn by a racing writer
+            }
+            if let Some(rec) = FlightRecord::from_words(&words, ticket) {
+                out.push(rec);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str, t: u64) -> FlightRecord {
+        FlightRecord {
+            trace_id: id.to_owned(),
+            t_ns: t,
+            parse_ns: 10,
+            decide_ns: 20,
+            audit_ns: 5,
+            guard_state: 0,
+            heating_centi: 2100,
+            cooling_centi: 2600,
+            http_status: 200,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_words() {
+        let r = rec("req-abc-123", 42);
+        let words = r.to_words(7);
+        assert_eq!(FlightRecord::from_words(&words, 7), Some(r));
+    }
+
+    #[test]
+    fn checksum_is_ticket_bound() {
+        let words = rec("x", 1).to_words(3);
+        assert!(FlightRecord::from_words(&words, 4).is_none());
+    }
+
+    #[test]
+    fn snapshot_is_most_recent_first_and_bounded() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            ring.push(&rec(&format!("r{i}"), i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        let ids: Vec<&str> = snap.iter().map(|r| r.trace_id.as_str()).collect();
+        assert_eq!(ids, ["r9", "r8", "r7", "r6"]);
+        assert_eq!(ring.recorded(), 10);
+    }
+
+    #[test]
+    fn long_trace_ids_are_truncated_not_corrupted() {
+        let ring = FlightRecorder::new(2);
+        let long = "z".repeat(MAX_TRACE_ID_BYTES + 40);
+        ring.push(&rec(&long, 1));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].trace_id.len(), MAX_TRACE_ID_BYTES);
+        assert!(snap[0].trace_id.bytes().all(|b| b == b'z'));
+    }
+}

@@ -1,0 +1,351 @@
+//! Declarative SLOs with multi-window burn-rate tracking.
+//!
+//! An [`SloTracker`] watches the serve path against three objectives:
+//! decide latency under a p99 budget, non-5xx response ratio, and
+//! guard-degradation ratio. Each objective counts good/bad events into
+//! two [`WindowedCounter`] pairs — a fast window (1 minute) and a slow
+//! window (1 hour) — and reports a *burn rate* per window: the
+//! observed bad fraction divided by the objective's error budget. A
+//! burn rate of 1.0 means the budget is being consumed exactly as
+//! fast as it accrues; sustained rates above 1.0 exhaust it.
+//!
+//! The two-window scheme is the standard burn-rate alerting shape:
+//! the fast window catches sharp regressions within seconds, the slow
+//! window confirms they are sustained rather than a blip. An
+//! objective is `ok` when both windows burn below 1.0, `burning` when
+//! one is at or above, and `critical` when both are.
+//!
+//! `GET /debug/slo` renders [`SloTracker::render_json`]; the
+//! `hvac-trace live` dashboard polls the same endpoint.
+
+use crate::window::WindowedCounter;
+use std::fmt::Write as _;
+
+/// Nanoseconds in the fast burn window (1 minute).
+pub const FAST_WINDOW_NS: u64 = 60 * 1_000_000_000;
+/// Nanoseconds in the slow burn window (1 hour).
+pub const SLOW_WINDOW_NS: u64 = 3_600 * 1_000_000_000;
+/// Epoch slots per window (5 s resolution fast, 5 min slow).
+const EPOCHS: usize = 12;
+
+/// Declarative objectives for a serve session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Decide latency budget in ns; at most 1% of decides may exceed
+    /// it (p99 semantics → error budget 0.01).
+    pub decide_p99_budget_ns: u64,
+    /// Maximum fraction of requests that may be answered 5xx.
+    pub error_ratio_budget: f64,
+    /// Maximum fraction of decisions the guard may serve from a
+    /// degraded rung (anything other than `Normal`).
+    pub degraded_ratio_budget: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            decide_p99_budget_ns: 5_000_000, // 5 ms per decide
+            error_ratio_budget: 0.001,
+            degraded_ratio_budget: 0.05,
+        }
+    }
+}
+
+/// Good/bad tallies for one objective over one window.
+struct WindowPair {
+    good: WindowedCounter,
+    bad: WindowedCounter,
+}
+
+impl WindowPair {
+    fn new(window_ns: u64) -> Self {
+        Self {
+            good: WindowedCounter::new(window_ns, EPOCHS),
+            bad: WindowedCounter::new(window_ns, EPOCHS),
+        }
+    }
+
+    fn observe_at(&self, now_ns: u64, bad: bool) {
+        if bad {
+            self.bad.add_at(now_ns, 1);
+        } else {
+            self.good.add_at(now_ns, 1);
+        }
+    }
+
+    /// `(total, bad_fraction)` over the window.
+    fn stats_at(&self, now_ns: u64) -> (u64, f64) {
+        let good = self.good.total_at(now_ns);
+        let bad = self.bad.total_at(now_ns);
+        let total = good + bad;
+        let frac = if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        };
+        (total, frac)
+    }
+}
+
+/// One objective: a name, an error budget, fast and slow windows.
+struct Objective {
+    name: &'static str,
+    budget_fraction: f64,
+    fast: WindowPair,
+    slow: WindowPair,
+}
+
+/// Burn-rate readout for one objective, as rendered at `/debug/slo`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveStatus {
+    /// Objective name (`decide_latency`, `availability`,
+    /// `guard_integrity`).
+    pub name: &'static str,
+    /// Error budget as a fraction of events.
+    pub budget_fraction: f64,
+    /// Events observed in the fast window.
+    pub fast_total: u64,
+    /// Bad fraction over the fast window.
+    pub fast_bad_fraction: f64,
+    /// `fast_bad_fraction / budget_fraction`.
+    pub fast_burn: f64,
+    /// Events observed in the slow window.
+    pub slow_total: u64,
+    /// Bad fraction over the slow window.
+    pub slow_bad_fraction: f64,
+    /// `slow_bad_fraction / budget_fraction`.
+    pub slow_burn: f64,
+    /// `ok`, `burning` (one window at/above budget burn), or
+    /// `critical` (both).
+    pub status: &'static str,
+}
+
+impl Objective {
+    fn new(name: &'static str, budget_fraction: f64) -> Self {
+        Self {
+            name,
+            // Guard against a zero budget turning every event into an
+            // infinite burn: floor at one event per million.
+            budget_fraction: budget_fraction.max(1e-6),
+            fast: WindowPair::new(FAST_WINDOW_NS),
+            slow: WindowPair::new(SLOW_WINDOW_NS),
+        }
+    }
+
+    fn observe_at(&self, now_ns: u64, bad: bool) {
+        self.fast.observe_at(now_ns, bad);
+        self.slow.observe_at(now_ns, bad);
+    }
+
+    fn status_at(&self, now_ns: u64) -> ObjectiveStatus {
+        let (fast_total, fast_bad) = self.fast.stats_at(now_ns);
+        let (slow_total, slow_bad) = self.slow.stats_at(now_ns);
+        let fast_burn = fast_bad / self.budget_fraction;
+        let slow_burn = slow_bad / self.budget_fraction;
+        let status = match (fast_burn >= 1.0, slow_burn >= 1.0) {
+            (true, true) => "critical",
+            (false, false) => "ok",
+            _ => "burning",
+        };
+        ObjectiveStatus {
+            name: self.name,
+            budget_fraction: self.budget_fraction,
+            fast_total,
+            fast_bad_fraction: fast_bad,
+            fast_burn,
+            slow_total,
+            slow_bad_fraction: slow_bad,
+            slow_burn,
+            status,
+        }
+    }
+}
+
+/// Tracks the three serve-mode objectives. All methods are `&self`
+/// and safe from any thread.
+pub struct SloTracker {
+    config: SloConfig,
+    decide_latency: Objective,
+    availability: Objective,
+    guard_integrity: Objective,
+}
+
+impl std::fmt::Debug for SloTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloTracker")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl SloTracker {
+    /// A tracker for the given objectives.
+    pub fn new(config: SloConfig) -> Self {
+        Self {
+            config,
+            decide_latency: Objective::new("decide_latency", 0.01),
+            availability: Objective::new("availability", config.error_ratio_budget),
+            guard_integrity: Objective::new("guard_integrity", config.degraded_ratio_budget),
+        }
+    }
+
+    /// The configured objectives.
+    pub fn config(&self) -> SloConfig {
+        self.config
+    }
+
+    /// Records one decide latency observation at `now_ns`.
+    pub fn record_decide_at(&self, now_ns: u64, latency_ns: u64) {
+        self.decide_latency
+            .observe_at(now_ns, latency_ns > self.config.decide_p99_budget_ns);
+    }
+
+    /// Records one HTTP response at `now_ns` (5xx counts against the
+    /// availability budget).
+    pub fn record_response_at(&self, now_ns: u64, status: u16) {
+        self.availability.observe_at(now_ns, status >= 500);
+    }
+
+    /// Records the guard rung a decision was served from at `now_ns`
+    /// (`guard_gauge` is `GuardState::as_gauge`; non-zero = degraded).
+    pub fn record_guard_at(&self, now_ns: u64, guard_gauge: u64) {
+        self.guard_integrity.observe_at(now_ns, guard_gauge != 0);
+    }
+
+    /// Per-objective burn status as of `now_ns`.
+    pub fn statuses_at(&self, now_ns: u64) -> [ObjectiveStatus; 3] {
+        [
+            self.decide_latency.status_at(now_ns),
+            self.availability.status_at(now_ns),
+            self.guard_integrity.status_at(now_ns),
+        ]
+    }
+
+    /// Worst status across objectives as of `now_ns`.
+    pub fn overall_at(&self, now_ns: u64) -> &'static str {
+        let mut worst = "ok";
+        for s in self.statuses_at(now_ns) {
+            worst = match (worst, s.status) {
+                (_, "critical") | ("critical", _) => "critical",
+                (_, "burning") | ("burning", _) => "burning",
+                _ => "ok",
+            };
+        }
+        worst
+    }
+
+    /// The `GET /debug/slo` body as of `now_ns`.
+    pub fn render_json_at(&self, now_ns: u64) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"now_ns\":{},\"overall\":\"{}\",\"windows\":{{\"fast_ns\":{},\"slow_ns\":{}}},\"objectives\":[",
+            now_ns,
+            self.overall_at(now_ns),
+            FAST_WINDOW_NS,
+            SLOW_WINDOW_NS
+        );
+        for (i, s) in self.statuses_at(now_ns).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"status\":\"{}\",\"budget_fraction\":{},\"fast\":{{\"total\":{},\"bad_fraction\":{},\"burn\":{}}},\"slow\":{{\"total\":{},\"bad_fraction\":{},\"burn\":{}}}}}",
+                s.name,
+                s.status,
+                fmt_f64(s.budget_fraction),
+                s.fast_total,
+                fmt_f64(s.fast_bad_fraction),
+                fmt_f64(s.fast_burn),
+                s.slow_total,
+                fmt_f64(s.slow_bad_fraction),
+                fmt_f64(s.slow_burn)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Plain decimal rendering (no exponent) so the hand-rolled JSON
+/// parser and jq-free CI greps both cope.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn quiet_tracker_is_ok() {
+        let t = SloTracker::new(SloConfig::default());
+        assert_eq!(t.overall_at(1), "ok");
+        let s = t.statuses_at(1);
+        assert_eq!(s[0].fast_total, 0);
+        assert_eq!(s[0].fast_burn, 0.0);
+    }
+
+    #[test]
+    fn sustained_latency_breach_goes_critical() {
+        let t = SloTracker::new(SloConfig {
+            decide_p99_budget_ns: 100,
+            ..SloConfig::default()
+        });
+        for i in 0..100 {
+            t.record_decide_at(1_000 + i, 500); // all over budget
+        }
+        let s = &t.statuses_at(2_000)[0];
+        assert_eq!(s.status, "critical");
+        assert!(s.fast_burn >= 1.0 && s.slow_burn >= 1.0);
+    }
+
+    #[test]
+    fn rare_errors_within_budget_stay_ok() {
+        let t = SloTracker::new(SloConfig {
+            error_ratio_budget: 0.1,
+            ..SloConfig::default()
+        });
+        for i in 0..99 {
+            t.record_response_at(1_000 + i, 200);
+        }
+        t.record_response_at(2_000, 500); // 1% bad vs 10% budget
+        assert_eq!(t.statuses_at(3_000)[1].status, "ok");
+    }
+
+    #[test]
+    fn degraded_guard_burns_the_integrity_budget() {
+        let t = SloTracker::new(SloConfig {
+            degraded_ratio_budget: 0.05,
+            ..SloConfig::default()
+        });
+        for i in 0..10 {
+            t.record_guard_at(1_000 + i, 2); // Fallback rung
+        }
+        assert_eq!(t.statuses_at(2_000)[2].status, "critical");
+    }
+
+    #[test]
+    fn render_json_parses_and_names_all_objectives() {
+        let t = SloTracker::new(SloConfig::default());
+        t.record_decide_at(500, 1_000);
+        t.record_response_at(500, 200);
+        t.record_guard_at(500, 0);
+        let body = t.render_json_at(1_000);
+        let v = json::parse(&body).expect("slo json parses");
+        assert_eq!(v.get("overall").and_then(|o| o.as_str()), Some("ok"));
+        let objectives = v.get("objectives").and_then(|o| o.as_array()).unwrap();
+        assert_eq!(objectives.len(), 3);
+        let names: Vec<&str> = objectives
+            .iter()
+            .filter_map(|o| o.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert_eq!(names, ["decide_latency", "availability", "guard_integrity"]);
+    }
+}

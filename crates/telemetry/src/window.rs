@@ -1,0 +1,392 @@
+//! Sliding-window histograms and counters on an epoch ring.
+//!
+//! The registry's histograms are cumulative-since-start: right for
+//! long-run accounting, useless for answering "what was p99 over the
+//! last minute" on a serving endpoint. A [`WindowedHistogram`] covers
+//! that gap without locks or allocation on the record path: the window
+//! is split into `E` fixed epochs, each epoch owns its own atomic
+//! bucket array, and a slot is lazily reset the first time a recorder
+//! lands in a new epoch. A snapshot merges every slot whose epoch tag
+//! is still inside the window into one
+//! [`HistogramSnapshot`](crate::registry::HistogramSnapshot), so the
+//! existing quantile estimator applies unchanged.
+//!
+//! Memory is bounded by construction: `E × (bounds + 1)` atomics per
+//! histogram, fixed at registration; nothing grows with traffic.
+//!
+//! The epoch reset races benignly: the first recorder to land in a
+//! fresh epoch claims the slot with a tagged CAS (the high bit marks
+//! "resetting"), zeroes it, and publishes the new tag; concurrent
+//! recorders spin for the handful of stores that takes, and snapshots
+//! simply skip a slot mid-reset (it would contribute an empty epoch
+//! anyway). Samples recorded exactly on an epoch boundary may land on
+//! either side — a windowed series is an estimate, not a ledger.
+//!
+//! [`windowed_histogram`] interns instances in a process-global
+//! registry, mirroring [`crate::registry::histogram`], so the
+//! exposition layer (`/metrics`, `/summary.json`) can render every
+//! registered window without threading handles around.
+
+use crate::registry::HistogramSnapshot;
+use crate::sink::process_elapsed_ns;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// High bit of an epoch tag: set while a recorder is zeroing the slot.
+const RESETTING: u64 = 1 << 63;
+
+/// Tag of a slot that has never held an epoch.
+const EMPTY: u64 = u64::MAX;
+
+/// One epoch slot: a tag naming the epoch the data belongs to, plus the
+/// same atomic cells a registry histogram keeps.
+#[derive(Debug)]
+struct Epoch {
+    /// Epoch index the slot currently holds ([`EMPTY`] before first
+    /// use; [`RESETTING`] bit set while being zeroed).
+    tag: AtomicU64,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Epoch {
+    fn new(buckets: usize) -> Self {
+        Self {
+            tag: AtomicU64::new(EMPTY),
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn zero(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram over a sliding time window.
+///
+/// See the module docs for the epoch-ring design. All methods are
+/// `&self` and safe from any thread.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    bounds: Vec<u64>,
+    epoch_len_ns: u64,
+    epochs: Vec<Epoch>,
+}
+
+impl WindowedHistogram {
+    /// A window of `window_ns` nanoseconds split into `epochs` slots
+    /// over the given bucket `bounds` (sorted and deduplicated, like
+    /// [`crate::registry::histogram`]). `window_ns` and `epochs` are
+    /// clamped to at least 1; resolution is one epoch
+    /// (`window_ns / epochs`).
+    pub fn new(bounds: &[u64], window_ns: u64, epochs: usize) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let epochs = epochs.max(1);
+        let epoch_len_ns = (window_ns.max(1) / epochs as u64).max(1);
+        let cells = sorted.len() + 1;
+        Self {
+            bounds: sorted,
+            epoch_len_ns,
+            epochs: (0..epochs).map(|_| Epoch::new(cells)).collect(),
+        }
+    }
+
+    /// The window this histogram covers, in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.epoch_len_ns * self.epochs.len() as u64
+    }
+
+    /// Records `value` at the current process time.
+    pub fn record(&self, value: u64) {
+        self.record_at(process_elapsed_ns(), value);
+    }
+
+    /// Records `value` as of `now_ns` (exposed so rotation edge cases
+    /// are testable without sleeping through real epochs).
+    pub fn record_at(&self, now_ns: u64, value: u64) {
+        let epoch = now_ns / self.epoch_len_ns;
+        let slot = &self.epochs[(epoch % self.epochs.len() as u64) as usize];
+        self.rotate(slot, epoch);
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        slot.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+        slot.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Ensures `slot` belongs to `epoch`, zeroing stale contents. The
+    /// first arrival claims the slot via CAS and resets it; racing
+    /// recorders spin for the few stores that takes.
+    fn rotate(&self, slot: &Epoch, epoch: u64) {
+        loop {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == epoch {
+                return;
+            }
+            if tag & RESETTING != 0 && tag & !RESETTING == epoch {
+                std::hint::spin_loop();
+                continue;
+            }
+            if slot
+                .tag
+                .compare_exchange(tag, epoch | RESETTING, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.zero();
+                slot.tag.store(epoch, Ordering::Release);
+                return;
+            }
+        }
+    }
+
+    /// Merged snapshot of every epoch still inside the window at the
+    /// current process time.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(process_elapsed_ns())
+    }
+
+    /// Merged snapshot as of `now_ns`: epochs
+    /// `(current - E, current]` contribute; older slots (and slots
+    /// mid-reset) read as empty.
+    pub fn snapshot_at(&self, now_ns: u64) -> HistogramSnapshot {
+        let current = now_ns / self.epoch_len_ns;
+        let oldest = current.saturating_sub(self.epochs.len() as u64 - 1);
+        let mut snap = HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: vec![0; self.bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        };
+        for slot in &self.epochs {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag == EMPTY || tag & RESETTING != 0 || tag < oldest || tag > current {
+                continue;
+            }
+            for (merged, cell) in snap.buckets.iter_mut().zip(&slot.buckets) {
+                *merged += cell.load(Ordering::Relaxed);
+            }
+            snap.count += slot.count.load(Ordering::Relaxed);
+            snap.sum += slot.sum.load(Ordering::Relaxed);
+            snap.max = snap.max.max(slot.max.load(Ordering::Relaxed));
+        }
+        snap
+    }
+}
+
+/// A monotone event counter over the same epoch ring (the SLO tracker's
+/// good/bad tallies). Semantics mirror [`WindowedHistogram`]: counts
+/// fall off the trailing edge one epoch at a time.
+#[derive(Debug)]
+pub struct WindowedCounter {
+    epoch_len_ns: u64,
+    tags: Vec<AtomicU64>,
+    counts: Vec<AtomicU64>,
+}
+
+impl WindowedCounter {
+    /// A counter covering `window_ns` split into `epochs` slots.
+    pub fn new(window_ns: u64, epochs: usize) -> Self {
+        let epochs = epochs.max(1);
+        Self {
+            epoch_len_ns: (window_ns.max(1) / epochs as u64).max(1),
+            tags: (0..epochs).map(|_| AtomicU64::new(EMPTY)).collect(),
+            counts: (0..epochs).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The window this counter covers, in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.epoch_len_ns * self.tags.len() as u64
+    }
+
+    /// Adds `n` at the current process time.
+    pub fn add(&self, n: u64) {
+        self.add_at(process_elapsed_ns(), n);
+    }
+
+    /// Adds `n` as of `now_ns`.
+    pub fn add_at(&self, now_ns: u64, n: u64) {
+        let epoch = now_ns / self.epoch_len_ns;
+        let i = (epoch % self.tags.len() as u64) as usize;
+        loop {
+            let tag = self.tags[i].load(Ordering::Acquire);
+            if tag == epoch {
+                break;
+            }
+            if tag & RESETTING != 0 && tag & !RESETTING == epoch {
+                std::hint::spin_loop();
+                continue;
+            }
+            if self.tags[i]
+                .compare_exchange(tag, epoch | RESETTING, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.counts[i].store(0, Ordering::Relaxed);
+                self.tags[i].store(epoch, Ordering::Release);
+                break;
+            }
+        }
+        self.counts[i].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total over the window at the current process time.
+    pub fn total(&self) -> u64 {
+        self.total_at(process_elapsed_ns())
+    }
+
+    /// Total over the window as of `now_ns`.
+    pub fn total_at(&self, now_ns: u64) -> u64 {
+        let current = now_ns / self.epoch_len_ns;
+        let oldest = current.saturating_sub(self.tags.len() as u64 - 1);
+        self.tags
+            .iter()
+            .zip(&self.counts)
+            .filter_map(|(tag, count)| {
+                let tag = tag.load(Ordering::Acquire);
+                (tag != EMPTY && tag & RESETTING == 0 && tag >= oldest && tag <= current)
+                    .then(|| count.load(Ordering::Relaxed))
+            })
+            .sum()
+    }
+}
+
+/// One registered window, as the exposition layer sees it.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// The window covered, in nanoseconds.
+    pub window_ns: u64,
+    /// Merged in-window histogram state.
+    pub histogram: HistogramSnapshot,
+}
+
+struct WindowRegistry {
+    histograms: Mutex<BTreeMap<&'static str, &'static WindowedHistogram>>,
+}
+
+fn window_registry() -> &'static WindowRegistry {
+    static REGISTRY: OnceLock<WindowRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| WindowRegistry {
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Returns (registering on first use) the process-global windowed
+/// histogram called `name`. Like [`crate::registry::histogram`], the
+/// first registration's bounds/window win and the cell is leaked —
+/// bounded by the number of distinct window names, which is small and
+/// static. Registered windows appear in `/metrics` (as
+/// `hvac_<name>_window_*` gauges) and `/summary.json` (the `windows`
+/// section).
+pub fn windowed_histogram(
+    name: &str,
+    bounds: &[u64],
+    window_ns: u64,
+    epochs: usize,
+) -> &'static WindowedHistogram {
+    let mut map = window_registry()
+        .histograms
+        .lock()
+        .expect("window registry mutex poisoned");
+    if let Some(&existing) = map.get(name) {
+        return existing;
+    }
+    let cell: &'static WindowedHistogram =
+        Box::leak(Box::new(WindowedHistogram::new(bounds, window_ns, epochs)));
+    let key: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    map.insert(key, cell);
+    cell
+}
+
+/// Snapshots every registered windowed histogram at the current
+/// process time, keyed by registration name.
+pub fn window_snapshots() -> BTreeMap<String, WindowSnapshot> {
+    window_registry()
+        .histograms
+        .lock()
+        .expect("window registry mutex poisoned")
+        .iter()
+        .map(|(&name, h)| {
+            (
+                name.to_owned(),
+                WindowSnapshot {
+                    window_ns: h.window_ns(),
+                    histogram: h.snapshot(),
+                },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_window_is_empty() {
+        let w = WindowedHistogram::new(&[10, 100], 1_000, 4);
+        let snap = w.snapshot_at(0);
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn samples_expire_after_the_window() {
+        let w = WindowedHistogram::new(&[10, 100], 1_000, 4);
+        w.record_at(100, 50);
+        assert_eq!(w.snapshot_at(100).count, 1);
+        // Still inside the 1000 ns window (epoch 0 vs epoch 3).
+        assert_eq!(w.snapshot_at(999).count, 1);
+        // One full window later the epoch-0 slot is out of range.
+        assert_eq!(w.snapshot_at(1_250).count, 0);
+    }
+
+    #[test]
+    fn wrapped_slot_is_reset_before_reuse() {
+        let w = WindowedHistogram::new(&[10], 400, 4); // 100 ns epochs
+        w.record_at(50, 5); // epoch 0, slot 0
+        w.record_at(450, 5); // epoch 4, wraps onto slot 0 → reset first
+        let snap = w.snapshot_at(450);
+        assert_eq!(snap.count, 1, "stale epoch-0 sample must not survive");
+    }
+
+    #[test]
+    fn counter_rolls_off_one_epoch_at_a_time() {
+        let c = WindowedCounter::new(400, 4);
+        c.add_at(50, 3); // epoch 0
+        c.add_at(150, 2); // epoch 1
+        assert_eq!(c.total_at(150), 5);
+        assert_eq!(c.total_at(399), 5);
+        // Epoch 4: epoch 0 has rolled off, epoch 1 survives.
+        assert_eq!(c.total_at(450), 2);
+        // Epoch 5: everything gone.
+        assert_eq!(c.total_at(550), 0);
+    }
+
+    #[test]
+    fn registry_interns_by_name() {
+        let a = windowed_histogram("test.window.interned", &[10], 1_000_000, 4);
+        let b = windowed_histogram("test.window.interned", &[99], 5, 2);
+        assert!(std::ptr::eq(a, b));
+        a.record(7);
+        let snaps = window_snapshots();
+        assert!(snaps["test.window.interned"].histogram.count >= 1);
+    }
+}

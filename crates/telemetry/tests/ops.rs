@@ -1,0 +1,211 @@
+//! Integration tests for the live-ops primitives: windowed-histogram
+//! epoch rotation edge cases and torn-read resistance of the flight
+//! recorder under concurrent writers.
+
+use hvac_telemetry::{FlightRecord, FlightRecorder, WindowedCounter, WindowedHistogram};
+use std::sync::Arc;
+use std::thread;
+
+const BOUNDS: &[u64] = &[10, 100, 1_000, 10_000];
+
+/// Window of 1s split into 10 epochs of 100ms each.
+fn window() -> WindowedHistogram {
+    WindowedHistogram::new(BOUNDS, 1_000_000_000, 10)
+}
+
+#[test]
+fn empty_window_snapshot_is_all_zero() {
+    let w = window();
+    let snap = w.snapshot_at(0);
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.sum, 0);
+    assert_eq!(snap.max, 0);
+    assert_eq!(snap.quantile(0.99), 0);
+
+    // Still empty after arbitrary idle time: nothing was ever recorded,
+    // so no stale epoch can resurface.
+    let snap = w.snapshot_at(7_000_000_000);
+    assert_eq!(snap.count, 0);
+}
+
+#[test]
+fn single_epoch_window_replaces_instead_of_sliding() {
+    // epochs=1 degenerates to "the current 1s bucket only".
+    let w = WindowedHistogram::new(BOUNDS, 1_000_000_000, 1);
+    w.record_at(100, 50);
+    w.record_at(200, 60);
+    assert_eq!(w.snapshot_at(300).count, 2);
+
+    // The next epoch starts from scratch — no partial retention.
+    w.record_at(1_000_000_100, 70);
+    let snap = w.snapshot_at(1_000_000_200);
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.sum, 70);
+}
+
+#[test]
+fn wraparound_reuses_slots_without_leaking_old_epochs() {
+    let w = window();
+    // Fill every one of the 10 epoch slots across one full window.
+    for epoch in 0u64..10 {
+        w.record_at(epoch * 100_000_000 + 1, 500);
+    }
+    assert_eq!(w.snapshot_at(999_999_999).count, 10);
+
+    // Lap the ring: epoch 10 reuses the slot epoch 0 lived in. The
+    // snapshot must contain exactly the epochs still inside the window,
+    // not a mix of lap 0 and lap 1 contents in the reused slot.
+    w.record_at(1_000_000_001, 9_999);
+    let snap = w.snapshot_at(1_000_000_002);
+    assert_eq!(snap.count, 10, "epoch 0 rolled off, epoch 10 rolled in");
+    assert_eq!(snap.max, 9_999);
+
+    // Far future: everything expires at once.
+    assert_eq!(w.snapshot_at(60_000_000_000).count, 0);
+}
+
+#[test]
+fn quantiles_track_the_window_after_partial_rotation() {
+    let w = window();
+    // Epochs 0..5: slow requests (~10_000ns bucket).
+    for epoch in 0u64..5 {
+        for _ in 0..20 {
+            w.record_at(epoch * 100_000_000 + 1, 9_000);
+        }
+    }
+    // Epochs 5..10: fast requests (~10ns bucket).
+    for epoch in 5u64..10 {
+        for _ in 0..20 {
+            w.record_at(epoch * 100_000_000 + 1, 5);
+        }
+    }
+    // With both halves in the window the p99 sees the slow half...
+    let snap = w.snapshot_at(999_999_999);
+    assert_eq!(snap.count, 200);
+    assert!(snap.quantile(0.99) >= 9_000, "p99 {}", snap.quantile(0.99));
+
+    // ...but 500ms later the slow epochs have rotated out and the p99
+    // collapses to the fast bucket. A cumulative histogram could never
+    // do this.
+    let snap = w.snapshot_at(1_499_999_999);
+    assert_eq!(snap.count, 100);
+    assert!(snap.quantile(0.99) <= 10, "p99 {}", snap.quantile(0.99));
+    assert!(snap.quantile(0.50) <= 10);
+}
+
+#[test]
+fn windowed_counter_expires_like_the_histogram() {
+    let c = WindowedCounter::new(1_000_000_000, 10);
+    for epoch in 0u64..10 {
+        c.add_at(epoch * 100_000_000 + 1, 1);
+    }
+    assert_eq!(c.total_at(999_999_999), 10);
+    c.add_at(1_000_000_001, 5);
+    assert_eq!(c.total_at(1_000_000_002), 14, "oldest epoch rolled off");
+    assert_eq!(c.total_at(30_000_000_000), 0);
+}
+
+/// N threads hammer a small ring so slots are reused hundreds of times
+/// mid-snapshot; every snapshot must contain only whole records.
+/// Torn or cross-lap reads are caught by the per-record checksum (a
+/// torn record is dropped, never surfaced), so the assertion here is
+/// that every surfaced record is one some thread actually wrote.
+#[test]
+fn concurrent_writers_never_tear_a_snapshot() {
+    const WRITERS: u64 = 8;
+    const RECORDS_PER_WRITER: u64 = 2_000;
+
+    let ring = Arc::new(FlightRecorder::new(16));
+    let mut handles = Vec::new();
+    for writer in 0..WRITERS {
+        let ring = Arc::clone(&ring);
+        handles.push(thread::spawn(move || {
+            for i in 0..RECORDS_PER_WRITER {
+                // Every field is derived from (writer, i) so a reader
+                // can verify internal consistency of whatever it sees.
+                let record = FlightRecord {
+                    trace_id: format!("w{writer}-r{i:06}"),
+                    t_ns: writer * 1_000_000 + i,
+                    parse_ns: writer,
+                    decide_ns: i,
+                    audit_ns: writer + i,
+                    guard_state: writer % 4,
+                    heating_centi: 2_000 + writer,
+                    cooling_centi: 3_000 + i % 100,
+                    http_status: 200,
+                };
+                ring.push(&record);
+            }
+        }));
+    }
+    // Concurrent snapshotters: every record that surfaces must be
+    // exactly reconstructible from its own trace id.
+    let mut seen = 0u64;
+    for _ in 0..200 {
+        for record in ring.snapshot() {
+            seen += 1;
+            let (w, r) = record
+                .trace_id
+                .strip_prefix('w')
+                .and_then(|rest| rest.split_once("-r"))
+                .expect("trace id shape");
+            let writer: u64 = w.parse().unwrap();
+            let i: u64 = r.parse().unwrap();
+            assert_eq!(record.t_ns, writer * 1_000_000 + i, "torn t_ns");
+            assert_eq!(record.parse_ns, writer, "torn parse_ns");
+            assert_eq!(record.decide_ns, i, "torn decide_ns");
+            assert_eq!(record.audit_ns, writer + i, "torn audit_ns");
+            assert_eq!(record.guard_state, writer % 4, "torn guard_state");
+            assert_eq!(record.heating_centi, 2_000 + writer, "torn heating");
+            assert_eq!(record.cooling_centi, 3_000 + i % 100, "torn cooling");
+        }
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(ring.recorded(), WRITERS * RECORDS_PER_WRITER);
+    // After the race a slot may legitimately hold a stale-lap record
+    // (an older ticket's write landed last); the snapshot drops those
+    // rather than surface them under the wrong ordinal. A quiet
+    // single-writer refill must therefore yield a complete snapshot.
+    for i in 0..ring.capacity() as u64 {
+        ring.push(&FlightRecord {
+            trace_id: format!("refill-{i}"),
+            t_ns: i,
+            parse_ns: 0,
+            decide_ns: 1,
+            audit_ns: 0,
+            guard_state: 0,
+            heating_centi: 0,
+            cooling_centi: 0,
+            http_status: 200,
+        });
+    }
+    let last = ring.snapshot();
+    assert_eq!(last.len(), ring.capacity());
+    assert!(last.iter().all(|r| r.trace_id.starts_with("refill-")));
+    assert!(seen > 0 || !last.is_empty());
+}
+
+#[test]
+fn concurrent_windowed_recording_is_lossless_within_an_epoch() {
+    const WRITERS: u64 = 8;
+    const PER_WRITER: u64 = 5_000;
+    let w = Arc::new(WindowedHistogram::new(BOUNDS, 1_000_000_000, 10));
+    let mut handles = Vec::new();
+    for _ in 0..WRITERS {
+        let w = Arc::clone(&w);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER_WRITER {
+                // All inside epoch 0: no rotation racing, pure counting.
+                w.record_at(i % 90_000_000, 50);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = w.snapshot_at(99_999_999);
+    assert_eq!(snap.count, WRITERS * PER_WRITER);
+    assert_eq!(snap.sum, WRITERS * PER_WRITER * 50);
+}
