@@ -114,10 +114,11 @@ impl DtPolicy {
         let class_refs: Vec<&str> = class_names.iter().map(String::as_str).collect();
         self.tree.to_text(&feature::NAMES, &class_refs)
     }
-}
 
-impl Policy for DtPolicy {
-    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+    /// [`Policy::decide`] without `&mut`: the tree descent mutates
+    /// nothing, so a shared policy (one registry entry serving many
+    /// tenants) can evaluate concurrently.
+    pub fn decide_shared(&self, obs: &Observation) -> SetpointAction {
         let x = obs.to_vector();
         let class = self
             .tree
@@ -126,6 +127,25 @@ impl Policy for DtPolicy {
         self.action_space
             .action(class)
             .expect("class count validated at construction")
+    }
+
+    /// Evaluates a batch of observations in one call, appending one
+    /// action per observation to `out` — the fleet-serving extension of
+    /// PR 3's lockstep idiom: concurrent tenants' evaluations coalesce
+    /// into a single pass over the shared tree (root and hot split
+    /// nodes stay cache-resident) instead of N interleaved descents.
+    /// Bit-identical to per-observation [`DtPolicy::decide_shared`].
+    pub fn decide_batch_into(&self, observations: &[Observation], out: &mut Vec<SetpointAction>) {
+        out.reserve(observations.len());
+        for obs in observations {
+            out.push(self.decide_shared(obs));
+        }
+    }
+}
+
+impl Policy for DtPolicy {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        self.decide_shared(obs)
     }
 
     fn name(&self) -> &str {
@@ -181,6 +201,19 @@ mod tests {
             assert_eq!(p.decide(&o), first);
         }
         assert!(p.is_deterministic());
+    }
+
+    #[test]
+    fn batch_decide_matches_scalar_decides() {
+        let mut p = DtPolicy::new(toy_tree()).unwrap();
+        let observations: Vec<Observation> = (0..50).map(|i| obs(14.0 + i as f64 * 0.2)).collect();
+        let mut batched = Vec::new();
+        p.decide_batch_into(&observations, &mut batched);
+        assert_eq!(batched.len(), observations.len());
+        for (o, b) in observations.iter().zip(&batched) {
+            assert_eq!(p.decide(o), *b);
+            assert_eq!(p.decide_shared(o), *b);
+        }
     }
 
     #[test]

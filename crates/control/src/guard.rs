@@ -95,6 +95,35 @@ pub struct GuardTransition {
 /// must not grow without bound.
 const MAX_PENDING_TRANSITIONS: usize = 1024;
 
+/// Where one observation was routed by the guard's validation pass —
+/// the first half of the two-phase [`GuardedPolicy::route`] /
+/// [`GuardedPolicy::commit`] API that lets a fleet controller coalesce
+/// many tenants' tree evaluations into one batched call between the
+/// two phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardRoute {
+    /// The wrapped policy must decide on `observation`: the caller
+    /// evaluates it (alone or batched across tenants) and passes the
+    /// action to [`GuardedPolicy::commit`]. On the `Normal` rung the
+    /// observation is the caller's original one, untouched; on `Hold`
+    /// it carries the repaired fields.
+    Policy {
+        /// The observation the wrapped policy must see.
+        observation: Observation,
+        /// `Normal` or `Hold`.
+        state: GuardState,
+    },
+    /// The guard resolved the decision itself on a degraded rung
+    /// (`Fallback` or `FailSafe`); pass `action` straight to
+    /// [`GuardedPolicy::commit`].
+    Resolved {
+        /// The rule-based or fail-safe action.
+        action: SetpointAction,
+        /// `Fallback` or `FailSafe`.
+        state: GuardState,
+    },
+}
+
 /// Configuration of the input validator and degradation ladder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GuardConfig {
@@ -245,6 +274,13 @@ impl<P: Policy> GuardedPolicy<P> {
         self.stats
     }
 
+    /// Total decisions taken through the guard — the denominator for
+    /// [`GuardStats`] and the per-tenant activity readout of a fleet's
+    /// `GET /tenants` listing.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
     /// Drains the degradation-ladder transitions recorded since the
     /// last call, in decision order, so callers (the serve audit chain)
     /// can turn rung movements into auditable events.
@@ -368,32 +404,60 @@ impl<P: Policy> GuardedPolicy<P> {
     }
 }
 
-impl<P: Policy> Policy for GuardedPolicy<P> {
-    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+impl<P: Policy> GuardedPolicy<P> {
+    /// Phase one of a decision: validates `obs`, walks the ladder, and
+    /// either hands back the observation the wrapped policy must
+    /// evaluate ([`GuardRoute::Policy`]) or resolves the action on a
+    /// degraded rung ([`GuardRoute::Resolved`]). The decision is not
+    /// recorded until the matching [`GuardedPolicy::commit`]; exactly
+    /// one commit must follow each route.
+    ///
+    /// [`Policy::decide`] is `route` + inner evaluation + `commit`, so
+    /// a caller that batches the inner evaluations across many guards
+    /// between the phases stays bit-identical to per-guard `decide`.
+    pub fn route(&mut self, obs: &Observation) -> GuardRoute {
         let mut x = obs.to_vector();
         let (repaired, exceeded) = self.validate(&mut x);
 
-        let (state, action) = if exceeded {
+        if exceeded {
             // Ladder rung 2 or 3: the stream is broken beyond repair.
             if self.invalid_run[feature::OCCUPANT_COUNT] > self.config.staleness_budget {
                 self.stats.failsafes += 1;
                 hvac_telemetry::counter("guard.failsafes").incr();
-                (GuardState::FailSafe, self.failsafe)
+                GuardRoute::Resolved {
+                    action: self.failsafe,
+                    state: GuardState::FailSafe,
+                }
             } else {
                 self.stats.fallbacks += 1;
                 hvac_telemetry::counter("guard.fallbacks").incr();
                 let repaired_obs = Observation::from_vector(&x);
-                (GuardState::Fallback, self.fallback.decide(&repaired_obs))
+                GuardRoute::Resolved {
+                    action: self.fallback.decide(&repaired_obs),
+                    state: GuardState::Fallback,
+                }
             }
         } else if repaired {
-            let repaired_obs = Observation::from_vector(&x);
-            (GuardState::Hold, self.inner.decide(&repaired_obs))
+            GuardRoute::Policy {
+                observation: Observation::from_vector(&x),
+                state: GuardState::Hold,
+            }
         } else {
-            // Clean path: the inner policy sees the caller's
+            // Clean path: the wrapped policy sees the caller's
             // observation untouched — bit-identical behavior.
-            (GuardState::Normal, self.inner.decide(obs))
-        };
+            GuardRoute::Policy {
+                observation: *obs,
+                state: GuardState::Normal,
+            }
+        }
+    }
 
+    /// Phase two of a decision: records the rung movement, advances the
+    /// decision counter, updates the state gauge, and returns `action`.
+    /// `state` and `action` come from the matching
+    /// [`GuardedPolicy::route`] (with the wrapped policy's action
+    /// substituted on the `Policy` arm).
+    pub fn commit(&mut self, state: GuardState, action: SetpointAction) -> SetpointAction {
         if state != self.state && self.transitions.len() < MAX_PENDING_TRANSITIONS {
             self.transitions.push(GuardTransition {
                 from: self.state,
@@ -406,6 +470,25 @@ impl<P: Policy> Policy for GuardedPolicy<P> {
         self.last_action = Some(action);
         hvac_telemetry::gauge("guard.state").set(state.as_gauge());
         action
+    }
+}
+
+impl<P: Policy> Policy for GuardedPolicy<P> {
+    fn decide(&mut self, obs: &Observation) -> SetpointAction {
+        match self.route(obs) {
+            GuardRoute::Resolved { action, state } => self.commit(state, action),
+            GuardRoute::Policy { observation, state } => {
+                let action = if state == GuardState::Normal {
+                    // Pass the caller's own reference through so the
+                    // clean path stays bit-for-bit what the wrapped
+                    // policy would have done unwrapped.
+                    self.inner.decide(obs)
+                } else {
+                    self.inner.decide(&observation)
+                };
+                self.commit(state, action)
+            }
+        }
     }
 
     fn name(&self) -> &str {
@@ -696,6 +779,42 @@ mod tests {
         );
         // Drained: a second take returns nothing.
         assert!(guarded.take_transitions().is_empty());
+    }
+
+    #[test]
+    fn route_commit_is_bit_identical_to_decide_across_the_ladder() {
+        // Drive two identical guards through a stream that touches
+        // every rung: one via `decide`, one via the two-phase
+        // route/commit API a fleet batcher uses.
+        let mut whole = GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()));
+        let mut phased = GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()));
+        let budget = whole.config().staleness_budget;
+        let mut stream = Vec::new();
+        stream.push(obs(16.0, 0));
+        stream.push(obs(f64::NAN, 1)); // hold
+        stream.push(obs(21.5, 2)); // recover
+        for k in 3..(4 + budget + 2) {
+            let mut o = obs(f64::NAN, k); // ride past the budget…
+            if k > 4 + budget {
+                o.disturbances.occupant_count = f64::NAN; // …into fail-safe
+            }
+            stream.push(o);
+        }
+        stream.push(obs(19.0, 20)); // recover again
+        for (step, o) in stream.iter().enumerate() {
+            let expected = whole.decide(o);
+            let got = match phased.route(o) {
+                GuardRoute::Resolved { action, state } => phased.commit(state, action),
+                GuardRoute::Policy { observation, state } => {
+                    let action = phased.inner_mut().decide(&observation);
+                    phased.commit(state, action)
+                }
+            };
+            assert_eq!(got, expected, "step {step}");
+            assert_eq!(phased.state(), whole.state(), "step {step}");
+        }
+        assert_eq!(phased.stats(), whole.stats());
+        assert_eq!(phased.take_transitions(), whole.take_transitions());
     }
 
     #[test]

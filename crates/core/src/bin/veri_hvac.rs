@@ -9,6 +9,7 @@
 //! veri-hvac simulate --policy artifacts/policy.dtree --city pittsburgh --days 7
 //! veri-hvac serve    --policy artifacts/policy.dtree --addr 127.0.0.1:9464
 //!                    [--audit-log chain.jsonl] [--require-certificate]
+//! veri-hvac serve    --fleet fleet.json [--audit-dir chains] [--workers 8]
 //! veri-hvac audit    --chain chain.jsonl --policy artifacts/policy.dtree
 //! ```
 //!
@@ -63,6 +64,10 @@ USAGE:
                      [--flight-capacity N] [--certificate FILE]
                      [--require-certificate] [--cache-dir DIR]
                      [--duration SECS]
+  veri-hvac serve    --fleet MANIFEST [--addr HOST:PORT] [--audit-dir DIR]
+                     [--audit-flush POLICY] [--workers N] [--max-inflight N]
+                     [--flight-capacity N] [--require-certificate]
+                     [--duration SECS]
   veri-hvac audit    --chain FILE [--policy FILE] [--certificate FILE]
                      [--cache-dir DIR] [--replay N] [--allow-unsealed]
                      [--json]
@@ -90,6 +95,20 @@ pass through a degradation guard: invalid readings are held or routed
 to a rule-based fallback (the response's guard_state field names the
 rung), oversized bodies get 413, stalled requests 408, and parse
 failures a structured 422 JSON error.
+
+`serve --fleet MANIFEST` turns the endpoint into a multi-tenant fleet
+controller: the manifest is {\"tenants\":[{\"id\":…,\"policy\":PATH,
+\"certificate\":PATH?},…]} (relative paths resolve against the manifest's
+directory). Tenants sharing a tree share one registry entry; each
+building gets its own degradation guard behind its own lock, so one
+tenant's faulted sensors never degrade another. Routes grow to
+POST /decide/{tenant} (or a \"tenant\" body field), the lockstep batch
+POST /tick ({\"requests\":[{\"tenant\":…,\"observation\":{…}},…]}), and
+GET /tenants. `--audit-dir DIR` records every tenant to its own
+hash-chained DIR/<tenant>.jsonl, all sealed after the worker pool
+drains on graceful shutdown; audit each with `veri-hvac audit`.
+`--workers N` sizes the HTTP worker pool, `--max-inflight N` caps
+concurrent connections (beyond it, new connections are shed with 503).
 
 `verify` writes certificate.json beside the policy: the verification
 verdict bound (SHA-256) to the exact policy bytes, inputs, and artifact
@@ -759,6 +778,31 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 /// else the artifact store's entry for the policy hash (when
 /// `--cache-dir` is open). Whatever is found must actually cover the
 /// policy: a stale or foreign certificate is an error, not a warning.
+/// Refuses certificates whose id does not hash their canonical bytes
+/// or that cover a different policy than the one at `policy_path`.
+fn check_certificate(
+    certificate: &Certificate,
+    policy_path: &Path,
+    policy_hash: &str,
+) -> Result<(), String> {
+    if !hvac_audit::certificate_id_is_consistent(certificate) {
+        return Err(format!(
+            "certificate id {}… does not hash its canonical bytes — the file was edited \
+             after binding",
+            &certificate.certificate_id[..12.min(certificate.certificate_id.len())]
+        ));
+    }
+    if certificate.policy_hash != policy_hash {
+        return Err(format!(
+            "certificate covers policy {:.12}… but {} hashes to {policy_hash:.12}… — \
+             re-run `veri-hvac verify`",
+            certificate.policy_hash,
+            policy_path.display()
+        ));
+    }
+    Ok(())
+}
+
 fn resolve_certificate(
     args: &Args,
     policy_path: &Path,
@@ -791,26 +835,244 @@ fn resolve_certificate(
     let Some(certificate) = certificate else {
         return Ok(None);
     };
-    if !hvac_audit::certificate_id_is_consistent(&certificate) {
-        return Err(format!(
-            "certificate id {}… does not hash its canonical bytes — the file was edited \
-             after binding",
-            &certificate.certificate_id[..12.min(certificate.certificate_id.len())]
-        ));
-    }
-    if certificate.policy_hash != policy_hash {
-        return Err(format!(
-            "certificate covers policy {:.12}… but {} hashes to {policy_hash:.12}… — \
-             re-run `veri-hvac verify`",
-            certificate.policy_hash,
-            policy_path.display()
-        ));
-    }
+    check_certificate(&certificate, policy_path, policy_hash)?;
     Ok(Some(certificate))
 }
 
+/// One tenant entry of a `--fleet` manifest, resolved.
+struct ManifestTenant {
+    id: String,
+    policy: DtPolicy,
+    certificate: Option<Certificate>,
+}
+
+/// Parses a fleet manifest: `{"tenants":[{"id":…,"policy":PATH,
+/// "certificate":PATH?},…]}`. Relative paths resolve against the
+/// manifest's own directory. Each tenant's certificate is the named
+/// file, else a `certificate.json` sibling of its policy, else none;
+/// whatever is found must bind the tenant's exact policy bytes.
+fn load_fleet_manifest(path: &str) -> Result<Vec<ManifestTenant>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read fleet manifest {path}: {e}"))?;
+    let value =
+        json::parse(&text).map_err(|e| format!("fleet manifest {path} is not JSON: {e}"))?;
+    let base = Path::new(path)
+        .parent()
+        .unwrap_or(Path::new("."))
+        .to_path_buf();
+    let resolve = |p: &str| -> PathBuf {
+        let p = Path::new(p);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            base.join(p)
+        }
+    };
+    let entries = value
+        .get("tenants")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| {
+            format!(r#"fleet manifest {path} must be {{"tenants":[{{"id":…,"policy":…}},…]}}"#)
+        })?;
+    let mut tenants = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let id = entry
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("manifest tenant {i}: missing string field \"id\""))?;
+        let policy_path = entry
+            .get("policy")
+            .and_then(JsonValue::as_str)
+            .map(resolve)
+            .ok_or_else(|| format!("manifest tenant {id:?}: missing string field \"policy\""))?;
+        let policy_text = std::fs::read_to_string(&policy_path).map_err(|e| {
+            format!(
+                "tenant {id:?}: cannot read policy {}: {e}",
+                policy_path.display()
+            )
+        })?;
+        let policy = DtPolicy::from_compact_string(&policy_text)
+            .map_err(|e| format!("tenant {id:?}: malformed policy: {e}"))?;
+        let policy_hash = hvac_audit::policy_hash(&policy);
+        let certificate = match entry.get("certificate").and_then(JsonValue::as_str) {
+            Some(cert_path) => {
+                let cert_path = resolve(cert_path);
+                let text = std::fs::read_to_string(&cert_path).map_err(|e| {
+                    format!(
+                        "tenant {id:?}: cannot read certificate {}: {e}",
+                        cert_path.display()
+                    )
+                })?;
+                Some(
+                    Certificate::from_json_string(&text)
+                        .map_err(|e| format!("tenant {id:?}: {e}"))?,
+                )
+            }
+            None => {
+                let sibling = policy_path
+                    .parent()
+                    .unwrap_or(Path::new("."))
+                    .join("certificate.json");
+                match std::fs::read_to_string(&sibling) {
+                    Ok(text) => Some(Certificate::from_json_string(&text).map_err(|e| {
+                        format!(
+                            "tenant {id:?}: malformed certificate {}: {e}",
+                            sibling.display()
+                        )
+                    })?),
+                    Err(_) => None,
+                }
+            }
+        };
+        if let Some(cert) = &certificate {
+            check_certificate(cert, &policy_path, &policy_hash)
+                .map_err(|e| format!("tenant {id:?}: {e}"))?;
+        }
+        tenants.push(ManifestTenant {
+            id: id.to_string(),
+            policy,
+            certificate,
+        });
+    }
+    if tenants.is_empty() {
+        return Err(format!("fleet manifest {path} names no tenants"));
+    }
+    Ok(tenants)
+}
+
+/// `serve --fleet MANIFEST`: one process, many buildings — a policy
+/// registry (tenants sharing a tree share one entry), per-tenant
+/// guards behind sharded locks, optional per-tenant audit chains, and
+/// the lockstep `POST /tick` batch path.
+fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:9464");
+    let tenants = load_fleet_manifest(manifest)?;
+
+    let mut uncertified = 0usize;
+    for tenant in &tenants {
+        match &tenant.certificate {
+            Some(cert) if !cert.verified() => {
+                if args.has("require-certificate") {
+                    return Err(format!(
+                        "tenant {:?}: certificate {}… records a NOT VERIFIED outcome and \
+                         --require-certificate is set",
+                        tenant.id,
+                        &cert.certificate_id[..12]
+                    ));
+                }
+                hvac_telemetry::warn!(
+                    "tenant {:?}: certificate {}… records a NOT VERIFIED outcome — serving \
+                     anyway",
+                    tenant.id,
+                    &cert.certificate_id[..12]
+                );
+            }
+            Some(_) => {}
+            None if args.has("require-certificate") => {
+                return Err(format!(
+                    "tenant {:?} has no verification certificate and --require-certificate \
+                     is set — run `veri-hvac verify` first",
+                    tenant.id
+                ));
+            }
+            None => uncertified += 1,
+        }
+    }
+    if uncertified > 0 {
+        hvac_telemetry::warn!(
+            "{uncertified} of {} tenants serve UNCERTIFIED policies — run `veri-hvac verify` \
+             (or pass --require-certificate to refuse instead)",
+            tenants.len()
+        );
+    }
+
+    let flush = args
+        .flag("audit-flush")
+        .map(hvac_audit::FlushPolicy::parse)
+        .transpose()
+        .map_err(|e| format!("--audit-flush: {e}"))?
+        .unwrap_or(hvac_audit::FlushPolicy::Always);
+    let audit_dir = args.flag("audit-dir").map(PathBuf::from);
+    let parse_count = |flag: &str| -> Result<Option<usize>, String> {
+        args.flag(flag)
+            .map(|n| {
+                n.parse::<usize>()
+                    .map_err(|_| format!("--{flag} must be a count, got {n:?}"))
+            })
+            .transpose()
+    };
+    let options = veri_hvac::FleetOptions {
+        audit_dir: audit_dir.clone(),
+        audit_flush: flush,
+        ops: veri_hvac::OpsOptions {
+            flight_capacity: parse_count("flight-capacity")?
+                .unwrap_or(veri_hvac::OpsOptions::default().flight_capacity),
+            ..veri_hvac::OpsOptions::default()
+        },
+        workers: parse_count("workers")?,
+        max_inflight: parse_count("max-inflight")?,
+        ..veri_hvac::FleetOptions::default()
+    };
+
+    let mut fleet = veri_hvac::Fleet::new(options);
+    for tenant in tenants {
+        let certificate_id = tenant
+            .certificate
+            .as_ref()
+            .map(|c| c.certificate_id.clone());
+        fleet.add_tenant(&tenant.id, tenant.policy, certificate_id)?;
+    }
+    if audit_dir.is_some() {
+        // Panics must still leave flushed, checkpointed chains behind.
+        hvac_audit::install_chain_flush_hook();
+    }
+    info!(
+        "serving fleet of {} tenants over {} distinct policies",
+        fleet.len(),
+        fleet.registry().len()
+    );
+
+    let server = veri_hvac::serve_fleet(fleet, addr)
+        .map_err(|e| format!("cannot bind fleet endpoint on {addr}: {e}"))?;
+    println!("serving fleet on http://{}", server.addr());
+    println!("  POST /decide/{{tenant}}  {{\"zone_temperature\": 18.5, ...}} -> setpoint action");
+    println!("  POST /decide           same, tenant named by a \"tenant\" body field");
+    println!("  POST /tick             lockstep batch, one observation per tenant");
+    println!("  GET  /tenants          fleet roster with per-tenant guard state");
+    println!("  GET  /version          build, tenant and policy counts");
+    println!("  GET  /metrics          Prometheus text format 0.0.4");
+    println!("  GET  /healthz          liveness probe");
+    if let Some(dir) = &audit_dir {
+        println!(
+            "audit chains: {}/<tenant>.jsonl (sealed on graceful shutdown)",
+            dir.display()
+        );
+    }
+    hvac_telemetry::flush();
+    match args.flag("duration") {
+        Some(secs) => {
+            let secs: u64 = secs
+                .parse()
+                .map_err(|_| format!("--duration must be a number of seconds, got {secs:?}"))?;
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            info!("--duration elapsed; shutting down");
+            server.shutdown();
+            Ok(())
+        }
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let policy_path = PathBuf::from(args.flag("policy").ok_or("serve requires --policy")?);
+    if let Some(manifest) = args.flag("fleet") {
+        return cmd_serve_fleet(args, manifest);
+    }
+    let policy_path = PathBuf::from(
+        args.flag("policy")
+            .ok_or("serve requires --policy (or --fleet MANIFEST)")?,
+    );
     let addr = args.flag("addr").unwrap_or("127.0.0.1:9464");
     let policy_text = std::fs::read_to_string(&policy_path).map_err(|e| e.to_string())?;
     let policy = DtPolicy::from_compact_string(&policy_text).map_err(|e| e.to_string())?;

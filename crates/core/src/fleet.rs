@@ -1,0 +1,833 @@
+//! Fleet serving — one process controlling many buildings.
+//!
+//! The paper's deployment argument (Table 3) is that a verified tree
+//! policy is cheap enough to serve *everywhere*: a root-to-leaf
+//! descent costs ~100 ns, so a single controller process should
+//! comfortably decide for thousands of buildings. [`serve_fleet`]
+//! grows the single-policy endpoint of [`crate::serve`] into exactly
+//! that:
+//!
+//! * a content-addressed [`PolicyRegistry`] — tenants referencing the
+//!   same tree (by `hvac-audit::policy_hash`) share one immutable
+//!   [`RegisteredPolicy`] entry instead of N copies;
+//! * per-tenant [`GuardedPolicy`] state behind **sharded locks** — one
+//!   mutex per building, so tenant A's decide never queues behind
+//!   tenant B's (the old serve path funnelled every request through a
+//!   single global mutex);
+//! * per-tenant tamper-evident audit chains (`<audit_dir>/<id>.jsonl`,
+//!   each with its own genesis binding the tenant's policy hash and
+//!   certificate), all sealed on graceful shutdown — after the worker
+//!   pool has drained, so no in-flight decision can race a seal;
+//! * a **lockstep tick path** (`POST /tick`): one synchronized batch
+//!   of observations, one per tenant, whose tree evaluations coalesce
+//!   into [`DtPolicy::decide_batch_into`] calls grouped by registry
+//!   entry — the fleet-scale extension of the planner's
+//!   `predict_batch_into`/`LockstepWorkspace` idiom.
+//!
+//! # Routes
+//!
+//! | route | purpose |
+//! |---|---|
+//! | `POST /decide/{tenant}` | one decision for one building |
+//! | `POST /decide` | same, tenant named by a `"tenant"` body field (optional for a single-tenant fleet) |
+//! | `POST /tick` | lockstep batch: `{"requests":[{"tenant":…,"observation":{…}},…]}` |
+//! | `GET /tenants` | fleet roster with per-tenant guard rung and decision counts |
+//! | `GET /version` | build info, tenant and distinct-policy counts |
+//! | `GET /debug/flight`, `/debug/slo`, `/metrics`, `/summary.json`, `/healthz` | the ops plane of [`crate::serve`] |
+//!
+//! Per-tenant decisions are **bit-identical** to the single-policy
+//! path: `/decide/{tenant}` reuses [`decide_json_traced`] over the
+//! tenant's own guard, and the tick path's two-phase
+//! [`GuardedPolicy::route`] / [`GuardedPolicy::commit`] split is
+//! bit-identical to `decide` by construction.
+
+use crate::serve::{
+    decide_json_traced, flight_json, mint_trace_id, observation_from_value, OpsOptions,
+    DECIDE_TIMEOUT, SERVE_WINDOW_EPOCHS, SERVE_WINDOW_NS,
+};
+use hvac_audit::{AuditChain, ChainConfig, FlushPolicy};
+use hvac_control::{DtPolicy, GuardConfig, GuardRoute, GuardState, GuardTransition, GuardedPolicy};
+use hvac_env::{ComfortRange, Observation, SetpointAction};
+use hvac_telemetry::http::{HttpServer, Request, Response, REQUEST_ID_HEADER};
+use hvac_telemetry::json::{parse, JsonValue, ObjectWriter};
+use hvac_telemetry::ring::{FlightRecord, FlightRecorder};
+use hvac_telemetry::slo::SloTracker;
+use hvac_telemetry::{process_elapsed_ns, warn, windowed_histogram, LATENCY_BOUNDS_NS};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::ToSocketAddrs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Longest accepted tenant id, in bytes.
+pub const MAX_TENANT_ID_BYTES: usize = 64;
+
+/// Largest accepted request body on a fleet endpoint. `POST /tick`
+/// carries one observation per tenant, so the cap is sized for a full
+/// fleet's batch rather than the single-observation cap of the
+/// single-policy path.
+pub const MAX_FLEET_BODY_BYTES: usize = 256 * 1024;
+
+/// Most requests accepted in one `POST /tick` batch.
+pub const MAX_TICK_REQUESTS: usize = 4096;
+
+/// Whether `id` is a valid tenant id: 1–[`MAX_TENANT_ID_BYTES`] bytes
+/// of `[A-Za-z0-9_-]`. The charset keeps ids safe to embed in URL
+/// paths, JSON bodies, and audit-chain file names without escaping.
+pub fn valid_tenant_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_TENANT_ID_BYTES
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+/// One immutable registry entry: a verified tree policy plus the
+/// identity it is served under (content hash, optional certificate).
+#[derive(Debug)]
+pub struct RegisteredPolicy {
+    policy: DtPolicy,
+    hash: String,
+    certificate_id: Option<String>,
+}
+
+impl RegisteredPolicy {
+    /// The shared, immutable tree policy.
+    pub fn policy(&self) -> &DtPolicy {
+        &self.policy
+    }
+
+    /// Content hash (`hvac-audit::policy_hash`) keying this entry.
+    pub fn hash(&self) -> &str {
+        &self.hash
+    }
+
+    /// Id of the verification certificate the policy is served under,
+    /// when certified.
+    pub fn certificate_id(&self) -> Option<&str> {
+        self.certificate_id.as_deref()
+    }
+}
+
+/// Content-addressed policy registry: many tenants, few distinct
+/// trees. Registration dedups by policy hash, so a thousand buildings
+/// running the same verified tree share one [`RegisteredPolicy`].
+#[derive(Debug, Default)]
+pub struct PolicyRegistry {
+    entries: BTreeMap<String, Arc<RegisteredPolicy>>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `policy`, returning the (possibly pre-existing)
+    /// shared entry for its content hash. The first registration of a
+    /// hash fixes the certificate id; later duplicates keep it.
+    pub fn register(
+        &mut self,
+        policy: DtPolicy,
+        certificate_id: Option<String>,
+    ) -> Arc<RegisteredPolicy> {
+        let hash = hvac_audit::policy_hash(&policy);
+        match self.entries.entry(hash.clone()) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => Arc::clone(v.insert(Arc::new(RegisteredPolicy {
+                policy,
+                hash,
+                certificate_id,
+            }))),
+        }
+    }
+
+    /// Looks up an entry by content hash.
+    pub fn get(&self, hash: &str) -> Option<Arc<RegisteredPolicy>> {
+        self.entries.get(hash).map(Arc::clone)
+    }
+
+    /// Number of distinct policies registered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Registered content hashes, in sorted order.
+    pub fn hashes(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+}
+
+/// One building's serving state: its shared policy entry, its own
+/// guard ladder behind its own lock, and (optionally) its own
+/// tamper-evident decision chain.
+#[derive(Debug)]
+pub struct Tenant {
+    id: String,
+    policy: Arc<RegisteredPolicy>,
+    guard: Mutex<GuardedPolicy<DtPolicy>>,
+    chain: Option<Arc<AuditChain>>,
+}
+
+impl Tenant {
+    /// The building id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The registry entry this tenant serves under.
+    pub fn policy(&self) -> &Arc<RegisteredPolicy> {
+        &self.policy
+    }
+
+    /// The tenant's audit chain, when fleet auditing is on.
+    pub fn chain(&self) -> Option<&Arc<AuditChain>> {
+        self.chain.as_ref()
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Fallback comfort band for every tenant's degradation guard.
+    pub comfort: ComfortRange,
+    /// When set, each tenant records to its own hash-chained decision
+    /// log at `<audit_dir>/<tenant>.jsonl`, sealed on graceful
+    /// shutdown.
+    pub audit_dir: Option<PathBuf>,
+    /// Flush policy for the per-tenant chains.
+    pub audit_flush: FlushPolicy,
+    /// Flight recorder / windowed histogram / SLO tracker knobs
+    /// (shared across tenants — the ops plane watches the process).
+    pub ops: OpsOptions,
+    /// HTTP worker-pool size (`None` = the server's CPU-derived
+    /// default).
+    pub workers: Option<usize>,
+    /// Concurrent-connection admission cap (`None` = server default).
+    pub max_inflight: Option<usize>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        Self {
+            comfort: ComfortRange::winter(),
+            audit_dir: None,
+            audit_flush: FlushPolicy::Always,
+            ops: OpsOptions::default(),
+            workers: None,
+            max_inflight: None,
+        }
+    }
+}
+
+/// One decision of a lockstep [`Fleet::tick`] batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickDecision {
+    /// The tenant the decision belongs to.
+    pub tenant: String,
+    /// The chosen setpoint action.
+    pub action: SetpointAction,
+    /// Index of `action` in the canonical action space.
+    pub action_index: usize,
+    /// Guard rung the decision was taken on.
+    pub state: GuardState,
+}
+
+/// A fleet of tenants over a shared [`PolicyRegistry`].
+///
+/// Tenants live in a `BTreeMap`, so every iteration — and in
+/// particular every multi-guard lock acquisition on the tick path —
+/// sees them in one global id order, which makes concurrent lockstep
+/// batches deadlock-free by construction.
+#[derive(Debug)]
+pub struct Fleet {
+    registry: PolicyRegistry,
+    tenants: BTreeMap<String, Arc<Tenant>>,
+    options: FleetOptions,
+}
+
+impl Fleet {
+    /// An empty fleet with `options`.
+    pub fn new(options: FleetOptions) -> Self {
+        Self {
+            registry: PolicyRegistry::new(),
+            tenants: BTreeMap::new(),
+            options,
+        }
+    }
+
+    /// Adds a building: registers (or dedups) its policy, builds its
+    /// guard with the serve-safe [`GuardConfig::new`] preset, and —
+    /// when the fleet audits — creates its decision chain at
+    /// `<audit_dir>/<id>.jsonl` with a genesis binding the policy hash
+    /// and certificate id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid ids (see [`valid_tenant_id`]), duplicate ids,
+    /// and chain-creation I/O failures.
+    pub fn add_tenant(
+        &mut self,
+        id: &str,
+        policy: DtPolicy,
+        certificate_id: Option<String>,
+    ) -> Result<(), String> {
+        if !valid_tenant_id(id) {
+            return Err(format!(
+                "invalid tenant id {id:?}: want 1-{MAX_TENANT_ID_BYTES} bytes of [A-Za-z0-9_-]"
+            ));
+        }
+        if self.tenants.contains_key(id) {
+            return Err(format!("duplicate tenant id {id:?}"));
+        }
+        let registered = self.registry.register(policy, certificate_id);
+        let guard = Mutex::new(GuardedPolicy::new(
+            registered.policy().clone(),
+            GuardConfig::new(self.options.comfort),
+        ));
+        let chain = match &self.options.audit_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot create audit dir {}: {e}", dir.display()))?;
+                let path = dir.join(format!("{id}.jsonl"));
+                let chain = AuditChain::create(
+                    &path,
+                    registered.hash(),
+                    registered.certificate_id().unwrap_or(""),
+                    ChainConfig {
+                        flush: self.options.audit_flush,
+                        ..ChainConfig::default()
+                    },
+                )
+                .map_err(|e| format!("cannot create audit chain {}: {e}", path.display()))?;
+                Some(hvac_audit::register_chain(Arc::new(chain)))
+            }
+            None => None,
+        };
+        self.tenants.insert(
+            id.to_string(),
+            Arc::new(Tenant {
+                id: id.to_string(),
+                policy: registered,
+                guard,
+                chain,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Looks up a tenant by id.
+    pub fn tenant(&self, id: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.get(id)
+    }
+
+    /// Tenant ids in sorted order.
+    pub fn tenant_ids(&self) -> Vec<&str> {
+        self.tenants.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether the fleet has no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// The shared policy registry.
+    pub fn registry(&self) -> &PolicyRegistry {
+        &self.registry
+    }
+
+    /// Seals every tenant's audit chain (idempotent; failures are
+    /// logged, not propagated — shutdown must not stall on audit I/O).
+    pub fn seal_all(&self) {
+        for tenant in self.tenants.values() {
+            if let Some(chain) = &tenant.chain {
+                if let Err(e) = chain.seal() {
+                    warn!("tenant {} audit chain seal failed: {e}", tenant.id);
+                }
+            }
+        }
+    }
+
+    /// One lockstep tick: decides for every `(tenant, observation)`
+    /// pair in `requests` as a single synchronized batch.
+    ///
+    /// The two-phase guard API makes the coalescing safe: each guard
+    /// first **routes** its observation (validation + rung choice),
+    /// then all routes that reached the `Policy` arm are evaluated in
+    /// grouped [`DtPolicy::decide_batch_into`] calls — one per
+    /// distinct registry entry — and finally each guard **commits**
+    /// its action. The result is bit-identical to calling
+    /// [`GuardedPolicy::decide`] per tenant, but a thousand tenants on
+    /// one tree cost one batched pass instead of a thousand
+    /// interleaved descents.
+    ///
+    /// Guards are locked in tenant-id order (and all released before
+    /// any audit append), so concurrent ticks and per-tenant decides
+    /// cannot deadlock.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown tenants and duplicate tenants (lockstep means
+    /// one observation per tenant per tick). Nothing is decided on
+    /// error — validation happens before any lock is taken.
+    pub fn tick(&self, requests: &[(String, Observation)]) -> Result<Vec<TickDecision>, String> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut seen = BTreeSet::new();
+        let mut resolved: Vec<(usize, Arc<Tenant>, Observation)> =
+            Vec::with_capacity(requests.len());
+        for (i, (id, obs)) in requests.iter().enumerate() {
+            let tenant = self
+                .tenants
+                .get(id)
+                .ok_or_else(|| format!("unknown tenant {id:?}"))?;
+            if !seen.insert(id.as_str()) {
+                return Err(format!(
+                    "duplicate tenant {id:?} in one tick — lockstep is one observation \
+                     per tenant"
+                ));
+            }
+            resolved.push((i, Arc::clone(tenant), *obs));
+        }
+        resolved.sort_by(|a, b| a.1.id.cmp(&b.1.id));
+        let mut locked: Vec<MutexGuard<'_, GuardedPolicy<DtPolicy>>> = resolved
+            .iter()
+            .map(|(_, t, _)| t.guard.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+
+        // Phase 1: route every observation through its tenant's guard.
+        let routes: Vec<GuardRoute> = locked
+            .iter_mut()
+            .zip(&resolved)
+            .map(|(guard, (_, _, obs))| guard.route(obs))
+            .collect();
+
+        // Coalesce the Policy-arm evaluations by registry entry.
+        let mut groups: BTreeMap<&str, (Vec<usize>, Vec<Observation>)> = BTreeMap::new();
+        for (slot, route) in routes.iter().enumerate() {
+            if let GuardRoute::Policy { observation, .. } = route {
+                let (slots, observations) =
+                    groups.entry(resolved[slot].1.policy.hash()).or_default();
+                slots.push(slot);
+                observations.push(*observation);
+            }
+        }
+        let mut actions: Vec<Option<SetpointAction>> = vec![None; routes.len()];
+        let mut batch = Vec::new();
+        for (hash, (slots, observations)) in &groups {
+            let entry = self
+                .registry
+                .get(hash)
+                .expect("every tenant's policy is registered");
+            batch.clear();
+            entry.policy().decide_batch_into(observations, &mut batch);
+            for (slot, action) in slots.iter().zip(&batch) {
+                actions[*slot] = Some(*action);
+            }
+        }
+
+        // Phase 2: commit per tenant, draining ladder transitions for
+        // the audit chains.
+        let mut out: Vec<Option<TickDecision>> = vec![None; requests.len()];
+        let mut appends: Vec<(Arc<Tenant>, Observation, TickDecision, Vec<GuardTransition>)> =
+            Vec::new();
+        for (slot, guard) in locked.iter_mut().enumerate() {
+            let (original, tenant, obs) = &resolved[slot];
+            let (state, action) = match routes[slot] {
+                GuardRoute::Policy { state, .. } => (
+                    state,
+                    actions[slot].expect("policy-routed slots were batched"),
+                ),
+                GuardRoute::Resolved { state, action } => (state, action),
+            };
+            let action = guard.commit(state, action);
+            let index = guard.inner().action_space().index_of(action);
+            let transitions = if tenant.chain.is_some() {
+                guard.take_transitions()
+            } else {
+                Vec::new()
+            };
+            let decision = TickDecision {
+                tenant: tenant.id.clone(),
+                action,
+                action_index: index,
+                state,
+            };
+            if tenant.chain.is_some() {
+                appends.push((Arc::clone(tenant), *obs, decision.clone(), transitions));
+            }
+            out[*original] = Some(decision);
+        }
+        drop(locked);
+
+        // Audit I/O runs off the guard locks: a slow disk must not
+        // extend the lockstep critical section.
+        for (tenant, obs, decision, transitions) in appends {
+            let chain = tenant.chain.as_ref().expect("filtered on chain presence");
+            let mut result = Ok(());
+            for t in &transitions {
+                result = result.and(chain.append_transition(t.from.name(), t.to.name()));
+            }
+            result = result.and(chain.append_decision(
+                obs.to_vector(),
+                decision.action.heating() as u64,
+                decision.action.cooling() as u64,
+                decision.action_index as u64,
+                decision.state.name(),
+                None,
+            ));
+            if let Err(e) = result {
+                hvac_telemetry::counter("serve.audit.errors").incr();
+                warn!("tenant {} audit chain append failed: {e}", tenant.id);
+            }
+        }
+        hvac_telemetry::counter("fleet.tick.decisions").add(requests.len() as u64);
+        Ok(out
+            .into_iter()
+            .map(|d| d.expect("every request was decided"))
+            .collect())
+    }
+}
+
+/// Shared ops-plane state for the fleet's HTTP handlers.
+struct OpsCtx {
+    flight: Option<Arc<FlightRecorder>>,
+    window: Option<&'static hvac_telemetry::WindowedHistogram>,
+    slo: Arc<SloTracker>,
+    mint_seed: String,
+    mint_sequence: AtomicU64,
+}
+
+impl OpsCtx {
+    fn trace_id(&self, request: &Request) -> String {
+        match request.request_id() {
+            Some(id) => id.to_string(),
+            None => mint_trace_id(
+                &self.mint_seed,
+                self.mint_sequence.fetch_add(1, Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+/// Prefixes a rendered decide body with the tenant it belongs to.
+/// Tenant ids carry no JSON metacharacters (see [`valid_tenant_id`]),
+/// so the splice is safe.
+fn tag_tenant(body: &str, tenant: &str) -> String {
+    debug_assert!(body.starts_with('{') && valid_tenant_id(tenant));
+    format!("{{\"tenant\":\"{tenant}\",{}", &body[1..])
+}
+
+/// One `/decide` or `/decide/{tenant}` request against the fleet.
+fn handle_decide(fleet: &Fleet, tenant_id: &str, request: &Request, ctx: &OpsCtx) -> Response {
+    let trace_id = ctx.trace_id(request);
+    let now_ns = process_elapsed_ns();
+    let mut record = FlightRecord {
+        trace_id: trace_id.clone(),
+        t_ns: now_ns,
+        parse_ns: 0,
+        decide_ns: 0,
+        audit_ns: 0,
+        guard_state: 0,
+        heating_centi: 0,
+        cooling_centi: 0,
+        http_status: 422,
+    };
+    let response = if !valid_tenant_id(tenant_id) {
+        Response::error(
+            422,
+            &format!("invalid tenant id {tenant_id:?}: want 1-{MAX_TENANT_ID_BYTES} bytes of [A-Za-z0-9_-]"),
+        )
+    } else {
+        match fleet.tenant(tenant_id) {
+            None => {
+                record.http_status = 404;
+                Response::error(404, &format!("unknown tenant {tenant_id:?}"))
+            }
+            Some(tenant) => match decide_json_traced(
+                &tenant.guard,
+                tenant.chain.as_deref(),
+                &request.body,
+                Some(&trace_id),
+            ) {
+                Ok(outcome) => {
+                    if let Some(w) = ctx.window {
+                        w.record_at(now_ns, outcome.total_ns);
+                    }
+                    ctx.slo.record_decide_at(now_ns, outcome.total_ns);
+                    ctx.slo.record_guard_at(now_ns, outcome.guard_gauge);
+                    record.parse_ns = outcome.parse_ns;
+                    record.decide_ns = outcome.decide_ns;
+                    record.audit_ns = outcome.audit_ns;
+                    record.guard_state = outcome.guard_gauge;
+                    record.heating_centi = outcome.heating * 100;
+                    record.cooling_centi = outcome.cooling * 100;
+                    record.http_status = 200;
+                    Response::json(200, tag_tenant(&outcome.body, tenant_id))
+                }
+                Err(message) => Response::error(422, &message),
+            },
+        }
+    };
+    ctx.slo.record_response_at(now_ns, response.status);
+    if let Some(ring) = &ctx.flight {
+        ring.push(&record);
+    }
+    response.with_header(REQUEST_ID_HEADER, trace_id)
+}
+
+/// Parses a `POST /tick` body into `(tenant, observation)` pairs.
+fn tick_requests_from_json(body: &str) -> Result<Vec<(String, Observation)>, String> {
+    let value = parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
+    let requests = value
+        .get("requests")
+        .and_then(JsonValue::as_array)
+        .ok_or("body must be {\"requests\":[{\"tenant\":…,\"observation\":{…}},…]}")?;
+    if requests.len() > MAX_TICK_REQUESTS {
+        return Err(format!(
+            "tick carries {} requests; the cap is {MAX_TICK_REQUESTS}",
+            requests.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(requests.len());
+    let mut problems: Vec<String> = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        match (
+            r.get("tenant").and_then(JsonValue::as_str),
+            r.get("observation"),
+        ) {
+            (Some(tenant), Some(observation)) => match observation_from_value(observation) {
+                Ok(obs) => out.push((tenant.to_string(), obs)),
+                Err(e) => problems.push(format!("request {i}: {e}")),
+            },
+            (None, _) => problems.push(format!("request {i}: missing string field \"tenant\"")),
+            (_, None) => {
+                problems.push(format!("request {i}: missing object field \"observation\""));
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(out)
+    } else {
+        Err(problems.join("; "))
+    }
+}
+
+/// Renders a `POST /tick` response body.
+fn tick_json(decisions: &[TickDecision], latency_ns: u64) -> String {
+    let mut out = String::with_capacity(64 + decisions.len() * 160);
+    out.push_str(&format!(
+        "{{\"count\":{},\"latency_ns\":{latency_ns},\"decisions\":[",
+        decisions.len()
+    ));
+    for (i, d) in decisions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut o = ObjectWriter::new();
+        o.str_field("tenant", &d.tenant);
+        o.u64_field("heating_setpoint", d.action.heating() as u64);
+        o.u64_field("cooling_setpoint", d.action.cooling() as u64);
+        o.u64_field("action_index", d.action_index as u64);
+        o.str_field("action", &d.action.to_string());
+        o.str_field("guard_state", d.state.name());
+        out.push_str(&o.finish());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the fleet's `GET /tenants` roster.
+fn tenants_json(fleet: &Fleet) -> String {
+    let mut out = String::with_capacity(64 + fleet.len() * 220);
+    out.push_str(&format!(
+        "{{\"count\":{},\"policies\":{},\"tenants\":[",
+        fleet.len(),
+        fleet.registry().len()
+    ));
+    for (i, tenant) in fleet.tenants.values().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (state, decisions) = {
+            let guard = tenant.guard.lock().unwrap_or_else(PoisonError::into_inner);
+            (guard.state(), guard.decisions())
+        };
+        let mut o = ObjectWriter::new();
+        o.str_field("id", &tenant.id);
+        o.str_field("policy_hash", tenant.policy.hash());
+        o.bool_field("certified", tenant.policy.certificate_id().is_some());
+        if let Some(id) = tenant.policy.certificate_id() {
+            o.str_field("certificate_id", id);
+        }
+        o.bool_field("audited", tenant.chain.is_some());
+        o.str_field("guard_state", state.name());
+        o.u64_field("decisions", decisions);
+        out.push_str(&o.finish());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the fleet's `GET /version` body.
+fn fleet_version_json(fleet: &Fleet) -> String {
+    let mut o = ObjectWriter::new();
+    o.str_field("crate_version", env!("CARGO_PKG_VERSION"));
+    o.str_field(
+        "build",
+        option_env!("VERI_HVAC_BUILD_INFO").unwrap_or(concat!(
+            "v",
+            env!("CARGO_PKG_VERSION"),
+            "-src"
+        )),
+    );
+    o.bool_field("fleet", true);
+    o.u64_field("tenants", fleet.len() as u64);
+    o.u64_field("policies", fleet.registry().len() as u64);
+    o.finish()
+}
+
+/// Binds the fleet serving endpoint (see the module docs for the
+/// routes). Graceful shutdown drains the worker pool first and then
+/// seals every tenant's audit chain, so no in-flight decision can
+/// land after its chain's seal record.
+///
+/// # Errors
+///
+/// Rejects an empty fleet ([`std::io::ErrorKind::InvalidInput`]) and
+/// propagates socket binding errors.
+pub fn serve_fleet(fleet: Fleet, addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+    if fleet.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "a fleet needs at least one tenant",
+        ));
+    }
+    let ops = fleet.options.ops;
+    let workers = fleet.options.workers;
+    let max_inflight = fleet.options.max_inflight;
+    let fleet = Arc::new(fleet);
+
+    let flight =
+        (ops.flight_capacity > 0).then(|| Arc::new(FlightRecorder::new(ops.flight_capacity)));
+    let window = ops.windowed.then(|| {
+        windowed_histogram(
+            "serve.decide.ns",
+            LATENCY_BOUNDS_NS,
+            SERVE_WINDOW_NS,
+            SERVE_WINDOW_EPOCHS,
+        )
+    });
+    let slo = Arc::new(SloTracker::new(ops.slo));
+    let ctx = Arc::new(OpsCtx {
+        flight: flight.clone(),
+        window,
+        slo: Arc::clone(&slo),
+        // Fold every registered hash into the mint seed, so identical
+        // fleet replays mint identical trace ids.
+        mint_seed: fleet.registry.hashes().collect::<Vec<_>>().join(","),
+        mint_sequence: AtomicU64::new(0),
+    });
+
+    let mut builder = HttpServer::builder()
+        .max_body_bytes(MAX_FLEET_BODY_BYTES)
+        .request_timeout(DECIDE_TIMEOUT);
+    // Unless overridden, scale the pool so every tenant's keep-alive
+    // connection can hold a parked worker (plus slack for ops
+    // queries, capped): a pool smaller than the steady connection
+    // count forces turn rotation, which trades idle-connection
+    // latency for fairness.
+    let workers = workers.unwrap_or_else(|| (fleet.len() + 2).clamp(4, 32));
+    builder = builder.workers(workers);
+    if let Some(n) = max_inflight {
+        builder = builder.max_inflight(n);
+    }
+
+    let decide_fleet = Arc::clone(&fleet);
+    let decide_ctx = Arc::clone(&ctx);
+    let path_fleet = Arc::clone(&fleet);
+    let path_ctx = Arc::clone(&ctx);
+    let tick_fleet = Arc::clone(&fleet);
+    let tick_slo = Arc::clone(&slo);
+    let roster_fleet = Arc::clone(&fleet);
+    let version_fleet = Arc::clone(&fleet);
+    let seal_fleet = Arc::clone(&fleet);
+
+    builder = builder
+        // Tenant named in the body; a single-tenant fleet may omit it.
+        .route("POST", "/decide", move |req| {
+            let named = parse(&req.body)
+                .ok()
+                .and_then(|v| v.get("tenant").map(|t| t.as_str().map(str::to_string)));
+            let tenant_id = match named {
+                Some(Some(id)) => id,
+                // "tenant" present but not a string.
+                Some(None) => {
+                    return Response::error(422, "field \"tenant\" must be a string");
+                }
+                None if decide_fleet.len() == 1 => decide_fleet.tenant_ids()[0].to_string(),
+                None => {
+                    return Response::error(
+                        422,
+                        "multi-tenant fleet: name the building (body field \"tenant\" \
+                         or POST /decide/{tenant})",
+                    );
+                }
+            };
+            handle_decide(&decide_fleet, &tenant_id, req, &decide_ctx)
+        })
+        // Tenant named in the path.
+        .route_prefix("POST", "/decide/", move |req| {
+            let tenant_id = req.path.strip_prefix("/decide/").unwrap_or("");
+            handle_decide(&path_fleet, tenant_id, req, &path_ctx)
+        })
+        .route("POST", "/tick", move |req| {
+            let started = Instant::now();
+            let now_ns = process_elapsed_ns();
+            let response = match tick_requests_from_json(&req.body)
+                .and_then(|requests| tick_fleet.tick(&requests))
+            {
+                Ok(decisions) => {
+                    let latency_ns =
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    hvac_telemetry::histogram("fleet.tick.ns", LATENCY_BOUNDS_NS)
+                        .record(latency_ns);
+                    Response::json(200, tick_json(&decisions, latency_ns))
+                }
+                Err(message) => Response::error(422, &message),
+            };
+            tick_slo.record_response_at(now_ns, response.status);
+            response
+        })
+        .route("GET", "/tenants", move |_req| {
+            Response::json(200, tenants_json(&roster_fleet))
+        })
+        .route("GET", "/version", move |_req| {
+            Response::json(200, fleet_version_json(&version_fleet))
+        })
+        .route("GET", "/debug/slo", move |_req| {
+            Response::json(200, slo.render_json_at(process_elapsed_ns()))
+        });
+    if let Some(ring) = flight {
+        builder = builder.route("GET", "/debug/flight", move |_req| {
+            Response::json(200, flight_json(&ring))
+        });
+    }
+    // The server joins its worker pool before running hooks, so every
+    // admitted decision has been appended before any chain seals.
+    builder = builder.on_shutdown(move || seal_fleet.seal_all());
+    builder.bind(addr)
+}

@@ -51,6 +51,7 @@
 //! | [`faults`] | deterministic sensor/weather fault injection |
 //! | [`stats`] | histograms, entropy, JSD, summaries |
 //! | [`serve`] | HTTP serving of verified policies (`POST /decide`) |
+//! | [`fleet`] | multi-tenant fleet controller (registry, sharded guards, lockstep `/tick`) |
 //! | [`artifacts`] | content-addressed pipeline artifact store |
 
 #![forbid(unsafe_code)]
@@ -69,10 +70,15 @@ pub use hvac_stats as stats;
 pub use hvac_verify as verify;
 
 pub mod artifacts;
+pub mod fleet;
 pub mod pipeline;
 pub mod serve;
 
 pub use artifacts::{ArtifactError, ArtifactStore, PipelineKeys, StageKey};
+pub use fleet::{
+    serve_fleet, valid_tenant_id, Fleet, FleetOptions, PolicyRegistry, RegisteredPolicy, Tenant,
+    TickDecision,
+};
 pub use pipeline::{
     run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig, PipelineError,
 };

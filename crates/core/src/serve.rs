@@ -78,6 +78,17 @@ pub const DECIDE_TIMEOUT: Duration = Duration::from_secs(5);
 /// sees all its problems at once instead of one per round trip.
 pub fn observation_from_json(text: &str) -> Result<Observation, String> {
     let value = parse(text).map_err(|e| format!("invalid JSON body: {e}"))?;
+    observation_from_value(&value)
+}
+
+/// [`observation_from_json`] over an already-parsed [`JsonValue`] — the
+/// entry point for embedded observations (each element of a fleet
+/// `POST /tick` batch carries one under its `"observation"` key).
+///
+/// # Errors
+///
+/// Same aggregated per-field message as [`observation_from_json`].
+pub fn observation_from_value(value: &JsonValue) -> Result<Observation, String> {
     if !matches!(value, JsonValue::Object(_)) {
         return Err("body must be a JSON object".to_string());
     }
@@ -292,8 +303,8 @@ impl Default for OpsOptions {
 
 /// The sliding window the serve path records decide latencies into:
 /// one minute at five-second resolution.
-const SERVE_WINDOW_NS: u64 = 60 * 1_000_000_000;
-const SERVE_WINDOW_EPOCHS: usize = 12;
+pub(crate) const SERVE_WINDOW_NS: u64 = 60 * 1_000_000_000;
+pub(crate) const SERVE_WINDOW_EPOCHS: usize = 12;
 
 /// Serving configuration beyond the policy itself: the guard's
 /// fallback comfort band, an optional tamper-evident audit chain, the
@@ -328,7 +339,7 @@ impl Default for ServeOptions {
 /// one: FNV-1a over the served policy's hash and a process-local
 /// sequence number — stable across identical replays, unique within a
 /// serve session, and trivially valid per the `X-Request-Id` contract.
-fn mint_trace_id(seed: &str, sequence: u64) -> String {
+pub(crate) fn mint_trace_id(seed: &str, sequence: u64) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in seed.bytes().chain(sequence.to_le_bytes()) {
         h ^= b as u64;
@@ -350,7 +361,7 @@ fn rung_name(gauge: u64) -> &'static str {
 
 /// Renders the `GET /debug/flight` body: ring capacity, total records
 /// ever captured, and the surviving snapshot (most recent first).
-fn flight_json(recorder: &FlightRecorder) -> String {
+pub(crate) fn flight_json(recorder: &FlightRecorder) -> String {
     let records = recorder.snapshot();
     let mut out = String::with_capacity(256 + records.len() * 256);
     out.push_str(&format!(

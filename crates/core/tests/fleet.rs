@@ -1,0 +1,462 @@
+//! Integration tests for the multi-tenant fleet controller: per-tenant
+//! bit-identity against in-process decisions, tenant routing and
+//! isolation, lockstep `/tick` batching, and the loaded-shutdown
+//! guarantee that every tenant's audit chain still seals green under
+//! concurrent traffic.
+
+use hvac_telemetry::http::{blocking_request, BlockingClient};
+use hvac_telemetry::json::{parse, JsonValue};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use veri_hvac::audit::Auditor;
+use veri_hvac::control::DtPolicy;
+use veri_hvac::dtree::{DecisionTree, TreeConfig};
+use veri_hvac::env::space::feature;
+use veri_hvac::env::{
+    ActionSpace, Disturbances, Observation, Policy, SetpointAction, POLICY_INPUT_DIM,
+};
+use veri_hvac::fleet::{serve_fleet, Fleet, FleetOptions};
+use veri_hvac::serve::MAX_DECIDE_BODY_BYTES;
+
+/// Cold zones → heat hard, warm zones → off (the serve tests' toy
+/// tree), with a tunable split so tenants can run distinct policies.
+fn toy_policy(split: f64) -> DtPolicy {
+    let space = ActionSpace::new();
+    let heat = space.index_of(SetpointAction::new(23, 30).unwrap());
+    let off = space.index_of(SetpointAction::off());
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..24 {
+        let temp = 12.0 + f64::from(i) * 0.5;
+        let mut row = vec![0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = temp;
+        inputs.push(row);
+        labels.push(if temp < split { heat } else { off });
+    }
+    let tree = DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
+    DtPolicy::new(tree).unwrap()
+}
+
+fn obs(temp: f64) -> Observation {
+    Observation::new(temp, Disturbances::default())
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hvac-fleet-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn multi_tenant_decisions_are_bit_identical_to_in_process() {
+    // Three tenants over two distinct trees: a and b share one policy
+    // (the registry must dedup them), c runs its own.
+    let mut fleet = Fleet::new(FleetOptions::default());
+    fleet
+        .add_tenant("building-a", toy_policy(20.0), None)
+        .unwrap();
+    fleet
+        .add_tenant("building-b", toy_policy(20.0), None)
+        .unwrap();
+    fleet
+        .add_tenant("building-c", toy_policy(17.0), None)
+        .unwrap();
+    assert_eq!(fleet.registry().len(), 2, "shared tree is deduped");
+    let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
+
+    let mut references = vec![
+        ("building-a", toy_policy(20.0)),
+        ("building-b", toy_policy(20.0)),
+        ("building-c", toy_policy(17.0)),
+    ];
+    let temps = [14.0, 16.2, 17.9, 19.1, 21.4, 23.0];
+    let mut client = BlockingClient::connect(server.addr()).unwrap();
+    for (tenant, reference) in &mut references {
+        for temp in temps {
+            let expected = reference.decide(&obs(temp));
+            // Path-addressed…
+            let body = format!(r#"{{"zone_temperature":{temp}}}"#);
+            let (status, _, text) = client
+                .request("POST", &format!("/decide/{tenant}"), &[], &body)
+                .unwrap();
+            assert_eq!(status, 200, "{text}");
+            let v = parse(&text).unwrap();
+            assert_eq!(
+                v.get("tenant").and_then(JsonValue::as_str),
+                Some(*tenant),
+                "{text}"
+            );
+            let heating = v
+                .get("heating_setpoint")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            let cooling = v
+                .get("cooling_setpoint")
+                .and_then(JsonValue::as_u64)
+                .unwrap();
+            assert_eq!(heating as i32, expected.heating(), "{tenant} at {temp} °C");
+            assert_eq!(cooling as i32, expected.cooling(), "{tenant} at {temp} °C");
+            // …and body-addressed, bit-identically.
+            let body = format!(r#"{{"tenant":"{tenant}","zone_temperature":{temp}}}"#);
+            let (status, _, text) = client.request("POST", "/decide", &[], &body).unwrap();
+            assert_eq!(status, 200, "{text}");
+            let v = parse(&text).unwrap();
+            assert_eq!(
+                v.get("heating_setpoint").and_then(JsonValue::as_u64),
+                Some(heating)
+            );
+            assert_eq!(
+                v.get("cooling_setpoint").and_then(JsonValue::as_u64),
+                Some(cooling)
+            );
+        }
+    }
+
+    // The roster reports every tenant with its decision count.
+    let (status, roster) = blocking_request(server.addr(), "GET", "/tenants", "").unwrap();
+    assert_eq!(status, 200);
+    let v = parse(&roster).unwrap();
+    assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(3));
+    assert_eq!(v.get("policies").and_then(JsonValue::as_u64), Some(2));
+    let tenants = v.get("tenants").and_then(JsonValue::as_array).unwrap();
+    for t in tenants {
+        assert_eq!(
+            t.get("decisions").and_then(JsonValue::as_u64),
+            Some(2 * temps.len() as u64),
+            "{roster}"
+        );
+    }
+    let (_, version) = blocking_request(server.addr(), "GET", "/version", "").unwrap();
+    let v = parse(&version).unwrap();
+    assert_eq!(v.get("fleet").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(v.get("tenants").and_then(JsonValue::as_u64), Some(3));
+    server.shutdown();
+}
+
+#[test]
+fn lockstep_tick_matches_per_tenant_decides_bit_for_bit() {
+    let build = |split| {
+        let mut fleet = Fleet::new(FleetOptions::default());
+        for i in 0..8 {
+            fleet
+                .add_tenant(&format!("zone-{i}"), toy_policy(split), None)
+                .unwrap();
+        }
+        fleet
+    };
+    let ticked = build(19.0);
+    let scalar = build(19.0);
+
+    // Drive both fleets through the same observation schedule: one via
+    // lockstep tick(), one via per-tenant HTTP decides.
+    let server = serve_fleet(scalar, "127.0.0.1:0").expect("bind");
+    let mut client = BlockingClient::connect(server.addr()).unwrap();
+    for step in 0..10 {
+        let requests: Vec<(String, Observation)> = (0..8)
+            .map(|i| {
+                let temp = 13.0 + f64::from(step) * 0.7 + f64::from(i) * 0.3;
+                (format!("zone-{i}"), obs(temp))
+            })
+            .collect();
+        let decisions = ticked.tick(&requests).unwrap();
+        assert_eq!(decisions.len(), 8);
+        for (i, decision) in decisions.iter().enumerate() {
+            assert_eq!(decision.tenant, format!("zone-{i}"), "original order kept");
+            let temp = 13.0 + f64::from(step) * 0.7 + i as f64 * 0.3;
+            let body = format!(r#"{{"zone_temperature":{temp}}}"#);
+            let (status, _, text) = client
+                .request("POST", &format!("/decide/zone-{i}"), &[], &body)
+                .unwrap();
+            assert_eq!(status, 200, "{text}");
+            let v = parse(&text).unwrap();
+            assert_eq!(
+                v.get("heating_setpoint").and_then(JsonValue::as_u64),
+                Some(decision.action.heating() as u64),
+                "step {step} zone-{i}"
+            );
+            assert_eq!(
+                v.get("cooling_setpoint").and_then(JsonValue::as_u64),
+                Some(decision.action.cooling() as u64),
+                "step {step} zone-{i}"
+            );
+            assert_eq!(
+                v.get("guard_state").and_then(JsonValue::as_str),
+                Some(decision.state.name()),
+                "step {step} zone-{i}"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tick_endpoint_decides_a_batch_and_rejects_malformed_ones() {
+    let mut fleet = Fleet::new(FleetOptions::default());
+    fleet.add_tenant("a", toy_policy(20.0), None).unwrap();
+    fleet.add_tenant("b", toy_policy(20.0), None).unwrap();
+    let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
+
+    let body = r#"{"requests":[
+        {"tenant":"a","observation":{"zone_temperature":15.0}},
+        {"tenant":"b","observation":{"zone_temperature":23.0}}]}"#;
+    let (status, text) = blocking_request(server.addr(), "POST", "/tick", body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = parse(&text).unwrap();
+    assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(2));
+    let decisions = v.get("decisions").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(
+        decisions[0]
+            .get("heating_setpoint")
+            .and_then(JsonValue::as_u64),
+        Some(23)
+    );
+    assert_eq!(
+        decisions[1]
+            .get("heating_setpoint")
+            .and_then(JsonValue::as_u64),
+        Some(SetpointAction::off().heating() as u64)
+    );
+
+    // Unknown tenant fails the whole batch before any lock is taken.
+    let body = r#"{"requests":[{"tenant":"nope","observation":{"zone_temperature":15}}]}"#;
+    let (status, text) = blocking_request(server.addr(), "POST", "/tick", body).unwrap();
+    assert_eq!(status, 422);
+    assert!(text.contains("unknown tenant"), "{text}");
+
+    // Duplicate tenant violates lockstep.
+    let body = r#"{"requests":[
+        {"tenant":"a","observation":{"zone_temperature":15}},
+        {"tenant":"a","observation":{"zone_temperature":16}}]}"#;
+    let (status, text) = blocking_request(server.addr(), "POST", "/tick", body).unwrap();
+    assert_eq!(status, 422);
+    assert!(text.contains("duplicate tenant"), "{text}");
+
+    // Shape errors name every offending element.
+    let body = r#"{"requests":[{"tenant":"a"},{"observation":{"zone_temperature":1}}]}"#;
+    let (status, text) = blocking_request(server.addr(), "POST", "/tick", body).unwrap();
+    assert_eq!(status, 422);
+    assert!(
+        text.contains("request 0") && text.contains("request 1"),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn unknown_and_invalid_tenants_are_structured_errors() {
+    let mut fleet = Fleet::new(FleetOptions::default());
+    fleet.add_tenant("only", toy_policy(20.0), None).unwrap();
+    fleet.add_tenant("other", toy_policy(20.0), None).unwrap();
+    let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
+    let body = r#"{"zone_temperature":18}"#;
+
+    // Unknown tenant in the path: 404.
+    let (status, text) = blocking_request(server.addr(), "POST", "/decide/ghost", body).unwrap();
+    assert_eq!(status, 404, "{text}");
+    assert!(text.contains("unknown tenant"), "{text}");
+
+    // Unknown tenant in the body: 404 too.
+    let named = r#"{"tenant":"ghost","zone_temperature":18}"#;
+    let (status, _) = blocking_request(server.addr(), "POST", "/decide", named).unwrap();
+    assert_eq!(status, 404);
+
+    // Invalid id charset (dots could escape the audit dir): 422.
+    let (status, text) = blocking_request(server.addr(), "POST", "/decide/../etc", body).unwrap();
+    assert_eq!(status, 422, "{text}");
+
+    // Multi-tenant fleet with no tenant named: 422 pointing at both
+    // addressing forms.
+    let (status, text) = blocking_request(server.addr(), "POST", "/decide", body).unwrap();
+    assert_eq!(status, 422);
+    assert!(text.contains("tenant"), "{text}");
+
+    // Non-string tenant field: 422.
+    let named = r#"{"tenant":7,"zone_temperature":18}"#;
+    let (status, _) = blocking_request(server.addr(), "POST", "/decide", named).unwrap();
+    assert_eq!(status, 422);
+    server.shutdown();
+}
+
+#[test]
+fn single_tenant_fleet_accepts_unnamed_decides() {
+    let mut fleet = Fleet::new(FleetOptions::default());
+    fleet.add_tenant("solo", toy_policy(20.0), None).unwrap();
+    let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
+    let (status, text) = blocking_request(
+        server.addr(),
+        "POST",
+        "/decide",
+        r#"{"zone_temperature":15}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = parse(&text).unwrap();
+    assert_eq!(v.get("tenant").and_then(JsonValue::as_str), Some("solo"));
+    assert_eq!(
+        v.get("heating_setpoint").and_then(JsonValue::as_u64),
+        Some(23)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn one_tenants_faulted_stream_never_degrades_another() {
+    let mut fleet = Fleet::new(FleetOptions::default());
+    fleet.add_tenant("noisy", toy_policy(20.0), None).unwrap();
+    fleet.add_tenant("clean", toy_policy(20.0), None).unwrap();
+    let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
+
+    // Hammer the noisy tenant with out-of-range readings until its
+    // guard has walked the whole ladder.
+    for _ in 0..8 {
+        let (status, text) = blocking_request(
+            server.addr(),
+            "POST",
+            "/decide/noisy",
+            r#"{"zone_temperature":300}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{text}");
+    }
+    let (_, text) = blocking_request(
+        server.addr(),
+        "POST",
+        "/decide/noisy",
+        r#"{"zone_temperature":300}"#,
+    )
+    .unwrap();
+    let v = parse(&text).unwrap();
+    assert_eq!(
+        v.get("guard_state").and_then(JsonValue::as_str),
+        Some("fallback"),
+        "{text}"
+    );
+
+    // The clean tenant's guard never left the normal rung.
+    let (_, text) = blocking_request(
+        server.addr(),
+        "POST",
+        "/decide/clean",
+        r#"{"zone_temperature":18}"#,
+    )
+    .unwrap();
+    let v = parse(&text).unwrap();
+    assert_eq!(
+        v.get("guard_state").and_then(JsonValue::as_str),
+        Some("normal"),
+        "{text}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loaded_shutdown_still_seals_every_chain_green() {
+    let dir = fresh_dir("loaded-shutdown");
+    let tenants = ["alpha", "beta", "gamma", "delta"];
+    let mut fleet = Fleet::new(FleetOptions {
+        audit_dir: Some(dir.clone()),
+        ..FleetOptions::default()
+    });
+    for t in tenants {
+        fleet.add_tenant(t, toy_policy(20.0), None).unwrap();
+    }
+    let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // One hammering client per tenant, all firing through keep-alive
+    // connections until the server shuts down under them.
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = tenants
+        .iter()
+        .map(|tenant| {
+            let stop = Arc::clone(&stop);
+            let tenant = tenant.to_string();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut client = match BlockingClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return 0,
+                };
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let temp = 14 + i % 10;
+                    let body = format!(r#"{{"zone_temperature":{temp}}}"#);
+                    match client.request("POST", &format!("/decide/{tenant}"), &[], &body) {
+                        Ok((200, _, _)) => ok += 1,
+                        // Shutdown raced the request: reconnects will
+                        // fail too, so stop counting.
+                        _ => break,
+                    }
+                    i += 1;
+                }
+                ok
+            })
+        })
+        .collect();
+
+    // Let traffic build, then shut down while requests are in flight.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    server.shutdown();
+    stop.store(true, Ordering::Relaxed);
+    let served: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        served.iter().all(|&n| n > 0),
+        "every tenant saw traffic: {served:?}"
+    );
+
+    // Every chain sealed AFTER its last decision: the worker pool
+    // drains before shutdown hooks run, so each file ends on a seal
+    // record covering at least every 200-answered decision, and the
+    // offline auditor passes.
+    let reference = toy_policy(20.0);
+    for (tenant, &count) in tenants.iter().zip(&served) {
+        let text = std::fs::read_to_string(dir.join(format!("{tenant}.jsonl"))).unwrap();
+        assert!(text.ends_with('\n'), "{tenant} chain ends mid-record");
+        assert!(
+            text.lines().last().unwrap().contains(r#""kind":"seal""#),
+            "{tenant} chain does not end in a seal"
+        );
+        let report = Auditor::new(&text).with_policy(&reference).run();
+        assert!(report.passed(), "{tenant}: {report}");
+        assert!(report.sealed, "{tenant} chain is unsealed");
+        assert!(
+            report.decisions >= count,
+            "{tenant}: chain has {} decisions but the client saw {count} OKs",
+            report.decisions
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_bodies_beyond_the_single_decide_cap_are_accepted_on_tick() {
+    // The tick endpoint exists precisely because batches outgrow the
+    // single-observation body cap.
+    let mut fleet = Fleet::new(FleetOptions::default());
+    for i in 0..64 {
+        fleet
+            .add_tenant(&format!("t{i}"), toy_policy(20.0), None)
+            .unwrap();
+    }
+    let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
+    let mut body = String::from("{\"requests\":[");
+    for i in 0..64 {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            r#"{{"tenant":"t{i}","observation":{{"zone_temperature":18.0,"outdoor_temperature":-3.0,"relative_humidity":55.0,"wind_speed":4.5,"solar_radiation":120.0,"occupant_count":3,"hour_of_day":10.5}}}}"#
+        ));
+    }
+    body.push_str("]}");
+    assert!(
+        body.len() > MAX_DECIDE_BODY_BYTES / 2,
+        "batch is meaningfully large"
+    );
+    let (status, text) = blocking_request(server.addr(), "POST", "/tick", &body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = parse(&text).unwrap();
+    assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(64));
+    server.shutdown();
+}
