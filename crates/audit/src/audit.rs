@@ -18,6 +18,15 @@
 //! | records reordered           | `chain_links`                |
 //! | truncation after checkpoint | `seal`                       |
 //! | wrong policy / certificate  | `certificate` / `policy`     |
+//! | crash-torn final record     | `lines` (class `torn_tail`)  |
+//! | forged recovery record      | `recovery`                   |
+//!
+//! A *torn tail* — trailing bytes with no final newline, the signature
+//! of a write cut by a crash — is reported separately from deliberate
+//! tampering: the failure names the byte offset and the report's
+//! [`AuditReport::failure_class`] says `torn_tail` rather than
+//! `bad_hash`, because the remedy (truncate and resume via
+//! `AuditChain::recover`) is safe there and unsafe everywhere else.
 
 use hvac_control::DtPolicy;
 use hvac_env::Observation;
@@ -27,7 +36,8 @@ use hvac_verify::Certificate;
 
 use crate::hash::{sha256_hex, Sha256};
 use crate::record::{
-    split_line, ChainRecord, Payload, CHAIN_FORMAT, CHAIN_FORMAT_V1, GENESIS_PREV_HASH,
+    split_line, ChainRecord, Payload, CHAIN_FORMAT, CHAIN_FORMAT_V1, CHAIN_FORMAT_V2,
+    GENESIS_PREV_HASH,
 };
 
 /// Tuning for an audit pass.
@@ -57,8 +67,8 @@ impl Default for AuditOptions {
 #[derive(Debug, Clone, PartialEq)]
 pub struct AuditCheck {
     /// Stable check name (`lines`, `record_hashes`, `chain_links`,
-    /// `genesis`, `checkpoints`, `seal`, `certificate`, `policy`,
-    /// `replay`).
+    /// `genesis`, `checkpoints`, `recovery`, `seal`, `certificate`,
+    /// `policy`, `replay`).
     pub name: &'static str,
     /// Whether the check passed.
     pub passed: bool,
@@ -80,6 +90,11 @@ pub struct AuditReport {
     pub transitions: u64,
     /// Checkpoint records seen (seal excluded).
     pub checkpoints: u64,
+    /// Recovery records seen (crash-resume points).
+    pub recoveries: u64,
+    /// Byte offset of a crash-torn tail (trailing bytes with no final
+    /// newline), when the chain has one.
+    pub torn_tail_offset: Option<u64>,
     /// Decisions re-executed through the policy.
     pub replayed: u64,
     /// Whether the chain ends in a `seal` record.
@@ -101,14 +116,38 @@ impl AuditReport {
         self.checks.iter().find(|c| !c.passed)
     }
 
+    /// Coarse classification of the outcome for machine consumers:
+    /// `none` (all checks passed), `torn_tail` (the only line damage is
+    /// a crash-torn final record — safe to repair with
+    /// `AuditChain::recover`), `bad_hash` (a stored record hash does
+    /// not recompute — tampering), or the name of the first failing
+    /// check otherwise.
+    pub fn failure_class(&self) -> &'static str {
+        let Some(first) = self.first_failure() else {
+            return "none";
+        };
+        match first.name {
+            "lines" if self.torn_tail_offset.is_some() && first.detail.starts_with("torn tail") => {
+                "torn_tail"
+            }
+            "record_hashes" => "bad_hash",
+            name => name,
+        }
+    }
+
     /// Serializes the report as JSON (one object per check).
     pub fn to_json_string(&self) -> String {
         let mut o = ObjectWriter::new();
         o.bool_field("passed", self.passed());
+        o.str_field("failure_class", self.failure_class());
         o.u64_field("records", self.records);
         o.u64_field("decisions", self.decisions);
         o.u64_field("transitions", self.transitions);
         o.u64_field("checkpoints", self.checkpoints);
+        o.u64_field("recoveries", self.recoveries);
+        if let Some(offset) = self.torn_tail_offset {
+            o.u64_field("torn_tail_offset", offset);
+        }
         o.u64_field("replayed", self.replayed);
         o.bool_field("sealed", self.sealed);
         o.str_field("policy_hash", &self.policy_hash);
@@ -204,17 +243,41 @@ impl<'a> Auditor<'a> {
         let mut records = Vec::new();
 
         // 1. lines: every line is complete and parses back to a record.
+        // Trailing bytes without a final newline are a crash-torn tail
+        // (a record is written in one line; only `\n` completes it),
+        // classified apart from interior damage so the operator knows
+        // truncation-and-resume is the safe remedy.
+        let (complete, torn_tail_offset) = if self.text.is_empty() || self.text.ends_with('\n') {
+            (self.text, None)
+        } else {
+            match self.text.rfind('\n') {
+                Some(nl) => (&self.text[..=nl], Some(nl as u64 + 1)),
+                None => ("", Some(0u64)),
+            }
+        };
         let mut line_failure: Option<String> = None;
-        for (i, line) in self.text.lines().enumerate() {
+        let mut offset = 0usize;
+        for (i, line) in complete.lines().enumerate() {
             let parsed = split_line(line)
                 .and_then(|json| parse(json).map_err(|e| format!("bad JSON: {e:?}")))
                 .and_then(|v| ChainRecord::from_json(&v));
             match parsed {
                 Ok(record) => records.push(record),
                 Err(why) => {
-                    line_failure = Some(format!("line {}: {why}", i + 1));
+                    line_failure = Some(format!("line {} (byte offset {offset}): {why}", i + 1));
                     break;
                 }
+            }
+            offset += line.len() + 1;
+        }
+        if line_failure.is_none() {
+            if let Some(at) = torn_tail_offset {
+                line_failure = Some(format!(
+                    "torn tail: {} trailing bytes at byte offset {at} are not a complete \
+                     newline-terminated record (crash mid-write) — truncate and resume with \
+                     `veri_hvac audit --recover` (AuditChain::recover)",
+                    self.text.len() as u64 - at
+                ));
             }
         }
         checks.push(AuditCheck {
@@ -283,11 +346,16 @@ impl<'a> Auditor<'a> {
                 policy_hash,
                 certificate_id,
                 ..
-            }) if format == CHAIN_FORMAT || format == CHAIN_FORMAT_V1 => (
-                policy_hash.clone(),
-                certificate_id.clone(),
-                Ok(format!("format {format:?}")),
-            ),
+            }) if format == CHAIN_FORMAT
+                || format == CHAIN_FORMAT_V1
+                || format == CHAIN_FORMAT_V2 =>
+            {
+                (
+                    policy_hash.clone(),
+                    certificate_id.clone(),
+                    Ok(format!("format {format:?}")),
+                )
+            }
             Some(Payload::Genesis { format, .. }) => (
                 String::new(),
                 String::new(),
@@ -311,9 +379,40 @@ impl<'a> Auditor<'a> {
         let mut decisions = 0u64;
         let mut transitions = 0u64;
         let mut checkpoints = 0u64;
+        let mut recoveries = 0u64;
         let mut running = Sha256::new();
         let mut checkpoint_failure: Option<String> = None;
+        let mut recovery_failure: Option<String> = None;
         for record in &records {
+            // 5b. recovery: every resume point's prefix digest must
+            // replay from the verified prefix hashes, so a forged
+            // recovery record (covering for deleted evidence) cannot
+            // pass. `truncated_bytes` is attested, not re-checkable —
+            // the torn bytes are gone by construction.
+            if let Payload::Recovery {
+                prefix_records,
+                prefix_digest,
+                ..
+            } = &record.payload
+            {
+                recoveries += 1;
+                if recovery_failure.is_none() {
+                    let replayed = running.clone().finalize_hex();
+                    if *prefix_records != record.seq {
+                        recovery_failure = Some(format!(
+                            "recovery seq {}: claims a {prefix_records}-record verified prefix, \
+                             but its position implies {}",
+                            record.seq, record.seq
+                        ));
+                    } else if &replayed != prefix_digest {
+                        recovery_failure = Some(format!(
+                            "recovery seq {}: prefix digest does not replay from the {} verified \
+                             prefix hashes",
+                            record.seq, record.seq
+                        ));
+                    }
+                }
+            }
             if let Payload::Checkpoint {
                 records: claimed_records,
                 decisions: claimed_decisions,
@@ -364,7 +463,21 @@ impl<'a> Auditor<'a> {
             }),
         });
 
-        // 6. seal: the chain ends with its closing checkpoint, so a
+        // 6. recovery: every crash-resume point attests the prefix it
+        // verified (digest replayed above, alongside checkpoints).
+        checks.push(AuditCheck {
+            name: "recovery",
+            passed: recovery_failure.is_none(),
+            detail: recovery_failure.unwrap_or_else(|| {
+                if recoveries == 0 {
+                    "no recovery records".to_string()
+                } else {
+                    format!("{recoveries} recovery prefix digest(s) replayed from prefix hashes")
+                }
+            }),
+        });
+
+        // 7. seal: the chain ends with its closing checkpoint, so a
         // truncated suffix (past the last periodic checkpoint) cannot
         // pass silently.
         let sealed = records.last().is_some_and(|r| r.kind == "seal");
@@ -386,7 +499,7 @@ impl<'a> Auditor<'a> {
             },
         });
 
-        // 7. certificate: the id commits to the canonical bytes, and
+        // 8. certificate: the id commits to the canonical bytes, and
         // both ends of the binding (genesis, policy) agree.
         if let Some(cert) = self.certificate {
             let recomputed = sha256_hex(cert.canonical_string().as_bytes());
@@ -416,7 +529,7 @@ impl<'a> Auditor<'a> {
             });
         }
 
-        // 8. policy: the supplied policy bytes hash to what the chain
+        // 9. policy: the supplied policy bytes hash to what the chain
         // (and certificate, if any) claim was served.
         if let Some(policy) = self.policy {
             let actual = sha256_hex(policy.to_compact_string().as_bytes());
@@ -438,7 +551,7 @@ impl<'a> Auditor<'a> {
             });
         }
 
-        // 9. replay: a stride sample of guard-normal decisions, re-run
+        // 10. replay: a stride sample of guard-normal decisions, re-run
         // through the policy, must reproduce bit-identical actions.
         // (Degraded-rung actions depend on guard state accumulated
         // across the whole session, so only `normal` rows are
@@ -504,6 +617,8 @@ impl<'a> Auditor<'a> {
             decisions,
             transitions,
             checkpoints,
+            recoveries,
+            torn_tail_offset,
             replayed,
             sealed,
             policy_hash,

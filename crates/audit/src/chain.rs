@@ -24,18 +24,30 @@
 //! [`install_chain_flush_hook`]) drains on panic. Sealing flushes
 //! under every policy.
 
-use std::fs::{File, OpenOptions};
+use std::fs::OpenOptions;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
+use hvac_telemetry::json::parse;
 use hvac_telemetry::{
     counter, histogram, process_elapsed_ns, Counter, Histogram, LATENCY_BOUNDS_NS,
 };
 
 use crate::hash::Sha256;
-use crate::record::{ChainRecord, Payload, CHAIN_FORMAT, GENESIS_PREV_HASH, OBSERVATION_DIM};
+use crate::record::{
+    split_line, ChainRecord, Payload, CHAIN_FORMAT, GENESIS_PREV_HASH, OBSERVATION_DIM,
+};
+
+/// The byte sink an [`AuditChain`] appends through. Ordinary chains
+/// write straight to a [`std::fs::File`]; the chaos harness
+/// (`hvac-faults::FaultyWriter`) threads deterministic write faults —
+/// short writes, injected ENOSPC, fsync failures, latency spikes —
+/// through the same seam via [`AuditChain::create_with_writer`].
+pub trait ChainWriter: Write + Send + std::fmt::Debug {}
+
+impl<W: Write + Send + std::fmt::Debug> ChainWriter for W {}
 
 /// When buffered appends are pushed to the OS (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,10 +124,37 @@ impl Default for ChainConfig {
     }
 }
 
+/// What [`AuditChain::recover`] found and did: the verified prefix it
+/// resumed from, the torn bytes it truncated, and the identity the
+/// chain's genesis record binds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records in the verified prefix (the resumed chain's length
+    /// before the appended `recovery` record).
+    pub prefix_records: u64,
+    /// Torn trailing bytes truncated (0 when the file ended cleanly on
+    /// a complete record).
+    pub truncated_bytes: u64,
+    /// Byte offset the file was truncated at (== the recovered file
+    /// length before the `recovery` record was appended).
+    pub truncated_at: u64,
+    /// Whether the verified prefix ended in a `seal` record (a chain
+    /// that shut down gracefully before the restart).
+    pub was_sealed: bool,
+    /// Policy hash the genesis record binds.
+    pub policy_hash: String,
+    /// Certificate id the genesis record binds (may be empty).
+    pub certificate_id: String,
+    /// Decision records in the verified prefix.
+    pub decisions: u64,
+    /// Transition records in the verified prefix.
+    pub transitions: u64,
+}
+
 /// Mutable writer state behind the chain's mutex.
 #[derive(Debug)]
 struct Inner {
-    out: BufWriter<File>,
+    out: BufWriter<Box<dyn ChainWriter>>,
     /// `seq` of the next record.
     next_seq: u64,
     /// `record_hash` of the last appended record.
@@ -167,9 +206,26 @@ impl AuditChain {
             .create(true)
             .truncate(true)
             .open(path)?;
+        Self::create_with_writer(Box::new(file), policy_hash, certificate_id, config)
+    }
+
+    /// [`AuditChain::create`] over an arbitrary byte sink instead of a
+    /// freshly-truncated file — the seam the chaos harness uses to
+    /// thread deterministic write faults (`hvac-faults::FaultyWriter`)
+    /// through every append.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from the genesis append.
+    pub fn create_with_writer(
+        writer: Box<dyn ChainWriter>,
+        policy_hash: &str,
+        certificate_id: &str,
+        config: ChainConfig,
+    ) -> std::io::Result<Self> {
         let chain = Self {
             inner: Mutex::new(Inner {
-                out: BufWriter::new(file),
+                out: BufWriter::new(writer),
                 next_seq: 0,
                 prev_hash: GENESIS_PREV_HASH.to_string(),
                 digest: Sha256::new(),
@@ -199,6 +255,175 @@ impl AuditChain {
             )?;
         }
         Ok(chain)
+    }
+
+    /// Re-opens an existing chain for appending after a crash.
+    ///
+    /// Scans the file once (O(chain length)), verifying the
+    /// hash-linked prefix record by record. A *torn tail* — trailing
+    /// bytes after the last complete line, the well-defined signature
+    /// of a write cut mid-record (the length-prefixed JSONL format
+    /// never emits a raw newline inside a record, so the torn fragment
+    /// can never masquerade as a complete line) — is truncated
+    /// **atomically**: the verified prefix is written to a scratch
+    /// file and renamed over the original, so a second crash mid-
+    /// recovery leaves either the old file or the repaired one, never
+    /// a half-truncated hybrid. Appending then resumes after a
+    /// hash-covered `recovery` record carrying the verified prefix
+    /// digest and the truncated byte count.
+    ///
+    /// A prefix ending in a `seal` record (graceful shutdown before
+    /// the restart) is resumed the same way; the `recovery` record
+    /// reopens the chain.
+    ///
+    /// # Errors
+    ///
+    /// * the file is missing, empty, or carries no complete genesis
+    ///   record — create a fresh chain instead;
+    /// * any *complete* line fails to parse, hash, or link — that is
+    ///   interior corruption (tampering), which recovery refuses to
+    ///   paper over; the error names the byte offset;
+    /// * truncation or re-open I/O failures.
+    pub fn recover(path: &Path, config: ChainConfig) -> std::io::Result<(Self, RecoveryReport)> {
+        let corrupt = |offset: usize, seq: u64, why: &str| {
+            std::io::Error::other(format!(
+                "cannot recover {}: complete record at byte offset {offset} (seq {seq}) is \
+                 corrupt: {why} — interior damage is tampering, not a torn tail",
+                path.display()
+            ))
+        };
+        let bytes = std::fs::read(path)?;
+        let mut offset = 0usize;
+        let mut next_seq = 0u64;
+        let mut prev_hash = GENESIS_PREV_HASH.to_string();
+        let mut digest = Sha256::new();
+        let mut decisions = 0u64;
+        let mut transitions = 0u64;
+        let mut since_checkpoint = 0u64;
+        let mut policy_hash = String::new();
+        let mut certificate_id = String::new();
+        let mut last_kind = String::new();
+        while offset < bytes.len() {
+            // A line is only *complete* with its newline; anything
+            // after the last newline is the torn tail.
+            let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let line = std::str::from_utf8(&bytes[offset..offset + nl])
+                .map_err(|_| corrupt(offset, next_seq, "non-UTF-8 bytes"))?;
+            let record = split_line(line)
+                .and_then(|json| parse(json).map_err(|e| format!("bad JSON: {e:?}")))
+                .and_then(|v| ChainRecord::from_json(&v))
+                .map_err(|why| corrupt(offset, next_seq, &why))?;
+            if !record.hash_is_consistent() {
+                return Err(corrupt(
+                    offset,
+                    next_seq,
+                    "stored record_hash does not match its canonical bytes",
+                ));
+            }
+            if record.seq != next_seq || record.prev_hash != prev_hash {
+                return Err(corrupt(
+                    offset,
+                    next_seq,
+                    "seq/prev_hash does not link to the verified prefix",
+                ));
+            }
+            if next_seq == 0 {
+                let Payload::Genesis {
+                    policy_hash: ph,
+                    certificate_id: cid,
+                    ..
+                } = &record.payload
+                else {
+                    return Err(corrupt(offset, 0, "first record is not a genesis record"));
+                };
+                policy_hash = ph.clone();
+                certificate_id = cid.clone();
+            }
+            match &record.payload {
+                Payload::Decision { .. } => decisions += 1,
+                Payload::Transition { .. } => transitions += 1,
+                _ => {}
+            }
+            // Mirror the writer's checkpoint-cadence accounting.
+            match record.kind.as_str() {
+                "checkpoint" => since_checkpoint = 0,
+                "seal" => {}
+                _ => since_checkpoint += 1,
+            }
+            digest.update(record.record_hash.as_bytes());
+            digest.update(b"\n");
+            prev_hash = record.record_hash.clone();
+            last_kind = record.kind;
+            next_seq += 1;
+            offset += nl + 1;
+        }
+        if next_seq == 0 {
+            return Err(std::io::Error::other(format!(
+                "cannot recover {}: no complete genesis record — create a fresh chain instead",
+                path.display()
+            )));
+        }
+        let truncated_bytes = (bytes.len() - offset) as u64;
+        if truncated_bytes > 0 {
+            // Atomic truncation: scratch + rename, never truncate in
+            // place.
+            let scratch = path.with_extension(format!("recover-scratch.{}", std::process::id()));
+            {
+                let mut out = std::fs::File::create(&scratch)?;
+                out.write_all(&bytes[..offset])?;
+                out.sync_all()?;
+            }
+            std::fs::rename(&scratch, path)?;
+        }
+        let report = RecoveryReport {
+            prefix_records: next_seq,
+            truncated_bytes,
+            truncated_at: offset as u64,
+            was_sealed: last_kind == "seal",
+            policy_hash,
+            certificate_id,
+            decisions,
+            transitions,
+        };
+        let prefix_digest = digest.clone().finalize_hex();
+        let file = OpenOptions::new().append(true).open(path)?;
+        let chain = Self {
+            inner: Mutex::new(Inner {
+                out: BufWriter::new(Box::new(file)),
+                next_seq,
+                prev_hash,
+                digest,
+                decisions,
+                transitions,
+                since_checkpoint,
+                since_flush: 0,
+                last_flush_ns: process_elapsed_ns(),
+                sealed: false,
+            }),
+            config,
+            records_total: counter("audit.records"),
+            checkpoints_total: counter("audit.checkpoints"),
+            append_ns: histogram("audit.append.ns", LATENCY_BOUNDS_NS),
+        };
+        {
+            let mut inner = chain.inner.lock().expect("audit chain mutex poisoned");
+            chain.append_locked(
+                &mut inner,
+                "recovery",
+                Payload::Recovery {
+                    prefix_records: report.prefix_records,
+                    prefix_digest,
+                    truncated_bytes,
+                },
+            )?;
+            // The recovery record is evidence of the resume: it
+            // reaches the OS under every flush policy.
+            inner.out.flush()?;
+        }
+        counter("audit.recoveries").incr();
+        Ok((chain, report))
     }
 
     /// Appends one decision record.
@@ -639,6 +864,155 @@ mod tests {
             .unwrap();
         assert_eq!(read_records(&path).len(), 3);
         drop(chain);
+    }
+
+    /// A chain whose process died without running Drop: every append
+    /// durable, no seal. `mem::forget` skips the Drop-seal exactly like
+    /// a kill -9 skips destructors.
+    fn crashed_chain(name: &str, appends: u64) -> std::path::PathBuf {
+        let path = temp_path(name);
+        let chain = AuditChain::create(
+            &path,
+            &"aa".repeat(32),
+            "",
+            ChainConfig {
+                checkpoint_every: 4,
+                flush: FlushPolicy::Always,
+            },
+        )
+        .unwrap();
+        for i in 0..appends {
+            chain
+                .append_decision(obs(i as f64), 20, 26, i, "normal", None)
+                .unwrap();
+        }
+        std::mem::forget(chain);
+        path
+    }
+
+    #[test]
+    fn recover_resumes_an_unsealed_chain_with_one_recovery_record() {
+        let path = crashed_chain("recover-clean", 6);
+        let before = read_records(&path);
+        let (chain, report) = AuditChain::recover(&path, ChainConfig::default()).unwrap();
+        assert_eq!(report.truncated_bytes, 0);
+        assert_eq!(report.prefix_records, before.len() as u64);
+        assert_eq!(report.decisions, 6);
+        assert!(!report.was_sealed);
+        assert_eq!(report.policy_hash, "aa".repeat(32));
+        chain
+            .append_decision(obs(9.0), 21, 27, 1, "normal", None)
+            .unwrap();
+        chain.seal().unwrap();
+
+        let records = read_records(&path);
+        let recovery = &records[before.len()];
+        assert_eq!(recovery.kind, "recovery");
+        assert_eq!(recovery.prev_hash, before.last().unwrap().record_hash);
+        let Payload::Recovery {
+            prefix_records,
+            prefix_digest,
+            truncated_bytes,
+        } = &recovery.payload
+        else {
+            panic!("recovery payload");
+        };
+        assert_eq!(*prefix_records, before.len() as u64);
+        assert_eq!(*truncated_bytes, 0);
+        let mut h = Sha256::new();
+        for prior in &before {
+            h.update(prior.record_hash.as_bytes());
+            h.update(b"\n");
+        }
+        assert_eq!(prefix_digest, &h.finalize_hex());
+
+        // The whole resumed chain audits green, recovery check included.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = crate::audit::Auditor::new(&text).run();
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.failure_class(), "none");
+    }
+
+    #[test]
+    fn recover_truncates_exactly_the_torn_tail() {
+        use std::io::Write as _;
+        let path = crashed_chain("recover-torn", 5);
+        let clean = std::fs::read(&path).unwrap();
+        // Simulate a write cut mid-record: a fragment with no newline.
+        let torn = b"187 {\"kind\":\"decision\",\"seq\":9";
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(torn).unwrap();
+        }
+
+        let (chain, report) = AuditChain::recover(&path, ChainConfig::default()).unwrap();
+        assert_eq!(report.truncated_bytes, torn.len() as u64);
+        assert_eq!(report.truncated_at, clean.len() as u64);
+        chain.seal().unwrap();
+
+        // The verified prefix survived byte-for-byte.
+        let repaired = std::fs::read(&path).unwrap();
+        assert_eq!(&repaired[..clean.len()], &clean[..]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let audited = crate::audit::Auditor::new(&text).run();
+        assert!(audited.passed(), "{audited}");
+        assert_eq!(audited.recoveries, 1);
+    }
+
+    #[test]
+    fn recover_refuses_interior_corruption() {
+        let path = crashed_chain("recover-interior", 5);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte well inside the second line.
+        let second_line = bytes.iter().position(|&b| b == b'\n').unwrap() + 10;
+        bytes[second_line] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = AuditChain::recover(&path, ChainConfig::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte offset"), "{msg}");
+        assert!(msg.contains("tampering"), "{msg}");
+        // The file was not modified: refusal is read-only.
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+    }
+
+    #[test]
+    fn recover_resumes_after_a_graceful_seal() {
+        let path = temp_path("recover-sealed");
+        {
+            let chain = AuditChain::create(&path, "ph", "cid", ChainConfig::default()).unwrap();
+            chain
+                .append_decision(obs(1.0), 20, 26, 0, "normal", None)
+                .unwrap();
+            chain.seal().unwrap();
+        }
+        let (chain, report) = AuditChain::recover(&path, ChainConfig::default()).unwrap();
+        assert!(report.was_sealed);
+        assert_eq!(report.certificate_id, "cid");
+        chain
+            .append_decision(obs(2.0), 20, 26, 1, "normal", None)
+            .unwrap();
+        chain.seal().unwrap();
+        let records = read_records(&path);
+        // …seal, recovery, decision, seal — one unbroken hash chain.
+        let kinds: Vec<&str> = records.iter().map(|r| r.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["genesis", "decision", "seal", "recovery", "decision", "seal"]
+        );
+        for (i, record) in records.iter().enumerate().skip(1) {
+            assert_eq!(record.prev_hash, records[i - 1].record_hash, "link {i}");
+        }
+    }
+
+    #[test]
+    fn recover_refuses_an_empty_or_missing_file() {
+        let path = temp_path("recover-empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(AuditChain::recover(&path, ChainConfig::default()).is_err());
+        std::fs::remove_file(&path).unwrap();
+        assert!(AuditChain::recover(&path, ChainConfig::default()).is_err());
     }
 
     #[test]

@@ -31,11 +31,12 @@ pub mod record;
 pub use audit::{AuditCheck, AuditOptions, AuditReport, Auditor};
 pub use chain::{
     flush_all_chains, install_chain_flush_hook, register_chain, AuditChain, ChainConfig,
-    FlushPolicy,
+    ChainWriter, FlushPolicy, RecoveryReport,
 };
 pub use hash::{sha256, sha256_hex, Sha256};
 pub use record::{
-    ChainRecord, Payload, CHAIN_FORMAT, CHAIN_FORMAT_V1, GENESIS_PREV_HASH, OBSERVATION_DIM,
+    ChainRecord, Payload, CHAIN_FORMAT, CHAIN_FORMAT_V1, CHAIN_FORMAT_V2, GENESIS_PREV_HASH,
+    OBSERVATION_DIM,
 };
 
 use hvac_verify::Certificate;

@@ -32,13 +32,19 @@ use hvac_telemetry::json::{JsonValue, ObjectWriter};
 
 /// Chain format tag embedded in every genesis record. Bump on any
 /// change to the record schema or canonical encoding. v2 added the
-/// optional `trace_id` field to decision records; v1 chains (no
-/// `trace_id` anywhere) still parse and hash-verify, so verifiers
-/// accept both tags.
-pub const CHAIN_FORMAT: &str = "decision_chain v2";
+/// optional `trace_id` field to decision records; v3 added the
+/// `recovery` record kind written when [`crate::AuditChain::recover`]
+/// resumes a crashed chain. Older records are encoded byte-identically
+/// under every tag (new fields/kinds are additive), so v1 and v2
+/// chains still re-hash exactly and verifiers accept all three tags.
+pub const CHAIN_FORMAT: &str = "decision_chain v3";
 
 /// The PR 6 format tag: decision records without `trace_id`.
 pub const CHAIN_FORMAT_V1: &str = "decision_chain v1";
+
+/// The PR 7 format tag: `trace_id` on decision records, no `recovery`
+/// kind.
+pub const CHAIN_FORMAT_V2: &str = "decision_chain v2";
 
 /// `prev_hash` of the genesis record: 64 zeros (no predecessor).
 pub const GENESIS_PREV_HASH: &str =
@@ -91,6 +97,21 @@ pub enum Payload {
         /// Rung after the decision.
         to: String,
     },
+    /// Written by [`crate::AuditChain::recover`] when appending
+    /// resumes on an existing chain after a crash: attests the exact
+    /// verified prefix (its record count and running digest) and how
+    /// many torn trailing bytes were truncated to reach it. Format v3.
+    Recovery {
+        /// Records in the verified prefix (== this record's `seq`).
+        prefix_records: u64,
+        /// SHA-256 over the newline-joined `record_hash` values of the
+        /// verified prefix — the same digest a checkpoint at this seq
+        /// would embed.
+        prefix_digest: String,
+        /// Bytes of torn (partial final record) tail truncated before
+        /// resuming. `0` when the file ended on a complete record.
+        truncated_bytes: u64,
+    },
     /// Periodic running-state snapshot; also the `seal` written on
     /// graceful shutdown.
     Checkpoint {
@@ -113,6 +134,7 @@ impl Payload {
             Payload::Genesis { .. } => "genesis",
             Payload::Decision { .. } => "decision",
             Payload::Transition { .. } => "transition",
+            Payload::Recovery { .. } => "recovery",
             Payload::Checkpoint { .. } => {
                 if sealed {
                     "seal"
@@ -256,6 +278,11 @@ impl ChainRecord {
                 from: str_of("from")?,
                 to: str_of("to")?,
             },
+            "recovery" => Payload::Recovery {
+                prefix_records: u64_of("prefix_records")?,
+                prefix_digest: str_of("prefix_digest")?,
+                truncated_bytes: u64_of("truncated_bytes")?,
+            },
             "checkpoint" | "seal" => Payload::Checkpoint {
                 records: u64_of("records")?,
                 decisions: u64_of("decisions")?,
@@ -316,6 +343,15 @@ fn canonical_text(kind: &str, seq: u64, t_ns: u64, prev_hash: &str, payload: &Pa
         Payload::Transition { from, to } => {
             o.str_field("from", from);
             o.str_field("to", to);
+        }
+        Payload::Recovery {
+            prefix_records,
+            prefix_digest,
+            truncated_bytes,
+        } => {
+            o.u64_field("prefix_records", *prefix_records);
+            o.str_field("prefix_digest", prefix_digest);
+            o.u64_field("truncated_bytes", *truncated_bytes);
         }
         Payload::Checkpoint {
             records,
@@ -477,6 +513,17 @@ mod tests {
                 Payload::Transition {
                     from: "normal".into(),
                     to: "fallback".into(),
+                },
+            ),
+            ChainRecord::new(
+                "recovery",
+                5,
+                2500,
+                "ab".repeat(32),
+                Payload::Recovery {
+                    prefix_records: 5,
+                    prefix_digest: "ee".repeat(32),
+                    truncated_bytes: 137,
                 },
             ),
             ChainRecord::new(

@@ -329,3 +329,96 @@ fn policy_and_certificate_mismatches_are_detected() {
         "forged certificate id must fail: {report}"
     );
 }
+
+#[test]
+fn torn_final_record_recovers_at_every_cut_offset() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session("torn.jsonl", &policy, &certificate.certificate_id, 40, 16);
+    // Byte offset where the final (seal) record starts.
+    let base = text[..text.len() - 1].rfind('\n').unwrap() + 1;
+    let prefix_records = text[..base].lines().count() as u64;
+    let json_start = text[base..].find(' ').unwrap() + 1;
+    // Crash points: inside the length prefix, just into the JSON, deep
+    // mid-JSON, and a complete record missing only its newline.
+    let cuts = [
+        base + 2,
+        base + json_start + 1,
+        base + json_start + 25,
+        text.len() - 1,
+    ];
+    for (i, &cut) in cuts.iter().enumerate() {
+        let torn = &text[..cut];
+        // Before recovery the auditor names the torn fragment exactly.
+        let report = audit(torn, &policy, &certificate);
+        assert!(!report.passed(), "cut {i}: torn chain must audit red");
+        assert_eq!(report.failure_class(), "torn_tail", "cut {i}: {report}");
+        assert_eq!(report.torn_tail_offset, Some(base as u64), "cut {i}");
+        let detail = &report.first_failure().unwrap().detail;
+        assert!(
+            detail.contains(&format!("byte offset {base}")) && detail.contains("--recover"),
+            "cut {i}: detail must name the offset and the remedy: {detail}"
+        );
+
+        // Recovery truncates exactly the torn bytes and resumes.
+        let path = scratch(&format!("torn-{i}.jsonl"));
+        std::fs::write(&path, torn.as_bytes()).unwrap();
+        let (chain, recovery) = hvac_audit::AuditChain::recover(
+            &path,
+            hvac_audit::ChainConfig {
+                checkpoint_every: 16,
+                flush: FlushPolicy::Always,
+            },
+        )
+        .unwrap();
+        assert_eq!(recovery.truncated_bytes, (cut - base) as u64, "cut {i}");
+        assert_eq!(recovery.truncated_at, base as u64, "cut {i}");
+        assert_eq!(recovery.prefix_records, prefix_records, "cut {i}");
+        drop(chain); // drop-seals the resumed chain
+
+        let recovered = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            recovered.as_bytes().starts_with(&text.as_bytes()[..base]),
+            "cut {i}: the verified prefix must survive byte-identically"
+        );
+        let report = audit(&recovered, &policy, &certificate);
+        assert!(report.passed(), "cut {i}: {report}");
+        assert_eq!(report.recoveries, 1, "cut {i}");
+        assert_eq!(report.failure_class(), "none", "cut {i}");
+    }
+}
+
+#[test]
+fn interior_corruption_is_not_recoverable() {
+    let policy = toy_policy();
+    let certificate = toy_certificate(&policy);
+    let text = record_session(
+        "interior.jsonl",
+        &policy,
+        &certificate.certificate_id,
+        30,
+        16,
+    );
+    // A complete interior line whose bytes no longer match its hash is
+    // tampering, not a crash: recovery must refuse and leave the file
+    // untouched. (Length-preserving flip, so only the hash can object.)
+    let tampered = text.replacen("14.", "15.", 1);
+    assert_ne!(tampered, text);
+    let path = scratch("interior-tampered.jsonl");
+    std::fs::write(&path, tampered.as_bytes()).unwrap();
+    let err = hvac_audit::AuditChain::recover(&path, hvac_audit::ChainConfig::default())
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("tampering"),
+        "refusal must name tampering: {err}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&path).unwrap(),
+        tampered,
+        "a refused recovery must not modify the chain"
+    );
+    // The auditor classifies it as bad_hash, not torn_tail.
+    let report = audit(&tampered, &policy, &certificate);
+    assert_eq!(report.failure_class(), "bad_hash", "{report}");
+}

@@ -1,0 +1,191 @@
+//! Crash recovery under injected write-path faults.
+//!
+//! [`hvac_faults::FaultyWriter`] plugs into [`AuditChain::create_with_writer`]
+//! to simulate the storage failures a deployed controller actually
+//! meets: a disk that fills mid-append (tearing a length-prefixed
+//! record), an fsync that reports failure after the bytes landed, and
+//! latency spikes. Each scenario must end in a chain that
+//! [`AuditChain::recover`] resumes and the auditor passes green.
+
+use std::fs::{File, OpenOptions};
+use std::path::PathBuf;
+
+use hvac_audit::{AuditChain, Auditor, ChainConfig, FlushPolicy};
+use hvac_env::POLICY_INPUT_DIM;
+use hvac_faults::{FaultyWriter, WriteFault, WriteFaultKind, WriteFaultSchedule};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("hvac-audit-write-faults");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+const HASH: &str = "abababababababababababababababababababababababababababababababab";
+
+fn config() -> ChainConfig {
+    ChainConfig {
+        checkpoint_every: 8,
+        flush: FlushPolicy::Always,
+    }
+}
+
+fn faulty_chain(path: &PathBuf, schedule: WriteFaultSchedule, flush: FlushPolicy) -> AuditChain {
+    let file = File::create(path).unwrap();
+    AuditChain::create_with_writer(
+        Box::new(FaultyWriter::new(file, schedule)),
+        HASH,
+        "cert-0",
+        ChainConfig {
+            checkpoint_every: 8,
+            flush,
+        },
+    )
+    .unwrap()
+}
+
+fn append_until_err(chain: &AuditChain, max: usize) -> Option<std::io::Error> {
+    for i in 0..max {
+        let mut x = [0.0f64; POLICY_INPUT_DIM];
+        x[0] = 20.0 + (i % 7) as f64 * 0.3;
+        if let Err(e) = chain.append_decision(x, 22, 26, 3, "normal", Some(&format!("req-{i}"))) {
+            return Some(e);
+        }
+    }
+    None
+}
+
+#[test]
+fn disk_full_mid_append_tears_the_tail_and_recovery_resumes() {
+    let path = scratch("diskfull.jsonl");
+    let schedule = WriteFaultSchedule::new(11).with(WriteFault {
+        kind: WriteFaultKind::DiskFull { budget: 2500 },
+        window: (0, u64::MAX),
+    });
+    let chain = faulty_chain(&path, schedule, FlushPolicy::Always);
+    let err = append_until_err(&chain, 200).expect("a 2500-byte disk must fill");
+    assert_eq!(err.raw_os_error(), Some(28), "ENOSPC must surface: {err}");
+    // The process "dies" with the disk full — no drop-seal.
+    std::mem::forget(chain);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), 2500);
+
+    let (resumed, report) = AuditChain::recover(&path, config()).unwrap();
+    assert!(
+        report.truncated_bytes > 0,
+        "2500 bytes lands mid-record: {report:?}"
+    );
+    assert!(!report.was_sealed);
+    drop(resumed); // drop-seal
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let audit = Auditor::new(&text).run();
+    assert!(audit.passed(), "{audit}");
+    assert_eq!(audit.recoveries, 1);
+}
+
+#[test]
+fn failed_fsync_after_a_complete_seal_still_recovers() {
+    let path = scratch("fsyncfail.jsonl");
+    let schedule = WriteFaultSchedule::new(3).with(WriteFault {
+        kind: WriteFaultKind::FlushFail { probability: 1.0 },
+        window: (0, u64::MAX),
+    });
+    // OnSeal keeps everything buffered until the seal, whose flush then
+    // reports EIO *after* the bytes reached the file — the classic
+    // "fsync failed but the data survived" crash.
+    let chain = faulty_chain(&path, schedule, FlushPolicy::OnSeal);
+    assert!(append_until_err(&chain, 20).is_none());
+    let err = chain.seal().unwrap_err();
+    assert_eq!(err.raw_os_error(), Some(5), "EIO must surface: {err}");
+    std::mem::forget(chain);
+
+    let (resumed, report) = AuditChain::recover(&path, config()).unwrap();
+    // Every record (seal included) landed: nothing to truncate, and the
+    // recovery record documents the resume after the in-doubt fsync.
+    assert_eq!(report.truncated_bytes, 0, "{report:?}");
+    assert!(report.was_sealed);
+    assert_eq!(report.decisions, 20);
+    drop(resumed);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let audit = Auditor::new(&text).run();
+    assert!(audit.passed(), "{audit}");
+    assert_eq!(audit.recoveries, 1);
+}
+
+#[test]
+fn latency_spikes_and_short_writes_never_corrupt_a_surviving_chain() {
+    let path = scratch("slow.jsonl");
+    let schedule = WriteFaultSchedule::new(9)
+        .with(WriteFault {
+            kind: WriteFaultKind::Latency {
+                probability: 0.2,
+                micros: 50,
+            },
+            window: (0, u64::MAX),
+        })
+        .with(WriteFault {
+            kind: WriteFaultKind::ShortWrite { probability: 0.5 },
+            window: (0, u64::MAX),
+        });
+    let chain = faulty_chain(&path, schedule, FlushPolicy::Always);
+    assert!(append_until_err(&chain, 50).is_none());
+    chain.seal().unwrap();
+    drop(chain);
+
+    // Short writes are retried by the buffered writer, latency only
+    // stalls: the surviving chain audits green with nothing recovered
+    // and nothing lost (timestamps differ from a clean run; structure
+    // must not).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let audit = Auditor::new(&text).run();
+    assert!(audit.passed(), "{audit}");
+    assert_eq!(audit.recoveries, 0);
+    assert_eq!(audit.decisions, 50);
+    assert!(audit.sealed);
+}
+
+#[test]
+fn recovery_of_a_recovered_chain_keeps_every_prior_recovery_record() {
+    // Two crashes in a row: each recover() adds exactly one recovery
+    // record and the auditor replays both prefix digests.
+    let path = scratch("double.jsonl");
+    let schedule = WriteFaultSchedule::new(5).with(WriteFault {
+        kind: WriteFaultKind::DiskFull { budget: 1800 },
+        window: (0, u64::MAX),
+    });
+    let chain = faulty_chain(&path, schedule, FlushPolicy::Always);
+    append_until_err(&chain, 200).expect("disk fills");
+    std::mem::forget(chain);
+
+    let (resumed, first) = AuditChain::recover(&path, config()).unwrap();
+    assert!(first.truncated_bytes > 0);
+    append_until_err(&resumed, 5);
+    std::mem::forget(resumed); // second crash, mid-stream but no torn write
+
+    let (resumed, second) = AuditChain::recover(&path, config()).unwrap();
+    assert_eq!(second.truncated_bytes, 0, "{second:?}");
+    drop(resumed);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let audit = Auditor::new(&text).run();
+    assert!(audit.passed(), "{audit}");
+    assert_eq!(audit.recoveries, 2);
+}
+
+/// `OpenOptions` import kept honest: recovery reopens append-only, so a
+/// concurrent reader holding the file open never sees rewritten bytes.
+#[test]
+fn recovered_file_is_opened_append_only() {
+    let path = scratch("append-only.jsonl");
+    let chain = AuditChain::create(&path, HASH, "cert-0", config()).unwrap();
+    append_until_err(&chain, 3);
+    std::mem::forget(chain);
+    let before = std::fs::read_to_string(&path).unwrap();
+    let (resumed, _) = AuditChain::recover(&path, config()).unwrap();
+    drop(resumed);
+    let after = std::fs::read_to_string(&path).unwrap();
+    assert!(after.starts_with(&before), "prefix bytes must be stable");
+    assert!(after.len() > before.len(), "recovery + seal must append");
+    // Exercise the same open mode the recovery path uses.
+    drop(OpenOptions::new().append(true).open(&path).unwrap());
+}

@@ -297,7 +297,7 @@ fn open_loop(
 
 /// Builds a 16-tenant fleet over one shared toy policy.
 fn build_fleet(options: FleetOptions) -> Fleet {
-    let mut fleet = Fleet::new(options);
+    let fleet = Fleet::new(options);
     for t in 0..TENANTS {
         fleet
             .add_tenant(&format!("tenant-{t:02}"), toy_policy(), None)

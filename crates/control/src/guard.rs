@@ -26,6 +26,7 @@
 use crate::rule_based::RuleBasedController;
 use hvac_env::space::feature;
 use hvac_env::{ComfortRange, Observation, Policy, SetpointAction, POLICY_INPUT_DIM, VALID_RANGES};
+use hvac_telemetry::json::{parse, JsonValue, ObjectWriter};
 
 /// Where the guard currently sits on the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +191,166 @@ pub struct GuardStats {
     pub failsafes: u64,
 }
 
+/// A point-in-time serialization of a guard's mutable state: the
+/// ladder rung, the last-good observation fields and their staleness
+/// runs, the stuck-sensor and dead-reckoned-clock trackers, the
+/// per-instance counters, and the decision count.
+///
+/// Snapshots make a guard survivable across process restarts: a fleet
+/// controller persists one per tenant and rehydrates it with
+/// [`GuardedPolicy::restore`] on startup. The *pending transition
+/// buffer is deliberately excluded* — transitions are drained into the
+/// audit chain per decision, so any still buffered at a crash were
+/// never durable evidence to begin with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardSnapshot {
+    /// Rung on the degradation ladder.
+    pub state: GuardState,
+    /// Last valid reading per feature (the "last-good observation").
+    pub last_good: [Option<f64>; POLICY_INPUT_DIM],
+    /// Consecutive invalid steps per feature.
+    pub invalid_run: [usize; POLICY_INPUT_DIM],
+    /// Raw bits of the previous zone reading (stuck-sensor tracker).
+    pub last_zone_bits: Option<u64>,
+    /// Consecutive bit-identical zone readings.
+    pub zone_repeat_run: usize,
+    /// Last committed `(heating, cooling)` setpoints.
+    pub last_action: Option<(i32, i32)>,
+    /// Dead-reckoned hour-of-day expectation.
+    pub expected_hour: Option<f64>,
+    /// Per-instance counters.
+    pub stats: GuardStats,
+    /// Total decisions taken through the guard.
+    pub decisions: u64,
+}
+
+impl GuardSnapshot {
+    /// One-line JSON encoding (atomic-write friendly). Absent options
+    /// encode as `null` (finite values are the only valid readings, so
+    /// `null` is unambiguous); zone bits encode as hex so no `u64`
+    /// precision is lost through the JSON float path.
+    pub fn to_json_string(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.str_field("state", self.state.name());
+        let last_good: Vec<f64> = self
+            .last_good
+            .iter()
+            .map(|v| v.unwrap_or(f64::NAN))
+            .collect();
+        o.f64_array_field("last_good", &last_good);
+        let invalid_run: Vec<f64> = self.invalid_run.iter().map(|&v| v as f64).collect();
+        o.f64_array_field("invalid_run", &invalid_run);
+        let bits = self
+            .last_zone_bits
+            .map_or_else(String::new, |b| format!("{b:016x}"));
+        o.str_field("last_zone_bits", &bits);
+        o.u64_field("zone_repeat_run", self.zone_repeat_run as u64);
+        let (heating, cooling) = self
+            .last_action
+            .map_or((f64::NAN, f64::NAN), |(h, c)| (f64::from(h), f64::from(c)));
+        o.f64_field("heating", heating);
+        o.f64_field("cooling", cooling);
+        o.f64_field("expected_hour", self.expected_hour.unwrap_or(f64::NAN));
+        o.u64_field("rejections", self.stats.rejections);
+        o.u64_field("holds", self.stats.holds);
+        o.u64_field("fallbacks", self.stats.fallbacks);
+        o.u64_field("failsafes", self.stats.failsafes);
+        o.u64_field("decisions", self.decisions);
+        o.finish()
+    }
+
+    /// Parses a snapshot back from [`GuardSnapshot::to_json_string`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, missing fields, or out-of-domain values.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let v = parse(text).map_err(|e| format!("bad snapshot JSON: {e:?}"))?;
+        let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+            match v.get(key) {
+                Some(JsonValue::Null) => Ok(None),
+                Some(JsonValue::Number(n)) => Ok(Some(*n)),
+                _ => Err(format!("snapshot field {key:?} missing or non-numeric")),
+            }
+        };
+        let u64_of = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("snapshot field {key:?} missing or non-numeric"))
+        };
+        let opt_array = |key: &str| -> Result<[Option<f64>; POLICY_INPUT_DIM], String> {
+            let items = v
+                .get(key)
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("snapshot field {key:?} missing or not an array"))?;
+            if items.len() != POLICY_INPUT_DIM {
+                return Err(format!(
+                    "snapshot field {key:?} has {} entries, expected {POLICY_INPUT_DIM}",
+                    items.len()
+                ));
+            }
+            let mut out = [None; POLICY_INPUT_DIM];
+            for (slot, item) in out.iter_mut().zip(items) {
+                *slot = match item {
+                    JsonValue::Null => None,
+                    JsonValue::Number(n) => Some(*n),
+                    _ => return Err(format!("snapshot field {key:?} has a non-numeric entry")),
+                };
+            }
+            Ok(out)
+        };
+
+        let state_name = v
+            .get("state")
+            .and_then(JsonValue::as_str)
+            .ok_or("snapshot field \"state\" missing")?;
+        let state = GuardState::from_name(state_name)
+            .ok_or_else(|| format!("unknown guard state {state_name:?}"))?;
+        let mut invalid_run = [0usize; POLICY_INPUT_DIM];
+        for (slot, value) in invalid_run.iter_mut().zip(opt_array("invalid_run")?) {
+            let n = value.ok_or("snapshot field \"invalid_run\" has a null entry")?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err("snapshot field \"invalid_run\" has a non-integer entry".to_string());
+            }
+            *slot = n as usize;
+        }
+        let bits_text = v
+            .get("last_zone_bits")
+            .and_then(JsonValue::as_str)
+            .ok_or("snapshot field \"last_zone_bits\" missing")?;
+        let last_zone_bits = if bits_text.is_empty() {
+            None
+        } else {
+            Some(
+                u64::from_str_radix(bits_text, 16)
+                    .map_err(|_| format!("bad zone bits {bits_text:?}"))?,
+            )
+        };
+        let last_action = match (opt_f64("heating")?, opt_f64("cooling")?) {
+            (Some(h), Some(c)) => Some((h as i32, c as i32)),
+            (None, None) => None,
+            _ => return Err("snapshot heating/cooling must be both set or both null".to_string()),
+        };
+        Ok(Self {
+            state,
+            last_good: opt_array("last_good")?,
+            invalid_run,
+            last_zone_bits,
+            zone_repeat_run: u64_of("zone_repeat_run")? as usize,
+            last_action,
+            expected_hour: opt_f64("expected_hour")?,
+            stats: GuardStats {
+                rejections: u64_of("rejections")?,
+                holds: u64_of("holds")?,
+                fallbacks: u64_of("fallbacks")?,
+                failsafes: u64_of("failsafes")?,
+            },
+            decisions: u64_of("decisions")?,
+        })
+    }
+}
+
 /// Wraps any [`Policy`] with input validation and the degradation
 /// ladder described in the module docs.
 ///
@@ -306,6 +467,51 @@ impl<P: Policy> GuardedPolicy<P> {
     /// Unwraps the inner policy.
     pub fn into_inner(self) -> P {
         self.inner
+    }
+
+    /// Captures the guard's mutable state for crash-safe persistence
+    /// (see [`GuardSnapshot`]).
+    pub fn snapshot(&self) -> GuardSnapshot {
+        GuardSnapshot {
+            state: self.state,
+            last_good: self.last_good,
+            invalid_run: self.invalid_run,
+            last_zone_bits: self.last_zone_bits,
+            zone_repeat_run: self.zone_repeat_run,
+            last_action: self.last_action.map(|a| (a.heating(), a.cooling())),
+            expected_hour: self.expected_hour,
+            stats: self.stats,
+            decisions: self.decisions,
+        }
+    }
+
+    /// Rehydrates the guard from a [`GuardSnapshot`], discarding any
+    /// pending transitions (they were never durable — see the snapshot
+    /// docs). After a restore, the guard continues bit-identically to
+    /// one that was never serialized.
+    ///
+    /// # Errors
+    ///
+    /// A snapshot carrying setpoints outside the action grid.
+    pub fn restore(&mut self, snapshot: &GuardSnapshot) -> Result<(), String> {
+        let last_action = match snapshot.last_action {
+            Some((h, c)) => Some(
+                SetpointAction::new(h, c)
+                    .map_err(|e| format!("snapshot last_action ({h}, {c}) invalid: {e:?}"))?,
+            ),
+            None => None,
+        };
+        self.state = snapshot.state;
+        self.last_good = snapshot.last_good;
+        self.invalid_run = snapshot.invalid_run;
+        self.last_zone_bits = snapshot.last_zone_bits;
+        self.zone_repeat_run = snapshot.zone_repeat_run;
+        self.last_action = last_action;
+        self.expected_hour = snapshot.expected_hour;
+        self.stats = snapshot.stats;
+        self.decisions = snapshot.decisions;
+        self.transitions.clear();
+        Ok(())
     }
 
     /// Wrapping |a − b| distance on the 24-hour circle.
@@ -815,6 +1021,67 @@ mod tests {
         }
         assert_eq!(phased.stats(), whole.stats());
         assert_eq!(phased.take_transitions(), whole.take_transitions());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_continues_bit_identically() {
+        // Drive one guard mid-ladder (held fields, live staleness runs,
+        // a dead-reckoned clock), snapshot it through JSON, rehydrate a
+        // fresh guard, and require identical decisions thereafter.
+        let config = GuardConfig::strict(ComfortRange::winter());
+        let mut original = GuardedPolicy::new(toy_policy(), config.clone());
+        original.decide(&obs(16.0, 0));
+        original.decide(&obs(21.3, 1));
+        original.decide(&obs(f64::NAN, 2)); // hold: live staleness run
+        original.take_transitions();
+
+        let snapshot = original.snapshot();
+        let text = snapshot.to_json_string();
+        let parsed = GuardSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(parsed, snapshot);
+
+        let mut restored = GuardedPolicy::new(toy_policy(), config);
+        restored.restore(&parsed).unwrap();
+        assert_eq!(restored.state(), original.state());
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.decisions(), original.decisions());
+
+        // Continue both through a stream that exercises the restored
+        // staleness runs and clock expectation.
+        for step in 3..40 {
+            let o = if step < 6 {
+                obs(f64::NAN, step) // ride the restored invalid_run
+            } else {
+                obs(17.0 + (step as f64) * 0.2, step)
+            };
+            assert_eq!(restored.decide(&o), original.decide(&o), "step {step}");
+            assert_eq!(restored.state(), original.state(), "step {step}");
+        }
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.take_transitions(), original.take_transitions());
+    }
+
+    #[test]
+    fn snapshot_of_a_fresh_guard_has_empty_state() {
+        let guarded = GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()));
+        let snapshot = guarded.snapshot();
+        assert_eq!(snapshot.state, GuardState::Normal);
+        assert_eq!(snapshot.last_good, [None; POLICY_INPUT_DIM]);
+        assert_eq!(snapshot.last_action, None);
+        assert_eq!(snapshot.decisions, 0);
+        let round = GuardSnapshot::from_json_str(&snapshot.to_json_string()).unwrap();
+        assert_eq!(round, snapshot);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_input() {
+        assert!(GuardSnapshot::from_json_str("not json").is_err());
+        assert!(GuardSnapshot::from_json_str("{}").is_err());
+        let good = GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()))
+            .snapshot()
+            .to_json_string();
+        let bad_state = good.replace("\"normal\"", "\"panic\"");
+        assert!(GuardSnapshot::from_json_str(&bad_state).is_err());
     }
 
     #[test]

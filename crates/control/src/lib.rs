@@ -36,7 +36,9 @@ pub mod rule_based;
 pub use clue::{ClueConfig, ClueController};
 pub use dt_policy::DtPolicy;
 pub use error::ControlError;
-pub use guard::{GuardConfig, GuardRoute, GuardState, GuardStats, GuardTransition, GuardedPolicy};
+pub use guard::{
+    GuardConfig, GuardRoute, GuardSnapshot, GuardState, GuardStats, GuardTransition, GuardedPolicy,
+};
 pub use mppi::{MppiConfig, MppiController};
 pub use planner::{
     evaluate_sequence, evaluate_sequences_lockstep, forecast_rollout, persistence_rollout,

@@ -43,7 +43,7 @@ use veri_hvac::env::{run_episode, EnvConfig, HvacEnv};
 use veri_hvac::extract::NoiseAugmenter;
 use veri_hvac::pipeline::{run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig};
 use veri_hvac::verify::{verify_and_correct, Certificate, VerificationConfig, VerificationReport};
-use veri_hvac::ArtifactStore;
+use veri_hvac::{ArtifactStore, TenantSpec};
 
 const USAGE: &str = "\
 veri-hvac — interpretable & verifiable decision-tree HVAC control
@@ -67,10 +67,10 @@ USAGE:
   veri-hvac serve    --fleet MANIFEST [--addr HOST:PORT] [--audit-dir DIR]
                      [--audit-flush POLICY] [--workers N] [--max-inflight N]
                      [--flight-capacity N] [--require-certificate]
-                     [--duration SECS]
+                     [--snapshot-every SECS] [--duration SECS]
   veri-hvac audit    --chain FILE [--policy FILE] [--certificate FILE]
                      [--cache-dir DIR] [--replay N] [--allow-unsealed]
-                     [--json]
+                     [--json] [--recover]
 
 GLOBAL FLAGS:
   --verbose          stderr progress at debug level (span timings included)
@@ -108,7 +108,15 @@ GET /tenants. `--audit-dir DIR` records every tenant to its own
 hash-chained DIR/<tenant>.jsonl, all sealed after the worker pool
 drains on graceful shutdown; audit each with `veri-hvac audit`.
 `--workers N` sizes the HTTP worker pool, `--max-inflight N` caps
-concurrent connections (beyond it, new connections are shed with 503).
+concurrent connections (beyond it, new connections are shed with a 503
+carrying `Retry-After: 1`). A fleet restart over the same --audit-dir
+recovers each tenant's chain (torn tails truncated, a hash-covered
+recovery record appended) and rehydrates guard state from the
+DIR/<tenant>.state.json snapshots written every `--snapshot-every SECS`
+(default 30, 0 disables the periodic writer; graceful drain always
+snapshots). POST /admin/reload re-reads the manifest and atomically
+swaps added/changed/removed tenants without dropping in-flight batches;
+replaced tenants' chains are sealed and archived.
 
 `verify` writes certificate.json beside the policy: the verification
 verdict bound (SHA-256) to the exact policy bytes, inputs, and artifact
@@ -133,8 +141,13 @@ re-verifies such a chain offline: every hash, link, and checkpoint
 digest is recomputed, the certificate binding is checked, and sampled
 decisions are re-executed through the policy (--replay N, default 64)
 for bit-identical actions. `--allow-unsealed` tolerates chains from
-signal-killed serves; `--json` prints the machine-readable report.
-Exit is nonzero if any audit check fails.
+signal-killed serves; `--json` prints the machine-readable report
+(its failure_class field separates a crash's torn_tail from a
+tampered bad_hash). A torn-tail failure names the exact byte offset —
+`audit --chain FILE --recover` truncates exactly those bytes, appends
+a hash-covered recovery record, seals, and re-audits; interior
+corruption is refused, never repaired. Exit is nonzero if any audit
+check fails.
 
 Machine-readable results go to stdout; progress and diagnostics to stderr.
 Artifacts are plain text (see hvac_dtree::serialize / hvac_dynamics::serialize).
@@ -944,15 +957,16 @@ fn load_fleet_manifest(path: &str) -> Result<Vec<ManifestTenant>, String> {
 /// registry (tenants sharing a tree share one entry), per-tenant
 /// guards behind sharded locks, optional per-tenant audit chains, and
 /// the lockstep `POST /tick` batch path.
-fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
-    let addr = args.flag("addr").unwrap_or("127.0.0.1:9464");
-    let tenants = load_fleet_manifest(manifest)?;
-
+/// The certificate gate every manifest load (startup *and*
+/// `/admin/reload`) passes through: a NOT VERIFIED or missing
+/// certificate is fatal under `--require-certificate` and loud
+/// otherwise.
+fn gate_certificates(tenants: &[ManifestTenant], require_certificate: bool) -> Result<(), String> {
     let mut uncertified = 0usize;
-    for tenant in &tenants {
+    for tenant in tenants {
         match &tenant.certificate {
             Some(cert) if !cert.verified() => {
-                if args.has("require-certificate") {
+                if require_certificate {
                     return Err(format!(
                         "tenant {:?}: certificate {}… records a NOT VERIFIED outcome and \
                          --require-certificate is set",
@@ -968,7 +982,7 @@ fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
                 );
             }
             Some(_) => {}
-            None if args.has("require-certificate") => {
+            None if require_certificate => {
                 return Err(format!(
                     "tenant {:?} has no verification certificate and --require-certificate \
                      is set — run `veri-hvac verify` first",
@@ -985,6 +999,28 @@ fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
             tenants.len()
         );
     }
+    Ok(())
+}
+
+/// Manifest tenants, re-gated and shaped for [`veri_hvac::Fleet::reload`].
+fn manifest_specs(manifest: &str, require_certificate: bool) -> Result<Vec<TenantSpec>, String> {
+    let tenants = load_fleet_manifest(manifest)?;
+    gate_certificates(&tenants, require_certificate)?;
+    Ok(tenants
+        .into_iter()
+        .map(|t| TenantSpec {
+            id: t.id,
+            certificate_id: t.certificate.as_ref().map(|c| c.certificate_id.clone()),
+            policy: t.policy,
+        })
+        .collect())
+}
+
+fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:9464");
+    let require_certificate = args.has("require-certificate");
+    let tenants = load_fleet_manifest(manifest)?;
+    gate_certificates(&tenants, require_certificate)?;
 
     let flush = args
         .flag("audit-flush")
@@ -1001,6 +1037,13 @@ fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
             })
             .transpose()
     };
+    // Guard-state snapshot cadence: default 30 s; `--snapshot-every 0`
+    // turns periodic snapshots off (the graceful-drain snapshot still
+    // runs).
+    let snapshot_every = match parse_count("snapshot-every")?.unwrap_or(30) {
+        0 => None,
+        secs => Some(std::time::Duration::from_secs(secs as u64)),
+    };
     let options = veri_hvac::FleetOptions {
         audit_dir: audit_dir.clone(),
         audit_flush: flush,
@@ -1011,10 +1054,11 @@ fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
         },
         workers: parse_count("workers")?,
         max_inflight: parse_count("max-inflight")?,
+        snapshot_every,
         ..veri_hvac::FleetOptions::default()
     };
 
-    let mut fleet = veri_hvac::Fleet::new(options);
+    let fleet = veri_hvac::Fleet::new(options);
     for tenant in tenants {
         let certificate_id = tenant
             .certificate
@@ -1029,15 +1073,21 @@ fn cmd_serve_fleet(args: &Args, manifest: &str) -> Result<(), String> {
     info!(
         "serving fleet of {} tenants over {} distinct policies",
         fleet.len(),
-        fleet.registry().len()
+        fleet.policy_count()
     );
 
-    let server = veri_hvac::serve_fleet(fleet, addr)
+    // `POST /admin/reload` re-reads this same manifest with the same
+    // certificate gate the process started under.
+    let reload_manifest = manifest.to_string();
+    let reload: Arc<veri_hvac::ReloadSource> =
+        Arc::new(move || manifest_specs(&reload_manifest, require_certificate));
+    let server = veri_hvac::serve_fleet_with_reload(fleet, addr, Some(reload))
         .map_err(|e| format!("cannot bind fleet endpoint on {addr}: {e}"))?;
     println!("serving fleet on http://{}", server.addr());
     println!("  POST /decide/{{tenant}}  {{\"zone_temperature\": 18.5, ...}} -> setpoint action");
     println!("  POST /decide           same, tenant named by a \"tenant\" body field");
     println!("  POST /tick             lockstep batch, one observation per tenant");
+    println!("  POST /admin/reload     re-read the manifest and swap the roster atomically");
     println!("  GET  /tenants          fleet roster with per-tenant guard state");
     println!("  GET  /version          build, tenant and policy counts");
     println!("  GET  /metrics          Prometheus text format 0.0.4");
@@ -1215,6 +1265,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
 fn cmd_audit(args: &Args) -> Result<(), String> {
     let chain_path = args.flag("chain").ok_or("audit requires --chain FILE")?;
+
+    // `--recover` repairs a crash-torn chain in place before auditing:
+    // the torn tail is truncated (atomically), a hash-covered recovery
+    // record is appended, and the chain is sealed. Interior corruption
+    // is still refused — recovery never papers over tampering.
+    if args.has("recover") {
+        let (chain, recovery) = hvac_audit::AuditChain::recover(
+            Path::new(chain_path),
+            hvac_audit::ChainConfig::default(),
+        )
+        .map_err(|e| format!("cannot recover {chain_path}: {e}"))?;
+        chain
+            .seal()
+            .map_err(|e| format!("cannot seal recovered chain {chain_path}: {e}"))?;
+        info!(
+            "recovered {chain_path}: {} verified records kept, {} torn bytes truncated at \
+             byte offset {}",
+            recovery.prefix_records, recovery.truncated_bytes, recovery.truncated_at
+        );
+    }
+
     let text = std::fs::read_to_string(chain_path)
         .map_err(|e| format!("cannot read chain {chain_path}: {e}"))?;
 

@@ -45,8 +45,10 @@ use crate::serve::{
     decide_json_traced, flight_json, mint_trace_id, observation_from_value, OpsOptions,
     DECIDE_TIMEOUT, SERVE_WINDOW_EPOCHS, SERVE_WINDOW_NS,
 };
-use hvac_audit::{AuditChain, ChainConfig, FlushPolicy};
-use hvac_control::{DtPolicy, GuardConfig, GuardRoute, GuardState, GuardTransition, GuardedPolicy};
+use hvac_audit::{AuditChain, ChainConfig, ChainRecord, FlushPolicy, Payload};
+use hvac_control::{
+    DtPolicy, GuardConfig, GuardRoute, GuardSnapshot, GuardState, GuardTransition, GuardedPolicy,
+};
 use hvac_env::{ComfortRange, Observation, SetpointAction};
 use hvac_telemetry::http::{HttpServer, Request, Response, REQUEST_ID_HEADER};
 use hvac_telemetry::json::{parse, JsonValue, ObjectWriter};
@@ -55,11 +57,12 @@ use hvac_telemetry::slo::SloTracker;
 use hvac_telemetry::{process_elapsed_ns, warn, windowed_histogram, LATENCY_BOUNDS_NS};
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
 use std::net::ToSocketAddrs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 /// Longest accepted tenant id, in bytes.
 pub const MAX_TENANT_ID_BYTES: usize = 64;
@@ -163,6 +166,12 @@ impl PolicyRegistry {
     pub fn hashes(&self) -> impl Iterator<Item = &str> {
         self.entries.keys().map(String::as_str)
     }
+
+    /// Drops every entry whose hash is not in `keep` (reload hygiene:
+    /// policies no tenant references anymore don't pin memory forever).
+    pub fn retain_hashes(&mut self, keep: &BTreeSet<String>) {
+        self.entries.retain(|hash, _| keep.contains(hash));
+    }
 }
 
 /// One building's serving state: its shared policy entry, its own
@@ -212,6 +221,12 @@ pub struct FleetOptions {
     pub workers: Option<usize>,
     /// Concurrent-connection admission cap (`None` = server default).
     pub max_inflight: Option<usize>,
+    /// When set (and the fleet audits), a background thread persists
+    /// every tenant's guard state to `<audit_dir>/<id>.state.json` at
+    /// this cadence, and again on graceful drain. Restart rehydration
+    /// reads these files, so the cadence bounds how stale a restarted
+    /// guard's ladder state can be.
+    pub snapshot_every: Option<Duration>,
 }
 
 impl Default for FleetOptions {
@@ -223,6 +238,7 @@ impl Default for FleetOptions {
             ops: OpsOptions::default(),
             workers: None,
             max_inflight: None,
+            snapshot_every: None,
         }
     }
 }
@@ -240,16 +256,106 @@ pub struct TickDecision {
     pub state: GuardState,
 }
 
+/// One tenant a fleet manifest (re)load wants serving: the id, the
+/// loaded policy, and the certificate id it is gated under (already
+/// re-checked by the caller — [`Fleet::reload`] swaps state, it does
+/// not re-run certificate verification).
+#[derive(Debug)]
+pub struct TenantSpec {
+    /// Building id (validated against [`valid_tenant_id`]).
+    pub id: String,
+    /// The policy to serve.
+    pub policy: DtPolicy,
+    /// Certificate id the policy is served under, when certified.
+    pub certificate_id: Option<String>,
+}
+
+/// What one [`Fleet::reload`] did, tenant by tenant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReloadReport {
+    /// Tenants that did not exist before.
+    pub added: Vec<String>,
+    /// Tenants whose policy or certificate changed (fresh guard and
+    /// chain; the old chain is sealed and archived).
+    pub changed: Vec<String>,
+    /// Tenants dropped from the manifest (chains sealed and archived).
+    pub removed: Vec<String>,
+    /// Tenants left untouched — same policy hash and certificate, so
+    /// guard state, chain, and in-flight requests carry straight on.
+    pub unchanged: Vec<String>,
+}
+
+impl ReloadReport {
+    /// JSON body of a `POST /admin/reload` response.
+    pub fn to_json_string(&self) -> String {
+        let mut o = ObjectWriter::new();
+        o.str_array_field("added", &self.added);
+        o.str_array_field("changed", &self.changed);
+        o.str_array_field("removed", &self.removed);
+        o.u64_field("unchanged", self.unchanged.len() as u64);
+        o.finish()
+    }
+}
+
+/// `<audit_dir>/<id>.state.json` — the tenant's guard-state snapshot.
+fn state_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{id}.state.json"))
+}
+
+/// First free `<path>.archived-<n>` sibling.
+fn archive_path(path: &Path) -> PathBuf {
+    let mut n = 1u32;
+    loop {
+        let candidate = path.with_extension(format!("jsonl.archived-{n}"));
+        if !candidate.exists() {
+            return candidate;
+        }
+        n += 1;
+    }
+}
+
+/// Atomically replaces `path` with `text` (scratch sibling + rename),
+/// so a crash mid-write can never leave a half-written snapshot.
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let scratch = path.with_extension(format!("tmp-{}", std::process::id()));
+    {
+        let mut out = std::fs::File::create(&scratch)?;
+        out.write_all(text.as_bytes())?;
+        out.sync_all()?;
+    }
+    std::fs::rename(&scratch, path)
+}
+
+/// The policy hash an existing chain's genesis record binds, when the
+/// first line is a readable genesis. Used to decide whether an on-disk
+/// chain belongs to the tenant's current policy (resume it) or to an
+/// older one (archive it and start fresh).
+fn chain_genesis_hash(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().next()?;
+    let record =
+        ChainRecord::from_json(&parse(hvac_audit::record::split_line(line).ok()?).ok()?).ok()?;
+    match record.payload {
+        Payload::Genesis { policy_hash, .. } => Some(policy_hash),
+        _ => None,
+    }
+}
+
 /// A fleet of tenants over a shared [`PolicyRegistry`].
 ///
-/// Tenants live in a `BTreeMap`, so every iteration — and in
-/// particular every multi-guard lock acquisition on the tick path —
-/// sees them in one global id order, which makes concurrent lockstep
-/// batches deadlock-free by construction.
+/// Tenants live in a `BTreeMap` behind one `RwLock`: request paths
+/// (decide, tick, roster) share read access, and only
+/// [`Fleet::reload`] takes the write half — so a manifest swap can
+/// never tear an in-flight lockstep batch. Within the map, every
+/// multi-guard lock acquisition happens in tenant-id order, which
+/// makes concurrent lockstep batches deadlock-free by construction.
 #[derive(Debug)]
 pub struct Fleet {
-    registry: PolicyRegistry,
-    tenants: BTreeMap<String, Arc<Tenant>>,
+    registry: Mutex<PolicyRegistry>,
+    tenants: RwLock<BTreeMap<String, Arc<Tenant>>>,
+    /// Serializes whole reloads (diff + prepare + swap), so two
+    /// concurrent `/admin/reload`s cannot interleave their phases.
+    reload_lock: Mutex<()>,
     options: FleetOptions,
 }
 
@@ -257,24 +363,87 @@ impl Fleet {
     /// An empty fleet with `options`.
     pub fn new(options: FleetOptions) -> Self {
         Self {
-            registry: PolicyRegistry::new(),
-            tenants: BTreeMap::new(),
+            registry: Mutex::new(PolicyRegistry::new()),
+            tenants: RwLock::new(BTreeMap::new()),
+            reload_lock: Mutex::new(()),
             options,
         }
     }
 
+    fn chain_config(&self) -> ChainConfig {
+        ChainConfig {
+            flush: self.options.audit_flush,
+            ..ChainConfig::default()
+        }
+    }
+
+    /// Opens the audit chain for a (re)starting tenant: resumes an
+    /// existing chain bound to the same policy via
+    /// [`AuditChain::recover`] (crash-safe restart), archives a chain
+    /// bound to a *different* policy and starts fresh, or creates the
+    /// first chain. `recovered` reports whether a resume happened.
+    fn open_tenant_chain(
+        &self,
+        dir: &Path,
+        id: &str,
+        registered: &RegisteredPolicy,
+    ) -> Result<(AuditChain, bool), String> {
+        let path = dir.join(format!("{id}.jsonl"));
+        if path.exists() {
+            if chain_genesis_hash(&path).as_deref() == Some(registered.hash()) {
+                let (chain, report) =
+                    AuditChain::recover(&path, self.chain_config()).map_err(|e| {
+                        format!(
+                            "cannot recover audit chain {}: {e} (move the file aside to \
+                             start a fresh chain)",
+                            path.display()
+                        )
+                    })?;
+                hvac_telemetry::counter("fleet.recoveries").incr();
+                warn!(
+                    "tenant {id}: resumed audit chain after {} verified records \
+                     ({} torn bytes truncated)",
+                    report.prefix_records, report.truncated_bytes
+                );
+                return Ok((chain, true));
+            }
+            // The on-disk chain binds an older policy: it stays as
+            // evidence under an archive name, and a fresh genesis
+            // binds the new policy.
+            let archived = archive_path(&path);
+            std::fs::rename(&path, &archived).map_err(|e| {
+                format!(
+                    "cannot archive superseded audit chain {}: {e}",
+                    path.display()
+                )
+            })?;
+        }
+        let chain = AuditChain::create(
+            &path,
+            registered.hash(),
+            registered.certificate_id().unwrap_or(""),
+            self.chain_config(),
+        )
+        .map_err(|e| format!("cannot create audit chain {}: {e}", path.display()))?;
+        Ok((chain, false))
+    }
+
     /// Adds a building: registers (or dedups) its policy, builds its
     /// guard with the serve-safe [`GuardConfig::new`] preset, and —
-    /// when the fleet audits — creates its decision chain at
-    /// `<audit_dir>/<id>.jsonl` with a genesis binding the policy hash
-    /// and certificate id.
+    /// when the fleet audits — opens its decision chain at
+    /// `<audit_dir>/<id>.jsonl`. An existing chain bound to the same
+    /// policy is *resumed* with [`AuditChain::recover`] (torn tail
+    /// truncated, recovery record appended), and a guard-state
+    /// snapshot left by a previous process is rehydrated — so a
+    /// restarted fleet picks up exactly where the dead one stopped.
     ///
     /// # Errors
     ///
     /// Rejects invalid ids (see [`valid_tenant_id`]), duplicate ids,
-    /// and chain-creation I/O failures.
+    /// unrecoverable chains (interior corruption is refused, not
+    /// papered over), and chain I/O failures.
     pub fn add_tenant(
-        &mut self,
+        &self,
         id: &str,
         policy: DtPolicy,
         certificate_id: Option<String>,
@@ -284,39 +453,53 @@ impl Fleet {
                 "invalid tenant id {id:?}: want 1-{MAX_TENANT_ID_BYTES} bytes of [A-Za-z0-9_-]"
             ));
         }
-        if self.tenants.contains_key(id) {
+        let mut tenants = self.tenants.write().unwrap_or_else(PoisonError::into_inner);
+        if tenants.contains_key(id) {
             return Err(format!("duplicate tenant id {id:?}"));
         }
-        let registered = self.registry.register(policy, certificate_id);
-        let guard = Mutex::new(GuardedPolicy::new(
+        let registered = self
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .register(policy, certificate_id);
+        let mut guard = GuardedPolicy::new(
             registered.policy().clone(),
             GuardConfig::new(self.options.comfort),
-        ));
+        );
         let chain = match &self.options.audit_dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir)
                     .map_err(|e| format!("cannot create audit dir {}: {e}", dir.display()))?;
-                let path = dir.join(format!("{id}.jsonl"));
-                let chain = AuditChain::create(
-                    &path,
-                    registered.hash(),
-                    registered.certificate_id().unwrap_or(""),
-                    ChainConfig {
-                        flush: self.options.audit_flush,
-                        ..ChainConfig::default()
-                    },
-                )
-                .map_err(|e| format!("cannot create audit chain {}: {e}", path.display()))?;
+                let (chain, _recovered) = self.open_tenant_chain(dir, id, &registered)?;
+                // Rehydrate guard state persisted by a previous
+                // process (periodic snapshot or graceful drain). A
+                // damaged snapshot is ignored, not fatal: the guard
+                // restarts on the normal rung and the chain still
+                // carries the durable evidence.
+                let spath = state_path(dir, id);
+                if let Ok(text) = std::fs::read_to_string(&spath) {
+                    match GuardSnapshot::from_json_str(&text)
+                        .and_then(|snapshot| guard.restore(&snapshot))
+                    {
+                        Ok(()) => {
+                            hvac_telemetry::counter("fleet.rehydrated").incr();
+                        }
+                        Err(e) => warn!(
+                            "tenant {id}: ignoring unusable guard snapshot {}: {e}",
+                            spath.display()
+                        ),
+                    }
+                }
                 Some(hvac_audit::register_chain(Arc::new(chain)))
             }
             None => None,
         };
-        self.tenants.insert(
+        tenants.insert(
             id.to_string(),
             Arc::new(Tenant {
                 id: id.to_string(),
                 policy: registered,
-                guard,
+                guard: Mutex::new(guard),
                 chain,
             }),
         );
@@ -324,40 +507,305 @@ impl Fleet {
     }
 
     /// Looks up a tenant by id.
-    pub fn tenant(&self, id: &str) -> Option<&Arc<Tenant>> {
-        self.tenants.get(id)
+    pub fn tenant(&self, id: &str) -> Option<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)
+            .map(Arc::clone)
     }
 
     /// Tenant ids in sorted order.
-    pub fn tenant_ids(&self) -> Vec<&str> {
-        self.tenants.keys().map(String::as_str).collect()
+    pub fn tenant_ids(&self) -> Vec<String> {
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Number of tenants.
     pub fn len(&self) -> usize {
-        self.tenants.len()
+        self.tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Whether the fleet has no tenants.
     pub fn is_empty(&self) -> bool {
-        self.tenants.is_empty()
+        self.len() == 0
     }
 
-    /// The shared policy registry.
-    pub fn registry(&self) -> &PolicyRegistry {
-        &self.registry
+    /// Number of distinct policies registered.
+    pub fn policy_count(&self) -> usize {
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Registered policy content hashes, in sorted order.
+    pub fn policy_hashes(&self) -> Vec<String> {
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .hashes()
+            .map(str::to_string)
+            .collect()
     }
 
     /// Seals every tenant's audit chain (idempotent; failures are
     /// logged, not propagated — shutdown must not stall on audit I/O).
     pub fn seal_all(&self) {
-        for tenant in self.tenants.values() {
+        let tenants = self.tenants.read().unwrap_or_else(PoisonError::into_inner);
+        for tenant in tenants.values() {
             if let Some(chain) = &tenant.chain {
                 if let Err(e) = chain.seal() {
                     warn!("tenant {} audit chain seal failed: {e}", tenant.id);
                 }
             }
         }
+    }
+
+    /// Persists every tenant's guard state to
+    /// `<audit_dir>/<id>.state.json` with atomic writes (scratch +
+    /// rename). Returns how many snapshots were written; failures are
+    /// logged, not propagated. A no-op for a fleet without an audit
+    /// dir.
+    pub fn snapshot_all(&self) -> usize {
+        let Some(dir) = self.options.audit_dir.clone() else {
+            return 0;
+        };
+        let tenants: Vec<Arc<Tenant>> = {
+            let map = self.tenants.read().unwrap_or_else(PoisonError::into_inner);
+            map.values().map(Arc::clone).collect()
+        };
+        let mut written = 0;
+        for tenant in tenants {
+            let snapshot = {
+                let guard = tenant.guard.lock().unwrap_or_else(PoisonError::into_inner);
+                guard.snapshot()
+            };
+            let path = state_path(&dir, &tenant.id);
+            match write_atomic(&path, &snapshot.to_json_string()) {
+                Ok(()) => written += 1,
+                Err(e) => {
+                    warn!("tenant {} guard snapshot failed: {e}", tenant.id);
+                }
+            }
+        }
+        hvac_telemetry::counter("fleet.snapshots").add(written as u64);
+        written as usize
+    }
+
+    /// Re-points the fleet at a freshly loaded manifest: diffs `specs`
+    /// against the serving tenants and atomically swaps the roster.
+    ///
+    /// * **unchanged** (same policy hash + certificate id): guard
+    ///   state, chain, and decision counters carry straight on;
+    /// * **added / changed**: a fresh guard and a fresh chain are
+    ///   *prepared first* — any failure rolls the whole batch back
+    ///   with the serving roster untouched;
+    /// * **removed** (and the old chains of changed tenants): sealed
+    ///   and archived to `<id>.jsonl.archived-<n>`, their snapshots
+    ///   deleted.
+    ///
+    /// The swap itself happens under the tenants write lock, so no
+    /// in-flight `/tick` lockstep batch or `/decide` is ever torn
+    /// across old and new rosters. Certificate *verification* is the
+    /// caller's job (the CLI re-gates before building `specs`);
+    /// `reload` enforces only roster consistency.
+    ///
+    /// # Errors
+    ///
+    /// Invalid or duplicate ids, an empty manifest, or chain
+    /// preparation I/O failures — in every case the serving roster is
+    /// left exactly as it was.
+    pub fn reload(&self, specs: Vec<TenantSpec>) -> Result<ReloadReport, String> {
+        let _one_at_a_time = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if specs.is_empty() {
+            return Err("refusing to reload to an empty fleet".to_string());
+        }
+        let mut seen = BTreeSet::new();
+        for spec in &specs {
+            if !valid_tenant_id(&spec.id) {
+                return Err(format!(
+                    "invalid tenant id {:?}: want 1-{MAX_TENANT_ID_BYTES} bytes of [A-Za-z0-9_-]",
+                    spec.id
+                ));
+            }
+            if !seen.insert(spec.id.clone()) {
+                return Err(format!("duplicate tenant id {:?} in manifest", spec.id));
+            }
+        }
+
+        // Phase 1: diff against the serving roster (read lock only —
+        // requests keep flowing). `reload_lock` guarantees the roster
+        // cannot shift under us before the commit below.
+        let current: BTreeMap<String, Arc<Tenant>> = self
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        struct Prepared {
+            id: String,
+            registered: Arc<RegisteredPolicy>,
+            chain: Option<Arc<AuditChain>>,
+            tmp_path: Option<PathBuf>,
+        }
+        let mut report = ReloadReport::default();
+        let mut prepared: Vec<Prepared> = Vec::new();
+
+        // Phase 2: prepare every new tenant off to the side. New
+        // chains are created at `<id>.jsonl.new`; nothing the serving
+        // roster uses is touched, so any failure here is a clean
+        // rollback (delete the scratch files, report the error).
+        let outcome = (|| -> Result<(), String> {
+            for spec in specs {
+                let hash = hvac_audit::policy_hash(&spec.policy);
+                if let Some(tenant) = current.get(&spec.id) {
+                    if tenant.policy.hash() == hash
+                        && tenant.policy.certificate_id() == spec.certificate_id.as_deref()
+                    {
+                        report.unchanged.push(spec.id);
+                        continue;
+                    }
+                    report.changed.push(spec.id.clone());
+                } else {
+                    report.added.push(spec.id.clone());
+                }
+                let registered = self
+                    .registry
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .register(spec.policy, spec.certificate_id);
+                let (chain, tmp_path) = match &self.options.audit_dir {
+                    Some(dir) => {
+                        std::fs::create_dir_all(dir).map_err(|e| {
+                            format!("cannot create audit dir {}: {e}", dir.display())
+                        })?;
+                        let tmp = dir.join(format!("{}.jsonl.new", spec.id));
+                        let chain = AuditChain::create(
+                            &tmp,
+                            registered.hash(),
+                            registered.certificate_id().unwrap_or(""),
+                            self.chain_config(),
+                        )
+                        .map_err(|e| format!("cannot create audit chain {}: {e}", tmp.display()))?;
+                        (Some(hvac_audit::register_chain(Arc::new(chain))), Some(tmp))
+                    }
+                    None => (None, None),
+                };
+                prepared.push(Prepared {
+                    id: spec.id,
+                    registered,
+                    chain,
+                    tmp_path,
+                });
+            }
+            Ok(())
+        })();
+        if let Err(e) = outcome {
+            for p in &prepared {
+                if let Some(tmp) = &p.tmp_path {
+                    let _ = std::fs::remove_file(tmp);
+                }
+            }
+            hvac_telemetry::counter("fleet.reload.errors").incr();
+            return Err(e);
+        }
+
+        // Phase 3: commit under the write lock. Everything here is a
+        // rename or an in-memory swap — no fallible preparation left —
+        // so in-flight batches see the old roster or the new one,
+        // never a mix. Rename failures are logged, not propagated:
+        // the swap itself must not half-apply.
+        let keep: BTreeSet<String> = report
+            .unchanged
+            .iter()
+            .map(|id| current[id].policy.hash().to_string())
+            .chain(prepared.iter().map(|p| p.registered.hash().to_string()))
+            .collect();
+        {
+            let mut tenants = self.tenants.write().unwrap_or_else(PoisonError::into_inner);
+            let mut next: BTreeMap<String, Arc<Tenant>> = BTreeMap::new();
+            for id in &report.unchanged {
+                next.insert(id.clone(), Arc::clone(&current[id]));
+            }
+            for p in prepared {
+                if let Some(dir) = &self.options.audit_dir {
+                    let live = dir.join(format!("{}.jsonl", p.id));
+                    // A changed tenant's (or stale) old chain: seal it
+                    // and move it aside as evidence.
+                    if let Some(old) = current.get(&p.id) {
+                        if let Some(old_chain) = &old.chain {
+                            if let Err(e) = old_chain.seal() {
+                                warn!("tenant {} superseded chain seal failed: {e}", p.id);
+                            }
+                        }
+                    }
+                    if live.exists() {
+                        if let Err(e) = std::fs::rename(&live, archive_path(&live)) {
+                            warn!("tenant {} chain archive failed: {e}", p.id);
+                        }
+                    }
+                    if let Some(tmp) = &p.tmp_path {
+                        if let Err(e) = std::fs::rename(tmp, &live) {
+                            warn!("tenant {} chain install failed: {e}", p.id);
+                        }
+                    }
+                    // A fresh guard starts from clean state: a stale
+                    // snapshot must not rehydrate into it on the next
+                    // restart.
+                    let _ = std::fs::remove_file(state_path(dir, &p.id));
+                }
+                let guard = GuardedPolicy::new(
+                    p.registered.policy().clone(),
+                    GuardConfig::new(self.options.comfort),
+                );
+                next.insert(
+                    p.id.clone(),
+                    Arc::new(Tenant {
+                        id: p.id,
+                        policy: p.registered,
+                        guard: Mutex::new(guard),
+                        chain: p.chain,
+                    }),
+                );
+            }
+            for (id, old) in &current {
+                if next.contains_key(id) {
+                    continue;
+                }
+                report.removed.push(id.clone());
+                if let Some(chain) = &old.chain {
+                    if let Err(e) = chain.seal() {
+                        warn!("tenant {id} removed chain seal failed: {e}");
+                    }
+                }
+                if let Some(dir) = &self.options.audit_dir {
+                    let live = dir.join(format!("{id}.jsonl"));
+                    if live.exists() {
+                        if let Err(e) = std::fs::rename(&live, archive_path(&live)) {
+                            warn!("tenant {id} removed chain archive failed: {e}");
+                        }
+                    }
+                    let _ = std::fs::remove_file(state_path(dir, id));
+                }
+            }
+            *tenants = next;
+        }
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain_hashes(&keep);
+        hvac_telemetry::counter("fleet.reloads").incr();
+        Ok(report)
     }
 
     /// One lockstep tick: decides for every `(tenant, observation)`
@@ -386,12 +834,16 @@ impl Fleet {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        // The roster read lock is held until every decision is
+        // committed *and appended*: a concurrent reload (the only
+        // writer) can swap the roster between batches, never inside
+        // one — no torn batches, no appends racing a reload's seal.
+        let tenants = self.tenants.read().unwrap_or_else(PoisonError::into_inner);
         let mut seen = BTreeSet::new();
         let mut resolved: Vec<(usize, Arc<Tenant>, Observation)> =
             Vec::with_capacity(requests.len());
         for (i, (id, obs)) in requests.iter().enumerate() {
-            let tenant = self
-                .tenants
+            let tenant = tenants
                 .get(id)
                 .ok_or_else(|| format!("unknown tenant {id:?}"))?;
             if !seen.insert(id.as_str()) {
@@ -430,6 +882,8 @@ impl Fleet {
         for (hash, (slots, observations)) in &groups {
             let entry = self
                 .registry
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
                 .get(hash)
                 .expect("every tenant's policy is registered");
             batch.clear();
@@ -552,7 +1006,10 @@ fn handle_decide(fleet: &Fleet, tenant_id: &str, request: &Request, ctx: &OpsCtx
             &format!("invalid tenant id {tenant_id:?}: want 1-{MAX_TENANT_ID_BYTES} bytes of [A-Za-z0-9_-]"),
         )
     } else {
-        match fleet.tenant(tenant_id) {
+        // Roster read lock held across the decide: a reload can swap
+        // the roster before or after this decision, never mid-flight.
+        let tenants = fleet.tenants.read().unwrap_or_else(PoisonError::into_inner);
+        match tenants.get(tenant_id) {
             None => {
                 record.http_status = 404;
                 Response::error(404, &format!("unknown tenant {tenant_id:?}"))
@@ -652,13 +1109,14 @@ fn tick_json(decisions: &[TickDecision], latency_ns: u64) -> String {
 
 /// Renders the fleet's `GET /tenants` roster.
 fn tenants_json(fleet: &Fleet) -> String {
-    let mut out = String::with_capacity(64 + fleet.len() * 220);
+    let tenants = fleet.tenants.read().unwrap_or_else(PoisonError::into_inner);
+    let mut out = String::with_capacity(64 + tenants.len() * 220);
     out.push_str(&format!(
         "{{\"count\":{},\"policies\":{},\"tenants\":[",
-        fleet.len(),
-        fleet.registry().len()
+        tenants.len(),
+        fleet.policy_count()
     ));
-    for (i, tenant) in fleet.tenants.values().enumerate() {
+    for (i, tenant) in tenants.values().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -696,20 +1154,44 @@ fn fleet_version_json(fleet: &Fleet) -> String {
     );
     o.bool_field("fleet", true);
     o.u64_field("tenants", fleet.len() as u64);
-    o.u64_field("policies", fleet.registry().len() as u64);
+    o.u64_field("policies", fleet.policy_count() as u64);
     o.finish()
 }
 
-/// Binds the fleet serving endpoint (see the module docs for the
-/// routes). Graceful shutdown drains the worker pool first and then
-/// seals every tenant's audit chain, so no in-flight decision can
-/// land after its chain's seal record.
+/// How a running fleet re-reads its manifest on `POST /admin/reload`:
+/// returns the tenants that should now be serving (certificates
+/// already re-gated), or a message explaining why the manifest is
+/// unusable. Lives in the CLI layer, where the manifest path and the
+/// `--require-certificate` policy are known.
+pub type ReloadSource = dyn Fn() -> Result<Vec<TenantSpec>, String> + Send + Sync;
+
+/// [`serve_fleet_with_reload`] without a reload source: the manifest
+/// the process started with is the manifest it serves.
 ///
 /// # Errors
 ///
 /// Rejects an empty fleet ([`std::io::ErrorKind::InvalidInput`]) and
 /// propagates socket binding errors.
 pub fn serve_fleet(fleet: Fleet, addr: impl ToSocketAddrs) -> std::io::Result<HttpServer> {
+    serve_fleet_with_reload(fleet, addr, None)
+}
+
+/// Binds the fleet serving endpoint (see the module docs for the
+/// routes). Graceful shutdown drains the worker pool first, then
+/// snapshots every guard and seals every tenant's audit chain, so no
+/// in-flight decision can land after its chain's seal record. When
+/// `reload` is supplied, `POST /admin/reload` re-reads the manifest
+/// through it and atomically swaps the roster ([`Fleet::reload`]).
+///
+/// # Errors
+///
+/// Rejects an empty fleet ([`std::io::ErrorKind::InvalidInput`]) and
+/// propagates socket binding errors.
+pub fn serve_fleet_with_reload(
+    fleet: Fleet,
+    addr: impl ToSocketAddrs,
+    reload: Option<Arc<ReloadSource>>,
+) -> std::io::Result<HttpServer> {
     if fleet.is_empty() {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
@@ -738,9 +1220,29 @@ pub fn serve_fleet(fleet: Fleet, addr: impl ToSocketAddrs) -> std::io::Result<Ht
         slo: Arc::clone(&slo),
         // Fold every registered hash into the mint seed, so identical
         // fleet replays mint identical trace ids.
-        mint_seed: fleet.registry.hashes().collect::<Vec<_>>().join(","),
+        mint_seed: fleet.policy_hashes().join(","),
         mint_sequence: AtomicU64::new(0),
     });
+
+    // Periodic guard-state snapshots: the thread holds only a weak
+    // handle, so it dies with the fleet instead of pinning it.
+    if let Some(every) = fleet.options.snapshot_every {
+        let weak = Arc::downgrade(&fleet);
+        let spawned = std::thread::Builder::new()
+            .name("fleet-snapshot".to_string())
+            .spawn(move || loop {
+                std::thread::sleep(every);
+                match weak.upgrade() {
+                    Some(fleet) => {
+                        fleet.snapshot_all();
+                    }
+                    None => break,
+                }
+            });
+        if let Err(e) = spawned {
+            warn!("fleet snapshot thread failed to start: {e}");
+        }
+    }
 
     let mut builder = HttpServer::builder()
         .max_body_bytes(MAX_FLEET_BODY_BYTES)
@@ -778,7 +1280,7 @@ pub fn serve_fleet(fleet: Fleet, addr: impl ToSocketAddrs) -> std::io::Result<Ht
                 Some(None) => {
                     return Response::error(422, "field \"tenant\" must be a string");
                 }
-                None if decide_fleet.len() == 1 => decide_fleet.tenant_ids()[0].to_string(),
+                None if decide_fleet.len() == 1 => decide_fleet.tenant_ids().remove(0),
                 None => {
                     return Response::error(
                         422,
@@ -826,8 +1328,30 @@ pub fn serve_fleet(fleet: Fleet, addr: impl ToSocketAddrs) -> std::io::Result<Ht
             Response::json(200, flight_json(&ring))
         });
     }
+    if let Some(source) = reload {
+        let reload_fleet = Arc::clone(&fleet);
+        builder = builder.route("POST", "/admin/reload", move |_req| {
+            let started = Instant::now();
+            match source().and_then(|specs| reload_fleet.reload(specs)) {
+                Ok(report) => {
+                    let latency_ns =
+                        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    hvac_telemetry::histogram("fleet.reload.ns", LATENCY_BOUNDS_NS)
+                        .record(latency_ns);
+                    Response::json(200, report.to_json_string())
+                }
+                // 409: the serving roster is intact; the *requested*
+                // state conflicts with what can be applied.
+                Err(message) => Response::error(409, &message),
+            }
+        });
+    }
     // The server joins its worker pool before running hooks, so every
-    // admitted decision has been appended before any chain seals.
-    builder = builder.on_shutdown(move || seal_fleet.seal_all());
+    // admitted decision has been appended before any guard snapshot
+    // or chain seal.
+    builder = builder.on_shutdown(move || {
+        seal_fleet.snapshot_all();
+        seal_fleet.seal_all();
+    });
     builder.bind(addr)
 }

@@ -76,8 +76,8 @@ pub mod serve;
 
 pub use artifacts::{ArtifactError, ArtifactStore, PipelineKeys, StageKey};
 pub use fleet::{
-    serve_fleet, valid_tenant_id, Fleet, FleetOptions, PolicyRegistry, RegisteredPolicy, Tenant,
-    TickDecision,
+    serve_fleet, serve_fleet_with_reload, valid_tenant_id, Fleet, FleetOptions, PolicyRegistry,
+    RegisteredPolicy, ReloadReport, ReloadSource, Tenant, TenantSpec, TickDecision,
 };
 pub use pipeline::{
     run_pipeline, run_pipeline_cached, PipelineArtifacts, PipelineConfig, PipelineError,

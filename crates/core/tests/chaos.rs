@@ -1,0 +1,249 @@
+//! Chaos harness: SIGKILL a loaded fleet server mid-traffic, restart it
+//! over the same audit dir, and prove the crash left nothing the
+//! offline auditor cannot vouch for — every tenant's chain recovers,
+//! audits green, and carries exactly one `recovery` record.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hvac_telemetry::http::{blocking_request, BlockingClient};
+use hvac_telemetry::json::{parse, JsonValue};
+use veri_hvac::audit::Auditor;
+use veri_hvac::control::DtPolicy;
+use veri_hvac::dtree::{DecisionTree, TreeConfig};
+use veri_hvac::env::space::feature;
+use veri_hvac::env::{ActionSpace, SetpointAction, POLICY_INPUT_DIM};
+
+const BIN: &str = env!("CARGO_BIN_EXE_veri_hvac");
+const TENANTS: [&str; 2] = ["alpha", "beta"];
+
+fn toy_policy(split: f64) -> DtPolicy {
+    let space = ActionSpace::new();
+    let heat = space.index_of(SetpointAction::new(23, 30).unwrap());
+    let off = space.index_of(SetpointAction::off());
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..24 {
+        let temp = 12.0 + f64::from(i) * 0.5;
+        let mut row = vec![0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = temp;
+        inputs.push(row);
+        labels.push(if temp < split { heat } else { off });
+    }
+    let tree = DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap();
+    DtPolicy::new(tree).unwrap()
+}
+
+/// Spawns `veri_hvac serve-fleet` and returns the child plus the bound
+/// address parsed from its startup banner.
+fn spawn_fleet(manifest: &std::path::Path, extra: &[&str]) -> (Child, SocketAddr) {
+    let mut child = Command::new(BIN)
+        .args(["serve", "--fleet"])
+        .arg(manifest)
+        .args(["--addr", "127.0.0.1:0", "--snapshot-every", "1"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve-fleet");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its address")
+            .unwrap();
+        if let Some(rest) = line.strip_prefix("serving fleet on http://") {
+            break rest.trim().parse().unwrap();
+        }
+    };
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+#[test]
+fn sigkill_under_load_recovers_with_exactly_one_recovery_record_per_chain() {
+    let dir = std::env::temp_dir().join(format!("hvac-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let audit_dir = dir.join("audit");
+    for (tenant, split) in TENANTS.iter().zip([20.0, 17.0]) {
+        std::fs::write(
+            dir.join(format!("{tenant}.tree")),
+            toy_policy(split).to_compact_string(),
+        )
+        .unwrap();
+    }
+    let manifest = dir.join("fleet.json");
+    let mut doc = String::from("{\"tenants\":[");
+    for (i, tenant) in TENANTS.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(r#"{{"id":"{tenant}","policy":"{tenant}.tree"}}"#));
+    }
+    doc.push_str("]}");
+    let mut f = std::fs::File::create(&manifest).unwrap();
+    f.write_all(doc.as_bytes()).unwrap();
+
+    // Phase 1: load the fleet, then SIGKILL it with requests in flight.
+    let audit_flag = audit_dir.to_str().unwrap().to_string();
+    let (mut child, addr) = spawn_fleet(&manifest, &["--audit-dir", &audit_flag]);
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = TENANTS
+        .iter()
+        .map(|tenant| {
+            let stop = Arc::clone(&stop);
+            let tenant = tenant.to_string();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let Ok(mut client) = BlockingClient::connect(addr) else {
+                    return 0;
+                };
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let body = format!(r#"{{"zone_temperature":{}}}"#, 14 + i % 10);
+                    match client.request("POST", &format!("/decide/{tenant}"), &[], &body) {
+                        Ok((200, _, _)) => ok += 1,
+                        // The kill raced this request; the socket is
+                        // dead for good.
+                        _ => break,
+                    }
+                    i += 1;
+                }
+                ok
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(600));
+    child.kill().expect("SIGKILL the loaded server");
+    child.wait().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let served: Vec<u64> = hammers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        served.iter().all(|&n| n > 0),
+        "every tenant must have live traffic before the kill: {served:?}"
+    );
+
+    // The kill skipped every shutdown hook: chains end unsealed (and
+    // possibly torn).
+    for tenant in TENANTS {
+        let text = std::fs::read_to_string(audit_dir.join(format!("{tenant}.jsonl"))).unwrap();
+        let report = Auditor::new(&text).run();
+        assert!(!report.passed(), "{tenant}: a SIGKILLed chain cannot seal");
+    }
+
+    // Phase 2: restart over the same audit dir. Startup must recover
+    // every chain; --duration drains and seals gracefully at the end.
+    let (mut child, addr) =
+        spawn_fleet(&manifest, &["--audit-dir", &audit_flag, "--duration", "2"]);
+    let (status, text) = blocking_request(addr, "GET", "/tenants", "").unwrap();
+    assert_eq!(status, 200, "{text}");
+    let v = parse(&text).unwrap();
+    assert_eq!(
+        v.get("count").and_then(JsonValue::as_u64),
+        Some(2),
+        "{text}"
+    );
+    for tenant in TENANTS {
+        let (status, _) = blocking_request(
+            addr,
+            "POST",
+            &format!("/decide/{tenant}"),
+            r#"{"zone_temperature":18}"#,
+        )
+        .unwrap();
+        assert_eq!(status, 200, "post-restart decide for {tenant}");
+    }
+    assert!(
+        child.wait().unwrap().success(),
+        "graceful drain must exit 0"
+    );
+
+    // Every chain now audits green end to end, with exactly one
+    // recovery record covering the crash.
+    for (tenant, split) in TENANTS.iter().zip([20.0, 17.0]) {
+        let text = std::fs::read_to_string(audit_dir.join(format!("{tenant}.jsonl"))).unwrap();
+        let report = Auditor::new(&text).with_policy(&toy_policy(split)).run();
+        assert!(report.passed(), "{tenant}: {report}");
+        assert_eq!(report.recoveries, 1, "{tenant}: {report}");
+        assert!(report.sealed, "{tenant}: {report}");
+        assert_eq!(report.failure_class(), "none", "{tenant}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn audit_recover_flag_repairs_a_torn_chain_in_place() {
+    let dir = std::env::temp_dir().join(format!("hvac-chaos-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("solo.tree"), toy_policy(20.0).to_compact_string()).unwrap();
+    std::fs::write(
+        dir.join("fleet.json"),
+        r#"{"tenants":[{"id":"solo","policy":"solo.tree"}]}"#,
+    )
+    .unwrap();
+    let audit_dir = dir.join("audit");
+    let audit_flag = audit_dir.to_str().unwrap().to_string();
+
+    // A short graceful run seals a clean chain...
+    let (mut child, addr) = spawn_fleet(
+        &dir.join("fleet.json"),
+        &["--audit-dir", &audit_flag, "--duration", "1"],
+    );
+    for temp in [15, 18, 22] {
+        let (status, _) = blocking_request(
+            addr,
+            "POST",
+            "/decide/solo",
+            &format!(r#"{{"zone_temperature":{temp}}}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 200);
+    }
+    assert!(child.wait().unwrap().success());
+    // ...which we then tear mid-record, as a crash would.
+    let chain = audit_dir.join("solo.jsonl");
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&chain)
+            .unwrap();
+        f.write_all(b"299 {\"kind\":\"decision\",\"seq\":41")
+            .unwrap();
+    }
+    let chain_flag = chain.to_str().unwrap();
+
+    // Plain audit: fails, --json names the machine-readable class.
+    let out = Command::new(BIN)
+        .args(["audit", "--chain", chain_flag, "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "torn chain must fail the audit");
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"failure_class\":\"torn_tail\""), "{json}");
+    assert!(json.contains("\"torn_tail_offset\":"), "{json}");
+
+    // --recover truncates the torn bytes, appends the recovery record,
+    // seals, and the same invocation re-audits green.
+    let out = Command::new(BIN)
+        .args(["audit", "--chain", chain_flag, "--json", "--recover"])
+        .output()
+        .unwrap();
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{json}");
+    assert!(json.contains("\"failure_class\":\"none\""), "{json}");
+    assert!(json.contains("\"recoveries\":1"), "{json}");
+
+    // Recovery is idempotent at the audit level: a second plain audit
+    // still passes, and the torn fragment is gone from the file.
+    let text = std::fs::read_to_string(&chain).unwrap();
+    assert!(!text.contains("\"seq\":41"), "torn bytes must be truncated");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -52,7 +52,7 @@ fn fresh_dir(name: &str) -> std::path::PathBuf {
 fn multi_tenant_decisions_are_bit_identical_to_in_process() {
     // Three tenants over two distinct trees: a and b share one policy
     // (the registry must dedup them), c runs its own.
-    let mut fleet = Fleet::new(FleetOptions::default());
+    let fleet = Fleet::new(FleetOptions::default());
     fleet
         .add_tenant("building-a", toy_policy(20.0), None)
         .unwrap();
@@ -62,7 +62,7 @@ fn multi_tenant_decisions_are_bit_identical_to_in_process() {
     fleet
         .add_tenant("building-c", toy_policy(17.0), None)
         .unwrap();
-    assert_eq!(fleet.registry().len(), 2, "shared tree is deduped");
+    assert_eq!(fleet.policy_count(), 2, "shared tree is deduped");
     let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
 
     let mut references = vec![
@@ -137,7 +137,7 @@ fn multi_tenant_decisions_are_bit_identical_to_in_process() {
 #[test]
 fn lockstep_tick_matches_per_tenant_decides_bit_for_bit() {
     let build = |split| {
-        let mut fleet = Fleet::new(FleetOptions::default());
+        let fleet = Fleet::new(FleetOptions::default());
         for i in 0..8 {
             fleet
                 .add_tenant(&format!("zone-{i}"), toy_policy(split), None)
@@ -192,7 +192,7 @@ fn lockstep_tick_matches_per_tenant_decides_bit_for_bit() {
 
 #[test]
 fn tick_endpoint_decides_a_batch_and_rejects_malformed_ones() {
-    let mut fleet = Fleet::new(FleetOptions::default());
+    let fleet = Fleet::new(FleetOptions::default());
     fleet.add_tenant("a", toy_policy(20.0), None).unwrap();
     fleet.add_tenant("b", toy_policy(20.0), None).unwrap();
     let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
@@ -245,7 +245,7 @@ fn tick_endpoint_decides_a_batch_and_rejects_malformed_ones() {
 
 #[test]
 fn unknown_and_invalid_tenants_are_structured_errors() {
-    let mut fleet = Fleet::new(FleetOptions::default());
+    let fleet = Fleet::new(FleetOptions::default());
     fleet.add_tenant("only", toy_policy(20.0), None).unwrap();
     fleet.add_tenant("other", toy_policy(20.0), None).unwrap();
     let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
@@ -280,7 +280,7 @@ fn unknown_and_invalid_tenants_are_structured_errors() {
 
 #[test]
 fn single_tenant_fleet_accepts_unnamed_decides() {
-    let mut fleet = Fleet::new(FleetOptions::default());
+    let fleet = Fleet::new(FleetOptions::default());
     fleet.add_tenant("solo", toy_policy(20.0), None).unwrap();
     let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
     let (status, text) = blocking_request(
@@ -302,7 +302,7 @@ fn single_tenant_fleet_accepts_unnamed_decides() {
 
 #[test]
 fn one_tenants_faulted_stream_never_degrades_another() {
-    let mut fleet = Fleet::new(FleetOptions::default());
+    let fleet = Fleet::new(FleetOptions::default());
     fleet.add_tenant("noisy", toy_policy(20.0), None).unwrap();
     fleet.add_tenant("clean", toy_policy(20.0), None).unwrap();
     let server = serve_fleet(fleet, "127.0.0.1:0").expect("bind");
@@ -354,7 +354,7 @@ fn one_tenants_faulted_stream_never_degrades_another() {
 fn loaded_shutdown_still_seals_every_chain_green() {
     let dir = fresh_dir("loaded-shutdown");
     let tenants = ["alpha", "beta", "gamma", "delta"];
-    let mut fleet = Fleet::new(FleetOptions {
+    let fleet = Fleet::new(FleetOptions {
         audit_dir: Some(dir.clone()),
         ..FleetOptions::default()
     });
@@ -433,7 +433,7 @@ fn loaded_shutdown_still_seals_every_chain_green() {
 fn fleet_bodies_beyond_the_single_decide_cap_are_accepted_on_tick() {
     // The tick endpoint exists precisely because batches outgrow the
     // single-observation body cap.
-    let mut fleet = Fleet::new(FleetOptions::default());
+    let fleet = Fleet::new(FleetOptions::default());
     for i in 0..64 {
         fleet
             .add_tenant(&format!("t{i}"), toy_policy(20.0), None)
@@ -458,5 +458,255 @@ fn fleet_bodies_beyond_the_single_decide_cap_are_accepted_on_tick() {
     assert_eq!(status, 200, "{text}");
     let v = parse(&text).unwrap();
     assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(64));
+    server.shutdown();
+}
+
+#[test]
+fn killed_fleet_restarts_bit_identically_with_one_recovery_record() {
+    use veri_hvac::fleet::FleetOptions as FO;
+    let dir = fresh_dir("restart");
+    let fleet = Fleet::new(FO {
+        audit_dir: Some(dir.clone()),
+        ..FO::default()
+    });
+    fleet.add_tenant("alpha", toy_policy(20.0), None).unwrap();
+    // An uninterrupted reference controller sees the exact same stream.
+    let reference = Fleet::new(FO::default());
+    reference
+        .add_tenant("alpha", toy_policy(20.0), None)
+        .unwrap();
+
+    // Walk the guard off the normal rung so rehydration has real state
+    // to carry, then snapshot (the drain / periodic snapshot).
+    for _ in 0..9 {
+        let r = vec![("alpha".to_string(), obs(300.0))];
+        fleet.tick(&r).unwrap();
+        reference.tick(&r).unwrap();
+    }
+    assert_eq!(fleet.snapshot_all(), 1);
+    // Crash: no drop-seal, and a torn half-record on the chain tail
+    // (the decision that was mid-write when the process died).
+    std::mem::forget(fleet);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("alpha.jsonl"))
+            .unwrap();
+        f.write_all(b"310 {\"kind\":\"decision\",\"seq\":99,\"prev")
+            .unwrap();
+    }
+
+    // Restart over the same audit dir: the chain is recovered and the
+    // guard rehydrated from the snapshot.
+    let restarted = Fleet::new(FO {
+        audit_dir: Some(dir.clone()),
+        ..FO::default()
+    });
+    restarted
+        .add_tenant("alpha", toy_policy(20.0), None)
+        .unwrap();
+
+    // One more bad reading proves the rehydration: a guard that kept
+    // its 9-deep invalid run answers from the fallback rung, where a
+    // fresh guard would only now be starting its first hold.
+    let bad = vec![("alpha".to_string(), obs(300.0))];
+    let a = restarted.tick(&bad).unwrap();
+    let b = reference.tick(&bad).unwrap();
+    assert_eq!(a[0].state.name(), b[0].state.name());
+    assert_eq!(
+        a[0].state.name(),
+        "fallback",
+        "a fresh (non-rehydrated) guard could not be this deep in the ladder"
+    );
+
+    // From here both controllers see a clean stream: every decision and
+    // guard rung must match bit-for-bit.
+    for step in 0..40 {
+        let r = vec![("alpha".to_string(), obs(15.0 + f64::from(step) * 0.2))];
+        let a = restarted.tick(&r).unwrap();
+        let b = reference.tick(&r).unwrap();
+        assert_eq!(a[0].action, b[0].action, "step {step}");
+        assert_eq!(a[0].state.name(), b[0].state.name(), "step {step}");
+    }
+
+    // Seal and audit: green, exactly one recovery record, torn bytes
+    // gone.
+    drop(restarted);
+    let text = std::fs::read_to_string(dir.join("alpha.jsonl")).unwrap();
+    assert!(!text.contains("\"seq\":99,\"prev"), "torn tail truncated");
+    let report = Auditor::new(&text).with_policy(&toy_policy(20.0)).run();
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.recoveries, 1, "{report}");
+    assert!(report.sealed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reload_diffs_swaps_archives_and_rolls_back_atomically() {
+    use veri_hvac::fleet::TenantSpec;
+    let dir = fresh_dir("reload");
+    let fleet = Fleet::new(FleetOptions {
+        audit_dir: Some(dir.clone()),
+        ..FleetOptions::default()
+    });
+    fleet.add_tenant("a", toy_policy(20.0), None).unwrap();
+    fleet.add_tenant("b", toy_policy(17.0), None).unwrap();
+    let batch = vec![("a".to_string(), obs(18.0)), ("b".to_string(), obs(18.0))];
+    fleet.tick(&batch).unwrap();
+    // 18 °C under b's split of 17: off.
+    assert_eq!(fleet.tick(&batch).unwrap()[1].action, SetpointAction::off());
+
+    let spec = |id: &str, split: f64| TenantSpec {
+        id: id.to_string(),
+        policy: toy_policy(split),
+        certificate_id: None,
+    };
+    let report = fleet
+        .reload(vec![spec("a", 20.0), spec("b", 19.0), spec("c", 20.0)])
+        .unwrap();
+    assert_eq!(report.added, vec!["c".to_string()]);
+    assert_eq!(report.changed, vec!["b".to_string()]);
+    assert!(report.removed.is_empty());
+    assert_eq!(report.unchanged, vec!["a".to_string()]);
+    assert_eq!(fleet.tenant_ids(), ["a", "b", "c"]);
+
+    // b immediately serves the new split: 18 °C now heats.
+    assert_eq!(fleet.tick(&batch).unwrap()[1].action.heating(), 23);
+    // Its superseded chain was sealed and archived; the live file is a
+    // fresh genesis. The unchanged tenant's chain carried straight on.
+    let archived = std::fs::read_to_string(dir.join("b.jsonl.archived-1")).unwrap();
+    assert!(
+        archived
+            .lines()
+            .last()
+            .unwrap()
+            .contains("\"kind\":\"seal\""),
+        "archived chain must be sealed"
+    );
+    let live = std::fs::read_to_string(dir.join("b.jsonl")).unwrap();
+    assert_eq!(
+        live.lines()
+            .filter(|l| l.contains("\"kind\":\"genesis\""))
+            .count(),
+        1
+    );
+    assert!(!dir.join("a.jsonl.archived-1").exists());
+
+    // Dropping c from the manifest seals and archives its chain too.
+    let report = fleet
+        .reload(vec![spec("a", 20.0), spec("b", 19.0)])
+        .unwrap();
+    assert_eq!(report.removed, vec!["c".to_string()]);
+    assert_eq!(fleet.tenant_ids(), ["a", "b"]);
+    assert!(dir.join("c.jsonl.archived-1").exists());
+    assert!(!dir.join("c.jsonl").exists());
+
+    // An empty manifest and an invalid spec are both refused with the
+    // serving roster intact and no stray scratch files.
+    assert!(fleet.reload(Vec::new()).is_err());
+    let err = fleet
+        .reload(vec![spec("a", 20.0), spec("../evil", 20.0)])
+        .unwrap_err();
+    assert!(err.contains("invalid tenant id"), "{err}");
+    assert_eq!(fleet.tenant_ids(), ["a", "b"]);
+    assert!(
+        std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .contains(".new")),
+        "failed reloads must clean up their scratch chains"
+    );
+    drop(fleet);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admin_reload_swaps_under_load_without_tearing_batches() {
+    use std::sync::atomic::AtomicUsize;
+    use veri_hvac::fleet::{serve_fleet_with_reload, TenantSpec};
+    let fleet = Fleet::new(FleetOptions::default());
+    fleet.add_tenant("a", toy_policy(20.0), None).unwrap();
+    fleet.add_tenant("b", toy_policy(17.0), None).unwrap();
+
+    // Each reload flips b between two splits; a never changes.
+    let flips = Arc::new(AtomicUsize::new(0));
+    let source_flips = Arc::clone(&flips);
+    let source: Arc<veri_hvac::fleet::ReloadSource> = Arc::new(move || {
+        let n = source_flips.fetch_add(1, Ordering::Relaxed) + 1;
+        let split = if n.is_multiple_of(2) { 17.0 } else { 19.0 };
+        Ok(vec![
+            TenantSpec {
+                id: "a".to_string(),
+                policy: toy_policy(20.0),
+                certificate_id: None,
+            },
+            TenantSpec {
+                id: "b".to_string(),
+                policy: toy_policy(split),
+                certificate_id: None,
+            },
+        ])
+    });
+    let server = serve_fleet_with_reload(fleet, "127.0.0.1:0", Some(source)).expect("bind");
+    let addr = server.addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let off_heat = SetpointAction::off().heating() as u64;
+    let hammers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = BlockingClient::connect(addr).unwrap();
+                let body = r#"{"requests":[
+                    {"tenant":"a","observation":{"zone_temperature":18.0}},
+                    {"tenant":"b","observation":{"zone_temperature":18.0}}]}"#;
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, _, text) = client.request("POST", "/tick", &[], body).unwrap();
+                    // Never a torn batch: always both answers, a's from
+                    // its stable policy, b's from one of the two live
+                    // splits.
+                    assert_eq!(status, 200, "{text}");
+                    let v = parse(&text).unwrap();
+                    assert_eq!(
+                        v.get("count").and_then(JsonValue::as_u64),
+                        Some(2),
+                        "{text}"
+                    );
+                    let d = v.get("decisions").and_then(JsonValue::as_array).unwrap();
+                    assert_eq!(
+                        d[0].get("heating_setpoint").and_then(JsonValue::as_u64),
+                        Some(23),
+                        "{text}"
+                    );
+                    let b_heat = d[1]
+                        .get("heating_setpoint")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap();
+                    assert!(b_heat == 23 || b_heat == off_heat, "{text}");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Reload repeatedly while the batches fly.
+    let mut admin = BlockingClient::connect(addr).unwrap();
+    for i in 0..6 {
+        let (status, _, text) = admin.request("POST", "/admin/reload", &[], "").unwrap();
+        assert_eq!(status, 200, "reload {i}: {text}");
+        let v = parse(&text).unwrap();
+        let changed = v.get("changed").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(changed.len(), 1, "reload {i}: {text}");
+        assert_eq!(v.get("unchanged").and_then(JsonValue::as_u64), Some(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let served: Vec<u64> = hammers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(served.iter().all(|&n| n > 0), "{served:?}");
+    assert!(flips.load(Ordering::Relaxed) >= 6);
     server.shutdown();
 }

@@ -21,7 +21,12 @@
 //!   are untouched, so episode metrics always measure reality;
 //! * [`corrupt_weather_trace`] — the simulator-side variant: corrupts a
 //!   weather trace itself, so the building *physically experiences* the
-//!   anomaly instead of merely reporting it.
+//!   anomaly instead of merely reporting it;
+//! * [`FaultyWriter`] — the persistence-side variant: a seeded
+//!   [`std::io::Write`] adapter ([`WriteFaultSchedule`]) that tears
+//!   writes, fills the disk (`ENOSPC`), fails flushes (`EIO`) and
+//!   injects latency spikes, for crash-recovery tests of append-only
+//!   stores such as the audit chain.
 //!
 //! [`FaultModel`] names each model and carries a three-point intensity
 //! ladder used by the `fault_robustness` bench and the CLI.
@@ -49,7 +54,9 @@
 pub mod env;
 pub mod model;
 pub mod schedule;
+pub mod writer;
 
 pub use env::{corrupt_weather_trace, FaultedEnv};
 pub use model::{Fault, FaultKind, FaultModel};
 pub use schedule::{FaultInjector, FaultSchedule};
+pub use writer::{FaultyWriter, WriteFault, WriteFaultKind, WriteFaultSchedule};

@@ -1,0 +1,322 @@
+//! Deterministic I/O fault injection for append-only writers.
+//!
+//! The sensor faults in [`crate::schedule`] corrupt what a policy
+//! *observes*; the faults here corrupt what a chain *persists*. A
+//! [`FaultyWriter`] wraps any [`std::io::Write`] sink and replays a
+//! seeded [`WriteFaultSchedule`] against it: short writes that leave a
+//! torn record on disk, a disk that fills mid-append (`ENOSPC`), flushes
+//! that fail (`EIO`), and latency spikes that stall the write path. Like
+//! [`crate::FaultSchedule`], the same seed replays the same corruption
+//! bit-identically, so crash-recovery tests are reproducible.
+
+use hvac_stats::seeded_rng;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::io::{self, Write};
+use std::time::Duration;
+
+/// The write-path failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WriteFaultKind {
+    /// On a probability roll, forward only the first half of the buffer
+    /// (at least one byte) and report the partial count. A buffering
+    /// caller that retries sees no damage; a caller that dies after the
+    /// partial write leaves a torn tail.
+    ShortWrite {
+        /// Chance that an active write is cut short.
+        probability: f64,
+    },
+    /// Accept exactly `budget` bytes in total, then fail every further
+    /// write with the OS `ENOSPC` code — a disk that fills mid-append.
+    /// The final accepted write is capped to the remaining budget, which
+    /// is what tears a length-prefixed record.
+    DiskFull {
+        /// Total bytes the sink accepts before reporting full.
+        budget: u64,
+    },
+    /// On a probability roll, fail `flush` with the OS `EIO` code — an
+    /// fsync that reports failure after the bytes were buffered.
+    FlushFail {
+        /// Chance that an active flush fails.
+        probability: f64,
+    },
+    /// On a probability roll, stall the write by `micros` microseconds —
+    /// a latency spike from a contended or remounting volume.
+    Latency {
+        /// Chance that an active write stalls.
+        probability: f64,
+        /// Stall duration in microseconds.
+        micros: u64,
+    },
+}
+
+/// One write-path fault bound to an activation window over write-call
+/// indices (`[start, end)`, matching [`crate::Fault`] semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteFault {
+    /// The failure mode.
+    pub kind: WriteFaultKind,
+    /// Half-open `[start, end)` window of write/flush call indices on
+    /// which the fault is live.
+    pub window: (u64, u64),
+}
+
+impl WriteFault {
+    /// Whether the fault is live on the given call index.
+    pub fn is_active(&self, call: u64) -> bool {
+        call >= self.window.0 && call < self.window.1
+    }
+}
+
+/// A seeded list of write faults. Pure configuration: replaying the same
+/// schedule against the same write sequence corrupts bit-identically,
+/// because every stochastic fault draws from its own stream derived from
+/// `(seed, fault index)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteFaultSchedule {
+    seed: u64,
+    faults: Vec<WriteFault>,
+}
+
+impl WriteFaultSchedule {
+    /// An empty schedule (a guaranteed pass-through) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: WriteFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The configured faults, in application order.
+    pub fn faults(&self) -> &[WriteFault] {
+        &self.faults
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the schedule corrupts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// A [`Write`] adapter that applies a [`WriteFaultSchedule`] to an inner
+/// sink.
+///
+/// Faults apply in schedule order on each call; probability rolls are
+/// drawn on every *active* call whatever the outcome, so the per-fault
+/// streams stay aligned (the same idiom as [`crate::FaultInjector`]).
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    schedule: WriteFaultSchedule,
+    rngs: Vec<StdRng>,
+    calls: u64,
+    written: u64,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, positioned at write-call index 0.
+    pub fn new(inner: W, schedule: WriteFaultSchedule) -> Self {
+        let rngs = (0..schedule.faults.len())
+            .map(|i| {
+                // Golden-ratio stride decorrelates per-fault streams
+                // while keeping them a pure function of (seed, index).
+                seeded_rng(
+                    schedule
+                        .seed
+                        .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                )
+            })
+            .collect();
+        Self {
+            inner,
+            schedule,
+            rngs,
+            calls: 0,
+            written: 0,
+        }
+    }
+
+    /// Total bytes the inner sink has accepted.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Write/flush calls seen so far.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+fn enospc() -> io::Error {
+    // 28 = ENOSPC on Linux; keeps the error distinguishable from EIO
+    // without taking a libc dependency.
+    io::Error::from_raw_os_error(28)
+}
+
+fn eio() -> io::Error {
+    io::Error::from_raw_os_error(5)
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let call = self.calls;
+        self.calls += 1;
+        let mut keep = buf.len();
+        for (fault, rng) in self.schedule.faults.iter().zip(self.rngs.iter_mut()) {
+            if !fault.is_active(call) {
+                continue;
+            }
+            match fault.kind {
+                WriteFaultKind::Latency {
+                    probability,
+                    micros,
+                } => {
+                    let roll: f64 = rng.gen();
+                    if roll < probability {
+                        std::thread::sleep(Duration::from_micros(micros));
+                    }
+                }
+                WriteFaultKind::DiskFull { budget } => {
+                    if self.written >= budget {
+                        return Err(enospc());
+                    }
+                    keep = keep.min((budget - self.written) as usize);
+                }
+                WriteFaultKind::ShortWrite { probability } => {
+                    let roll: f64 = rng.gen();
+                    if roll < probability {
+                        keep = keep.min(buf.len().div_ceil(2).max(1));
+                    }
+                }
+                WriteFaultKind::FlushFail { .. } => {}
+            }
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let n = self.inner.write(&buf[..keep])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let call = self.calls;
+        self.calls += 1;
+        for (fault, rng) in self.schedule.faults.iter().zip(self.rngs.iter_mut()) {
+            if !fault.is_active(call) {
+                continue;
+            }
+            if let WriteFaultKind::FlushFail { probability } = fault.kind {
+                let roll: f64 = rng.gen();
+                if roll < probability {
+                    return Err(eio());
+                }
+            }
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_all_records(writer: &mut impl Write, records: usize) -> io::Result<()> {
+        for i in 0..records {
+            let line = format!("record {i:04} payload payload payload\n");
+            writer.write_all(line.as_bytes())?;
+        }
+        writer.flush()
+    }
+
+    #[test]
+    fn empty_schedule_is_a_pass_through() {
+        let mut writer = FaultyWriter::new(Vec::new(), WriteFaultSchedule::new(1));
+        write_all_records(&mut writer, 10).unwrap();
+        let mut clean = Vec::new();
+        write_all_records(&mut clean, 10).unwrap();
+        assert_eq!(writer.into_inner(), clean);
+    }
+
+    #[test]
+    fn disk_full_tears_exactly_at_the_byte_budget() {
+        let schedule = WriteFaultSchedule::new(1).with(WriteFault {
+            kind: WriteFaultKind::DiskFull { budget: 100 },
+            window: (0, u64::MAX),
+        });
+        let mut writer = FaultyWriter::new(Vec::new(), schedule);
+        let err = write_all_records(&mut writer, 10).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(writer.bytes_written(), 100);
+        let torn = writer.into_inner();
+        assert_eq!(torn.len(), 100);
+        // The prefix is byte-identical to a clean run.
+        let mut clean = Vec::new();
+        write_all_records(&mut clean, 10).unwrap();
+        assert_eq!(torn[..], clean[..100]);
+        // And 100 bytes lands mid-record: the tail is torn.
+        assert_ne!(torn.last(), Some(&b'\n'));
+    }
+
+    #[test]
+    fn short_writes_report_partial_counts_deterministically() {
+        let schedule = WriteFaultSchedule::new(7).with(WriteFault {
+            kind: WriteFaultKind::ShortWrite { probability: 0.5 },
+            window: (0, u64::MAX),
+        });
+        let run = |seed_schedule: WriteFaultSchedule| {
+            let mut writer = FaultyWriter::new(Vec::new(), seed_schedule);
+            let counts: Vec<usize> = (0..40)
+                .map(|_| writer.write(b"0123456789abcdef").unwrap())
+                .collect();
+            (counts, writer.into_inner())
+        };
+        let (counts_a, bytes_a) = run(schedule.clone());
+        let (counts_b, bytes_b) = run(schedule);
+        assert_eq!(counts_a, counts_b);
+        assert_eq!(bytes_a, bytes_b);
+        assert!(counts_a.contains(&8), "some writes cut short");
+        assert!(counts_a.contains(&16), "some writes intact");
+        // write_all-style retry recovers everything despite the cuts.
+        let schedule = WriteFaultSchedule::new(7).with(WriteFault {
+            kind: WriteFaultKind::ShortWrite { probability: 0.5 },
+            window: (0, u64::MAX),
+        });
+        let mut writer = FaultyWriter::new(Vec::new(), schedule);
+        write_all_records(&mut writer, 10).unwrap();
+        let mut clean = Vec::new();
+        write_all_records(&mut clean, 10).unwrap();
+        assert_eq!(writer.into_inner(), clean);
+    }
+
+    #[test]
+    fn flush_fail_reports_eio_only_inside_its_window() {
+        let schedule = WriteFaultSchedule::new(1).with(WriteFault {
+            kind: WriteFaultKind::FlushFail { probability: 1.0 },
+            window: (2, 3),
+        });
+        let mut writer = FaultyWriter::new(Vec::new(), schedule);
+        writer.flush().unwrap(); // call 0: outside window
+        assert_eq!(writer.write(b"x").unwrap(), 1); // call 1
+        let err = writer.flush().unwrap_err(); // call 2: active
+        assert_eq!(err.raw_os_error(), Some(5));
+        writer.flush().unwrap(); // call 3: window closed
+    }
+}

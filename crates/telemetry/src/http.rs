@@ -641,7 +641,9 @@ fn accept_loop(
 /// structured error instead of a connection reset.
 fn shed_busy(mut stream: TcpStream) {
     counter("http.rejected").incr();
+    counter("http.shed").incr();
     if Response::error(503, "server busy")
+        .with_header("Retry-After", "1")
         .write_to(&mut stream, false)
         .is_err()
     {
@@ -1509,14 +1511,28 @@ mod tests {
             .expect("bind");
         let addr = server.addr();
         let handles: Vec<_> = (0..8)
-            .map(|_| std::thread::spawn(move || blocking_request(addr, "GET", "/slow", "")))
+            .map(|_| {
+                std::thread::spawn(move || {
+                    BlockingClient::connect(addr)
+                        .and_then(|mut c| c.request("GET", "/slow", &[], ""))
+                })
+            })
             .collect();
         let mut ok = 0usize;
         let mut shed = 0usize;
         for h in handles {
             match h.join().unwrap() {
-                Ok((200, _)) => ok += 1,
-                Ok((503, _)) => shed += 1,
+                Ok((200, _, _)) => ok += 1,
+                Ok((503, headers, _)) => {
+                    shed += 1;
+                    // Shed responses tell well-behaved clients when to
+                    // come back.
+                    let retry = headers
+                        .iter()
+                        .find(|(n, _)| n.eq_ignore_ascii_case("retry-after"))
+                        .map(|(_, v)| v.as_str());
+                    assert_eq!(retry, Some("1"), "shed 503 must carry Retry-After");
+                }
                 other => panic!("unexpected response: {other:?}"),
             }
         }
