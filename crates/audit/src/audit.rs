@@ -18,6 +18,7 @@
 //! | records reordered           | `chain_links`                |
 //! | truncation after checkpoint | `seal`                       |
 //! | wrong policy / certificate  | `certificate` / `policy`     |
+//! | swapped/tampered compiled kernel | `compiled`              |
 //! | crash-torn final record     | `lines` (class `torn_tail`)  |
 //! | forged recovery record      | `recovery`                   |
 //!
@@ -29,6 +30,7 @@
 //! `AuditChain::recover`) is safe there and unsafe everywhere else.
 
 use hvac_control::DtPolicy;
+use hvac_dtree::{prove_equivalence, CompileOptions, CompiledTree};
 use hvac_env::Observation;
 use hvac_env::Policy;
 use hvac_telemetry::json::{parse, ObjectWriter};
@@ -68,7 +70,7 @@ impl Default for AuditOptions {
 pub struct AuditCheck {
     /// Stable check name (`lines`, `record_hashes`, `chain_links`,
     /// `genesis`, `checkpoints`, `recovery`, `seal`, `certificate`,
-    /// `policy`, `replay`).
+    /// `policy`, `compiled`, `replay`).
     pub name: &'static str,
     /// Whether the check passed.
     pub passed: bool,
@@ -201,6 +203,7 @@ pub struct Auditor<'a> {
     options: AuditOptions,
     policy: Option<&'a DtPolicy>,
     certificate: Option<&'a Certificate>,
+    compiled_artifact: Option<&'a str>,
 }
 
 impl<'a> Auditor<'a> {
@@ -211,6 +214,7 @@ impl<'a> Auditor<'a> {
             options: AuditOptions::default(),
             policy: None,
             certificate: None,
+            compiled_artifact: None,
         }
     }
 
@@ -234,6 +238,17 @@ impl<'a> Auditor<'a> {
     #[must_use]
     pub fn with_certificate(mut self, certificate: &'a Certificate) -> Self {
         self.certificate = Some(certificate);
+        self
+    }
+
+    /// Supplies the compiled flat-kernel artifact (`ctree v1` text),
+    /// enabling the `compiled` binding check: the artifact must hash to
+    /// the certificate's `compiled_hash`, parse, and — when the policy
+    /// is also supplied — re-prove exhaustively equivalent to the tree
+    /// it claims to compile.
+    #[must_use]
+    pub fn with_compiled_artifact(mut self, artifact: &'a str) -> Self {
+        self.compiled_artifact = Some(artifact);
         self
     }
 
@@ -551,7 +566,66 @@ impl<'a> Auditor<'a> {
             });
         }
 
-        // 10. replay: a stride sample of guard-normal decisions, re-run
+        // 10. compiled: the fast-path artifact is the one the
+        // certificate committed to, and it still computes the same
+        // function as the verified tree. Hash binding catches a swapped
+        // or edited file; the re-proof catches the (paranoid) case of a
+        // hash-colliding-by-construction certificate: even a *bound*
+        // artifact must re-prove equivalent when the policy is present.
+        if let Some(artifact) = self.compiled_artifact {
+            let actual = sha256_hex(artifact.as_bytes());
+            let mut detail: Result<String, String> = Ok(format!(
+                "compiled artifact hashes to {actual:.12}… and parses"
+            ));
+            if let Some(cert) = self.certificate {
+                if cert.compiled_hash.is_empty() {
+                    detail = Err(
+                        "a compiled artifact was supplied but the certificate carries no \
+                         compiled_hash — nothing binds this kernel to the verified policy"
+                            .to_string(),
+                    );
+                } else if cert.compiled_hash != actual {
+                    detail = Err(format!(
+                        "compiled artifact hashes to {actual:.12}… but the certificate \
+                         committed {:.12}… (artifact swapped or tampered)",
+                        cert.compiled_hash
+                    ));
+                }
+            }
+            if detail.is_ok() {
+                match CompiledTree::from_compact_string(artifact, CompileOptions::default()) {
+                    Err(e) => detail = Err(format!("compiled artifact does not parse: {e}")),
+                    Ok(kernel) => {
+                        if let Some(policy) = self.policy {
+                            match prove_equivalence(policy.tree(), &kernel) {
+                                Ok(proof) => {
+                                    detail = Ok(format!(
+                                        "artifact hash bound; equivalence re-proven over \
+                                         {} probes across {} leaf boxes",
+                                        proof.probes, proof.leaves
+                                    ));
+                                }
+                                Err(e) => {
+                                    detail = Err(format!(
+                                        "compiled kernel is NOT equivalent to the policy \
+                                         tree: {e}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            checks.push(AuditCheck {
+                name: "compiled",
+                passed: detail.is_ok(),
+                detail: match detail {
+                    Ok(d) | Err(d) => d,
+                },
+            });
+        }
+
+        // 11. replay: a stride sample of guard-normal decisions, re-run
         // through the policy, must reproduce bit-identical actions.
         // (Degraded-rung actions depend on guard state accumulated
         // across the whole session, so only `normal` rows are

@@ -37,9 +37,9 @@ fn toy_policy() -> DtPolicy {
     DtPolicy::new(tree).unwrap()
 }
 
-/// A bound certificate covering `policy` (synthetic verification
+/// An unbound certificate covering `policy` (synthetic verification
 /// outcome — the binding, not the verification math, is under test).
-fn toy_certificate(policy: &DtPolicy) -> Certificate {
+fn unbound_certificate(policy: &DtPolicy) -> Certificate {
     let report = VerificationReport {
         total_nodes: 7,
         leaf_nodes: 4,
@@ -52,13 +52,17 @@ fn toy_certificate(policy: &DtPolicy) -> Certificate {
         corrected_criterion_3: 0,
     };
     let config = VerificationConfig::paper();
-    bind_certificate(Certificate::new(
+    Certificate::new(
         policy_hash(policy),
         report,
         &config,
         0.1,
         vec!["dataset/0011223344556677".to_string()],
-    ))
+    )
+}
+
+fn toy_certificate(policy: &DtPolicy) -> Certificate {
+    bind_certificate(unbound_certificate(policy))
 }
 
 /// A scratch path under the target-dir tempdir, unique per test.
@@ -327,6 +331,115 @@ fn policy_and_certificate_mismatches_are_detected() {
     assert!(
         failed_names(&report).contains(&"certificate"),
         "forged certificate id must fail: {report}"
+    );
+}
+
+#[test]
+fn tampered_compiled_artifact_fails_the_compiled_check() {
+    let policy = toy_policy();
+    let artifact = policy
+        .compiled_artifact()
+        .expect("the toy tree compiles and proves");
+    let certificate = bind_certificate(
+        unbound_certificate(&policy).with_compiled_hash(hvac_audit::compiled_hash(&artifact)),
+    );
+    let text = record_session(
+        "compiled.jsonl",
+        &policy,
+        &certificate.certificate_id,
+        30,
+        16,
+    );
+
+    // The genuine artifact audits green, with the compiled check on
+    // record (hash bound AND equivalence re-proven against the tree).
+    let report = Auditor::new(&text)
+        .with_policy(&policy)
+        .with_certificate(&certificate)
+        .with_compiled_artifact(&artifact)
+        .run();
+    assert!(report.passed(), "{report}");
+    let compiled = report
+        .checks
+        .iter()
+        .find(|c| c.name == "compiled")
+        .expect("compiled check must run when an artifact is supplied");
+    assert!(
+        compiled.detail.contains("re-proven"),
+        "clean audit must re-prove equivalence: {}",
+        compiled.detail
+    );
+
+    // Edit one threshold digit in the artifact: the hash binding must
+    // object before the kernel ever serves.
+    let digit = artifact
+        .lines()
+        .find(|l| l.starts_with("N "))
+        .expect("toy tree has a split line");
+    let tampered = artifact.replacen(digit, &format!("{digit} "), 1);
+    assert_ne!(tampered, artifact);
+    let report = Auditor::new(&text)
+        .with_policy(&policy)
+        .with_certificate(&certificate)
+        .with_compiled_artifact(&tampered)
+        .run();
+    assert_eq!(failed_names(&report), vec!["compiled"], "{report}");
+    assert!(
+        report.first_failure().unwrap().detail.contains("committed"),
+        "failure must name the hash mismatch: {report}"
+    );
+
+    // A certificate with no compiled binding cannot vouch for any
+    // artifact: supplying one is itself a failure, not a silent skip.
+    let unbound = toy_certificate(&policy);
+    let text2 = record_session("compiled2.jsonl", &policy, &unbound.certificate_id, 30, 16);
+    let report = Auditor::new(&text2)
+        .with_policy(&policy)
+        .with_certificate(&unbound)
+        .with_compiled_artifact(&artifact)
+        .run();
+    assert_eq!(failed_names(&report), vec!["compiled"], "{report}");
+
+    // A *bound* artifact for the wrong tree: the hash agrees with the
+    // (forged) certificate, so only the equivalence re-proof can catch
+    // it — and must.
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    let space = ActionSpace::new();
+    let low = space.index_of(SetpointAction::new(18, 26).unwrap());
+    for i in 0..20 {
+        let mut row = vec![0.0; POLICY_INPUT_DIM];
+        row[feature::ZONE_TEMPERATURE] = 14.0 + f64::from(i) * 0.5;
+        inputs.push(row);
+        labels.push(if i < 10 { low } else { 0 });
+    }
+    let other = DtPolicy::new(
+        DecisionTree::fit(&inputs, &labels, space.len(), &TreeConfig::default()).unwrap(),
+    )
+    .unwrap();
+    let foreign = other.compiled_artifact().expect("other tree compiles");
+    let forged = bind_certificate(
+        unbound_certificate(&policy).with_compiled_hash(hvac_audit::compiled_hash(&foreign)),
+    );
+    let text3 = record_session("compiled3.jsonl", &policy, &forged.certificate_id, 30, 16);
+    let report = Auditor::new(&text3)
+        .with_policy(&policy)
+        .with_certificate(&forged)
+        .with_compiled_artifact(&foreign)
+        .run();
+    assert!(
+        failed_names(&report).contains(&"compiled"),
+        "a hash-bound but non-equivalent kernel must fail the re-proof: {report}"
+    );
+    assert!(
+        report
+            .checks
+            .iter()
+            .find(|c| c.name == "compiled")
+            .unwrap()
+            .detail
+            .contains("NOT equivalent"),
+        "{report}"
     );
 }
 

@@ -29,6 +29,11 @@ pub enum ControlError {
         /// Actions in the action space.
         actions: usize,
     },
+    /// The decision tree itself was malformed — a parse failure or a
+    /// structural offense (cycle, dangling child, NaN threshold). The
+    /// wrapped [`hvac_dtree::TreeError`] names the exact problem, so
+    /// manifest loaders can surface it per tenant instead of panicking.
+    BadTree(hvac_dtree::TreeError),
 }
 
 impl fmt::Display for ControlError {
@@ -49,11 +54,19 @@ impl fmt::Display for ControlError {
                     "tree has {tree} classes but the action space has {actions}"
                 )
             }
+            ControlError::BadTree(err) => write!(f, "malformed decision tree: {err}"),
         }
     }
 }
 
-impl Error for ControlError {}
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::BadTree(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -71,6 +84,7 @@ mod tests {
                 tree: 10,
                 actions: 90,
             },
+            ControlError::BadTree(hvac_dtree::TreeError::CycleDetected { node: 3 }),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

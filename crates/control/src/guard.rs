@@ -22,6 +22,17 @@
 //! `guard.holds`, `guard.fallbacks`, `guard.failsafes` counters and the
 //! `guard.state` gauge (0 = normal, 1 = hold, 2 = fallback,
 //! 3 = fail-safe).
+//!
+//! **Observation NaNs are the guard's job.** A decision tree routes NaN
+//! right at every split (`x <= t` is false for NaN) — silently, in both
+//! the enum walk and the compiled kernel, which replicate each other
+//! exactly on hostile inputs. That accidental asymmetry is not a
+//! decision anyone designed, so the contract here is stronger: every
+//! observation the guard hands to the wrapped policy is fully finite
+//! (rejected fields are held, or the ladder resolves the action without
+//! consulting the tree), meaning `Tree::apply` never sees a NaN in
+//! production. The `no_nan_ever_reaches_the_wrapped_tree` test pins
+//! this down.
 
 use crate::rule_based::RuleBasedController;
 use hvac_env::space::feature;
@@ -817,6 +828,48 @@ mod tests {
         assert_eq!(guarded.state(), GuardState::Hold);
         assert_eq!(guarded.stats().rejections, 1);
         assert_eq!(guarded.stats().holds, 1);
+    }
+
+    #[test]
+    fn no_nan_ever_reaches_the_wrapped_tree() {
+        // The kernels route NaN right at every split by IEEE accident,
+        // not by design; the *contract* is that observation NaNs are the
+        // guard's job. Under a hostile barrage of NaN/∞ in every field,
+        // every observation the guard hands to the Policy arm must be
+        // fully finite — `Tree::apply` never sees a NaN in production.
+        let mut guarded =
+            GuardedPolicy::new(toy_policy(), GuardConfig::new(ComfortRange::winter()));
+        guarded.decide(&obs(19.0, 0)); // seed last-good values
+        let hostile = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        for step in 1..60 {
+            let mut o = obs(19.0 + (step % 3) as f64, step);
+            let field = step % (POLICY_INPUT_DIM + 1);
+            let value = hostile[step % hostile.len()];
+            match field {
+                0 => o.zone_temperature = value,
+                1 => o.disturbances.outdoor_temperature = value,
+                2 => o.disturbances.relative_humidity = value,
+                3 => o.disturbances.wind_speed = value,
+                4 => o.disturbances.solar_radiation = value,
+                5 => o.disturbances.occupant_count = value,
+                _ => o.disturbances.hour_of_day = value,
+            }
+            match guarded.route(&o) {
+                GuardRoute::Policy { observation, state } => {
+                    assert!(
+                        observation.to_vector().iter().all(|v| v.is_finite()),
+                        "guard leaked a non-finite field to the policy at step {step}"
+                    );
+                    let action = guarded.inner_mut().decide(&observation);
+                    guarded.commit(state, action);
+                }
+                GuardRoute::Resolved { action, state } => {
+                    // Degraded rung: the wrapped tree is not consulted.
+                    guarded.commit(state, action);
+                }
+            }
+        }
+        assert!(guarded.stats().rejections > 0, "barrage must be noticed");
     }
 
     #[test]

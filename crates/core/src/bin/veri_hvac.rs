@@ -69,8 +69,8 @@ USAGE:
                      [--flight-capacity N] [--require-certificate]
                      [--snapshot-every SECS] [--duration SECS]
   veri-hvac audit    --chain FILE [--policy FILE] [--certificate FILE]
-                     [--cache-dir DIR] [--replay N] [--allow-unsealed]
-                     [--json] [--recover]
+                     [--compiled FILE] [--cache-dir DIR] [--replay N]
+                     [--allow-unsealed] [--json] [--recover]
 
 GLOBAL FLAGS:
   --verbose          stderr progress at debug level (span timings included)
@@ -120,7 +120,10 @@ replaced tenants' chains are sealed and archived.
 
 `verify` writes certificate.json beside the policy: the verification
 verdict bound (SHA-256) to the exact policy bytes, inputs, and artifact
-hashes. `serve` picks the certificate up automatically (or via
+hashes. It also compiles the verified tree into a flat serving kernel,
+proves the kernel equivalent over the verification box grid, writes it
+as policy.ctree, and commits its hash into the certificate
+(compiled_hash). `serve` picks the certificate up automatically (or via
 --certificate FILE / the --cache-dir store), reports it on
 GET /version, warns when serving uncertified, and refuses with
 --require-certificate. A wrong or edited certificate is always refused.
@@ -140,7 +143,10 @@ availability, and guard-integrity objectives. `audit`
 re-verifies such a chain offline: every hash, link, and checkpoint
 digest is recomputed, the certificate binding is checked, and sampled
 decisions are re-executed through the policy (--replay N, default 64)
-for bit-identical actions. `--allow-unsealed` tolerates chains from
+for bit-identical actions. `--compiled FILE` additionally checks the
+flat serving kernel: the artifact must hash to the certificate's
+compiled_hash and (with --policy) re-prove exhaustively equivalent to
+the verified tree, so a swapped or tampered policy.ctree fails loudly. `--allow-unsealed` tolerates chains from
 signal-killed serves; `--json` prints the machine-readable report
 (its failure_class field separates a crash's torn_tail from a
 tampered bad_hash). A torn-tail failure names the exact byte offset —
@@ -460,21 +466,51 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
         println!("corrected policy written to {corrected_path}");
     }
 
+    // Compile the (post-correction) tree into its flat serving kernel
+    // and write the artifact beside the policy. `recompile` re-proves
+    // exhaustive equivalence over the verification box grid before
+    // handing back a kernel, so a written `policy.ctree` is *proven*,
+    // not just derived.
+    let mut compiled_hash = String::new();
+    match policy.recompile() {
+        Some(proof) => {
+            let artifact = policy
+                .compiled_artifact()
+                .expect("recompile returned a proof, so the artifact exists");
+            let compiled_path = artifacts_dir.join("policy.ctree");
+            std::fs::write(&compiled_path, &artifact)
+                .map_err(|e| format!("cannot write {}: {e}", compiled_path.display()))?;
+            compiled_hash = hvac_audit::compiled_hash(&artifact);
+            println!(
+                "compiled kernel proven equivalent ({} probes across {} leaf boxes), \
+                 written to {}",
+                proof.probes,
+                proof.leaves,
+                compiled_path.display()
+            );
+        }
+        None => println!("compiled kernel unavailable; policy will serve via the enum walk"),
+    }
+
     // Emit the verification certificate: the verdict bound to the
     // exact (post-correction) policy bytes, the verification inputs,
-    // and the hashes of the artifacts it ran against. `serve` and
-    // `audit` check this binding end to end.
+    // the compiled kernel (when one was proven), and the hashes of the
+    // artifacts it ran against. `serve` and `audit` check this binding
+    // end to end.
     let artifact_keys = vec![
         artifact_key_for(&policy_path)?,
         artifact_key_for(&model_path)?,
     ];
-    let certificate = hvac_audit::bind_certificate(Certificate::new(
-        hvac_audit::policy_hash(&policy),
-        report,
-        &config,
-        augmenter.noise_level(),
-        artifact_keys,
-    ));
+    let certificate = hvac_audit::bind_certificate(
+        Certificate::new(
+            hvac_audit::policy_hash(&policy),
+            report,
+            &config,
+            augmenter.noise_level(),
+            artifact_keys,
+        )
+        .with_compiled_hash(compiled_hash),
+    );
     let certificate_path = artifacts_dir.join("certificate.json");
     std::fs::write(&certificate_path, certificate.to_json_string())
         .map_err(|e| format!("cannot write {}: {e}", certificate_path.display()))?;
@@ -1314,6 +1350,17 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
             .transpose()?,
     };
 
+    // `--compiled FILE` supplies the flat-kernel artifact for the
+    // binding check: it must hash to the certificate's compiled_hash
+    // and (with --policy) re-prove exhaustively equivalent to the tree.
+    let compiled_artifact = args
+        .flag("compiled")
+        .map(|path| {
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read compiled artifact {path}: {e}"))
+        })
+        .transpose()?;
+
     let replay_sample: usize = args
         .flag("replay")
         .map(|v| v.parse().map_err(|_| "--replay must be a number"))
@@ -1328,6 +1375,9 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     }
     if let Some(c) = &certificate {
         auditor = auditor.with_certificate(c);
+    }
+    if let Some(artifact) = &compiled_artifact {
+        auditor = auditor.with_compiled_artifact(artifact);
     }
     let report = auditor.run();
 

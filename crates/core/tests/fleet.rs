@@ -623,6 +623,87 @@ fn reload_diffs_swaps_archives_and_rolls_back_atomically() {
 }
 
 #[test]
+fn tick_serves_the_compiled_kernel_bit_identically_to_the_enum_walk() {
+    // Two fleets over the same trees: one serving the flat compiled
+    // kernel (the default — DtPolicy::new proves and installs it), one
+    // pinned to the reference enum walk. Every lockstep decision must
+    // agree bit for bit, or the fast path is not a fast path.
+    let splits = [14.5, 17.0, 19.5, 21.0];
+    let compiled_fleet = Fleet::new(FleetOptions::default());
+    let walk_fleet = Fleet::new(FleetOptions::default());
+    for (i, &split) in splits.iter().enumerate() {
+        let policy = toy_policy(split);
+        assert!(
+            policy.compiled().is_some(),
+            "fitted trees must compile and prove"
+        );
+        let walk = DtPolicy::new_uncompiled(policy.tree().clone()).expect("same tree, no kernel");
+        assert!(walk.compiled().is_none());
+        compiled_fleet
+            .add_tenant(&format!("zone-{i}"), policy, None)
+            .unwrap();
+        walk_fleet
+            .add_tenant(&format!("zone-{i}"), walk, None)
+            .unwrap();
+    }
+
+    // Sweep across both sides of every split, the splits themselves,
+    // and guard-hostile temps (the guard holds/falls back before the
+    // policy, identically in both fleets).
+    for step in 0..60 {
+        let temp = 11.0 + f64::from(step) * 0.21;
+        let requests: Vec<(String, Observation)> = (0..splits.len())
+            .map(|i| (format!("zone-{i}"), obs(temp + i as f64 * 0.045)))
+            .collect();
+        let fast = compiled_fleet.tick(&requests).unwrap();
+        let slow = walk_fleet.tick(&requests).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.tenant, s.tenant);
+            assert_eq!(f.action, s.action, "step {step} tenant {}", f.tenant);
+            assert_eq!(f.state, s.state, "step {step} tenant {}", f.tenant);
+        }
+    }
+}
+
+#[test]
+fn malformed_manifest_policy_is_a_per_tenant_409_not_a_worker_panic() {
+    use veri_hvac::fleet::{serve_fleet_with_reload, TenantSpec};
+    let fleet = Fleet::new(FleetOptions::default());
+    fleet.add_tenant("good", toy_policy(20.0), None).unwrap();
+
+    // The reload source replays what the manifest loader does per
+    // tenant: parse the policy file, surface a typed error naming the
+    // tenant. A split whose child index points past the arena must come
+    // back as a structured refusal, never a panic.
+    let malformed = "dtree v1\nfeatures 7\nclasses 90\nnodes 3\nS 0 20.0 9 2\nL 0 10\nL 1 10\n";
+    let source: Arc<veri_hvac::fleet::ReloadSource> = Arc::new(move || {
+        let policy = DtPolicy::from_compact_string(malformed)
+            .map_err(|e| format!("tenant \"bad\": malformed policy: {e}"))?;
+        Ok(vec![TenantSpec {
+            id: "bad".to_string(),
+            policy,
+            certificate_id: None,
+        }])
+    });
+    let server = serve_fleet_with_reload(fleet, "127.0.0.1:0", Some(source)).expect("bind");
+    let mut admin = BlockingClient::connect(server.addr()).unwrap();
+    let (status, _, text) = admin.request("POST", "/admin/reload", &[], "").unwrap();
+    assert_eq!(status, 409, "{text}");
+    assert!(text.contains("tenant"), "{text}");
+    assert!(
+        text.contains("references child 9"),
+        "the typed TreeError detail must reach the operator: {text}"
+    );
+
+    // The serving roster is untouched and still decides.
+    let body = r#"{"zone_temperature":16.0}"#;
+    let (status, _, text) = admin.request("POST", "/decide/good", &[], body).unwrap();
+    assert_eq!(status, 200, "{text}");
+    server.shutdown();
+}
+
+#[test]
 fn admin_reload_swaps_under_load_without_tearing_batches() {
     use std::sync::atomic::AtomicUsize;
     use veri_hvac::fleet::{serve_fleet_with_reload, TenantSpec};

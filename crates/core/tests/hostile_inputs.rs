@@ -259,3 +259,110 @@ fn hostile_observations_never_panic_raw_or_guarded_policies() {
         }
     }
 }
+
+/// The malformed-tree corpus: every shape of broken policy file the
+/// loaders must reject with a typed error — cycles, dangling child
+/// indices, non-finite thresholds, truncations — plus seeded random
+/// mutations of a valid artifact. Covers both the enum-tree format
+/// (`dtree v1`) and the compiled-kernel format (`ctree v1`); the
+/// contract is the hostile-input contract everywhere: **no panic**,
+/// **no loop**, every outcome a parsed tree or a structured error.
+#[test]
+fn malformed_tree_corpus_is_rejected_not_served() {
+    use veri_hvac::dtree::{CompileOptions, CompiledTree};
+
+    let dtree_corpus: &[(&str, &str)] = &[
+        (
+            "cycle (self-referencing split)",
+            "dtree v1\nfeatures 7\nclasses 90\nnodes 1\nS 0 20.0 0 0\n",
+        ),
+        (
+            "cycle (two-node loop)",
+            "dtree v1\nfeatures 7\nclasses 90\nnodes 2\nS 0 20.0 1 1\nS 1 5.0 0 0\n",
+        ),
+        (
+            "bad child index",
+            "dtree v1\nfeatures 7\nclasses 90\nnodes 3\nS 0 20.0 9 2\nL 0 10\nL 1 10\n",
+        ),
+        (
+            "NaN threshold",
+            "dtree v1\nfeatures 7\nclasses 90\nnodes 3\nS 0 NaN 1 2\nL 0 10\nL 1 10\n",
+        ),
+        (
+            "infinite threshold",
+            "dtree v1\nfeatures 7\nclasses 90\nnodes 3\nS 0 inf 1 2\nL 0 10\nL 1 10\n",
+        ),
+        ("truncated (header only)", "dtree v1\n"),
+        (
+            "truncated (missing node)",
+            "dtree v1\nfeatures 7\nclasses 90\nnodes 3\nS 0 20.0 1 2\nL 0 10\n",
+        ),
+        (
+            "truncated mid-line",
+            "dtree v1\nfeatures 7\nclasses 90\nnodes 3\nS 0 20.0\n",
+        ),
+    ];
+    for (what, text) in dtree_corpus {
+        let err = DecisionTree::from_compact_string(text)
+            .expect_err(&format!("corpus entry must be rejected: {what}"));
+        assert!(!err.to_string().is_empty(), "{what}: empty error message");
+    }
+
+    let ctree_corpus: &[(&str, &str)] = &[
+        ("cycle (self-referencing split)", "ctree v1\nfeatures 7\nclasses 90\nroot S0\nsplits 1\nleaves 1\nN 0 20.0 S0 L0\nF 0 0\n"),
+        ("cycle (backward edge)", "ctree v1\nfeatures 7\nclasses 90\nroot S0\nsplits 2\nleaves 2\nN 0 20.0 S1 L0\nN 1 5.0 S0 L1\nF 0 0\nF 1 1\n"),
+        ("bad child index", "ctree v1\nfeatures 7\nclasses 90\nroot S0\nsplits 1\nleaves 2\nN 0 20.0 L0 S9\nF 0 0\nF 1 1\n"),
+        ("bad leaf index", "ctree v1\nfeatures 7\nclasses 90\nroot S0\nsplits 1\nleaves 2\nN 0 20.0 L0 L7\nF 0 0\nF 1 1\n"),
+        ("NaN threshold", "ctree v1\nfeatures 7\nclasses 90\nroot S0\nsplits 1\nleaves 2\nN 0 NaN L0 L1\nF 0 0\nF 1 1\n"),
+        ("truncated (header only)", "ctree v1\n"),
+        ("truncated (missing leaf)", "ctree v1\nfeatures 7\nclasses 90\nroot S0\nsplits 1\nleaves 2\nN 0 20.0 L0 L1\nF 0 0\n"),
+        ("truncated mid-line", "ctree v1\nfeatures 7\nclasses 90\nroot S0\nsplits 1\nleaves 2\nN 0 20.0\n"),
+    ];
+    for (what, text) in ctree_corpus {
+        let err = CompiledTree::from_compact_string(text, CompileOptions { quantized: true })
+            .expect_err(&format!("corpus entry must be rejected: {what}"));
+        assert!(!err.to_string().is_empty(), "{what}: empty error message");
+    }
+
+    // Seeded random mutations of a *valid* artifact: flip, drop or
+    // duplicate one line, or corrupt one numeric field. Either the
+    // parse fails with a typed error, or it succeeds and the parsed
+    // tree still serves hostile observations without panicking.
+    let valid = toy_policy().tree().to_compact_string();
+    let lines: Vec<&str> = valid.lines().collect();
+    for seed in SEEDS {
+        let mut rng = XorShift64Star::new(seed);
+        for i in 0..500 {
+            let mut mutated: Vec<String> = lines.iter().map(ToString::to_string).collect();
+            match rng.below(4) {
+                0 => {
+                    let k = rng.below(mutated.len());
+                    mutated.remove(k);
+                }
+                1 => {
+                    let k = rng.below(mutated.len());
+                    let line = mutated[k].clone();
+                    mutated.insert(k, line);
+                }
+                2 => {
+                    let k = rng.below(mutated.len());
+                    mutated[k] = mutated[k].replace(['0', '1', '2'], "999999");
+                }
+                _ => {
+                    let k = rng.below(mutated.len());
+                    mutated.truncate(k);
+                }
+            }
+            let text = format!("{}\n", mutated.join("\n"));
+            if let Ok(tree) = DecisionTree::from_compact_string(&text) {
+                let x = [rng.hostile_f64(); POLICY_INPUT_DIM];
+                // A mutation that survives parsing must still be safe
+                // to walk (the typed-error paths, never a panic).
+                let _ = tree.predict(&x);
+            } else {
+                // Rejected: that is the point of the corpus.
+            }
+            let _ = i;
+        }
+    }
+}

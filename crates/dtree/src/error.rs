@@ -72,6 +72,66 @@ pub enum TreeError {
         /// Description of the problem.
         what: &'static str,
     },
+    /// A split node referenced a child index `>= nodes.len()`.
+    ChildOutOfRange {
+        /// The split node holding the reference.
+        node: usize,
+        /// The out-of-range child index.
+        child: usize,
+        /// Number of nodes in the tree.
+        nodes: usize,
+    },
+    /// Following child links revisited a node: the graph has a cycle
+    /// and traversal would never terminate.
+    CycleDetected {
+        /// The first node seen twice.
+        node: usize,
+    },
+    /// A node is not reachable from the root — the node list is not a
+    /// single tree rooted at node 0.
+    UnreachableNode {
+        /// The unreachable node id.
+        node: usize,
+    },
+    /// A node's in-degree is wrong (the root referenced, or a non-root
+    /// node referenced zero or more than one time): the node graph is
+    /// not a tree.
+    NotATree {
+        /// The node with the bad in-degree.
+        node: usize,
+    },
+    /// A split node tested a feature `>= n_features`.
+    FeatureOutOfRange {
+        /// The offending split node.
+        node: usize,
+        /// The out-of-range feature index.
+        feature: usize,
+        /// The tree's declared feature count.
+        n_features: usize,
+    },
+    /// A split threshold was NaN or infinite. `x <= NaN` is false for
+    /// every `x`, so a non-finite threshold silently routes all traffic
+    /// right — rejected at validation instead.
+    NonFiniteThreshold {
+        /// The offending split node.
+        node: usize,
+    },
+    /// The tree exceeds a structural limit of the compiled flat layout
+    /// (feature index beyond `u16`, class beyond 31 bits, …).
+    TooLargeToCompile {
+        /// Which limit was exceeded.
+        what: &'static str,
+    },
+    /// The compiled kernel disagreed with the reference enum walk on an
+    /// equivalence probe — the compiled form is not eligible to serve.
+    KernelMismatch {
+        /// Which compiled kernel disagreed (`"compiled"`, `"quantized"`).
+        kernel: &'static str,
+        /// Class predicted by the reference `DecisionTree` walk.
+        expected: usize,
+        /// Class predicted by the compiled kernel.
+        got: usize,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -105,6 +165,52 @@ impl fmt::Display for TreeError {
                 write!(f, "class {class} out of range for {n_classes} classes")
             }
             TreeError::BadConfig { what } => write!(f, "bad tree configuration: {what}"),
+            TreeError::ChildOutOfRange { node, child, nodes } => {
+                write!(
+                    f,
+                    "split node {node} references child {child}, out of range ({nodes} nodes)"
+                )
+            }
+            TreeError::CycleDetected { node } => {
+                write!(f, "node graph has a cycle through node {node}")
+            }
+            TreeError::UnreachableNode { node } => {
+                write!(f, "node {node} is unreachable from the root")
+            }
+            TreeError::NotATree { node } => {
+                write!(
+                    f,
+                    "node {node} has the wrong in-degree: node graph is not a tree rooted at 0"
+                )
+            }
+            TreeError::FeatureOutOfRange {
+                node,
+                feature,
+                n_features,
+            } => {
+                write!(
+                    f,
+                    "split node {node} tests feature {feature}, out of range \
+                     ({n_features} features)"
+                )
+            }
+            TreeError::NonFiniteThreshold { node } => {
+                write!(f, "split node {node} has a non-finite threshold")
+            }
+            TreeError::TooLargeToCompile { what } => {
+                write!(f, "tree exceeds compiled-layout limit: {what}")
+            }
+            TreeError::KernelMismatch {
+                kernel,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{kernel} kernel predicted class {got} where the reference walk \
+                     predicted {expected}"
+                )
+            }
         }
     }
 }

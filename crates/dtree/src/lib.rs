@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
+pub mod equivalence;
 pub mod error;
 pub mod export;
 pub mod fit;
@@ -45,6 +47,8 @@ pub mod interval;
 pub mod serialize;
 pub mod tree;
 
+pub use compiled::{sort_key, CompileOptions, CompiledTree, LEAF_BIT};
+pub use equivalence::{prove_equivalence, EquivalenceProof};
 pub use error::TreeError;
 pub use interval::{InputBox, Interval};
 pub use tree::{DecisionTree, LeafId, Node, NodeId, TreeConfig};

@@ -82,9 +82,14 @@ impl DecisionTree {
     ///
     /// # Errors
     ///
-    /// Returns [`TreeError::BadConfig`] describing the first structural
-    /// problem encountered. The message names the offense; it never
-    /// panics on malformed input.
+    /// Malformed *text* (bad header, unparsable fields, count mismatch)
+    /// is reported as [`TreeError::BadConfig`]; malformed *structure*
+    /// comes back as the typed errors of
+    /// [`DecisionTree::validate_structure`] — a cyclic child graph is
+    /// [`TreeError::CycleDetected`], an out-of-range child index
+    /// [`TreeError::ChildOutOfRange`], a NaN threshold
+    /// [`TreeError::NonFiniteThreshold`], and so on. It never panics on
+    /// malformed input.
     pub fn from_compact_string(text: &str) -> Result<Self, TreeError> {
         let bad = |what: &'static str| TreeError::BadConfig { what };
         let mut lines = text.lines();
@@ -137,12 +142,6 @@ impl DecisionTree {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .ok_or(bad("bad right child"))?;
-                    if feature >= n_features {
-                        return Err(bad("split feature out of range"));
-                    }
-                    if !threshold.is_finite() {
-                        return Err(bad("split threshold not finite"));
-                    }
                     nodes.push(Node::Split {
                         feature,
                         threshold,
@@ -160,7 +159,7 @@ impl DecisionTree {
                         .and_then(|v| v.parse().ok())
                         .ok_or(bad("bad leaf samples"))?;
                     if class >= n_classes {
-                        return Err(bad("leaf class out of range"));
+                        return Err(TreeError::BadClass { class, n_classes });
                     }
                     nodes.push(Node::Leaf { class, samples });
                 }
@@ -171,55 +170,16 @@ impl DecisionTree {
             return Err(bad("node count mismatch"));
         }
 
-        // Structural validation: every non-root node referenced exactly
-        // once, children in range, no self/backward references that
-        // could form a cycle (the writer always emits children after
-        // their parent; we only require ids in range + exactly-once
-        // reachability, which implies a tree rooted at 0).
-        let mut referenced = vec![0usize; nodes.len()];
-        for (id, node) in nodes.iter().enumerate() {
-            if let Node::Split { left, right, .. } = node {
-                for &child in [left, right] {
-                    if child >= nodes.len() {
-                        return Err(bad("child index out of range"));
-                    }
-                    if child == id || child == 0 {
-                        return Err(bad("child points at root or itself"));
-                    }
-                    referenced[child] += 1;
-                }
-            }
-        }
-        if referenced
-            .iter()
-            .enumerate()
-            .any(|(id, &count)| (id == 0 && count != 0) || (id != 0 && count != 1))
-        {
-            return Err(bad("node graph is not a tree rooted at node 0"));
-        }
-        // Reachability from the root (guards against disjoint cycles
-        // that satisfy the in-degree check).
-        let mut seen = vec![false; nodes.len()];
-        let mut stack = vec![0usize];
-        while let Some(id) = stack.pop() {
-            if seen[id] {
-                return Err(bad("cycle detected"));
-            }
-            seen[id] = true;
-            if let Node::Split { left, right, .. } = &nodes[id] {
-                stack.push(*left);
-                stack.push(*right);
-            }
-        }
-        if seen.iter().any(|&s| !s) {
-            return Err(bad("unreachable nodes present"));
-        }
-
-        Ok(DecisionTree {
+        // Structural validation — children in range, acyclic, every
+        // node reachable exactly once, features in range, thresholds
+        // finite — is the shared typed gate in `validate_structure`.
+        let tree = DecisionTree {
             nodes,
             n_features,
             n_classes,
-        })
+        };
+        tree.validate_structure()?;
+        Ok(tree)
     }
 }
 
@@ -293,6 +253,64 @@ mod tests {
         // case: root is a leaf, plus two nodes forming a cycle.
         let text = "dtree v1\nfeatures 1\nclasses 2\nnodes 3\nL 0 1\nS 0 1.0 2 2\nL 1 1\n";
         assert!(DecisionTree::from_compact_string(text).is_err());
+    }
+
+    #[test]
+    fn structural_offenses_are_typed() {
+        use crate::error::TreeError;
+        let cases: [(&str, TreeError); 4] = [
+            (
+                // Right child index 9 does not exist.
+                "dtree v1\nfeatures 1\nclasses 2\nnodes 3\nS 0 1.0 1 9\nL 0 1\nL 1 1\n",
+                TreeError::ChildOutOfRange {
+                    node: 0,
+                    child: 9,
+                    nodes: 3,
+                },
+            ),
+            (
+                // NaN threshold routes everything right — rejected.
+                "dtree v1\nfeatures 1\nclasses 2\nnodes 3\nS 0 NaN 1 2\nL 0 1\nL 1 1\n",
+                TreeError::NonFiniteThreshold { node: 0 },
+            ),
+            (
+                // Split tests feature 7 of a 1-feature tree.
+                "dtree v1\nfeatures 1\nclasses 2\nnodes 3\nS 7 1.0 1 2\nL 0 1\nL 1 1\n",
+                TreeError::FeatureOutOfRange {
+                    node: 0,
+                    feature: 7,
+                    n_features: 1,
+                },
+            ),
+            (
+                // Leaf class 5 of a 2-class tree.
+                "dtree v1\nfeatures 1\nclasses 2\nnodes 1\nL 5 1\n",
+                TreeError::BadClass {
+                    class: 5,
+                    n_classes: 2,
+                },
+            ),
+        ];
+        for (text, expected) in cases {
+            assert_eq!(
+                DecisionTree::from_compact_string(text).unwrap_err(),
+                expected,
+                "for {text:?}"
+            );
+        }
+        // A disjoint two-node cycle hanging off a leaf root satisfies
+        // per-node checks but is unreachable / has bad in-degree.
+        let orphan_cycle = "dtree v1\nfeatures 1\nclasses 2\nnodes 3\nL 0 1\nS 0 1.0 2 2\nL 1 1\n";
+        assert!(matches!(
+            DecisionTree::from_compact_string(orphan_cycle).unwrap_err(),
+            TreeError::NotATree { .. } | TreeError::UnreachableNode { .. }
+        ));
+        // Infinite thresholds are rejected alongside NaN.
+        let inf = "dtree v1\nfeatures 1\nclasses 2\nnodes 3\nS 0 inf 1 2\nL 0 1\nL 1 1\n";
+        assert_eq!(
+            DecisionTree::from_compact_string(inf).unwrap_err(),
+            TreeError::NonFiniteThreshold { node: 0 },
+        );
     }
 
     #[test]

@@ -411,6 +411,89 @@ impl DecisionTree {
         before - self.nodes.len()
     }
 
+    /// Checks that the node list is a well-formed decision tree: every
+    /// child index in range, no cycles, every node reachable from the
+    /// root exactly once, every split's feature in range, and every
+    /// threshold finite (a NaN threshold would silently route all
+    /// traffic right, since `x <= NaN` is false for every `x`).
+    ///
+    /// `fit`, `from_compact_string` and the leaf editors only produce
+    /// trees that pass; this is the shared gate for anything arriving
+    /// from outside — deserialization, manifests, compilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural offense as a typed [`TreeError`]:
+    /// [`TreeError::ChildOutOfRange`], [`TreeError::NotATree`],
+    /// [`TreeError::CycleDetected`], [`TreeError::UnreachableNode`],
+    /// [`TreeError::FeatureOutOfRange`] or
+    /// [`TreeError::NonFiniteThreshold`].
+    pub fn validate_structure(&self) -> Result<(), TreeError> {
+        if self.nodes.is_empty() {
+            return Err(TreeError::BadConfig {
+                what: "tree has no nodes",
+            });
+        }
+        let mut in_degree = vec![0usize; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } = node
+            {
+                if *feature >= self.n_features {
+                    return Err(TreeError::FeatureOutOfRange {
+                        node: id,
+                        feature: *feature,
+                        n_features: self.n_features,
+                    });
+                }
+                if !threshold.is_finite() {
+                    return Err(TreeError::NonFiniteThreshold { node: id });
+                }
+                for &child in [left, right] {
+                    if child >= self.nodes.len() {
+                        return Err(TreeError::ChildOutOfRange {
+                            node: id,
+                            child,
+                            nodes: self.nodes.len(),
+                        });
+                    }
+                    if child == id || child == 0 {
+                        return Err(TreeError::NotATree { node: child });
+                    }
+                    in_degree[child] += 1;
+                }
+            }
+        }
+        for (id, &count) in in_degree.iter().enumerate() {
+            let expected = usize::from(id != 0);
+            if count != expected {
+                return Err(TreeError::NotATree { node: id });
+            }
+        }
+        // Reachability from the root (in-degree alone admits disjoint
+        // cycles, e.g. two orphan splits referencing each other).
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        while let Some(id) = stack.pop() {
+            if seen[id] {
+                return Err(TreeError::CycleDetected { node: id });
+            }
+            seen[id] = true;
+            if let Node::Split { left, right, .. } = &self.nodes[id] {
+                stack.push(*left);
+                stack.push(*right);
+            }
+        }
+        if let Some(node) = seen.iter().position(|&s| !s) {
+            return Err(TreeError::UnreachableNode { node });
+        }
+        Ok(())
+    }
+
     /// Predicts the class of one input vector.
     ///
     /// # Errors
@@ -423,9 +506,18 @@ impl DecisionTree {
 
     /// Returns the leaf that handles `x` (scikit-learn's `apply`).
     ///
+    /// Traversal is hardened against malformed in-memory trees: an
+    /// out-of-range child index or feature index is reported as a typed
+    /// error instead of a panic, and the step counter bounds descent at
+    /// `node_count()` hops so a cyclic child graph errors out instead of
+    /// looping forever. Well-formed trees (anything produced by `fit`,
+    /// `from_compact_string` or the leaf editors) never hit these paths.
+    ///
     /// # Errors
     ///
-    /// Returns [`TreeError::BadInputWidth`] for a wrong-width input.
+    /// Returns [`TreeError::BadInputWidth`] for a wrong-width input, and
+    /// [`TreeError::ChildOutOfRange`] / [`TreeError::FeatureOutOfRange`]
+    /// / [`TreeError::CycleDetected`] for structurally corrupt trees.
     pub fn apply(&self, x: &[f64]) -> Result<LeafId, TreeError> {
         if x.len() != self.n_features {
             return Err(TreeError::BadInputWidth {
@@ -434,23 +526,34 @@ impl DecisionTree {
             });
         }
         let mut id = 0;
-        loop {
-            match &self.nodes[id] {
-                Node::Leaf { .. } => return Ok(LeafId(id)),
-                Node::Split {
+        // A well-formed tree reaches a leaf in at most `nodes.len()`
+        // hops (every hop visits a distinct node); more means a cycle.
+        for _ in 0..=self.nodes.len() {
+            match self.nodes.get(id) {
+                None => {
+                    return Err(TreeError::ChildOutOfRange {
+                        node: id,
+                        child: id,
+                        nodes: self.nodes.len(),
+                    })
+                }
+                Some(Node::Leaf { .. }) => return Ok(LeafId(id)),
+                Some(Node::Split {
                     feature,
                     threshold,
                     left,
                     right,
-                } => {
-                    id = if x[*feature] <= *threshold {
-                        *left
-                    } else {
-                        *right
-                    };
+                }) => {
+                    let value = *x.get(*feature).ok_or(TreeError::FeatureOutOfRange {
+                        node: id,
+                        feature: *feature,
+                        n_features: self.n_features,
+                    })?;
+                    id = if value <= *threshold { *left } else { *right };
                 }
             }
         }
+        Err(TreeError::CycleDetected { node: id })
     }
 
     /// The root-to-leaf node-id path for `x` (Algorithm 1, line 2 —
@@ -458,7 +561,9 @@ impl DecisionTree {
     ///
     /// # Errors
     ///
-    /// Returns [`TreeError::BadInputWidth`] for a wrong-width input.
+    /// Returns [`TreeError::BadInputWidth`] for a wrong-width input, and
+    /// the same typed structural errors as [`DecisionTree::apply`] for
+    /// corrupt trees.
     pub fn decision_path(&self, x: &[f64]) -> Result<Vec<NodeId>, TreeError> {
         if x.len() != self.n_features {
             return Err(TreeError::BadInputWidth {
@@ -468,24 +573,33 @@ impl DecisionTree {
         }
         let mut path = vec![0];
         let mut id = 0;
-        loop {
-            match &self.nodes[id] {
-                Node::Leaf { .. } => return Ok(path),
-                Node::Split {
+        for _ in 0..=self.nodes.len() {
+            match self.nodes.get(id) {
+                None => {
+                    return Err(TreeError::ChildOutOfRange {
+                        node: id,
+                        child: id,
+                        nodes: self.nodes.len(),
+                    })
+                }
+                Some(Node::Leaf { .. }) => return Ok(path),
+                Some(Node::Split {
                     feature,
                     threshold,
                     left,
                     right,
-                } => {
-                    id = if x[*feature] <= *threshold {
-                        *left
-                    } else {
-                        *right
-                    };
+                }) => {
+                    let value = *x.get(*feature).ok_or(TreeError::FeatureOutOfRange {
+                        node: id,
+                        feature: *feature,
+                        n_features: self.n_features,
+                    })?;
+                    id = if value <= *threshold { *left } else { *right };
                     path.push(id);
                 }
             }
         }
+        Err(TreeError::CycleDetected { node: id })
     }
 
     /// Computes the input box of a leaf: the axis-aligned set of inputs
@@ -632,6 +746,114 @@ mod tests {
         let path = t.decision_path(&x).unwrap();
         assert_eq!(path, vec![0, 2, 4]);
         assert_eq!(t.apply(&x).unwrap().node_id(), 4);
+    }
+
+    #[test]
+    fn apply_reports_cycle_instead_of_hanging() {
+        // Two splits referencing each other: traversal revisits forever
+        // in the old code; now it must stop with a typed error.
+        let t = DecisionTree {
+            nodes: vec![
+                Node::Split {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 1,
+                },
+                Node::Split {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 0,
+                    right: 0,
+                },
+            ],
+            n_features: 1,
+            n_classes: 2,
+        };
+        assert!(matches!(
+            t.apply(&[0.5]),
+            Err(TreeError::CycleDetected { .. })
+        ));
+        assert!(matches!(
+            t.decision_path(&[0.5]),
+            Err(TreeError::CycleDetected { .. })
+        ));
+        assert!(t.validate_structure().is_err());
+    }
+
+    #[test]
+    fn apply_reports_bad_child_instead_of_panicking() {
+        let t = DecisionTree {
+            nodes: vec![
+                Node::Split {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 9,
+                },
+                Node::Leaf {
+                    class: 0,
+                    samples: 1,
+                },
+            ],
+            n_features: 1,
+            n_classes: 2,
+        };
+        assert!(matches!(
+            t.apply(&[5.0]),
+            Err(TreeError::ChildOutOfRange { child: 9, .. })
+        ));
+        assert!(matches!(
+            t.validate_structure(),
+            Err(TreeError::ChildOutOfRange { child: 9, .. })
+        ));
+        // The in-range side still resolves.
+        assert_eq!(t.apply(&[0.0]).unwrap().node_id(), 1);
+    }
+
+    #[test]
+    fn apply_reports_bad_feature_instead_of_panicking() {
+        let t = DecisionTree {
+            nodes: vec![
+                Node::Split {
+                    feature: 7,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 2,
+                },
+                Node::Leaf {
+                    class: 0,
+                    samples: 1,
+                },
+                Node::Leaf {
+                    class: 1,
+                    samples: 1,
+                },
+            ],
+            n_features: 1,
+            n_classes: 2,
+        };
+        assert!(matches!(
+            t.apply(&[0.0]),
+            Err(TreeError::FeatureOutOfRange { feature: 7, .. })
+        ));
+        assert!(matches!(
+            t.validate_structure(),
+            Err(TreeError::FeatureOutOfRange { feature: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_structure_accepts_well_formed_trees() {
+        toy_tree().validate_structure().unwrap();
+        let fitted = DecisionTree::fit(
+            &[vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            &[0, 0, 1, 1],
+            2,
+            &TreeConfig::default(),
+        )
+        .unwrap();
+        fitted.validate_structure().unwrap();
     }
 
     #[test]

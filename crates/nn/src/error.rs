@@ -42,6 +42,11 @@ pub enum NnError {
         /// Epoch at which divergence was detected.
         epoch: usize,
     },
+    /// A batched entry point was invoked with a zero-row batch. Distinct
+    /// from [`NnError::DimensionMismatch`] so a bench or serve
+    /// misconfiguration (nothing to infer) doesn't read as a shape bug
+    /// (`expected 0, got 0` told the caller nothing).
+    EmptyBatch,
 }
 
 impl fmt::Display for NnError {
@@ -62,6 +67,9 @@ impl fmt::Display for NnError {
             }
             NnError::Diverged { epoch } => {
                 write!(f, "training diverged at epoch {epoch}")
+            }
+            NnError::EmptyBatch => {
+                write!(f, "batched inference invoked with a zero-row batch")
             }
         }
     }
@@ -91,6 +99,7 @@ mod tests {
                 value: -1.0,
             },
             NnError::Diverged { epoch: 3 },
+            NnError::EmptyBatch,
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

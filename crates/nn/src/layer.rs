@@ -251,18 +251,35 @@ impl Dense {
     /// batched path beat `batch ×` scalar calls rather than merely
     /// matching their arithmetic.
     ///
+    /// Two schedule refinements on top of that layout, neither changing
+    /// a single bit of output:
+    ///
+    /// * **8-wide sweep** — eight weights per pass over the accumulator,
+    ///   so each column is loaded/stored once per octet instead of once
+    ///   per input (the adds within a pass still run in ascending input
+    ///   order);
+    /// * **cache-blocked columns** — the batch is processed in
+    ///   256-column blocks, keeping the block's eight active input rows
+    ///   plus the accumulator (~18 KiB) L1-resident across the whole
+    ///   weight sweep instead of streaming `in_dim × batch` through
+    ///   cache once per output neuron.
+    ///
     /// # Errors
     ///
-    /// Returns [`NnError::DimensionMismatch`] if `xt` is not
-    /// `in_dim × batch` or `yt` is not `out_dim × batch`, or if `batch`
-    /// is zero.
+    /// Returns [`NnError::EmptyBatch`] when `batch` is zero (a caller
+    /// misconfiguration, distinct from a shape bug), and
+    /// [`NnError::DimensionMismatch`] if `xt` is not `in_dim × batch` or
+    /// `yt` is not `out_dim × batch`.
     pub fn infer_transposed_into(
         &self,
         xt: &[f64],
         batch: usize,
         yt: &mut [f64],
     ) -> Result<(), NnError> {
-        if batch == 0 || xt.len() != batch * self.in_dim {
+        if batch == 0 {
+            return Err(NnError::EmptyBatch);
+        }
+        if xt.len() != batch * self.in_dim {
             return Err(NnError::DimensionMismatch {
                 expected: batch * self.in_dim,
                 got: xt.len(),
@@ -274,40 +291,45 @@ impl Dense {
                 got: yt.len(),
             });
         }
-        for (o, acc) in yt.chunks_exact_mut(batch).enumerate() {
-            acc.fill(self.biases[o]);
-            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-            // Four inputs per sweep: the accumulator column is loaded and
-            // stored once per quartet instead of once per input, which is
-            // what bounds the plain axpy. Within each row the adds still
-            // happen in input order (i, i+1, i+2, i+3 sequentially), so
-            // bit-identity with the row-major path is preserved.
-            let quads = self.in_dim / 4;
-            for q in 0..quads {
-                let i = q * 4;
-                let [w0, w1, w2, w3]: [f64; 4] = row[i..i + 4].try_into().expect("quad");
-                let x0 = &xt[i * batch..(i + 1) * batch];
-                let x1 = &xt[(i + 1) * batch..(i + 2) * batch];
-                let x2 = &xt[(i + 2) * batch..(i + 3) * batch];
-                let x3 = &xt[(i + 3) * batch..(i + 4) * batch];
-                for ((((a, &v0), &v1), &v2), &v3) in acc.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3)
-                {
-                    let mut sum = *a;
-                    sum += w0 * v0;
-                    sum += w1 * v1;
-                    sum += w2 * v2;
-                    sum += w3 * v3;
-                    *a = sum;
+        // 256 f64 columns = 2 KiB per row slice; 8 input rows + the
+        // accumulator ≈ 18 KiB, comfortably inside a 32 KiB L1.
+        const COL_BLOCK: usize = 256;
+        for col in (0..batch).step_by(COL_BLOCK) {
+            let cols = COL_BLOCK.min(batch - col);
+            for o in 0..self.out_dim {
+                let acc = &mut yt[o * batch + col..o * batch + col + cols];
+                acc.fill(self.biases[o]);
+                let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let octets = self.in_dim / 8;
+                for q in 0..octets {
+                    let i = q * 8;
+                    let w: [f64; 8] = row[i..i + 8].try_into().expect("octet");
+                    let x: [&[f64]; 8] = std::array::from_fn(|k| {
+                        &xt[(i + k) * batch + col..(i + k) * batch + col + cols]
+                    });
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        // Ascending input order, same as the scalar path.
+                        let mut sum = *a;
+                        sum += w[0] * x[0][j];
+                        sum += w[1] * x[1][j];
+                        sum += w[2] * x[2][j];
+                        sum += w[3] * x[3][j];
+                        sum += w[4] * x[4][j];
+                        sum += w[5] * x[5][j];
+                        sum += w[6] * x[6][j];
+                        sum += w[7] * x[7][j];
+                        *a = sum;
+                    }
                 }
-            }
-            for i in quads * 4..self.in_dim {
-                let w = row[i];
-                let xi = &xt[i * batch..(i + 1) * batch];
-                for (a, &x) in acc.iter_mut().zip(xi) {
-                    *a += w * x;
+                for i in octets * 8..self.in_dim {
+                    let w = row[i];
+                    let xi = &xt[i * batch + col..i * batch + col + cols];
+                    for (a, &x) in acc.iter_mut().zip(xi) {
+                        *a += w * x;
+                    }
                 }
+                self.activation.apply_slice(acc);
             }
-            self.activation.apply_slice(acc);
         }
         Ok(())
     }
@@ -420,6 +442,68 @@ mod tests {
         let a = l.forward(&x).unwrap();
         let b = l.infer(&x).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transposed_zero_batch_is_its_own_error() {
+        let l = layer(3, 2, Activation::Identity);
+        let mut yt = vec![];
+        assert_eq!(
+            l.infer_transposed_into(&[], 0, &mut yt),
+            Err(NnError::EmptyBatch)
+        );
+        // Genuine shape bugs still read as mismatches.
+        let mut yt = vec![0.0; 2];
+        assert!(matches!(
+            l.infer_transposed_into(&[1.0, 2.0], 1, &mut yt),
+            Err(NnError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn transposed_kernel_is_bit_identical_across_shapes() {
+        // Odd in_dims exercise the 8-wide sweep plus remainder; batches
+        // beyond 256 exercise the column blocking (block boundary, full
+        // block + tail).
+        for (in_dim, out_dim, batch) in [
+            (7, 3, 5),
+            (8, 2, 256),
+            (13, 4, 300),
+            (16, 1, 513),
+            (3, 5, 1),
+        ] {
+            let l = layer(in_dim, out_dim, Activation::Tanh);
+            let xs: Vec<f64> = (0..batch * in_dim)
+                .map(|i| ((i * 37 % 101) as f64 - 50.0) / 17.0)
+                .collect();
+            // Reference: row-major scalar inference, row by row.
+            let mut want = vec![0.0; batch * out_dim];
+            for (r, x) in xs.chunks_exact(in_dim).enumerate() {
+                let y = l.infer(x).unwrap();
+                want[r * out_dim..(r + 1) * out_dim].copy_from_slice(&y);
+            }
+            // Transpose input, run the kernel, transpose back.
+            let mut xt = vec![0.0; batch * in_dim];
+            for r in 0..batch {
+                for i in 0..in_dim {
+                    xt[i * batch + r] = xs[r * in_dim + i];
+                }
+            }
+            let mut yt = vec![0.0; batch * out_dim];
+            l.infer_transposed_into(&xt, batch, &mut yt).unwrap();
+            for r in 0..batch {
+                for o in 0..out_dim {
+                    assert_eq!(
+                        yt[o * batch + r].to_bits(),
+                        want[r * out_dim + o].to_bits(),
+                        "row {r} out {o} drifted ({in_dim}x{out_dim}, batch {batch})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

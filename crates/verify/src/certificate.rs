@@ -57,6 +57,12 @@ pub struct Certificate {
     pub artifact_keys: Vec<String>,
     /// Version of the crate that verified the policy.
     pub crate_version: String,
+    /// SHA-256 (hex) of the compiled flat-kernel artifact (`ctree v1`
+    /// text) proven equivalent to the verified tree, or empty when the
+    /// policy ships without a compiled form. Certificates that predate
+    /// compiled kernels omit the field entirely, so their ids are
+    /// unchanged.
+    pub compiled_hash: String,
 }
 
 impl Certificate {
@@ -83,6 +89,7 @@ impl Certificate {
             noise,
             artifact_keys,
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            compiled_hash: String::new(),
         }
     }
 
@@ -121,6 +128,12 @@ impl Certificate {
         o.f64_field("noise", self.noise);
         o.str_array_field("artifact_keys", &self.artifact_keys);
         o.str_field("crate_version", &self.crate_version);
+        // Only emitted when a compiled kernel was bound: certificates
+        // issued before compiled kernels existed keep their exact
+        // canonical bytes (and therefore their ids).
+        if !self.compiled_hash.is_empty() {
+            o.str_field("compiled_hash", &self.compiled_hash);
+        }
         o.finish()
     }
 
@@ -129,6 +142,17 @@ impl Certificate {
     #[must_use]
     pub fn with_id(mut self, id: String) -> Self {
         self.certificate_id = id;
+        self
+    }
+
+    /// Binds the certificate to the SHA-256 of a compiled flat-kernel
+    /// artifact. Must be applied *before* [`Certificate::with_id`]: the
+    /// compiled hash is part of the canonical bytes the id commits to,
+    /// so `veri_hvac audit` can detect a swapped or tampered compiled
+    /// artifact the same way it detects swapped policy bytes.
+    #[must_use]
+    pub fn with_compiled_hash(mut self, hash: String) -> Self {
+        self.compiled_hash = hash;
         self
     }
 
@@ -198,6 +222,12 @@ impl Certificate {
             noise: f("noise")?,
             artifact_keys: keys,
             crate_version: s("crate_version")?,
+            // Absent on certificates that predate compiled kernels.
+            compiled_hash: v
+                .get("compiled_hash")
+                .and_then(|x| x.as_str())
+                .unwrap_or_default()
+                .to_string(),
         })
     }
 }
@@ -259,6 +289,29 @@ mod tests {
             .wilson_interval(CERTIFICATE_WILSON_Z);
         assert_eq!((cert.wilson_lower, cert.wilson_upper), (lo, hi));
         assert!(cert.verified());
+    }
+
+    #[test]
+    fn compiled_hash_is_committed_only_when_present() {
+        let plain = certificate();
+        // No compiled kernel bound: the field stays out of the
+        // canonical bytes, so pre-compiled-kernel ids are unchanged.
+        assert!(!plain.canonical_string().contains("compiled_hash"));
+
+        let bound = certificate().with_compiled_hash("ef".repeat(32));
+        assert!(bound.canonical_string().contains("compiled_hash"));
+        assert_ne!(bound.canonical_string(), plain.canonical_string());
+
+        // Round trip preserves the binding bit-exactly.
+        let restored = Certificate::from_json_string(&bound.to_json_string()).unwrap();
+        assert_eq!(restored, bound);
+        assert_eq!(restored.canonical_string(), bound.canonical_string());
+
+        // A v1 certificate serialized before the field existed still
+        // parses, with an empty compiled hash.
+        let legacy = Certificate::from_json_string(&plain.to_json_string()).unwrap();
+        assert_eq!(legacy.compiled_hash, "");
+        assert_eq!(legacy, plain);
     }
 
     #[test]
